@@ -1,0 +1,1 @@
+"""Figure-regeneration benchmarks (see conftest for scale knobs)."""

@@ -1,0 +1,94 @@
+"""Ablation: the effective-distance estimator (DESIGN.md §3.2 choice).
+
+Section V-A restricts the MLE of a release set to the *released values*
+(a weighted median) so the result stays PCF-comparable.  This ablation
+measures what that design choice costs or buys against two alternatives an
+implementer might reach for:
+
+* ``last``  — just use the most recent (largest-budget) release,
+* ``mean``  — the precision-weighted mean (the Gaussian-noise MLE, wrong
+  for Laplace tails).
+
+Estimation error |d_estimate - d_true| is measured as releases accumulate
+under Table X budget vectors.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.core.budgets import BudgetSampler
+from repro.core.effective import Release, effective_pair_of
+from repro.privacy.laplace import sample_laplace
+
+
+def weighted_median_estimate(releases):
+    return effective_pair_of(releases).distance
+
+
+def last_release_estimate(releases):
+    return releases[-1].value
+
+
+def weighted_mean_estimate(releases):
+    # Laplace variance is 2/eps^2: precision weights eps^2.
+    weights = np.array([r.epsilon**2 for r in releases])
+    values = np.array([r.value for r in releases])
+    return float(np.average(values, weights=weights))
+
+
+ESTIMATORS = {
+    "median": weighted_median_estimate,
+    "last": last_release_estimate,
+    "mean": weighted_mean_estimate,
+}
+
+
+@pytest.fixture(scope="module")
+def error_table():
+    rng = np.random.default_rng(7)
+    sampler = BudgetSampler()  # Table X: 7 draws from [0.5, 1.75], ascending
+    trials = 3000
+    true_distance = 1.0
+    errors = {name: np.zeros(sampler.group_size) for name in ESTIMATORS}
+    for _ in range(trials):
+        vector = sampler.sample(rng)
+        releases = []
+        for u, eps in enumerate(vector.epsilons):
+            releases.append(
+                Release(true_distance + float(sample_laplace(rng, eps)), eps)
+            )
+            for name, estimator in ESTIMATORS.items():
+                errors[name][u] += abs(estimator(releases) - true_distance)
+    for name in errors:
+        errors[name] /= trials
+
+    lines = ["releases  " + "  ".join(f"{n:>8s}" for n in ESTIMATORS)]
+    for u in range(sampler.group_size):
+        lines.append(
+            f"{u + 1:8d}  " + "  ".join(f"{errors[n][u]:8.4f}" for n in ESTIMATORS)
+        )
+    emit_table("ablation_estimator", "\n".join(lines))
+    return errors
+
+
+def test_estimator_ablation(benchmark, error_table):
+    releases = [Release(1.2, 0.5), Release(0.9, 1.0), Release(1.1, 1.5)]
+    benchmark(lambda: weighted_median_estimate(releases))
+
+    median = error_table["median"]
+    last = error_table["last"]
+    mean = error_table["mean"]
+
+    # All estimators improve (weakly) as releases accumulate overall.
+    assert median[-1] < median[0]
+    assert mean[-1] < mean[0]
+
+    # The paper's released-value-restricted median beats the naive
+    # last-release rule once several releases exist.
+    assert median[-1] <= last[-1] + 1e-9
+
+    # The precision-weighted mean is a strong estimator too — but it is
+    # NOT a released value, so it cannot feed PCF comparisons; the table
+    # records how much accuracy the comparability constraint costs.
+    assert mean[-1] < 1.0  # sanity: it does estimate something

@@ -1,0 +1,58 @@
+"""Theorem VI.3 measured: EPoS/EPoA bounds vs realised equilibria.
+
+For each dataset: the closed-form EPoA lower bound
+``sum U+_min / sum U+_max``, the realised GT equilibrium welfare, and the
+offline optimum.  The theorem promises ``EPoS <= 1`` and
+``EPoA >= bound``; the measured ``GT/OPT`` ratio sits between the bound
+and 1, and this bench records how tight the paper's bound actually is.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_seed, bench_tasks, emit_table
+from repro.core.optimal import OptimalSolver
+from repro.core.pgt import GTSolver
+from repro.experiments.sweeps import make_generator
+from repro.game.equilibrium import theorem_vi3_bounds
+
+DATASETS = ("chengdu", "normal", "uniform")
+
+
+@pytest.fixture(scope="module")
+def bound_rows():
+    rows = []
+    for dataset in DATASETS:
+        generator = make_generator(dataset, bench_tasks(), 2 * bench_tasks(), bench_seed())
+        instance = generator.instance()
+        epoa_lower, epos_upper = theorem_vi3_bounds(instance)
+        gt = GTSolver().solve(instance).total_utility
+        opt = OptimalSolver().solve(instance).total_utility
+        rows.append(
+            {
+                "dataset": dataset,
+                "epoa_lower": epoa_lower,
+                "epos_upper": epos_upper,
+                "gt_over_opt": gt / opt if opt else float("nan"),
+            }
+        )
+    lines = ["dataset   EPoA_lower  GT/OPT  EPoS_upper"]
+    for r in rows:
+        lines.append(
+            f"{r['dataset']:8s}  {r['epoa_lower']:10.3f}  {r['gt_over_opt']:6.3f}  "
+            f"{r['epos_upper']:10.1f}"
+        )
+    emit_table("epoa_bounds", "\n".join(lines))
+    return rows
+
+
+def test_theorem_vi3_bounds_hold(benchmark, bound_rows):
+    generator = make_generator("normal", bench_tasks(), 2 * bench_tasks(), bench_seed())
+    instance = generator.instance()
+    benchmark(lambda: theorem_vi3_bounds(instance))
+
+    for row in bound_rows:
+        # The bound is a valid probability-like ratio and the realised
+        # equilibrium efficiency sandwiches between it and EPoS <= 1.
+        assert 0.0 <= row["epoa_lower"] <= 1.0, row
+        assert row["epoa_lower"] - 1e-9 <= row["gt_over_opt"] <= 1.0 + 1e-9, row
+        assert row["epos_upper"] == 1.0

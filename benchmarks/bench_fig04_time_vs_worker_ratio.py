@@ -1,0 +1,67 @@
+"""Figure 4 (+ Fig. 18): running time vs worker-task ratio.
+
+Paper claims: running time grows with the worker ratio on every dataset,
+and PGT runs 50-63% below PDCE (52-63% on chengdu, 50-63% on normal).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_seed, bench_tasks, run_group
+from repro.core.registry import make_solver
+from repro.experiments.sweeps import SweepConfig, make_generator
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig04")
+
+
+def _default_instance(dataset):
+    config = SweepConfig(dataset=dataset, num_tasks=bench_tasks(), seed=bench_seed())
+    generator = make_generator(
+        dataset, config.num_tasks, config.num_workers, config.seed
+    )
+    return generator.instance(
+        task_value=config.task_value, worker_range=config.worker_range
+    )
+
+
+def _min_time(solver, instance, repeats=3):
+    best = float("inf")
+    for trial in range(repeats):
+        start = time.perf_counter()
+        solver.solve(instance, seed=1000 + trial)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig04_time_vs_ratio(benchmark, figure, dataset):
+    instance = _default_instance(dataset)
+
+    # The benchmarked quantity: one PUCE batch at Table X defaults.
+    benchmark.pedantic(
+        lambda: make_solver("PUCE").solve(instance, seed=7), rounds=3, iterations=1
+    )
+
+    # Shape 1: all series exist across the sweep and time grows with the
+    # ratio (endpoints comparison; single-run sweep timings are noisy).
+    for method in ("PUCE", "PDCE", "PGT"):
+        series = figure.series(dataset, method)
+        assert len(series) == len(figure.spec.values)
+        assert all(v > 0 for v in series)
+    puce = figure.series(dataset, "PUCE")
+    assert puce[-1] > puce[0], "private time should grow with worker ratio"
+
+    # Shape 2 (headline): PGT beats PDCE on stable min-of-N timings.
+    pgt_time = _min_time(make_solver("PGT"), instance)
+    pdce_time = _min_time(make_solver("PDCE"), instance)
+    ratio = pgt_time / pdce_time
+    assert ratio < 0.85, f"PGT/PDCE time ratio {ratio:.2f} on {dataset}"
+
+    # Shape 3: non-private baselines are cheaper than their private twins.
+    uce_time = _min_time(make_solver("UCE"), instance)
+    puce_time = _min_time(make_solver("PUCE"), instance)
+    assert uce_time < puce_time

@@ -1,0 +1,48 @@
+"""Figures 5 / 6 / 19: average utility vs task value.
+
+Paper claims: utility grows ~linearly with task value; PUCE >= PDCE on
+every dataset; PGT beats PUCE on normal; the relative utility deviation
+shrinks as task value grows (private converges to non-private).
+"""
+
+import pytest
+
+from benchmarks.conftest import mostly_monotone, run_group
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig05")
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig05_utility_vs_task_value(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "PUCE"))
+
+    values = list(figure.spec.values)
+
+    # Shape 1: every method's utility increases with task value,
+    # approximately linearly: successive differences comparable to the
+    # value step.
+    for method in ("PUCE", "PDCE", "PGT", "UCE", "GT", "GRD"):
+        series = figure.series(dataset, method)
+        assert mostly_monotone(series, increasing=True)
+        overall_slope = (series[-1] - series[0]) / (values[-1] - values[0])
+        assert 0.5 < overall_slope < 1.5, f"{method} slope {overall_slope:.2f}"
+
+    # Shape 2: PUCE >= PDCE (allow tiny sampling noise).
+    puce = figure.series(dataset, "PUCE")
+    pdce = figure.series(dataset, "PDCE")
+    assert sum(puce) >= sum(pdce) - 0.05 * len(puce)
+
+    # Shape 3: PGT > PUCE on the dense normal dataset.
+    if dataset == "normal":
+        pgt = figure.series(dataset, "PGT")
+        assert sum(pgt) > sum(puce)
+
+    # Shape 4: the relative deviation shrinks as task value grows.
+    for method in ("PUCE", "PDCE", "PGT"):
+        deviations = figure.deviation_series(dataset, method)
+        assert deviations[-1] < deviations[0], (
+            f"{method} U_RD should fall with task value on {dataset}: {deviations}"
+        )

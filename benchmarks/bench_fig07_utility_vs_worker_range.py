@@ -1,0 +1,49 @@
+"""Figures 7 / 8 / 20: average utility vs worker range.
+
+Paper claims: average utility falls as the service range grows; PGT decays
+slowest (it avoids ineffective competition) and overtakes PUCE/PDCE at
+large ranges on the synthetic datasets; PUCE/PDCE's relative deviations
+grow with the range.
+"""
+
+import pytest
+
+from benchmarks.conftest import mostly_monotone, run_group
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig07")
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig07_utility_vs_worker_range(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "PGT"))
+
+    # Shape 1: utility falls as the range grows (tolerate one noisy step).
+    for method in ("PUCE", "PDCE", "PGT", "UCE", "GT"):
+        series = figure.series(dataset, method)
+        assert mostly_monotone(series, increasing=False, slack=0.08), (
+            f"{method} on {dataset}: {series}"
+        )
+
+    # Shape 2: PGT decays more slowly than PUCE/PDCE: its drop from the
+    # smallest to the largest range is smaller.
+    pgt = figure.series(dataset, "PGT")
+    pdce = figure.series(dataset, "PDCE")
+    pgt_drop = pgt[0] - pgt[-1]
+    pdce_drop = pdce[0] - pdce[-1]
+    assert pgt_drop < pdce_drop + 0.05, (
+        f"PGT should decay slowest on {dataset}: {pgt_drop:.3f} vs {pdce_drop:.3f}"
+    )
+
+    # Shape 3: at the largest range on the synthetic sets, PGT is on top
+    # of the private methods (the paper's >= 1.4 crossover claim).
+    if dataset in ("normal", "uniform"):
+        puce = figure.series(dataset, "PUCE")
+        assert pgt[-1] >= max(puce[-1], pdce[-1]) - 0.05
+
+    # Shape 4: PUCE/PDCE relative deviations grow with the range.
+    for method in ("PUCE", "PDCE"):
+        deviations = figure.deviation_series(dataset, method)
+        assert deviations[-1] > deviations[0], f"{method} U_RD on {dataset}"

@@ -1,0 +1,40 @@
+"""Figures 9 / 10 / 21: average utility vs worker-task ratio.
+
+Paper claims: the ratio barely moves the average utility (more workers do
+not proportionally increase proposing workers), and PUCE stays above PDCE
+throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_group
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig09")
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig09_utility_vs_worker_ratio(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "PUCE"))
+
+    # Shape 1: flatness — the whole sweep stays within a modest band
+    # relative to its mean for every method.
+    for method in figure.spec.methods:
+        series = figure.series(dataset, method)
+        mean = sum(series) / len(series)
+        assert mean > 0
+        spread = (max(series) - min(series)) / mean
+        assert spread < 0.35, f"{method} on {dataset} varies {spread:.0%}: {series}"
+
+    # Shape 2: PUCE above PDCE on the sweep aggregate.
+    puce = sum(figure.series(dataset, "PUCE"))
+    pdce = sum(figure.series(dataset, "PDCE"))
+    assert puce >= pdce - 0.05 * len(figure.spec.values)
+
+    # Shape 3: private stays below non-private at every ratio.
+    for private, baseline in (("PUCE", "UCE"), ("PDCE", "DCE"), ("PGT", "GT")):
+        p = figure.series(dataset, private)
+        np_ = figure.series(dataset, baseline)
+        assert all(a < b for a, b in zip(p, np_)), f"{private} vs {baseline}"

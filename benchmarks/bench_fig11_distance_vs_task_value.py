@@ -1,0 +1,46 @@
+"""Figures 11 / 12 / 22: average travel distance vs task value.
+
+Paper claims: small task values suppress far matches (short distances);
+once the value exceeds ~3 the distance flattens; PDCE achieves the lowest
+distance among the private methods (its objective *is* distance).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_group
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig11")
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig11_distance_vs_task_value(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "PDCE"))
+
+    values = list(figure.spec.values)
+    flat_from = values.index(3.0)
+
+    # Shape 1: distance at the smallest value is the minimum of the curve
+    # (value 1.5 cuts off far pairs).
+    for method in ("PUCE", "PDCE", "UCE", "GT"):
+        series = figure.series(dataset, method)
+        assert series[0] <= min(series[flat_from:]) + 1e-9, f"{method}: {series}"
+
+    # Shape 2: flat beyond value 3 — the plateau varies within a band.
+    for method in ("PUCE", "PDCE", "PGT"):
+        plateau = figure.series(dataset, method)[flat_from:]
+        mean = sum(plateau) / len(plateau)
+        spread = (max(plateau) - min(plateau)) / mean
+        assert spread < 0.25, f"{method} plateau varies {spread:.0%} on {dataset}"
+
+    # Shape 3: PDCE's plateau distance does not exceed PUCE's by more than
+    # noise (its objective is distance).
+    puce = figure.series(dataset, "PUCE")[flat_from:]
+    pdce = figure.series(dataset, "PDCE")[flat_from:]
+    assert sum(pdce) <= sum(puce) + 0.03 * len(pdce), f"{pdce} vs {puce}"
+
+    # Shape 4: non-private distances sit below private ones on the plateau.
+    uce = figure.series(dataset, "UCE")[flat_from:]
+    assert sum(uce) < sum(puce)

@@ -1,0 +1,36 @@
+"""Figures 13 / 14 / 23: average travel distance vs worker range.
+
+Paper claims: distance grows with the service range (far proposals become
+possible); PDCE stays at or below PUCE ~= PGT among private methods.
+"""
+
+import pytest
+
+from benchmarks.conftest import mostly_monotone, run_group
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig13")
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig13_distance_vs_worker_range(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "PUCE"))
+
+    # Shape 1: distance increases with range for every method.
+    for method in figure.spec.methods:
+        series = figure.series(dataset, method)
+        assert mostly_monotone(series, increasing=True, slack=0.03), (
+            f"{method} on {dataset}: {series}"
+        )
+        assert series[-1] > series[0]
+
+    # Shape 2: PDCE at or below PUCE across the sweep aggregate.
+    puce = figure.series(dataset, "PUCE")
+    pdce = figure.series(dataset, "PDCE")
+    assert sum(pdce) <= sum(puce) + 0.05 * len(puce)
+
+    # Shape 3: non-private baselines below private counterparts.
+    uce = figure.series(dataset, "UCE")
+    assert sum(uce) < sum(puce)

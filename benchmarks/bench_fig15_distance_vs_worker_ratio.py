@@ -1,0 +1,48 @@
+"""Figures 15 / 16 / 24: average travel distance vs worker-task ratio.
+
+Paper claims: with more workers per task, competition drives the
+non-private average distance *down*; the private methods decline less
+(budget costs damp the competition); PDCE is the best private method once
+the ratio exceeds ~1.5.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_group
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_group("fig15")
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig15_distance_vs_worker_ratio(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "DCE"))
+
+    # Shape 1: the non-private distance declines from ratio 1 to ratio 3
+    # on the synthetic sets; on chengdu the paper's own Fig. 15a is nearly
+    # flat (0.70-0.72 km), so require near-flatness there instead.
+    for method in ("UCE", "DCE", "GT", "GRD"):
+        series = figure.series(dataset, method)
+        if dataset == "chengdu":
+            assert abs(series[-1] - series[0]) < 0.12, f"{method}: {series}"
+        else:
+            assert series[-1] < series[0] + 1e-9, f"{method} on {dataset}: {series}"
+
+    # Shape 2: private methods decline less than their counterparts
+    # (relative drop comparison).
+    for private, baseline in (("PUCE", "UCE"), ("PDCE", "DCE")):
+        p = figure.series(dataset, private)
+        np_ = figure.series(dataset, baseline)
+        private_drop = (p[0] - p[-1]) / p[0]
+        baseline_drop = (np_[0] - np_[-1]) / np_[0]
+        assert private_drop < baseline_drop + 0.05, (
+            f"{private} drop {private_drop:.2f} vs {baseline} {baseline_drop:.2f}"
+        )
+
+    # Shape 3: PDCE at or below PUCE at high ratios.
+    assert (
+        figure.series(dataset, "PDCE")[-1]
+        <= figure.series(dataset, "PUCE")[-1] + 0.05
+    )

@@ -1,0 +1,56 @@
+"""Figures 17 / 25: PPCF vs non-PPCF under varying privacy budgets.
+
+Paper claims: the PPCF-gated methods beat their nppcf ablations when the
+privacy budget is small (noisy comparisons make the real-distance gate
+valuable); the gap closes as the budget grows; and average utility falls
+as budgets grow (each proposal costs more).
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import bench_batches, bench_seed, bench_tasks, emit_table
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_figure
+
+
+@pytest.fixture(scope="module")
+def figure():
+    # The PPCF-vs-nppcf gap is a second-order effect (it only changes
+    # re-challenge decisions), so this group needs >= 2 batches and a
+    # denser batch than the other groups to rise above sampling noise —
+    # especially on the sparse chengdu workload.
+    result = run_figure(
+        "fig17",
+        num_tasks=max(250, bench_tasks()),
+        num_batches=max(2, bench_batches()),
+        seed=bench_seed(),
+    )
+    emit_table("fig17", format_figure(result))
+    return result
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
+def test_fig17_ppcf_vs_nppcf(benchmark, figure, dataset):
+    benchmark(lambda: figure.series(dataset, "PUCE"))
+
+    # Shape 1: utility falls as the budget interval climbs (costlier
+    # proposals), for both gated and ablated variants.
+    for method in ("PUCE", "PDCE", "PUCE-nppcf", "PDCE-nppcf"):
+        series = figure.series(dataset, method)
+        assert series[-1] < series[0], f"{method} on {dataset}: {series}"
+
+    # Shape 2: PPCF at or above its nppcf ablation over the sweep
+    # aggregate (the paper's "continuously more effective" claim; single
+    # points are noisy, the aggregate is stable across seeds).
+    for gated, ablated in (("PUCE", "PUCE-nppcf"), ("PDCE", "PDCE-nppcf")):
+        g = figure.series(dataset, gated)
+        a = figure.series(dataset, ablated)
+        assert sum(g) >= sum(a) - 0.03 * len(g), (
+            f"{gated} {sum(g):.3f} should beat {ablated} {sum(a):.3f} on {dataset}"
+        )
+
+    # Note: the paper additionally reports the PPCF/nppcf *gap* vanishing
+    # as budgets grow; in this reproduction the gap stays roughly constant
+    # (see EXPERIMENTS.md, fig17 notes), so no assertion is made on it.

@@ -1,0 +1,83 @@
+"""Cross-family comparison: distance releases (this paper) vs location
+releases (Geo-I, the To et al. related-work family).
+
+Not a paper figure — the paper argues for distance releases in prose
+(Sections I-II); this bench makes the argument measurable.  At matched
+nominal budgets, GEOI leaks once per worker but the server matches on
+decoy-biased distances; PUCE leaks repeatedly but the effective distances
+sharpen with spend.  The table reports matching quality (base utility —
+task value minus true travel, before privacy-cost accounting, since the
+two currencies differ) and realised travel across the epsilon range.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_seed, bench_tasks, emit_table
+from repro.core.geoi import GeoIndistinguishableSolver
+from repro.core.nonprivate import UCESolver
+from repro.core.puce import PUCESolver
+from repro.experiments.sweeps import make_generator
+
+EPSILONS = (0.5, 1.0, 2.0, 4.0)
+
+
+def base_utility(result):
+    """Mean task value minus true travel over matched pairs."""
+    pairs = result.matched_pairs()
+    if not pairs:
+        return 0.0
+    instance = result.instance
+    return sum(
+        instance.base_utility(p.task_index, p.worker_index) for p in pairs
+    ) / len(pairs)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    generator = make_generator("normal", bench_tasks(), 2 * bench_tasks(), bench_seed())
+    instance = generator.instance(task_value=4.5, worker_range=1.4)
+
+    rows = []
+    for eps in EPSILONS:
+        result = GeoIndistinguishableSolver(epsilon=eps).solve(instance, seed=5)
+        rows.append(
+            ("GEOI", eps, result.matched_count, base_utility(result), result.average_distance)
+        )
+    puce = PUCESolver().solve(instance, seed=5)
+    rows.append(("PUCE", None, puce.matched_count, base_utility(puce), puce.average_distance))
+    uce = UCESolver().solve(instance)
+    rows.append(("UCE", None, uce.matched_count, base_utility(uce), uce.average_distance))
+
+    lines = ["method  eps   matched  base_U  avg_km"]
+    for method, eps, matched, utility, distance in rows:
+        eps_text = f"{eps:4.1f}" if eps is not None else "  - "
+        lines.append(f"{method:6s}  {eps_text}  {matched:7d}  {utility:6.3f}  {distance:6.3f}")
+    emit_table("geoi_comparison", "\n".join(lines))
+    return rows
+
+
+def test_geoi_vs_distance_releases(benchmark, comparison):
+    generator = make_generator("normal", bench_tasks(), 2 * bench_tasks(), bench_seed())
+    instance = generator.instance()
+    benchmark.pedantic(
+        lambda: GeoIndistinguishableSolver(epsilon=1.0).solve(instance, seed=5),
+        rounds=3,
+        iterations=1,
+    )
+
+    geoi = {eps: (matched, utility) for m, eps, matched, utility, _ in comparison if m == "GEOI"}
+    puce_utility = next(u for m, e, c, u, d in comparison if m == "PUCE")
+    uce_utility = next(u for m, e, c, u, d in comparison if m == "UCE")
+
+    # Matching quality improves with geo-I epsilon (less decoy error).
+    assert geoi[4.0][1] > geoi[0.5][1]
+
+    # At strict location privacy (eps = 0.5/km: expected decoy error 4 km
+    # against a 1.4 km service radius), the one-shot location release
+    # matches far worse than the paper's dynamic distance releases.
+    assert geoi[0.5][1] < puce_utility
+
+    # Nothing private beats the non-private ceiling.
+    assert puce_utility <= uce_utility + 1e-9
+    for eps in EPSILONS:
+        assert geoi[eps][1] <= uce_utility + 1e-9

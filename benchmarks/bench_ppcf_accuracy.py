@@ -1,0 +1,50 @@
+"""Theorem V.1 empirically: PPCF's decision accuracy dominates PCF's.
+
+Not a paper figure, but the paper's claim "PPCF is better than PCF both
+theoretically and practically" underlies the Figure 17 ablation; this
+bench measures the decision accuracies by Monte-Carlo over the Table X
+budget range and times the comparison primitives themselves.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.core.compare import pcf, pcf_correctness, ppcf, ppcf_correctness
+from repro.privacy.laplace import sample_laplace
+
+
+@pytest.fixture(scope="module")
+def accuracy_table():
+    rng = np.random.default_rng(0)
+    trials = 20_000
+    rows = []
+    for eps in (0.6, 0.9, 1.1, 1.4, 1.6):
+        for gap in (0.2, 0.5, 1.0):
+            d_x, d_y = 1.0, 1.0 + gap
+            x_hat = d_x + sample_laplace(rng, eps, size=trials)
+            y_hat = d_y + sample_laplace(rng, eps, size=trials)
+            pcf_acc = float(np.mean(x_hat < y_hat))
+            ppcf_acc = float(np.mean(d_x < y_hat))
+            rows.append(
+                (eps, gap, pcf_acc, ppcf_acc, pcf_correctness(gap, eps, eps), ppcf_correctness(gap, eps))
+            )
+    lines = ["eps   gap   PCF(mc)  PPCF(mc)  PCF(exact)  PPCF(exact)"]
+    for eps, gap, pa, ppa, pe, ppe in rows:
+        lines.append(f"{eps:4.2f}  {gap:4.2f}  {pa:7.4f}  {ppa:8.4f}  {pe:10.4f}  {ppe:11.4f}")
+    emit_table("ppcf_accuracy", "\n".join(lines))
+    return rows
+
+
+def test_ppcf_dominates_pcf_monte_carlo(benchmark, accuracy_table):
+    benchmark(lambda: ppcf(1.0, 1.5, 1.1))
+    for eps, gap, pcf_acc, ppcf_acc, pcf_exact, ppcf_exact in accuracy_table:
+        # Empirical dominance (Theorem V.1), with Monte-Carlo tolerance.
+        assert ppcf_acc >= pcf_acc - 0.01, (eps, gap)
+        # Monte-Carlo agrees with the closed forms.
+        assert abs(pcf_acc - pcf_exact) < 0.015
+        assert abs(ppcf_acc - ppcf_exact) < 0.015
+
+
+def test_pcf_evaluation_speed(benchmark):
+    benchmark(lambda: pcf(1.0, 1.5, 0.8, 1.2))

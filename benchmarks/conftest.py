@@ -1,0 +1,92 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every ``bench_figXX`` module:
+
+1. regenerates its paper figure group via a module-scoped fixture (scale
+   controlled by ``REPRO_BENCH_TASKS`` / ``REPRO_BENCH_BATCHES``; the
+   paper's exact batch size is ``REPRO_BENCH_TASKS=1000``),
+2. asserts the figure's qualitative shape (who wins, trend directions),
+3. benchmarks a representative solve with ``pytest-benchmark``.
+
+Measured series are written to ``benchmarks/results/*.txt`` and echoed in
+the terminal summary, so ``pytest benchmarks/ --benchmark-only`` leaves a
+full paper-vs-measured record behind.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tables written by this run, echoed in the terminal summary.
+_emitted: list[tuple[str, str]] = []
+
+
+def bench_tasks() -> int:
+    """Tasks per batch (paper: 1000; default here: 150 for speed)."""
+    return int(os.environ.get("REPRO_BENCH_TASKS", "150"))
+
+
+def bench_batches() -> int:
+    """Batches per sweep point."""
+    return int(os.environ.get("REPRO_BENCH_BATCHES", "1"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def emit_table(name: str, text: str) -> None:
+    """Persist one measured table and queue it for the summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    _emitted.append((name, text))
+
+
+def run_group(figure_id: str, datasets: tuple[str, ...] | None = None):
+    """Regenerate one figure group at bench scale and persist its tables."""
+    from repro.experiments.figures import run_figure
+    from repro.experiments.report import format_figure
+
+    result = run_figure(
+        figure_id,
+        num_tasks=bench_tasks(),
+        num_batches=bench_batches(),
+        seed=bench_seed(),
+        datasets=datasets,
+    )
+    emit_table(figure_id, format_figure(result))
+    return result
+
+
+def trend(series: list[float]) -> float:
+    """Signed overall slope proxy: last minus first."""
+    return series[-1] - series[0]
+
+
+def mostly_monotone(series: list[float], increasing: bool, slack: float = 0.0) -> bool:
+    """Whether the series trends in one direction, tolerating ``slack``
+    per-step violations (sampling noise at bench scale)."""
+    steps = list(zip(series, series[1:]))
+    if increasing:
+        ok = sum(1 for a, b in steps if b >= a - slack)
+    else:
+        ok = sum(1 for a, b in steps if b <= a + slack)
+    return ok >= len(steps) - 1  # allow one noisy step
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    if not _emitted:
+        return
+    terminalreporter.section("paper figure reproductions (also in benchmarks/results/)")
+    for name, text in _emitted:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {name} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,65 @@
+"""How much location do the distance releases actually leak?
+
+The paper's conclusion warns that a worker who publishes obfuscated
+distances to many known task locations can be localised by trilateration.
+This example runs the attack against PUCE and PGT outcomes on the same
+batch, contrasts their leak surfaces, and shows the planar-Laplace
+(geo-indistinguishability) alternative the related work uses for
+location-level protection.
+
+Run:  python examples/location_privacy_attack.py
+"""
+
+import statistics
+
+import numpy as np
+
+from repro import NormalGenerator, PGTSolver, PUCESolver, PlanarLaplaceMechanism
+from repro.privacy.attack import attack_assignment
+
+
+def main() -> None:
+    instance = NormalGenerator(200, 400, seed=19).instance(
+        task_value=4.5, worker_range=1.4
+    )
+    print(f"batch: {instance.num_tasks} tasks, {instance.num_workers} workers, "
+          f"{instance.mean_tasks_per_worker():.1f} tasks per service circle\n")
+
+    print("attacking the release boards (>= 3 leaked pairs per worker):")
+    header = f"{'method':6s} {'releases':>9s} {'attackable':>11s} {'median err':>11s} {'inside r_j':>11s}"
+    print(header)
+    print("-" * len(header))
+    for solver in (PUCESolver(), PGTSolver()):
+        result = solver.solve(instance, seed=4)
+        records = attack_assignment(result, min_anchors=3)
+        errors = [r.error for r in records]
+        inside = sum(r.localised_within_radius for r in records)
+        median = f"{statistics.median(errors):8.2f} km" if errors else "       n/a"
+        print(
+            f"{solver.name:6s} {result.publishes:9d} {len(records):11d} "
+            f"{median:>11s} {inside:11d}"
+        )
+
+    print(
+        "\nreading: PUCE's propose-everywhere protocol hands the attacker a\n"
+        "rich anchor set; PGT's targeted moves barely expose one.  This is\n"
+        "the residual risk the paper defers to future work.\n"
+    )
+
+    # The related-work alternative: perturb the *location* once with
+    # planar Laplace instead of releasing many distances.
+    rng = np.random.default_rng(0)
+    mechanism = PlanarLaplaceMechanism(epsilon=1.0)
+    worker = instance.workers[0]
+    decoy = mechanism.perturb(worker.location, rng)
+    print("geo-indistinguishability (related work) on one worker:")
+    print(f"  true location  : ({worker.location.x:7.2f}, {worker.location.y:7.2f})")
+    print(f"  released decoy : ({decoy.x:7.2f}, {decoy.y:7.2f})")
+    print(f"  expected error : {mechanism.expected_error():.2f} km, "
+          f"90% within {mechanism.error_quantile(0.9):.2f} km")
+    print("\na location release leaks once; distance releases accumulate —")
+    print("the trade this paper's dynamic-budget scheme navigates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Compare every Table IX method across the three evaluation datasets.
+
+Runs PUCE, PDCE, PGT, their non-private counterparts, GRD, and the exact
+OPT reference on one batch of each dataset and prints the Section VII-C
+measures side by side — a miniature of the paper's whole evaluation.
+
+Run:  python examples/method_comparison.py [num_tasks]
+"""
+
+import sys
+
+from repro import available_methods, make_solver
+from repro.experiments.sweeps import make_generator
+
+METHODS = ("PUCE", "PDCE", "PGT", "UCE", "DCE", "GT", "GRD", "OPT")
+DATASETS = ("chengdu", "normal", "uniform")
+
+
+def main(num_tasks: int = 200) -> None:
+    assert all(m in available_methods() for m in METHODS)
+    for dataset in DATASETS:
+        generator = make_generator(dataset, num_tasks, 2 * num_tasks, seed=17)
+        instance = generator.instance(task_value=4.5, worker_range=1.4)
+        print(
+            f"\n=== {dataset}: {instance.num_tasks} tasks, "
+            f"{instance.num_workers} workers, "
+            f"{instance.mean_tasks_per_worker():.1f} tasks/service-circle ==="
+        )
+        header = (
+            f"{'method':7s} {'matched':>8s} {'U_avg':>7s} {'D_avg':>7s} "
+            f"{'rounds':>7s} {'releases':>9s} {'ms':>7s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name in METHODS:
+            result = make_solver(name).solve(instance, seed=23)
+            print(
+                f"{name:7s} {result.matched_count:8d} "
+                f"{result.average_utility:7.3f} {result.average_distance:7.3f} "
+                f"{result.rounds:7d} {result.publishes:9d} "
+                f"{result.elapsed_seconds * 1000:7.1f}"
+            )
+
+    print(
+        "\nreading guide: PUCE edges out PDCE on utility; PGT posts the "
+        "best private utility\non dense data with far fewer releases; OPT "
+        "is the non-private exact ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

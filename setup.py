@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so the package can
+be installed in environments without the ``wheel`` package (offline CI),
+where PEP 660 editable installs are unavailable:
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

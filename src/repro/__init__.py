@@ -1,0 +1,138 @@
+"""repro — Dynamic Private Task Assignment under Differential Privacy.
+
+A from-scratch reproduction of Du et al., ICDE 2023 (arXiv:2302.09511):
+spatial-crowdsourcing task assignment where workers publish only
+Laplace-obfuscated distances and *dynamically* trade extra privacy budget
+for better assignments.
+
+Quickstart::
+
+    from repro import NormalGenerator, PUCESolver
+
+    gen = NormalGenerator(num_tasks=200, num_workers=400, seed=7)
+    inst = gen.instance(task_value=4.5, worker_range=1.4)
+    result = PUCESolver().solve(inst, seed=11)
+    print(result.average_utility, result.matched_count)
+
+Packages:
+
+* :mod:`repro.core`       -- PPCF/PCF, effective distances, budgets,
+  CEA, PUCE, PGT, PDCE and the Table IX baselines,
+* :mod:`repro.privacy`    -- Laplace mechanism, LDP accounting, geo-I,
+* :mod:`repro.spatial`    -- geometry and range queries,
+* :mod:`repro.matching`   -- Hungarian / greedy matching,
+* :mod:`repro.game`       -- potential games, best response, PoA/PoS,
+* :mod:`repro.datasets`   -- workloads: uniform, normal, Chengdu-like,
+* :mod:`repro.simulation` -- instances, untrusted server, batch runner,
+* :mod:`repro.experiments`-- the per-figure reproduction harness.
+"""
+
+from repro.core import (
+    NON_PRIVATE_COUNTERPART,
+    AssignmentResult,
+    BudgetSampler,
+    BudgetVector,
+    DCESolver,
+    GreedySolver,
+    GTSolver,
+    LinearValue,
+    OptimalSolver,
+    PDCESolver,
+    PGTSolver,
+    PUCESolver,
+    UCESolver,
+    UtilityModel,
+    available_methods,
+    make_solver,
+    pcf,
+    ppcf,
+)
+from repro.datasets import (
+    Batch,
+    ChengduLikeGenerator,
+    NormalGenerator,
+    Task,
+    UniformGenerator,
+    Worker,
+    WorkerGroupCycle,
+    split_batches,
+)
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    ConvergenceError,
+    DatasetError,
+    InvalidInstanceError,
+    MatchingError,
+    ReproError,
+)
+from repro.datasets import load_tasks, load_workers, save_tasks, save_workers
+from repro.matching import Matching
+from repro.privacy import (
+    PlanarLaplaceMechanism,
+    PrivacyLedger,
+    TrilaterationAttack,
+    attack_assignment,
+)
+from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
+from repro.spatial import Point
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # workload
+    "Task",
+    "Worker",
+    "Batch",
+    "split_batches",
+    "WorkerGroupCycle",
+    "Point",
+    "UniformGenerator",
+    "NormalGenerator",
+    "ChengduLikeGenerator",
+    # problem + platform
+    "ProblemInstance",
+    "Server",
+    "Matching",
+    "UtilityModel",
+    "LinearValue",
+    "BudgetVector",
+    "BudgetSampler",
+    # methods
+    "PUCESolver",
+    "PDCESolver",
+    "PGTSolver",
+    "UCESolver",
+    "DCESolver",
+    "GTSolver",
+    "GreedySolver",
+    "OptimalSolver",
+    "make_solver",
+    "available_methods",
+    "NON_PRIVATE_COUNTERPART",
+    # primitives
+    "pcf",
+    "ppcf",
+    "PrivacyLedger",
+    "PlanarLaplaceMechanism",
+    "TrilaterationAttack",
+    "attack_assignment",
+    # workload persistence
+    "save_tasks",
+    "load_tasks",
+    "save_workers",
+    "load_workers",
+    # running experiments
+    "BatchRunner",
+    "RunReport",
+    "AssignmentResult",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "InvalidInstanceError",
+    "BudgetExhaustedError",
+    "MatchingError",
+    "ConvergenceError",
+    "DatasetError",
+]

@@ -1,0 +1,156 @@
+"""Worker-local state: true distances, budget consumption, tentative draws.
+
+The division of knowledge follows the threat model: a
+:class:`WorkerAgent` holds the worker's *private* inputs (his true
+distances and unspent budget vector) and performs the only operations that
+touch them — evaluating a tentative proposal and, if the worker decides to
+go ahead, publishing it to the :class:`~repro.simulation.server.Server`.
+
+Tentative noise draws are **memoized per (task, budget-index)** (DESIGN.md
+§3.4): a worker who evaluates a proposal, declines, and re-evaluates it
+later sees the same would-be release.  This keeps PGT's utilities fixed
+between publishes — the property its potential-game convergence argument
+needs — and reproduces the deterministic effective-pair timeline of the
+paper's Table VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.budgets import PairBudget
+from repro.core.effective import EffectivePair
+from repro.privacy.laplace import sample_laplace
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.server import Server
+
+__all__ = ["TentativeProposal", "WorkerAgent", "build_agents"]
+
+
+@dataclass(frozen=True, slots=True)
+class TentativeProposal:
+    """What a worker's next proposal to one task would publish."""
+
+    task_index: int
+    epsilon: float
+    obfuscated_distance: float
+    effective: EffectivePair
+    budget_index: int
+
+
+class WorkerAgent:
+    """The worker-side of the protocol for one worker."""
+
+    __slots__ = (
+        "index",
+        "worker",
+        "tasks_in_range",
+        "_instance",
+        "_rng",
+        "_pair_budgets",
+        "_draws",
+        "_tentative_cache",
+        "spent",
+    )
+
+    def __init__(self, index: int, instance: ProblemInstance, rng: np.random.Generator):
+        self.index = index
+        self.worker = instance.workers[index]
+        self.tasks_in_range = instance.reachable[index]
+        self._instance = instance
+        self._rng = rng
+        self._pair_budgets = {
+            i: PairBudget(instance.budget_vector(i, index)) for i in self.tasks_in_range
+        }
+        self._draws: dict[tuple[int, int], float] = {}
+        # Only this agent publishes toward his own pairs, so the tentative
+        # proposal for a task stays valid until he publishes it (which
+        # advances the budget index); memoising it by task makes repeated
+        # best-response scans a single dict hit.
+        self._tentative_cache: dict[int, TentativeProposal] = {}
+        self.spent = 0.0  # total published budget across all tasks
+
+    def true_distance(self, task_index: int) -> float:
+        """The worker's private distance to a task in his range."""
+        return self._instance.distance(task_index, self.index)
+
+    def preload_draw(self, task_index: int, budget_index: int, value: float) -> None:
+        """Pin the obfuscated distance a future proposal will release.
+
+        Test/replay support: the paper's worked examples (Tables IV-VIII)
+        fix the released values; preloading them lets the solvers replay
+        those traces deterministically.
+        """
+        self._draws[(task_index, budget_index)] = float(value)
+        self._tentative_cache.pop(task_index, None)
+
+    def pair_budget(self, task_index: int) -> PairBudget:
+        return self._pair_budgets[task_index]
+
+    def can_propose(self, task_index: int) -> bool:
+        """Whether unspent budget remains for the pair."""
+        return not self._pair_budgets[task_index].exhausted
+
+    def peek_proposal(self, task_index: int, server: Server) -> TentativeProposal:
+        """Evaluate (without publishing) the worker's next proposal.
+
+        The obfuscated distance is drawn once per budget index and cached;
+        the effective pair is what the release board would show after the
+        publish.
+
+        Raises
+        ------
+        BudgetExhaustedError
+            If the pair's budget vector is fully spent.
+        """
+        cached = self._tentative_cache.get(task_index)
+        if cached is not None:
+            return cached
+        budget = self._pair_budgets[task_index]
+        epsilon = budget.peek()
+        u = budget.next_index
+        key = (task_index, u)
+        if key not in self._draws:
+            noise = float(sample_laplace(self._rng, epsilon))
+            self._draws[key] = self.true_distance(task_index) + noise
+        obfuscated = self._draws[key]
+        effective = server.release_set(task_index, self.index).effective_pair_with(
+            obfuscated, epsilon
+        )
+        proposal = TentativeProposal(task_index, epsilon, obfuscated, effective, u)
+        self._tentative_cache[task_index] = proposal
+        return proposal
+
+    def try_peek(self, task_index: int, server: Server) -> TentativeProposal | None:
+        """:meth:`peek_proposal`, or ``None`` when the budget is exhausted.
+
+        The hot path of the best-response loops: a cached evaluation is a
+        single dictionary hit.
+        """
+        cached = self._tentative_cache.get(task_index)
+        if cached is not None:
+            return cached
+        if self._pair_budgets[task_index].exhausted:
+            return None
+        return self.peek_proposal(task_index, server)
+
+    def publish(self, proposal: TentativeProposal, server: Server) -> None:
+        """Commit a previously peeked proposal: spend the budget, go public."""
+        budget = self._pair_budgets[proposal.task_index]
+        if budget.next_index != proposal.budget_index:
+            raise RuntimeError(
+                f"stale proposal: budget index {proposal.budget_index} already spent"
+            )
+        budget.consume()
+        self._tentative_cache.pop(proposal.task_index, None)
+        server.publish(
+            proposal.task_index, self.index, proposal.obfuscated_distance, proposal.epsilon
+        )
+        self.spent += proposal.epsilon
+
+
+def build_agents(instance: ProblemInstance, rng: np.random.Generator) -> list[WorkerAgent]:
+    """One agent per worker, sharing a single noise stream."""
+    return [WorkerAgent(j, instance, rng) for j in range(instance.num_workers)]

@@ -1,0 +1,136 @@
+"""Privacy budget vectors ``eps_ij`` and their consumption state ``b_ij``.
+
+Definition 5 equips every feasible worker-task pair with a budget vector
+``eps_ij = <eps^(1), ..., eps^(Z)>``; the u-th proposal of the worker to
+that task spends ``eps^(u)`` and flips ``b^(u)`` from 0 to 1.  Budgets are
+spent strictly in order, matching the monotone timelines of Table IV.
+
+:class:`BudgetSampler` realises Table X's experimental setting: ``Z``
+("privacy budget group size", default 7) i.i.d. draws from a configured
+interval, sorted ascending so later proposals spend more budget for more
+accuracy — the shape of the worked examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+__all__ = ["BudgetVector", "PairBudget", "BudgetSampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetVector:
+    """The immutable budget vector ``eps_ij`` of one pair."""
+
+    epsilons: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.epsilons:
+            raise ConfigurationError("a budget vector must have at least one element")
+        if any(not e > 0 for e in self.epsilons):
+            raise ConfigurationError(f"budgets must all be positive, got {self.epsilons}")
+
+    def __len__(self) -> int:
+        return len(self.epsilons)
+
+    def __getitem__(self, u: int) -> float:
+        return self.epsilons[u]
+
+    @property
+    def total(self) -> float:
+        """The maximum leakable budget of the pair, ``sum_u eps^(u)``."""
+        return sum(self.epsilons)
+
+
+@dataclass
+class PairBudget:
+    """Consumption state of one pair: the vector plus the used prefix."""
+
+    vector: BudgetVector
+    used: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.used <= len(self.vector):
+            raise ConfigurationError(
+                f"used count {self.used} out of range for Z={len(self.vector)}"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether all ``Z`` proposals have been published."""
+        return self.used >= len(self.vector)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.vector) - self.used
+
+    @property
+    def next_index(self) -> int:
+        """The 0-based index ``u`` the next proposal would consume."""
+        return self.used
+
+    def peek(self) -> float:
+        """The budget the next proposal would spend.
+
+        Raises
+        ------
+        BudgetExhaustedError
+            If all budget elements have been used.
+        """
+        if self.exhausted:
+            raise BudgetExhaustedError(
+                f"all {len(self.vector)} budget elements already spent"
+            )
+        return self.vector[self.used]
+
+    def consume(self) -> float:
+        """Spend the next budget element and return it."""
+        epsilon = self.peek()
+        self.used += 1
+        return epsilon
+
+    @property
+    def spent(self) -> float:
+        """Total published budget of this pair, ``b_ij . eps_ij``."""
+        return sum(self.vector.epsilons[: self.used])
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetSampler:
+    """Draws per-pair budget vectors per Table X.
+
+    Parameters
+    ----------
+    low, high:
+        The privacy-budget interval (default [0.5, 1.75], the paper's bold
+        default).
+    group_size:
+        ``Z``, the number of proposals available per pair (default 7).
+    sort_ascending:
+        Sort each vector ascending (default), matching the worked examples
+        where successive proposals spend increasing budgets.
+    """
+
+    low: float = 0.5
+    high: float = 1.75
+    group_size: int = 7
+    sort_ascending: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ConfigurationError(
+                f"need 0 < low <= high, got [{self.low}, {self.high}]"
+            )
+        if self.group_size < 1:
+            raise ConfigurationError(f"group_size must be >= 1, got {self.group_size}")
+
+    def sample(self, rng: np.random.Generator) -> BudgetVector:
+        """Draw one budget vector."""
+        draws = rng.uniform(self.low, self.high, size=self.group_size)
+        if self.sort_ascending:
+            draws = np.sort(draws)
+        return BudgetVector(tuple(float(x) for x in draws))

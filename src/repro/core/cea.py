@@ -1,0 +1,216 @@
+"""Conflict Elimination Algorithm (Section IV) and its round primitive.
+
+When several tasks all prefer the same worker there is a *winner conflict*.
+CEA resolves it with the paper's approximation: since a worker's first-rank
+distances to his conflicting tasks are assumed close
+(``D(a_cu,1) ~ D(a_cv,1)``), choosing where the conflict worker goes
+reduces to comparing the conflicting tasks' *runner-up* alternatives — the
+conflict worker keeps the task whose runner-up is worst (largest distance
+key), because every other task can fall back more cheaply.
+
+Two interfaces are exposed:
+
+* :func:`conflict_eliminate` — the full one-shot CEA of Wang et al.:
+  losing tasks fall through to their next-ranked candidate, iterating until
+  everything resolvable is assigned.  This is the Table II reproduction and
+  a general library primitive.
+* :func:`resolve_top_conflicts` — the single-round form used inside the
+  PUCE/PDCE engines (Algorithm 2): only the conflict worker is placed;
+  losing tasks are *not* given their runner-up (they fall back to their
+  previous winner and the runner-ups re-propose next round), exactly as in
+  the paper's Example 2 (see DESIGN.md §3.5).
+
+Keys are "smaller is better" (distances, or the Eq. 4 comparison keys that
+encode utilities); in the private setting key comparisons coincide with
+PCF decisions by Lemma X.1, so the same code serves both modes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["Candidate", "rank_candidates", "conflict_eliminate", "resolve_top_conflicts"]
+
+TaskKey = Hashable
+WorkerKey = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One candidate worker for a task, with its comparison key."""
+
+    worker: WorkerKey
+    key: float
+
+
+def rank_candidates(
+    distances: Mapping[tuple[TaskKey, WorkerKey], float],
+) -> dict[TaskKey, list[Candidate]]:
+    """Build the distance rank matrix of Section IV.
+
+    ``distances`` maps feasible ``(task, worker)`` pairs to their
+    (possibly obfuscated-effective) distances; the result lists each task's
+    candidates ascending by distance — row ``i`` of the matrix ``A``.
+    """
+    per_task: dict[TaskKey, list[Candidate]] = {}
+    for (task, worker), distance in distances.items():
+        per_task.setdefault(task, []).append(Candidate(worker, float(distance)))
+    for task, row in per_task.items():
+        row.sort(key=lambda c: (c.key, _order_token(c.worker)))
+    return per_task
+
+
+def _order_token(value: Hashable) -> tuple[str, str]:
+    """A total order over heterogeneous ids for deterministic tie-breaks."""
+    return (type(value).__name__, repr(value))
+
+
+def conflict_eliminate(
+    preferences: Mapping[TaskKey, Sequence[Candidate]],
+) -> dict[TaskKey, WorkerKey]:
+    """Full one-shot CEA over per-task ascending candidate lists.
+
+    Iterates: every unassigned task points at its best still-free
+    candidate; any worker pointed at by several tasks keeps the task whose
+    runner-up alternative is worst; everyone else falls through to their
+    next candidate.  Tasks that exhaust their list stay unassigned.
+    """
+    remaining: dict[TaskKey, list[Candidate]] = {
+        task: list(row) for task, row in preferences.items() if row
+    }
+    assignment: dict[TaskKey, WorkerKey] = {}
+    taken: set[WorkerKey] = set()
+
+    while remaining:
+        picks: dict[TaskKey, Candidate] = {}
+        for task in list(remaining):
+            row = remaining[task]
+            while row and row[0].worker in taken:
+                row.pop(0)
+            if not row:
+                del remaining[task]
+                continue
+            picks[task] = row[0]
+        if not picks:
+            break
+
+        by_worker: dict[WorkerKey, list[TaskKey]] = {}
+        for task, pick in picks.items():
+            by_worker.setdefault(pick.worker, []).append(task)
+
+        conflicts = {w: ts for w, ts in by_worker.items() if len(ts) > 1}
+        if not conflicts:
+            for task, pick in picks.items():
+                assignment[task] = pick.worker
+                taken.add(pick.worker)
+                del remaining[task]
+            continue
+
+        for worker, tasks in conflicts.items():
+            keeper = _keeper_task(tasks, remaining, taken)
+            assignment[keeper] = worker
+            taken.add(worker)
+            del remaining[keeper]
+        # Non-conflicted picks are re-derived next iteration: a just-taken
+        # conflict worker may have been another task's pick.
+
+    return assignment
+
+
+def _runner_up_key(
+    task: TaskKey,
+    rows: Mapping[TaskKey, Sequence[Candidate]],
+    taken: set[WorkerKey],
+) -> float:
+    """Key of the task's next available candidate; +inf when there is none.
+
+    A task with no fallback is the most expensive to take the worker away
+    from, so +inf makes the conflict worker keep it.
+    """
+    row = rows[task]
+    for candidate in row[1:]:
+        if candidate.worker not in taken:
+            return candidate.key
+    return math.inf
+
+
+def _keeper_task(
+    tasks: Sequence[TaskKey],
+    rows: Mapping[TaskKey, Sequence[Candidate]],
+    taken: set[WorkerKey],
+) -> TaskKey:
+    """The conflicting task the worker keeps: worst (max) runner-up key.
+
+    Runner-up ties (notably: several tasks with *no* fallback at all) are
+    broken toward the task where the conflict worker's own key is best —
+    the exact Eq. 1 comparison without the first-rank approximation — and
+    finally toward the smallest task id for determinism.
+    """
+    return max(
+        tasks,
+        key=lambda t: (
+            _runner_up_key(t, rows, taken),
+            -rows[t][0].key,
+            _neg_order(t),
+        ),
+    )
+
+
+def _neg_order(task: TaskKey):
+    """Inverse order token so max() breaks ties toward the smallest task."""
+
+    class _Reversed:
+        __slots__ = ("token",)
+
+        def __init__(self, token):
+            self.token = token
+
+        def __lt__(self, other):
+            return self.token > other.token
+
+        def __gt__(self, other):
+            return self.token < other.token
+
+        def __eq__(self, other):
+            return self.token == other.token
+
+    return _Reversed(_order_token(task))
+
+
+def resolve_top_conflicts(
+    competing: Mapping[TaskKey, Sequence[Candidate]],
+) -> dict[TaskKey, Candidate]:
+    """Single-round resolution used by Algorithm 2.
+
+    Each task in ``competing`` wants its first (best-key) entry.  A worker
+    topping several tasks keeps the one whose runner-up entry is worst
+    (max key; no runner-up counts as +inf); the other tasks get **no
+    decision** this round — the engine leaves them with their previous
+    winner and their candidates re-propose later.
+
+    Returns the tasks whose top entry prevailed, mapped to that entry.
+    """
+    tops: dict[WorkerKey, list[TaskKey]] = {}
+    for task, entries in competing.items():
+        if not entries:
+            continue
+        tops.setdefault(entries[0].worker, []).append(task)
+
+    decisions: dict[TaskKey, Candidate] = {}
+    for worker, tasks in tops.items():
+        if len(tasks) == 1:
+            task = tasks[0]
+            decisions[task] = competing[task][0]
+            continue
+        keeper = max(
+            tasks,
+            key=lambda t: (
+                competing[t][1].key if len(competing[t]) > 1 else math.inf,
+                -competing[t][0].key,
+                _neg_order(t),
+            ),
+        )
+        decisions[keeper] = competing[keeper][0]
+    return decisions

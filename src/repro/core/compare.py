@@ -1,0 +1,98 @@
+"""Probability compare functions: PCF (Definition 6) and PPCF (Section V-A).
+
+Both answer "is the (hidden) distance ``d_a`` smaller than ``d_b``?" from
+Laplace-obfuscated observations:
+
+* **PCF** (Wang et al., the baseline primitive) sees two obfuscated values
+  ``da_hat = d_a + Lap(eps_a)`` and ``db_hat = d_b + Lap(eps_b)`` and
+  returns ``Pr[d_a < d_b]`` — the survival function of the Laplace
+  difference at ``da_hat - db_hat``.
+* **PPCF** (this paper's contribution) exploits that the *comparing worker
+  knows his own true distance*: it sees the exact ``d_a`` and only ``d_b``
+  obfuscated, returning ``Pr[d_a < d_b] = Pr[eta_b < db_hat - d_a]`` — the
+  Laplace CDF at ``db_hat - d_a``.
+
+Theorem V.1 states PPCF's decision (threshold 1/2) is correct at least as
+often as PCF's; :func:`ppcf_correctness`/:func:`pcf_correctness` expose the
+closed-form correctness probabilities used to verify that dominance in the
+test-suite and the accuracy benchmark.
+
+Half-point equivalences (Lemma X.1 and Eq. 3)::
+
+    pcf(a, b, ea, eb) > 1/2   <=>  a < b        (obfuscated values)
+    ppcf(d, b, eb)     > 1/2  <=>  d < b        (real vs obfuscated)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.privacy.laplace import LaplaceDifference, laplace_cdf
+
+__all__ = [
+    "pcf",
+    "ppcf",
+    "pcf_prefers_first",
+    "ppcf_prefers_first",
+    "pcf_correctness",
+    "ppcf_correctness",
+]
+
+
+def pcf(da_hat: float, db_hat: float, eps_a: float, eps_b: float) -> float:
+    """``Pr[d_a < d_b]`` from two obfuscated distances (Definition 6).
+
+    Parameters
+    ----------
+    da_hat, db_hat:
+        The published obfuscated distances.
+    eps_a, eps_b:
+        The privacy budgets (Laplace rates) used to obfuscate them.
+    """
+    return LaplaceDifference(eps_a, eps_b).sf(da_hat - db_hat)
+
+
+def ppcf(d_a: float, db_hat: float, eps_b: float) -> float:
+    """``Pr[d_a < d_b]`` from a *real* ``d_a`` and an obfuscated ``db_hat``.
+
+    This is the Partial Probability Compare Function (Eq. 3):
+    ``PPCF = F_Lap(db_hat - d_a; eps_b)``.
+    """
+    return laplace_cdf(db_hat - d_a, eps_b)
+
+
+def pcf_prefers_first(da_hat: float, db_hat: float, eps_a: float, eps_b: float) -> bool:
+    """Decision form of PCF: ``PCF > 1/2``.
+
+    By Lemma X.1 this is equivalent to ``da_hat < db_hat``; the library
+    still evaluates the probability so callers can log and audit margins.
+    """
+    return pcf(da_hat, db_hat, eps_a, eps_b) > 0.5
+
+
+def ppcf_prefers_first(d_a: float, db_hat: float, eps_b: float) -> bool:
+    """Decision form of PPCF: ``PPCF > 1/2`` (equivalent to ``d_a < db_hat``)."""
+    return ppcf(d_a, db_hat, eps_b) > 0.5
+
+
+def pcf_correctness(gap: float, eps_x: float, eps_y: float) -> float:
+    """``Pr[PCF decides correctly]`` for true distances ``d_y - d_x = gap > 0``.
+
+    This is ``Pr[dx_hat < dy_hat] = Pr[eta_x - eta_y < gap]``, the CDF of
+    the Laplace difference at ``gap`` — the function ``F(s)`` in the proof
+    of Theorem V.1.
+    """
+    if gap <= 0:
+        raise ValueError(f"gap must be positive (d_x < d_y), got {gap}")
+    return LaplaceDifference(eps_x, eps_y).cdf(gap)
+
+
+def ppcf_correctness(gap: float, eps_y: float) -> float:
+    """``Pr[PPCF decides correctly]`` for ``d_y - d_x = gap > 0``.
+
+    This is ``Pr[d_x < dy_hat] = Pr[eta_y > -gap]``, the function ``G(s)``
+    in the proof of Theorem V.1: ``1 - exp(-eps_y * gap) / 2``.
+    """
+    if gap <= 0:
+        raise ValueError(f"gap must be positive (d_x < d_y), got {gap}")
+    return 1.0 - 0.5 * math.exp(-eps_y * gap)

@@ -1,0 +1,139 @@
+"""Effective obfuscated distance and effective privacy budget (Section V-A).
+
+When a worker proposes to a task several times he publishes a *release set*
+``DE = {(d_hat_1, eps_1), ..., (d_hat_u, eps_u)}``.  The server (and rival
+workers) summarise it into a single comparable value: the maximum-
+likelihood estimate of the true distance under independent Laplace noise,
+
+    d_check = argmin_d  sum_k eps_k * |d_hat_k - d|,
+
+i.e. a *weighted median* of the released values.  Because the minimiser can
+be a whole segment, the paper restricts the domain to the released values
+themselves; the chosen release's budget becomes the *effective privacy
+budget* so the pair keeps supporting PCF comparisons.
+
+Tie-breaking (under-specified in the paper, see DESIGN.md §3.2): among
+releases attaining the minimum we prefer the largest budget (the most
+accurate release), then the most recent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Release", "EffectivePair", "ReleaseSet", "effective_pair_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class Release:
+    """One published (obfuscated distance, privacy budget) pair."""
+
+    value: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if not self.epsilon > 0:
+            raise ValueError(f"release budget must be positive, got {self.epsilon}")
+
+
+@dataclass(frozen=True, slots=True)
+class EffectivePair:
+    """The effective obfuscated distance and its effective budget."""
+
+    distance: float
+    epsilon: float
+
+
+def effective_pair_of(releases: Iterable[Release]) -> EffectivePair:
+    """Weighted-median MLE over ``releases`` restricted to released values.
+
+    Raises
+    ------
+    ValueError
+        If ``releases`` is empty (an unproposed pair has no effective
+        distance).
+    """
+    items = list(releases)
+    if not items:
+        raise ValueError("effective pair of an empty release set is undefined")
+    best_idx = -1
+    best_obj = float("inf")
+    for idx, candidate in enumerate(items):
+        objective = sum(r.epsilon * abs(r.value - candidate.value) for r in items)
+        if _improves(objective, idx, best_obj, best_idx, items):
+            best_obj = objective
+            best_idx = idx
+    chosen = items[best_idx]
+    return EffectivePair(chosen.value, chosen.epsilon)
+
+
+def _improves(
+    objective: float,
+    idx: int,
+    best_obj: float,
+    best_idx: int,
+    items: list[Release],
+) -> bool:
+    """Tie-break: lower objective, then larger budget, then more recent."""
+    if best_idx < 0 or objective < best_obj - 1e-12:
+        return True
+    if objective > best_obj + 1e-12:
+        return False
+    current_best = items[best_idx]
+    candidate = items[idx]
+    if candidate.epsilon != current_best.epsilon:
+        return candidate.epsilon > current_best.epsilon
+    return idx > best_idx
+
+
+class ReleaseSet:
+    """Mutable, append-only release set for one worker-task pair.
+
+    The effective pair is memoised and invalidated on append, since solvers
+    query it many times between publishes.
+    """
+
+    __slots__ = ("_releases", "_cached")
+
+    def __init__(self, releases: Iterable[Release] = ()):
+        self._releases: list[Release] = list(releases)
+        self._cached: EffectivePair | None = None
+
+    def add(self, value: float, epsilon: float) -> Release:
+        """Append a new published release and return it."""
+        release = Release(float(value), float(epsilon))
+        self._releases.append(release)
+        self._cached = None
+        return release
+
+    def __len__(self) -> int:
+        return len(self._releases)
+
+    def __bool__(self) -> bool:
+        return bool(self._releases)
+
+    def __iter__(self) -> Iterator[Release]:
+        return iter(self._releases)
+
+    @property
+    def releases(self) -> tuple[Release, ...]:
+        return tuple(self._releases)
+
+    def effective_pair(self) -> EffectivePair:
+        """The effective (distance, budget) of the published releases."""
+        if self._cached is None:
+            self._cached = effective_pair_of(self._releases)
+        return self._cached
+
+    def effective_pair_with(self, value: float, epsilon: float) -> EffectivePair:
+        """The effective pair *if* ``(value, epsilon)`` were also published.
+
+        Used by workers to evaluate a tentative proposal without leaking
+        (nothing is added to the set).
+        """
+        return effective_pair_of([*self._releases, Release(float(value), float(epsilon))])
+
+    def total_spend(self) -> float:
+        """Total published budget of this pair (``b_ij . eps_ij``)."""
+        return sum(r.epsilon for r in self._releases)

@@ -1,0 +1,375 @@
+"""The round-based conflict-elimination engine (Algorithms 1-3).
+
+PUCE, PDCE and their non-private counterparts UCE/DCE share one batch
+protocol; only the *objective* (utility vs distance), the *privacy mode*
+(obfuscated releases vs exact values) and the PPCF ablation flag differ.
+:class:`ConflictEliminationSolver` implements the protocol once, driven by
+an :class:`EliminationPolicy`:
+
+Round structure (Algorithm 3):
+
+1. **WorkerProposal** (Algorithm 1): every not-winning worker scans the
+   tasks in his service area.  For each he checks, in order: remaining
+   budget (private), positive utility (utility objective), and — when the
+   task has a winner — that he beats that winner: a PPCF gate on his *real*
+   distance and a PCF gate on his would-be new effective distance, both
+   against the winner's Eq.-4-adjusted effective distance.  Passing all
+   gates he *publishes* a fresh (obfuscated distance, budget) release and
+   becomes a candidate.
+2. **WinnerChosen** (Algorithm 2): per task, candidates plus the incumbent
+   winner are sorted by comparison key (ascending key = descending
+   utility / ascending distance); top-choice conflicts are resolved by the
+   single-round CEA rule; only conflict-surviving top entries take tasks,
+   losing tasks keep their previous winner, displaced winners rejoin the
+   not-winning pool.
+3. Halt when a round produces no proposal.
+
+Fidelity notes (see DESIGN.md §3): utilities are evaluated against the
+worker's round-start spend plus the tentative budget (matching Table IV);
+candidates' comparison keys are frozen at proposal time; CEA losers are
+not auto-assigned (Example 2).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.core.agents import WorkerAgent, build_agents
+from repro.core.cea import Candidate, resolve_top_conflicts
+from repro.core.compare import pcf, ppcf
+from repro.core.result import AssignmentResult
+from repro.core.transform import adjusted_rival_distance, comparison_key, public_value
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.server import Server
+from repro.utils.rng import ensure_rng
+
+__all__ = ["EliminationPolicy", "ConflictEliminationSolver", "RoundRecord"]
+
+Objective = Literal["utility", "distance"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundRecord:
+    """Observability snapshot of one protocol round."""
+
+    round_index: int
+    proposals: int
+    new_winners: tuple[int, ...]
+    displaced: tuple[int, ...]
+    assigned_tasks: int
+
+
+@dataclass(frozen=True, slots=True)
+class EliminationPolicy:
+    """What flavour of conflict elimination to run.
+
+    Parameters
+    ----------
+    name:
+        Reported method name (``PUCE``, ``PDCE``, ``UCE``, ``DCE``, ...).
+    objective:
+        ``"utility"`` maximises Eq. 2 utilities (PUCE/UCE); ``"distance"``
+        minimises travel distance, ignoring task value and privacy cost in
+        its decisions (PDCE/DCE).
+    private:
+        Whether distances are published through the Laplace mechanism.
+    use_ppcf:
+        Private mode only: keep the real-distance PPCF gate of Algorithm 1
+        line 12.  ``False`` gives the ``-nppcf`` ablations of Table IX.
+    """
+
+    name: str
+    objective: Objective
+    private: bool
+    use_ppcf: bool = True
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("utility", "distance"):
+            raise ConfigurationError(f"unknown objective {self.objective!r}")
+        if not self.private and not self.use_ppcf:
+            raise ConfigurationError("use_ppcf only applies to private policies")
+
+
+class ConflictEliminationSolver:
+    """Round-based solver parameterised by an :class:`EliminationPolicy`."""
+
+    def __init__(self, policy: EliminationPolicy, max_rounds: int = 100_000):
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.policy = policy
+        self.max_rounds = max_rounds
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    @property
+    def is_private(self) -> bool:
+        return self.policy.private
+
+    def solve(
+        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+    ) -> AssignmentResult:
+        """Run the batch protocol to quiescence on ``instance``."""
+        result, _ = self.solve_with_trace(instance, seed)
+        return result
+
+    def solve_with_trace(
+        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+    ) -> tuple[AssignmentResult, list[RoundRecord]]:
+        """As :meth:`solve`, also returning a per-round observability trace."""
+        started = time.perf_counter()
+        rng = ensure_rng(seed)
+        server = Server(instance)
+        agents = self._build_agents(instance, rng) if self.policy.private else None
+        not_winning = set(range(instance.num_workers))
+        trace: list[RoundRecord] = []
+
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise ConvergenceError(
+                    f"{self.name} exceeded max_rounds={self.max_rounds} "
+                    f"on a {instance.num_tasks}x{instance.num_workers} instance"
+                )
+            candidates = self._worker_proposal(instance, server, agents, not_winning)
+            if not candidates:
+                trace.append(RoundRecord(rounds, 0, (), (), _assigned(server)))
+                break
+            new_winners, new_losers = self._winner_chosen(instance, server, candidates)
+            not_winning -= new_winners
+            not_winning |= new_losers
+            trace.append(
+                RoundRecord(
+                    rounds,
+                    sum(len(entries) for entries in candidates.values()),
+                    tuple(sorted(new_winners)),
+                    tuple(sorted(new_losers)),
+                    _assigned(server),
+                )
+            )
+            if not self.policy.private and not new_winners and not new_losers:
+                # Non-private rounds are deterministic functions of
+                # (pool, allocation): an unchanged round is a fixed point
+                # and would repeat forever.  (Private rounds always make
+                # progress — every proposal consumes budget.)
+                break
+
+        result = AssignmentResult(
+            method=self.name,
+            instance=instance,
+            matching=server.matching(),
+            ledger=server.ledger,
+            rounds=rounds,
+            publishes=server.publish_count,
+            elapsed_seconds=time.perf_counter() - started,
+            release_board=server.board(),
+        )
+        return result, trace
+
+    def _build_agents(
+        self, instance: ProblemInstance, rng: np.random.Generator
+    ) -> list[WorkerAgent]:
+        """Agent construction hook (overridden by replay/trace tests)."""
+        return build_agents(instance, rng)
+
+    # -- Algorithm 1: WorkerProposal ----------------------------------------
+
+    def _worker_proposal(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        agents: list[WorkerAgent] | None,
+        not_winning: set[int],
+    ) -> dict[int, list[Candidate]]:
+        """One proposal sweep; publishes private releases as a side effect."""
+        proposals: dict[int, list[Candidate]] = {}
+        for j in sorted(not_winning):
+            agent = agents[j] if agents is not None else None
+            for i in instance.reachable[j]:
+                candidate = self._evaluate_pair(instance, server, agent, i, j)
+                if candidate is not None:
+                    proposals.setdefault(i, []).append(candidate)
+        return proposals
+
+    def _evaluate_pair(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        agent: WorkerAgent | None,
+        i: int,
+        j: int,
+    ) -> Candidate | None:
+        """Gates of Algorithm 1 for one (task, worker) pair.
+
+        The utility privacy cost is the *pair's* cumulative published
+        budget plus the tentative new element (the paper's Eq. 2 semantics
+        as pinned by the Table IV worked values; DESIGN.md §3.1).
+        """
+        model = instance.model
+        task = instance.tasks[i]
+        d_real = instance.distance(i, j)
+        private = agent is not None
+
+        if private:
+            if not agent.can_propose(i):
+                return None
+            tentative = agent.peek_proposal(i, server)
+            pair_spend = agent.pair_budget(i).spent + tentative.epsilon
+        else:
+            tentative = None
+            pair_spend = 0.0
+
+        if self.policy.objective == "utility":
+            utility = model.utility(task.value, d_real, pair_spend)
+            if utility <= 0.0:
+                return None
+            own_value = public_value(task.value, pair_spend, model)
+        else:
+            own_value = 0.0  # distance objective: keys are raw distances
+
+        winner = server.winner(i)
+        if winner is not None:
+            if private:
+                if not self._beats_winner_private(
+                    instance, server, i, winner, d_real, tentative, own_value
+                ):
+                    return None
+            else:
+                # Gate on the *same* key computation the competing table
+                # sorts by: gating on raw distances while sorting on
+                # shifted keys can disagree after floating-point
+                # absorption, livelocking the round loop.
+                challenger_key = (
+                    comparison_key(d_real, task.value, model)
+                    if self.policy.objective == "utility"
+                    else d_real
+                )
+                if not challenger_key < self._incumbent_entry(
+                    instance, server, i, winner
+                ).key:
+                    return None
+
+        if private:
+            agent.publish(tentative, server)
+            effective = server.release_set(i, j).effective_pair()
+            key = (
+                comparison_key(effective.distance, own_value, model)
+                if self.policy.objective == "utility"
+                else effective.distance
+            )
+        else:
+            key = (
+                comparison_key(d_real, task.value, model)
+                if self.policy.objective == "utility"
+                else d_real
+            )
+        return Candidate(worker=j, key=key)
+
+    def _beats_winner_private(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        i: int,
+        winner: int,
+        d_real: float,
+        tentative,
+        own_value: float,
+    ) -> bool:
+        """Lines 9-15 of Algorithm 1: PPCF then PCF against the winner."""
+        model = instance.model
+        win_pair = server.effective_pair(i, winner)
+        if self.policy.objective == "utility":
+            winner_value = public_value(
+                instance.tasks[i].value,
+                server.release_set(i, winner).total_spend(),
+                model,
+            )
+            rival = adjusted_rival_distance(
+                win_pair.distance, own_value, winner_value, model
+            )
+        else:
+            rival = win_pair.distance
+        if self.policy.use_ppcf and ppcf(d_real, rival, win_pair.epsilon) <= 0.5:
+            return False
+        if (
+            pcf(
+                tentative.effective.distance,
+                rival,
+                tentative.effective.epsilon,
+                win_pair.epsilon,
+            )
+            <= 0.5
+        ):
+            return False
+        return True
+
+    # -- Algorithm 2: WinnerChosen ------------------------------------------
+
+    def _winner_chosen(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        candidates: dict[int, list[Candidate]],
+    ) -> tuple[set[int], set[int]]:
+        """Assign round winners; returns (new winners, displaced losers)."""
+        competing: dict[int, list[Candidate]] = {}
+        for i, entries in candidates.items():
+            table = list(entries)
+            incumbent = server.winner(i)
+            if incumbent is not None:
+                table.append(self._incumbent_entry(instance, server, i, incumbent))
+            table.sort(key=lambda c: (c.key, c.worker))
+            competing[i] = table
+
+        decisions = resolve_top_conflicts(competing)
+
+        new_winners: set[int] = set()
+        new_losers: set[int] = set()
+        for i, entry in decisions.items():
+            if entry.worker == server.winner(i):
+                continue  # incumbent held the top: nothing changes
+            displaced = server.assign(i, entry.worker)
+            new_winners.add(entry.worker)
+            if displaced is not None:
+                new_losers.add(displaced)
+        # A displaced worker that immediately won elsewhere is not a loser.
+        new_losers -= new_winners
+        return new_winners, new_losers
+
+    def _incumbent_entry(
+        self, instance: ProblemInstance, server: Server, i: int, winner: int
+    ) -> Candidate:
+        """The current winner's row in the competing table."""
+        model = instance.model
+        if self.policy.private:
+            pair = server.effective_pair(i, winner)
+            if self.policy.objective == "utility":
+                value = public_value(
+                    instance.tasks[i].value,
+                    server.release_set(i, winner).total_spend(),
+                    model,
+                )
+                key = comparison_key(pair.distance, value, model)
+            else:
+                key = pair.distance
+        else:
+            d_real = instance.distance(i, winner)
+            key = (
+                comparison_key(d_real, instance.tasks[i].value, model)
+                if self.policy.objective == "utility"
+                else d_real
+            )
+        return Candidate(worker=winner, key=key)
+
+
+def _assigned(server: Server) -> int:
+    """Number of tasks currently holding a winner."""
+    return sum(1 for winner in server.allocation() if winner is not None)

@@ -1,0 +1,57 @@
+"""OPT: the offline optimal assignment (Hungarian on true utilities).
+
+Section V notes a trusted platform could solve PA-TA exactly with the
+Kuhn-Munkres algorithm; privately that is impractical (summed obfuscated
+comparisons), which motivates PUCE/PGT.  We keep the exact solver as the
+upper-bound reference used by the EPoS/EPoA analyses (Theorem VI.3) and as
+a test oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.result import AssignmentResult
+from repro.matching.bipartite import Matching
+from repro.matching.hungarian import max_weight_matching
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.instance import ProblemInstance
+
+__all__ = ["OptimalSolver"]
+
+
+class OptimalSolver:
+    """Maximum-total-utility matching over the feasible pairs.
+
+    Only pairs with positive utility ``v_i - f_d(d_ij)`` are eligible; a
+    worker or task may stay unmatched (the paper's objective never forms
+    unprofitable pairs).
+    """
+
+    name = "OPT"
+    is_private = False
+
+    def solve(
+        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+    ) -> AssignmentResult:
+        started = time.perf_counter()
+        m, n = instance.num_tasks, instance.num_workers
+        weights = np.full((m, n), -math.inf)
+        for i, j in instance.feasible_pairs():
+            weights[i, j] = instance.base_utility(i, j)
+        index_match = max_weight_matching(weights) if m and n else {}
+        pairs = {
+            instance.tasks[i].id: instance.workers[j].id for i, j in index_match.items()
+        }
+        return AssignmentResult(
+            method=self.name,
+            instance=instance,
+            matching=Matching(pairs),
+            ledger=PrivacyLedger(),
+            rounds=1,
+            publishes=0,
+            elapsed_seconds=time.perf_counter() - started,
+        )

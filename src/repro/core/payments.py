@@ -1,0 +1,110 @@
+"""Vickrey payment determination (Wang et al.'s mechanism; future work §VIII).
+
+The paper's objective folds the task value straight into worker utility
+and defers payments to future work ("our subsequent work will extract the
+payment from the task value").  Wang et al. [3] — the source of the PDCE
+baseline — pair their winner selection with a *Vickrey Payment
+Determination Mechanism*: the platform runs a reverse auction per task,
+workers' costs are their travel-distance values, and the winner is paid
+the cost of the **second-best** candidate (capped by the task value as the
+reserve price).
+
+Classic second-price properties, which the test-suite verifies:
+
+* **truthfulness** — reporting the true distance is a dominant strategy:
+  the payment does not depend on the winner's own report;
+* **individual rationality** — the winner's payment covers his true cost
+  whenever he truly is the best candidate;
+* **profitability** — the platform never pays above the task value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import AssignmentResult
+from repro.errors import ConfigurationError
+from repro.simulation.instance import ProblemInstance
+
+__all__ = ["Payment", "vickrey_payment", "payments_for_result"]
+
+
+@dataclass(frozen=True, slots=True)
+class Payment:
+    """The payment awarded to one matched worker."""
+
+    task_id: int
+    worker_id: int
+    amount: float
+    winner_cost: float
+
+    @property
+    def worker_profit(self) -> float:
+        """Payment minus the winner's true travel cost."""
+        return self.amount - self.winner_cost
+
+
+def vickrey_payment(
+    winner_cost: float, rival_costs: list[float], reserve: float
+) -> float:
+    """Second-price payment for one task's reverse auction.
+
+    Parameters
+    ----------
+    winner_cost:
+        The winner's true cost ``f_d(d)`` (unused by design — that is the
+        point of Vickrey payments — but validated against the reserve).
+    rival_costs:
+        The other candidates' costs.  The payment is the smallest of them
+        (the price at which the winner would stop being chosen), capped by
+        ``reserve``.
+    reserve:
+        The platform's reserve price — the task value ``v_i``; with no
+        rival the winner is paid the full reserve.
+
+    Raises
+    ------
+    ConfigurationError
+        If the reserve is not positive (the task would never be posted).
+    """
+    if not reserve > 0:
+        raise ConfigurationError(f"reserve must be positive, got {reserve}")
+    if not rival_costs:
+        return reserve
+    return min(min(rival_costs), reserve)
+
+
+def payments_for_result(result: AssignmentResult) -> list[Payment]:
+    """Vickrey payments for every matched pair of a finished assignment.
+
+    For each matched task the rival set is the task's other *feasible*
+    candidates (its true competition).  Payments are computed from true
+    distances — this is the platform-side settlement step that runs after
+    assignment, when winners reveal themselves to collect.
+    """
+    instance = result.instance
+    model = instance.model
+    worker_index_of = {w.id: j for j, w in enumerate(instance.workers)}
+    task_index_of = {t.id: i for i, t in enumerate(instance.tasks)}
+
+    payments = []
+    for task_id, worker_id in sorted(result.matching, key=lambda p: str(p[0])):
+        i = task_index_of[task_id]
+        j = worker_index_of[worker_id]
+        task = instance.tasks[i]
+        winner_cost = model.f_d(instance.distance(i, j))
+        rival_costs = [
+            model.f_d(instance.distance(i, k))
+            for k in instance.candidates[i]
+            if k != j
+        ]
+        amount = vickrey_payment(winner_cost, rival_costs, reserve=task.value)
+        payments.append(
+            Payment(
+                task_id=task_id,
+                worker_id=worker_id,
+                amount=amount,
+                winner_cost=winner_cost,
+            )
+        )
+    return payments

@@ -1,0 +1,206 @@
+"""PGT — the Private Game-Theoretic approach (Section VI, Algorithm 4).
+
+PAA-TA is the PA-TA objective with real distances replaced by effective
+obfuscated distances; Section VI shows it is an exact potential game whose
+potential is the total matching utility, so round-robin best response
+converges to a pure Nash equilibrium (Theorems VI.1-VI.2).
+
+Each best-response evaluation of worker ``w_j`` moving to task ``t_i``
+scores the move by Eq. 5, assembled from the three utility-change cases
+(derivation pinned against Example 3, see DESIGN.md §3.6)::
+
+    UT  = -f_d(d_new_eff) - f_p(eps_new)            # Winning change, minus
+        + f_d(d_winner_eff)   if t_i has a winner   # Defeated change of the
+          (else + v_i)                              #   displaced winner
+        - v_cur + f_d(d_cur_eff)  if w_j holds t_cur  # Abandoned change
+
+A move is taken only when ``UT > 0``; the accepted move *publishes* the
+fresh (obfuscated distance, budget) release (the paper's Table VIII "red"
+entries), while declined evaluations publish nothing and spend nothing
+("green" entries).
+
+:class:`GTSolver` is the non-private ablation (Table IX): real distances,
+no privacy cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.agents import WorkerAgent, build_agents
+from repro.core.result import AssignmentResult
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.server import Server
+from repro.utils.rng import ensure_rng
+
+__all__ = ["PGTSolver", "GTSolver", "BestResponseStats"]
+
+
+class BestResponseStats:
+    """Trace of one best-response run (used by the convergence analyses)."""
+
+    __slots__ = ("passes", "moves", "move_gains")
+
+    def __init__(self) -> None:
+        self.passes = 0
+        self.moves = 0
+        self.move_gains: list[float] = []
+
+
+class _BestResponseSolver:
+    """Shared round-robin best-response loop for PGT (private) and GT."""
+
+    def __init__(self, name: str, private: bool, max_passes: int = 100_000):
+        if max_passes < 1:
+            raise ConfigurationError(f"max_passes must be >= 1, got {max_passes}")
+        self.name = name
+        self.is_private = private
+        self.max_passes = max_passes
+
+    def solve(
+        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+    ) -> AssignmentResult:
+        """Run best-response dynamics to a pure Nash equilibrium."""
+        result, _ = self.solve_with_stats(instance, seed)
+        return result
+
+    def solve_with_stats(
+        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+    ) -> tuple[AssignmentResult, BestResponseStats]:
+        """As :meth:`solve`, also returning the move trace."""
+        started = time.perf_counter()
+        rng = ensure_rng(seed)
+        server = Server(instance)
+        agents = self._build_agents(instance, rng) if self.is_private else None
+        stats = BestResponseStats()
+        self.run_loop(instance, server, agents, stats)
+
+        result = AssignmentResult(
+            method=self.name,
+            instance=instance,
+            matching=server.matching(),
+            ledger=server.ledger,
+            rounds=stats.passes,
+            publishes=server.publish_count,
+            elapsed_seconds=time.perf_counter() - started,
+            release_board=server.board(),
+        )
+        return result, stats
+
+    def _build_agents(
+        self, instance: ProblemInstance, rng: np.random.Generator
+    ) -> list[WorkerAgent]:
+        """Agent construction hook (overridden by replay/trace tests)."""
+        return build_agents(instance, rng)
+
+    def run_loop(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        agents: list[WorkerAgent] | None,
+        stats: BestResponseStats,
+    ) -> None:
+        """Round-robin best response from the server's *current* state.
+
+        Public so analyses can resume the dynamics from a prepared state —
+        e.g. the paper's Example 3 starts at competition ``k`` with first
+        releases already published and an initial allocation in place.
+        """
+        while True:
+            stats.passes += 1
+            if stats.passes > self.max_passes:
+                raise ConvergenceError(
+                    f"{self.name} exceeded max_passes={self.max_passes}"
+                )
+            moved = False
+            for j in range(instance.num_workers):
+                if self._best_response(instance, server, agents, j, stats):
+                    moved = True
+            if not moved:
+                break
+
+    # -- one worker's turn ---------------------------------------------------
+
+    def _best_response(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        agents: list[WorkerAgent] | None,
+        j: int,
+        stats: BestResponseStats,
+    ) -> bool:
+        """Evaluate worker ``j``'s best move; take it if UT > 0."""
+        model = instance.model
+        f_d = model.f_d
+        f_p = model.f_p
+        tasks = instance.tasks
+        winner_of = server.winner
+        agent = agents[j] if agents is not None else None
+        current = server.task_of(j)
+
+        abandon_term = 0.0
+        if current is not None:
+            own_distance = (
+                server.effective_pair(current, j).distance
+                if agent is not None
+                else instance.distance(current, j)
+            )
+            abandon_term = -tasks[current].value + f_d(own_distance)
+
+        best_ut = 0.0
+        best_task: int | None = None
+        best_tentative = None
+        for i in instance.reachable[j]:
+            if i == current:
+                continue
+            if agent is not None:
+                tentative = agent.try_peek(i, server)
+                if tentative is None:
+                    continue
+                ut = -f_d(tentative.effective.distance) - f_p(tentative.epsilon)
+            else:
+                tentative = None
+                ut = -f_d(instance.distance(i, j))
+
+            winner = winner_of(i)
+            if winner is not None:
+                winner_distance = (
+                    server.effective_pair(i, winner).distance
+                    if agent is not None
+                    else instance.distance(i, winner)
+                )
+                ut += f_d(winner_distance)
+            else:
+                ut += tasks[i].value
+
+            ut += abandon_term
+            if ut > best_ut:
+                best_ut = ut
+                best_task = i
+                best_tentative = tentative
+
+        if best_task is None:
+            return False
+        if agent is not None:
+            agent.publish(best_tentative, server)
+        server.assign(best_task, j)
+        stats.moves += 1
+        stats.move_gains.append(best_ut)
+        return True
+
+
+class PGTSolver(_BestResponseSolver):
+    """The paper's PGT: private best-response over effective distances."""
+
+    def __init__(self, max_passes: int = 100_000):
+        super().__init__(name="PGT", private=True, max_passes=max_passes)
+
+
+class GTSolver(_BestResponseSolver):
+    """GT: the non-private game-theoretic baseline (Table IX)."""
+
+    def __init__(self, max_passes: int = 100_000):
+        super().__init__(name="GT", private=False, max_passes=max_passes)

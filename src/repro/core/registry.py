@@ -1,0 +1,73 @@
+"""Method registry: names to solver factories, and baseline pairings.
+
+The experiment harness addresses methods by the paper's names (Table IX).
+``NON_PRIVATE_COUNTERPART`` pairs each private method with the baseline its
+relative deviations are computed against (Section VII-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.nonprivate import DCESolver, GreedySolver, UCESolver
+from repro.core.optimal import OptimalSolver
+from repro.core.pdce import PDCESolver
+from repro.core.pgt import GTSolver, PGTSolver
+from repro.core.puce import PUCESolver
+from repro.errors import ConfigurationError
+
+__all__ = ["Solver", "make_solver", "available_methods", "NON_PRIVATE_COUNTERPART"]
+
+
+class Solver(Protocol):
+    """The interface every method implements."""
+
+    name: str
+    is_private: bool
+
+    def solve(self, instance, seed=None): ...
+
+
+_FACTORIES: dict[str, Callable[[], Solver]] = {
+    "PUCE": lambda: PUCESolver(),
+    "PUCE-nppcf": lambda: PUCESolver(use_ppcf=False),
+    "PDCE": lambda: PDCESolver(),
+    "PDCE-nppcf": lambda: PDCESolver(use_ppcf=False),
+    "PGT": lambda: PGTSolver(),
+    "UCE": lambda: UCESolver(),
+    "DCE": lambda: DCESolver(),
+    "GT": lambda: GTSolver(),
+    "GRD": lambda: GreedySolver(),
+    "OPT": lambda: OptimalSolver(),
+}
+
+#: Private method -> the non-private baseline used for U_RD / D_RD.
+NON_PRIVATE_COUNTERPART: dict[str, str] = {
+    "PUCE": "UCE",
+    "PUCE-nppcf": "UCE",
+    "PDCE": "DCE",
+    "PDCE-nppcf": "DCE",
+    "PGT": "GT",
+}
+
+
+def make_solver(name: str) -> Solver:
+    """Instantiate a method by its Table IX name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names; the message lists the valid ones.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown method {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def available_methods() -> tuple[str, ...]:
+    """All registered method names, sorted."""
+    return tuple(sorted(_FACTORIES))

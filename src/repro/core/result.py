@@ -1,0 +1,118 @@
+"""Assignment results and the paper's evaluation measures.
+
+:class:`AssignmentResult` carries the matching, the privacy audit trail and
+run statistics, and evaluates the Section VII-C measures:
+
+* **average utility** ``U_AVG = sum_{(i,j) in M} U_j(i) / |M|`` where
+  ``U_j(i)`` uses the *true* distance and, for private methods, the
+  worker's realised privacy spend;
+* **average travel distance** ``D_AVG`` over matched pairs.
+
+The relative deviations (``U_RD``, ``D_RD``) compare a private result to
+its non-private counterpart and live in
+:mod:`repro.simulation.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.effective import ReleaseSet
+from repro.matching.bipartite import Matching
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.instance import ProblemInstance
+
+__all__ = ["MatchedPair", "AssignmentResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class MatchedPair:
+    """One matched (task, worker) pair with its evaluated measures."""
+
+    task_index: int
+    worker_index: int
+    task_id: int
+    worker_id: int
+    distance: float
+    utility: float
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of one solver run on one instance."""
+
+    method: str
+    instance: ProblemInstance
+    matching: Matching
+    ledger: PrivacyLedger
+    rounds: int = 0
+    publishes: int = 0
+    elapsed_seconds: float = 0.0
+    #: The world-readable release board at the end of the run:
+    #: ``{(task_id, worker_id): ReleaseSet}``.  Empty for non-private
+    #: methods.  This is *public* state under the paper's threat model —
+    #: it is what the trilateration attacker consumes.
+    release_board: dict[tuple[int, int], ReleaseSet] = field(default_factory=dict)
+    _pairs: tuple[MatchedPair, ...] | None = field(default=None, repr=False)
+
+    def matched_pairs(self) -> tuple[MatchedPair, ...]:
+        """Matched pairs with true distance and realised utility.
+
+        The utility of pair (i, j) is Eq. 2 with the pair's cumulative
+        *published* budget: ``v_i - f_d(d_ij) - f_p(spend_ij)`` (pair-level
+        spend semantics pinned by Table IV; DESIGN.md §3.1).  For
+        non-private methods the ledger is empty and the spend term is 0.
+        """
+        if self._pairs is None:
+            task_index_of = {t.id: idx for idx, t in enumerate(self.instance.tasks)}
+            worker_index_of = {w.id: idx for idx, w in enumerate(self.instance.workers)}
+            pairs = []
+            for task_id, worker_id in self.matching:
+                i = task_index_of[task_id]
+                j = worker_index_of[worker_id]
+                distance = self.instance.distance(i, j)
+                spend = self.ledger.pair_spend(worker_id, task_id).total
+                utility = self.instance.model.utility(
+                    self.instance.tasks[i].value, distance, spend
+                )
+                pairs.append(MatchedPair(i, j, task_id, worker_id, distance, utility))
+            self._pairs = tuple(sorted(pairs, key=lambda p: p.task_index))
+        return self._pairs
+
+    def __iter__(self) -> Iterator[MatchedPair]:
+        return iter(self.matched_pairs())
+
+    @property
+    def matched_count(self) -> int:
+        return len(self.matching)
+
+    @property
+    def total_utility(self) -> float:
+        return sum(p.utility for p in self.matched_pairs())
+
+    @property
+    def total_distance(self) -> float:
+        return sum(p.distance for p in self.matched_pairs())
+
+    @property
+    def average_utility(self) -> float:
+        """``U_AVG``; 0.0 for an empty matching (no pairs to average)."""
+        pairs = self.matched_pairs()
+        return sum(p.utility for p in pairs) / len(pairs) if pairs else 0.0
+
+    @property
+    def average_distance(self) -> float:
+        """``D_AVG``; 0.0 for an empty matching."""
+        pairs = self.matched_pairs()
+        return sum(p.distance for p in pairs) / len(pairs) if pairs else 0.0
+
+    @property
+    def total_privacy_spend(self) -> float:
+        """Total published budget across all workers (matched or not)."""
+        return self.ledger.total_spend()
+
+    def worker_ldp_bound(self, worker_id: int) -> float:
+        """The Theorem V.2 / VI.4 LDP level realised for one worker."""
+        worker = next(w for w in self.instance.workers if w.id == worker_id)
+        return self.ledger.worker_ldp_bound(worker_id, worker.radius)

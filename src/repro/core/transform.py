@@ -1,0 +1,63 @@
+"""The utility-to-distance comparison transform (Eq. 4, Section V-A).
+
+Comparing utilities directly would reveal real distances to the server, so
+the paper folds everything except distance into an additive shift:
+
+    V_a(x) = U_a(x) + f_d(d_x,a) = v_x - sum_t f_p(b_tj . eps_tj)
+
+(``V`` is public: task value minus the worker's published privacy spend).
+Then for workers ``a`` holding task ``x`` and ``b`` holding task ``y``::
+
+    Pr[U_a(x) > U_b(y)] = PCF(da_hat, db_hat', eps_a, eps_b)
+    with  db_hat' = db_hat + f_d^{-1}(V_a) - f_d^{-1}(V_b)        (Eq. 4)
+
+Equivalently — and how the engines use it — each candidate carries the
+*comparison key*  ``chi = d_hat - f_d^{-1}(V)``; smaller key means larger
+utility, and ``chi_a - chi_b = da_hat - db_hat'``, so key differences feed
+PCF/PPCF directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.utility import UtilityModel
+
+__all__ = ["public_value", "adjusted_rival_distance", "comparison_key"]
+
+
+def public_value(task_value: float, spent_budget: float, model: UtilityModel) -> float:
+    """``V = v - f_p(spent_budget)``: the utility with distance stripped out."""
+    return task_value - model.f_p(spent_budget)
+
+
+def adjusted_rival_distance(
+    rival_distance: float,
+    own_value: float,
+    rival_value: float,
+    model: UtilityModel,
+) -> float:
+    """Eq. 4: shift the rival's distance so distance order = utility order.
+
+    Parameters
+    ----------
+    rival_distance:
+        The rival's (effective) obfuscated distance ``db_hat``.
+    own_value, rival_value:
+        The public values ``V_a`` and ``V_b`` from :func:`public_value`.
+
+    Returns
+    -------
+    float
+        ``db_hat' = db_hat + f_d^{-1}(V_a) - f_d^{-1}(V_b)``.  Comparing the
+        caller's own distance against it (via PCF or PPCF) compares the
+        utilities.
+    """
+    return (
+        rival_distance
+        + model.distance_equivalent(own_value)
+        - model.distance_equivalent(rival_value)
+    )
+
+
+def comparison_key(distance: float, value: float, model: UtilityModel) -> float:
+    """``chi = d - f_d^{-1}(V)``: ascending key equals descending utility."""
+    return distance - model.distance_equivalent(value)

@@ -1,0 +1,108 @@
+"""Value functions ``f_d``/``f_p`` (Definitions 3-4) and utility (Eq. 2).
+
+``f_d`` maps travel distance to value cost; any monotone function with
+``f_d(0) = 0`` and an inverse qualifies (the inverse is needed by the
+Eq. 4 comparison transform).  ``f_p`` maps privacy budget to value cost and
+*must be additive* — the paper restricts it to linear functions, and the
+additivity is what lets a spend total stand in for per-proposal costs.
+
+The experiments use ``f_d(x) = alpha x`` and ``f_p(x) = beta x`` with
+``alpha = beta = 1``.  :class:`PowerValue` is provided for the paper's
+future-work direction (non-linear distance valuation) and the ablation
+benchmark built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ValueFunction", "LinearValue", "PowerValue", "UtilityModel"]
+
+
+@runtime_checkable
+class ValueFunction(Protocol):
+    """A monotone value function with ``f(0) = 0`` and a true inverse."""
+
+    def __call__(self, x: float) -> float: ...
+
+    def inverse(self, v: float) -> float: ...
+
+
+@dataclass(frozen=True, slots=True)
+class LinearValue:
+    """``f(x) = slope * x`` — the paper's experimental choice."""
+
+    slope: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.slope > 0:
+            raise ConfigurationError(f"slope must be positive, got {self.slope}")
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x
+
+    def inverse(self, v: float) -> float:
+        return v / self.slope
+
+
+@dataclass(frozen=True, slots=True)
+class PowerValue:
+    """``f(x) = scale * x^exponent`` on ``x >= 0``, odd-extended below zero.
+
+    The odd extension (``f(-x) = -f(x)``) keeps the function invertible on
+    all of R, which the Eq. 4 transform requires when effective obfuscated
+    distances go negative under heavy noise.
+    """
+
+    exponent: float = 2.0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.exponent > 0:
+            raise ConfigurationError(f"exponent must be positive, got {self.exponent}")
+        if not self.scale > 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+
+    def __call__(self, x: float) -> float:
+        if x < 0:
+            return -self.scale * (-x) ** self.exponent
+        return self.scale * x**self.exponent
+
+    def inverse(self, v: float) -> float:
+        if v < 0:
+            return -((-v / self.scale) ** (1.0 / self.exponent))
+        return (v / self.scale) ** (1.0 / self.exponent)
+
+
+@dataclass(frozen=True, slots=True)
+class UtilityModel:
+    """Bundles ``f_d`` and ``f_p`` and evaluates Eq. 2 utilities.
+
+    ``f_p`` must be linear (:class:`LinearValue`): Definition 4 demands
+    additivity, and the algorithms sum budgets before valuing them.
+    """
+
+    f_d: ValueFunction = LinearValue(1.0)
+    f_p: LinearValue = LinearValue(1.0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.f_p, LinearValue):
+            raise ConfigurationError(
+                "f_p must be a LinearValue: Definition 4 requires additivity "
+                f"(got {type(self.f_p).__name__})"
+            )
+
+    def utility(self, task_value: float, distance: float, spent_budget: float = 0.0) -> float:
+        """``U_j(i) = v_i - f_d(d_ij) - f_p(spent_budget)`` (Eq. 2).
+
+        ``spent_budget`` is the worker's total published budget
+        ``sum_t b_tj . eps_tj`` (zero for the non-private baselines).
+        """
+        return task_value - self.f_d(distance) - self.f_p(spent_budget)
+
+    def distance_equivalent(self, value: float) -> float:
+        """``f_d^{-1}(value)`` — the Eq. 4 change of scale."""
+        return self.f_d.inverse(value)

@@ -1,0 +1,29 @@
+"""Workload model and generators (Section VII-A).
+
+* :mod:`repro.datasets.workload`  -- tasks, workers, batches, group cycling,
+* :mod:`repro.datasets.synthetic` -- the paper's uniform and normal
+  populations at density-preserving scale,
+* :mod:`repro.datasets.chengdu`   -- the simulated Didi Chengdu workload
+  standing in for the proprietary trace (see DESIGN.md §2).
+"""
+
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.io import load_tasks, load_workers, save_tasks, save_workers
+from repro.datasets.synthetic import NormalGenerator, SyntheticGenerator, UniformGenerator
+from repro.datasets.workload import Batch, Task, Worker, WorkerGroupCycle, split_batches
+
+__all__ = [
+    "Task",
+    "Worker",
+    "Batch",
+    "split_batches",
+    "WorkerGroupCycle",
+    "SyntheticGenerator",
+    "UniformGenerator",
+    "NormalGenerator",
+    "ChengduLikeGenerator",
+    "save_tasks",
+    "load_tasks",
+    "save_workers",
+    "load_workers",
+]

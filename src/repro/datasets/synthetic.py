@@ -1,0 +1,176 @@
+"""Synthetic workload generators (Section VII-A).
+
+The paper generates 2-D uniform and 2-D normal populations (300k tasks,
+900k workers) and processes them in batches of at most 1000 tasks.  The
+generators here produce *one batch at a time* at paper-faithful spatial
+density: when you ask for fewer (or more) tasks than the paper's 1000 per
+batch, all spatial scales shrink (or grow) by ``sqrt(num_tasks / 1000)``
+so that the number of tasks inside a worker's service circle — the
+statistic that drives every figure — is preserved.
+
+* :class:`UniformGenerator` — uniform over a square frame (paper: 100x100
+  for 1000-task batches).
+* :class:`NormalGenerator` — isotropic Gaussian (paper: mean 0, variance
+  150), giving the dense core where workers see many tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.budgets import BudgetSampler
+from repro.core.utility import UtilityModel
+from repro.errors import DatasetError
+from repro.datasets.workload import Task, Worker
+from repro.spatial.geometry import Point
+from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
+    from repro.simulation.instance import ProblemInstance
+
+__all__ = ["SyntheticGenerator", "UniformGenerator", "NormalGenerator"]
+
+#: The paper's batch size; spatial scales are calibrated against it.
+PAPER_BATCH_TASKS = 1000
+
+
+class SyntheticGenerator(ABC):
+    """Base class: location sampling + instance assembly.
+
+    Parameters
+    ----------
+    num_tasks, num_workers:
+        Batch population.  The paper's default worker-task ratio is 2.
+    seed:
+        Base seed; every :meth:`instance` call with the same ``batch``
+        index reproduces the same batch.
+    """
+
+    def __init__(self, num_tasks: int, num_workers: int, seed: int | None = 0):
+        if num_tasks < 1:
+            raise DatasetError(f"num_tasks must be >= 1, got {num_tasks}")
+        if num_workers < 1:
+            raise DatasetError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_tasks = num_tasks
+        self.num_workers = num_workers
+        self.seed = seed
+
+    @property
+    def density_scale(self) -> float:
+        """Spatial scale factor preserving paper task density."""
+        return math.sqrt(self.num_tasks / PAPER_BATCH_TASKS)
+
+    @abstractmethod
+    def _sample_task_points(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``(count, 2)`` task locations."""
+
+    def _sample_worker_points(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``(count, 2)`` worker locations; defaults to the task law."""
+        return self._sample_task_points(rng, count)
+
+    # -- assembly ---------------------------------------------------------
+
+    def tasks(
+        self,
+        task_value: float,
+        rng: np.random.Generator,
+        value_jitter: float = 0.0,
+    ) -> list[Task]:
+        """One batch of tasks with (optionally jittered) constant value."""
+        if task_value <= 0:
+            raise DatasetError(f"task_value must be positive, got {task_value}")
+        if value_jitter < 0:
+            raise DatasetError(f"value_jitter must be >= 0, got {value_jitter}")
+        points = self._sample_task_points(rng, self.num_tasks)
+        if value_jitter:
+            values = rng.uniform(
+                task_value - value_jitter, task_value + value_jitter, self.num_tasks
+            )
+            values = np.maximum(values, 0.0)
+        else:
+            values = np.full(self.num_tasks, task_value)
+        return [
+            Task(id=i, location=Point(float(x), float(y)), value=float(v))
+            for i, ((x, y), v) in enumerate(zip(points, values))
+        ]
+
+    def workers(self, worker_range: float, rng: np.random.Generator) -> list[Worker]:
+        """One batch of workers with a common service radius."""
+        if worker_range < 0:
+            raise DatasetError(f"worker_range must be >= 0, got {worker_range}")
+        points = self._sample_worker_points(rng, self.num_workers)
+        return [
+            Worker(id=j, location=Point(float(x), float(y)), radius=worker_range)
+            for j, (x, y) in enumerate(points)
+        ]
+
+    def instance(
+        self,
+        task_value: float = 4.5,
+        worker_range: float = 1.4,
+        budget_sampler: BudgetSampler | None = None,
+        model: UtilityModel | None = None,
+        batch: int = 0,
+        value_jitter: float = 0.0,
+    ) -> "ProblemInstance":
+        """Build one batch instance with Table X defaults.
+
+        ``batch`` selects an independent, reproducible batch: batch ``k``
+        of two generators with equal parameters is identical.
+        """
+        from repro.simulation.instance import ProblemInstance
+
+        rng = ensure_rng(None if self.seed is None else self.seed + 7919 * batch)
+        tasks = self.tasks(task_value, rng, value_jitter)
+        workers = self.workers(worker_range, rng)
+        return ProblemInstance.build(tasks, workers, budget_sampler, model, seed=rng)
+
+    def instances(
+        self,
+        num_batches: int,
+        task_value: float = 4.5,
+        worker_range: float = 1.4,
+        budget_sampler: BudgetSampler | None = None,
+        model: UtilityModel | None = None,
+    ) -> list["ProblemInstance"]:
+        """``num_batches`` independent batches (the Section VII protocol)."""
+        if num_batches < 1:
+            raise DatasetError(f"num_batches must be >= 1, got {num_batches}")
+        return [
+            self.instance(task_value, worker_range, budget_sampler, model, batch=b)
+            for b in range(num_batches)
+        ]
+
+
+class UniformGenerator(SyntheticGenerator):
+    """2-D uniform batch over a density-calibrated square frame."""
+
+    #: Paper frame edge for a 1000-task batch ("a plane with a range of
+    #: 100 x 100").
+    PAPER_FRAME = 100.0
+
+    @property
+    def frame(self) -> float:
+        """Edge length of this generator's (density-scaled) frame."""
+        return self.PAPER_FRAME * self.density_scale
+
+    def _sample_task_points(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.uniform(0.0, self.frame, size=(count, 2))
+
+
+class NormalGenerator(SyntheticGenerator):
+    """2-D isotropic Gaussian batch (paper: mean 0, variance 150)."""
+
+    PAPER_VARIANCE = 150.0
+
+    @property
+    def std(self) -> float:
+        """Per-axis standard deviation after density scaling."""
+        return math.sqrt(self.PAPER_VARIANCE) * self.density_scale
+
+    def _sample_task_points(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.normal(0.0, self.std, size=(count, 2))

@@ -1,0 +1,136 @@
+"""Workload model: spatial tasks, spatial workers, batches, worker groups.
+
+Definitions 1-2 of the paper: a task has a location and a value; a worker
+has a location and a circular service area of radius ``r_j`` ("worker
+range" in the experiments).  Section VII-B's protocol splits a day of
+orders into time-window batches of at most 1000 and cycles ten fixed
+worker groups across batches; :func:`split_batches` and
+:class:`WorkerGroupCycle` implement that protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import DatasetError
+from repro.spatial.geometry import Point
+
+__all__ = ["Task", "Worker", "Batch", "split_batches", "WorkerGroupCycle"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A spatial task ``t_i`` (Definition 1)."""
+
+    id: int
+    location: Point
+    value: float
+    release_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.location, Point):
+            object.__setattr__(self, "location", Point(*self.location))
+        if self.value < 0:
+            raise DatasetError(f"task {self.id} has negative value {self.value}")
+
+
+@dataclass(frozen=True, slots=True)
+class Worker:
+    """A spatial worker ``w_j`` with service radius ``r_j`` (Definition 2)."""
+
+    id: int
+    location: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.location, Point):
+            object.__setattr__(self, "location", Point(*self.location))
+        if self.radius < 0:
+            raise DatasetError(f"worker {self.id} has negative radius {self.radius}")
+
+    def can_reach(self, task: Task) -> bool:
+        """Whether ``task`` lies in this worker's service area ``A_j``."""
+        return self.location.distance_to(task.location) <= self.radius
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One time window: the tasks released in it plus the on-duty workers."""
+
+    index: int
+    tasks: tuple[Task, ...]
+    workers: tuple[Worker, ...]
+
+    @property
+    def worker_task_ratio(self) -> float:
+        """``|S_W| / |S_T|`` — the paper's ``pwt``."""
+        if not self.tasks:
+            raise DatasetError(f"batch {self.index} has no tasks")
+        return len(self.workers) / len(self.tasks)
+
+
+def split_batches(
+    tasks: Sequence[Task],
+    batch_size: int,
+    workers: "WorkerGroupCycle",
+) -> list[Batch]:
+    """Split ``tasks`` into release-time-ordered batches of ``<= batch_size``.
+
+    Each batch is paired with the next worker group from ``workers``,
+    cycling as in Section VII-B ("we use each worker group circularly for
+    each batch").
+    """
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    ordered = sorted(tasks, key=lambda t: (t.release_time, t.id))
+    batches: list[Batch] = []
+    for start in range(0, len(ordered), batch_size):
+        chunk = tuple(ordered[start : start + batch_size])
+        batches.append(Batch(len(batches), chunk, workers.next_group()))
+    return batches
+
+
+@dataclass
+class WorkerGroupCycle:
+    """Fixed worker groups used round-robin across batches."""
+
+    groups: tuple[tuple[Worker, ...], ...]
+    _cursor: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise DatasetError("need at least one worker group")
+        if any(not g for g in self.groups):
+            raise DatasetError("worker groups must be non-empty")
+
+    @classmethod
+    def split(cls, workers: Sequence[Worker], num_groups: int) -> "WorkerGroupCycle":
+        """Partition ``workers`` into ``num_groups`` contiguous groups.
+
+        Mirrors the paper's real-data protocol (30000 taxis into ten groups
+        of 3000).  Workers that do not divide evenly land in the final
+        group.
+        """
+        if num_groups < 1:
+            raise DatasetError(f"num_groups must be >= 1, got {num_groups}")
+        if len(workers) < num_groups:
+            raise DatasetError(
+                f"cannot split {len(workers)} workers into {num_groups} groups"
+            )
+        per = len(workers) // num_groups
+        groups: list[tuple[Worker, ...]] = []
+        for g in range(num_groups):
+            start = g * per
+            end = start + per if g < num_groups - 1 else len(workers)
+            groups.append(tuple(workers[start:end]))
+        return cls(tuple(groups))
+
+    def next_group(self) -> tuple[Worker, ...]:
+        """The next group in cyclic order."""
+        group = self.groups[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.groups)
+        return group
+
+    def __iter__(self) -> Iterator[tuple[Worker, ...]]:
+        return iter(self.groups)

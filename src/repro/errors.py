@@ -1,0 +1,43 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can guard any library call with a single ``except ReproError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or solver configuration value is invalid."""
+
+
+class InvalidInstanceError(ReproError):
+    """A problem instance violates a structural invariant.
+
+    Examples: a task referenced by a budget vector does not exist, a worker
+    has a negative service radius, or a distance matrix has the wrong shape.
+    """
+
+
+class BudgetExhaustedError(ReproError):
+    """A worker attempted to spend a privacy budget element that is gone.
+
+    Raised by :class:`repro.core.budgets.BudgetState` when a proposal would
+    consume more than the configured ``Z`` budget elements for a pair.
+    """
+
+
+class MatchingError(ReproError):
+    """A matching routine produced or received an inconsistent matching."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver exceeded its round limit without converging."""
+
+
+class DatasetError(ReproError):
+    """A workload generator or loader received invalid parameters or data."""

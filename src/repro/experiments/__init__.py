@@ -1,0 +1,37 @@
+"""Experiment harness: the Section VII evaluation, figure by figure.
+
+* :mod:`repro.experiments.sweeps`  -- generator construction + parameter
+  sweep driver,
+* :mod:`repro.experiments.figures` -- one spec per paper figure group, and
+  ``run_figure`` to regenerate it,
+* :mod:`repro.experiments.report`  -- text tables of the measured series.
+
+Command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig07 --tasks 200 --batches 2
+"""
+
+from repro.experiments.figures import FIGURES, FigureResult, FigureSpec, run_figure
+from repro.experiments.report import format_figure, format_series
+from repro.experiments.sweeps import (
+    DATASETS,
+    SweepConfig,
+    SweepPoint,
+    make_generator,
+    run_sweep,
+)
+
+__all__ = [
+    "DATASETS",
+    "SweepConfig",
+    "SweepPoint",
+    "make_generator",
+    "run_sweep",
+    "FigureSpec",
+    "FigureResult",
+    "FIGURES",
+    "run_figure",
+    "format_series",
+    "format_figure",
+]

@@ -1,0 +1,50 @@
+"""Command-line entry point for regenerating paper figures.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig07 --tasks 200 --batches 2 --seed 0
+    python -m repro.experiments run fig17 --datasets chengdu normal
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.report import format_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figure groups")
+
+    run = sub.add_parser("run", help="regenerate one figure group")
+    run.add_argument("figure", choices=sorted(FIGURES))
+    run.add_argument("--tasks", type=int, default=200, help="tasks per batch (paper: 1000)")
+    run.add_argument("--batches", type=int, default=2, help="batches per sweep point")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--datasets", nargs="+", default=None, help="restrict datasets")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for figure_id, spec in sorted(FIGURES.items()):
+            papers = ", ".join(spec.paper_figures.values())
+            print(f"{figure_id}: {spec.measure} vs {spec.parameter}  ({papers})")
+        return 0
+
+    result = run_figure(
+        args.figure,
+        num_tasks=args.tasks,
+        num_batches=args.batches,
+        seed=args.seed,
+        datasets=tuple(args.datasets) if args.datasets else None,
+    )
+    print(format_figure(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Text rendering of measured figure series.
+
+The paper reports curves; we print them as aligned tables — one row per
+method, one column per sweep value — plus the paired relative-deviation
+table for utility/distance figures, matching the (a)/(b) subfigure layout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["format_series", "format_figure"]
+
+_MEASURE_UNIT = {"time": "ms/batch", "utility": "avg utility", "distance": "avg km"}
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(result: FigureResult, dataset: str) -> str:
+    """One dataset's measured table (and deviations where defined)."""
+    spec = result.spec
+    labels = result.labels(dataset)
+    header = [f"{spec.parameter}"] + labels
+    rows = []
+    for method in spec.methods:
+        values = result.series(dataset, method)
+        rows.append([method] + [f"{v:.3f}" for v in values])
+    out = [
+        f"{spec.figure_id} [{dataset}] ({result.spec.paper_figures[dataset]}): "
+        f"{_MEASURE_UNIT[spec.measure]} vs {spec.parameter}",
+        _table(header, rows),
+    ]
+
+    if spec.measure in ("utility", "distance"):
+        dev_rows = []
+        for method in spec.methods:
+            try:
+                deviations = result.deviation_series(dataset, method)
+            except Exception:
+                continue  # non-private methods have no deviation curve
+            dev_rows.append([method] + [f"{v:.3f}" for v in deviations])
+        if dev_rows:
+            kind = "U_RD" if spec.measure == "utility" else "D_RD"
+            out.append(f"relative deviation ({kind}):")
+            out.append(_table(header, dev_rows))
+    return "\n".join(out)
+
+
+def format_figure(result: FigureResult) -> str:
+    """All datasets of a figure group, separated by blank lines."""
+    sections = [format_series(result, dataset) for dataset in result.points]
+    expected = result.spec.expected_shape
+    if expected:
+        sections.append(f"paper's expected shape: {expected}")
+    return "\n\n".join(sections)

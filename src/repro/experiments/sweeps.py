@@ -1,0 +1,139 @@
+"""Parameter sweeps over the Table X grid.
+
+A :class:`SweepConfig` carries the paper's defaults (bold values of
+Table X); :func:`run_sweep` varies exactly one parameter, holding the rest
+fixed, running every method on the same batches per point — the structure
+of every figure in Section VII-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.budgets import BudgetSampler
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.synthetic import NormalGenerator, SyntheticGenerator, UniformGenerator
+from repro.errors import ConfigurationError
+from repro.simulation.runner import BatchRunner, RunReport
+
+__all__ = ["DATASETS", "SweepConfig", "SweepPoint", "make_generator", "run_sweep"]
+
+#: The paper's three evaluation datasets.
+DATASETS: tuple[str, ...] = ("chengdu", "normal", "uniform")
+
+#: Parameters a sweep may vary (Table X rows).
+SWEEPABLE: tuple[str, ...] = (
+    "worker_ratio",
+    "task_value",
+    "worker_range",
+    "budget_interval",
+)
+
+
+def make_generator(
+    dataset: str, num_tasks: int, num_workers: int, seed: int
+) -> SyntheticGenerator:
+    """Instantiate one of the paper's datasets by name."""
+    if dataset == "chengdu":
+        return ChengduLikeGenerator(num_tasks, num_workers, seed=seed)
+    if dataset == "normal":
+        return NormalGenerator(num_tasks, num_workers, seed=seed)
+    if dataset == "uniform":
+        return UniformGenerator(num_tasks, num_workers, seed=seed)
+    raise ConfigurationError(f"unknown dataset {dataset!r}; choose from {DATASETS}")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Table X defaults plus experiment scale knobs.
+
+    ``num_tasks`` is the per-batch task count.  The paper uses 1000; the
+    generators preserve spatial density at any scale, so smaller batches
+    trade noise for speed without changing the curve shapes.
+    """
+
+    dataset: str = "normal"
+    methods: tuple[str, ...] = ("PUCE", "PDCE", "PGT", "UCE", "DCE", "GT", "GRD")
+    num_tasks: int = 200
+    worker_ratio: float = 2.0
+    task_value: float = 4.5
+    worker_range: float = 1.4
+    budget_low: float = 0.5
+    budget_high: float = 1.75
+    budget_group_size: int = 7
+    num_batches: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; choose from {DATASETS}"
+            )
+        if self.worker_ratio <= 0:
+            raise ConfigurationError(f"worker_ratio must be > 0, got {self.worker_ratio}")
+
+    @property
+    def num_workers(self) -> int:
+        return max(1, round(self.num_tasks * self.worker_ratio))
+
+    def run(self) -> RunReport:
+        """Run all methods over this configuration's batches."""
+        generator = make_generator(
+            self.dataset, self.num_tasks, self.num_workers, self.seed
+        )
+        sampler = BudgetSampler(
+            low=self.budget_low,
+            high=self.budget_high,
+            group_size=self.budget_group_size,
+        )
+        instances = generator.instances(
+            self.num_batches,
+            task_value=self.task_value,
+            worker_range=self.worker_range,
+            budget_sampler=sampler,
+        )
+        return BatchRunner(list(self.methods)).run(instances, seed=self.seed)
+
+    def at(self, parameter: str, value) -> "SweepConfig":
+        """A copy with one sweep parameter replaced."""
+        if parameter == "worker_ratio":
+            return replace(self, worker_ratio=float(value))
+        if parameter == "task_value":
+            return replace(self, task_value=float(value))
+        if parameter == "worker_range":
+            return replace(self, worker_range=float(value))
+        if parameter == "budget_interval":
+            low, high = value
+            return replace(self, budget_low=float(low), budget_high=float(high))
+        raise ConfigurationError(
+            f"unknown sweep parameter {parameter!r}; choose from {SWEEPABLE}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep point: the parameter value and the multi-method report."""
+
+    dataset: str
+    parameter: str
+    value: object
+    report: RunReport
+
+    @property
+    def label(self) -> str:
+        if self.parameter == "budget_interval":
+            low, high = self.value
+            return f"[{low:g},{high:g}]"
+        return f"{self.value:g}"
+
+
+def run_sweep(
+    config: SweepConfig, parameter: str, values: Sequence
+) -> list[SweepPoint]:
+    """Vary one Table X parameter; everything else fixed at ``config``."""
+    points = []
+    for value in values:
+        report = config.at(parameter, value).run()
+        points.append(SweepPoint(config.dataset, parameter, value, report))
+    return points

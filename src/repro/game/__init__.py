@@ -1,0 +1,37 @@
+"""Game-theoretic substrate (Section VI).
+
+PGT's correctness rests on PAA-TA being an *exact potential game*
+(Definition 7, Theorem VI.1), whose best-response dynamics reach a pure
+Nash equilibrium in at most a scaled-potential number of rounds
+(Theorem VI.2) with EPoS/EPoA bounds (Theorem VI.3).  This subpackage
+implements the general machinery from scratch — finite strategic games,
+potential verification, best-response dynamics, equilibrium checks, and
+PoA/PoS — plus the PAA-TA-specific potential and the Theorem VI.3 bounds.
+"""
+
+from repro.game.best_response import BestResponsePath, best_response_dynamics
+from repro.game.equilibrium import (
+    price_of_anarchy,
+    price_of_stability,
+    pure_nash_equilibria,
+    theorem_vi3_bounds,
+)
+from repro.game.potential import (
+    allocation_potential,
+    is_exact_potential,
+    result_potential,
+)
+from repro.game.strategic import NormalFormGame
+
+__all__ = [
+    "NormalFormGame",
+    "is_exact_potential",
+    "allocation_potential",
+    "result_potential",
+    "best_response_dynamics",
+    "BestResponsePath",
+    "pure_nash_equilibria",
+    "price_of_anarchy",
+    "price_of_stability",
+    "theorem_vi3_bounds",
+]

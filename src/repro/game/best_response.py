@@ -1,0 +1,82 @@
+"""Generic best-response dynamics over finite strategic games.
+
+This is the analysis-grade counterpart of the production loop inside
+:mod:`repro.core.pgt`: it works on any :class:`NormalFormGame`, records
+the full improvement path, and is used by the tests to cross-check that
+best response converges on exact potential games (Theorem VI.2) and can
+cycle on games that are not potential games.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConvergenceError
+from repro.game.strategic import NormalFormGame, Profile
+
+__all__ = ["BestResponsePath", "best_response_dynamics"]
+
+
+@dataclass
+class BestResponsePath:
+    """The trajectory of one best-response run."""
+
+    profiles: list[Profile] = field(default_factory=list)
+    moves: list[tuple[int, object, float]] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def final(self) -> Profile:
+        return self.profiles[-1]
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+
+def best_response_dynamics(
+    game: NormalFormGame,
+    initial: Profile,
+    max_passes: int = 10_000,
+    tol: float = 1e-9,
+) -> BestResponsePath:
+    """Round-robin best response from ``initial`` until no one improves.
+
+    Each player in index order switches to a best response whenever it
+    strictly improves his utility (by more than ``tol``).  Returns the
+    path; raises :class:`ConvergenceError` after ``max_passes`` full passes
+    without quiescence (which a non-potential game can trigger).
+    """
+    profile = tuple(initial)
+    if len(profile) != game.num_players:
+        raise ValueError(
+            f"profile has {len(profile)} entries for {game.num_players} players"
+        )
+    path = BestResponsePath(profiles=[profile])
+
+    for _ in range(max_passes):
+        moved = False
+        for player in range(game.num_players):
+            current_value = game.utility(player, profile)
+            best = None
+            best_value = current_value
+            for strategy in game.strategies(player):
+                if strategy == profile[player]:
+                    continue
+                value = game.utility(player, game.deviate(profile, player, strategy))
+                if value > best_value + tol:
+                    best = strategy
+                    best_value = value
+            if best is not None:
+                gain = best_value - current_value
+                profile = game.deviate(profile, player, best)
+                path.profiles.append(profile)
+                path.moves.append((player, best, gain))
+                moved = True
+        if not moved:
+            path.converged = True
+            return path
+    raise ConvergenceError(
+        f"best response did not converge within {max_passes} passes "
+        "(is the game a potential game?)"
+    )

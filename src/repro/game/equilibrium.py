@@ -1,0 +1,102 @@
+"""Equilibria, PoA/PoS, and the paper's Theorem VI.3 bounds.
+
+For finite games we enumerate pure Nash equilibria exhaustively and
+compute the (utilitarian) price of anarchy and stability.  For PA-TA
+instances, :func:`theorem_vi3_bounds` evaluates the closed-form bounds of
+Theorem VI.3::
+
+    EPoA >= sum_i U+_min(i) / sum_i U+_max(i),     EPoS <= 1
+
+with ``U^L_j(i) = v_i - f_d(d_ij) - f_p(sum of *all* budgets of w_j)``
+(the worst case: every budget spent) and
+``U^H_j(i) = v_i - f_d(d_ij) - f_p(min eps_ij)`` (the best case: one
+cheapest proposal).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.game.strategic import NormalFormGame, Profile
+from repro.simulation.instance import ProblemInstance
+
+__all__ = [
+    "pure_nash_equilibria",
+    "price_of_anarchy",
+    "price_of_stability",
+    "theorem_vi3_bounds",
+]
+
+
+def pure_nash_equilibria(game: NormalFormGame, tol: float = 1e-9) -> list[Profile]:
+    """All pure Nash equilibria, by exhaustive profile enumeration."""
+    return [profile for profile in game.profiles() if game.is_nash(profile, tol)]
+
+
+def price_of_anarchy(game: NormalFormGame, tol: float = 1e-9) -> float:
+    """``opt welfare / worst equilibrium welfare`` (utilitarian).
+
+    Raises
+    ------
+    ConfigurationError
+        If the game has no pure Nash equilibrium or the worst equilibrium
+        welfare is non-positive (the ratio is then meaningless).
+    """
+    equilibria = pure_nash_equilibria(game, tol)
+    if not equilibria:
+        raise ConfigurationError("game has no pure Nash equilibrium")
+    optimum = max(game.welfare(p) for p in game.profiles())
+    worst = min(game.welfare(p) for p in equilibria)
+    if worst <= 0:
+        raise ConfigurationError(f"worst equilibrium welfare {worst} is non-positive")
+    return optimum / worst
+
+
+def price_of_stability(game: NormalFormGame, tol: float = 1e-9) -> float:
+    """``opt welfare / best equilibrium welfare`` (utilitarian)."""
+    equilibria = pure_nash_equilibria(game, tol)
+    if not equilibria:
+        raise ConfigurationError("game has no pure Nash equilibrium")
+    optimum = max(game.welfare(p) for p in game.profiles())
+    best = max(game.welfare(p) for p in equilibria)
+    if best <= 0:
+        raise ConfigurationError(f"best equilibrium welfare {best} is non-positive")
+    return optimum / best
+
+
+def theorem_vi3_bounds(instance: ProblemInstance) -> tuple[float, float]:
+    """The paper's (EPoA lower bound, EPoS upper bound) for an instance.
+
+    Returns ``(sum U+_min / sum U+_max, 1.0)``.  The EPoA bound is 0 when
+    no pair has a positive worst-case utility, and the function raises if
+    ``sum U+_max`` is zero (the paper's proviso).
+    """
+    model = instance.model
+    total_budget_of_worker = [0.0] * instance.num_workers
+    for (i, j), vector in instance.budgets.items():
+        total_budget_of_worker[j] += vector.total
+
+    u_plus_min = 0.0
+    u_plus_max = 0.0
+    for i, task in enumerate(instance.tasks):
+        low_candidates = []
+        high_candidates = []
+        for j in instance.candidates[i]:
+            distance = instance.distance(i, j)
+            u_low = model.utility(task.value, distance, total_budget_of_worker[j])
+            u_high = model.utility(
+                task.value, distance, min(instance.budget_vector(i, j).epsilons)
+            )
+            if u_low > 0:
+                low_candidates.append(u_low)
+            if u_high > 0:
+                high_candidates.append(u_high)
+        if low_candidates:
+            u_plus_min += min(low_candidates)
+        if high_candidates:
+            u_plus_max += max(high_candidates)
+
+    if u_plus_max == 0.0:
+        raise ConfigurationError(
+            "Theorem VI.3 bound undefined: sum of U+_max is zero"
+        )
+    return u_plus_min / u_plus_max, 1.0

@@ -1,0 +1,96 @@
+"""Exact-potential verification (Definition 7, Theorem VI.1).
+
+``is_exact_potential`` checks the defining identity on every unilateral
+deviation of a finite game; ``allocation_potential`` is the paper's
+potential function for PAA-TA states::
+
+    Phi = sum_{i,j} ( s_ij * (v_i - f_d(d~_ij)) - f_p(b_ij . eps_ij) )
+
+i.e. total matched (approximate) utility minus everyone's published
+budget — exactly what each accepted PGT move increases by its ``UT > 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.result import AssignmentResult
+from repro.game.strategic import NormalFormGame, Profile
+from repro.simulation.instance import ProblemInstance
+
+__all__ = ["is_exact_potential", "allocation_potential", "result_potential"]
+
+
+def is_exact_potential(
+    game: NormalFormGame,
+    potential: Callable[[Profile], float],
+    tol: float = 1e-9,
+) -> bool:
+    """Exhaustively verify the Definition 7 identity.
+
+    For every profile, deviating player and replacement strategy:
+    ``U_p(st') - U_p(st) == Phi(st') - Phi(st)`` within ``tol``.
+    Exponential in players; intended for the small games in the test-suite.
+    """
+    for profile in game.profiles():
+        base_phi = potential(profile)
+        for player in range(game.num_players):
+            base_u = game.utility(player, profile)
+            for strategy in game.strategies(player):
+                if strategy == profile[player]:
+                    continue
+                deviated = game.deviate(profile, player, strategy)
+                du = game.utility(player, deviated) - base_u
+                dphi = potential(deviated) - base_phi
+                if abs(du - dphi) > tol:
+                    return False
+    return True
+
+
+def allocation_potential(
+    instance: ProblemInstance,
+    allocation: Mapping[int, int],
+    effective_distance: Callable[[int, int], float],
+    total_spend: float,
+) -> float:
+    """The paper's potential ``Phi`` for a PAA-TA state.
+
+    Parameters
+    ----------
+    allocation:
+        ``{task_index: worker_index}`` of the matched pairs.
+    effective_distance:
+        ``(task_index, worker_index) -> d~_ij`` — the effective obfuscated
+        distance of the pair (or the true distance for the non-private GT).
+    total_spend:
+        Sum of all published budgets ``sum_ij b_ij . eps_ij``.
+    """
+    model = instance.model
+    matched_value = sum(
+        instance.tasks[i].value - model.f_d(effective_distance(i, j))
+        for i, j in allocation.items()
+    )
+    return matched_value - model.f_p(total_spend)
+
+
+def result_potential(result: AssignmentResult, use_true_distance: bool = True) -> float:
+    """``Phi`` of a finished run, from its matching and ledger.
+
+    With ``use_true_distance`` the matched values use real distances (the
+    measurable proxy — the effective distances of the final state are
+    inside the solver); the *monotonicity* checks in the test-suite use the
+    per-move gains recorded by
+    :class:`repro.core.pgt.BestResponseStats` instead, which are exact.
+    """
+    instance = result.instance
+    task_index_of = {t.id: idx for idx, t in enumerate(instance.tasks)}
+    worker_index_of = {w.id: idx for idx, w in enumerate(instance.workers)}
+    allocation = {
+        task_index_of[t]: worker_index_of[w] for t, w in result.matching
+    }
+    return allocation_potential(
+        instance,
+        allocation,
+        lambda i, j: instance.distance(i, j) if use_true_distance else 0.0,
+        result.ledger.total_spend(),
+    )

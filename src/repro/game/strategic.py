@@ -1,0 +1,93 @@
+"""Finite n-player strategic games in normal form.
+
+A deliberately small, explicit representation: utilities are a callable of
+``(player, profile)`` so games over combinatorial strategy spaces (like
+PAA-TA restricted to small instances) don't need materialised payoff
+tensors, while tests can still enumerate profiles exhaustively.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NormalFormGame"]
+
+Strategy = Hashable
+Profile = tuple[Strategy, ...]
+
+
+@dataclass(frozen=True)
+class NormalFormGame:
+    """``G = <W, S, UT>``: players, finite strategy sets, utilities.
+
+    Parameters
+    ----------
+    strategy_sets:
+        One finite strategy tuple per player.
+    utility:
+        ``utility(player_index, profile) -> float``.
+    """
+
+    strategy_sets: tuple[tuple[Strategy, ...], ...]
+    utility: Callable[[int, Profile], float]
+
+    def __post_init__(self) -> None:
+        if not self.strategy_sets:
+            raise ConfigurationError("a game needs at least one player")
+        if any(not s for s in self.strategy_sets):
+            raise ConfigurationError("every player needs at least one strategy")
+
+    @property
+    def num_players(self) -> int:
+        return len(self.strategy_sets)
+
+    def strategies(self, player: int) -> tuple[Strategy, ...]:
+        return self.strategy_sets[player]
+
+    def profiles(self) -> Iterator[Profile]:
+        """All strategy profiles (exponential; for small games/tests)."""
+        return itertools.product(*self.strategy_sets)
+
+    def num_profiles(self) -> int:
+        count = 1
+        for s in self.strategy_sets:
+            count *= len(s)
+        return count
+
+    def deviate(self, profile: Profile, player: int, strategy: Strategy) -> Profile:
+        """``(strategy, st_-player)``: the unilateral deviation."""
+        mutated = list(profile)
+        mutated[player] = strategy
+        return tuple(mutated)
+
+    def best_responses(self, player: int, profile: Profile) -> tuple[Strategy, ...]:
+        """The player's utility-maximising strategies against ``st_-player``."""
+        best: list[Strategy] = []
+        best_value = -float("inf")
+        for strategy in self.strategy_sets[player]:
+            value = self.utility(player, self.deviate(profile, player, strategy))
+            if value > best_value + 1e-12:
+                best = [strategy]
+                best_value = value
+            elif abs(value - best_value) <= 1e-12:
+                best.append(strategy)
+        return tuple(best)
+
+    def is_nash(self, profile: Profile, tol: float = 1e-9) -> bool:
+        """Whether no player has a strictly improving unilateral deviation."""
+        for player in range(self.num_players):
+            current = self.utility(player, profile)
+            for strategy in self.strategy_sets[player]:
+                if strategy == profile[player]:
+                    continue
+                if self.utility(player, self.deviate(profile, player, strategy)) > current + tol:
+                    return False
+        return True
+
+    def welfare(self, profile: Profile) -> float:
+        """Utilitarian welfare: the sum of all players' utilities."""
+        return sum(self.utility(p, profile) for p in range(self.num_players))

@@ -1,0 +1,23 @@
+"""Bipartite matching substrate.
+
+The paper frames PA-TA as one-to-one bipartite matching (Definition 8) and
+names the Hungarian algorithm as the exact solver a trusted platform would
+use (Section V).  This subpackage implements:
+
+* :mod:`repro.matching.hungarian` -- Kuhn-Munkres with potentials, built
+  from scratch (no scipy), plus a maximum-weight partial matcher,
+* :mod:`repro.matching.greedy`    -- the greedy matcher behind the GRD
+  baseline,
+* :mod:`repro.matching.bipartite` -- matching containers and validation.
+"""
+
+from repro.matching.bipartite import Matching
+from repro.matching.greedy import greedy_max_weight
+from repro.matching.hungarian import linear_sum_assignment, max_weight_matching
+
+__all__ = [
+    "Matching",
+    "greedy_max_weight",
+    "linear_sum_assignment",
+    "max_weight_matching",
+]

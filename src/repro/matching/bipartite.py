@@ -1,0 +1,80 @@
+"""Matching containers and one-to-one validation (Definition 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping
+
+from repro.errors import MatchingError
+
+__all__ = ["Matching"]
+
+TaskId = Hashable
+WorkerId = Hashable
+
+
+@dataclass(frozen=True)
+class Matching:
+    """A one-to-one assignment of tasks to workers.
+
+    Stored task-major (``{task_id: worker_id}``) to mirror the paper's
+    allocation list ``AL``.  Construction validates the one-to-one property
+    of Definition 8: no worker appears twice.
+    """
+
+    pairs: Mapping[TaskId, WorkerId]
+    _worker_to_task: dict[WorkerId, TaskId] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        inverse: dict[WorkerId, TaskId] = {}
+        for task_id, worker_id in self.pairs.items():
+            if worker_id in inverse:
+                raise MatchingError(
+                    f"worker {worker_id!r} assigned to both task "
+                    f"{inverse[worker_id]!r} and task {task_id!r}"
+                )
+            inverse[worker_id] = task_id
+        object.__setattr__(self, "pairs", dict(self.pairs))
+        object.__setattr__(self, "_worker_to_task", inverse)
+
+    @classmethod
+    def empty(cls) -> "Matching":
+        return cls({})
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[TaskId, WorkerId]]:
+        return iter(self.pairs.items())
+
+    def __contains__(self, task_id: TaskId) -> bool:
+        return task_id in self.pairs
+
+    def worker_of(self, task_id: TaskId) -> WorkerId | None:
+        """Worker matched to ``task_id``, or ``None``."""
+        return self.pairs.get(task_id)
+
+    def task_of(self, worker_id: WorkerId) -> TaskId | None:
+        """Task matched to ``worker_id``, or ``None``."""
+        return self._worker_to_task.get(worker_id)
+
+    def total_weight(self, weights: Mapping[tuple[TaskId, WorkerId], float]) -> float:
+        """Sum of ``weights`` over the matched pairs.
+
+        Raises
+        ------
+        MatchingError
+            If a matched pair has no weight entry — that indicates the
+            matching strayed outside the instance's feasible pairs.
+        """
+        total = 0.0
+        for task_id, worker_id in self.pairs.items():
+            key = (task_id, worker_id)
+            if key not in weights:
+                raise MatchingError(f"matched pair {key!r} has no weight entry")
+            total += weights[key]
+        return total
+
+    def restricted_to(self, task_ids: set[TaskId]) -> "Matching":
+        """The sub-matching covering only ``task_ids``."""
+        return Matching({t: w for t, w in self.pairs.items() if t in task_ids})

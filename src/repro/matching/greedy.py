@@ -1,0 +1,50 @@
+"""Greedy maximum-weight matching (the GRD baseline of Table IX).
+
+GRD "always greedily chooses the current best worker-task pair (with the
+highest utility)": sort all eligible pairs by weight and accept a pair when
+both endpoints are still free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+__all__ = ["greedy_max_weight"]
+
+
+def greedy_max_weight(
+    weights: Mapping[tuple[int, int], float],
+    min_weight: float = 0.0,
+) -> dict[int, int]:
+    """Greedy one-to-one matching over a sparse weight map.
+
+    Parameters
+    ----------
+    weights:
+        ``{(row, col): weight}`` for the eligible pairs only.
+    min_weight:
+        Pairs with weight ``<= min_weight`` are never taken (the paper's
+        convention: a non-positive-utility pair is not formed).
+
+    Returns
+    -------
+    dict
+        ``{row: col}``.  Deterministic: ties broken by ``(row, col)``.
+    """
+    edges = [
+        (w, r, c)
+        for (r, c), w in weights.items()
+        if math.isfinite(w) and w > min_weight
+    ]
+    edges.sort(key=lambda e: (-e[0], e[1], e[2]))
+    taken_rows: set[int] = set()
+    taken_cols: set[int] = set()
+    match: dict[int, int] = {}
+    for weight, row, col in edges:
+        if row in taken_rows or col in taken_cols:
+            continue
+        match[row] = col
+        taken_rows.add(row)
+        taken_cols.add(col)
+    return match

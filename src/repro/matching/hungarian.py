@@ -1,0 +1,170 @@
+"""Kuhn-Munkres (Hungarian) assignment, implemented from scratch.
+
+The solver is the classical O(n^2 m) successive-shortest-augmenting-path
+formulation with dual potentials.  Two entry points are provided:
+
+* :func:`linear_sum_assignment` -- scipy-compatible: a complete assignment
+  of the smaller side of a rectangular cost matrix.  ``inf`` entries mark
+  forbidden pairs; infeasibility raises
+  :class:`repro.errors.MatchingError`.
+* :func:`max_weight_matching` -- maximum-total-weight *partial* matching:
+  rows may stay unmatched when every remaining weight is non-positive or
+  forbidden.  This is the form PA-TA's objective takes (a worker with no
+  profitable task stays idle), implemented by padding with zero-weight
+  dummy columns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MatchingError
+
+__all__ = ["linear_sum_assignment", "max_weight_matching"]
+
+
+def _solve_rows_leq_cols(cost: np.ndarray) -> list[int]:
+    """Minimum-cost complete assignment for an ``n x m`` matrix, ``n <= m``.
+
+    Returns ``col_of_row``: for each row the assigned column index.
+    ``math.inf`` entries are forbidden; an unassignable row raises
+    :class:`MatchingError`.
+    """
+    n, m = cost.shape
+    # 1-based potentials, as in the classical formulation.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)  # p[j] = row matched to column j (0 = free)
+    way = [0] * (m + 1)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [math.inf] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = math.inf
+            j1 = -1
+            row = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = row[j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            if not math.isfinite(delta):
+                raise MatchingError(
+                    f"no feasible complete assignment: row {i - 1} cannot reach a free column"
+                )
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    col_of_row = [-1] * n
+    for j in range(1, m + 1):
+        if p[j]:
+            col_of_row[p[j] - 1] = j - 1
+    if any(c < 0 for c in col_of_row):
+        raise MatchingError("internal error: incomplete assignment")
+    return col_of_row
+
+
+def linear_sum_assignment(
+    cost: np.ndarray, maximize: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Optimal complete assignment of the smaller side of ``cost``.
+
+    Mirrors :func:`scipy.optimize.linear_sum_assignment`: returns sorted row
+    indices and their assigned columns.  Entries of ``math.inf`` (or
+    ``-inf`` when maximizing) are forbidden pairs.
+
+    Raises
+    ------
+    MatchingError
+        If no complete assignment of the smaller side avoids forbidden
+        pairs.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be 2-D, got shape {cost.shape}")
+    if cost.size == 0:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+    if np.isnan(cost).any():
+        raise ValueError("cost matrix contains NaN")
+    work = -cost if maximize else cost.copy()
+    # Forbidden pairs arrive as +inf in the minimisation view.
+    transposed = work.shape[0] > work.shape[1]
+    if transposed:
+        work = work.T
+    col_of_row = _solve_rows_leq_cols(work)
+    rows = np.arange(len(col_of_row))
+    cols = np.asarray(col_of_row)
+    if transposed:
+        rows, cols = cols, rows
+        order = np.argsort(rows)
+        rows, cols = rows[order], cols[order]
+    return rows, cols
+
+
+def max_weight_matching(weights: np.ndarray, allow_negative: bool = False) -> dict[int, int]:
+    """Maximum-total-weight partial matching of rows to columns.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, m)`` weight matrix; ``-inf`` (or NaN) marks a forbidden pair.
+    allow_negative:
+        When ``False`` (default) a row is left unmatched rather than take a
+        negative-weight edge — the PA-TA convention that an unprofitable
+        pair is never formed.  When ``True``, only ``-inf`` pairs are
+        excluded and a complete-as-possible matching is returned.
+
+    Returns
+    -------
+    dict
+        ``{row: column}`` for the matched rows.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    n, m = weights.shape
+    if n == 0 or m == 0:
+        return {}
+
+    eligible = np.isfinite(weights)
+    if not allow_negative:
+        eligible &= weights > 0.0
+
+    # Pad with n per-row dummy columns so every row is assignable.  With
+    # allow_negative=False, skipping a row costs exactly zero, so a row is
+    # matched iff it improves the total.  With allow_negative=True the
+    # dummies are priced above every real edge, so rows skip only when all
+    # their real pairs are forbidden.
+    skip_cost = 0.0
+    if allow_negative and eligible.any():
+        skip_cost = float(np.abs(weights[eligible]).sum()) + 1.0
+    cost = np.full((n, m + n), math.inf)
+    cost[:, :m] = np.where(eligible, -weights, math.inf)
+    for i in range(n):
+        cost[i, m + i] = skip_cost
+
+    col_of_row = _solve_rows_leq_cols(cost)
+    return {i: j for i, j in enumerate(col_of_row) if j < m}

@@ -1,0 +1,50 @@
+"""Differential-privacy substrate.
+
+The paper's mechanisms publish worker-task distances perturbed with Laplace
+noise whose *rate* is the privacy budget ``epsilon`` (density
+``(eps/2) * exp(-eps * |x|)``, i.e. scale ``1/eps``).  This subpackage
+implements:
+
+* :mod:`repro.privacy.laplace`    -- the Laplace distribution and the exact
+  distribution of the *difference* of two independent Laplace variables
+  (the closed form behind the Probability Compare Function),
+* :mod:`repro.privacy.mechanism`  -- the Laplace mechanism (Definition 11),
+* :mod:`repro.privacy.accountant` -- a local-DP ledger realising the
+  ``(sum_i b_ij . eps_ij . r_j)``-LDP bound of Theorems V.2 / VI.4,
+* :mod:`repro.privacy.geo`        -- planar Laplace
+  (geo-indistinguishability), the location-level mechanism used by the
+  related work the paper builds on.
+"""
+
+from repro.privacy.accountant import PairSpend, PrivacyLedger
+from repro.privacy.attack import (
+    AttackRecord,
+    LocationEstimate,
+    TrilaterationAttack,
+    attack_assignment,
+)
+from repro.privacy.geo import PlanarLaplaceMechanism
+from repro.privacy.laplace import (
+    LaplaceDifference,
+    laplace_cdf,
+    laplace_pdf,
+    laplace_sf,
+    sample_laplace,
+)
+from repro.privacy.mechanism import LaplaceMechanism
+
+__all__ = [
+    "laplace_pdf",
+    "laplace_cdf",
+    "laplace_sf",
+    "sample_laplace",
+    "LaplaceDifference",
+    "LaplaceMechanism",
+    "PrivacyLedger",
+    "PairSpend",
+    "PlanarLaplaceMechanism",
+    "TrilaterationAttack",
+    "LocationEstimate",
+    "AttackRecord",
+    "attack_assignment",
+]

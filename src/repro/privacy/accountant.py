@@ -1,0 +1,112 @@
+"""Local-DP accounting for published distance releases.
+
+Theorems V.2 and VI.4 state that PUCE and PGT give each worker ``w_j``
+``(sum_{t_i in R_j} b_ij . eps_ij . r_j)``-local differential privacy: the
+total leaked budget is the sum of all *published* per-proposal budgets,
+scaled by the service radius (the sensitivity of a distance query inside
+the service area).
+
+:class:`PrivacyLedger` is the audit trail: solvers record every publish,
+and the ledger exposes the realised spend and the theorem's LDP bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+__all__ = ["PairSpend", "PrivacyLedger"]
+
+WorkerId = Hashable
+TaskId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class PairSpend:
+    """Budgets a worker has published toward one task, in publish order."""
+
+    worker_id: WorkerId
+    task_id: TaskId
+    epsilons: tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        """The pair's spent budget ``b_ij . eps_ij``."""
+        return sum(self.epsilons)
+
+    @property
+    def proposals(self) -> int:
+        """How many proposals have been published for this pair."""
+        return len(self.epsilons)
+
+
+@dataclass
+class PrivacyLedger:
+    """Append-only record of every published (distance, budget) release."""
+
+    _spends: dict[WorkerId, dict[TaskId, list[float]]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    _events: list[tuple[WorkerId, TaskId, float]] = field(default_factory=list)
+
+    def record(self, worker_id: WorkerId, task_id: TaskId, epsilon: float) -> None:
+        """Record one published proposal of ``worker_id`` toward ``task_id``."""
+        if not epsilon > 0:
+            raise ValueError(f"published budget must be positive, got {epsilon}")
+        self._spends[worker_id].setdefault(task_id, []).append(float(epsilon))
+        self._events.append((worker_id, task_id, float(epsilon)))
+
+    # -- queries -----------------------------------------------------------
+
+    def pair_spend(self, worker_id: WorkerId, task_id: TaskId) -> PairSpend:
+        """Spend of one worker-task pair (empty if never published)."""
+        eps = self._spends.get(worker_id, {}).get(task_id, [])
+        return PairSpend(worker_id, task_id, tuple(eps))
+
+    def worker_spend(self, worker_id: WorkerId) -> float:
+        """Total budget ``sum_i b_ij . eps_ij`` published by a worker."""
+        return sum(sum(eps) for eps in self._spends.get(worker_id, {}).values())
+
+    def worker_proposals(self, worker_id: WorkerId) -> int:
+        """Total number of published proposals by a worker."""
+        return sum(len(eps) for eps in self._spends.get(worker_id, {}).values())
+
+    def worker_ldp_bound(self, worker_id: WorkerId, radius: float) -> float:
+        """The Theorem V.2 / VI.4 guarantee for one worker.
+
+        ``radius`` is the worker's service radius ``r_j`` — the sensitivity
+        of each distance release.  The bound is
+        ``sum_{t_i} b_ij . eps_ij . r_j``.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        return self.worker_spend(worker_id) * radius
+
+    def total_spend(self) -> float:
+        """Grand total of published budget across all workers."""
+        return sum(self.worker_spend(w) for w in self._spends)
+
+    def workers(self) -> list[WorkerId]:
+        """Workers with at least one published proposal."""
+        return [w for w, tasks in self._spends.items() if tasks]
+
+    def events(self) -> Iterator[tuple[WorkerId, TaskId, float]]:
+        """All publish events in chronological order."""
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def merge(self, other: "PrivacyLedger") -> "PrivacyLedger":
+        """A new ledger containing this ledger's events then ``other``'s.
+
+        Used by the batch runner to aggregate per-batch ledgers into one
+        experiment-level audit trail.
+        """
+        merged = PrivacyLedger()
+        for worker_id, task_id, eps in self._events:
+            merged.record(worker_id, task_id, eps)
+        for worker_id, task_id, eps in other._events:
+            merged.record(worker_id, task_id, eps)
+        return merged

@@ -1,0 +1,192 @@
+"""Trilateration attack on published distance releases.
+
+The paper's conclusion flags the residual risk its mechanisms leave open:
+"if the service area of a worker is small enough and the quantity of
+tasks in this area is large enough, attackers can locate the worker's
+position through trilateration", because many effective obfuscated
+distances to *known* task locations outline the worker's position.
+
+This module implements that attacker so the risk can be measured.
+:class:`TrilaterationAttack` consumes only world-readable state — the
+release board an :class:`~repro.core.result.AssignmentResult` carries —
+and produces a location estimate per worker by budget-weighted non-linear
+least squares (Gauss-Newton on the range residuals; higher-budget
+releases are more accurate, hence heavier).
+
+:func:`attack_assignment` runs the attacker over every worker of a solved
+run and reports the localisation errors — the quantitative form of the
+paper's warning, exercised by ``benchmarks/bench_attack_surface.py`` and
+the ``location_privacy_attack`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.spatial.geometry import Point, euclidean
+
+if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
+    from repro.core.result import AssignmentResult
+
+__all__ = ["LocationEstimate", "AttackRecord", "TrilaterationAttack", "attack_assignment"]
+
+
+@dataclass(frozen=True, slots=True)
+class LocationEstimate:
+    """The attacker's output for one worker."""
+
+    location: Point
+    num_anchors: int
+    residual: float
+
+    def error_from(self, true_location: tuple[float, float]) -> float:
+        """Localisation error against the (secret) ground truth."""
+        return euclidean(self.location, true_location)
+
+
+@dataclass(frozen=True, slots=True)
+class AttackRecord:
+    """One attacked worker: leak size, spend, and achieved error."""
+
+    worker_id: int
+    anchors: int
+    spend: float
+    error: float
+    radius: float
+
+    @property
+    def localised_within_radius(self) -> bool:
+        """Whether the estimate landed inside the worker's service radius.
+
+        The service area is the paper's unit of location privacy: an error
+        below ``r_j`` means the releases no longer hide the worker within
+        his own declared area.
+        """
+        return self.error <= self.radius
+
+
+class TrilaterationAttack:
+    """Budget-weighted least-squares range localisation."""
+
+    def __init__(self, max_iterations: int = 50, tolerance: float = 1e-9):
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def estimate(
+        self,
+        anchors: list[tuple[float, float]],
+        distances: list[float],
+        weights: list[float] | None = None,
+    ) -> LocationEstimate:
+        """Estimate the source location of the published distances.
+
+        Parameters
+        ----------
+        anchors:
+            Known task locations the distances refer to.
+        distances:
+            Published (effective obfuscated) distances; negative releases
+            are clipped to zero — "very close" is the only consistent
+            reading.
+        weights:
+            Optional positive per-release weights; the natural choice is
+            the effective budget (Laplace precision grows with it).
+
+        Raises
+        ------
+        ValueError
+            On mismatched lengths, non-positive weights, or fewer than
+            two anchors (one range constrains to a circle, not a point).
+        """
+        if len(anchors) != len(distances):
+            raise ValueError(f"{len(anchors)} anchors vs {len(distances)} distances")
+        if len(anchors) < 2:
+            raise ValueError("trilateration needs at least two anchors")
+        points = np.asarray(anchors, dtype=float)
+        ranges = np.maximum(np.asarray(distances, dtype=float), 0.0)
+        if weights is None:
+            w = np.ones(len(anchors))
+        else:
+            if len(weights) != len(anchors):
+                raise ValueError(f"{len(weights)} weights vs {len(anchors)} anchors")
+            w = np.asarray(weights, dtype=float)
+            if (w <= 0).any():
+                raise ValueError("weights must be positive")
+
+        position = points.mean(axis=0)  # centroid start: robust at area scale
+        for _ in range(self.max_iterations):
+            deltas = position - points
+            current = np.maximum(
+                np.sqrt(np.einsum("ij,ij->i", deltas, deltas)), 1e-12
+            )
+            residuals = current - ranges
+            jacobian = deltas / current[:, None]
+            weighted = jacobian * w[:, None]
+            normal = weighted.T @ jacobian
+            # Levenberg damping keeps the step defined for collinear
+            # anchors (rank-1 normal matrix) without biasing the
+            # well-conditioned case.
+            damping = 1e-9 * (1.0 + float(np.trace(normal)))
+            step = np.linalg.solve(
+                normal + damping * np.eye(2), weighted.T @ residuals
+            )
+            position = position - step
+            if float(np.abs(step).max()) < self.tolerance:
+                break
+
+        deltas = position - points
+        final = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        residual = float(np.sqrt(np.average((final - ranges) ** 2, weights=w)))
+        return LocationEstimate(
+            Point(float(position[0]), float(position[1])),
+            num_anchors=len(anchors),
+            residual=residual,
+        )
+
+
+def attack_assignment(
+    result: "AssignmentResult", min_anchors: int = 2
+) -> list[AttackRecord]:
+    """Attack every worker with >= ``min_anchors`` published pairs.
+
+    Consumes only the run's public state: the release board's effective
+    obfuscated distances and budgets, and the known task locations.  The
+    workers' true locations are used solely to *score* the attack.
+
+    Returns records sorted by worker id.
+    """
+    instance = result.instance
+    attack = TrilaterationAttack()
+    task_by_id = {t.id: t for t in instance.tasks}
+
+    leaks: dict[int, list[tuple[tuple[float, float], float, float]]] = {}
+    for (task_id, worker_id), releases in result.release_board.items():
+        pair = releases.effective_pair()
+        leaks.setdefault(worker_id, []).append(
+            (tuple(task_by_id[task_id].location), pair.distance, pair.epsilon)
+        )
+
+    records = []
+    for worker in instance.workers:
+        leaked = leaks.get(worker.id, [])
+        if len(leaked) < min_anchors:
+            continue
+        anchors = [entry[0] for entry in leaked]
+        distances = [entry[1] for entry in leaked]
+        weights = [entry[2] for entry in leaked]
+        estimate = attack.estimate(anchors, distances, weights)
+        records.append(
+            AttackRecord(
+                worker_id=worker.id,
+                anchors=len(leaked),
+                spend=result.ledger.worker_spend(worker.id),
+                error=estimate.error_from(worker.location),
+                radius=worker.radius,
+            )
+        )
+    return records

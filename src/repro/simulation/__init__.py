@@ -1,0 +1,20 @@
+"""Simulation layer: instances, the untrusted server, runner, metrics."""
+
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.metrics import (
+    MethodStats,
+    relative_distance_deviation,
+    relative_utility_deviation,
+)
+from repro.simulation.runner import BatchRunner, RunReport
+from repro.simulation.server import Server
+
+__all__ = [
+    "ProblemInstance",
+    "Server",
+    "BatchRunner",
+    "RunReport",
+    "MethodStats",
+    "relative_utility_deviation",
+    "relative_distance_deviation",
+]

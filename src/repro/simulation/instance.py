@@ -1,0 +1,180 @@
+"""The PA-TA problem instance (Definition 5).
+
+A :class:`ProblemInstance` freezes everything that is *given* before any
+algorithm runs: the task and worker populations, the utility model
+(``f_d``, ``f_p``), the reachability sets ``R_j`` (tasks inside each
+worker's service circle), the true distances of the feasible pairs, and
+each pair's privacy budget vector ``eps_ij``.
+
+Real distances are private inputs: solvers only hand them to the
+worker-local side of the computation (noise draws and PPCF gates), never
+to the server model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.budgets import BudgetSampler, BudgetVector
+from repro.core.utility import UtilityModel
+from repro.errors import InvalidInstanceError
+from repro.datasets.workload import Batch, Task, Worker
+from repro.spatial.geometry import euclidean
+from repro.spatial.index import GridIndex
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """Immutable PA-TA instance over index-aligned tasks and workers.
+
+    Algorithms address tasks and workers by position (``0..m-1`` /
+    ``0..n-1``); public identifiers live on the :class:`Task` and
+    :class:`Worker` records.  Construction is via :meth:`build`.
+    """
+
+    tasks: tuple[Task, ...]
+    workers: tuple[Worker, ...]
+    model: UtilityModel
+    reachable: tuple[tuple[int, ...], ...]
+    distances: dict[tuple[int, int], float]
+    budgets: dict[tuple[int, int], BudgetVector]
+    candidates: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.reachable) != len(self.workers):
+            raise InvalidInstanceError(
+                f"reachable has {len(self.reachable)} entries for {len(self.workers)} workers"
+            )
+        per_task: list[list[int]] = [[] for _ in self.tasks]
+        for j, tasks_in_range in enumerate(self.reachable):
+            for i in tasks_in_range:
+                if not 0 <= i < len(self.tasks):
+                    raise InvalidInstanceError(f"worker {j} reaches unknown task index {i}")
+                if (i, j) not in self.distances:
+                    raise InvalidInstanceError(f"feasible pair ({i}, {j}) has no distance")
+                if (i, j) not in self.budgets:
+                    raise InvalidInstanceError(f"feasible pair ({i}, {j}) has no budget vector")
+                per_task[i].append(j)
+        object.__setattr__(self, "candidates", tuple(tuple(c) for c in per_task))
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        tasks: Sequence[Task],
+        workers: Sequence[Worker],
+        budget_sampler: BudgetSampler | None = None,
+        model: UtilityModel | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "ProblemInstance":
+        """Materialise reachability, distances and budget vectors.
+
+        ``seed`` drives only the budget-vector draws; distances are exact.
+        """
+        rng = ensure_rng(seed)
+        sampler = budget_sampler or BudgetSampler()
+        utility_model = model or UtilityModel()
+        tasks = tuple(tasks)
+        workers = tuple(workers)
+        _check_unique_ids(tasks, workers)
+
+        index = GridIndex([t.location for t in tasks]) if tasks else None
+        reachable: list[tuple[int, ...]] = []
+        distances: dict[tuple[int, int], float] = {}
+        budgets: dict[tuple[int, int], BudgetVector] = {}
+        for j, worker in enumerate(workers):
+            in_range = (
+                tuple(index.query_circle(worker.location, worker.radius)) if index else ()
+            )
+            reachable.append(in_range)
+            for i in in_range:
+                distances[(i, j)] = euclidean(worker.location, tasks[i].location)
+                budgets[(i, j)] = sampler.sample(rng)
+        return cls(
+            tasks=tasks,
+            workers=workers,
+            model=utility_model,
+            reachable=tuple(reachable),
+            distances=distances,
+            budgets=budgets,
+        )
+
+    @classmethod
+    def from_batch(
+        cls,
+        batch: Batch,
+        budget_sampler: BudgetSampler | None = None,
+        model: UtilityModel | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "ProblemInstance":
+        """Build an instance from one workload batch."""
+        return cls.build(batch.tasks, batch.workers, budget_sampler, model, seed)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def num_feasible_pairs(self) -> int:
+        return len(self.distances)
+
+    def feasible_pairs(self) -> Iterator[tuple[int, int]]:
+        """All ``(task_index, worker_index)`` pairs with reachability."""
+        return iter(self.distances)
+
+    def distance(self, task_index: int, worker_index: int) -> float:
+        """True distance of a feasible pair.
+
+        Raises
+        ------
+        InvalidInstanceError
+            If the pair is infeasible (outside the worker's service area).
+        """
+        try:
+            return self.distances[(task_index, worker_index)]
+        except KeyError:
+            raise InvalidInstanceError(
+                f"pair (task {task_index}, worker {worker_index}) is not feasible"
+            ) from None
+
+    def budget_vector(self, task_index: int, worker_index: int) -> BudgetVector:
+        """The privacy budget vector ``eps_ij`` of a feasible pair."""
+        try:
+            return self.budgets[(task_index, worker_index)]
+        except KeyError:
+            raise InvalidInstanceError(
+                f"pair (task {task_index}, worker {worker_index}) is not feasible"
+            ) from None
+
+    def base_utility(self, task_index: int, worker_index: int) -> float:
+        """``v_i - f_d(d_ij)``: utility before any privacy cost."""
+        task = self.tasks[task_index]
+        return self.model.utility(task.value, self.distance(task_index, worker_index))
+
+    def mean_tasks_per_worker(self) -> float:
+        """Average ``|R_j|`` — the density statistic driving Figures 7/8."""
+        if not self.workers:
+            return 0.0
+        return sum(len(r) for r in self.reachable) / len(self.workers)
+
+
+def _check_unique_ids(tasks: tuple[Task, ...], workers: tuple[Worker, ...]) -> None:
+    task_ids = {t.id for t in tasks}
+    if len(task_ids) != len(tasks):
+        raise InvalidInstanceError("task ids must be unique")
+    worker_ids = {w.id for w in workers}
+    if len(worker_ids) != len(workers):
+        raise InvalidInstanceError("worker ids must be unique")

@@ -1,0 +1,96 @@
+"""The Section VII-C measures, aggregated across batches.
+
+Per-pair measures live on :class:`~repro.core.result.AssignmentResult`;
+this module aggregates them over a batch sequence and computes the paper's
+relative deviations:
+
+* ``U_RD = (U_NP - U_P) / U_NP`` — how much utility privacy costs,
+* ``D_RD = (D_P - D_NP) / D_NP`` — how much distance privacy costs,
+
+each private method against its Table IX non-private counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.result import AssignmentResult
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MethodStats",
+    "relative_utility_deviation",
+    "relative_distance_deviation",
+]
+
+
+@dataclass
+class MethodStats:
+    """Running aggregate of one method over a sequence of batches."""
+
+    method: str
+    batches: int = 0
+    matched: int = 0
+    total_utility: float = 0.0
+    total_distance: float = 0.0
+    total_elapsed: float = 0.0
+    total_publishes: int = 0
+    total_privacy_spend: float = 0.0
+    total_rounds: int = 0
+
+    def add(self, result: AssignmentResult) -> None:
+        """Fold one batch result into the aggregate."""
+        if result.method != self.method:
+            raise ConfigurationError(
+                f"cannot add {result.method!r} result to {self.method!r} stats"
+            )
+        self.batches += 1
+        self.matched += result.matched_count
+        self.total_utility += result.total_utility
+        self.total_distance += result.total_distance
+        self.total_elapsed += result.elapsed_seconds
+        self.total_publishes += result.publishes
+        self.total_privacy_spend += result.total_privacy_spend
+        self.total_rounds += result.rounds
+
+    @property
+    def average_utility(self) -> float:
+        """``U_AVG`` over all matched pairs of all batches."""
+        return self.total_utility / self.matched if self.matched else 0.0
+
+    @property
+    def average_distance(self) -> float:
+        """``D_AVG`` over all matched pairs of all batches."""
+        return self.total_distance / self.matched if self.matched else 0.0
+
+    @property
+    def elapsed_ms_per_batch(self) -> float:
+        """Mean wall-clock per batch in milliseconds (the Figure 4 axis)."""
+        return 1000.0 * self.total_elapsed / self.batches if self.batches else 0.0
+
+
+def relative_utility_deviation(non_private: MethodStats, private: MethodStats) -> float:
+    """``U_RD = (U_NP - U_P) / U_NP`` (Section VII-C).
+
+    Raises
+    ------
+    ConfigurationError
+        If the non-private reference utility is zero (undefined ratio;
+        cannot occur at the paper's parameter ranges).
+    """
+    reference = non_private.average_utility
+    if reference == 0.0:
+        raise ConfigurationError(
+            f"U_RD undefined: non-private reference {non_private.method} has zero utility"
+        )
+    return (reference - private.average_utility) / reference
+
+
+def relative_distance_deviation(non_private: MethodStats, private: MethodStats) -> float:
+    """``D_RD = (D_P - D_NP) / D_NP`` (Section VII-C)."""
+    reference = non_private.average_distance
+    if reference == 0.0:
+        raise ConfigurationError(
+            f"D_RD undefined: non-private reference {non_private.method} has zero distance"
+        )
+    return (private.average_distance - reference) / reference

@@ -1,0 +1,152 @@
+"""The untrusted-server model.
+
+The paper's threat model (Sections I, III): the platform is *untrusted*,
+so everything a worker sends it — every (obfuscated distance, budget)
+release and the evolving allocation list — is world-readable, including by
+rival workers.  :class:`Server` is exactly that public state:
+
+* the **release board**: per (task, worker) pair, the append-only
+  :class:`~repro.core.effective.ReleaseSet` of published proposals,
+* the **allocation list** ``AL``: current winner (or ``None``) per task,
+* the **privacy ledger**: the audit trail behind Theorems V.2 / VI.4.
+
+Workers' true distances never enter this class; solvers keep them on the
+worker side.
+"""
+
+from __future__ import annotations
+
+from repro.core.effective import EffectivePair, ReleaseSet
+from repro.errors import InvalidInstanceError, MatchingError
+from repro.matching.bipartite import Matching
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.instance import ProblemInstance
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Public platform state for one assignment episode."""
+
+    def __init__(self, instance: ProblemInstance):
+        self._instance = instance
+        self._board: dict[tuple[int, int], ReleaseSet] = {}
+        self._allocation: list[int | None] = [None] * instance.num_tasks
+        self._holding: dict[int, int] = {}  # worker index -> task index
+        self.ledger = PrivacyLedger()
+        self.publish_count = 0
+
+    # -- release board -----------------------------------------------------
+
+    def publish(self, task_index: int, worker_index: int, value: float, epsilon: float) -> None:
+        """Record one published (obfuscated distance, budget) release."""
+        board_key = (task_index, worker_index)
+        self._board.setdefault(board_key, ReleaseSet()).add(value, epsilon)
+        task = self._instance.tasks[task_index]
+        worker = self._instance.workers[worker_index]
+        self.ledger.record(worker.id, task.id, epsilon)
+        self.publish_count += 1
+
+    def release_set(self, task_index: int, worker_index: int) -> ReleaseSet:
+        """The (possibly empty) release set of a pair."""
+        return self._board.setdefault((task_index, worker_index), ReleaseSet())
+
+    def has_releases(self, task_index: int, worker_index: int) -> bool:
+        releases = self._board.get((task_index, worker_index))
+        return bool(releases)
+
+    def effective_pair(self, task_index: int, worker_index: int) -> EffectivePair:
+        """The pair's effective obfuscated distance and budget.
+
+        Raises
+        ------
+        InvalidInstanceError
+            If the worker has never published toward the task.
+        """
+        releases = self._board.get((task_index, worker_index))
+        if not releases:
+            raise InvalidInstanceError(
+                f"worker {worker_index} has no releases toward task {task_index}"
+            )
+        return releases.effective_pair()
+
+    def worker_spend(self, worker_index: int) -> float:
+        """Total published budget of a worker (public information)."""
+        return self.ledger.worker_spend(self._instance.workers[worker_index].id)
+
+    def board(self) -> dict[tuple[int, int], ReleaseSet]:
+        """The world-readable release board, keyed by *public ids*.
+
+        ``{(task_id, worker_id): ReleaseSet}`` for every pair with at
+        least one published release — exactly what a curious observer of
+        the untrusted platform sees, and what
+        :mod:`repro.privacy.attack` consumes.
+        """
+        published = {}
+        for (i, j), releases in self._board.items():
+            if releases:
+                key = (self._instance.tasks[i].id, self._instance.workers[j].id)
+                published[key] = releases
+        return published
+
+    # -- allocation list -----------------------------------------------------
+
+    def winner(self, task_index: int) -> int | None:
+        """Current winner (worker index) of a task, or ``None``."""
+        return self._allocation[task_index]
+
+    def task_of(self, worker_index: int) -> int | None:
+        """Task currently held by a worker, or ``None``."""
+        return self._holding.get(worker_index)
+
+    def assign(self, task_index: int, worker_index: int) -> int | None:
+        """Make ``worker_index`` the winner of ``task_index``.
+
+        The worker's previously held task (if any) is vacated.  Returns the
+        displaced previous winner of ``task_index`` (or ``None``).
+        """
+        previous = self._allocation[task_index]
+        if previous == worker_index:
+            return None
+        held = self._holding.get(worker_index)
+        if held is not None:
+            self._allocation[held] = None
+            del self._holding[worker_index]
+        if previous is not None:
+            del self._holding[previous]
+        self._allocation[task_index] = worker_index
+        self._holding[worker_index] = task_index
+        return previous
+
+    def unassign(self, task_index: int) -> int | None:
+        """Vacate a task; returns the removed winner (or ``None``)."""
+        previous = self._allocation[task_index]
+        if previous is not None:
+            self._allocation[task_index] = None
+            del self._holding[previous]
+        return previous
+
+    def allocation(self) -> tuple[int | None, ...]:
+        """The allocation list ``AL`` (winner index per task)."""
+        return tuple(self._allocation)
+
+    def matching(self) -> Matching:
+        """The allocation as an id-keyed :class:`Matching`.
+
+        Raises
+        ------
+        MatchingError
+            If internal state ever violated one-to-one-ness (defensive;
+            :meth:`assign` maintains the invariant).
+        """
+        pairs: dict[object, object] = {}
+        for task_index, worker_index in enumerate(self._allocation):
+            if worker_index is None:
+                continue
+            task = self._instance.tasks[task_index]
+            worker = self._instance.workers[worker_index]
+            pairs[task.id] = worker.id
+        try:
+            return Matching(pairs)
+        except MatchingError as exc:  # pragma: no cover - invariant guard
+            raise MatchingError(f"server allocation corrupted: {exc}") from exc

@@ -1,0 +1,32 @@
+"""Spatial substrate: points, metrics, regions, and a grid index.
+
+The paper's workers own circular service areas (Definition 2) and only
+propose to tasks inside them.  This subpackage supplies the geometry needed
+to materialise those reachability sets efficiently:
+
+* :mod:`repro.spatial.geometry` -- points and distance metrics,
+* :mod:`repro.spatial.region`   -- circles and bounding boxes,
+* :mod:`repro.spatial.index`    -- a uniform grid index for circular range
+  queries over large point sets.
+"""
+
+from repro.spatial.geometry import (
+    Point,
+    euclidean,
+    haversine_km,
+    pairwise_euclidean,
+    squared_euclidean,
+)
+from repro.spatial.index import GridIndex
+from repro.spatial.region import BoundingBox, Circle
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "squared_euclidean",
+    "haversine_km",
+    "pairwise_euclidean",
+    "BoundingBox",
+    "Circle",
+    "GridIndex",
+]

@@ -1,0 +1,119 @@
+"""Planar regions: axis-aligned bounding boxes and circles.
+
+Workers' service areas (Definition 2 of the paper) are circles; the grid
+index prunes candidate cells with bounding boxes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.spatial.geometry import Point, squared_euclidean
+
+__all__ = ["BoundingBox", "Circle"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[tuple[float, float]]) -> "BoundingBox":
+        """Smallest box containing ``points`` (which must be non-empty)."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for x, y in points:
+            xs.append(x)
+            ys.append(y)
+        if not xs:
+            raise ValueError("cannot build a bounding box from zero points")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: tuple[float, float]) -> bool:
+        """Whether ``point`` lies inside (boundary inclusive)."""
+        x, y = point
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes share any point (boundary inclusive)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A disc: the worker service area of Definition 2."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        if not isinstance(self.center, Point):
+            object.__setattr__(self, "center", Point(*self.center))
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def contains(self, point: tuple[float, float]) -> bool:
+        """Whether ``point`` lies in the disc (boundary inclusive)."""
+        return squared_euclidean(self.center, point) <= self.radius * self.radius
+
+    def bounding_box(self) -> BoundingBox:
+        """The smallest axis-aligned box containing the disc."""
+        return BoundingBox(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def intersects_box(self, box: BoundingBox) -> bool:
+        """Whether the disc intersects ``box`` (boundary inclusive)."""
+        nearest_x = min(max(self.center.x, box.min_x), box.max_x)
+        nearest_y = min(max(self.center.y, box.min_y), box.max_y)
+        return squared_euclidean(self.center, (nearest_x, nearest_y)) <= self.radius * self.radius

@@ -1,0 +1,5 @@
+"""Small shared utilities (random-number plumbing)."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+__all__ = ["ensure_rng", "spawn_rng"]

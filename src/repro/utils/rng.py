@@ -1,0 +1,34 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point of the library accepts either an integer seed
+or a ready :class:`numpy.random.Generator`; :func:`ensure_rng` normalises
+the two.  Internal components that need independent streams derive them
+with :func:`spawn_rng` so that a single top-level seed reproduces an entire
+experiment regardless of evaluation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator; an integer yields a
+    seeded one; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    The child's seed is drawn from ``rng``, so repeated calls yield
+    distinct, reproducible streams.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,99 @@
+"""Shared fixtures and instance-building helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budgets import BudgetSampler, BudgetVector
+from repro.core.utility import UtilityModel
+from repro.datasets.workload import Task, Worker
+from repro.simulation.instance import ProblemInstance
+from repro.spatial.geometry import Point
+
+
+def build_instance(
+    task_specs,
+    worker_specs,
+    budgets=None,
+    model=None,
+    seed=0,
+    budget_sampler=None,
+):
+    """Construct a small deterministic instance from explicit specs.
+
+    Parameters
+    ----------
+    task_specs:
+        Sequence of ``(x, y, value)`` tuples.
+    worker_specs:
+        Sequence of ``(x, y, radius)`` tuples.
+    budgets:
+        Optional ``{(task_index, worker_index): (eps, ...)}`` overriding the
+        sampled vectors for those feasible pairs.
+    """
+    tasks = [
+        Task(id=i, location=Point(x, y), value=v)
+        for i, (x, y, v) in enumerate(task_specs)
+    ]
+    workers = [
+        Worker(id=j, location=Point(x, y), radius=r)
+        for j, (x, y, r) in enumerate(worker_specs)
+    ]
+    instance = ProblemInstance.build(
+        tasks,
+        workers,
+        budget_sampler=budget_sampler or BudgetSampler(),
+        model=model or UtilityModel(),
+        seed=seed,
+    )
+    if budgets:
+        merged = dict(instance.budgets)
+        for pair, epsilons in budgets.items():
+            if pair not in merged:
+                raise AssertionError(f"pair {pair} is not feasible in this instance")
+            merged[pair] = BudgetVector(tuple(float(e) for e in epsilons))
+        instance = ProblemInstance(
+            tasks=instance.tasks,
+            workers=instance.workers,
+            model=instance.model,
+            reachable=instance.reachable,
+            distances=instance.distances,
+            budgets=merged,
+        )
+    return instance
+
+
+def line_instance(num_tasks=3, num_workers=4, spacing=1.0, value=4.5, radius=2.5, seed=0):
+    """Tasks and workers interleaved on a line — a simple dense testbed."""
+    task_specs = [(i * spacing, 0.0, value) for i in range(num_tasks)]
+    worker_specs = [
+        (j * spacing * num_tasks / max(num_workers, 1), 0.3, radius)
+        for j in range(num_workers)
+    ]
+    return build_instance(task_specs, worker_specs, seed=seed)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_instance():
+    """3 tasks x 4 workers, everyone in range of everything."""
+    return build_instance(
+        task_specs=[(0.0, 0.0, 5.0), (1.0, 0.0, 5.0), (2.0, 0.0, 5.0)],
+        worker_specs=[(0.1, 0.2, 5.0), (0.9, -0.2, 5.0), (2.1, 0.1, 5.0), (1.5, 0.5, 5.0)],
+        seed=42,
+    )
+
+
+@pytest.fixture
+def medium_instance():
+    """A generated 60x120 normal batch for solver-level tests."""
+    from repro.datasets.synthetic import NormalGenerator
+
+    return NormalGenerator(num_tasks=60, num_workers=120, seed=9).instance(
+        task_value=4.5, worker_range=1.4
+    )

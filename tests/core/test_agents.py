@@ -1,0 +1,108 @@
+"""Unit tests for worker agents: draws, budgets, publishing."""
+
+import numpy as np
+import pytest
+
+from repro.core.agents import WorkerAgent, build_agents
+from repro.errors import BudgetExhaustedError
+from repro.simulation.server import Server
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def setup():
+    instance = build_instance(
+        task_specs=[(0.0, 0.0, 5.0), (1.0, 0.0, 5.0)],
+        worker_specs=[(0.5, 0.0, 3.0)],
+        budgets={(0, 0): (0.5, 0.7), (1, 0): (0.6, 0.9)},
+    )
+    server = Server(instance)
+    agent = WorkerAgent(0, instance, np.random.default_rng(1))
+    return instance, server, agent
+
+
+class TestWorkerAgent:
+    def test_tasks_in_range(self, setup):
+        _, _, agent = setup
+        assert agent.tasks_in_range == (0, 1)
+
+    def test_true_distance_private_access(self, setup):
+        instance, _, agent = setup
+        assert agent.true_distance(0) == instance.distance(0, 0)
+
+    def test_peek_draw_is_cached(self, setup):
+        _, server, agent = setup
+        first = agent.peek_proposal(0, server)
+        second = agent.peek_proposal(0, server)
+        assert first.obfuscated_distance == second.obfuscated_distance
+        assert first.epsilon == second.epsilon == 0.5
+
+    def test_peek_does_not_publish_or_spend(self, setup):
+        _, server, agent = setup
+        agent.peek_proposal(0, server)
+        assert agent.spent == 0.0
+        assert server.publish_count == 0
+        assert not server.has_releases(0, 0)
+
+    def test_publish_commits(self, setup):
+        _, server, agent = setup
+        proposal = agent.peek_proposal(0, server)
+        agent.publish(proposal, server)
+        assert agent.spent == pytest.approx(0.5)
+        assert server.publish_count == 1
+        assert server.effective_pair(0, 0).epsilon == 0.5
+        assert agent.pair_budget(0).used == 1
+
+    def test_publish_stale_proposal_rejected(self, setup):
+        _, server, agent = setup
+        proposal = agent.peek_proposal(0, server)
+        agent.publish(proposal, server)
+        with pytest.raises(RuntimeError, match="stale"):
+            agent.publish(proposal, server)
+
+    def test_budget_exhaustion(self, setup):
+        _, server, agent = setup
+        for _ in range(2):
+            agent.publish(agent.peek_proposal(0, server), server)
+        assert not agent.can_propose(0)
+        with pytest.raises(BudgetExhaustedError):
+            agent.peek_proposal(0, server)
+
+    def test_successive_draws_differ(self, setup):
+        _, server, agent = setup
+        first = agent.peek_proposal(0, server)
+        agent.publish(first, server)
+        second = agent.peek_proposal(0, server)
+        assert second.budget_index == 1
+        assert second.obfuscated_distance != first.obfuscated_distance
+
+    def test_preload_draw_pins_release(self, setup):
+        _, server, agent = setup
+        agent.preload_draw(0, 0, 42.0)
+        proposal = agent.peek_proposal(0, server)
+        assert proposal.obfuscated_distance == 42.0
+
+    def test_effective_pair_reflects_board(self, setup):
+        _, server, agent = setup
+        agent.preload_draw(0, 0, 10.0)
+        agent.preload_draw(0, 1, 11.0)
+        agent.publish(agent.peek_proposal(0, server), server)
+        tentative = agent.peek_proposal(0, server)
+        # Board holds 10.0@0.5; hypothetical adds 11.0@0.7 -> median 11.0.
+        assert tentative.effective.distance == 11.0
+        assert tentative.effective.epsilon == 0.7
+
+    def test_noise_centred_on_true_distance(self, setup):
+        instance, server, _ = setup
+        draws = []
+        for seed in range(2000):
+            agent = WorkerAgent(0, instance, np.random.default_rng(seed))
+            draws.append(agent.peek_proposal(0, server).obfuscated_distance)
+        assert float(np.mean(draws)) == pytest.approx(instance.distance(0, 0), abs=0.15)
+
+
+class TestBuildAgents:
+    def test_one_agent_per_worker(self, small_instance, rng):
+        agents = build_agents(small_instance, rng)
+        assert len(agents) == small_instance.num_workers
+        assert [a.index for a in agents] == list(range(small_instance.num_workers))

@@ -1,0 +1,100 @@
+"""Unit tests for budget vectors and consumption state."""
+
+import numpy as np
+import pytest
+
+from repro.core.budgets import BudgetSampler, BudgetVector, PairBudget
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+
+class TestBudgetVector:
+    def test_basics(self):
+        vector = BudgetVector((0.5, 0.7, 1.0))
+        assert len(vector) == 3
+        assert vector[1] == 0.7
+        assert vector.total == pytest.approx(2.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            BudgetVector(())
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            BudgetVector((0.5, 0.0))
+
+
+class TestPairBudget:
+    def test_consume_in_order(self):
+        budget = PairBudget(BudgetVector((0.5, 0.7, 1.0)))
+        assert budget.peek() == 0.5
+        assert budget.consume() == 0.5
+        assert budget.consume() == 0.7
+        assert budget.remaining == 1
+        assert budget.spent == pytest.approx(1.2)
+
+    def test_exhaustion(self):
+        budget = PairBudget(BudgetVector((0.5,)))
+        budget.consume()
+        assert budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.peek()
+        with pytest.raises(BudgetExhaustedError):
+            budget.consume()
+
+    def test_next_index(self):
+        budget = PairBudget(BudgetVector((0.5, 0.7)))
+        assert budget.next_index == 0
+        budget.consume()
+        assert budget.next_index == 1
+
+    def test_invalid_used_count(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            PairBudget(BudgetVector((0.5,)), used=2)
+
+    def test_peek_does_not_consume(self):
+        budget = PairBudget(BudgetVector((0.5, 0.7)))
+        budget.peek()
+        budget.peek()
+        assert budget.used == 0
+
+
+class TestBudgetSampler:
+    def test_defaults_match_table_x(self):
+        sampler = BudgetSampler()
+        assert sampler.low == 0.5
+        assert sampler.high == 1.75
+        assert sampler.group_size == 7
+
+    def test_sample_shape_and_range(self, rng):
+        sampler = BudgetSampler(low=0.5, high=1.75, group_size=7)
+        vector = sampler.sample(rng)
+        assert len(vector) == 7
+        assert all(0.5 <= e <= 1.75 for e in vector.epsilons)
+
+    def test_sorted_ascending_by_default(self, rng):
+        vector = BudgetSampler().sample(rng)
+        assert list(vector.epsilons) == sorted(vector.epsilons)
+
+    def test_unsorted_option(self, rng):
+        sampler = BudgetSampler(group_size=200, sort_ascending=False)
+        vector = sampler.sample(rng)
+        assert list(vector.epsilons) != sorted(vector.epsilons)
+
+    def test_reproducible_given_seed(self):
+        a = BudgetSampler().sample(np.random.default_rng(5))
+        b = BudgetSampler().sample(np.random.default_rng(5))
+        assert a == b
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError, match="low"):
+            BudgetSampler(low=0.0, high=1.0)
+        with pytest.raises(ConfigurationError, match="low"):
+            BudgetSampler(low=2.0, high=1.0)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ConfigurationError, match="group_size"):
+            BudgetSampler(group_size=0)
+
+    def test_degenerate_interval(self, rng):
+        vector = BudgetSampler(low=1.0, high=1.0, group_size=3).sample(rng)
+        assert vector.epsilons == (1.0, 1.0, 1.0)

@@ -1,0 +1,160 @@
+"""Unit tests for the Conflict Elimination Algorithm (Section IV)."""
+
+import math
+
+from repro.core.cea import (
+    Candidate,
+    conflict_eliminate,
+    rank_candidates,
+    resolve_top_conflicts,
+)
+
+# Table II / Table III of the paper: distances of the CEA review example.
+TABLE_II = {
+    ("t1", "w1"): 9.06,
+    ("t1", "w2"): 9.85,
+    ("t1", "w3"): 12.04,
+    ("t2", "w3"): 2.09,
+    ("t2", "w1"): 10.44,
+    ("t2", "w2"): 12.59,
+    ("t3", "w3"): 2.00,
+    ("t3", "w2"): 11.28,
+    ("t3", "w1"): 18.87,
+}
+
+
+class TestRankCandidates:
+    def test_table_ii_rank_matrix(self):
+        ranks = rank_candidates(TABLE_II)
+        assert [c.worker for c in ranks["t1"]] == ["w1", "w2", "w3"]
+        assert [c.worker for c in ranks["t2"]] == ["w3", "w1", "w2"]
+        assert [c.worker for c in ranks["t3"]] == ["w3", "w2", "w1"]
+
+    def test_tie_break_deterministic(self):
+        ranks = rank_candidates({("t", "b"): 1.0, ("t", "a"): 1.0})
+        assert [c.worker for c in ranks["t"]] == ["a", "b"]
+
+    def test_empty(self):
+        assert rank_candidates({}) == {}
+
+
+class TestConflictEliminate:
+    def test_paper_section_iv_example(self):
+        # w3 is wanted by t2 and t3; the paper resolves the conflict to
+        # C2: w3 -> t3 (t3's runner-up 11.28 is worse than t2's 10.44).
+        ranks = rank_candidates(TABLE_II)
+        assignment = conflict_eliminate(ranks)
+        assert assignment["t3"] == "w3"
+        # Full CEA then lets t2 fall through to its runner-up w1, which
+        # conflicts with t1's first choice w1; t2's fallback (12.59) is
+        # worse than t1's (9.85), so w1 keeps t2 and t1 takes w2.
+        assert assignment["t2"] == "w1"
+        assert assignment["t1"] == "w2"
+
+    def test_no_conflict_everyone_gets_first_choice(self):
+        prefs = {
+            "t1": [Candidate("w1", 1.0), Candidate("w2", 2.0)],
+            "t2": [Candidate("w2", 1.0), Candidate("w1", 2.0)],
+        }
+        assert conflict_eliminate(prefs) == {"t1": "w1", "t2": "w2"}
+
+    def test_task_with_no_fallback_keeps_conflict_worker(self):
+        # t2 has only w1; t1 could fall back to w2 -> w1 must keep t2.
+        prefs = {
+            "t1": [Candidate("w1", 1.0), Candidate("w2", 5.0)],
+            "t2": [Candidate("w1", 1.0)],
+        }
+        assignment = conflict_eliminate(prefs)
+        assert assignment == {"t2": "w1", "t1": "w2"}
+
+    def test_exhausted_task_left_unassigned(self):
+        prefs = {
+            "t1": [Candidate("w1", 1.0)],
+            "t2": [Candidate("w1", 2.0)],
+        }
+        assignment = conflict_eliminate(prefs)
+        assert assignment == {"t1": "w1"}  # t2 has no one left
+
+    def test_empty_preferences(self):
+        assert conflict_eliminate({}) == {}
+        assert conflict_eliminate({"t": []}) == {}
+
+    def test_one_to_one_invariant(self, rng):
+        for _ in range(25):
+            num_tasks, num_workers = 6, 4
+            prefs = {}
+            for t in range(num_tasks):
+                workers = rng.permutation(num_workers)[: rng.integers(1, num_workers + 1)]
+                keys = sorted(rng.uniform(0, 10, size=len(workers)))
+                prefs[t] = [Candidate(int(w), float(k)) for w, k in zip(workers, keys)]
+            assignment = conflict_eliminate(prefs)
+            assert len(set(assignment.values())) == len(assignment)
+
+    def test_cascading_conflicts_terminate(self):
+        # Every task prefers the same two workers.
+        prefs = {
+            t: [Candidate("a", 1.0 + t), Candidate("b", 2.0 + t)] for t in range(5)
+        }
+        assignment = conflict_eliminate(prefs)
+        assert len(assignment) == 2
+        assert set(assignment.values()) == {"a", "b"}
+
+
+class TestResolveTopConflicts:
+    def test_no_conflicts(self):
+        competing = {
+            "t1": [Candidate("w1", 1.0)],
+            "t2": [Candidate("w2", 1.0)],
+        }
+        decisions = resolve_top_conflicts(competing)
+        assert decisions["t1"].worker == "w1"
+        assert decisions["t2"].worker == "w2"
+
+    def test_conflict_goes_to_worst_runner_up(self):
+        # Example 2's round 1: w2 tops t2 and t3; t3's runner-up key (0.18)
+        # exceeds t2's (0.1), so w2 keeps t3 and t2 gets NO decision.
+        competing = {
+            "t2": [Candidate("w2", 0.04), Candidate("w1", 0.1)],
+            "t3": [Candidate("w2", -0.19), Candidate("w3", 0.18)],
+        }
+        decisions = resolve_top_conflicts(competing)
+        assert decisions == {"t3": Candidate("w2", -0.19)}
+
+    def test_no_runner_up_counts_as_infinite(self):
+        competing = {
+            "t1": [Candidate("w", 1.0), Candidate("other", 2.0)],
+            "t2": [Candidate("w", 1.0)],
+        }
+        decisions = resolve_top_conflicts(competing)
+        assert list(decisions) == ["t2"]
+
+    def test_losing_task_not_assigned_runner_up(self):
+        competing = {
+            "t1": [Candidate("w", 1.0), Candidate("x", 9.0)],
+            "t2": [Candidate("w", 1.0)],
+        }
+        decisions = resolve_top_conflicts(competing)
+        assert "t1" not in decisions  # x is NOT auto-assigned (Example 2)
+
+    def test_tie_breaks_to_smallest_task(self):
+        competing = {
+            2: [Candidate("w", 1.0), Candidate("a", 5.0)],
+            1: [Candidate("w", 1.0), Candidate("b", 5.0)],
+        }
+        decisions = resolve_top_conflicts(competing)
+        assert list(decisions) == [1]
+
+    def test_empty_entries_ignored(self):
+        assert resolve_top_conflicts({"t": []}) == {}
+
+    def test_multiple_independent_conflicts(self):
+        competing = {
+            "t1": [Candidate("w1", 1.0), Candidate("x", 3.0)],
+            "t2": [Candidate("w1", 1.0), Candidate("x", 2.0)],
+            "t3": [Candidate("w2", 1.0), Candidate("y", 3.0)],
+            "t4": [Candidate("w2", 1.0), Candidate("y", 2.0)],
+        }
+        decisions = resolve_top_conflicts(competing)
+        assert decisions["t1"].worker == "w1"
+        assert decisions["t3"].worker == "w2"
+        assert "t2" not in decisions and "t4" not in decisions

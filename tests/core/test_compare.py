@@ -1,0 +1,125 @@
+"""Unit tests for PCF and PPCF (Definition 6, Eq. 3, Theorem V.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import (
+    pcf,
+    pcf_correctness,
+    pcf_prefers_first,
+    ppcf,
+    ppcf_correctness,
+    ppcf_prefers_first,
+)
+from repro.privacy.laplace import sample_laplace
+
+
+class TestPCF:
+    def test_equal_observations_give_half(self):
+        assert pcf(3.0, 3.0, 1.0, 2.0) == pytest.approx(0.5)
+
+    def test_lemma_x1_halfpoint_equivalence(self):
+        # PCF > 1/2  <=>  da_hat < db_hat, for any budgets.
+        for eps_a, eps_b in [(1.0, 1.0), (0.3, 2.5), (4.0, 0.2)]:
+            assert pcf(1.0, 2.0, eps_a, eps_b) > 0.5
+            assert pcf(2.0, 1.0, eps_a, eps_b) < 0.5
+
+    def test_probability_range(self, rng):
+        for _ in range(100):
+            a, b = rng.normal(size=2) * 5
+            ea, eb = rng.uniform(0.1, 3, size=2)
+            assert 0.0 <= pcf(a, b, ea, eb) <= 1.0
+
+    def test_complement_under_swap(self):
+        # Pr[da < db] + Pr[db < da] = 1 for continuous noise.
+        assert pcf(1.0, 2.5, 0.7, 1.3) + pcf(2.5, 1.0, 1.3, 0.7) == pytest.approx(1.0)
+
+    def test_larger_gap_more_confident(self):
+        p1 = pcf(1.0, 2.0, 1.0, 1.0)
+        p2 = pcf(1.0, 5.0, 1.0, 1.0)
+        assert p2 > p1 > 0.5
+
+    def test_monte_carlo_semantics(self, rng):
+        # PCF is Pr[d_a < d_b | observations]: check the frequentist dual —
+        # among repeated obfuscations of fixed (d_a, d_b), PCF's decision
+        # agrees with the truth at the rate pcf_correctness predicts.
+        d_a, d_b, eps_a, eps_b = 1.0, 2.2, 0.8, 1.4
+        trials = 40_000
+        a_hat = d_a + sample_laplace(rng, eps_a, size=trials)
+        b_hat = d_b + sample_laplace(rng, eps_b, size=trials)
+        correct = np.mean(a_hat < b_hat)
+        assert correct == pytest.approx(pcf_correctness(d_b - d_a, eps_a, eps_b), abs=0.01)
+
+    def test_prefers_first_consistency(self):
+        assert pcf_prefers_first(1.0, 2.0, 1.0, 1.0)
+        assert not pcf_prefers_first(2.0, 1.0, 1.0, 1.0)
+
+
+class TestPPCF:
+    def test_halfpoint_equivalence_eq3(self):
+        # PPCF > 1/2  <=>  d_a < db_hat.
+        assert ppcf(1.0, 2.0, 1.0) > 0.5
+        assert ppcf(2.0, 1.0, 1.0) < 0.5
+        assert ppcf(1.5, 1.5, 3.0) == pytest.approx(0.5)
+
+    def test_probability_range(self, rng):
+        for _ in range(100):
+            d, b = rng.normal(size=2) * 5
+            eps = rng.uniform(0.1, 3)
+            assert 0.0 <= ppcf(d, b, eps) <= 1.0
+
+    def test_higher_budget_sharper(self):
+        # With db_hat > d_a, more budget on b means more confidence.
+        assert ppcf(1.0, 2.0, 3.0) > ppcf(1.0, 2.0, 0.5)
+
+    def test_monte_carlo_semantics(self, rng):
+        d_a, d_b, eps_b = 0.5, 1.7, 1.1
+        trials = 40_000
+        b_hat = d_b + sample_laplace(rng, eps_b, size=trials)
+        correct = np.mean(d_a < b_hat)
+        assert correct == pytest.approx(ppcf_correctness(d_b - d_a, eps_b), abs=0.01)
+
+    def test_prefers_first_consistency(self):
+        assert ppcf_prefers_first(1.0, 2.0, 1.0)
+        assert not ppcf_prefers_first(2.0, 1.0, 1.0)
+
+
+class TestTheoremV1:
+    """PPCF dominates PCF in correct-decision probability."""
+
+    @pytest.mark.parametrize("eps_x", [0.3, 1.0, 2.5])
+    @pytest.mark.parametrize("eps_y", [0.3, 1.0, 2.5])
+    def test_dominance_on_grid(self, eps_x, eps_y):
+        for gap in (0.05, 0.2, 0.5, 1.0, 2.0, 5.0):
+            assert ppcf_correctness(gap, eps_y) >= pcf_correctness(gap, eps_x, eps_y) - 1e-12
+
+    def test_dominance_random(self, rng):
+        for _ in range(500):
+            gap = float(rng.uniform(0.01, 5))
+            eps_x, eps_y = rng.uniform(0.05, 4, size=2)
+            assert ppcf_correctness(gap, eps_y) >= pcf_correctness(gap, eps_x, eps_y) - 1e-12
+
+    def test_both_approach_certainty(self):
+        assert pcf_correctness(50.0, 1.0, 1.0) == pytest.approx(1.0, abs=1e-6)
+        assert ppcf_correctness(50.0, 1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_both_approach_half_at_zero_gap(self):
+        assert pcf_correctness(1e-9, 1.0, 2.0) == pytest.approx(0.5, abs=1e-6)
+        assert ppcf_correctness(1e-9, 2.0) == pytest.approx(0.5, abs=1e-6)
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap"):
+            pcf_correctness(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="gap"):
+            ppcf_correctness(-1.0, 1.0)
+
+    def test_monte_carlo_dominance(self, rng):
+        # Empirical decision accuracy of PPCF >= PCF on a fixed scenario.
+        d_x, d_y = 1.0, 1.6
+        eps_x, eps_y = 0.6, 0.9
+        trials = 30_000
+        x_hat = d_x + sample_laplace(rng, eps_x, size=trials)
+        y_hat = d_y + sample_laplace(rng, eps_y, size=trials)
+        pcf_acc = np.mean(x_hat < y_hat)
+        ppcf_acc = np.mean(d_x < y_hat)
+        assert ppcf_acc >= pcf_acc

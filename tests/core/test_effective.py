@@ -1,0 +1,114 @@
+"""Unit tests for effective obfuscated distances (Section V-A)."""
+
+import pytest
+
+from repro.core.effective import EffectivePair, Release, ReleaseSet, effective_pair_of
+
+
+class TestEffectivePairOf:
+    def test_paper_example(self):
+        # DE = {(0.1,0.2), (0.2,0.9), (0.3,0.1)}  ->  (0.2, 0.9).
+        releases = [Release(0.1, 0.2), Release(0.2, 0.9), Release(0.3, 0.1)]
+        pair = effective_pair_of(releases)
+        assert pair == EffectivePair(0.2, 0.9)
+
+    def test_single_release_is_itself(self):
+        assert effective_pair_of([Release(3.3, 0.7)]) == EffectivePair(3.3, 0.7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            effective_pair_of([])
+
+    def test_weighted_median_minimises_objective(self):
+        releases = [Release(1.0, 0.4), Release(2.0, 1.1), Release(5.0, 0.2)]
+        chosen = effective_pair_of(releases)
+
+        def objective(d):
+            return sum(r.epsilon * abs(r.value - d) for r in releases)
+
+        best = min(objective(r.value) for r in releases)
+        assert objective(chosen.distance) == pytest.approx(best)
+
+    def test_heaviest_budget_dominates(self):
+        # One release with overwhelming budget pins the median to itself.
+        releases = [Release(0.0, 0.1), Release(10.0, 100.0), Release(20.0, 0.1)]
+        assert effective_pair_of(releases).distance == 10.0
+
+    def test_tie_breaks_to_larger_budget(self):
+        # Two releases, equal weight: both achieve the same objective.
+        releases = [Release(1.0, 0.5), Release(2.0, 0.8)]
+        # objective(1.0)=0.8, objective(2.0)=0.5 -> 2.0 wins outright.
+        assert effective_pair_of(releases).distance == 2.0
+        # Symmetric budgets -> true tie -> larger budget... equal budgets
+        # -> most recent wins.
+        tie = [Release(1.0, 0.5), Release(2.0, 0.5)]
+        assert effective_pair_of(tie) == EffectivePair(2.0, 0.5)
+
+    def test_duplicate_values_accumulate_weight(self):
+        releases = [Release(2.0, 0.3), Release(2.0, 0.3), Release(0.0, 0.5)]
+        assert effective_pair_of(releases).distance == 2.0
+
+    def test_negative_distances_allowed(self):
+        # Heavy noise can push obfuscated distances negative; the MLE
+        # machinery must not care.
+        releases = [Release(-0.5, 1.0), Release(0.2, 0.4)]
+        assert effective_pair_of(releases).distance == -0.5
+
+
+class TestRelease:
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Release(1.0, 0.0)
+
+
+class TestReleaseSet:
+    def test_starts_empty(self):
+        releases = ReleaseSet()
+        assert len(releases) == 0
+        assert not releases
+
+    def test_add_and_effective(self):
+        releases = ReleaseSet()
+        releases.add(0.1, 0.2)
+        releases.add(0.2, 0.9)
+        releases.add(0.3, 0.1)
+        assert releases.effective_pair() == EffectivePair(0.2, 0.9)
+
+    def test_effective_pair_cached_and_invalidated(self):
+        releases = ReleaseSet()
+        releases.add(1.0, 1.0)
+        first = releases.effective_pair()
+        assert releases.effective_pair() is first  # memoised
+        releases.add(5.0, 10.0)
+        assert releases.effective_pair().distance == 5.0
+
+    def test_effective_pair_with_does_not_mutate(self):
+        releases = ReleaseSet()
+        releases.add(1.0, 1.0)
+        hypothetical = releases.effective_pair_with(5.0, 10.0)
+        assert hypothetical.distance == 5.0
+        assert len(releases) == 1
+        assert releases.effective_pair().distance == 1.0
+
+    def test_total_spend(self):
+        releases = ReleaseSet()
+        releases.add(1.0, 0.5)
+        releases.add(2.0, 0.7)
+        assert releases.total_spend() == pytest.approx(1.2)
+
+    def test_iteration_order(self):
+        releases = ReleaseSet()
+        releases.add(1.0, 0.5)
+        releases.add(2.0, 0.7)
+        assert [r.value for r in releases] == [1.0, 2.0]
+
+    def test_table_iv_timeline_t1_w1(self):
+        # Raw draws 12.7@0.1, 12.4@0.3, 12.3@0.4 reproduce Table IV's
+        # effective sequence (12.7,0.1) -> (12.4,0.3) -> (12.3,0.4).
+        releases = ReleaseSet()
+        releases.add(12.7, 0.1)
+        assert releases.effective_pair() == EffectivePair(12.7, 0.1)
+        releases.add(12.4, 0.3)
+        assert releases.effective_pair() == EffectivePair(12.4, 0.3)
+        releases.add(12.3, 0.4)
+        assert releases.effective_pair() == EffectivePair(12.3, 0.4)

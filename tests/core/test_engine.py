@@ -1,0 +1,230 @@
+"""Unit tests for the round-based conflict-elimination engine."""
+
+import pytest
+
+from repro.core.engine import ConflictEliminationSolver, EliminationPolicy
+from repro.core.nonprivate import DCESolver, UCESolver
+from repro.core.pdce import PDCESolver
+from repro.core.puce import PUCESolver
+from repro.errors import ConfigurationError, ConvergenceError
+from tests.conftest import build_instance
+
+
+class TestEliminationPolicy:
+    def test_invalid_objective(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            EliminationPolicy(name="X", objective="speed", private=False)
+
+    def test_nppcf_requires_private(self):
+        with pytest.raises(ConfigurationError, match="use_ppcf"):
+            EliminationPolicy(name="X", objective="utility", private=False, use_ppcf=False)
+
+    def test_solver_names(self):
+        assert PUCESolver().name == "PUCE"
+        assert PUCESolver(use_ppcf=False).name == "PUCE-nppcf"
+        assert PDCESolver().name == "PDCE"
+        assert PDCESolver(use_ppcf=False).name == "PDCE-nppcf"
+        assert UCESolver().name == "UCE"
+        assert DCESolver().name == "DCE"
+
+    def test_privacy_flags(self):
+        assert PUCESolver().is_private
+        assert not UCESolver().is_private
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            PUCESolver(max_rounds=0)
+
+
+class TestNonPrivateUCE:
+    def test_single_obvious_match(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0)],
+            worker_specs=[(1.0, 0.0, 2.0)],
+        )
+        result = UCESolver().solve(instance)
+        assert dict(result.matching.pairs) == {0: 0}
+        assert result.average_utility == pytest.approx(4.0)
+
+    def test_non_positive_utility_never_matched(self):
+        # v=1 but distance 2 -> U = -1: stays unmatched.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 1.0)],
+            worker_specs=[(2.0, 0.0, 3.0)],
+        )
+        result = UCESolver().solve(instance)
+        assert len(result.matching) == 0
+
+    def test_closest_worker_wins(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0)],
+            worker_specs=[(1.0, 0.0, 3.0), (0.5, 0.0, 3.0), (2.0, 0.0, 3.0)],
+        )
+        result = UCESolver().solve(instance)
+        assert result.matching.pairs[0] == 1
+
+    def test_conflict_resolution_prefers_worst_fallback(self):
+        # Worker 0 is best for both tasks; t1 has no alternative, so worker
+        # 0 must keep t1 and t0 falls to worker 1 next round.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (2.0, 0.0, 5.0)],
+            worker_specs=[(1.0, 0.0, 1.5), (0.0, 0.5, 1.0)],
+        )
+        result = UCESolver().solve(instance)
+        assert result.matching.pairs[1] == 0
+        assert result.matching.pairs[0] == 1
+
+    def test_out_of_range_never_matched(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 100.0)],
+            worker_specs=[(5.0, 0.0, 1.0)],  # radius 1 < distance 5
+        )
+        result = UCESolver().solve(instance)
+        assert len(result.matching) == 0
+        assert instance.num_feasible_pairs == 0
+
+    def test_workers_fill_multiple_tasks(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (1.0, 0.0, 5.0), (2.0, 0.0, 5.0)],
+            worker_specs=[(0.1, 0.0, 4.0), (1.1, 0.0, 4.0), (2.1, 0.0, 4.0)],
+        )
+        result = UCESolver().solve(instance)
+        assert len(result.matching) == 3
+        # Everyone should take their adjacent task.
+        assert dict(result.matching.pairs) == {0: 0, 1: 1, 2: 2}
+
+    def test_no_publishes_in_nonprivate_mode(self, medium_instance):
+        result = UCESolver().solve(medium_instance)
+        assert result.publishes == 0
+        assert result.total_privacy_spend == 0.0
+
+
+class TestDistanceObjectiveDCE:
+    def test_minimises_distance_not_utility(self):
+        # Task values differ but DCE ignores them: worker goes to nearest.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 100.0), (1.0, 0.0, 1.0)],
+            worker_specs=[(0.9, 0.0, 3.0)],
+        )
+        result = DCESolver().solve(instance)
+        assert result.matching.pairs[1] == 0  # nearest task despite v=1
+
+    def test_matches_even_negative_utility(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.5)],
+            worker_specs=[(2.0, 0.0, 3.0)],
+        )
+        result = DCESolver().solve(instance)
+        assert len(result.matching) == 1
+        assert result.average_utility < 0
+
+
+class TestPrivateDistanceObjective:
+    def test_pdce_targets_nearest_despite_value(self):
+        # Accurate budgets: PDCE should route the worker to the nearest
+        # task even though the far task is worth 100x more.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 100.0), (1.0, 0.0, 1.0)],
+            worker_specs=[(0.9, 0.0, 3.0)],
+            budgets={(0, 0): (8.0, 8.0), (1, 0): (8.0, 8.0)},
+        )
+        nearest_wins = 0
+        for seed in range(10):
+            result = PDCESolver().solve(instance, seed=seed)
+            if result.matching.pairs.get(1) == 0:
+                nearest_wins += 1
+        assert nearest_wins >= 9
+
+    def test_pdce_matches_negative_utility_pairs(self):
+        # Distance objective has no profitability gate: a worthless task
+        # still gets served (and measured utility goes negative).
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.5)],
+            worker_specs=[(2.0, 0.0, 3.0)],
+            budgets={(0, 0): (8.0,)},
+        )
+        result = PDCESolver().solve(instance, seed=1)
+        assert len(result.matching) == 1
+        assert result.average_utility < 0
+
+    def test_pdce_challenger_with_better_distance_takes_over(self):
+        # w1 is far, w0 near; accurate budgets let the PPCF+PCF gates and
+        # the competing table settle on the true nearest worker.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 10.0)],
+            worker_specs=[(2.0, 0.0, 4.0), (0.3, 0.0, 4.0)],
+            budgets={(0, 0): (8.0, 8.0, 8.0), (0, 1): (8.0, 8.0, 8.0)},
+        )
+        wins = 0
+        for seed in range(10):
+            result = PDCESolver().solve(instance, seed=seed)
+            if result.matching.pairs.get(0) == 1:
+                wins += 1
+        assert wins >= 9
+
+
+class TestPrivateEngine:
+    def test_puce_respects_budget_caps(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=3)
+        for worker_id, task_id, _eps in result.ledger.events():
+            pass  # events iterable works
+        for (i, j) in medium_instance.feasible_pairs():
+            spend = result.ledger.pair_spend(
+                medium_instance.workers[j].id, medium_instance.tasks[i].id
+            )
+            vector = medium_instance.budget_vector(i, j)
+            assert spend.proposals <= len(vector)
+            # Budgets are consumed in order.
+            assert spend.epsilons == vector.epsilons[: spend.proposals]
+
+    def test_puce_one_to_one(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=5)
+        workers = list(result.matching.pairs.values())
+        assert len(set(workers)) == len(workers)
+
+    def test_puce_matches_only_feasible_pairs(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=5)
+        feasible = {
+            (medium_instance.tasks[i].id, medium_instance.workers[j].id)
+            for i, j in medium_instance.feasible_pairs()
+        }
+        for task_id, worker_id in result.matching:
+            assert (task_id, worker_id) in feasible
+
+    def test_deterministic_given_seed(self, medium_instance):
+        a = PUCESolver().solve(medium_instance, seed=7)
+        b = PUCESolver().solve(medium_instance, seed=7)
+        assert dict(a.matching.pairs) == dict(b.matching.pairs)
+        assert a.publishes == b.publishes
+
+    def test_different_seeds_differ(self, medium_instance):
+        a = PUCESolver().solve(medium_instance, seed=1)
+        b = PUCESolver().solve(medium_instance, seed=2)
+        assert a.ledger.total_spend() != b.ledger.total_spend()
+
+    def test_nppcf_never_beats_ppcf_much(self, medium_instance):
+        # The ablation must run and produce a valid result; Figure 17's
+        # utility ordering is checked statistically in the benchmarks.
+        result = PUCESolver(use_ppcf=False).solve(medium_instance, seed=3)
+        assert result.method == "PUCE-nppcf"
+        assert len(result.matching) > 0
+
+    def test_pdce_runs_and_reports(self, medium_instance):
+        result = PDCESolver().solve(medium_instance, seed=3)
+        assert result.method == "PDCE"
+        assert result.rounds >= 1
+        assert result.publishes == len(result.ledger)
+
+    def test_max_rounds_guard(self, medium_instance):
+        with pytest.raises(ConvergenceError, match="max_rounds"):
+            PUCESolver(max_rounds=1).solve(medium_instance, seed=3)
+
+    def test_ledger_matches_publish_count(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=9)
+        assert len(result.ledger) == result.publishes
+
+    def test_empty_instance(self):
+        instance = build_instance(task_specs=[], worker_specs=[])
+        result = PUCESolver().solve(instance)
+        assert len(result.matching) == 0
+        assert result.rounds == 1

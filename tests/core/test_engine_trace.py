@@ -1,0 +1,128 @@
+"""Unit tests for the engine's round trace and private gate behaviour."""
+
+import pytest
+
+from repro.core.engine import RoundRecord
+from repro.core.nonprivate import UCESolver
+from repro.core.puce import PUCESolver
+from repro.simulation.server import Server
+from tests.conftest import build_instance
+
+
+class TestRoundTrace:
+    def test_trace_matches_rounds(self, medium_instance):
+        result, trace = PUCESolver().solve_with_trace(medium_instance, seed=3)
+        assert len(trace) == result.rounds
+        assert all(isinstance(r, RoundRecord) for r in trace)
+
+    def test_final_round_is_quiescent(self, medium_instance):
+        _, trace = PUCESolver().solve_with_trace(medium_instance, seed=3)
+        assert trace[-1].proposals == 0
+        assert trace[-1].new_winners == ()
+
+    def test_assigned_counts_monotone(self, medium_instance):
+        # In this engine tasks never lose their winner once assigned, so
+        # the assigned count never decreases across rounds.
+        _, trace = PUCESolver().solve_with_trace(medium_instance, seed=3)
+        counts = [r.assigned_tasks for r in trace]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_trace_proposals_sum_to_publishes(self, medium_instance):
+        result, trace = PUCESolver().solve_with_trace(medium_instance, seed=3)
+        assert sum(r.proposals for r in trace) == result.publishes
+
+    def test_winners_and_displaced_disjoint(self, medium_instance):
+        _, trace = PUCESolver().solve_with_trace(medium_instance, seed=3)
+        for record in trace:
+            assert not set(record.new_winners) & set(record.displaced)
+
+    def test_nonprivate_trace(self, medium_instance):
+        result, trace = UCESolver().solve_with_trace(medium_instance)
+        assert len(trace) == result.rounds
+        # Non-private proposals are unpublished, so publishes stays 0 even
+        # though the trace records proposal counts.
+        assert result.publishes == 0
+        assert trace[0].proposals > 0
+
+    def test_final_assigned_matches_matching(self, medium_instance):
+        result, trace = PUCESolver().solve_with_trace(medium_instance, seed=3)
+        assert trace[-1].assigned_tasks == result.matched_count
+
+
+class TestServerBoard:
+    def test_board_keys_are_public_ids(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=3)
+        task_ids = {t.id for t in medium_instance.tasks}
+        worker_ids = {w.id for w in medium_instance.workers}
+        assert result.release_board
+        for (task_id, worker_id), releases in result.release_board.items():
+            assert task_id in task_ids
+            assert worker_id in worker_ids
+            assert len(releases) >= 1
+
+    def test_board_consistent_with_ledger(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=3)
+        for (task_id, worker_id), releases in result.release_board.items():
+            spend = result.ledger.pair_spend(worker_id, task_id)
+            assert spend.proposals == len(releases)
+            assert spend.total == pytest.approx(releases.total_spend())
+
+    def test_empty_board_before_publishes(self):
+        instance = build_instance([(0.0, 0.0, 5.0)], [(1.0, 0.0, 2.0)])
+        assert Server(instance).board() == {}
+
+
+class TestPrivateGateScenarios:
+    def test_weak_challenger_never_displaces_accurate_winner(self):
+        # Winner at distance 0.5 with a large (accurate) budget;
+        # challenger at distance 3.0 should essentially never take the
+        # task: the noise at eps=5 is far smaller than the distance gap,
+        # and his re-challenges fail both the utility and PPCF gates.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 10.0)],
+            worker_specs=[(0.5, 0.0, 5.0), (3.0, 0.0, 5.0)],
+            budgets={(0, 0): (5.0,), (0, 1): (5.0, 5.0, 5.0)},
+        )
+        wins = 0
+        for seed in range(20):
+            result = PUCESolver().solve(instance, seed=seed)
+            if result.matching.pairs.get(0) == 0:
+                wins += 1
+        assert wins >= 18  # the close, accurate worker keeps the task
+
+    def test_exhausted_challenger_cannot_propose(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 10.0)],
+            worker_specs=[(0.5, 0.0, 5.0), (0.4, 0.0, 5.0)],
+            budgets={(0, 0): (1.0,), (0, 1): (1.0,)},
+        )
+        result = PUCESolver().solve(instance, seed=1)
+        # Both publish once in round 1, loser cannot re-challenge: at most
+        # 2 releases total.
+        assert result.publishes <= 2
+
+    def test_negative_utility_task_never_proposed(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.2)],  # value below any travel cost
+            worker_specs=[(1.0, 0.0, 3.0)],
+        )
+        result = PUCESolver().solve(instance, seed=1)
+        assert result.publishes == 0
+        assert len(result.matching) == 0
+
+    def test_denormal_distance_gap_does_not_livelock(self):
+        # Regression (found by hypothesis): worker 1 sits a *denormal*
+        # 1.4e-45 closer than worker 0.  The raw-distance gate saw a
+        # strict improvement while the shifted sort key absorbed it, so
+        # the loser re-proposed forever.  Gate and sort now share one key
+        # computation; the run must terminate in a handful of rounds.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 3.2764374306820447)],
+            worker_specs=[
+                (0.0, -1.401298464324817e-45, 5.9082329970470795),
+                (0.0, 0.0, 1.0),
+            ],
+        )
+        result = UCESolver().solve(instance, seed=0)
+        assert result.rounds <= 4
+        assert len(result.matching) == 1

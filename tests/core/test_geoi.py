@@ -1,0 +1,67 @@
+"""Unit tests for the Geo-Indistinguishability baseline solver."""
+
+import pytest
+
+from repro.core.geoi import LOCATION_RELEASE, GeoIndistinguishableSolver
+from repro.core.nonprivate import UCESolver
+from repro.errors import ConfigurationError
+from tests.conftest import build_instance
+
+
+class TestGeoISolver:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            GeoIndistinguishableSolver(epsilon=0.0)
+        with pytest.raises(ConfigurationError, match="buffer_quantile"):
+            GeoIndistinguishableSolver(buffer_quantile=1.0)
+
+    def test_name_carries_epsilon(self):
+        assert GeoIndistinguishableSolver(epsilon=2.0).name == "GEOI(eps=2)"
+
+    def test_one_release_per_active_worker(self, medium_instance):
+        result = GeoIndistinguishableSolver(epsilon=2.0).solve(medium_instance, seed=3)
+        active = sum(1 for r in medium_instance.reachable if r)
+        assert result.publishes == active
+        for worker in medium_instance.workers:
+            spend = result.ledger.pair_spend(worker.id, LOCATION_RELEASE)
+            expected = 1 if medium_instance.reachable[
+                next(j for j, w in enumerate(medium_instance.workers) if w.id == worker.id)
+            ] else 0
+            assert spend.proposals == expected
+
+    def test_matching_valid(self, medium_instance):
+        result = GeoIndistinguishableSolver(epsilon=2.0).solve(medium_instance, seed=3)
+        workers = list(result.matching.pairs.values())
+        assert len(set(workers)) == len(workers)
+        feasible = {
+            (medium_instance.tasks[i].id, medium_instance.workers[j].id)
+            for i, j in medium_instance.feasible_pairs()
+        }
+        for pair in result.matching:
+            assert pair in feasible
+
+    def test_high_epsilon_approaches_nonprivate_quality(self, medium_instance):
+        # With eps -> large the decoys sit on the true locations, so the
+        # matching approaches the non-private optimum quality.
+        sharp = GeoIndistinguishableSolver(epsilon=100.0).solve(medium_instance, seed=3)
+        baseline = UCESolver().solve(medium_instance)
+        assert sharp.average_distance == pytest.approx(
+            baseline.average_distance, abs=0.08
+        )
+
+    def test_low_epsilon_degrades_matching(self, medium_instance):
+        sharp = GeoIndistinguishableSolver(epsilon=50.0).solve(medium_instance, seed=3)
+        blurry = GeoIndistinguishableSolver(epsilon=0.3).solve(medium_instance, seed=3)
+        # Heavier decoy noise -> worse (longer) realised travel or fewer
+        # matches; both show up as lower total utility.
+        assert blurry.total_utility < sharp.total_utility
+
+    def test_deterministic_given_seed(self, medium_instance):
+        a = GeoIndistinguishableSolver(epsilon=1.0).solve(medium_instance, seed=5)
+        b = GeoIndistinguishableSolver(epsilon=1.0).solve(medium_instance, seed=5)
+        assert dict(a.matching.pairs) == dict(b.matching.pairs)
+
+    def test_empty_instance(self):
+        instance = build_instance(task_specs=[], worker_specs=[])
+        result = GeoIndistinguishableSolver().solve(instance, seed=1)
+        assert len(result.matching) == 0

@@ -1,0 +1,78 @@
+"""Unit tests for GRD and shared non-private solver behaviour."""
+
+import pytest
+
+from repro.core.nonprivate import DCESolver, GreedySolver, UCESolver
+from tests.conftest import build_instance
+
+
+class TestGreedySolver:
+    def test_takes_globally_best_pair_first(self):
+        # GRD's signature failure: taking the single best pair blocks a
+        # better two-pair solution.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (2.0, 0.0, 5.0)],
+            worker_specs=[(1.0, 0.0, 2.5), (3.5, 0.0, 2.0)],
+        )
+        result = GreedySolver().solve(instance)
+        # w0 equidistant-ish: best single utility pair is (t0,w0) or
+        # (t1,w0); greedy then leaves the other task for w1 if reachable.
+        assert len(result.matching) >= 1
+        workers = list(result.matching.pairs.values())
+        assert len(set(workers)) == len(workers)
+
+    def test_skips_non_positive_utility(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.5)],
+            worker_specs=[(1.0, 0.0, 2.0)],
+        )
+        assert len(GreedySolver().solve(instance).matching) == 0
+
+    def test_name_and_privacy(self):
+        solver = GreedySolver()
+        assert solver.name == "GRD"
+        assert not solver.is_private
+
+    def test_empty_ledger(self, medium_instance):
+        result = GreedySolver().solve(medium_instance)
+        assert result.total_privacy_spend == 0.0
+        assert result.publishes == 0
+
+    def test_greedy_at_most_optimal(self, medium_instance):
+        from repro.core.optimal import OptimalSolver
+
+        grd = GreedySolver().solve(medium_instance)
+        opt = OptimalSolver().solve(medium_instance)
+        assert grd.total_utility <= opt.total_utility + 1e-9
+
+    def test_greedy_at_least_half_optimal(self, medium_instance):
+        # Classic guarantee: greedy matching achieves >= 1/2 of the optimal
+        # weight (positive-utility edges).
+        from repro.core.optimal import OptimalSolver
+
+        grd = GreedySolver().solve(medium_instance)
+        opt = OptimalSolver().solve(medium_instance)
+        assert grd.total_utility >= 0.5 * opt.total_utility - 1e-9
+
+
+class TestNonPrivateEquivalences:
+    def test_uce_and_dce_agree_on_uniform_values(self, medium_instance):
+        # With a constant task value and no privacy cost, maximising
+        # per-task utility equals minimising distance pairings task-wise;
+        # the two engines share decisions on the same instance.
+        uce = UCESolver().solve(medium_instance)
+        dce = DCESolver().solve(medium_instance)
+        # Not guaranteed identical in general (utility gates drop
+        # non-profitable pairs), but with v=4.5 >> distances they coincide.
+        assert dict(uce.matching.pairs) == dict(dce.matching.pairs)
+
+    def test_uce_differs_from_dce_when_values_matter(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.4), (1.0, 0.0, 9.0)],
+            worker_specs=[(0.4, 0.0, 2.0)],
+        )
+        uce = UCESolver().solve(instance)
+        dce = DCESolver().solve(instance)
+        # UCE goes for the valuable task; DCE for the nearest.
+        assert uce.matching.pairs.get(1) == 0
+        assert dce.matching.pairs.get(0) == 0

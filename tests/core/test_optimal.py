@@ -1,0 +1,42 @@
+"""Unit tests for the OPT reference solver."""
+
+import pytest
+
+from repro.core.nonprivate import GreedySolver, UCESolver
+from repro.core.optimal import OptimalSolver
+from repro.core.pgt import GTSolver
+from tests.conftest import build_instance
+
+
+class TestOptimalSolver:
+    def test_picks_max_total_utility(self):
+        # w1 reaches only t0; OPT must route w0 to the farther t1:
+        # (t0,w1)=4.5 + (t1,w0)=3.5 = 8 beats greedy's (t0,w0)=4.5 alone.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (2.0, 0.0, 5.0)],
+            worker_specs=[(0.5, 0.0, 2.0), (-0.5, 0.0, 1.0)],
+        )
+        result = OptimalSolver().solve(instance)
+        assert result.total_utility == pytest.approx(8.0)
+        assert dict(result.matching.pairs) == {0: 1, 1: 0}
+
+    def test_never_matches_negative_utility(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.5)],
+            worker_specs=[(1.0, 0.0, 2.0)],
+        )
+        assert len(OptimalSolver().solve(instance).matching) == 0
+
+    def test_dominates_all_heuristics(self, medium_instance):
+        opt = OptimalSolver().solve(medium_instance).total_utility
+        for solver in (UCESolver(), GTSolver(), GreedySolver()):
+            assert solver.solve(medium_instance).total_utility <= opt + 1e-9
+
+    def test_empty_instance(self):
+        instance = build_instance(task_specs=[], worker_specs=[])
+        assert len(OptimalSolver().solve(instance).matching) == 0
+
+    def test_one_to_one(self, medium_instance):
+        result = OptimalSolver().solve(medium_instance)
+        workers = list(result.matching.pairs.values())
+        assert len(set(workers)) == len(workers)

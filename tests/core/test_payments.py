@@ -1,0 +1,101 @@
+"""Unit tests for the Vickrey payment mechanism."""
+
+import pytest
+
+from repro.core.nonprivate import UCESolver
+from repro.core.payments import Payment, payments_for_result, vickrey_payment
+from repro.errors import ConfigurationError
+from tests.conftest import build_instance
+
+
+class TestVickreyPayment:
+    def test_second_price(self):
+        assert vickrey_payment(1.0, [2.0, 3.0], reserve=10.0) == 2.0
+
+    def test_reserve_caps_payment(self):
+        assert vickrey_payment(1.0, [20.0], reserve=10.0) == 10.0
+
+    def test_no_rivals_pays_reserve(self):
+        assert vickrey_payment(1.0, [], reserve=10.0) == 10.0
+
+    def test_payment_independent_of_winner_cost(self):
+        # The winner's own report never moves his payment — the
+        # truthfulness core of the mechanism.
+        assert vickrey_payment(0.1, [2.0], 10.0) == vickrey_payment(1.9, [2.0], 10.0)
+
+    def test_invalid_reserve(self):
+        with pytest.raises(ConfigurationError, match="reserve"):
+            vickrey_payment(1.0, [2.0], reserve=0.0)
+
+    def test_truthfulness_simulation(self):
+        # A worker whose true cost is 1.5 faces a rival at 2.0 and a
+        # reserve of 10.  Whatever he reports:
+        #  - reports below 2.0 win and pay 2.0 -> profit 0.5, independent;
+        #  - reports above 2.0 lose -> profit 0.
+        # So no report strictly beats the truthful one.
+        true_cost = 1.5
+        rival = 2.0
+        truthful_profit = vickrey_payment(true_cost, [rival], 10.0) - true_cost
+        for report in (0.1, 1.0, 1.9, 2.1, 5.0):
+            wins = report < rival
+            profit = (vickrey_payment(report, [rival], 10.0) - true_cost) if wins else 0.0
+            assert profit <= truthful_profit + 1e-12
+
+
+class TestPaymentsForResult:
+    @pytest.fixture
+    def instance(self):
+        return build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (3.0, 0.0, 5.0)],
+            worker_specs=[(0.5, 0.0, 4.0), (2.6, 0.0, 4.0)],
+        )
+
+    def test_payments_cover_costs(self, instance):
+        result = UCESolver().solve(instance)
+        for payment in payments_for_result(result):
+            # UCE picks the per-task best candidate, so individual
+            # rationality holds: second-best cost >= winner's cost.
+            assert payment.amount >= payment.winner_cost - 1e-9
+            assert payment.worker_profit >= -1e-9
+
+    def test_payments_capped_by_task_value(self, instance):
+        result = UCESolver().solve(instance)
+        values = {t.id: t.value for t in instance.tasks}
+        for payment in payments_for_result(result):
+            assert payment.amount <= values[payment.task_id] + 1e-12
+
+    def test_exact_amounts_on_crafted_instance(self, instance):
+        # t0 candidates: w0 (0.5), w1 (2.6); t1 candidates: w0 (3.0 — wait,
+        # radius 4 covers both), w1 (0.4).  UCE matches nearest pairs.
+        result = UCESolver().solve(instance)
+        payments = {p.task_id: p for p in payments_for_result(result)}
+        assert payments[0].worker_id == 0
+        assert payments[0].amount == pytest.approx(2.6)  # w1's rival cost
+        assert payments[1].worker_id == 1
+        assert payments[1].amount == pytest.approx(2.5)  # w0's cost to t1
+
+    def test_monopolist_earns_reserve(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 7.0)],
+            worker_specs=[(1.0, 0.0, 3.0)],
+        )
+        result = UCESolver().solve(instance)
+        (payment,) = payments_for_result(result)
+        assert payment.amount == 7.0
+
+    def test_empty_matching_no_payments(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.1)],
+            worker_specs=[(1.0, 0.0, 3.0)],
+        )
+        result = UCESolver().solve(instance)
+        assert payments_for_result(result) == []
+
+    def test_platform_budget_balance(self, medium_instance):
+        # Platform profit per task = value - payment >= 0 by the reserve
+        # cap; total payments never exceed total matched value.
+        result = UCESolver().solve(medium_instance)
+        payments = payments_for_result(result)
+        values = {t.id: t.value for t in medium_instance.tasks}
+        total_value = sum(values[p.task_id] for p in payments)
+        assert sum(p.amount for p in payments) <= total_value + 1e-9

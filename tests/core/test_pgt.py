@@ -1,0 +1,132 @@
+"""Unit tests for PGT / GT best-response dynamics."""
+
+import pytest
+
+from repro.core.pgt import GTSolver, PGTSolver
+from repro.errors import ConfigurationError, ConvergenceError
+from tests.conftest import build_instance
+
+
+class TestGTNonPrivate:
+    def test_single_worker_takes_best_task(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (1.0, 0.0, 8.0)],
+            worker_specs=[(0.5, 0.0, 3.0)],
+        )
+        result = GTSolver().solve(instance)
+        # UT(t1) = 8 - 0.5, UT(t0) = 5 - 0.5 -> t1 wins.
+        assert dict(result.matching.pairs) == {1: 0}
+
+    def test_worker_switches_to_better_task(self):
+        # One worker, two tasks; best response should end on the higher
+        # net-value task regardless of visit order.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (0.2, 0.0, 5.1)],
+            worker_specs=[(0.1, 0.0, 2.0)],
+        )
+        result = GTSolver().solve(instance)
+        assert 1 in result.matching.pairs
+
+    def test_displacement_chain(self):
+        # w0 near t0 only; w1 near both.  w1 takes t0 first (if visited),
+        # then must end displaced to t1 or keep t0 with w0 on nothing —
+        # equilibrium: each task held by someone it profits.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (3.0, 0.0, 5.0)],
+            worker_specs=[(0.1, 0.0, 1.0), (1.5, 0.0, 2.0)],
+        )
+        result = GTSolver().solve(instance)
+        assert len(result.matching) == 2
+        assert result.matching.pairs[0] == 0
+        assert result.matching.pairs[1] == 1
+
+    def test_unprofitable_task_left_open(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 0.5)],
+            worker_specs=[(1.0, 0.0, 2.0)],  # U = 0.5 - 1 < 0
+        )
+        result = GTSolver().solve(instance)
+        assert len(result.matching) == 0
+
+    def test_equilibrium_no_profitable_deviation(self, medium_instance):
+        result = GTSolver().solve(medium_instance)
+        instance = medium_instance
+        # Rebuild index-space allocation.
+        task_index = {t.id: i for i, t in enumerate(instance.tasks)}
+        worker_index = {w.id: j for j, w in enumerate(instance.workers)}
+        allocation = {task_index[t]: worker_index[w] for t, w in result.matching}
+        holder = {j: i for i, j in allocation.items()}
+        model = instance.model
+        for j in range(instance.num_workers):
+            current = holder.get(j)
+            abandon = 0.0
+            if current is not None:
+                abandon = -instance.tasks[current].value + model.f_d(
+                    instance.distance(current, j)
+                )
+            for i in instance.reachable[j]:
+                if i == current:
+                    continue
+                ut = -model.f_d(instance.distance(i, j)) + abandon
+                if i in allocation:
+                    ut += model.f_d(instance.distance(i, allocation[i]))
+                else:
+                    ut += instance.tasks[i].value
+                assert ut <= 1e-9, f"worker {j} can still improve by {ut} on task {i}"
+
+
+class TestPGTPrivate:
+    def test_runs_and_matches(self, medium_instance):
+        result = PGTSolver().solve(medium_instance, seed=4)
+        assert result.method == "PGT"
+        assert len(result.matching) > 0
+
+    def test_every_move_publishes(self, medium_instance):
+        result, stats = PGTSolver().solve_with_stats(medium_instance, seed=4)
+        assert stats.moves == result.publishes
+
+    def test_all_move_gains_positive(self, medium_instance):
+        _, stats = PGTSolver().solve_with_stats(medium_instance, seed=4)
+        assert stats.moves > 0
+        assert all(gain > 0 for gain in stats.move_gains)
+
+    def test_matched_workers_hold_published_pairs(self, medium_instance):
+        result = PGTSolver().solve(medium_instance, seed=4)
+        for task_id, worker_id in result.matching:
+            assert result.ledger.pair_spend(worker_id, task_id).proposals >= 1
+
+    def test_deterministic_given_seed(self, medium_instance):
+        a = PGTSolver().solve(medium_instance, seed=8)
+        b = PGTSolver().solve(medium_instance, seed=8)
+        assert dict(a.matching.pairs) == dict(b.matching.pairs)
+
+    def test_fewer_publishes_than_puce(self, medium_instance):
+        # PGT avoids ineffective competition: far fewer releases than the
+        # propose-to-everything elimination methods (Section VII-D.1).
+        from repro.core.puce import PUCESolver
+
+        pgt = PGTSolver().solve(medium_instance, seed=4)
+        puce = PUCESolver().solve(medium_instance, seed=4)
+        assert pgt.publishes < puce.publishes
+
+    def test_budget_vectors_respected(self, medium_instance):
+        result = PGTSolver().solve(medium_instance, seed=4)
+        for (i, j) in medium_instance.feasible_pairs():
+            spend = result.ledger.pair_spend(
+                medium_instance.workers[j].id, medium_instance.tasks[i].id
+            )
+            vector = medium_instance.budget_vector(i, j)
+            assert spend.epsilons == vector.epsilons[: spend.proposals]
+
+    def test_max_passes_guard(self, medium_instance):
+        with pytest.raises(ConvergenceError, match="max_passes"):
+            PGTSolver(max_passes=1).solve(medium_instance, seed=4)
+
+    def test_invalid_max_passes(self):
+        with pytest.raises(ConfigurationError, match="max_passes"):
+            PGTSolver(max_passes=0)
+
+    def test_empty_instance(self):
+        instance = build_instance(task_specs=[], worker_specs=[])
+        result = PGTSolver().solve(instance)
+        assert len(result.matching) == 0

@@ -1,0 +1,51 @@
+"""Unit tests for the method registry."""
+
+import pytest
+
+from repro.core.registry import (
+    NON_PRIVATE_COUNTERPART,
+    available_methods,
+    make_solver,
+)
+from repro.errors import ConfigurationError
+
+TABLE_IX_METHODS = ("PUCE", "PDCE", "PGT", "UCE", "DCE", "GT", "GRD")
+
+
+class TestRegistry:
+    def test_all_table_ix_methods_available(self):
+        methods = available_methods()
+        for name in TABLE_IX_METHODS:
+            assert name in methods
+
+    def test_nppcf_ablations_available(self):
+        assert "PUCE-nppcf" in available_methods()
+        assert "PDCE-nppcf" in available_methods()
+
+    def test_make_solver_names_match(self):
+        for name in available_methods():
+            assert make_solver(name).name == name
+
+    def test_unknown_method_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_solver("PUCEE")
+
+    def test_counterpart_mapping(self):
+        assert NON_PRIVATE_COUNTERPART["PUCE"] == "UCE"
+        assert NON_PRIVATE_COUNTERPART["PDCE"] == "DCE"
+        assert NON_PRIVATE_COUNTERPART["PGT"] == "GT"
+        assert NON_PRIVATE_COUNTERPART["PUCE-nppcf"] == "UCE"
+        assert NON_PRIVATE_COUNTERPART["PDCE-nppcf"] == "DCE"
+
+    def test_counterparts_are_registered(self):
+        for counterpart in NON_PRIVATE_COUNTERPART.values():
+            assert counterpart in available_methods()
+
+    def test_private_flags_consistent(self):
+        for name in NON_PRIVATE_COUNTERPART:
+            assert make_solver(name).is_private
+        for name in set(NON_PRIVATE_COUNTERPART.values()):
+            assert not make_solver(name).is_private
+
+    def test_factories_return_fresh_instances(self):
+        assert make_solver("PUCE") is not make_solver("PUCE")

@@ -1,0 +1,71 @@
+"""Unit tests for AssignmentResult measures."""
+
+import pytest
+
+from repro.core.result import AssignmentResult
+from repro.matching.bipartite import Matching
+from repro.privacy.accountant import PrivacyLedger
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def instance():
+    return build_instance(
+        task_specs=[(0.0, 0.0, 5.0), (2.0, 0.0, 4.0)],
+        worker_specs=[(1.0, 0.0, 3.0), (2.5, 0.0, 3.0)],
+    )
+
+
+class TestAssignmentResult:
+    def test_empty_matching_measures(self, instance):
+        result = AssignmentResult("X", instance, Matching.empty(), PrivacyLedger())
+        assert result.matched_count == 0
+        assert result.average_utility == 0.0
+        assert result.average_distance == 0.0
+        assert result.total_utility == 0.0
+
+    def test_nonprivate_utilities(self, instance):
+        result = AssignmentResult(
+            "X", instance, Matching({0: 0, 1: 1}), PrivacyLedger()
+        )
+        # (t0,w0): 5 - 1 = 4;  (t1,w1): 4 - 0.5 = 3.5.
+        assert result.total_utility == pytest.approx(7.5)
+        assert result.average_utility == pytest.approx(3.75)
+        assert result.average_distance == pytest.approx(0.75)
+
+    def test_private_utility_subtracts_pair_spend_only(self, instance):
+        ledger = PrivacyLedger()
+        ledger.record(0, 0, 0.5)  # worker 0 toward matched task 0
+        ledger.record(0, 1, 9.0)  # worker 0 toward task 1 (unmatched pair)
+        result = AssignmentResult("X", instance, Matching({0: 0}), ledger)
+        # Pair-level semantics: only the 0.5 counts against the match.
+        assert result.average_utility == pytest.approx(5.0 - 1.0 - 0.5)
+
+    def test_total_privacy_spend_counts_everything(self, instance):
+        ledger = PrivacyLedger()
+        ledger.record(0, 0, 0.5)
+        ledger.record(1, 1, 0.7)
+        result = AssignmentResult("X", instance, Matching({0: 0}), ledger)
+        assert result.total_privacy_spend == pytest.approx(1.2)
+
+    def test_matched_pairs_sorted_by_task(self, instance):
+        result = AssignmentResult(
+            "X", instance, Matching({1: 1, 0: 0}), PrivacyLedger()
+        )
+        assert [p.task_index for p in result.matched_pairs()] == [0, 1]
+
+    def test_worker_ldp_bound(self, instance):
+        ledger = PrivacyLedger()
+        ledger.record(0, 0, 0.5)
+        ledger.record(0, 1, 1.5)
+        result = AssignmentResult("X", instance, Matching({0: 0}), ledger)
+        # worker 0 radius is 3.0 -> bound = 2.0 * 3.0.
+        assert result.worker_ldp_bound(0) == pytest.approx(6.0)
+
+    def test_iteration(self, instance):
+        result = AssignmentResult(
+            "X", instance, Matching({0: 0, 1: 1}), PrivacyLedger()
+        )
+        pairs = list(result)
+        assert len(pairs) == 2
+        assert pairs[0].distance == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the Eq. 4 utility-to-distance transform."""
+
+import pytest
+
+from repro.core.transform import adjusted_rival_distance, comparison_key, public_value
+from repro.core.utility import LinearValue, UtilityModel
+
+
+class TestPublicValue:
+    def test_strips_distance(self):
+        model = UtilityModel()
+        # V = v - f_p(spend): no distance term.
+        assert public_value(10.0, 3.0, model) == 7.0
+
+    def test_respects_fp_slope(self):
+        model = UtilityModel(f_p=LinearValue(2.0))
+        assert public_value(10.0, 3.0, model) == 4.0
+
+
+class TestAdjustedRivalDistance:
+    def test_identity_model(self):
+        model = UtilityModel()
+        # d' = d_b + V_a - V_b for identity f_d.
+        assert adjusted_rival_distance(5.0, 7.0, 4.0, model) == pytest.approx(8.0)
+
+    def test_equal_values_no_shift(self):
+        model = UtilityModel()
+        assert adjusted_rival_distance(5.0, 3.0, 3.0, model) == 5.0
+
+    def test_fd_slope_scales_shift(self):
+        model = UtilityModel(f_d=LinearValue(2.0))
+        # shift = (V_a - V_b) / slope = (6-2)/2 = 2.
+        assert adjusted_rival_distance(5.0, 6.0, 2.0, model) == pytest.approx(7.0)
+
+
+class TestComparisonKey:
+    def test_utility_order_equals_key_order(self):
+        model = UtilityModel()
+        # Worker A: d=1, V=10 -> U=9.  Worker B: d=2, V=12 -> U=10.
+        key_a = comparison_key(1.0, 10.0, model)
+        key_b = comparison_key(2.0, 12.0, model)
+        assert key_b < key_a  # B's utility is higher -> smaller key
+
+    def test_key_difference_equals_eq4_gap(self):
+        model = UtilityModel()
+        d_a, v_a = 1.3, 9.0
+        d_b, v_b = 2.1, 7.5
+        rival = adjusted_rival_distance(d_b, v_a, v_b, model)
+        gap_via_keys = comparison_key(d_a, v_a, model) - comparison_key(d_b, v_b, model)
+        assert gap_via_keys == pytest.approx(d_a - rival)
+
+    def test_exhaustive_order_agreement(self, rng):
+        model = UtilityModel(f_d=LinearValue(1.7))
+        for _ in range(200):
+            d_a, d_b = rng.uniform(0, 5, size=2)
+            v_a, v_b = rng.uniform(0, 10, size=2)
+            u_a = v_a - model.f_d(d_a)
+            u_b = v_b - model.f_d(d_b)
+            key_a = comparison_key(d_a, v_a, model)
+            key_b = comparison_key(d_b, v_b, model)
+            assert (u_a > u_b) == (key_a < key_b)

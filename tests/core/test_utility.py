@@ -1,0 +1,96 @@
+"""Unit tests for value functions and the utility model."""
+
+import pytest
+
+from repro.core.utility import LinearValue, PowerValue, UtilityModel
+from repro.errors import ConfigurationError
+
+
+class TestLinearValue:
+    def test_evaluate_and_inverse(self):
+        f = LinearValue(2.0)
+        assert f(3.0) == 6.0
+        assert f.inverse(6.0) == 3.0
+
+    def test_zero_maps_to_zero(self):
+        assert LinearValue(1.7)(0.0) == 0.0
+
+    def test_invalid_slope(self):
+        with pytest.raises(ConfigurationError, match="slope"):
+            LinearValue(0.0)
+
+    def test_additivity(self):
+        f = LinearValue(1.3)
+        assert f(2.0) + f(3.0) == pytest.approx(f(5.0))
+
+
+class TestPowerValue:
+    def test_evaluate_and_inverse(self):
+        f = PowerValue(exponent=2.0, scale=3.0)
+        assert f(2.0) == 12.0
+        assert f.inverse(12.0) == pytest.approx(2.0)
+
+    def test_odd_extension(self):
+        f = PowerValue(exponent=2.0)
+        assert f(-2.0) == -4.0
+        assert f.inverse(-4.0) == pytest.approx(-2.0)
+
+    def test_monotone(self):
+        f = PowerValue(exponent=1.5)
+        xs = [-3.0, -1.0, 0.0, 0.5, 2.0]
+        values = [f(x) for x in xs]
+        assert values == sorted(values)
+
+    def test_inverse_roundtrip(self):
+        f = PowerValue(exponent=2.5, scale=0.7)
+        for x in (-4.0, -0.3, 0.0, 0.3, 4.0):
+            assert f.inverse(f(x)) == pytest.approx(x)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError, match="exponent"):
+            PowerValue(exponent=0.0)
+        with pytest.raises(ConfigurationError, match="scale"):
+            PowerValue(scale=-1.0)
+
+
+class TestUtilityModel:
+    def test_eq2_with_defaults(self):
+        model = UtilityModel()
+        # U = v - f_d(d) - f_p(spend) with identity functions.
+        assert model.utility(12.4, 12.2, 0.1) == pytest.approx(0.1)
+
+    def test_eq2_without_privacy_cost(self):
+        model = UtilityModel()
+        assert model.utility(5.0, 1.5) == pytest.approx(3.5)
+
+    def test_scaled_functions(self):
+        model = UtilityModel(f_d=LinearValue(2.0), f_p=LinearValue(0.5))
+        assert model.utility(10.0, 2.0, 4.0) == pytest.approx(10.0 - 4.0 - 2.0)
+
+    def test_nonlinear_distance_function(self):
+        model = UtilityModel(f_d=PowerValue(exponent=2.0))
+        assert model.utility(10.0, 2.0, 0.0) == pytest.approx(6.0)
+
+    def test_f_p_must_be_linear(self):
+        with pytest.raises(ConfigurationError, match="additivity"):
+            UtilityModel(f_p=PowerValue(exponent=2.0))  # type: ignore[arg-type]
+
+    def test_distance_equivalent(self):
+        model = UtilityModel(f_d=LinearValue(4.0))
+        assert model.distance_equivalent(8.0) == 2.0
+
+    def test_table_iv_first_proposal_utilities(self):
+        # Every first-proposal utility in Table IV follows Eq. 2 with
+        # pair-level spend.
+        model = UtilityModel()
+        cases = [
+            (12.4, 12.2, 0.1, 0.1),  # (t1, w1)
+            (12.4, 5.0, 4.6, 2.8),  # (t1, w2)
+            (12.4, 9.43, 0.1, 2.87),  # (t1, w3)
+            (11.0, 3.61, 6.99, 0.4),  # (t2, w1)
+            (11.0, 10.44, 0.1, 0.46),  # (t2, w2)
+            (13.0, 12.21, 0.1, 0.69),  # (t3, w2)
+            (13.0, 7.28, 5.4, 0.32),  # (t3, w3)
+        ]
+        for value, distance, eps, expected in cases:
+            assert model.utility(value, distance, eps) == pytest.approx(expected)

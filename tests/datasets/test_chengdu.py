@@ -1,0 +1,72 @@
+"""Unit tests for the simulated Chengdu taxi workload."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.synthetic import NormalGenerator
+from repro.errors import DatasetError
+
+
+class TestChengduLikeGenerator:
+    def test_population_counts(self):
+        instance = ChengduLikeGenerator(100, 200, seed=1).instance()
+        assert instance.num_tasks == 100
+        assert instance.num_workers == 200
+
+    def test_orders_in_paper_frame(self):
+        gen = ChengduLikeGenerator(1000, 10, seed=1)
+        instance = gen.instance()
+        xs = np.array([t.location.x for t in instance.tasks])
+        ys = np.array([t.location.y for t in instance.tasks])
+        # Figure 3a frame: roughly x in [340,460], y in [3340,3440]; allow
+        # gaussian tails a margin.
+        assert 300 < xs.mean() < 500
+        assert 3300 < ys.mean() < 3500
+
+    def test_release_times_in_day(self):
+        instance = ChengduLikeGenerator(500, 10, seed=1).instance()
+        times = [t.release_time for t in instance.tasks]
+        assert all(0.0 <= h < 24.0 for h in times)
+
+    def test_release_times_rush_hour_peaks(self):
+        instance = ChengduLikeGenerator(4000, 10, seed=1).instance()
+        times = np.array([t.release_time for t in instance.tasks])
+        rush = np.mean((np.abs(times - 8.5) < 1.5) | (np.abs(times - 18.0) < 1.5))
+        flat = 6.0 / 24.0  # a uniform day would put ~25% in those windows
+        assert rush > 1.8 * flat
+
+    def test_sparser_than_normal_dataset(self):
+        # Section VII-D.2's explanation of PGT's chengdu results: fewer
+        # tasks per service circle than the normal dataset.
+        chengdu = ChengduLikeGenerator(500, 1000, seed=2).instance(worker_range=1.4)
+        normal = NormalGenerator(500, 1000, seed=2).instance(worker_range=1.4)
+        assert chengdu.mean_tasks_per_worker() < 0.6 * normal.mean_tasks_per_worker()
+
+    def test_some_density_exists(self):
+        chengdu = ChengduLikeGenerator(500, 1000, seed=2).instance(worker_range=1.4)
+        assert chengdu.mean_tasks_per_worker() > 0.2
+
+    def test_road_network_fixed_per_generator(self):
+        gen = ChengduLikeGenerator(100, 100, seed=7)
+        assert gen._roads.shape == (12, 4)
+        roads_again = ChengduLikeGenerator(100, 100, seed=7)._roads
+        assert np.allclose(gen._roads, roads_again)
+
+    def test_taxis_spread_wider_than_orders(self):
+        gen = ChengduLikeGenerator(2000, 2000, seed=3)
+        instance = gen.instance()
+        order_spread = np.std([t.location.x for t in instance.tasks])
+        taxi_spread = np.std([w.location.x for w in instance.workers])
+        assert taxi_spread > order_spread
+
+    def test_invalid_mixture(self):
+        with pytest.raises(DatasetError, match="<= 1"):
+            ChengduLikeGenerator(10, 10, core_fraction=0.8, road_fraction=0.5)
+        with pytest.raises(DatasetError, match="num_roads"):
+            ChengduLikeGenerator(10, 10, num_roads=0)
+
+    def test_reproducible(self):
+        a = ChengduLikeGenerator(50, 100, seed=9).instance(batch=1)
+        b = ChengduLikeGenerator(50, 100, seed=9).instance(batch=1)
+        assert [t.location for t in a.tasks] == [t.location for t in b.tasks]

@@ -1,0 +1,89 @@
+"""Unit tests for workload CSV import/export."""
+
+import pytest
+
+from repro.datasets.io import load_tasks, load_workers, save_tasks, save_workers
+from repro.datasets.synthetic import NormalGenerator
+from repro.datasets.workload import Task, Worker
+from repro.errors import DatasetError
+from repro.spatial.geometry import Point
+
+
+class TestRoundTrip:
+    def test_tasks_round_trip(self, tmp_path, rng):
+        generator = NormalGenerator(25, 10, seed=4)
+        tasks = generator.tasks(task_value=4.5, rng=rng)
+        path = tmp_path / "tasks.csv"
+        save_tasks(tasks, path)
+        loaded = load_tasks(path)
+        assert loaded == tasks
+
+    def test_workers_round_trip(self, tmp_path, rng):
+        generator = NormalGenerator(10, 25, seed=4)
+        workers = generator.workers(worker_range=1.4, rng=rng)
+        path = tmp_path / "workers.csv"
+        save_workers(workers, path)
+        assert load_workers(path) == workers
+
+    def test_loaded_workload_builds_instances(self, tmp_path, rng):
+        generator = NormalGenerator(20, 40, seed=4)
+        save_tasks(generator.tasks(4.5, rng), tmp_path / "t.csv")
+        save_workers(generator.workers(1.4, rng), tmp_path / "w.csv")
+        from repro.simulation.instance import ProblemInstance
+
+        instance = ProblemInstance.build(
+            load_tasks(tmp_path / "t.csv"), load_workers(tmp_path / "w.csv"), seed=0
+        )
+        assert instance.num_tasks == 20
+
+    def test_empty_workload(self, tmp_path):
+        save_tasks([], tmp_path / "t.csv")
+        assert load_tasks(tmp_path / "t.csv") == []
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_tasks(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty file"):
+            load_tasks(path)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,x,y\n1,0,0\n")
+        with pytest.raises(DatasetError, match="missing columns"):
+            load_tasks(path)
+
+    def test_bad_number_reports_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,x,y,value,release_time\n1,0,0,4.5,0\n2,oops,0,4.5,0\n")
+        with pytest.raises(DatasetError, match=r"t\.csv:3.*'x'"):
+            load_tasks(path)
+
+    def test_bad_id(self, tmp_path):
+        path = tmp_path / "w.csv"
+        path.write_text("id,x,y,radius\nabc,0,0,1\n")
+        with pytest.raises(DatasetError, match="integer"):
+            load_workers(path)
+
+    def test_duplicate_ids(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,x,y,value,release_time\n1,0,0,4.5,0\n1,1,0,4.5,0\n")
+        with pytest.raises(DatasetError, match="duplicate task id"):
+            load_tasks(path)
+
+    def test_invariants_enforced_on_load(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,x,y,value,release_time\n1,0,0,-4.5,0\n")
+        with pytest.raises(DatasetError, match="negative value"):
+            load_tasks(path)
+
+    def test_negative_radius_rejected(self, tmp_path):
+        path = tmp_path / "w.csv"
+        path.write_text("id,x,y,radius\n1,0,0,-1\n")
+        with pytest.raises(DatasetError, match="negative radius"):
+            load_workers(path)

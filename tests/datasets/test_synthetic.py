@@ -1,0 +1,111 @@
+"""Unit tests for the uniform/normal generators and density preservation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import NormalGenerator, UniformGenerator
+from repro.errors import DatasetError
+
+
+class TestGeneratorBasics:
+    def test_population_counts(self):
+        gen = UniformGenerator(num_tasks=50, num_workers=120, seed=1)
+        instance = gen.instance()
+        assert instance.num_tasks == 50
+        assert instance.num_workers == 120
+
+    def test_invalid_populations(self):
+        with pytest.raises(DatasetError, match="num_tasks"):
+            UniformGenerator(num_tasks=0, num_workers=10)
+        with pytest.raises(DatasetError, match="num_workers"):
+            UniformGenerator(num_tasks=10, num_workers=0)
+
+    def test_task_values_constant_by_default(self):
+        instance = UniformGenerator(30, 30, seed=2).instance(task_value=4.5)
+        assert all(t.value == 4.5 for t in instance.tasks)
+
+    def test_value_jitter(self):
+        gen = UniformGenerator(200, 10, seed=2)
+        instance = gen.instance(task_value=4.5, value_jitter=1.0)
+        values = [t.value for t in instance.tasks]
+        assert min(values) >= 3.5 - 1e-12
+        assert max(values) <= 5.5 + 1e-12
+        assert len(set(values)) > 100
+
+    def test_invalid_task_value(self):
+        gen = UniformGenerator(10, 10, seed=1)
+        with pytest.raises(DatasetError, match="task_value"):
+            gen.instance(task_value=0.0)
+
+    def test_worker_radius_applied(self):
+        instance = UniformGenerator(10, 10, seed=1).instance(worker_range=2.2)
+        assert all(w.radius == 2.2 for w in instance.workers)
+
+    def test_reproducible_batches(self):
+        a = UniformGenerator(40, 80, seed=5).instance(batch=3)
+        b = UniformGenerator(40, 80, seed=5).instance(batch=3)
+        assert [t.location for t in a.tasks] == [t.location for t in b.tasks]
+        assert a.budgets == b.budgets
+
+    def test_distinct_batches_differ(self):
+        gen = UniformGenerator(40, 80, seed=5)
+        a, b = gen.instance(batch=0), gen.instance(batch=1)
+        assert [t.location for t in a.tasks] != [t.location for t in b.tasks]
+
+    def test_instances_helper(self):
+        batches = UniformGenerator(20, 40, seed=5).instances(3)
+        assert len(batches) == 3
+
+    def test_invalid_num_batches(self):
+        with pytest.raises(DatasetError, match="num_batches"):
+            UniformGenerator(20, 40, seed=5).instances(0)
+
+
+class TestDensityPreservation:
+    def test_uniform_frame_scales_with_sqrt_tasks(self):
+        small = UniformGenerator(250, 500, seed=1)
+        paper = UniformGenerator(1000, 2000, seed=1)
+        assert small.frame == pytest.approx(paper.frame / 2.0)
+        assert paper.frame == pytest.approx(100.0)
+
+    def test_normal_std_scales(self):
+        small = NormalGenerator(250, 500, seed=1)
+        paper = NormalGenerator(1000, 2000, seed=1)
+        assert paper.std == pytest.approx(math.sqrt(150.0))
+        assert small.std == pytest.approx(paper.std / 2.0)
+
+    @pytest.mark.parametrize("generator_cls", [UniformGenerator, NormalGenerator])
+    def test_tasks_per_circle_stable_across_scale(self, generator_cls):
+        # The statistic that drives every figure must not move with batch
+        # size: compare mean |R_j| at 150 vs 600 tasks.
+        small = generator_cls(150, 300, seed=3).instance(worker_range=1.4)
+        large = generator_cls(600, 1200, seed=3).instance(worker_range=1.4)
+        assert small.mean_tasks_per_worker() == pytest.approx(
+            large.mean_tasks_per_worker(), rel=0.35
+        )
+
+    def test_normal_denser_than_uniform(self):
+        # The paper's core contrast: workers see more tasks on normal.
+        normal = NormalGenerator(400, 800, seed=3).instance(worker_range=1.4)
+        uniform = UniformGenerator(400, 800, seed=3).instance(worker_range=1.4)
+        assert normal.mean_tasks_per_worker() > 2 * uniform.mean_tasks_per_worker()
+
+
+class TestDistributionShapes:
+    def test_uniform_points_inside_frame(self):
+        gen = UniformGenerator(500, 10, seed=4)
+        instance = gen.instance()
+        for task in instance.tasks:
+            assert 0.0 <= task.location.x <= gen.frame
+            assert 0.0 <= task.location.y <= gen.frame
+
+    def test_normal_points_centred(self):
+        gen = NormalGenerator(2000, 10, seed=4)
+        instance = gen.instance()
+        xs = np.array([t.location.x for t in instance.tasks])
+        ys = np.array([t.location.y for t in instance.tasks])
+        assert abs(xs.mean()) < gen.std / 5
+        assert abs(ys.mean()) < gen.std / 5
+        assert xs.std() == pytest.approx(gen.std, rel=0.1)

@@ -1,0 +1,113 @@
+"""Unit tests for tasks, workers, batching, and worker-group cycling."""
+
+import pytest
+
+from repro.datasets.workload import Batch, Task, Worker, WorkerGroupCycle, split_batches
+from repro.errors import DatasetError
+from repro.spatial.geometry import Point
+
+
+def make_workers(count, radius=1.0):
+    return [Worker(id=j, location=Point(float(j), 0.0), radius=radius) for j in range(count)]
+
+
+class TestTaskWorker:
+    def test_task_location_coerced(self):
+        task = Task(id=0, location=(1.0, 2.0), value=3.0)  # type: ignore[arg-type]
+        assert isinstance(task.location, Point)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(DatasetError, match="negative value"):
+            Task(id=0, location=Point(0, 0), value=-1.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(DatasetError, match="negative radius"):
+            Worker(id=0, location=Point(0, 0), radius=-1.0)
+
+    def test_can_reach(self):
+        worker = Worker(id=0, location=Point(0, 0), radius=1.0)
+        assert worker.can_reach(Task(id=0, location=Point(1.0, 0.0), value=1.0))
+        assert not worker.can_reach(Task(id=1, location=Point(1.1, 0.0), value=1.0))
+
+
+class TestBatch:
+    def test_worker_task_ratio(self):
+        batch = Batch(
+            0,
+            tuple(Task(id=i, location=Point(0, 0), value=1.0) for i in range(2)),
+            tuple(make_workers(4)),
+        )
+        assert batch.worker_task_ratio == 2.0
+
+    def test_ratio_requires_tasks(self):
+        batch = Batch(0, (), tuple(make_workers(2)))
+        with pytest.raises(DatasetError, match="no tasks"):
+            batch.worker_task_ratio
+
+
+class TestSplitBatches:
+    def _tasks(self, count):
+        return [
+            Task(id=i, location=Point(0, 0), value=1.0, release_time=float(count - i))
+            for i in range(count)
+        ]
+
+    def test_batches_ordered_by_release_time(self):
+        tasks = self._tasks(10)
+        cycle = WorkerGroupCycle.split(make_workers(4), 2)
+        batches = split_batches(tasks, batch_size=4, workers=cycle)
+        times = [t.release_time for b in batches for t in b.tasks]
+        assert times == sorted(times)
+
+    def test_batch_sizes(self):
+        cycle = WorkerGroupCycle.split(make_workers(4), 2)
+        batches = split_batches(self._tasks(10), batch_size=4, workers=cycle)
+        assert [len(b.tasks) for b in batches] == [4, 4, 2]
+
+    def test_groups_cycle(self):
+        cycle = WorkerGroupCycle.split(make_workers(4), 2)
+        batches = split_batches(self._tasks(6), batch_size=2, workers=cycle)
+        # Three batches over two groups: 0, 1, 0.
+        assert batches[0].workers == batches[2].workers
+        assert batches[0].workers != batches[1].workers
+
+    def test_invalid_batch_size(self):
+        cycle = WorkerGroupCycle.split(make_workers(2), 1)
+        with pytest.raises(DatasetError, match="batch_size"):
+            split_batches(self._tasks(3), batch_size=0, workers=cycle)
+
+    def test_empty_tasks_no_batches(self):
+        cycle = WorkerGroupCycle.split(make_workers(2), 1)
+        assert split_batches([], batch_size=5, workers=cycle) == []
+
+
+class TestWorkerGroupCycle:
+    def test_split_even(self):
+        cycle = WorkerGroupCycle.split(make_workers(30), 10)
+        assert len(cycle.groups) == 10
+        assert all(len(g) == 3 for g in cycle.groups)
+
+    def test_split_remainder_in_last_group(self):
+        cycle = WorkerGroupCycle.split(make_workers(10), 3)
+        assert [len(g) for g in cycle.groups] == [3, 3, 4]
+
+    def test_next_group_wraps(self):
+        cycle = WorkerGroupCycle.split(make_workers(4), 2)
+        first = cycle.next_group()
+        second = cycle.next_group()
+        third = cycle.next_group()
+        assert first != second
+        assert first == third
+
+    def test_too_many_groups(self):
+        with pytest.raises(DatasetError, match="cannot split"):
+            WorkerGroupCycle.split(make_workers(2), 3)
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(DatasetError, match="num_groups"):
+            WorkerGroupCycle.split(make_workers(2), 0)
+
+    def test_paper_protocol_shape(self):
+        # 30000 taxis into ten groups of 3000 (Section VII-B), miniature.
+        cycle = WorkerGroupCycle.split(make_workers(300), 10)
+        assert all(len(g) == 30 for g in cycle.groups)

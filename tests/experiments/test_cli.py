@@ -1,0 +1,33 @@
+"""Unit tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for figure_id in ("fig04", "fig05", "fig07", "fig09", "fig11", "fig13", "fig15", "fig17"):
+            assert figure_id in out
+
+    def test_run_small_figure(self, capsys):
+        code = main(
+            ["run", "fig09", "--tasks", "20", "--batches", "1", "--datasets", "uniform"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig09 [uniform]" in out
+        assert "PUCE" in out
+
+    def test_unknown_figure_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_seed_changes_output(self, capsys):
+        main(["run", "fig09", "--tasks", "20", "--batches", "1", "--datasets", "uniform", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["run", "fig09", "--tasks", "20", "--batches", "1", "--datasets", "uniform", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

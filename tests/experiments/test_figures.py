@@ -1,0 +1,62 @@
+"""Unit tests for the per-figure experiment specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import FIGURES, run_figure
+
+
+class TestFigureCatalog:
+    def test_all_eight_groups_present(self):
+        assert set(FIGURES) == {
+            "fig04",
+            "fig05",
+            "fig07",
+            "fig09",
+            "fig11",
+            "fig13",
+            "fig15",
+            "fig17",
+        }
+
+    def test_every_group_covers_three_datasets(self):
+        for spec in FIGURES.values():
+            assert set(spec.datasets) == {"chengdu", "normal", "uniform"}
+
+    def test_table_x_sweep_values(self):
+        assert FIGURES["fig04"].values == (1.0, 1.5, 2.0, 2.5, 3.0)
+        assert FIGURES["fig05"].values == (1.5, 3.0, 4.5, 6.0, 7.5)
+        assert FIGURES["fig07"].values == (0.8, 1.1, 1.4, 1.7, 2.0)
+        assert FIGURES["fig17"].values[0] == (0.5, 0.75)
+
+    def test_fig17_uses_nppcf_ablations(self):
+        methods = FIGURES["fig17"].methods
+        assert "PUCE-nppcf" in methods and "PDCE-nppcf" in methods
+
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigurationError, match="unknown figure"):
+            run_figure("fig99")
+
+
+class TestRunFigureSmall:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        # One dataset, tiny scale: structure checks only.
+        return run_figure("fig09", num_tasks=25, num_batches=1, datasets=("uniform",))
+
+    def test_series_shapes(self, tiny_result):
+        labels = tiny_result.labels("uniform")
+        assert len(labels) == 5
+        for method in tiny_result.spec.methods:
+            assert len(tiny_result.series("uniform", method)) == 5
+
+    def test_deviation_series_for_private(self, tiny_result):
+        deviations = tiny_result.deviation_series("uniform", "PUCE")
+        assert len(deviations) == 5
+
+    def test_time_figures_have_no_deviation(self):
+        result = run_figure(
+            "fig04", num_tasks=20, num_batches=1, datasets=("uniform",)
+        )
+        with pytest.raises(ConfigurationError, match="deviation"):
+            result.deviation_series("uniform", "PUCE")

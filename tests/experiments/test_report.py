@@ -1,0 +1,37 @@
+"""Unit tests for the text report renderer."""
+
+import pytest
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_figure, format_series
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    return run_figure("fig09", num_tasks=25, num_batches=1, datasets=("uniform",))
+
+
+class TestReport:
+    def test_series_table_contains_methods_and_labels(self, small_figure):
+        text = format_series(small_figure, "uniform")
+        for method in small_figure.spec.methods:
+            assert method in text
+        for label in small_figure.labels("uniform"):
+            assert label in text
+
+    def test_series_mentions_paper_figure(self, small_figure):
+        assert "Fig. 21" in format_series(small_figure, "uniform")
+
+    def test_deviation_block_present_for_utility(self, small_figure):
+        assert "U_RD" in format_series(small_figure, "uniform")
+
+    def test_format_figure_includes_expected_shape(self, small_figure):
+        text = format_figure(small_figure)
+        assert "paper's expected shape" in text
+
+    def test_table_alignment(self, small_figure):
+        text = format_series(small_figure, "uniform")
+        lines = [l for l in text.splitlines() if l and not l.endswith(":")]
+        # Header and data rows of the first table share a width.
+        table_lines = lines[1:4]
+        assert len({len(l) for l in table_lines}) == 1

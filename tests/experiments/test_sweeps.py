@@ -1,0 +1,83 @@
+"""Unit tests for sweep configuration and the sweep driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweeps import DATASETS, SweepConfig, make_generator, run_sweep
+
+
+class TestMakeGenerator:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_known_datasets(self, dataset):
+        gen = make_generator(dataset, 20, 40, seed=1)
+        instance = gen.instance()
+        assert instance.num_tasks == 20
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            make_generator("boston", 10, 10, seed=1)
+
+
+class TestSweepConfig:
+    def test_defaults_match_table_x(self):
+        config = SweepConfig()
+        assert config.worker_ratio == 2.0
+        assert config.task_value == 4.5
+        assert config.worker_range == 1.4
+        assert (config.budget_low, config.budget_high) == (0.5, 1.75)
+        assert config.budget_group_size == 7
+
+    def test_num_workers_from_ratio(self):
+        assert SweepConfig(num_tasks=100, worker_ratio=2.5).num_workers == 250
+
+    def test_at_replaces_single_parameter(self):
+        config = SweepConfig()
+        assert config.at("task_value", 6.0).task_value == 6.0
+        assert config.at("worker_range", 2.0).worker_range == 2.0
+        assert config.at("worker_ratio", 3.0).worker_ratio == 3.0
+        narrowed = config.at("budget_interval", (1.0, 1.25))
+        assert (narrowed.budget_low, narrowed.budget_high) == (1.0, 1.25)
+
+    def test_at_unknown_parameter(self):
+        with pytest.raises(ConfigurationError, match="sweep parameter"):
+            SweepConfig().at("altitude", 1.0)
+
+    def test_invalid_dataset(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            SweepConfig(dataset="mars")
+
+    def test_run_produces_all_methods(self):
+        config = SweepConfig(
+            dataset="uniform",
+            methods=("UCE", "GRD"),
+            num_tasks=30,
+            num_batches=1,
+        )
+        report = config.run()
+        assert set(report.methods()) == {"UCE", "GRD"}
+
+
+class TestRunSweep:
+    def test_sweep_points_carry_values(self):
+        config = SweepConfig(
+            dataset="uniform", methods=("GRD",), num_tasks=25, num_batches=1
+        )
+        points = run_sweep(config, "task_value", (1.5, 4.5))
+        assert [p.value for p in points] == [1.5, 4.5]
+        assert [p.label for p in points] == ["1.5", "4.5"]
+
+    def test_budget_interval_labels(self):
+        config = SweepConfig(
+            dataset="uniform", methods=("GRD",), num_tasks=25, num_batches=1
+        )
+        points = run_sweep(config, "budget_interval", ((0.5, 0.75),))
+        assert points[0].label == "[0.5,0.75]"
+
+    def test_task_value_moves_utility(self):
+        config = SweepConfig(
+            dataset="uniform", methods=("GRD",), num_tasks=40, num_batches=1
+        )
+        low, high = run_sweep(config, "task_value", (1.5, 7.5))
+        assert (
+            high.report["GRD"].average_utility > low.report["GRD"].average_utility
+        )

@@ -1,0 +1,58 @@
+"""Unit tests for generic best-response dynamics (Theorem VI.2)."""
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.game.best_response import best_response_dynamics
+from repro.game.strategic import NormalFormGame
+from tests.game.test_potential import congestion_game
+
+
+class TestBestResponseDynamics:
+    def test_converges_on_congestion_game(self):
+        game, potential = congestion_game()
+        path = best_response_dynamics(game, ("A", "A"))
+        assert path.converged
+        assert game.is_nash(path.final)
+
+    def test_potential_monotone_along_path(self):
+        game, potential = congestion_game()
+        path = best_response_dynamics(game, ("A", "A"))
+        values = [potential(p) for p in path.profiles]
+        assert all(a < b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_gains_match_potential_steps(self):
+        game, potential = congestion_game()
+        path = best_response_dynamics(game, ("A", "A"))
+        for k, (_, _, gain) in enumerate(path.moves):
+            step = potential(path.profiles[k + 1]) - potential(path.profiles[k])
+            assert gain == pytest.approx(step)
+
+    def test_nash_start_is_fixed_point(self):
+        game, _ = congestion_game()
+        path = best_response_dynamics(game, ("A", "B"))
+        assert path.num_moves == 0
+        assert path.final == ("A", "B")
+
+    def test_matching_pennies_cycles(self):
+        def utility(p, profile):
+            same = profile[0] == profile[1]
+            return (1.0 if same else -1.0) * (1 if p == 0 else -1)
+
+        game = NormalFormGame(strategy_sets=(("H", "T"), ("H", "T")), utility=utility)
+        with pytest.raises(ConvergenceError, match="converge"):
+            best_response_dynamics(game, ("H", "H"), max_passes=50)
+
+    def test_profile_length_validated(self):
+        game, _ = congestion_game()
+        with pytest.raises(ValueError, match="entries"):
+            best_response_dynamics(game, ("A",))
+
+    def test_convergence_bounded_by_potential_range(self):
+        # Theorem VI.2's shape: with an integer-scaled potential, moves are
+        # bounded by the potential's range.
+        game, potential = congestion_game()
+        path = best_response_dynamics(game, ("A", "A"))
+        scaled_range = 2 * (max(potential(p) for p in game.profiles())
+                            - min(potential(p) for p in game.profiles()))
+        assert path.num_moves <= scaled_range

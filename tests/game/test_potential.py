@@ -1,0 +1,123 @@
+"""Unit tests for exact-potential verification (Definition 7 / Thm. VI.1)."""
+
+import pytest
+
+from repro.core.pgt import PGTSolver
+from repro.game.potential import allocation_potential, is_exact_potential, result_potential
+from repro.game.strategic import NormalFormGame
+from tests.conftest import build_instance
+
+
+def congestion_game():
+    """Two players, two roads; cost = number of users on the chosen road.
+
+    A textbook exact potential game with potential = -sum of marginal
+    congestion.
+    """
+
+    def utility(p, profile):
+        load = profile.count(profile[p])
+        return -float(load)
+
+    def potential(profile):
+        total = 0.0
+        for road in set(profile):
+            k = profile.count(road)
+            total -= k * (k + 1) / 2.0
+        return total
+
+    game = NormalFormGame(strategy_sets=(("A", "B"), ("A", "B")), utility=utility)
+    return game, potential
+
+
+def paata_game(instance):
+    """A one-shot PAA-TA: strategies are tasks (or None), best bid wins.
+
+    With exact distances and no budget spend the paper's potential (total
+    matched utility) is exact for *non-overlapping* deviations; we build a
+    1-worker-per-task-candidate version where it is exact everywhere.
+    """
+    model = instance.model
+
+    def winner_of(task, profile):
+        bidders = [j for j, choice in enumerate(profile) if choice == task]
+        if not bidders:
+            return None
+        return min(bidders, key=lambda j: (instance.distance(task, j), j))
+
+    def utility(p, profile):
+        task = profile[p]
+        if task is None or winner_of(task, profile) != p:
+            return 0.0
+        return model.utility(instance.tasks[task].value, instance.distance(task, p))
+
+    def potential(profile):
+        return sum(utility(p, profile) for p in range(instance.num_workers))
+
+    strategy_sets = tuple(
+        tuple([None, *instance.reachable[j]]) for j in range(instance.num_workers)
+    )
+    return NormalFormGame(strategy_sets=strategy_sets, utility=utility), potential
+
+
+class TestIsExactPotential:
+    def test_congestion_game_is_potential(self):
+        game, potential = congestion_game()
+        assert is_exact_potential(game, potential)
+
+    def test_wrong_potential_rejected(self):
+        game, _ = congestion_game()
+        assert not is_exact_potential(game, lambda profile: 0.0)
+
+    def test_matching_pennies_not_potential(self):
+        def utility(p, profile):
+            same = profile[0] == profile[1]
+            return (1.0 if same else -1.0) * (1 if p == 0 else -1)
+
+        game = NormalFormGame(strategy_sets=(("H", "T"), ("H", "T")), utility=utility)
+        # No function can be an exact potential for matching pennies; the
+        # welfare certainly is not.
+        assert not is_exact_potential(game, game.welfare)
+
+    def test_disjoint_paata_game_is_potential(self):
+        # Workers with disjoint reachable tasks never interact: the total
+        # utility is an exact potential.
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (10.0, 0.0, 5.0)],
+            worker_specs=[(0.5, 0.0, 1.0), (10.5, 0.0, 1.0)],
+        )
+        game, potential = paata_game(instance)
+        assert is_exact_potential(game, potential)
+
+
+class TestAllocationPotential:
+    def test_direct_evaluation(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0), (2.0, 0.0, 4.0)],
+            worker_specs=[(1.0, 0.0, 3.0), (2.5, 0.0, 3.0)],
+        )
+        phi = allocation_potential(
+            instance,
+            {0: 0, 1: 1},
+            effective_distance=lambda i, j: instance.distance(i, j),
+            total_spend=1.5,
+        )
+        assert phi == pytest.approx((5 - 1.0) + (4 - 0.5) - 1.5)
+
+    def test_pgt_moves_increase_potential(self, medium_instance):
+        # Theorem VI.1's operative content: every accepted move's UT > 0
+        # equals the potential increase, so all recorded gains are positive
+        # and their sum is the total potential climb.
+        _, stats = PGTSolver().solve_with_stats(medium_instance, seed=2)
+        assert stats.moves > 0
+        assert all(g > 0 for g in stats.move_gains)
+
+    def test_result_potential_consistency(self, medium_instance):
+        result = PGTSolver().solve(medium_instance, seed=2)
+        phi = result_potential(result)
+        matched_value = sum(
+            medium_instance.tasks[p.task_index].value
+            - medium_instance.model.f_d(p.distance)
+            for p in result.matched_pairs()
+        )
+        assert phi == pytest.approx(matched_value - result.ledger.total_spend())

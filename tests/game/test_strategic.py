@@ -1,0 +1,72 @@
+"""Unit tests for the normal-form game container."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.strategic import NormalFormGame
+
+
+def prisoners_dilemma():
+    # (C, C) -> (3, 3); (D, D) -> (1, 1); defector exploits cooperator.
+    payoffs = {
+        ("C", "C"): (3, 3),
+        ("C", "D"): (0, 5),
+        ("D", "C"): (5, 0),
+        ("D", "D"): (1, 1),
+    }
+    return NormalFormGame(
+        strategy_sets=(("C", "D"), ("C", "D")),
+        utility=lambda p, profile: payoffs[profile][p],
+    )
+
+
+def matching_pennies():
+    def utility(p, profile):
+        same = profile[0] == profile[1]
+        return (1.0 if same else -1.0) * (1 if p == 0 else -1)
+
+    return NormalFormGame(strategy_sets=(("H", "T"), ("H", "T")), utility=utility)
+
+
+class TestNormalFormGame:
+    def test_profile_enumeration(self):
+        game = prisoners_dilemma()
+        assert game.num_profiles() == 4
+        assert len(list(game.profiles())) == 4
+
+    def test_deviate(self):
+        game = prisoners_dilemma()
+        assert game.deviate(("C", "C"), 1, "D") == ("C", "D")
+
+    def test_best_responses_pd(self):
+        game = prisoners_dilemma()
+        # Defect dominates.
+        assert game.best_responses(0, ("C", "C")) == ("D",)
+        assert game.best_responses(0, ("C", "D")) == ("D",)
+
+    def test_nash_pd(self):
+        game = prisoners_dilemma()
+        assert game.is_nash(("D", "D"))
+        assert not game.is_nash(("C", "C"))
+
+    def test_no_pure_nash_in_matching_pennies(self):
+        game = matching_pennies()
+        assert not any(game.is_nash(p) for p in game.profiles())
+
+    def test_welfare(self):
+        game = prisoners_dilemma()
+        assert game.welfare(("C", "C")) == 6
+        assert game.welfare(("D", "D")) == 2
+
+    def test_best_response_ties_returned_together(self):
+        game = NormalFormGame(
+            strategy_sets=(("a", "b"),),
+            utility=lambda p, profile: 1.0,
+        )
+        assert game.best_responses(0, ("a",)) == ("a", "b")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one player"):
+            NormalFormGame(strategy_sets=(), utility=lambda p, s: 0.0)
+        with pytest.raises(ConfigurationError, match="at least one strategy"):
+            NormalFormGame(strategy_sets=((),), utility=lambda p, s: 0.0)

@@ -1,0 +1,85 @@
+"""Integration: the full Section VII-B protocol over a simulated day.
+
+Orders stream in with release times, are cut into time-window batches,
+and fixed taxi groups rotate across batches — the exact pipeline the
+paper's real-data experiments use, here end to end: generator -> batching
+-> per-batch instances -> multi-method runner -> aggregated measures ->
+attack audit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.workload import WorkerGroupCycle, split_batches
+from repro.privacy.attack import attack_assignment
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.runner import BatchRunner
+
+
+@pytest.fixture(scope="module")
+def day():
+    generator = ChengduLikeGenerator(240, 360, seed=31)
+    rng = np.random.default_rng(31)
+    orders = generator.tasks(task_value=4.5, rng=rng)
+    taxis = generator.workers(worker_range=1.4, rng=rng)
+    groups = WorkerGroupCycle.split(taxis, 3)
+    batches = split_batches(orders, batch_size=60, workers=groups)  # 4 batches
+    instances = [ProblemInstance.from_batch(b, seed=50 + b.index) for b in batches]
+    return batches, instances
+
+
+class TestFullDayPipeline:
+    def test_batching_covers_all_orders_once(self, day):
+        batches, _ = day
+        order_ids = [t.id for b in batches for t in b.tasks]
+        assert len(order_ids) == 240
+        assert len(set(order_ids)) == 240
+
+    def test_batches_time_ordered(self, day):
+        batches, _ = day
+        boundaries = [max(t.release_time for t in b.tasks) for b in batches[:-1]]
+        starts = [min(t.release_time for t in b.tasks) for b in batches[1:]]
+        for end_of_prev, start_of_next in zip(boundaries, starts):
+            assert end_of_prev <= start_of_next + 1e-9
+
+    def test_taxi_groups_rotate(self, day):
+        batches, _ = day
+        assert batches[0].workers == batches[3].workers  # 3 groups, cycle
+        assert batches[0].workers != batches[1].workers
+
+    def test_multi_method_day(self, day):
+        _, instances = day
+        report = BatchRunner(["PUCE", "PGT", "UCE", "GT"]).run(instances, seed=3)
+        assert report["PUCE"].batches == len(instances)
+        # Aggregate utility ordering: private below non-private.
+        assert report["PUCE"].average_utility < report["UCE"].average_utility
+        assert report["PGT"].average_utility < report["GT"].average_utility
+        # Deviations are the paper's plausible band.
+        assert 0.0 < report.utility_deviation("PUCE") < 0.7
+
+    def test_worker_privacy_accumulates_across_batches(self, day):
+        # A taxi serving multiple batches accumulates leakage per batch;
+        # merging per-batch ledgers yields the day-level audit.
+        _, instances = day
+        from repro.core.puce import PUCESolver
+        from repro.privacy.accountant import PrivacyLedger
+
+        day_ledger = PrivacyLedger()
+        for k, instance in enumerate(instances):
+            result = PUCESolver().solve(instance, seed=k)
+            day_ledger = day_ledger.merge(result.ledger)
+        assert day_ledger.total_spend() > 0
+        # Some worker appears in multiple batches (groups rotate).
+        spends = [day_ledger.worker_spend(w) for w in day_ledger.workers()]
+        assert max(spends) > 0
+
+    def test_attack_audit_runs_per_batch(self, day):
+        _, instances = day
+        from repro.core.puce import PUCESolver
+
+        result = PUCESolver().solve(instances[0], seed=0)
+        records = attack_assignment(result, min_anchors=2)
+        for record in records:
+            assert record.anchors >= 2
+            assert record.error >= 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the Matching container."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.bipartite import Matching
+
+
+class TestMatching:
+    def test_valid_one_to_one(self):
+        match = Matching({"t1": "w1", "t2": "w2"})
+        assert len(match) == 2
+        assert match.worker_of("t1") == "w1"
+        assert match.task_of("w2") == "t2"
+
+    def test_duplicate_worker_rejected(self):
+        with pytest.raises(MatchingError, match="assigned to both"):
+            Matching({"t1": "w1", "t2": "w1"})
+
+    def test_empty(self):
+        match = Matching.empty()
+        assert len(match) == 0
+        assert match.worker_of("t") is None
+        assert match.task_of("w") is None
+
+    def test_contains_and_iter(self):
+        match = Matching({1: 10, 2: 20})
+        assert 1 in match
+        assert 3 not in match
+        assert sorted(match) == [(1, 10), (2, 20)]
+
+    def test_total_weight(self):
+        match = Matching({1: 10, 2: 20})
+        weights = {(1, 10): 2.5, (2, 20): 1.5, (1, 20): 99.0}
+        assert match.total_weight(weights) == pytest.approx(4.0)
+
+    def test_total_weight_missing_pair_raises(self):
+        match = Matching({1: 10})
+        with pytest.raises(MatchingError, match="no weight entry"):
+            match.total_weight({})
+
+    def test_restricted_to(self):
+        match = Matching({1: 10, 2: 20, 3: 30})
+        sub = match.restricted_to({1, 3})
+        assert dict(sub.pairs) == {1: 10, 3: 30}
+
+    def test_pairs_defensively_copied(self):
+        source = {1: 10}
+        match = Matching(source)
+        source[2] = 20
+        assert len(match) == 1
+
+    def test_inverse_is_consistent(self):
+        pairs = {i: 100 + i for i in range(20)}
+        match = Matching(pairs)
+        for task, worker in pairs.items():
+            assert match.task_of(worker) == task
+            assert match.worker_of(task) == worker

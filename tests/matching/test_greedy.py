@@ -1,0 +1,45 @@
+"""Unit tests for the greedy matcher behind GRD."""
+
+import math
+
+from repro.matching.greedy import greedy_max_weight
+
+
+class TestGreedyMaxWeight:
+    def test_takes_heaviest_first(self):
+        weights = {(0, 0): 5.0, (0, 1): 1.0, (1, 0): 4.0, (1, 1): 2.0}
+        assert greedy_max_weight(weights) == {0: 0, 1: 1}
+
+    def test_greedy_can_be_suboptimal(self):
+        # Greedy takes (0,0)=3 and blocks the optimal {(0,1)=2, (1,0)=2}.
+        weights = {(0, 0): 3.0, (0, 1): 2.0, (1, 0): 2.0}
+        match = greedy_max_weight(weights)
+        assert match == {0: 0}
+        total = sum(weights[(r, c)] for r, c in match.items())
+        assert total == 3.0 < 4.0  # documents the greedy gap
+
+    def test_non_positive_weights_skipped(self):
+        weights = {(0, 0): 0.0, (1, 1): -2.0, (2, 2): 1.0}
+        assert greedy_max_weight(weights) == {2: 2}
+
+    def test_min_weight_threshold(self):
+        weights = {(0, 0): 0.5, (1, 1): 2.0}
+        assert greedy_max_weight(weights, min_weight=1.0) == {1: 1}
+
+    def test_infinite_weights_ignored(self):
+        weights = {(0, 0): math.inf, (0, 1): 1.0}
+        assert greedy_max_weight(weights) == {0: 1}
+
+    def test_deterministic_tie_break(self):
+        weights = {(1, 1): 2.0, (0, 0): 2.0, (0, 1): 2.0}
+        # Ties resolve by (row, col): (0,0) first, then (1,1).
+        assert greedy_max_weight(weights) == {0: 0, 1: 1}
+
+    def test_empty(self):
+        assert greedy_max_weight({}) == {}
+
+    def test_one_to_one(self):
+        weights = {(r, c): 1.0 + 0.1 * r + 0.01 * c for r in range(5) for c in range(3)}
+        match = greedy_max_weight(weights)
+        assert len(match) == 3  # limited by columns
+        assert len(set(match.values())) == len(match)

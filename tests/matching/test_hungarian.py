@@ -1,0 +1,147 @@
+"""Unit tests for the from-scratch Kuhn-Munkres solver."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.hungarian import linear_sum_assignment, max_weight_matching
+
+
+def brute_force_min(cost):
+    """Reference: best complete assignment of the smaller side."""
+    cost = np.asarray(cost, dtype=float)
+    n, m = cost.shape
+    transposed = n > m
+    if transposed:
+        cost = cost.T
+        n, m = m, n
+    best = math.inf
+    for perm in itertools.permutations(range(m), n):
+        total = sum(cost[i, j] for i, j in enumerate(perm))
+        best = min(best, total)
+    return best
+
+
+class TestLinearSumAssignment:
+    def test_known_example(self):
+        cost = np.array([[4, 1, 3], [2, 0, 5], [3, 2, 2]], dtype=float)
+        rows, cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == 5.0  # 1 + 2 + 2
+
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 4), (3, 5), (5, 3), (2, 6)])
+    def test_matches_brute_force(self, rng, shape):
+        for _ in range(15):
+            cost = rng.uniform(0, 10, size=shape)
+            rows, cols = linear_sum_assignment(cost)
+            assert cost[rows, cols].sum() == pytest.approx(brute_force_min(cost))
+
+    def test_maximize(self, rng):
+        cost = rng.uniform(0, 10, size=(4, 4))
+        rows, cols = linear_sum_assignment(cost, maximize=True)
+        assert cost[rows, cols].sum() == pytest.approx(-brute_force_min(-cost))
+
+    def test_forbidden_pairs_avoided(self):
+        cost = np.array([[1.0, math.inf], [math.inf, 1.0]])
+        rows, cols = linear_sum_assignment(cost)
+        assert list(cols) == [0, 1]
+
+    def test_infeasible_raises(self):
+        cost = np.array([[math.inf, math.inf], [1.0, 2.0]])
+        with pytest.raises(MatchingError, match="feasible"):
+            linear_sum_assignment(cost)
+
+    def test_rectangular_assigns_smaller_side(self, rng):
+        cost = rng.uniform(0, 1, size=(3, 7))
+        rows, cols = linear_sum_assignment(cost)
+        assert len(rows) == 3
+        assert len(set(cols.tolist())) == 3
+
+    def test_tall_matrix(self, rng):
+        cost = rng.uniform(0, 1, size=(7, 3))
+        rows, cols = linear_sum_assignment(cost)
+        assert len(rows) == 3
+        assert len(set(rows.tolist())) == 3
+
+    def test_empty_matrix(self):
+        rows, cols = linear_sum_assignment(np.empty((0, 5)))
+        assert len(rows) == 0 and len(cols) == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            linear_sum_assignment(np.array([[math.nan]]))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            linear_sum_assignment(np.array([1.0, 2.0]))
+
+    def test_agrees_with_scipy(self, rng):
+        from scipy.optimize import linear_sum_assignment as scipy_lsa
+
+        for _ in range(10):
+            cost = rng.uniform(0, 100, size=(8, 8))
+            rows, cols = linear_sum_assignment(cost)
+            srows, scols = scipy_lsa(cost)
+            assert cost[rows, cols].sum() == pytest.approx(cost[srows, scols].sum())
+
+    def test_negative_costs(self, rng):
+        cost = rng.uniform(-10, 10, size=(5, 5))
+        rows, cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(brute_force_min(cost))
+
+
+def brute_force_max_partial(weights):
+    """Reference for max-weight partial matching (positive edges only)."""
+    weights = np.asarray(weights, dtype=float)
+    n, m = weights.shape
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(m)
+        if math.isfinite(weights[i, j]) and weights[i, j] > 0
+    ]
+    best = 0.0
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            rows = [e[0] for e in subset]
+            cols = [e[1] for e in subset]
+            if len(set(rows)) == len(rows) and len(set(cols)) == len(cols):
+                best = max(best, sum(weights[i, j] for i, j in subset))
+    return best
+
+
+class TestMaxWeightMatching:
+    def test_prefers_heavier_edges(self):
+        weights = np.array([[5.0, 1.0], [4.0, 2.0]])
+        match = max_weight_matching(weights)
+        assert match == {0: 0, 1: 1}  # 5 + 2 beats 1 + 4
+
+    def test_skips_negative_edges(self):
+        weights = np.array([[-1.0, -2.0]])
+        assert max_weight_matching(weights) == {}
+
+    def test_allow_negative_completes(self):
+        weights = np.array([[-1.0, -2.0]])
+        assert max_weight_matching(weights, allow_negative=True) == {0: 0}
+
+    def test_forbidden_edges_never_taken(self):
+        weights = np.array([[-math.inf, 3.0], [1.0, -math.inf]])
+        assert max_weight_matching(weights) == {0: 1, 1: 0}
+
+    @pytest.mark.parametrize("shape", [(3, 3), (2, 4), (4, 2)])
+    def test_matches_brute_force(self, rng, shape):
+        for _ in range(10):
+            weights = rng.uniform(-2, 5, size=shape)
+            match = max_weight_matching(weights)
+            total = sum(weights[i, j] for i, j in match.items())
+            assert total == pytest.approx(brute_force_max_partial(weights))
+
+    def test_empty(self):
+        assert max_weight_matching(np.empty((0, 0))) == {}
+
+    def test_one_to_one_property(self, rng):
+        weights = rng.uniform(0, 1, size=(6, 6))
+        match = max_weight_matching(weights)
+        assert len(set(match.values())) == len(match)

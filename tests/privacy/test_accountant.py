@@ -1,0 +1,91 @@
+"""Unit tests for the local-DP privacy ledger."""
+
+import pytest
+
+from repro.privacy.accountant import PairSpend, PrivacyLedger
+
+
+class TestPrivacyLedger:
+    def test_empty_ledger(self):
+        ledger = PrivacyLedger()
+        assert len(ledger) == 0
+        assert ledger.total_spend() == 0.0
+        assert ledger.worker_spend("w") == 0.0
+        assert ledger.workers() == []
+
+    def test_record_accumulates(self):
+        ledger = PrivacyLedger()
+        ledger.record("w1", "t1", 0.5)
+        ledger.record("w1", "t1", 0.7)
+        ledger.record("w1", "t2", 1.0)
+        assert ledger.worker_spend("w1") == pytest.approx(2.2)
+        assert ledger.worker_proposals("w1") == 3
+
+    def test_pair_spend_order_preserved(self):
+        ledger = PrivacyLedger()
+        ledger.record("w", "t", 0.5)
+        ledger.record("w", "t", 0.9)
+        pair = ledger.pair_spend("w", "t")
+        assert pair.epsilons == (0.5, 0.9)
+        assert pair.total == pytest.approx(1.4)
+        assert pair.proposals == 2
+
+    def test_pair_spend_missing_is_empty(self):
+        pair = PrivacyLedger().pair_spend("w", "t")
+        assert pair.epsilons == ()
+        assert pair.total == 0.0
+
+    def test_non_positive_budget_rejected(self):
+        ledger = PrivacyLedger()
+        with pytest.raises(ValueError, match="positive"):
+            ledger.record("w", "t", 0.0)
+        with pytest.raises(ValueError, match="positive"):
+            ledger.record("w", "t", -1.0)
+
+    def test_ldp_bound_theorem_v2(self):
+        # Bound is spend * radius = sum_i b_ij eps_ij r_j.
+        ledger = PrivacyLedger()
+        ledger.record("w", "t1", 0.5)
+        ledger.record("w", "t2", 1.5)
+        assert ledger.worker_ldp_bound("w", radius=2.0) == pytest.approx(4.0)
+
+    def test_ldp_bound_negative_radius_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PrivacyLedger().worker_ldp_bound("w", radius=-1.0)
+
+    def test_workers_listing(self):
+        ledger = PrivacyLedger()
+        ledger.record("a", "t", 1.0)
+        ledger.record("b", "t", 1.0)
+        assert sorted(ledger.workers()) == ["a", "b"]
+
+    def test_total_spend_across_workers(self):
+        ledger = PrivacyLedger()
+        ledger.record("a", "t1", 1.0)
+        ledger.record("b", "t1", 2.0)
+        assert ledger.total_spend() == pytest.approx(3.0)
+
+    def test_events_chronological(self):
+        ledger = PrivacyLedger()
+        ledger.record("a", "t1", 1.0)
+        ledger.record("b", "t2", 2.0)
+        assert list(ledger.events()) == [("a", "t1", 1.0), ("b", "t2", 2.0)]
+
+    def test_merge_preserves_both(self):
+        first, second = PrivacyLedger(), PrivacyLedger()
+        first.record("a", "t", 1.0)
+        second.record("b", "t", 2.0)
+        merged = first.merge(second)
+        assert merged.total_spend() == pytest.approx(3.0)
+        assert len(merged) == 2
+        # Originals untouched.
+        assert first.total_spend() == 1.0
+        assert second.total_spend() == 2.0
+
+    def test_pair_spend_is_immutable_snapshot(self):
+        ledger = PrivacyLedger()
+        ledger.record("w", "t", 0.5)
+        snapshot = ledger.pair_spend("w", "t")
+        ledger.record("w", "t", 0.5)
+        assert snapshot.total == 0.5  # old snapshot unchanged
+        assert ledger.pair_spend("w", "t").total == 1.0

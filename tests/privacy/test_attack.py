@@ -1,0 +1,115 @@
+"""Unit tests for the trilateration attack (the conclusion's threat)."""
+
+import numpy as np
+import pytest
+
+from repro.core.puce import PUCESolver
+from repro.privacy.attack import TrilaterationAttack, attack_assignment
+from repro.spatial.geometry import Point, euclidean
+
+
+class TestTrilaterationAttack:
+    def test_exact_ranges_recover_location(self):
+        truth = (1.0, 2.0)
+        anchors = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0), (4.0, 4.0)]
+        distances = [euclidean(truth, a) for a in anchors]
+        estimate = TrilaterationAttack().estimate(anchors, distances)
+        assert estimate.error_from(truth) < 1e-6
+        assert estimate.residual < 1e-6
+
+    def test_noisy_ranges_approximate_location(self, rng):
+        truth = (3.0, -1.0)
+        anchors = [tuple(p) for p in rng.uniform(-5, 5, size=(12, 2))]
+        distances = [euclidean(truth, a) + rng.normal(0, 0.1) for a in anchors]
+        estimate = TrilaterationAttack().estimate(anchors, distances)
+        assert estimate.error_from(truth) < 0.5
+
+    def test_more_anchors_reduce_error(self, rng):
+        truth = (0.0, 0.0)
+        all_anchors = [tuple(p) for p in rng.uniform(-4, 4, size=(40, 2))]
+        noise = rng.normal(0, 0.5, size=40)
+        few_err, many_err = [], []
+        for trial in range(10):
+            idx = rng.permutation(40)
+            few = [all_anchors[i] for i in idx[:3]]
+            many = [all_anchors[i] for i in idx[:30]]
+            attack = TrilaterationAttack()
+            few_err.append(
+                attack.estimate(
+                    few, [euclidean(truth, a) + noise[i] for i, a in zip(idx[:3], few)]
+                ).error_from(truth)
+            )
+            many_err.append(
+                attack.estimate(
+                    many,
+                    [euclidean(truth, a) + noise[i] for i, a in zip(idx[:30], many)],
+                ).error_from(truth)
+            )
+        assert np.median(many_err) < np.median(few_err)
+
+    def test_weights_prefer_accurate_anchors(self):
+        truth = (0.0, 0.0)
+        anchors = [(3.0, 0.0), (0.0, 3.0), (-3.0, 0.0), (0.0, -3.0)]
+        # First two ranges exact, last two badly corrupted.
+        distances = [3.0, 3.0, 6.0, 6.0]
+        unweighted = TrilaterationAttack().estimate(anchors, distances)
+        weighted = TrilaterationAttack().estimate(
+            anchors, distances, weights=[100.0, 100.0, 0.01, 0.01]
+        )
+        assert weighted.error_from(truth) < unweighted.error_from(truth)
+
+    def test_negative_distances_clipped(self):
+        anchors = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)]
+        estimate = TrilaterationAttack().estimate(anchors, [-5.0, 2.0, 2.0])
+        # Clipped to 0: the estimate should sit near the first anchor.
+        assert estimate.error_from((0.0, 0.0)) < 0.5
+
+    def test_validation(self):
+        attack = TrilaterationAttack()
+        with pytest.raises(ValueError, match="two anchors"):
+            attack.estimate([(0.0, 0.0)], [1.0])
+        with pytest.raises(ValueError, match="anchors vs"):
+            attack.estimate([(0.0, 0.0), (1.0, 1.0)], [1.0])
+        with pytest.raises(ValueError, match="weights"):
+            attack.estimate([(0.0, 0.0), (1.0, 1.0)], [1.0, 1.0], weights=[1.0, 0.0])
+        with pytest.raises(ValueError, match="max_iterations"):
+            TrilaterationAttack(max_iterations=0)
+
+    def test_collinear_anchors_do_not_crash(self):
+        anchors = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+        estimate = TrilaterationAttack().estimate(anchors, [1.0, 1.0, 1.0])
+        assert isinstance(estimate.location, Point)
+
+
+class TestAttackAssignment:
+    def test_attacks_only_multi_anchor_workers(self, medium_instance):
+        result = PUCESolver().solve(medium_instance, seed=3)
+        records = attack_assignment(result, min_anchors=3)
+        assert records, "the dense normal batch must expose some workers"
+        for record in records:
+            assert record.anchors >= 3
+            assert record.spend > 0
+            assert record.error >= 0
+
+    def test_nonprivate_results_not_attackable(self, medium_instance):
+        from repro.core.nonprivate import UCESolver
+
+        result = UCESolver().solve(medium_instance)
+        assert attack_assignment(result) == []
+
+    def test_pgt_leaks_less_surface_than_puce(self, medium_instance):
+        from repro.core.pgt import PGTSolver
+
+        puce = attack_assignment(PUCESolver().solve(medium_instance, seed=3), 3)
+        pgt = attack_assignment(PGTSolver().solve(medium_instance, seed=3), 3)
+        assert len(pgt) < len(puce)
+
+    def test_paper_warning_reproduced(self, medium_instance):
+        # Conclusion of the paper: enough releases localise a worker
+        # within his own service area.  On a dense batch, a meaningful
+        # fraction of attacked workers is localised within radius.
+        result = PUCESolver().solve(medium_instance, seed=3)
+        records = attack_assignment(result, min_anchors=4)
+        assert records
+        inside = sum(r.localised_within_radius for r in records)
+        assert inside / len(records) > 0.3

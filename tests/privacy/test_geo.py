@@ -1,0 +1,64 @@
+"""Unit tests for the planar Laplace (geo-indistinguishability) mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.geo import PlanarLaplaceMechanism
+from repro.spatial.geometry import euclidean
+
+
+class TestPlanarLaplace:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            PlanarLaplaceMechanism(0.0)
+
+    def test_expected_error_formula(self):
+        assert PlanarLaplaceMechanism(2.0).expected_error() == 1.0
+        assert PlanarLaplaceMechanism(0.5).expected_error() == 4.0
+
+    def test_mean_displacement_matches_theory(self, rng):
+        mech = PlanarLaplaceMechanism(1.0)
+        origin = (0.0, 0.0)
+        displacements = [
+            euclidean(origin, mech.perturb(origin, rng)) for _ in range(20_000)
+        ]
+        assert float(np.mean(displacements)) == pytest.approx(2.0, rel=0.03)
+
+    def test_direction_is_uniform(self, rng):
+        mech = PlanarLaplaceMechanism(1.0)
+        angles = []
+        for _ in range(8000):
+            p = mech.perturb((0.0, 0.0), rng)
+            angles.append(math.atan2(p.y, p.x))
+        # Mean of cos and sin of a uniform angle are both ~0.
+        assert abs(np.mean(np.cos(angles))) < 0.03
+        assert abs(np.mean(np.sin(angles))) < 0.03
+
+    def test_error_quantile_monotone(self):
+        mech = PlanarLaplaceMechanism(1.0)
+        assert mech.error_quantile(0.5) < mech.error_quantile(0.9) < mech.error_quantile(0.99)
+
+    def test_error_quantile_is_cdf_inverse(self):
+        mech = PlanarLaplaceMechanism(0.7)
+        for alpha in (0.2, 0.5, 0.9):
+            r = mech.error_quantile(alpha)
+            cdf = 1.0 - math.exp(-0.7 * r) * (1.0 + 0.7 * r)
+            assert cdf == pytest.approx(alpha, abs=1e-6)
+
+    def test_error_quantile_empirical(self, rng):
+        mech = PlanarLaplaceMechanism(1.5)
+        r90 = mech.error_quantile(0.9)
+        origin = (0.0, 0.0)
+        within = [
+            euclidean(origin, mech.perturb(origin, rng)) <= r90 for _ in range(20_000)
+        ]
+        assert float(np.mean(within)) == pytest.approx(0.9, abs=0.01)
+
+    def test_invalid_quantile(self):
+        mech = PlanarLaplaceMechanism(1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            mech.error_quantile(0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            mech.error_quantile(1.0)

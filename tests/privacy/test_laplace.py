@@ -1,0 +1,128 @@
+"""Unit tests for the rate-parameterised Laplace distribution."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate, stats
+
+from repro.privacy.laplace import (
+    LaplaceDifference,
+    laplace_cdf,
+    laplace_pdf,
+    laplace_sf,
+    sample_laplace,
+)
+
+
+class TestScalarLaplace:
+    def test_pdf_peak_value(self):
+        # Density at the location is rate/2.
+        assert laplace_pdf(0.0, rate=2.0) == 1.0
+        assert laplace_pdf(5.0, rate=0.5, loc=5.0) == 0.25
+
+    def test_pdf_symmetry(self):
+        assert laplace_pdf(1.3, 0.7) == laplace_pdf(-1.3, 0.7)
+
+    def test_pdf_integrates_to_one(self):
+        total, _ = integrate.quad(lambda x: laplace_pdf(x, 1.3), -50, 50)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_at_location_is_half(self):
+        assert laplace_cdf(0.0, 1.0) == 0.5
+        assert laplace_cdf(2.0, 3.0, loc=2.0) == 0.5
+
+    def test_cdf_sf_complement(self):
+        for x in (-3.0, -0.5, 0.0, 0.5, 3.0):
+            assert laplace_cdf(x, 1.7) + laplace_sf(x, 1.7) == pytest.approx(1.0)
+
+    def test_cdf_matches_scipy(self):
+        rate = 0.8
+        ref = stats.laplace(scale=1.0 / rate)
+        for x in np.linspace(-5, 5, 21):
+            assert laplace_cdf(x, rate) == pytest.approx(ref.cdf(x), abs=1e-12)
+
+    def test_cdf_monotone(self):
+        xs = np.linspace(-4, 4, 100)
+        values = [laplace_cdf(x, 0.6) for x in xs]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_invalid_rate_rejected(self, bad):
+        with pytest.raises(ValueError, match="rate"):
+            laplace_pdf(0.0, bad)
+
+    def test_sampling_moments(self, rng):
+        rate = 2.0
+        draws = sample_laplace(rng, rate, size=200_000)
+        # mean 0, variance 2/rate^2.
+        assert float(np.mean(draws)) == pytest.approx(0.0, abs=0.01)
+        assert float(np.var(draws)) == pytest.approx(2.0 / rate**2, rel=0.03)
+
+    def test_sampling_ks_against_scipy(self, rng):
+        rate = 1.1
+        draws = sample_laplace(rng, rate, size=20_000)
+        _, p_value = stats.kstest(draws, stats.laplace(scale=1.0 / rate).cdf)
+        assert p_value > 0.001
+
+
+class TestLaplaceDifference:
+    @pytest.mark.parametrize("ra,rb", [(1.0, 1.0), (0.5, 2.0), (3.0, 0.3), (1.0, 1.0000000001)])
+    def test_pdf_integrates_to_one(self, ra, rb):
+        diff = LaplaceDifference(ra, rb)
+        total, _ = integrate.quad(diff.pdf, -80, 80, limit=200)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("ra,rb", [(1.0, 1.0), (0.5, 2.0), (2.5, 0.7)])
+    def test_sf_matches_numeric_integration(self, ra, rb):
+        diff = LaplaceDifference(ra, rb)
+        for t in (-2.0, -0.5, 0.0, 0.5, 2.0, 5.0):
+            numeric, _ = integrate.quad(diff.pdf, t, 80, limit=200)
+            assert diff.sf(t) == pytest.approx(numeric, abs=1e-7)
+
+    def test_sf_at_zero_is_half(self):
+        assert LaplaceDifference(1.0, 1.0).sf(0.0) == pytest.approx(0.5)
+        assert LaplaceDifference(0.4, 2.2).sf(0.0) == pytest.approx(0.5)
+
+    def test_sf_symmetry(self):
+        diff = LaplaceDifference(0.8, 1.9)
+        for t in (0.3, 1.0, 4.0):
+            assert diff.sf(-t) == pytest.approx(1.0 - diff.sf(t))
+
+    def test_sf_is_decreasing(self):
+        diff = LaplaceDifference(1.3, 0.6)
+        ts = np.linspace(-5, 5, 60)
+        values = [diff.sf(t) for t in ts]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rate_order_does_not_matter(self):
+        # eta_a - eta_b is symmetric, so swapping rates keeps the law.
+        a = LaplaceDifference(0.5, 2.0)
+        b = LaplaceDifference(2.0, 0.5)
+        for t in (-1.0, 0.2, 3.0):
+            assert a.sf(t) == pytest.approx(b.sf(t))
+
+    def test_equal_rate_formula_continuity(self):
+        # The unequal-rate closed form must approach the equal-rate one.
+        near = LaplaceDifference(1.0, 1.0 + 1e-6)
+        equal = LaplaceDifference(1.0, 1.0)
+        for t in (0.0, 0.7, 2.5):
+            assert near.sf(t) == pytest.approx(equal.sf(t), abs=1e-5)
+
+    def test_monte_carlo_agreement(self, rng):
+        diff = LaplaceDifference(0.9, 1.7)
+        draws = diff.sample(rng, size=200_000)
+        for t in (-1.0, 0.0, 1.0):
+            empirical = float(np.mean(draws > t))
+            assert diff.sf(t) == pytest.approx(empirical, abs=0.01)
+
+    def test_cdf_complement(self):
+        diff = LaplaceDifference(1.2, 0.4)
+        for t in (-2.0, 0.0, 3.0):
+            assert diff.cdf(t) + diff.sf(t) == pytest.approx(1.0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            LaplaceDifference(0.0, 1.0)
+        with pytest.raises(ValueError, match="rate"):
+            LaplaceDifference(1.0, -2.0)

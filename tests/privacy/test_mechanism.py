@@ -1,0 +1,53 @@
+"""Unit tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.mechanism import LaplaceMechanism
+
+
+class TestLaplaceMechanism:
+    def test_noise_rate_scales_with_sensitivity(self):
+        assert LaplaceMechanism(sensitivity=1.0).noise_rate(2.0) == 2.0
+        assert LaplaceMechanism(sensitivity=4.0).noise_rate(2.0) == 0.5
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError, match="sensitivity"):
+            LaplaceMechanism(sensitivity=0.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError, match="budget"):
+            LaplaceMechanism().noise_rate(0.0)
+
+    def test_perturb_centres_on_value(self, rng):
+        mech = LaplaceMechanism()
+        draws = np.array([mech.perturb(10.0, 2.0, rng) for _ in range(20_000)])
+        assert float(np.mean(draws)) == pytest.approx(10.0, abs=0.05)
+
+    def test_perturb_noise_scale(self, rng):
+        mech = LaplaceMechanism()
+        eps = 4.0
+        draws = np.array([mech.perturb(0.0, eps, rng) for _ in range(50_000)])
+        assert float(np.var(draws)) == pytest.approx(2.0 / eps**2, rel=0.05)
+
+    def test_perturb_vector_shape_and_independence(self, rng):
+        mech = LaplaceMechanism()
+        values = np.zeros(5000)
+        out = mech.perturb_vector(values, 1.0, rng)
+        assert out.shape == values.shape
+        # Adjacent coordinates should be uncorrelated.
+        corr = np.corrcoef(out[:-1], out[1:])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_higher_epsilon_means_less_noise(self, rng):
+        mech = LaplaceMechanism()
+        loose = np.array([mech.perturb(0.0, 0.2, rng) for _ in range(5000)])
+        tight = np.array([mech.perturb(0.0, 5.0, rng) for _ in range(5000)])
+        assert np.std(tight) < np.std(loose)
+
+    def test_sensitivity_inflates_noise(self, rng):
+        narrow = LaplaceMechanism(sensitivity=1.0)
+        wide = LaplaceMechanism(sensitivity=10.0)
+        a = np.array([narrow.perturb(0.0, 1.0, rng) for _ in range(5000)])
+        b = np.array([wide.perturb(0.0, 1.0, rng) for _ in range(5000)])
+        assert np.std(b) > np.std(a)

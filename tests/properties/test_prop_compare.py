@@ -1,0 +1,86 @@
+"""Property-based tests for PCF/PPCF (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compare import pcf, pcf_correctness, ppcf, ppcf_correctness
+from repro.privacy.laplace import LaplaceDifference
+
+finite = st.floats(-100.0, 100.0, allow_nan=False)
+rate = st.floats(0.01, 10.0, allow_nan=False)
+gap = st.floats(0.001, 50.0, allow_nan=False)
+
+
+class TestPCFProperties:
+    @given(a=finite, b=finite, ea=rate, eb=rate)
+    def test_is_probability(self, a, b, ea, eb):
+        assert 0.0 <= pcf(a, b, ea, eb) <= 1.0
+
+    @given(a=finite, b=finite, ea=rate, eb=rate)
+    def test_lemma_x1(self, a, b, ea, eb):
+        # PCF > 1/2 <=> a < b (Lemma X.1).
+        value = pcf(a, b, ea, eb)
+        if a < b:
+            assert value > 0.5 - 1e-12
+        elif a > b:
+            assert value < 0.5 + 1e-12
+
+    @given(a=finite, b=finite, ea=rate, eb=rate)
+    def test_swap_complement(self, a, b, ea, eb):
+        # Pr[d_a < d_b] + Pr[d_b < d_a] = 1 for continuous noise.
+        total = pcf(a, b, ea, eb) + pcf(b, a, eb, ea)
+        assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+    @given(a=finite, shift=st.floats(0.0, 50.0), b=finite, ea=rate, eb=rate)
+    def test_monotone_in_gap(self, a, shift, b, ea, eb):
+        # Moving b further right can only raise Pr[a < b].
+        assert pcf(a, b + shift, ea, eb) >= pcf(a, b, ea, eb) - 1e-12
+
+
+class TestPPCFProperties:
+    @given(d=finite, b=finite, eb=rate)
+    def test_is_probability(self, d, b, eb):
+        assert 0.0 <= ppcf(d, b, eb) <= 1.0
+
+    @given(d=finite, b=finite, eb=rate)
+    def test_eq3_halfpoint(self, d, b, eb):
+        value = ppcf(d, b, eb)
+        if d < b:
+            assert value > 0.5 - 1e-12
+        elif d > b:
+            assert value < 0.5 + 1e-12
+
+    @given(d=finite, b=finite, eb=rate, shift=st.floats(0.0, 50.0))
+    def test_monotone_in_gap(self, d, b, eb, shift):
+        assert ppcf(d, b + shift, eb) >= ppcf(d, b, eb) - 1e-12
+
+
+class TestTheoremV1Property:
+    @settings(max_examples=300)
+    @given(g=gap, ex=rate, ey=rate)
+    def test_ppcf_dominates_pcf(self, g, ex, ey):
+        assert ppcf_correctness(g, ey) >= pcf_correctness(g, ex, ey) - 1e-9
+
+    @given(g=gap, ex=rate, ey=rate)
+    def test_correctness_above_half(self, g, ex, ey):
+        # Both decision rules beat coin-flipping for any positive gap.
+        assert pcf_correctness(g, ex, ey) >= 0.5 - 1e-12
+        assert ppcf_correctness(g, ey) >= 0.5
+
+
+class TestLaplaceDifferenceProperties:
+    @given(t=finite, ra=rate, rb=rate)
+    def test_sf_cdf_complement(self, t, ra, rb):
+        diff = LaplaceDifference(ra, rb)
+        assert abs(diff.sf(t) + diff.cdf(t) - 1.0) < 1e-9
+
+    @given(t=st.floats(0.0, 50.0), ra=rate, rb=rate)
+    def test_symmetry(self, t, ra, rb):
+        diff = LaplaceDifference(ra, rb)
+        assert abs(diff.sf(-t) - (1.0 - diff.sf(t))) < 1e-9
+
+    @given(t=finite, ra=rate, rb=rate)
+    def test_sf_in_unit_interval(self, t, ra, rb):
+        assert -1e-12 <= LaplaceDifference(ra, rb).sf(t) <= 1.0 + 1e-12

@@ -1,0 +1,83 @@
+"""Property-based tests for the effective-distance MLE (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.effective import Release, effective_pair_of
+
+release_lists = st.lists(
+    st.builds(
+        Release,
+        value=st.floats(-100.0, 100.0, allow_nan=False),
+        epsilon=st.floats(0.01, 10.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def objective(releases, d):
+    return sum(r.epsilon * abs(r.value - d) for r in releases)
+
+
+class TestEffectivePairProperties:
+    @given(releases=release_lists)
+    def test_result_comes_from_release_set(self, releases):
+        pair = effective_pair_of(releases)
+        assert any(
+            r.value == pair.distance and r.epsilon == pair.epsilon for r in releases
+        )
+
+    @given(releases=release_lists)
+    def test_minimises_weighted_absolute_error(self, releases):
+        pair = effective_pair_of(releases)
+        best = min(objective(releases, r.value) for r in releases)
+        assert objective(releases, pair.distance) <= best + 1e-9
+
+    @given(releases=release_lists)
+    def test_within_release_range(self, releases):
+        pair = effective_pair_of(releases)
+        values = [r.value for r in releases]
+        assert min(values) <= pair.distance <= max(values)
+
+    @given(releases=release_lists, shift=st.floats(-50.0, 50.0, allow_nan=False))
+    def test_translation_equivariance(self, releases, shift):
+        # Shifting every release shifts the effective distance equally.
+        base = effective_pair_of(releases)
+        shifted = effective_pair_of(
+            [Release(r.value + shift, r.epsilon) for r in releases]
+        )
+        assert abs(shifted.distance - (base.distance + shift)) < 1e-9
+        assert shifted.epsilon == base.epsilon
+
+    @given(releases=release_lists, scale=st.floats(0.1, 10.0, allow_nan=False))
+    def test_budget_scaling_invariance(self, releases, scale):
+        # Multiplying every budget by a constant leaves the argmin set
+        # unchanged, hence the same effective distance.
+        base = effective_pair_of(releases)
+        scaled = effective_pair_of(
+            [Release(r.value, r.epsilon * scale) for r in releases]
+        )
+        assert abs(scaled.distance - base.distance) < 1e-9
+
+    @given(releases=release_lists)
+    def test_permutation_changes_nothing_but_ties(self, releases):
+        forward = effective_pair_of(releases)
+        backward = effective_pair_of(list(reversed(releases)))
+        assert abs(
+            objective(releases, forward.distance)
+            - objective(releases, backward.distance)
+        ) < 1e-9
+
+    @given(
+        value=st.floats(-100.0, 100.0, allow_nan=False),
+        epsilon=st.floats(0.01, 10.0, allow_nan=False),
+        bigger=st.floats(10.0, 100.0, allow_nan=False),
+    )
+    def test_dominant_release_wins(self, value, epsilon, bigger):
+        # A release with a budget dwarfing all others pins the median.
+        releases = [
+            Release(value, epsilon * 0.001),
+            Release(value + 5.0, epsilon * 0.001 + bigger),
+        ]
+        assert effective_pair_of(releases).distance == value + 5.0

@@ -1,0 +1,67 @@
+"""Property-based tests for instance construction (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import euclidean
+from tests.conftest import build_instance
+
+coords = st.floats(-8.0, 8.0, allow_nan=False)
+values = st.floats(0.1, 10.0, allow_nan=False)
+radii = st.floats(0.0, 10.0, allow_nan=False)
+
+task_lists = st.lists(st.tuples(coords, coords, values), min_size=0, max_size=8)
+worker_lists = st.lists(st.tuples(coords, coords, radii), min_size=0, max_size=8)
+
+
+class TestInstanceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists, workers=worker_lists)
+    def test_reachability_is_exactly_the_radius_predicate(self, tasks, workers):
+        instance = build_instance(tasks, workers, seed=0)
+        for j, worker in enumerate(instance.workers):
+            reachable = set(instance.reachable[j])
+            for i, task in enumerate(instance.tasks):
+                in_range = euclidean(worker.location, task.location) <= worker.radius
+                assert (i in reachable) == in_range
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists, workers=worker_lists)
+    def test_distances_match_geometry(self, tasks, workers):
+        instance = build_instance(tasks, workers, seed=0)
+        for (i, j), distance in instance.distances.items():
+            expected = euclidean(
+                instance.workers[j].location, instance.tasks[i].location
+            )
+            assert distance == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists, workers=worker_lists, seed=st.integers(0, 50))
+    def test_every_feasible_pair_has_budget_vector(self, tasks, workers, seed):
+        instance = build_instance(tasks, workers, seed=seed)
+        assert set(instance.budgets) == set(instance.distances)
+        for vector in instance.budgets.values():
+            assert len(vector) == 7  # Table X group size default
+            assert all(0.5 <= e <= 1.75 for e in vector.epsilons)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, workers=worker_lists)
+    def test_candidates_inverse_of_reachable(self, tasks, workers):
+        instance = build_instance(tasks, workers, seed=0)
+        pairs_via_reachable = {
+            (i, j) for j, row in enumerate(instance.reachable) for i in row
+        }
+        pairs_via_candidates = {
+            (i, j) for i, row in enumerate(instance.candidates) for j in row
+        }
+        assert pairs_via_reachable == pairs_via_candidates
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, workers=worker_lists)
+    def test_base_utility_consistent_with_model(self, tasks, workers):
+        instance = build_instance(tasks, workers, seed=0)
+        for (i, j) in instance.feasible_pairs():
+            expected = instance.tasks[i].value - instance.model.f_d(
+                instance.distance(i, j)
+            )
+            assert instance.base_utility(i, j) == expected

@@ -1,0 +1,109 @@
+"""Property-based tests for the matching substrate (hypothesis)."""
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.matching.greedy import greedy_max_weight
+from repro.matching.hungarian import linear_sum_assignment, max_weight_matching
+
+small_costs = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    elements=st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def brute_force_min(cost):
+    n, m = cost.shape
+    transposed = n > m
+    if transposed:
+        cost = cost.T
+        n, m = m, n
+    return min(
+        sum(cost[i, j] for i, j in enumerate(perm))
+        for perm in itertools.permutations(range(m), n)
+    )
+
+
+class TestHungarianProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(cost=small_costs)
+    def test_optimal_vs_brute_force(self, cost):
+        rows, cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() <= brute_force_min(cost) + 1e-7
+
+    @settings(max_examples=60, deadline=None)
+    @given(cost=small_costs, shift=st.floats(-10.0, 10.0, allow_nan=False))
+    def test_full_shift_invariance(self, cost, shift):
+        # Adding a constant to the whole matrix shifts the optimum by
+        # (assigned count) * shift and preserves an optimal structure.
+        rows, cols = linear_sum_assignment(cost)
+        shifted = cost + shift
+        rows2, cols2 = linear_sum_assignment(shifted)
+        expected = cost[rows, cols].sum() + shift * len(rows)
+        assert abs(shifted[rows2, cols2].sum() - expected) < 1e-7
+
+    @settings(max_examples=60, deadline=None)
+    @given(cost=small_costs)
+    def test_assignment_is_injective(self, cost):
+        rows, cols = linear_sum_assignment(cost)
+        assert len(set(rows.tolist())) == len(rows)
+        assert len(set(cols.tolist())) == len(cols)
+
+
+class TestMaxWeightProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(weights=small_costs)
+    def test_only_positive_edges_used(self, weights):
+        match = max_weight_matching(weights)
+        for i, j in match.items():
+            assert weights[i, j] > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(weights=small_costs)
+    def test_total_at_least_greedy(self, weights):
+        match = max_weight_matching(weights)
+        optimal_total = sum(weights[i, j] for i, j in match.items())
+        greedy = greedy_max_weight(
+            {
+                (i, j): float(weights[i, j])
+                for i in range(weights.shape[0])
+                for j in range(weights.shape[1])
+            }
+        )
+        greedy_total = sum(weights[i, j] for i, j in greedy.items())
+        assert optimal_total >= greedy_total - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(weights=small_costs)
+    def test_one_to_one(self, weights):
+        match = max_weight_matching(weights)
+        assert len(set(match.values())) == len(match)
+
+
+class TestGreedyProperties:
+    sparse_weights = st.dictionaries(
+        keys=st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        values=st.floats(-10.0, 10.0, allow_nan=False),
+        max_size=30,
+    )
+
+    @given(weights=sparse_weights)
+    def test_greedy_one_to_one(self, weights):
+        match = greedy_max_weight(weights)
+        assert len(set(match.values())) == len(match)
+
+    @given(weights=sparse_weights)
+    def test_greedy_maximal(self, weights):
+        # No positive-weight edge between two free endpoints remains.
+        match = greedy_max_weight(weights)
+        used_rows = set(match)
+        used_cols = set(match.values())
+        for (r, c), w in weights.items():
+            if math.isfinite(w) and w > 0:
+                assert r in used_rows or c in used_cols

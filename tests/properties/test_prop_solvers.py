@@ -1,0 +1,87 @@
+"""Property-based tests over random PA-TA instances (hypothesis).
+
+Each test draws a random small instance and checks solver invariants that
+must hold for *every* input: one-to-one matchings, feasibility, budget
+discipline, ledger consistency, and private-vs-counterpart sanity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_solver
+from tests.conftest import build_instance
+
+coords = st.floats(-5.0, 5.0, allow_nan=False)
+values = st.floats(0.5, 10.0, allow_nan=False)
+radii = st.floats(0.5, 6.0, allow_nan=False)
+
+task_lists = st.lists(st.tuples(coords, coords, values), min_size=1, max_size=6)
+worker_lists = st.lists(st.tuples(coords, coords, radii), min_size=1, max_size=6)
+
+SOLVERS = ("PUCE", "PDCE", "PGT", "UCE", "DCE", "GT", "GRD", "OPT")
+
+
+@st.composite
+def instances(draw):
+    tasks = draw(task_lists)
+    workers = draw(worker_lists)
+    seed = draw(st.integers(0, 1000))
+    return build_instance(tasks, workers, seed=seed)
+
+
+class TestSolverInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(instance=instances(), seed=st.integers(0, 100))
+    def test_all_solvers_valid_matchings(self, instance, seed):
+        feasible = {
+            (instance.tasks[i].id, instance.workers[j].id)
+            for i, j in instance.feasible_pairs()
+        }
+        for name in SOLVERS:
+            result = make_solver(name).solve(instance, seed=seed)
+            workers = list(result.matching.pairs.values())
+            assert len(set(workers)) == len(workers), name
+            for pair in result.matching:
+                assert pair in feasible, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(instance=instances(), seed=st.integers(0, 100))
+    def test_budget_discipline(self, instance, seed):
+        for name in ("PUCE", "PDCE", "PGT"):
+            result = make_solver(name).solve(instance, seed=seed)
+            assert len(result.ledger) == result.publishes, name
+            for (i, j) in instance.feasible_pairs():
+                spend = result.ledger.pair_spend(
+                    instance.workers[j].id, instance.tasks[i].id
+                )
+                vector = instance.budget_vector(i, j)
+                assert spend.proposals <= len(vector), name
+                assert spend.epsilons == vector.epsilons[: spend.proposals], name
+
+    @settings(max_examples=30, deadline=None)
+    @given(instance=instances(), seed=st.integers(0, 100))
+    def test_opt_dominates_nonprivate(self, instance, seed):
+        opt = make_solver("OPT").solve(instance, seed=seed).total_utility
+        for name in ("UCE", "GT", "GRD"):
+            assert make_solver(name).solve(instance, seed=seed).total_utility <= opt + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(instance=instances(), seed=st.integers(0, 100))
+    def test_pgt_gains_all_positive(self, instance, seed):
+        solver = make_solver("PGT")
+        result, stats = solver.solve_with_stats(instance, seed=seed)
+        assert all(g > 0 for g in stats.move_gains)
+        assert stats.moves == result.publishes
+
+    @settings(max_examples=20, deadline=None)
+    @given(instance=instances(), seed=st.integers(0, 100))
+    def test_utility_methods_never_match_nonpositive_base_pairs(
+        self, instance, seed
+    ):
+        # UCE/GT/GRD/OPT never form a pair whose *base* utility is <= 0.
+        for name in ("UCE", "GT", "GRD", "OPT"):
+            result = make_solver(name).solve(instance, seed=seed)
+            for p in result.matched_pairs():
+                assert (
+                    instance.base_utility(p.task_index, p.worker_index) > 0
+                ), name

@@ -1,0 +1,114 @@
+"""Unit tests for ProblemInstance construction and queries."""
+
+import pytest
+
+from repro.core.budgets import BudgetSampler
+from repro.datasets.workload import Task, Worker
+from repro.errors import InvalidInstanceError
+from repro.simulation.instance import ProblemInstance
+from repro.spatial.geometry import Point
+from tests.conftest import build_instance
+
+
+class TestBuild:
+    def test_reachability_respects_radius(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 1.0), (5.0, 0.0, 1.0)],
+            worker_specs=[(0.5, 0.0, 1.0)],
+        )
+        assert instance.reachable[0] == (0,)
+        assert instance.num_feasible_pairs == 1
+
+    def test_distances_are_euclidean(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 1.0)],
+            worker_specs=[(3.0, 4.0, 10.0)],
+        )
+        assert instance.distance(0, 0) == pytest.approx(5.0)
+
+    def test_budget_vectors_per_feasible_pair(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 1.0), (1.0, 0.0, 1.0)],
+            worker_specs=[(0.5, 0.0, 2.0)],
+            budget_sampler=BudgetSampler(group_size=5),
+        )
+        for pair in instance.feasible_pairs():
+            assert len(instance.budget_vector(*pair)) == 5
+
+    def test_candidates_is_reachability_inverse(self, small_instance):
+        for j, tasks in enumerate(small_instance.reachable):
+            for i in tasks:
+                assert j in small_instance.candidates[i]
+        for i, workers in enumerate(small_instance.candidates):
+            for j in workers:
+                assert i in small_instance.reachable[j]
+
+    def test_duplicate_task_ids_rejected(self):
+        tasks = [
+            Task(id=0, location=Point(0, 0), value=1.0),
+            Task(id=0, location=Point(1, 0), value=1.0),
+        ]
+        workers = [Worker(id=0, location=Point(0, 0), radius=1.0)]
+        with pytest.raises(InvalidInstanceError, match="task ids"):
+            ProblemInstance.build(tasks, workers)
+
+    def test_duplicate_worker_ids_rejected(self):
+        tasks = [Task(id=0, location=Point(0, 0), value=1.0)]
+        workers = [
+            Worker(id=0, location=Point(0, 0), radius=1.0),
+            Worker(id=0, location=Point(1, 0), radius=1.0),
+        ]
+        with pytest.raises(InvalidInstanceError, match="worker ids"):
+            ProblemInstance.build(tasks, workers)
+
+    def test_empty_instance(self):
+        instance = build_instance(task_specs=[], worker_specs=[])
+        assert instance.num_tasks == 0
+        assert instance.num_feasible_pairs == 0
+        assert instance.mean_tasks_per_worker() == 0.0
+
+
+class TestQueries:
+    def test_infeasible_distance_raises(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 1.0)],
+            worker_specs=[(5.0, 0.0, 1.0)],
+        )
+        with pytest.raises(InvalidInstanceError, match="not feasible"):
+            instance.distance(0, 0)
+
+    def test_infeasible_budget_raises(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 1.0)],
+            worker_specs=[(5.0, 0.0, 1.0)],
+        )
+        with pytest.raises(InvalidInstanceError, match="not feasible"):
+            instance.budget_vector(0, 0)
+
+    def test_base_utility(self):
+        instance = build_instance(
+            task_specs=[(0.0, 0.0, 5.0)],
+            worker_specs=[(1.0, 0.0, 2.0)],
+        )
+        assert instance.base_utility(0, 0) == pytest.approx(4.0)
+
+    def test_mean_tasks_per_worker(self, small_instance):
+        expected = sum(len(r) for r in small_instance.reachable) / 4
+        assert small_instance.mean_tasks_per_worker() == pytest.approx(expected)
+
+    def test_budget_seed_reproducible(self):
+        a = build_instance([(0, 0, 1.0)], [(0.5, 0, 1.0)], seed=3)
+        b = build_instance([(0, 0, 1.0)], [(0.5, 0, 1.0)], seed=3)
+        assert a.budgets == b.budgets
+
+    def test_from_batch(self):
+        from repro.datasets.workload import Batch
+
+        batch = Batch(
+            0,
+            (Task(id=0, location=Point(0, 0), value=2.0),),
+            (Worker(id=0, location=Point(0.5, 0), radius=1.0),),
+        )
+        instance = ProblemInstance.from_batch(batch, seed=0)
+        assert instance.num_tasks == 1
+        assert instance.num_feasible_pairs == 1

@@ -1,0 +1,91 @@
+"""Unit tests for batch aggregation and relative deviations."""
+
+import pytest
+
+from repro.core.result import AssignmentResult
+from repro.errors import ConfigurationError
+from repro.matching.bipartite import Matching
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.metrics import (
+    MethodStats,
+    relative_distance_deviation,
+    relative_utility_deviation,
+)
+from tests.conftest import build_instance
+
+
+def result_with(instance, pairs, method="X", elapsed=0.1):
+    return AssignmentResult(
+        method,
+        instance,
+        Matching(pairs),
+        PrivacyLedger(),
+        rounds=1,
+        publishes=0,
+        elapsed_seconds=elapsed,
+    )
+
+
+@pytest.fixture
+def instance():
+    return build_instance(
+        task_specs=[(0.0, 0.0, 5.0), (2.0, 0.0, 5.0)],
+        worker_specs=[(1.0, 0.0, 3.0), (2.5, 0.0, 3.0)],
+    )
+
+
+class TestMethodStats:
+    def test_accumulates_over_batches(self, instance):
+        stats = MethodStats(method="X")
+        stats.add(result_with(instance, {0: 0}))
+        stats.add(result_with(instance, {0: 0, 1: 1}))
+        assert stats.batches == 2
+        assert stats.matched == 3
+        assert stats.average_utility == pytest.approx((4.0 + 4.0 + 4.5) / 3)
+
+    def test_rejects_method_mismatch(self, instance):
+        stats = MethodStats(method="X")
+        with pytest.raises(ConfigurationError, match="cannot add"):
+            stats.add(result_with(instance, {}, method="Y"))
+
+    def test_empty_stats(self):
+        stats = MethodStats(method="X")
+        assert stats.average_utility == 0.0
+        assert stats.average_distance == 0.0
+        assert stats.elapsed_ms_per_batch == 0.0
+
+    def test_elapsed_ms(self, instance):
+        stats = MethodStats(method="X")
+        stats.add(result_with(instance, {0: 0}, elapsed=0.25))
+        assert stats.elapsed_ms_per_batch == pytest.approx(250.0)
+
+
+class TestRelativeDeviations:
+    def _stats(self, instance, pairs, method):
+        stats = MethodStats(method=method)
+        stats.add(result_with(instance, pairs, method=method))
+        return stats
+
+    def test_utility_deviation_definition(self, instance):
+        non_private = self._stats(instance, {0: 0, 1: 1}, "NP")  # U_avg 4.25
+        private = self._stats(instance, {0: 0}, "P")  # U_avg 4.0
+        deviation = relative_utility_deviation(non_private, private)
+        assert deviation == pytest.approx((4.25 - 4.0) / 4.25)
+
+    def test_distance_deviation_definition(self, instance):
+        non_private = self._stats(instance, {0: 0}, "NP")  # D 1.0
+        private = self._stats(instance, {0: 1}, "P")  # D 2.5
+        deviation = relative_distance_deviation(non_private, private)
+        assert deviation == pytest.approx((2.5 - 1.0) / 1.0)
+
+    def test_zero_reference_utility_raises(self, instance):
+        empty = MethodStats(method="NP")
+        private = self._stats(instance, {0: 0}, "P")
+        with pytest.raises(ConfigurationError, match="U_RD undefined"):
+            relative_utility_deviation(empty, private)
+
+    def test_zero_reference_distance_raises(self, instance):
+        empty = MethodStats(method="NP")
+        private = self._stats(instance, {0: 0}, "P")
+        with pytest.raises(ConfigurationError, match="D_RD undefined"):
+            relative_distance_deviation(empty, private)

@@ -1,0 +1,58 @@
+"""Unit tests for the multi-method batch runner."""
+
+import pytest
+
+from repro.datasets.synthetic import NormalGenerator
+from repro.errors import ConfigurationError
+from repro.simulation.runner import BatchRunner
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return NormalGenerator(40, 80, seed=11).instances(2)
+
+
+class TestBatchRunner:
+    def test_runs_all_methods(self, instances):
+        report = BatchRunner(["UCE", "GRD"]).run(instances)
+        assert set(report.methods()) == {"UCE", "GRD"}
+        assert report["UCE"].batches == 2
+
+    def test_solver_objects_accepted(self, instances):
+        from repro.core.nonprivate import GreedySolver
+
+        report = BatchRunner([GreedySolver()]).run(instances)
+        assert report["GRD"].matched > 0
+
+    def test_requires_methods(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            BatchRunner([])
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            BatchRunner(["UCE", "UCE"])
+
+    def test_unknown_method_in_report(self, instances):
+        report = BatchRunner(["UCE"]).run(instances)
+        with pytest.raises(ConfigurationError, match="not in report"):
+            report["PGT"]
+
+    def test_deviations_need_counterpart_in_run(self, instances):
+        report = BatchRunner(["PUCE", "UCE"]).run(instances)
+        deviation = report.utility_deviation("PUCE")
+        assert 0.0 < deviation < 1.0
+
+    def test_deviation_without_counterpart_raises(self, instances):
+        report = BatchRunner(["UCE"]).run(instances)
+        with pytest.raises(ConfigurationError, match="counterpart"):
+            report.utility_deviation("UCE")
+
+    def test_reproducible_given_seed(self, instances):
+        a = BatchRunner(["PUCE"]).run(instances, seed=5)
+        b = BatchRunner(["PUCE"]).run(instances, seed=5)
+        assert a["PUCE"].total_utility == b["PUCE"].total_utility
+
+    def test_seed_changes_private_outcomes(self, instances):
+        a = BatchRunner(["PUCE"]).run(instances, seed=5)
+        b = BatchRunner(["PUCE"]).run(instances, seed=6)
+        assert a["PUCE"].total_privacy_spend != b["PUCE"].total_privacy_spend

@@ -1,0 +1,110 @@
+"""Unit tests for the untrusted-server model."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.simulation.server import Server
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def server_and_instance():
+    instance = build_instance(
+        task_specs=[(0.0, 0.0, 5.0), (1.0, 0.0, 5.0)],
+        worker_specs=[(0.5, 0.0, 3.0), (0.6, 0.0, 3.0)],
+    )
+    return Server(instance), instance
+
+
+class TestReleaseBoard:
+    def test_publish_and_effective_pair(self, server_and_instance):
+        server, _ = server_and_instance
+        server.publish(0, 0, 1.2, 0.5)
+        pair = server.effective_pair(0, 0)
+        assert pair.distance == 1.2
+        assert pair.epsilon == 0.5
+
+    def test_effective_pair_without_releases_raises(self, server_and_instance):
+        server, _ = server_and_instance
+        with pytest.raises(InvalidInstanceError, match="no releases"):
+            server.effective_pair(0, 0)
+
+    def test_has_releases(self, server_and_instance):
+        server, _ = server_and_instance
+        assert not server.has_releases(0, 0)
+        server.publish(0, 0, 1.0, 0.5)
+        assert server.has_releases(0, 0)
+
+    def test_publish_feeds_ledger(self, server_and_instance):
+        server, instance = server_and_instance
+        server.publish(0, 1, 1.0, 0.5)
+        server.publish(1, 1, 2.0, 0.7)
+        worker_id = instance.workers[1].id
+        assert server.ledger.worker_spend(worker_id) == pytest.approx(1.2)
+        assert server.worker_spend(1) == pytest.approx(1.2)
+        assert server.publish_count == 2
+
+    def test_release_set_accumulates(self, server_and_instance):
+        server, _ = server_and_instance
+        server.publish(0, 0, 1.0, 0.5)
+        server.publish(0, 0, 1.4, 0.9)
+        assert len(server.release_set(0, 0)) == 2
+
+
+class TestAllocationList:
+    def test_assign_and_winner(self, server_and_instance):
+        server, _ = server_and_instance
+        assert server.winner(0) is None
+        server.assign(0, 1)
+        assert server.winner(0) == 1
+        assert server.task_of(1) == 0
+
+    def test_assign_returns_displaced(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(0, 0)
+        displaced = server.assign(0, 1)
+        assert displaced == 0
+        assert server.task_of(0) is None
+
+    def test_reassign_same_worker_is_noop(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(0, 0)
+        assert server.assign(0, 0) is None
+        assert server.winner(0) == 0
+
+    def test_worker_moving_vacates_old_task(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(0, 0)
+        server.assign(1, 0)
+        assert server.winner(0) is None
+        assert server.winner(1) == 0
+
+    def test_unassign(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(0, 0)
+        assert server.unassign(0) == 0
+        assert server.winner(0) is None
+        assert server.task_of(0) is None
+        assert server.unassign(0) is None
+
+    def test_allocation_tuple(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(1, 0)
+        assert server.allocation() == (None, 0)
+
+    def test_matching_uses_public_ids(self, server_and_instance):
+        server, instance = server_and_instance
+        server.assign(0, 1)
+        matching = server.matching()
+        assert dict(matching.pairs) == {instance.tasks[0].id: instance.workers[1].id}
+
+    def test_one_to_one_maintained_under_churn(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(0, 0)
+        server.assign(1, 1)
+        server.assign(0, 1)  # w1 moves from t1 to t0, displacing w0
+        assert server.winner(1) is None
+        assert server.winner(0) == 1
+        assert server.task_of(0) is None
+        matching = server.matching()  # must not raise
+        assert len(matching) == 1

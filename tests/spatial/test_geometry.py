@@ -1,0 +1,93 @@
+"""Unit tests for points and distance metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import (
+    Point,
+    euclidean,
+    haversine_km,
+    pairwise_euclidean,
+    squared_euclidean,
+)
+
+
+class TestPoint:
+    def test_unpacks_like_a_tuple(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_distance_to(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(0.5, -2.0) == Point(1.5, 0.0)
+
+    def test_equality_with_plain_tuple(self):
+        assert Point(1.0, 2.0) == (1.0, 2.0)
+
+
+class TestEuclidean:
+    def test_pythagorean_triple(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_zero_distance(self):
+        assert euclidean((2.5, -1.5), (2.5, -1.5)) == 0.0
+
+    def test_symmetry(self):
+        a, b = (1.2, 3.4), (-5.6, 7.8)
+        assert euclidean(a, b) == euclidean(b, a)
+
+    def test_triangle_inequality(self):
+        a, b, c = (0, 0), (1, 2), (3, -1)
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-12
+
+    def test_squared_matches_square(self):
+        a, b = (1.0, 2.0), (4.0, 6.0)
+        assert squared_euclidean(a, b) == pytest.approx(euclidean(a, b) ** 2)
+
+
+class TestHaversine:
+    def test_same_point_is_zero(self):
+        assert haversine_km((104.06, 30.57), (104.06, 30.57)) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        assert haversine_km((0.0, 0.0), (1.0, 0.0)) == pytest.approx(111.19, abs=0.1)
+
+    def test_symmetry(self):
+        a, b = (104.0, 30.6), (104.2, 30.4)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_antipodal_is_half_circumference(self):
+        assert haversine_km((0.0, 0.0), (180.0, 0.0)) == pytest.approx(
+            math.pi * 6371.0088, rel=1e-6
+        )
+
+
+class TestPairwiseEuclidean:
+    def test_matches_scalar_function(self, rng):
+        a = rng.normal(size=(5, 2))
+        b = rng.normal(size=(7, 2))
+        matrix = pairwise_euclidean(a, b)
+        assert matrix.shape == (5, 7)
+        for i in range(5):
+            for j in range(7):
+                assert matrix[i, j] == pytest.approx(euclidean(a[i], b[j]))
+
+    def test_empty_inputs(self):
+        out = pairwise_euclidean(np.empty((0, 2)), np.empty((3, 2)))
+        assert out.shape == (0, 3)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="expected"):
+            pairwise_euclidean(np.zeros((3, 3)), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="expected"):
+            pairwise_euclidean(np.zeros((3, 2)), np.zeros((2, 4)))
+
+    def test_diagonal_zero_for_same_points(self, rng):
+        a = rng.normal(size=(6, 2))
+        matrix = pairwise_euclidean(a, a)
+        assert np.allclose(np.diag(matrix), 0.0)

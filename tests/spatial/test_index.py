@@ -1,0 +1,95 @@
+"""Unit tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.index import GridIndex
+
+
+class TestGridIndexBasics:
+    def test_empty_index(self):
+        index = GridIndex([])
+        assert len(index) == 0
+        assert index.query_circle((0, 0), 10.0) == []
+
+    def test_single_point(self):
+        index = GridIndex([(1.0, 1.0)])
+        assert index.query_circle((0, 0), 2.0) == [0]
+        assert index.query_circle((0, 0), 1.0) == []
+
+    def test_boundary_is_inclusive(self):
+        index = GridIndex([(1.0, 0.0)])
+        assert index.query_circle((0, 0), 1.0) == [0]
+
+    def test_negative_radius_raises(self):
+        index = GridIndex([(0.0, 0.0)])
+        with pytest.raises(ValueError, match="non-negative"):
+            index.query_circle((0, 0), -1.0)
+
+    def test_identical_points_all_returned(self):
+        index = GridIndex([(0.0, 0.0)] * 5)
+        assert index.query_circle((0, 0), 0.1) == [0, 1, 2, 3, 4]
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError, match="point array"):
+            GridIndex(np.zeros((3, 3)))
+
+    def test_invalid_cell_size_raises(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex([(0.0, 0.0)], cell_size=0.0)
+
+    def test_points_property_is_read_only(self):
+        index = GridIndex([(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(ValueError):
+            index.points[0, 0] = 99.0
+
+
+class TestGridIndexAgainstBruteForce:
+    @pytest.mark.parametrize("n,radius", [(50, 0.5), (200, 1.4), (500, 3.0)])
+    def test_matches_brute_force_uniform(self, rng, n, radius):
+        points = rng.uniform(0, 20, size=(n, 2))
+        index = GridIndex(points)
+        for _ in range(20):
+            center = rng.uniform(-2, 22, size=2)
+            assert index.query_circle(center, radius) == index.query_circle_brute(
+                center, radius
+            )
+
+    def test_matches_brute_force_clustered(self, rng):
+        points = np.vstack(
+            [rng.normal(0, 0.5, size=(100, 2)), rng.normal(10, 0.5, size=(100, 2))]
+        )
+        index = GridIndex(points)
+        for center in [(0, 0), (10, 10), (5, 5), (-3, 2)]:
+            assert index.query_circle(center, 2.0) == index.query_circle_brute(
+                center, 2.0
+            )
+
+    def test_explicit_cell_size(self, rng):
+        points = rng.uniform(0, 10, size=(100, 2))
+        coarse = GridIndex(points, cell_size=5.0)
+        fine = GridIndex(points, cell_size=0.1)
+        for _ in range(10):
+            center = rng.uniform(0, 10, size=2)
+            assert coarse.query_circle(center, 1.0) == fine.query_circle(center, 1.0)
+
+    def test_results_sorted(self, rng):
+        points = rng.uniform(0, 5, size=(100, 2))
+        index = GridIndex(points)
+        hits = index.query_circle((2.5, 2.5), 2.0)
+        assert hits == sorted(hits)
+
+
+class TestNearest:
+    def test_nearest_point(self):
+        index = GridIndex([(0.0, 0.0), (5.0, 5.0), (1.0, 1.0)])
+        assert index.nearest((0.9, 0.9)) == 2
+        assert index.nearest((4.0, 4.0)) == 1
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            GridIndex([]).nearest((0, 0))
+
+    def test_nearest_tie_lowest_index(self):
+        index = GridIndex([(1.0, 0.0), (-1.0, 0.0)])
+        assert index.nearest((0.0, 0.0)) == 0

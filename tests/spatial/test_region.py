@@ -1,0 +1,98 @@
+"""Unit tests for bounding boxes and circles."""
+
+import math
+
+import pytest
+
+from repro.spatial.geometry import Point
+from repro.spatial.region import BoundingBox, Circle
+
+
+class TestBoundingBox:
+    def test_contains_interior_and_boundary(self):
+        box = BoundingBox(0, 0, 2, 3)
+        assert box.contains((1, 1))
+        assert box.contains((0, 0))
+        assert box.contains((2, 3))
+        assert not box.contains((2.01, 1))
+
+    def test_dimensions(self):
+        box = BoundingBox(-1, -2, 3, 4)
+        assert box.width == 4
+        assert box.height == 6
+        assert box.area == 24
+        assert box.center == Point(1.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([(0, 5), (2, 1), (-3, 2)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-3, 1, 2, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError, match="zero points"):
+            BoundingBox.from_points([])
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_zero_area_box_is_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.area == 0
+        assert box.contains((1, 1))
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.intersects(BoundingBox(1, 1, 3, 3))
+        assert a.intersects(BoundingBox(2, 2, 3, 3))  # touching corner
+        assert not a.intersects(BoundingBox(2.1, 2.1, 3, 3))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 1, 1).expanded(0.5)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-0.5, -0.5, 1.5, 1.5)
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BoundingBox(0, 0, 1, 1).expanded(-0.1)
+
+
+class TestCircle:
+    def test_contains(self):
+        circle = Circle(Point(0, 0), 1.0)
+        assert circle.contains((0.5, 0.5))
+        assert circle.contains((1.0, 0.0))  # boundary
+        assert not circle.contains((0.8, 0.8))
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2.0).area == pytest.approx(4 * math.pi)
+
+    def test_center_coerced_to_point(self):
+        circle = Circle((1.0, 2.0), 1.0)  # type: ignore[arg-type]
+        assert isinstance(circle.center, Point)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Circle(Point(0, 0), -1.0)
+
+    def test_zero_radius_contains_only_center(self):
+        circle = Circle(Point(1, 1), 0.0)
+        assert circle.contains((1, 1))
+        assert not circle.contains((1, 1.0001))
+
+    def test_bounding_box(self):
+        box = Circle(Point(1, 2), 3.0).bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, -1, 4, 5)
+
+    def test_intersects_box_overlapping(self):
+        circle = Circle(Point(0, 0), 1.0)
+        assert circle.intersects_box(BoundingBox(0.5, 0.5, 2, 2))
+
+    def test_intersects_box_disjoint(self):
+        circle = Circle(Point(0, 0), 1.0)
+        assert not circle.intersects_box(BoundingBox(2, 2, 3, 3))
+
+    def test_intersects_box_corner_case(self):
+        # Box corner at distance exactly 1 from the centre (representable
+        # exactly in binary floating point, unlike sqrt(0.5)).
+        circle = Circle(Point(0, 0), 1.0)
+        assert circle.intersects_box(BoundingBox(1.0, 0.0, 2, 2))
+        assert not circle.intersects_box(BoundingBox(1.0000001, 0.0, 2, 2))

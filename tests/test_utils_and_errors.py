@@ -1,0 +1,60 @@
+"""Unit tests for the rng plumbing and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passed_through(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_child_streams_distinct(self):
+        parent = np.random.default_rng(7)
+        first = spawn_rng(parent)
+        second = spawn_rng(parent)
+        assert first.integers(0, 10**9) != second.integers(0, 10**9)
+
+    def test_spawning_is_reproducible(self):
+        a = spawn_rng(np.random.default_rng(7)).integers(0, 10**9)
+        b = spawn_rng(np.random.default_rng(7)).integers(0, 10**9)
+        assert a == b
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.InvalidInstanceError,
+            errors.BudgetExhaustedError,
+            errors.MatchingError,
+            errors.ConvergenceError,
+            errors.DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_single_catch_all(self):
+        # The point of the hierarchy: one except clause guards any call.
+        from repro.core.registry import make_solver
+
+        with pytest.raises(errors.ReproError):
+            make_solver("NOPE")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
