@@ -1,0 +1,118 @@
+"""Streaming throughput benchmark: the online layer's perf baseline.
+
+Runs the Poisson scenario through the streaming stack (arrivals ->
+micro-batcher -> solver -> duty cycles) for a private and a non-private
+method and records the numbers later PRs must beat:
+
+* end-to-end wall time of the full stream replay,
+* solver-only throughput in assigned tasks per second,
+* p50 / p95 assignment latency (simulated clock).
+
+Besides the usual ``benchmarks/results`` table, the measured series is
+written to ``BENCH_stream.json`` at the repository root so the perf
+trajectory is machine-readable across PRs.  Scale follows
+``REPRO_BENCH_TASKS`` (approximate task arrivals over the horizon).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import bench_seed, bench_tasks, emit_table
+from repro.datasets.synthetic import NormalGenerator
+from repro.stream import PoissonProcess, StreamConfig, StreamRunner, StreamWorkload
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+HORIZON = 3.0
+METHODS = ("PUCE", "UCE")
+
+
+def _workload(num_tasks: int, seed: int) -> StreamWorkload:
+    return StreamWorkload(
+        task_process=PoissonProcess(rate=num_tasks / HORIZON, horizon=HORIZON),
+        worker_process=PoissonProcess(rate=num_tasks / (3.0 * HORIZON), horizon=HORIZON),
+        spatial=NormalGenerator(num_tasks=200, num_workers=400, seed=seed),
+        initial_workers=max(num_tasks // 3, 10),
+        task_deadline=1.0,
+        worker_budget=40.0,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_rows():
+    num_tasks = bench_tasks()
+    seed = bench_seed()
+    workload = _workload(num_tasks, seed)
+    events = workload.events(seed=seed)
+    config = StreamConfig(max_batch_size=max(num_tasks // 4, 10), max_wait=0.2)
+    rows = []
+    for method in METHODS:
+        runner = StreamRunner([method], config=config)
+        started = time.perf_counter()
+        report = runner.run(events, seed=seed)
+        wall = time.perf_counter() - started
+        stats = report[method]
+        rows.append(
+            {
+                "method": method,
+                "arrived": stats.arrived_tasks,
+                "assigned": stats.assigned,
+                "expired": stats.expired,
+                "flushes": len(stats.flushes),
+                "wall_seconds": wall,
+                "solver_seconds": stats.solver_seconds,
+                "tasks_per_sec": stats.throughput_tasks_per_sec,
+                "latency_p50": stats.latency_p50,
+                "latency_p95": stats.latency_p95,
+                "privacy_spend": stats.total_privacy_spend,
+            }
+        )
+    return {"num_tasks": num_tasks, "seed": seed, "horizon": HORIZON, "rows": rows}
+
+
+def test_stream_throughput_baseline(benchmark, stream_rows):
+    """Record the streaming perf baseline and sanity-check the stream."""
+    num_tasks = stream_rows["num_tasks"]
+    seed = stream_rows["seed"]
+    workload = _workload(num_tasks, seed)
+    events = workload.events(seed=seed)
+    config = StreamConfig(max_batch_size=max(num_tasks // 4, 10), max_wait=0.2)
+
+    benchmark.pedantic(
+        lambda: StreamRunner(["PUCE"], config=config).run(events, seed=seed),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "method  arrived  assigned  flushes  wall_s  tasks/s  p50_lat  p95_lat"
+    ]
+    for row in stream_rows["rows"]:
+        lines.append(
+            f"{row['method']:<6} {row['arrived']:>8} {row['assigned']:>9} "
+            f"{row['flushes']:>8} {row['wall_seconds']:>7.3f} "
+            f"{row['tasks_per_sec']:>8.0f} {row['latency_p50']:>8.3f} "
+            f"{row['latency_p95']:>8.3f}"
+        )
+    emit_table("stream_throughput", "\n".join(lines))
+
+    BENCH_JSON.write_text(json.dumps(stream_rows, indent=2) + "\n")
+
+    for row in stream_rows["rows"]:
+        # Every released task reached an outcome path and some were served.
+        assert row["arrived"] > 0
+        assert row["assigned"] > 0, row
+        assert row["tasks_per_sec"] > 0
+        # Latency percentiles are ordered and within the deadline.
+        assert 0.0 <= row["latency_p50"] <= row["latency_p95"] <= 1.0 + 1e-9
+
+    # The non-private counterpart never spends budget; the private one does.
+    by_method = {row["method"]: row for row in stream_rows["rows"]}
+    assert by_method["UCE"]["privacy_spend"] == 0.0
+    assert by_method["PUCE"]["privacy_spend"] > 0.0

@@ -24,7 +24,26 @@ Packages:
 * :mod:`repro.game`       -- potential games, best response, PoA/PoS,
 * :mod:`repro.datasets`   -- workloads: uniform, normal, Chengdu-like,
 * :mod:`repro.simulation` -- instances, untrusted server, batch runner,
-* :mod:`repro.experiments`-- the per-figure reproduction harness.
+* :mod:`repro.stream`     -- online dispatch: continuous-time arrivals
+  (Poisson / rush-hour / bursty / trace-driven), deadlines and duty
+  cycles, micro-batching with cross-flush budget carry, streaming runner,
+* :mod:`repro.experiments`-- the per-figure reproduction harness and the
+  ``stream`` CLI.
+
+Streaming quickstart::
+
+    from repro import (
+        NormalGenerator, PoissonProcess, StreamWorkload, StreamRunner,
+    )
+
+    workload = StreamWorkload(
+        task_process=PoissonProcess(rate=40.0, horizon=3.0),
+        worker_process=PoissonProcess(rate=15.0, horizon=3.0),
+        spatial=NormalGenerator(num_tasks=200, num_workers=400, seed=3),
+        initial_workers=60,
+    )
+    report = StreamRunner(["PUCE", "UCE"]).run_workload(workload, seed=7)
+    print(report["PUCE"].latency_p95, report["PUCE"].expiry_rate)
 """
 
 from repro.core import (
@@ -76,6 +95,22 @@ from repro.privacy import (
 )
 from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
 from repro.spatial import Point
+from repro.stream import (
+    BurstyProcess,
+    DispatchSimulator,
+    MicroBatcher,
+    PoissonProcess,
+    RushHourProcess,
+    StreamConfig,
+    StreamReport,
+    StreamRunner,
+    StreamStats,
+    StreamWorkload,
+    TaskArrival,
+    TraceProcess,
+    WorkerArrival,
+    WorkerBudgetTracker,
+)
 
 __version__ = "1.0.0"
 
@@ -127,6 +162,21 @@ __all__ = [
     "BatchRunner",
     "RunReport",
     "AssignmentResult",
+    # online dispatch
+    "PoissonProcess",
+    "RushHourProcess",
+    "BurstyProcess",
+    "TraceProcess",
+    "StreamWorkload",
+    "TaskArrival",
+    "WorkerArrival",
+    "MicroBatcher",
+    "WorkerBudgetTracker",
+    "StreamConfig",
+    "DispatchSimulator",
+    "StreamRunner",
+    "StreamReport",
+    "StreamStats",
     # errors
     "ReproError",
     "ConfigurationError",

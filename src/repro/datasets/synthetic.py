@@ -72,6 +72,33 @@ class SyntheticGenerator(ABC):
         """``(count, 2)`` worker locations; defaults to the task law."""
         return self._sample_task_points(rng, count)
 
+    # -- location sampling -------------------------------------------------
+
+    def sample_task_locations(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """``(count, 2)`` task locations from this generator's spatial law.
+
+        Public hook for callers that need locations decoupled from batch
+        assembly — the streaming layer draws one location per *arrival*
+        instead of one batch at a time.
+        """
+        if count < 0:
+            raise DatasetError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty((0, 2))
+        return self._sample_task_points(rng, count)
+
+    def sample_worker_locations(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """``(count, 2)`` worker locations from this generator's spatial law."""
+        if count < 0:
+            raise DatasetError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty((0, 2))
+        return self._sample_worker_points(rng, count)
+
     # -- assembly ---------------------------------------------------------
 
     def tasks(

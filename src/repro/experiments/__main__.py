@@ -5,6 +5,8 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig07 --tasks 200 --batches 2 --seed 0
     python -m repro.experiments run fig17 --datasets chengdu normal
+    python -m repro.experiments stream --arrivals poisson --methods PUCE UCE
+    python -m repro.experiments stream --arrivals trace --horizon 24
 """
 
 from __future__ import annotations
@@ -13,6 +15,13 @@ import argparse
 
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.report import format_figure
+from repro.experiments.streaming import (
+    ARRIVAL_KINDS,
+    StreamScenario,
+    format_stream_report,
+    run_stream,
+)
+from repro.stream.simulator import StreamConfig
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,11 +37,55 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--datasets", nargs="+", default=None, help="restrict datasets")
 
+    stream = sub.add_parser(
+        "stream", help="run methods over a continuous-time arrival stream"
+    )
+    stream.add_argument("--arrivals", choices=ARRIVAL_KINDS, default="poisson")
+    stream.add_argument("--dataset", default="normal", help="spatial law for locations")
+    stream.add_argument(
+        "--methods", nargs="+", default=["PUCE", "UCE"], help="Table IX method names"
+    )
+    stream.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="stream length in time units (default 3; trace: clips the 24h day, default 24)",
+    )
+    stream.add_argument("--task-rate", type=float, default=40.0, help="task arrivals per time unit")
+    stream.add_argument("--worker-rate", type=float, default=15.0, help="worker arrivals per time unit")
+    stream.add_argument("--initial-workers", type=int, default=60, help="fleet on duty at t=0")
+    stream.add_argument("--trace-orders", type=int, default=300, help="orders per trace-driven day")
+    stream.add_argument("--deadline", type=float, default=1.0, help="task patience before expiry")
+    stream.add_argument("--worker-budget", type=float, default=40.0, help="per-worker shift budget cap")
+    stream.add_argument("--max-batch", type=int, default=50, help="micro-batch flush size")
+    stream.add_argument("--max-wait", type=float, default=0.2, help="micro-batch flush wait")
+    stream.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for figure_id, spec in sorted(FIGURES.items()):
             papers = ", ".join(spec.paper_figures.values())
             print(f"{figure_id}: {spec.measure} vs {spec.parameter}  ({papers})")
+        return 0
+
+    if args.command == "stream":
+        if args.horizon is None:
+            args.horizon = 24.0 if args.arrivals == "trace" else 3.0
+        scenario = StreamScenario(
+            arrivals=args.arrivals,
+            dataset=args.dataset,
+            horizon=args.horizon,
+            task_rate=args.task_rate,
+            worker_rate=args.worker_rate,
+            initial_workers=args.initial_workers,
+            trace_orders=args.trace_orders,
+            task_deadline=args.deadline,
+            worker_budget=args.worker_budget,
+            seed=args.seed,
+        )
+        config = StreamConfig(max_batch_size=args.max_batch, max_wait=args.max_wait)
+        report = run_stream(tuple(args.methods), scenario, config=config)
+        print(format_stream_report(report, scenario))
         return 0
 
     result = run_figure(

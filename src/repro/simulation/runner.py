@@ -20,6 +20,7 @@ from repro.simulation.metrics import (
     relative_distance_deviation,
     relative_utility_deviation,
 )
+from repro.utils.rng import stable_hash
 
 if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
     from repro.core.registry import Solver
@@ -99,16 +100,8 @@ class BatchRunner:
             for solver in self.solvers:
                 # Independent but reproducible noise per (method, batch).
                 stream = np.random.default_rng(
-                    (seed, batch_index, _stable_hash(solver.name))
+                    (seed, batch_index, stable_hash(solver.name))
                 )
                 result = solver.solve(instance, seed=stream)
                 report.stats[solver.name].add(result)
         return report
-
-
-def _stable_hash(name: str) -> int:
-    """A process-independent small hash (builtin hash() is salted)."""
-    value = 0
-    for ch in name:
-        value = (value * 131 + ord(ch)) % (2**31 - 1)
-    return value

@@ -48,8 +48,15 @@ class Server:
         self.publish_count += 1
 
     def release_set(self, task_index: int, worker_index: int) -> ReleaseSet:
-        """The (possibly empty) release set of a pair."""
-        return self._board.setdefault((task_index, worker_index), ReleaseSet())
+        """The (possibly empty) release set of a pair.
+
+        Reads never insert board entries: under heavy query traffic (every
+        round of every solver probes many pairs) inserting an empty
+        :class:`ReleaseSet` per probed pair would bloat the board to the
+        full ``m x n`` grid.  Only :meth:`publish` creates entries.
+        """
+        releases = self._board.get((task_index, worker_index))
+        return releases if releases is not None else ReleaseSet()
 
     def has_releases(self, task_index: int, worker_index: int) -> bool:
         releases = self._board.get((task_index, worker_index))

@@ -1,0 +1,57 @@
+"""Online dispatch: continuous-time arrivals, micro-batching, streaming.
+
+The scenario-diversity layer over the offline Section VII-B protocol:
+tasks and workers arrive over continuous time
+(:mod:`repro.stream.arrivals`), an event-driven simulator enforces task
+deadlines and worker duty cycles (:mod:`repro.stream.simulator`), a
+micro-batcher converts the pending buffer into budget-capped
+:class:`~repro.simulation.instance.ProblemInstance` flushes
+(:mod:`repro.stream.batcher`), and :class:`StreamRunner` replays the same
+timeline through every method (:mod:`repro.stream.runner`), collecting
+latency / expiry / throughput / privacy-over-time measures
+(:mod:`repro.stream.metrics`).
+"""
+
+from repro.stream.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    PoissonProcess,
+    RushHourProcess,
+    StreamWorkload,
+    TraceProcess,
+)
+from repro.stream.batcher import MicroBatcher, WorkerBudgetTracker
+from repro.stream.events import (
+    ActiveWorker,
+    OpenTask,
+    StreamEvent,
+    TaskArrival,
+    WorkerArrival,
+    merge_events,
+)
+from repro.stream.metrics import FlushRecord, StreamStats
+from repro.stream.runner import StreamReport, StreamRunner
+from repro.stream.simulator import DispatchSimulator, StreamConfig
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "RushHourProcess",
+    "BurstyProcess",
+    "TraceProcess",
+    "StreamWorkload",
+    "TaskArrival",
+    "WorkerArrival",
+    "StreamEvent",
+    "OpenTask",
+    "ActiveWorker",
+    "merge_events",
+    "MicroBatcher",
+    "WorkerBudgetTracker",
+    "StreamConfig",
+    "DispatchSimulator",
+    "StreamRunner",
+    "StreamReport",
+    "StreamStats",
+    "FlushRecord",
+]

@@ -1,0 +1,348 @@
+"""Arrival processes: when tasks and workers enter the stream.
+
+Four generators of arrival *times* over a finite horizon, covering the
+regimes a dispatch platform actually sees:
+
+* :class:`PoissonProcess` — homogeneous rate (the null model);
+* :class:`RushHourProcess` — time-varying rate with Gaussian demand
+  peaks (the chengdu double rush hour), sampled by Lewis-Shedler
+  thinning;
+* :class:`BurstyProcess` — compound Poisson: burst epochs each releasing
+  a geometric number of near-simultaneous arrivals (event surges);
+* :class:`TraceProcess` — replay of explicit timestamps, e.g. the
+  release times of a :class:`~repro.datasets.chengdu.ChengduLikeGenerator`
+  day via :meth:`TraceProcess.from_chengdu`.
+
+:class:`StreamWorkload` pairs a task process and a worker process with a
+spatial generator (locations) and materialises the timeline of
+:class:`~repro.stream.events.TaskArrival` / ``WorkerArrival`` events that
+the simulator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.synthetic import SyntheticGenerator
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError, DatasetError
+from repro.spatial.geometry import Point
+from repro.stream.events import StreamEvent, TaskArrival, WorkerArrival, merge_events
+from repro.utils.rng import ensure_rng, spawn_rng
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "RushHourProcess",
+    "BurstyProcess",
+    "TraceProcess",
+    "StreamWorkload",
+]
+
+
+class ArrivalProcess(ABC):
+    """A point process on ``[0, horizon)`` emitting arrival times."""
+
+    def __init__(self, horizon: float):
+        if not horizon > 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        self.horizon = float(horizon)
+
+    @abstractmethod
+    def times(self, rng: np.random.Generator) -> np.ndarray:
+        """Sorted arrival times in ``[0, horizon)``."""
+
+    def expected_count(self) -> float:
+        """Expected number of arrivals over the horizon (for sizing)."""
+        raise NotImplementedError  # pragma: no cover - optional metadata
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` per unit time."""
+
+    def __init__(self, rate: float, horizon: float):
+        super().__init__(horizon)
+        if not rate >= 0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+
+    def times(self, rng: np.random.Generator) -> np.ndarray:
+        if self.rate == 0.0:
+            return np.empty(0)
+        count = rng.poisson(self.rate * self.horizon)
+        return np.sort(rng.uniform(0.0, self.horizon, size=count))
+
+    def expected_count(self) -> float:
+        return self.rate * self.horizon
+
+
+class RushHourProcess(ArrivalProcess):
+    """Inhomogeneous Poisson arrivals with Gaussian demand peaks.
+
+    The rate function is ``base_rate + peak_rate * sum_p exp(-(t - p)^2 /
+    (2 width^2))`` — the double-rush-hour shape of the chengdu release
+    profile.  Sampling is exact via thinning against the rate envelope.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        horizon: float,
+        peaks: tuple[float, ...] = (8.5, 18.0),
+        width: float = 1.5,
+    ):
+        super().__init__(horizon)
+        if not base_rate >= 0 or not peak_rate >= 0:
+            raise ConfigurationError("rates must be >= 0")
+        if base_rate + peak_rate == 0:
+            raise ConfigurationError("need base_rate + peak_rate > 0")
+        if not peaks:
+            raise ConfigurationError("need at least one peak")
+        if not width > 0:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.base_rate = float(base_rate)
+        self.peak_rate = float(peak_rate)
+        self.peaks = tuple(float(p) for p in peaks)
+        self.width = float(width)
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate at time ``t``."""
+        bumps = sum(
+            math.exp(-((t - p) ** 2) / (2.0 * self.width**2)) for p in self.peaks
+        )
+        return self.base_rate + self.peak_rate * bumps
+
+    def times(self, rng: np.random.Generator) -> np.ndarray:
+        # Envelope: every peak contributes at most peak_rate at its apex.
+        ceiling = self.base_rate + self.peak_rate * len(self.peaks)
+        count = rng.poisson(ceiling * self.horizon)
+        candidates = np.sort(rng.uniform(0.0, self.horizon, size=count))
+        keep = rng.uniform(0.0, ceiling, size=count)
+        accepted = [
+            t for t, u in zip(candidates, keep) if u <= self.rate_at(float(t))
+        ]
+        return np.asarray(accepted)
+
+    def expected_count(self) -> float:
+        # Integral of the rate function, each bump truncated to the horizon.
+        total = self.base_rate * self.horizon
+        for p in self.peaks:
+            mass = self.peak_rate * self.width * math.sqrt(2.0 * math.pi)
+            total += mass * _gaussian_overlap(p, self.width, self.horizon)
+        return total
+
+
+def _gaussian_overlap(peak: float, width: float, horizon: float) -> float:
+    """Fraction of a Gaussian bump's mass falling inside ``[0, horizon]``."""
+    lo = 0.5 * (1.0 + math.erf((0.0 - peak) / (width * math.sqrt(2.0))))
+    hi = 0.5 * (1.0 + math.erf((horizon - peak) / (width * math.sqrt(2.0))))
+    return hi - lo
+
+
+class BurstyProcess(ArrivalProcess):
+    """Compound Poisson bursts: surge epochs releasing clustered arrivals.
+
+    Burst epochs follow a Poisson process at ``burst_rate``; each epoch
+    releases ``1 + Geometric`` arrivals (mean ``mean_burst_size``) spread
+    uniformly over ``burst_span`` time units after the epoch.
+    """
+
+    def __init__(
+        self,
+        burst_rate: float,
+        mean_burst_size: float,
+        horizon: float,
+        burst_span: float = 0.05,
+    ):
+        super().__init__(horizon)
+        if not burst_rate >= 0:
+            raise ConfigurationError(f"burst_rate must be >= 0, got {burst_rate}")
+        if not mean_burst_size >= 1:
+            raise ConfigurationError(
+                f"mean_burst_size must be >= 1, got {mean_burst_size}"
+            )
+        if not burst_span >= 0:
+            raise ConfigurationError(f"burst_span must be >= 0, got {burst_span}")
+        self.burst_rate = float(burst_rate)
+        self.mean_burst_size = float(mean_burst_size)
+        self.burst_span = float(burst_span)
+
+    def times(self, rng: np.random.Generator) -> np.ndarray:
+        if self.burst_rate == 0.0:
+            return np.empty(0)
+        epochs = rng.poisson(self.burst_rate * self.horizon)
+        starts = rng.uniform(0.0, self.horizon, size=epochs)
+        all_times: list[float] = []
+        for start in starts:
+            if self.mean_burst_size > 1.0:
+                extra = rng.geometric(1.0 / self.mean_burst_size) - 1
+            else:
+                extra = 0
+            size = 1 + int(extra)
+            offsets = rng.uniform(0.0, self.burst_span, size=size)
+            for offset in offsets:
+                t = float(start + offset)
+                if t < self.horizon:
+                    all_times.append(t)
+        return np.sort(np.asarray(all_times))
+
+    def expected_count(self) -> float:
+        return self.burst_rate * self.horizon * self.mean_burst_size
+
+
+class TraceProcess(ArrivalProcess):
+    """Replay of explicit arrival timestamps (trace-driven workloads)."""
+
+    def __init__(self, trace: "np.ndarray | list[float]", horizon: float | None = None):
+        trace_arr = np.sort(np.asarray(trace, dtype=float))
+        if trace_arr.size and trace_arr[0] < 0:
+            raise ConfigurationError("trace times must be non-negative")
+        inferred = float(trace_arr[-1]) + 1e-9 if trace_arr.size else 1.0
+        super().__init__(horizon if horizon is not None else max(inferred, 1e-9))
+        self.trace = trace_arr[trace_arr < self.horizon]
+
+    def times(self, rng: np.random.Generator) -> np.ndarray:  # noqa: ARG002
+        return self.trace.copy()
+
+    def expected_count(self) -> float:
+        return float(self.trace.size)
+
+    @classmethod
+    def from_chengdu(
+        cls,
+        generator: ChengduLikeGenerator,
+        seed: int | np.random.Generator | None = 0,
+        task_value: float = 4.5,
+        horizon: float | None = None,
+    ) -> "TraceProcess":
+        """Replay a chengdu-like day: release times in hours of day.
+
+        Draws one day of ``generator.num_tasks`` orders and replays their
+        rush-hour release times.  ``horizon`` (default the full 24 hours)
+        clips the replay: orders released after it are dropped.
+        """
+        rng = ensure_rng(seed)
+        tasks = generator.tasks(task_value, rng)
+        clip = 24.0 if horizon is None else min(float(horizon), 24.0)
+        return cls([t.release_time for t in tasks], horizon=clip)
+
+
+@dataclass
+class StreamWorkload:
+    """A full streaming scenario: arrival timing plus spatial law.
+
+    Parameters
+    ----------
+    task_process, worker_process:
+        When tasks / reinforcement workers arrive.
+    spatial:
+        Location law for both populations (any dataset generator).
+    initial_workers:
+        Workers already on duty at ``t = 0`` (the starting fleet).
+    task_value, value_jitter:
+        Task values (Table X default 4.5).
+    worker_range:
+        Service radius ``r_j`` of every worker (Table X default 1.4).
+    task_deadline:
+        Patience: a task arriving at ``t`` expires at ``t + task_deadline``.
+    worker_budget:
+        Per-worker cumulative privacy-budget capacity for the whole shift.
+    seed:
+        Base seed for arrival draws and locations.
+    """
+
+    task_process: ArrivalProcess
+    worker_process: ArrivalProcess
+    spatial: SyntheticGenerator
+    initial_workers: int = 20
+    task_value: float = 4.5
+    value_jitter: float = 0.0
+    worker_range: float = 1.4
+    task_deadline: float = 1.0
+    worker_budget: float = float("inf")
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_workers < 0:
+            raise ConfigurationError(
+                f"initial_workers must be >= 0, got {self.initial_workers}"
+            )
+        if not self.task_deadline > 0:
+            raise ConfigurationError(
+                f"task_deadline must be positive, got {self.task_deadline}"
+            )
+        if self.worker_range < 0:
+            raise DatasetError(
+                f"worker_range must be >= 0, got {self.worker_range}"
+            )
+        if not self.worker_budget > 0:
+            raise ConfigurationError(
+                f"worker_budget must be positive, got {self.worker_budget}"
+            )
+
+    @property
+    def horizon(self) -> float:
+        return max(self.task_process.horizon, self.worker_process.horizon)
+
+    def events(self, seed: int | np.random.Generator | None = None) -> list[StreamEvent]:
+        """Materialise the merged, time-ordered event timeline.
+
+        ``seed`` overrides the workload's base seed, so one workload object
+        can emit independent reproducible days.
+        """
+        rng = ensure_rng(self.seed if seed is None else seed)
+        timing_rng, task_rng, worker_rng, value_rng = (
+            spawn_rng(rng) for _ in range(4)
+        )
+
+        task_times = self.task_process.times(timing_rng)
+        worker_times = self.worker_process.times(timing_rng)
+
+        task_points = self.spatial.sample_task_locations(task_rng, len(task_times))
+        if self.value_jitter:
+            values = np.maximum(
+                value_rng.uniform(
+                    self.task_value - self.value_jitter,
+                    self.task_value + self.value_jitter,
+                    size=len(task_times),
+                ),
+                0.0,
+            )
+        else:
+            values = np.full(len(task_times), self.task_value)
+        task_events: list[StreamEvent] = [
+            TaskArrival(
+                time=float(t),
+                task=Task(
+                    id=i,
+                    location=Point(float(x), float(y)),
+                    value=float(v),
+                    release_time=float(t),
+                ),
+                deadline=float(t) + self.task_deadline,
+            )
+            for i, (t, (x, y), v) in enumerate(zip(task_times, task_points, values))
+        ]
+
+        total_workers = self.initial_workers + len(worker_times)
+        worker_points = self.spatial.sample_worker_locations(worker_rng, total_workers)
+        all_worker_times = np.concatenate(
+            [np.zeros(self.initial_workers), worker_times]
+        )
+        worker_events: list[StreamEvent] = [
+            WorkerArrival(
+                time=float(t),
+                worker=Worker(
+                    id=j, location=Point(float(x), float(y)), radius=self.worker_range
+                ),
+                budget_capacity=self.worker_budget,
+            )
+            for j, (t, (x, y)) in enumerate(zip(all_worker_times, worker_points))
+        ]
+        return merge_events(task_events, worker_events)

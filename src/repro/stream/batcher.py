@@ -1,0 +1,252 @@
+"""Micro-batching: from a pending-task buffer to `ProblemInstance`s.
+
+The streaming layer cannot wait for Section VII-B's 1000-task windows: it
+flushes the pending buffer into a solvable :class:`ProblemInstance`
+whenever the buffer is full (``max_batch_size``) *or* its oldest task has
+waited ``max_wait`` time units — the classic latency/quality trade of
+dispatch micro-batching.
+
+Privacy is the part a naive re-batching would get wrong: a worker's LDP
+guarantee (Theorem V.2) is about their *cumulative* published budget, so
+the spend must carry across flushes.  :class:`WorkerBudgetTracker` keeps
+one persistent :class:`~repro.privacy.accountant.PrivacyLedger` per
+stream, and :meth:`MicroBatcher.build_instance` truncates each pair's
+freshly-sampled budget vector so that the worker's *worst-case* spend in
+the flush — every element of every pair published — cannot exceed what
+remains of their shift capacity.  The cap therefore holds by construction
+for every solver that draws its publishes from ``instance.budgets`` (all
+registry methods), not by solver cooperation; a solver that publishes
+out of band (e.g. GEOI's per-flush location release) is outside this
+model and trips the :meth:`WorkerBudgetTracker.charge` audit instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.budgets import BudgetSampler, BudgetVector
+from repro.core.utility import UtilityModel
+from repro.datasets.workload import Worker
+from repro.errors import ConfigurationError
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.instance import ProblemInstance
+from repro.stream.events import OpenTask
+
+__all__ = ["WorkerBudgetTracker", "MicroBatcher"]
+
+
+class WorkerBudgetTracker:
+    """Per-worker shift-budget accounting, persistent across micro-batches.
+
+    Wraps one append-only :class:`PrivacyLedger` spanning the whole
+    stream; capacities are registered when workers come on duty.
+    """
+
+    def __init__(self) -> None:
+        self.ledger = PrivacyLedger()
+        self._capacity: dict[int, float] = {}
+        # Running totals so per-flush accounting stays O(flush events)
+        # instead of re-summing the whole stream history every flush.
+        self._spent: dict[int, float] = {}
+        self._total: float = 0.0
+
+    def register(self, worker_id: int, capacity: float) -> None:
+        """Declare a worker's total budget capacity for their shift."""
+        if not capacity > 0:
+            raise ConfigurationError(
+                f"worker {worker_id}: capacity must be positive, got {capacity}"
+            )
+        self._capacity[worker_id] = float(capacity)
+
+    def capacity(self, worker_id: int) -> float:
+        return self._capacity.get(worker_id, float("inf"))
+
+    def spent(self, worker_id: int) -> float:
+        return self._spent.get(worker_id, 0.0)
+
+    def remaining(self, worker_id: int) -> float:
+        return self.capacity(worker_id) - self.spent(worker_id)
+
+    def exhausted(self, worker_id: int, floor: float = 0.0) -> bool:
+        """Whether the worker cannot publish even one more ``floor`` budget."""
+        return self.remaining(worker_id) <= floor
+
+    def charge(self, flush_ledger: PrivacyLedger) -> None:
+        """Fold one flush's audit trail into the persistent ledger.
+
+        Raises
+        ------
+        ConfigurationError
+            If the recorded spend pushed any worker past capacity.  This
+            cannot happen for solvers whose every publish consumes an
+            element of ``instance.budgets`` (all registry methods) on
+            instances built by :class:`MicroBatcher`; a solver that also
+            publishes out of band (e.g. GEOI's per-flush location release)
+            is outside the capped model and fails here loudly rather than
+            silently overdrawing the shift budget.
+        """
+        for worker_id, task_id, epsilon in flush_ledger.events():
+            self.ledger.record(worker_id, task_id, epsilon)
+            self._spent[worker_id] = self._spent.get(worker_id, 0.0) + epsilon
+            self._total += epsilon
+        for worker_id in flush_ledger.workers():
+            if self.remaining(worker_id) < -1e-9:
+                raise ConfigurationError(
+                    f"worker {worker_id} exceeded shift budget: spent "
+                    f"{self.spent(worker_id):.4f} of {self.capacity(worker_id):.4f}"
+                )
+
+    def total_spend(self) -> float:
+        return self._total
+
+
+@dataclass
+class MicroBatcher:
+    """Pending-task buffer with size- and wait-based flush triggers.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush as soon as this many tasks are pending.
+    max_wait:
+        Flush as soon as the oldest pending task has waited this long.
+    budget_sampler, model:
+        Per-flush instance parameters (Table X defaults when omitted).
+    """
+
+    max_batch_size: int = 200
+    max_wait: float = 0.25
+    budget_sampler: BudgetSampler | None = None
+    model: UtilityModel | None = None
+    _pending: list[OpenTask] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if not self.max_wait > 0:
+            raise ConfigurationError(f"max_wait must be positive, got {self.max_wait}")
+
+    # -- buffer ------------------------------------------------------------
+
+    def add(self, open_task: OpenTask) -> None:
+        self._pending.append(open_task)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[OpenTask, ...]:
+        return tuple(self._pending)
+
+    def oldest_waiting(self) -> float | None:
+        """Earliest ``buffer_since`` among pending tasks."""
+        if not self._pending:
+            return None
+        return min(t.buffer_since for t in self._pending)
+
+    def flush_deadline(self) -> float | None:
+        """The absolute time by which a wait-triggered flush is due."""
+        oldest = self.oldest_waiting()
+        return None if oldest is None else oldest + self.max_wait
+
+    def should_flush(self, now: float) -> bool:
+        if len(self._pending) >= self.max_batch_size:
+            return True
+        deadline = self.flush_deadline()
+        return deadline is not None and now >= deadline - 1e-12
+
+    def expire(self, now: float) -> list[OpenTask]:
+        """Drop and return every pending task whose deadline has passed."""
+        expired = [t for t in self._pending if t.expired(now)]
+        if expired:
+            self._pending = [t for t in self._pending if not t.expired(now)]
+        return expired
+
+    def take_batch(self) -> list[OpenTask]:
+        """Remove and return the oldest ``max_batch_size`` pending tasks."""
+        self._pending.sort(key=lambda t: (t.arrival_time, t.task.id))
+        batch = self._pending[: self.max_batch_size]
+        self._pending = self._pending[self.max_batch_size :]
+        return batch
+
+    def restore(self, open_tasks: list[OpenTask], now: float) -> None:
+        """Return unassigned tasks to the buffer for the next flush.
+
+        Their wait-trigger clocks restart at ``now`` so losers pace
+        re-flushes instead of keeping the buffer permanently overdue.
+        """
+        for open_task in open_tasks:
+            open_task.buffer_since = now
+        self._pending.extend(open_tasks)
+
+    # -- instance assembly -------------------------------------------------
+
+    def build_instance(
+        self,
+        open_tasks: list[OpenTask],
+        workers: list[Worker],
+        tracker: WorkerBudgetTracker | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> ProblemInstance:
+        """One flush's :class:`ProblemInstance`, budget-capped per worker.
+
+        Reachability and distances come from the standard
+        :meth:`ProblemInstance.build` path (grid index + exact distances);
+        each pair's sampled budget vector is then truncated so the sum of
+        *all* retained elements across a worker's pairs is at most the
+        worker's remaining shift budget.  Pairs left with no affordable
+        element drop out of the worker's reachable set entirely.
+
+        ``tracker=None`` skips the capping — the path for non-private
+        methods, which never publish and so never deplete a shift budget.
+        """
+        instance = ProblemInstance.build(
+            [t.task for t in open_tasks],
+            workers,
+            budget_sampler=self.budget_sampler,
+            model=self.model,
+            seed=seed,
+        )
+        if tracker is None:
+            return instance
+        reachable: list[tuple[int, ...]] = []
+        budgets: dict[tuple[int, int], BudgetVector] = {}
+        distances: dict[tuple[int, int], float] = {}
+        changed = False
+        for j, worker in enumerate(workers):
+            remaining = tracker.remaining(worker.id)
+            kept: list[int] = []
+            for i in instance.reachable[j]:
+                vector = instance.budgets[(i, j)]
+                affordable: list[float] = []
+                for epsilon in vector.epsilons:
+                    if epsilon <= remaining + 1e-12:
+                        affordable.append(epsilon)
+                        remaining -= epsilon
+                    else:
+                        break
+                if affordable:
+                    kept.append(i)
+                    if len(affordable) < len(vector):
+                        changed = True
+                        budgets[(i, j)] = BudgetVector(tuple(affordable))
+                    else:
+                        budgets[(i, j)] = vector
+                    distances[(i, j)] = instance.distances[(i, j)]
+                else:
+                    changed = True
+            reachable.append(tuple(kept))
+        if not changed:
+            return instance
+        return ProblemInstance(
+            tasks=instance.tasks,
+            workers=instance.workers,
+            model=instance.model,
+            reachable=tuple(reachable),
+            distances=distances,
+            budgets=budgets,
+        )

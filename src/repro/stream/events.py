@@ -1,0 +1,135 @@
+"""Timestamped stream events and in-flight dispatch state.
+
+The online layer replaces the Section VII-B fixed-batch protocol with a
+continuous timeline: tasks and workers *arrive* at real-valued times,
+tasks carry a deadline after which they expire unserved, and workers go
+on duty cycles (busy while travelling to a won task, idle again after).
+
+Two event kinds cross the boundary between arrival generation
+(:mod:`repro.stream.arrivals`) and simulation
+(:mod:`repro.stream.simulator`):
+
+* :class:`TaskArrival` — a task released at ``time`` that must be
+  assigned before ``deadline``;
+* :class:`WorkerArrival` — a worker coming on duty at ``time`` with a
+  total privacy-budget capacity for their whole shift.
+
+:class:`OpenTask` and :class:`ActiveWorker` are the simulator's mutable
+views of the same records while they are live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TaskArrival",
+    "WorkerArrival",
+    "StreamEvent",
+    "OpenTask",
+    "ActiveWorker",
+    "merge_events",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskArrival:
+    """A task released into the stream at ``time``.
+
+    ``deadline`` is absolute (same clock as ``time``); a task still
+    unassigned when the clock passes it expires and may never be matched.
+    """
+
+    time: float
+    task: Task
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.deadline <= self.time:
+            raise ConfigurationError(
+                f"task {self.task.id}: deadline {self.deadline} must be after "
+                f"arrival {self.time}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerArrival:
+    """A worker coming on duty at ``time``.
+
+    ``budget_capacity`` caps the worker's *cumulative* published privacy
+    budget across every micro-batch of their shift (``inf`` = unlimited).
+    """
+
+    time: float
+    worker: Worker
+    budget_capacity: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.budget_capacity <= 0:
+            raise ConfigurationError(
+                f"worker {self.worker.id}: budget capacity must be positive, "
+                f"got {self.budget_capacity}"
+            )
+
+
+StreamEvent = TaskArrival | WorkerArrival
+
+
+@dataclass(slots=True)
+class OpenTask:
+    """A pending (released, not yet assigned or expired) task.
+
+    ``buffer_since`` is the wait-trigger clock: it starts at arrival and
+    restarts each time the task loses a micro-batch and returns to the
+    buffer, so an unlucky task paces re-flushes at ``max_wait`` instead of
+    forcing one on every subsequent event.  Latency is always measured
+    from ``arrival_time``.
+    """
+
+    task: Task
+    arrival_time: float
+    deadline: float
+    buffer_since: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.buffer_since < 0.0:
+            self.buffer_since = self.arrival_time
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+
+@dataclass(slots=True)
+class ActiveWorker:
+    """A worker currently on duty.
+
+    ``worker`` drifts over the shift: after serving a task the record is
+    replaced with one at that task's location.  ``busy_until`` is ``None``
+    while idle.  Budget capacity lives in the
+    :class:`~repro.stream.batcher.WorkerBudgetTracker`, not here.
+    """
+
+    worker: Worker
+    busy_until: float | None = field(default=None)
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_until is None
+
+
+def merge_events(*streams: "list[StreamEvent]") -> list[StreamEvent]:
+    """Merge event lists into one timeline, stably ordered by time.
+
+    Ties are broken by stream order then position, so a merged timeline is
+    deterministic for deterministic inputs.
+    """
+    tagged = [
+        (event.time, stream_index, position, event)
+        for stream_index, stream in enumerate(streams)
+        for position, event in enumerate(stream)
+    ]
+    tagged.sort(key=lambda entry: entry[:3])
+    return [entry[3] for entry in tagged]

@@ -1,0 +1,133 @@
+"""Streaming measures: latency, expiry, throughput, privacy over time.
+
+The offline measures (:mod:`repro.simulation.metrics`) average utility and
+distance over a fixed batch sequence.  Online dispatch adds the dimensions
+the paper's Section VII protocol holds constant:
+
+* **assignment latency** — clock time from a task's release to the flush
+  that assigned it (p50 / p95 / mean);
+* **expiry rate** — the fraction of released tasks whose deadline passed
+  unassigned;
+* **throughput** — assigned tasks per wall-clock second of solver work;
+* **privacy over time** — the cumulative published budget after every
+  micro-batch, per worker and in total (the streaming analogue of the
+  Theorem V.2 audit trail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FlushRecord", "StreamStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlushRecord:
+    """One micro-batch: what was flushed, solved and spent."""
+
+    index: int
+    time: float
+    pending_tasks: int
+    idle_workers: int
+    matched: int
+    solver_seconds: float
+    cumulative_privacy_spend: float
+
+
+@dataclass
+class StreamStats:
+    """Aggregate of one method over one event stream."""
+
+    method: str
+    arrived_tasks: int = 0
+    arrived_workers: int = 0
+    assigned: int = 0
+    expired: int = 0
+    leftover: int = 0
+    total_utility: float = 0.0
+    total_distance: float = 0.0
+    solver_seconds: float = 0.0
+    sim_duration: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    flushes: list[FlushRecord] = field(default_factory=list)
+    #: ``(time, cumulative total spend)`` after every flush — monotone.
+    privacy_timeline: list[tuple[float, float]] = field(default_factory=list)
+    per_worker_spend: dict[int, float] = field(default_factory=dict)
+
+    # -- derived measures --------------------------------------------------
+
+    @property
+    def resolved(self) -> int:
+        """Tasks with a final outcome (assigned or expired)."""
+        return self.assigned + self.expired
+
+    @property
+    def assignment_rate(self) -> float:
+        """Assigned fraction of all released tasks."""
+        return self.assigned / self.arrived_tasks if self.arrived_tasks else 0.0
+
+    @property
+    def expiry_rate(self) -> float:
+        """Expired fraction of all released tasks."""
+        return self.expired / self.arrived_tasks if self.arrived_tasks else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of assignment latency (0 if unmatched)."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def latency_p50(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def latency_p95(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def throughput_tasks_per_sec(self) -> float:
+        """Assigned tasks per wall-clock second of solver compute."""
+        if self.solver_seconds <= 0.0:
+            return 0.0
+        return self.assigned / self.solver_seconds
+
+    @property
+    def total_privacy_spend(self) -> float:
+        """Cumulative published budget at the end of the stream."""
+        return self.privacy_timeline[-1][1] if self.privacy_timeline else 0.0
+
+    @property
+    def average_utility(self) -> float:
+        return self.total_utility / self.assigned if self.assigned else 0.0
+
+    @property
+    def average_distance(self) -> float:
+        return self.total_distance / self.assigned if self.assigned else 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_flush(self, record: FlushRecord) -> None:
+        """Append one flush, enforcing the monotone-spend invariant."""
+        if self.privacy_timeline:
+            last = self.privacy_timeline[-1][1]
+            if record.cumulative_privacy_spend < last - 1e-9:
+                raise ConfigurationError(
+                    f"privacy spend went backwards: {last} -> "
+                    f"{record.cumulative_privacy_spend} at flush {record.index}"
+                )
+        self.flushes.append(record)
+        self.privacy_timeline.append(
+            (record.time, record.cumulative_privacy_spend)
+        )
+        self.solver_seconds += record.solver_seconds

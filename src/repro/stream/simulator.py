@@ -1,0 +1,294 @@
+"""Event-driven dispatch simulation over a continuous timeline.
+
+:class:`DispatchSimulator` advances a clock through a merged arrival
+stream and three kinds of internal timers:
+
+* **task arrival** — the task enters the micro-batch buffer; a flush
+  timer is armed ``max_wait`` ahead;
+* **worker arrival / rejoin** — the worker (re)joins the idle pool;
+* **flush** — if the buffer is full or its oldest task is overdue, the
+  pending tasks and the idle, non-retired workers become one
+  budget-capped :class:`ProblemInstance`, the configured solver runs on
+  it, and winners go on a service leg.
+
+Duty cycles: a worker who wins task ``t_i`` travels ``d_ij`` at
+``config.speed`` plus ``config.min_service`` overhead, is busy for that
+duration, then rejoins the idle pool *at the task's location* — fleet
+geography drifts with demand, as in real dispatch.
+
+Expiry is enforced at every flush: tasks whose deadline has passed are
+removed *before* instance construction, so an expired task can never be
+assigned.  Workers whose remaining shift budget is exhausted are retired
+from private solve pools (their vectors would be empty anyway; retiring
+them keeps instances small).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.budgets import BudgetSampler
+from repro.core.utility import UtilityModel
+from repro.datasets.workload import Worker
+from repro.errors import ConfigurationError
+from repro.stream.batcher import MicroBatcher, WorkerBudgetTracker
+from repro.stream.events import (
+    ActiveWorker,
+    OpenTask,
+    StreamEvent,
+    TaskArrival,
+    WorkerArrival,
+)
+from repro.stream.metrics import FlushRecord, StreamStats
+from repro.utils.rng import stable_hash
+
+if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
+    from repro.core.registry import Solver
+
+__all__ = ["StreamConfig", "DispatchSimulator"]
+
+# Heap tie-break priorities: pool updates land before flush decisions at
+# equal timestamps, so a flush sees every worker who is back by then.
+_PRIO_WORKER = 0
+_PRIO_REJOIN = 1
+_PRIO_TASK = 2
+_PRIO_FLUSH = 3
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of the online layer (micro-batching + duty cycles).
+
+    Parameters
+    ----------
+    max_batch_size, max_wait:
+        Flush triggers (see :class:`MicroBatcher`).
+    speed:
+        Worker travel speed in distance units per time unit; the service
+        leg for a win at distance ``d`` lasts ``min_service + d / speed``.
+    min_service:
+        Fixed per-assignment service overhead (pickup, handover).
+    relocate_workers:
+        Whether a worker rejoins at the served task's location (default)
+        or at their original position.
+    budget_sampler, model:
+        Per-flush instance parameters (Table X defaults when omitted).
+    """
+
+    max_batch_size: int = 200
+    max_wait: float = 0.25
+    speed: float = 20.0
+    min_service: float = 0.05
+    relocate_workers: bool = True
+    budget_sampler: BudgetSampler | None = None
+    model: UtilityModel | None = None
+
+    def __post_init__(self) -> None:
+        if not self.speed > 0:
+            raise ConfigurationError(f"speed must be positive, got {self.speed}")
+        if self.min_service < 0:
+            raise ConfigurationError(
+                f"min_service must be >= 0, got {self.min_service}"
+            )
+
+    def service_duration(self, distance: float) -> float:
+        """How long a worker is busy after winning at ``distance``."""
+        return self.min_service + distance / self.speed
+
+
+class DispatchSimulator:
+    """Run one solver over one event stream; collect :class:`StreamStats`."""
+
+    def __init__(
+        self,
+        solver: "Solver",
+        config: StreamConfig | None = None,
+        seed: int = 0,
+    ):
+        self.solver = solver
+        self.config = config or StreamConfig()
+        self.seed = seed
+        self.tracker = WorkerBudgetTracker()
+        self.batcher = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait=self.config.max_wait,
+            budget_sampler=self.config.budget_sampler,
+            model=self.config.model,
+        )
+        self._workers: dict[int, ActiveWorker] = {}
+        self._flush_index = 0
+        self.stats = StreamStats(method=solver.name)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, events: Iterable[StreamEvent]) -> StreamStats:
+        """Drive the solver through ``events``; return streaming stats."""
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, object]] = []
+        last_time = 0.0
+        for event in events:
+            if isinstance(event, TaskArrival):
+                heapq.heappush(heap, (event.time, _PRIO_TASK, next(counter), event))
+            elif isinstance(event, WorkerArrival):
+                heapq.heappush(heap, (event.time, _PRIO_WORKER, next(counter), event))
+            else:
+                raise ConfigurationError(f"unknown stream event {event!r}")
+            last_time = max(last_time, event.time)
+
+        while heap:
+            now, priority, _, payload = heapq.heappop(heap)
+            last_time = max(last_time, now)
+            self._expire_pending(now)
+            if priority == _PRIO_WORKER:
+                self._on_worker(payload)
+                # A returning fleet can unblock an overdue buffer.
+                if self.batcher.should_flush(now):
+                    self._flush(now, heap, counter)
+            elif priority == _PRIO_REJOIN:
+                self._on_rejoin(now, payload)
+                if self.batcher.should_flush(now):
+                    self._flush(now, heap, counter)
+            elif priority == _PRIO_TASK:
+                self._on_task(now, payload, heap, counter)
+            elif priority == _PRIO_FLUSH:
+                if self.batcher.should_flush(now):
+                    self._flush(now, heap, counter)
+
+        # Drain: anything still pending at the end either expired inside
+        # the horizon or is left unresolved (deadline beyond it).
+        self._expire_pending(last_time)
+        self.stats.leftover = len(self.batcher)
+        self.stats.sim_duration = last_time
+        return self.stats
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_task(self, now, arrival: TaskArrival, heap, counter) -> None:
+        self.stats.arrived_tasks += 1
+        self.batcher.add(
+            OpenTask(task=arrival.task, arrival_time=now, deadline=arrival.deadline)
+        )
+        if len(self.batcher) >= self.config.max_batch_size:
+            self._flush(now, heap, counter)
+        else:
+            due = now + self.config.max_wait
+            heapq.heappush(heap, (due, _PRIO_FLUSH, next(counter), None))
+
+    def _on_worker(self, arrival: WorkerArrival) -> None:
+        self.stats.arrived_workers += 1
+        worker = arrival.worker
+        if worker.id in self._workers:
+            raise ConfigurationError(f"worker id {worker.id} arrived twice")
+        self._workers[worker.id] = ActiveWorker(worker=worker)
+        if arrival.budget_capacity != float("inf"):
+            self.tracker.register(worker.id, arrival.budget_capacity)
+
+    def _on_rejoin(self, now: float, worker_id: int) -> None:
+        active = self._workers.get(worker_id)
+        if active is not None and active.busy_until is not None:
+            if active.busy_until <= now + 1e-12:
+                active.busy_until = None
+
+    def _expire_pending(self, now: float) -> None:
+        expired = self.batcher.expire(now)
+        self.stats.expired += len(expired)
+
+    # -- flushing ----------------------------------------------------------
+
+    def _idle_workers(self) -> list[Worker]:
+        """Idle, non-retired workers eligible for the next micro-batch.
+
+        A worker whose whole shift budget is spent can never publish again
+        under a private solver, so they are retired from the pool (for
+        non-private solvers spend stays zero and nobody retires).
+        """
+        pool = []
+        for active in self._workers.values():
+            if not active.idle:
+                continue
+            if self.solver.is_private and self.tracker.exhausted(active.worker.id):
+                continue
+            pool.append(active.worker)
+        pool.sort(key=lambda w: w.id)
+        return pool
+
+    def _flush(self, now: float, heap, counter) -> None:
+        self._expire_pending(now)
+        if not len(self.batcher):
+            return
+        workers = self._idle_workers()
+        if not workers:
+            # Tasks wait for the fleet; arm a sweep at the next deadline so
+            # expiry is recorded even if no other event advances the clock.
+            next_deadline = min(t.deadline for t in self.batcher.pending)
+            heapq.heappush(heap, (next_deadline + 1e-9, _PRIO_FLUSH, next(counter), None))
+            return
+        open_tasks = self.batcher.take_batch()
+        instance = self.batcher.build_instance(
+            open_tasks,
+            workers,
+            # The cap binds only methods that publish; non-private baselines
+            # never spend, and capping them would misprice the comparison.
+            tracker=self.tracker if self.solver.is_private else None,
+            seed=np.random.default_rng((self.seed, self._flush_index, 0x5EED)),
+        )
+        noise = np.random.default_rng(
+            (self.seed, self._flush_index, stable_hash(self.solver.name))
+        )
+        started = _time.perf_counter()
+        result = self.solver.solve(instance, seed=noise)
+        solver_seconds = _time.perf_counter() - started
+        self.tracker.charge(result.ledger)
+
+        by_id = {t.task.id: t for t in open_tasks}
+        unassigned = dict(by_id)
+        for pair in result.matched_pairs():
+            open_task = by_id[pair.task_id]
+            del unassigned[pair.task_id]
+            self.stats.assigned += 1
+            self.stats.latencies.append(now - open_task.arrival_time)
+            self.stats.total_utility += pair.utility
+            self.stats.total_distance += pair.distance
+            self._start_service(now, pair.worker_id, open_task, pair.distance, heap, counter)
+        # Losers return to the buffer and wait for the next flush.
+        self.batcher.restore(list(unassigned.values()), now)
+        if unassigned:
+            due = now + self.config.max_wait
+            heapq.heappush(heap, (due, _PRIO_FLUSH, next(counter), None))
+
+        self.stats.record_flush(
+            FlushRecord(
+                index=self._flush_index,
+                time=now,
+                pending_tasks=len(open_tasks),
+                idle_workers=len(workers),
+                matched=result.matched_count,
+                solver_seconds=solver_seconds,
+                cumulative_privacy_spend=self.tracker.total_spend(),
+            )
+        )
+        for worker_id in (w.id for w in workers):
+            spend = self.tracker.spent(worker_id)
+            if spend:
+                self.stats.per_worker_spend[worker_id] = spend
+        self._flush_index += 1
+
+    def _start_service(
+        self, now: float, worker_id: int, open_task: OpenTask, distance: float, heap, counter
+    ) -> None:
+        active = self._workers[worker_id]
+        rejoin_at = now + self.config.service_duration(distance)
+        active.busy_until = rejoin_at
+        if self.config.relocate_workers:
+            active.worker = Worker(
+                id=active.worker.id,
+                location=open_task.task.location,
+                radius=active.worker.radius,
+            )
+        heapq.heappush(heap, (rejoin_at, _PRIO_REJOIN, next(counter), worker_id))

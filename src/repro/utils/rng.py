@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rng"]
+__all__ = ["ensure_rng", "spawn_rng", "stable_hash"]
 
 
 def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -32,3 +32,16 @@ def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
     distinct, reproducible streams.
     """
     return np.random.default_rng(rng.integers(0, 2**63 - 1))
+
+
+def stable_hash(name: str) -> int:
+    """A process-independent small hash (builtin ``hash()`` is salted).
+
+    Both experiment runners derive per-(method, batch) noise streams from
+    this value, so it must stay identical across layers and processes for
+    results to reproduce.
+    """
+    value = 0
+    for ch in name:
+        value = (value * 131 + ord(ch)) % (2**31 - 1)
+    return value

@@ -50,6 +50,19 @@ class TestReleaseBoard:
         server.publish(0, 0, 1.4, 0.9)
         assert len(server.release_set(0, 0)) == 2
 
+    def test_reads_never_insert_board_entries(self, server_and_instance):
+        server, _ = server_and_instance
+        # Heavy query traffic over unpublished pairs must not bloat the
+        # board: only publish() may create entries.
+        for task_index in range(2):
+            for worker_index in range(2):
+                assert len(server.release_set(task_index, worker_index)) == 0
+                assert not server.has_releases(task_index, worker_index)
+        assert server.board() == {}
+        assert server._board == {}
+        server.publish(1, 1, 2.0, 0.6)
+        assert set(server._board) == {(1, 1)}
+
 
 class TestAllocationList:
     def test_assign_and_winner(self, server_and_instance):

@@ -1,0 +1,169 @@
+"""Unit tests for the arrival processes and workload materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.synthetic import NormalGenerator
+from repro.errors import ConfigurationError
+from repro.stream.arrivals import (
+    BurstyProcess,
+    PoissonProcess,
+    RushHourProcess,
+    StreamWorkload,
+    TraceProcess,
+)
+from repro.stream.events import TaskArrival, WorkerArrival
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestPoisson:
+    def test_times_sorted_within_horizon(self, rng):
+        process = PoissonProcess(rate=30.0, horizon=5.0)
+        times = process.times(rng)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 0) & (times < 5.0))
+
+    def test_count_tracks_rate(self, rng):
+        process = PoissonProcess(rate=100.0, horizon=10.0)
+        count = len(process.times(rng))
+        # 1000 expected, sd ~32; 5 sigma keeps the test deterministic-safe.
+        assert abs(count - 1000) < 160
+        assert process.expected_count() == pytest.approx(1000.0)
+
+    def test_zero_rate_means_zero_arrivals(self, rng):
+        assert len(PoissonProcess(rate=0.0, horizon=5.0).times(rng)) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=-1.0, horizon=5.0)
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=1.0, horizon=0.0)
+
+
+class TestRushHour:
+    def test_mass_concentrates_at_peak(self, rng):
+        process = RushHourProcess(
+            base_rate=2.0, peak_rate=80.0, horizon=24.0, peaks=(8.5,), width=1.0
+        )
+        times = process.times(rng)
+        near_peak = np.sum(np.abs(times - 8.5) < 2.0)
+        far_window = np.sum(np.abs(times - 20.0) < 2.0)
+        assert near_peak > 5 * max(far_window, 1)
+
+    def test_rate_function_peaks(self):
+        process = RushHourProcess(
+            base_rate=1.0, peak_rate=10.0, horizon=24.0, peaks=(8.5, 18.0)
+        )
+        assert process.rate_at(8.5) > process.rate_at(13.0)
+        assert process.rate_at(18.0) > process.rate_at(23.0)
+
+    def test_expected_count_close_to_sampled_mean(self):
+        process = RushHourProcess(
+            base_rate=5.0, peak_rate=40.0, horizon=24.0, peaks=(8.5, 18.0)
+        )
+        counts = [
+            len(process.times(np.random.default_rng(s))) for s in range(20)
+        ]
+        assert np.mean(counts) == pytest.approx(process.expected_count(), rel=0.15)
+
+
+class TestBursty:
+    def test_arrivals_cluster(self, rng):
+        process = BurstyProcess(
+            burst_rate=3.0, mean_burst_size=10.0, horizon=10.0, burst_span=0.02
+        )
+        times = process.times(rng)
+        assert len(times) > 30
+        gaps = np.diff(times)
+        # Most consecutive gaps sit inside a burst span, not between bursts.
+        assert np.mean(gaps < 0.05) > 0.5
+
+    def test_times_inside_horizon(self, rng):
+        process = BurstyProcess(burst_rate=5.0, mean_burst_size=4.0, horizon=2.0)
+        times = process.times(rng)
+        assert np.all((times >= 0) & (times < 2.0))
+        assert np.all(np.diff(times) >= 0)
+
+
+class TestTrace:
+    def test_replays_given_times(self, rng):
+        process = TraceProcess([3.0, 1.0, 2.0])
+        assert process.times(rng).tolist() == [1.0, 2.0, 3.0]
+        assert process.expected_count() == 3.0
+
+    def test_horizon_clips(self, rng):
+        process = TraceProcess([0.5, 1.5, 2.5], horizon=2.0)
+        assert process.times(rng).tolist() == [0.5, 1.5]
+
+    def test_from_chengdu_replays_release_times(self):
+        generator = ChengduLikeGenerator(num_tasks=50, num_workers=100, seed=4)
+        process = TraceProcess.from_chengdu(generator, seed=4)
+        reference = sorted(
+            t.release_time for t in generator.tasks(4.5, np.random.default_rng(4))
+        )
+        assert process.horizon == 24.0
+        assert process.times(np.random.default_rng(0)).tolist() == pytest.approx(
+            reference
+        )
+
+    def test_from_chengdu_horizon_clips_the_day(self):
+        generator = ChengduLikeGenerator(num_tasks=50, num_workers=100, seed=4)
+        rng = np.random.default_rng(0)
+        full = TraceProcess.from_chengdu(generator, seed=4).times(rng).tolist()
+        morning = TraceProcess.from_chengdu(generator, seed=4, horizon=12.0)
+        assert morning.horizon == 12.0
+        assert morning.times(rng).tolist() == [t for t in full if t < 12.0]
+
+
+class TestStreamWorkload:
+    @pytest.fixture
+    def workload(self):
+        return StreamWorkload(
+            task_process=PoissonProcess(rate=20.0, horizon=2.0),
+            worker_process=PoissonProcess(rate=10.0, horizon=2.0),
+            spatial=NormalGenerator(num_tasks=100, num_workers=200, seed=1),
+            initial_workers=5,
+            task_deadline=0.5,
+            worker_budget=12.0,
+            seed=9,
+        )
+
+    def test_timeline_is_time_ordered(self, workload):
+        events = workload.events()
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_initial_fleet_at_time_zero(self, workload):
+        events = workload.events()
+        at_zero = [e for e in events if isinstance(e, WorkerArrival) and e.time == 0.0]
+        assert len(at_zero) >= 5
+
+    def test_ids_unique_and_payloads_consistent(self, workload):
+        events = workload.events()
+        task_ids = [e.task.id for e in events if isinstance(e, TaskArrival)]
+        worker_ids = [e.worker.id for e in events if isinstance(e, WorkerArrival)]
+        assert len(set(task_ids)) == len(task_ids)
+        assert len(set(worker_ids)) == len(worker_ids)
+        for event in events:
+            if isinstance(event, TaskArrival):
+                assert event.deadline == pytest.approx(event.time + 0.5)
+                assert event.task.release_time == pytest.approx(event.time)
+            else:
+                assert event.budget_capacity == 12.0
+                assert event.worker.radius == 1.4
+
+    def test_deterministic_per_seed(self, workload):
+        first = workload.events(seed=3)
+        second = workload.events(seed=3)
+        different = workload.events(seed=4)
+        assert [(e.time, type(e).__name__) for e in first] == [
+            (e.time, type(e).__name__) for e in second
+        ]
+        assert [(e.time, type(e).__name__) for e in first] != [
+            (e.time, type(e).__name__) for e in different
+        ]

@@ -1,0 +1,165 @@
+"""Unit tests for micro-batching and cross-flush budget accounting."""
+
+import pytest
+
+from repro.core.budgets import BudgetSampler
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError
+from repro.privacy.accountant import PrivacyLedger
+from repro.spatial.geometry import Point
+from repro.stream.batcher import MicroBatcher, WorkerBudgetTracker
+from repro.stream.events import OpenTask
+
+
+def open_task(task_id, x=0.0, y=0.0, arrival=0.0, deadline=10.0):
+    return OpenTask(
+        task=Task(id=task_id, location=Point(x, y), value=4.5),
+        arrival_time=arrival,
+        deadline=deadline,
+    )
+
+
+def worker(worker_id, x=0.0, y=0.0, radius=5.0):
+    return Worker(id=worker_id, location=Point(x, y), radius=radius)
+
+
+class TestTriggers:
+    def test_size_trigger(self):
+        batcher = MicroBatcher(max_batch_size=3, max_wait=100.0)
+        for i in range(2):
+            batcher.add(open_task(i))
+        assert not batcher.should_flush(now=0.0)
+        batcher.add(open_task(2))
+        assert batcher.should_flush(now=0.0)
+
+    def test_wait_trigger_follows_oldest(self):
+        batcher = MicroBatcher(max_batch_size=100, max_wait=0.5)
+        batcher.add(open_task(0, arrival=1.0))
+        batcher.add(open_task(1, arrival=2.0))
+        assert batcher.flush_deadline() == pytest.approx(1.5)
+        assert not batcher.should_flush(now=1.4)
+        assert batcher.should_flush(now=1.5)
+
+    def test_restore_restarts_wait_clock(self):
+        batcher = MicroBatcher(max_batch_size=100, max_wait=0.5)
+        loser = open_task(0, arrival=1.0)
+        batcher.add(loser)
+        taken = batcher.take_batch()
+        assert not len(batcher)
+        batcher.restore(taken, now=3.0)
+        # Latency still measures from arrival, but the flush clock reset.
+        assert loser.arrival_time == 1.0
+        assert batcher.flush_deadline() == pytest.approx(3.5)
+
+    def test_expire_drops_past_deadline(self):
+        batcher = MicroBatcher()
+        batcher.add(open_task(0, deadline=1.0))
+        batcher.add(open_task(1, deadline=5.0))
+        expired = batcher.expire(now=2.0)
+        assert [t.task.id for t in expired] == [0]
+        assert [t.task.id for t in batcher.pending] == [1]
+
+    def test_take_batch_oldest_first_capped(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait=1.0)
+        batcher.add(open_task(0, arrival=3.0))
+        batcher.add(open_task(1, arrival=1.0))
+        batcher.add(open_task(2, arrival=2.0))
+        batch = batcher.take_batch()
+        assert [t.task.id for t in batch] == [1, 2]
+        assert [t.task.id for t in batcher.pending] == [0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_wait=0.0)
+
+
+class TestWorkerBudgetTracker:
+    def test_remaining_decreases_with_charges(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(7, 5.0)
+        ledger = PrivacyLedger()
+        ledger.record(7, 0, 1.5)
+        ledger.record(7, 1, 2.0)
+        tracker.charge(ledger)
+        assert tracker.spent(7) == pytest.approx(3.5)
+        assert tracker.remaining(7) == pytest.approx(1.5)
+        assert not tracker.exhausted(7)
+        assert tracker.exhausted(7, floor=1.5)
+
+    def test_unregistered_worker_is_unlimited(self):
+        tracker = WorkerBudgetTracker()
+        assert tracker.remaining(3) == float("inf")
+        assert not tracker.exhausted(3)
+
+    def test_overspend_raises(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(7, 1.0)
+        ledger = PrivacyLedger()
+        ledger.record(7, 0, 2.0)
+        with pytest.raises(ConfigurationError, match="exceeded shift budget"):
+            tracker.charge(ledger)
+
+    def test_charges_accumulate_across_flushes(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(7, 10.0)
+        for _ in range(3):
+            ledger = PrivacyLedger()
+            ledger.record(7, 0, 2.0)
+            tracker.charge(ledger)
+        assert tracker.spent(7) == pytest.approx(6.0)
+        assert tracker.total_spend() == pytest.approx(6.0)
+
+
+class TestBudgetCappedInstances:
+    def setup_method(self):
+        self.batcher = MicroBatcher(
+            budget_sampler=BudgetSampler(low=1.0, high=1.0, group_size=3)
+        )
+        self.tasks = [open_task(0, x=0.0), open_task(1, x=1.0)]
+        self.workers = [worker(0, x=0.5)]
+
+    def test_uncapped_when_tracker_is_none(self):
+        instance = self.batcher.build_instance(self.tasks, self.workers, None, seed=0)
+        assert instance.reachable[0] == (0, 1)
+        # Both pairs keep their full Z=3 vectors (3.0 each, 6.0 total).
+        assert instance.budget_vector(0, 0).total == pytest.approx(3.0)
+
+    def test_worst_case_spend_fits_remaining(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(0, 4.0)
+        instance = self.batcher.build_instance(
+            self.tasks, self.workers, tracker, seed=0
+        )
+        total = sum(
+            instance.budget_vector(i, j).total for i, j in instance.feasible_pairs()
+        )
+        assert total <= 4.0 + 1e-9
+        # First pair affordable in full, second truncated to the remainder.
+        assert instance.budget_vector(0, 0).total == pytest.approx(3.0)
+        assert instance.budget_vector(1, 0).total == pytest.approx(1.0)
+
+    def test_exhausted_worker_loses_all_pairs(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(0, 0.5)  # below the cheapest single element
+        instance = self.batcher.build_instance(
+            self.tasks, self.workers, tracker, seed=0
+        )
+        assert instance.reachable[0] == ()
+        assert instance.num_feasible_pairs == 0
+
+    def test_partial_spend_carries_forward(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(0, 4.0)
+        ledger = PrivacyLedger()
+        ledger.record(0, 0, 2.5)
+        tracker.charge(ledger)
+        instance = self.batcher.build_instance(
+            self.tasks, self.workers, tracker, seed=0
+        )
+        assert tracker.remaining(0) == pytest.approx(1.5)
+        total = sum(
+            instance.budget_vector(i, j).total for i, j in instance.feasible_pairs()
+        )
+        assert total <= tracker.remaining(0) + 1e-9

@@ -1,0 +1,150 @@
+"""Stream edge cases: empty streams, mass expiry, drained fleets, budgets."""
+
+import pytest
+
+from repro.datasets.synthetic import NormalGenerator
+from repro.stream.arrivals import PoissonProcess, StreamWorkload
+from repro.stream.runner import StreamRunner
+from repro.stream.simulator import StreamConfig
+
+
+def _spatial(seed=1):
+    return NormalGenerator(num_tasks=100, num_workers=200, seed=seed)
+
+
+def _run(workload, methods=("PUCE",), config=None, seed=0):
+    runner = StreamRunner(list(methods), config=config or StreamConfig())
+    return runner.run_workload(workload, seed=seed)
+
+
+class TestZeroArrivals:
+    def test_empty_stream_is_a_clean_noop(self):
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=0.0, horizon=2.0),
+            worker_process=PoissonProcess(rate=0.0, horizon=2.0),
+            spatial=_spatial(),
+            initial_workers=0,
+        )
+        stats = _run(workload)["PUCE"]
+        assert stats.arrived_tasks == 0
+        assert stats.arrived_workers == 0
+        assert stats.assigned == stats.expired == stats.leftover == 0
+        assert stats.flushes == []
+        assert stats.total_privacy_spend == 0.0
+        assert stats.latency_p50 == stats.latency_p95 == 0.0
+        assert stats.expiry_rate == 0.0
+
+    def test_workers_but_no_tasks(self):
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=0.0, horizon=2.0),
+            worker_process=PoissonProcess(rate=5.0, horizon=2.0),
+            spatial=_spatial(),
+            initial_workers=3,
+        )
+        stats = _run(workload)["PUCE"]
+        assert stats.arrived_workers > 0
+        assert stats.arrived_tasks == 0
+        assert stats.flushes == []
+
+
+class TestMassExpiry:
+    def test_all_tasks_expire_before_the_first_flush(self):
+        # Patience far below the flush wait: every task dies in the buffer.
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=20.0, horizon=1.0),
+            worker_process=PoissonProcess(rate=0.0, horizon=1.0),
+            spatial=_spatial(),
+            initial_workers=10,
+            task_deadline=0.01,
+        )
+        stats = _run(
+            workload, config=StreamConfig(max_batch_size=1000, max_wait=5.0)
+        )["PUCE"]
+        assert stats.arrived_tasks > 0
+        assert stats.assigned == 0
+        assert stats.expired == stats.arrived_tasks
+        assert stats.expiry_rate == 1.0
+        assert all(flush.matched == 0 for flush in stats.flushes)
+
+    def test_no_workers_ever_tasks_expire_inside_horizon(self):
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=15.0, horizon=2.0),
+            worker_process=PoissonProcess(rate=0.0, horizon=2.0),
+            spatial=_spatial(),
+            initial_workers=0,
+            task_deadline=0.2,
+        )
+        stats = _run(workload, config=StreamConfig(max_wait=0.1))["PUCE"]
+        assert stats.arrived_tasks > 0
+        assert stats.assigned == 0
+        # The deadline sweep records expiry even with no fleet at all.
+        assert stats.expired == stats.arrived_tasks
+        assert stats.leftover == 0
+
+
+class TestFleetDrain:
+    def test_pool_drains_to_empty_and_recovers_nothing(self):
+        # Two workers, near-zero travel speed: each win occupies a worker
+        # for far longer than the stream, so the pool drains permanently.
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=25.0, horizon=1.5),
+            worker_process=PoissonProcess(rate=0.0, horizon=1.5),
+            spatial=_spatial(),
+            initial_workers=2,
+            task_deadline=0.3,
+        )
+        config = StreamConfig(max_batch_size=5, max_wait=0.05, speed=1e-6)
+        stats = _run(workload, config=config)["PUCE"]
+        assert 0 < stats.assigned <= 2
+        assert stats.expired > 0
+        assert stats.arrived_tasks == stats.assigned + stats.expired + stats.leftover
+
+
+class TestBudgetExhaustion:
+    def test_private_solver_starves_when_budget_runs_out(self):
+        # Tiny shift budgets: private workers burn out mid-stream, while the
+        # non-private counterpart (which never publishes) keeps dispatching.
+        # Full coverage + instant service make budget the *only* constraint.
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=30.0, horizon=2.0),
+            worker_process=PoissonProcess(rate=0.0, horizon=2.0),
+            spatial=_spatial(seed=6),
+            initial_workers=12,
+            worker_range=50.0,
+            task_deadline=0.5,
+            worker_budget=3.0,
+            seed=6,
+        )
+        config = StreamConfig(
+            max_batch_size=20, max_wait=0.1, speed=1e9, min_service=0.0
+        )
+        report = _run(workload, methods=("PUCE", "UCE"), config=config, seed=6)
+
+        puce, uce = report["PUCE"], report["UCE"]
+        assert puce.total_privacy_spend > 0.0
+        for worker_id, spend in puce.per_worker_spend.items():
+            assert spend <= 3.0 + 1e-9, (worker_id, spend)
+        # Exhaustion bites: the private method completes strictly fewer
+        # assignments than its unconstrained counterpart.
+        assert puce.assigned < uce.assigned
+        # Spend saturates: the last flushes add (almost) nothing.
+        timeline = [spend for _, spend in puce.privacy_timeline]
+        assert timeline[-1] <= 12 * 3.0 + 1e-9
+
+    def test_budget_floor_below_cheapest_element_blocks_all_publishing(self):
+        # Capacity below the cheapest possible epsilon: no private worker
+        # can ever afford a single release, so nothing is ever assigned.
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=10.0, horizon=1.0),
+            worker_process=PoissonProcess(rate=0.0, horizon=1.0),
+            spatial=_spatial(),
+            initial_workers=8,
+            worker_range=50.0,
+            task_deadline=0.5,
+            worker_budget=0.2,  # BudgetSampler default low is 0.5
+        )
+        config = StreamConfig(speed=1e9, min_service=0.0)
+        report = _run(workload, methods=("PUCE", "UCE"), config=config)
+        assert report["PUCE"].assigned == 0
+        assert report["PUCE"].total_privacy_spend == 0.0
+        assert report["UCE"].assigned > 0

@@ -1,0 +1,145 @@
+"""End-to-end streaming runs: multiple solvers over shared timelines."""
+
+import pytest
+
+from repro.datasets.chengdu import ChengduLikeGenerator
+from repro.datasets.synthetic import NormalGenerator
+from repro.errors import ConfigurationError
+from repro.stream.arrivals import PoissonProcess, StreamWorkload, TraceProcess
+from repro.stream.runner import StreamRunner
+from repro.stream.simulator import StreamConfig
+
+WORKER_BUDGET = 25.0
+DEADLINE = 1.0
+
+
+@pytest.fixture(scope="module")
+def poisson_workload():
+    return StreamWorkload(
+        task_process=PoissonProcess(rate=30.0, horizon=2.0),
+        worker_process=PoissonProcess(rate=10.0, horizon=2.0),
+        spatial=NormalGenerator(num_tasks=150, num_workers=300, seed=3),
+        initial_workers=40,
+        task_deadline=DEADLINE,
+        worker_budget=WORKER_BUDGET,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def poisson_report(poisson_workload):
+    runner = StreamRunner(
+        ["PUCE", "UCE", "GRD"],
+        config=StreamConfig(max_batch_size=25, max_wait=0.2),
+    )
+    return runner.run_workload(poisson_workload, seed=7)
+
+
+@pytest.fixture(scope="module")
+def trace_report():
+    generator = ChengduLikeGenerator(num_tasks=80, num_workers=160, seed=2)
+    workload = StreamWorkload(
+        task_process=TraceProcess.from_chengdu(generator, seed=2),
+        worker_process=PoissonProcess(rate=2.0, horizon=24.0),
+        spatial=generator,
+        initial_workers=40,
+        task_deadline=2.0,
+        worker_budget=WORKER_BUDGET,
+        seed=2,
+    )
+    runner = StreamRunner(
+        ["PUCE", "UCE"], config=StreamConfig(max_batch_size=30, max_wait=0.4)
+    )
+    return runner.run_workload(workload, seed=2)
+
+
+def _check_stream_invariants(stats, deadline, budget):
+    # Conservation: every released task has exactly one outcome.
+    assert stats.arrived_tasks == stats.assigned + stats.expired + stats.leftover
+    # An expired task is never assigned: an assignment at latency > patience
+    # would mean the flush served a task past its deadline.
+    for latency in stats.latencies:
+        assert 0.0 <= latency <= deadline + 1e-9
+    # Cumulative privacy spend is monotone across micro-batches...
+    timeline = [spend for _, spend in stats.privacy_timeline]
+    assert all(b >= a - 1e-9 for a, b in zip(timeline, timeline[1:]))
+    # ...and no worker ever exceeds their configured shift budget.
+    for worker_id, spend in stats.per_worker_spend.items():
+        assert spend <= budget + 1e-9, (worker_id, spend)
+
+
+class TestPoissonStream:
+    def test_methods_all_process_the_same_arrivals(self, poisson_report):
+        arrivals = {
+            poisson_report[m].arrived_tasks for m in poisson_report.methods()
+        }
+        workers = {
+            poisson_report[m].arrived_workers for m in poisson_report.methods()
+        }
+        assert len(arrivals) == 1 and arrivals != {0}
+        assert len(workers) == 1
+
+    def test_stream_invariants_hold_for_every_method(self, poisson_report):
+        for method in poisson_report.methods():
+            _check_stream_invariants(
+                poisson_report[method], DEADLINE, WORKER_BUDGET
+            )
+
+    def test_meaningful_dispatch_happened(self, poisson_report):
+        for method in poisson_report.methods():
+            stats = poisson_report[method]
+            assert stats.assigned > 0
+            assert len(stats.flushes) > 1
+            assert stats.throughput_tasks_per_sec > 0
+            assert 0.0 <= stats.latency_p50 <= stats.latency_p95
+
+    def test_private_method_spends_nonprivate_does_not(self, poisson_report):
+        assert poisson_report["PUCE"].total_privacy_spend > 0.0
+        assert poisson_report["UCE"].total_privacy_spend == 0.0
+        assert poisson_report["GRD"].total_privacy_spend == 0.0
+
+    def test_privacy_costs_utility_online(self, poisson_report):
+        # The streaming analogue of U_RD > 0: the non-private counterpart
+        # achieves at least the private method's average utility.
+        assert (
+            poisson_report["UCE"].average_utility
+            >= poisson_report["PUCE"].average_utility
+        )
+
+    def test_reproducible_per_seed(self, poisson_workload):
+        runner = StreamRunner(
+            ["PUCE"], config=StreamConfig(max_batch_size=25, max_wait=0.2)
+        )
+        first = runner.run_workload(poisson_workload, seed=7)["PUCE"]
+        second = runner.run_workload(poisson_workload, seed=7)["PUCE"]
+        assert first.assigned == second.assigned
+        assert first.latencies == second.latencies
+        assert first.privacy_timeline == second.privacy_timeline
+        assert first.total_utility == pytest.approx(second.total_utility)
+
+
+class TestTraceStream:
+    def test_stream_invariants_hold(self, trace_report):
+        for method in trace_report.methods():
+            _check_stream_invariants(trace_report[method], 2.0, WORKER_BUDGET)
+
+    def test_both_solvers_dispatch_over_the_day(self, trace_report):
+        for method in trace_report.methods():
+            stats = trace_report[method]
+            assert stats.assigned > 0
+            # Activity spans the day; trailing deadline sweeps and service
+            # legs may run a little past the 24h arrival horizon.
+            assert 12.0 <= stats.sim_duration <= 27.0
+            assert len(stats.flushes) > 1
+
+
+class TestStreamReport:
+    def test_unknown_method_raises(self, poisson_report):
+        with pytest.raises(ConfigurationError, match="not in report"):
+            poisson_report["nope"]
+
+    def test_runner_rejects_empty_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            StreamRunner([])
+        with pytest.raises(ConfigurationError):
+            StreamRunner(["PUCE", "PUCE"])
