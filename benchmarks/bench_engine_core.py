@@ -1,0 +1,114 @@
+"""Solver-core throughput: vectorized vs scalar WorkerProposal sweeps.
+
+The conflict-elimination engine is the hot path of every method in the
+paper and of every micro-batch flush in the streaming layer.  This bench
+pins its throughput trajectory across PRs: each engine solves the
+``bench_scaling``-sized instances with both sweep implementations, and
+the measured series — wall time, feasible-pairs-per-second, and the
+vectorized/scalar speedup — is written to ``BENCH_core.json`` at the
+repository root.
+
+Scale knobs: ``REPRO_BENCH_CORE_SIZES`` (comma-separated task counts,
+default ``100,200,400``) and ``REPRO_BENCH_SMOKE=1``, which also skips
+the speedup-threshold assertion so CI can smoke-run the bench on a tiny
+instance and fail only on errors, not timing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import bench_seed, emit_table, min_time
+from repro.core.nonprivate import DCESolver, UCESolver
+from repro.core.pdce import PDCESolver
+from repro.core.puce import PUCESolver
+from repro.experiments.sweeps import make_generator
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+ENGINES = (
+    ("PUCE", lambda sweep: PUCESolver(sweep=sweep)),
+    ("PDCE", lambda sweep: PDCESolver(sweep=sweep)),
+    ("UCE", lambda sweep: UCESolver(sweep=sweep)),
+    ("DCE", lambda sweep: DCESolver(sweep=sweep)),
+)
+
+
+def _sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_CORE_SIZES", "100,200,400")
+    return tuple(int(s) for s in raw.split(",") if s.strip())
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+@pytest.fixture(scope="module")
+def core_rows():
+    rows = []
+    for size in _sizes():
+        generator = make_generator("normal", size, 2 * size, bench_seed())
+        instance = generator.instance()
+        for method, factory in ENGINES:
+            vectorized = min_time(factory("vectorized"), instance)
+            scalar = min_time(factory("scalar"), instance)
+            rows.append(
+                {
+                    "method": method,
+                    "tasks": size,
+                    "pairs": instance.num_feasible_pairs,
+                    "scalar_seconds": scalar,
+                    "vectorized_seconds": vectorized,
+                    "scalar_pairs_per_sec": instance.num_feasible_pairs / scalar,
+                    "vectorized_pairs_per_sec": instance.num_feasible_pairs
+                    / vectorized,
+                    "speedup": scalar / vectorized,
+                }
+            )
+    return rows
+
+
+def test_engine_core_throughput(core_rows):
+    """Record the sweep throughput baseline; gate on the 3x speedup."""
+    for r in core_rows:
+        assert r["vectorized_seconds"] > 0 and r["scalar_seconds"] > 0
+    if _smoke():
+        # Smoke mode exists to catch errors on a tiny instance in CI; it
+        # must neither overwrite the tracked baseline artifacts nor gate
+        # on timings.
+        return
+
+    lines = ["method  tasks   pairs  scalar_ms  vector_ms  speedup"]
+    for r in core_rows:
+        lines.append(
+            f"{r['method']:<6} {r['tasks']:>6} {r['pairs']:>7} "
+            f"{1000 * r['scalar_seconds']:>10.1f} "
+            f"{1000 * r['vectorized_seconds']:>10.1f} {r['speedup']:>8.2f}"
+        )
+    emit_table("engine_core", "\n".join(lines))
+
+    geomean = math.exp(
+        sum(math.log(r["speedup"]) for r in core_rows) / len(core_rows)
+    )
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "seed": bench_seed(),
+                "sizes": list(_sizes()),
+                "geomean_speedup": geomean,
+                "rows": core_rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The refactor's acceptance bar: the vectorized sweeps must deliver
+    # >= 3x solver throughput over the scalar reference engine across the
+    # bench_scaling-sized instances (geometric mean over methods/sizes).
+    assert geomean >= 3.0, [round(r["speedup"], 2) for r in core_rows]

@@ -2,13 +2,17 @@
 
 Paper claims: running time grows with the worker ratio on every dataset,
 and PGT runs 50-63% below PDCE (52-63% on chengdu, 50-63% on normal).
-"""
 
-import time
+The cross-method timing claims are about the *paper's* per-proposal
+implementation model, so they are checked against the engines' scalar
+reference sweep; the default vectorized sweep has since made PUCE/PDCE
+faster than PGT outright (see ``bench_engine_core.py``).
+"""
 
 import pytest
 
-from benchmarks.conftest import bench_seed, bench_tasks, run_group
+from benchmarks.conftest import bench_seed, bench_tasks, min_time, run_group
+from repro.core.pdce import PDCESolver
 from repro.core.registry import make_solver
 from repro.experiments.sweeps import SweepConfig, make_generator
 
@@ -26,15 +30,6 @@ def _default_instance(dataset):
     return generator.instance(
         task_value=config.task_value, worker_range=config.worker_range
     )
-
-
-def _min_time(solver, instance, repeats=3):
-    best = float("inf")
-    for trial in range(repeats):
-        start = time.perf_counter()
-        solver.solve(instance, seed=1000 + trial)
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 @pytest.mark.parametrize("dataset", ["chengdu", "normal", "uniform"])
@@ -55,13 +50,15 @@ def test_fig04_time_vs_ratio(benchmark, figure, dataset):
     puce = figure.series(dataset, "PUCE")
     assert puce[-1] > puce[0], "private time should grow with worker ratio"
 
-    # Shape 2 (headline): PGT beats PDCE on stable min-of-N timings.
-    pgt_time = _min_time(make_solver("PGT"), instance)
-    pdce_time = _min_time(make_solver("PDCE"), instance)
+    # Shape 2 (headline): PGT beats PDCE on stable min-of-N timings —
+    # against the scalar reference sweep, the paper's implementation
+    # model (the vectorized default inverts this ordering).
+    pgt_time = min_time(make_solver("PGT"), instance, seed_base=1000)
+    pdce_time = min_time(PDCESolver(sweep="scalar"), instance, seed_base=1000)
     ratio = pgt_time / pdce_time
     assert ratio < 0.85, f"PGT/PDCE time ratio {ratio:.2f} on {dataset}"
 
     # Shape 3: non-private baselines are cheaper than their private twins.
-    uce_time = _min_time(make_solver("UCE"), instance)
-    puce_time = _min_time(make_solver("PUCE"), instance)
+    uce_time = min_time(make_solver("UCE"), instance, seed_base=1000)
+    puce_time = min_time(make_solver("PUCE"), instance, seed_base=1000)
     assert uce_time < puce_time

@@ -40,6 +40,18 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
+def min_time(solver, instance, repeats: int = 3, seed_base: int = 0) -> float:
+    """Best-of-N wall time of one solve (the benches' timing discipline)."""
+    import time
+
+    best = float("inf")
+    for trial in range(repeats):
+        start = time.perf_counter()
+        solver.solve(instance, seed=seed_base + trial)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def emit_table(name: str, text: str) -> None:
     """Persist one measured table and queue it for the summary."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -13,7 +13,7 @@ accuracy — the shape of the worked examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -134,3 +134,15 @@ class BudgetSampler:
         if self.sort_ascending:
             draws = np.sort(draws)
         return BudgetVector(tuple(float(x) for x in draws))
+
+    def sample_matrix(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` budget vectors as a ``(count, Z)`` array.
+
+        One batched ``uniform`` call fills the array in the same order as
+        ``count`` successive :meth:`sample` calls, so the generator stream
+        (and therefore every seeded instance) is unchanged by batching.
+        """
+        draws = rng.uniform(self.low, self.high, size=(count, self.group_size))
+        if self.sort_ascending:
+            draws = np.sort(draws, axis=1)
+        return draws

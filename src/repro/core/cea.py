@@ -28,8 +28,7 @@ PCF decisions by Lemma X.1, so the same code serves both modes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Mapping, NamedTuple, Sequence
 
 __all__ = ["Candidate", "rank_candidates", "conflict_eliminate", "resolve_top_conflicts"]
 
@@ -37,9 +36,13 @@ TaskKey = Hashable
 WorkerKey = Hashable
 
 
-@dataclass(frozen=True, slots=True)
-class Candidate:
-    """One candidate worker for a task, with its comparison key."""
+class Candidate(NamedTuple):
+    """One candidate worker for a task, with its comparison key.
+
+    A named tuple rather than a dataclass: the engines construct one per
+    surviving proposal per round, and tuple construction is measurably
+    cheaper on that path.
+    """
 
     worker: WorkerKey
     key: float
@@ -158,24 +161,26 @@ def _keeper_task(
     )
 
 
+class _Reversed:
+    """Order-inverting wrapper around an :func:`_order_token`."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token):
+        self.token = token
+
+    def __lt__(self, other):
+        return self.token > other.token
+
+    def __gt__(self, other):
+        return self.token < other.token
+
+    def __eq__(self, other):
+        return self.token == other.token
+
+
 def _neg_order(task: TaskKey):
     """Inverse order token so max() breaks ties toward the smallest task."""
-
-    class _Reversed:
-        __slots__ = ("token",)
-
-        def __init__(self, token):
-            self.token = token
-
-        def __lt__(self, other):
-            return self.token > other.token
-
-        def __gt__(self, other):
-            return self.token < other.token
-
-        def __eq__(self, other):
-            return self.token == other.token
-
     return _Reversed(_order_token(task))
 
 

@@ -19,7 +19,7 @@ accurate release), then the most recent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = ["Release", "EffectivePair", "ReleaseSet", "effective_pair_of"]

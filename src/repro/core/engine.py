@@ -28,11 +28,25 @@ Fidelity notes (see DESIGN.md §3): utilities are evaluated against the
 worker's round-start spend plus the tentative budget (matching Table IV);
 candidates' comparison keys are frozen at proposal time; CEA losers are
 not auto-assigned (Example 2).
+
+Two sweep implementations share this protocol.  The vectorized sweep
+(``sweep="vectorized"``) evaluates the WorkerProposal gates as boolean
+masks over the instance's CSR pair arrays (:mod:`repro.core.sweep`),
+dropping to the scalar per-pair path only for pairs that survive gating
+and must publish.  ``sweep="scalar"`` is the original agent-at-a-time
+reference.  The default, ``sweep="auto"``, picks per instance:
+vectorized, except for non-private policies on instances below
+``VECTOR_MIN_PAIRS`` feasible pairs (streaming micro-batches), which run
+scalar.  Both produce bit-identical results (the property tests assert
+it), and solvers that override any scalar proposal hook
+(``_build_agents`` — the Table IV-VIII replay harnesses that preload
+noise draws — ``_worker_proposal``, ``_evaluate_pair``,
+``_beats_winner_private``, ``_incumbent_entry``) automatically use the
+scalar path.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
 from typing import Literal
@@ -43,6 +57,7 @@ from repro.core.agents import WorkerAgent, build_agents
 from repro.core.cea import Candidate, resolve_top_conflicts
 from repro.core.compare import pcf, ppcf
 from repro.core.result import AssignmentResult
+from repro.core.sweep import VectorSweep
 from repro.core.transform import adjusted_rival_distance, comparison_key, public_value
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.simulation.instance import ProblemInstance
@@ -97,13 +112,39 @@ class EliminationPolicy:
 
 
 class ConflictEliminationSolver:
-    """Round-based solver parameterised by an :class:`EliminationPolicy`."""
+    """Round-based solver parameterised by an :class:`EliminationPolicy`.
 
-    def __init__(self, policy: EliminationPolicy, max_rounds: int = 100_000):
+    ``sweep`` selects the WorkerProposal implementation: ``"vectorized"``
+    (mask-gated array sweep), ``"scalar"`` (the per-agent reference path,
+    kept for replay harnesses and as the equivalence / throughput
+    baseline), or ``"auto"`` (default): vectorized, except for
+    *non-private* policies on instances too small to amortise the fixed
+    array-op cost per round — streaming micro-batches of a handful of
+    tasks — where the plain-float scalar path is faster.  (Private
+    policies stay vectorized at every size: their scalar path carries
+    per-pair agent machinery that loses even on tiny instances.)  Both
+    sweeps are bit-identical, so the switch is purely a performance
+    decision.
+    """
+
+    #: Below this many feasible pairs, ``sweep="auto"`` picks the scalar
+    #: path for non-private policies (per-round numpy overhead beats the
+    #: looping cost saved).
+    VECTOR_MIN_PAIRS = 48
+
+    def __init__(
+        self,
+        policy: EliminationPolicy,
+        max_rounds: int = 100_000,
+        sweep: Literal["auto", "vectorized", "scalar"] = "auto",
+    ):
         if max_rounds < 1:
             raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        if sweep not in ("auto", "vectorized", "scalar"):
+            raise ConfigurationError(f"unknown sweep implementation {sweep!r}")
         self.policy = policy
         self.max_rounds = max_rounds
+        self.sweep = sweep
 
     @property
     def name(self) -> str:
@@ -127,8 +168,13 @@ class ConflictEliminationSolver:
         started = time.perf_counter()
         rng = ensure_rng(seed)
         server = Server(instance)
-        agents = self._build_agents(instance, rng) if self.policy.private else None
-        not_winning = set(range(instance.num_workers))
+        state = self._make_sweep_state(instance, server, rng)
+        if state is not None:
+            agents = None
+            not_winning: set[int] | None = None
+        else:
+            agents = self._build_agents(instance, rng) if self.policy.private else None
+            not_winning = set(range(instance.num_workers))
         trace: list[RoundRecord] = []
 
         rounds = 0
@@ -139,20 +185,34 @@ class ConflictEliminationSolver:
                     f"{self.name} exceeded max_rounds={self.max_rounds} "
                     f"on a {instance.num_tasks}x{instance.num_workers} instance"
                 )
-            candidates = self._worker_proposal(instance, server, agents, not_winning)
+            if state is not None:
+                candidates = state.proposal_round()
+            else:
+                candidates = self._worker_proposal(instance, server, agents, not_winning)
             if not candidates:
-                trace.append(RoundRecord(rounds, 0, (), (), _assigned(server)))
+                trace.append(RoundRecord(rounds, 0, (), (), server.assigned_count))
                 break
-            new_winners, new_losers = self._winner_chosen(instance, server, candidates)
-            not_winning -= new_winners
-            not_winning |= new_losers
+            new_winners, new_losers = self._winner_chosen(
+                instance, server, candidates, state
+            )
+            if state is not None:
+                # Incremental pool bookkeeping: scatter the round's churn
+                # into the worker mask instead of re-deriving/re-sorting
+                # the pool (mask order is worker order already).
+                if new_winners:
+                    state.not_winning[list(new_winners)] = False
+                if new_losers:
+                    state.not_winning[list(new_losers)] = True
+            else:
+                not_winning -= new_winners
+                not_winning |= new_losers
             trace.append(
                 RoundRecord(
                     rounds,
                     sum(len(entries) for entries in candidates.values()),
                     tuple(sorted(new_winners)),
                     tuple(sorted(new_losers)),
-                    _assigned(server),
+                    server.assigned_count,
                 )
             )
             if not self.policy.private and not new_winners and not new_losers:
@@ -179,6 +239,46 @@ class ConflictEliminationSolver:
     ) -> list[WorkerAgent]:
         """Agent construction hook (overridden by replay/trace tests)."""
         return build_agents(instance, rng)
+
+    def _make_sweep_state(
+        self, instance: ProblemInstance, server: Server, rng: np.random.Generator
+    ) -> VectorSweep | None:
+        """The array sweep state, or ``None`` for the scalar path.
+
+        Subclasses customise the proposal side through the scalar hooks —
+        ``_build_agents`` (replay harnesses pinning noise draws),
+        ``_worker_proposal``, ``_evaluate_pair``,
+        ``_beats_winner_private``, ``_incumbent_entry``.  The vectorized
+        sweep would silently bypass any of them, so an override on any of
+        those hooks routes the run through the scalar path.
+        """
+        if self.sweep == "scalar":
+            return None
+        if (
+            self.sweep == "auto"
+            and not self.policy.private
+            and instance.num_feasible_pairs < self.VECTOR_MIN_PAIRS
+        ):
+            return None
+        cls = type(self)
+        base = ConflictEliminationSolver
+        for hook in (
+            "_build_agents",
+            "_worker_proposal",
+            "_evaluate_pair",
+            "_beats_winner_private",
+            "_incumbent_entry",
+        ):
+            if getattr(cls, hook) is not getattr(base, hook):
+                return None
+        return VectorSweep(
+            instance,
+            server,
+            objective=self.policy.objective,
+            use_ppcf=self.policy.use_ppcf,
+            private=self.policy.private,
+            rng=rng if self.policy.private else None,
+        )
 
     # -- Algorithm 1: WorkerProposal ----------------------------------------
 
@@ -318,15 +418,20 @@ class ConflictEliminationSolver:
         instance: ProblemInstance,
         server: Server,
         candidates: dict[int, list[Candidate]],
+        state: VectorSweep | None = None,
     ) -> tuple[set[int], set[int]]:
         """Assign round winners; returns (new winners, displaced losers)."""
+        # The non-private vectorized sweep emits per-task lists already
+        # sorted by (key, worker); then only the incumbent needs merging.
+        presorted = state is not None and not self.policy.private
         competing: dict[int, list[Candidate]] = {}
         for i, entries in candidates.items():
             table = list(entries)
             incumbent = server.winner(i)
             if incumbent is not None:
                 table.append(self._incumbent_entry(instance, server, i, incumbent))
-            table.sort(key=lambda c: (c.key, c.worker))
+            if not presorted or len(table) > len(entries):
+                table.sort(key=lambda c: (c.key, c.worker))
             competing[i] = table
 
         decisions = resolve_top_conflicts(competing)
@@ -336,7 +441,10 @@ class ConflictEliminationSolver:
         for i, entry in decisions.items():
             if entry.worker == server.winner(i):
                 continue  # incumbent held the top: nothing changes
+            vacated = server.task_of(entry.worker)
             displaced = server.assign(i, entry.worker)
+            if state is not None:
+                state.note_assign(i, entry.worker, vacated)
             new_winners.add(entry.worker)
             if displaced is not None:
                 new_losers.add(displaced)
@@ -361,15 +469,14 @@ class ConflictEliminationSolver:
             else:
                 key = pair.distance
         else:
-            d_real = instance.distance(i, winner)
+            # Read straight from the pair arrays: the dict view would be
+            # materialised (O(P)) just to serve a handful of incumbents.
+            d_real = float(
+                instance.pairs.distance[instance.pair_index(i, winner)]
+            )
             key = (
                 comparison_key(d_real, instance.tasks[i].value, model)
                 if self.policy.objective == "utility"
                 else d_real
             )
         return Candidate(worker=winner, key=key)
-
-
-def _assigned(server: Server) -> int:
-    """Number of tasks currently holding a winner."""
-    return sum(1 for winner in server.allocation() if winner is not None)

@@ -27,20 +27,22 @@ __all__ = ["UCESolver", "DCESolver", "GreedySolver"]
 class UCESolver(ConflictEliminationSolver):
     """UCE: PUCE with real distances and zero privacy cost."""
 
-    def __init__(self, max_rounds: int = 100_000):
+    def __init__(self, max_rounds: int = 100_000, sweep: str = "auto"):
         super().__init__(
             EliminationPolicy(name="UCE", objective="utility", private=False),
             max_rounds=max_rounds,
+            sweep=sweep,
         )
 
 
 class DCESolver(ConflictEliminationSolver):
     """DCE: PDCE with real distances (pure distance minimisation)."""
 
-    def __init__(self, max_rounds: int = 100_000):
+    def __init__(self, max_rounds: int = 100_000, sweep: str = "auto"):
         super().__init__(
             EliminationPolicy(name="DCE", objective="distance", private=False),
             max_rounds=max_rounds,
+            sweep=sweep,
         )
 
 

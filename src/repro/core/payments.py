@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 from repro.core.result import AssignmentResult
 from repro.errors import ConfigurationError
-from repro.simulation.instance import ProblemInstance
 
 __all__ = ["Payment", "vickrey_payment", "payments_for_result"]
 

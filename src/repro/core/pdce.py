@@ -19,11 +19,14 @@ __all__ = ["PDCESolver"]
 class PDCESolver(ConflictEliminationSolver):
     """Private Distance Conflict-Elimination."""
 
-    def __init__(self, use_ppcf: bool = True, max_rounds: int = 100_000):
+    def __init__(
+        self, use_ppcf: bool = True, max_rounds: int = 100_000, sweep: str = "auto"
+    ):
         name = "PDCE" if use_ppcf else "PDCE-nppcf"
         super().__init__(
             EliminationPolicy(
                 name=name, objective="distance", private=True, use_ppcf=use_ppcf
             ),
             max_rounds=max_rounds,
+            sweep=sweep,
         )

@@ -17,11 +17,14 @@ __all__ = ["PUCESolver"]
 class PUCESolver(ConflictEliminationSolver):
     """Private Utility Conflict-Elimination (Algorithms 1-3)."""
 
-    def __init__(self, use_ppcf: bool = True, max_rounds: int = 100_000):
+    def __init__(
+        self, use_ppcf: bool = True, max_rounds: int = 100_000, sweep: str = "auto"
+    ):
         name = "PUCE" if use_ppcf else "PUCE-nppcf"
         super().__init__(
             EliminationPolicy(
                 name=name, objective="utility", private=True, use_ppcf=use_ppcf
             ),
             max_rounds=max_rounds,
+            sweep=sweep,
         )

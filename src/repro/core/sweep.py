@@ -1,0 +1,307 @@
+"""Vectorized WorkerProposal sweep (Algorithm 1 over pair arrays).
+
+:class:`VectorSweep` evaluates one proposal round for *every* not-winning
+worker at once: the budget-remaining, positive-utility and beats-winner
+gates of Algorithm 1 become boolean masks over the instance's CSR pair
+arrays (:class:`~repro.simulation.pairs.PairArrays`), and only the pairs
+that survive gating drop to the scalar per-pair path that actually
+publishes a private release.
+
+Exactness contract (what the equivalence property tests pin):
+
+* **Identical floats.**  Every gate is computed with the same IEEE
+  operations, in the same order, as the scalar reference sweep
+  (``sweep="scalar"`` on the engine): utilities as ``(v - f_d(d)) -
+  f_p(spend)``, spends as left-to-right prefix sums, PPCF through the
+  same ``exp`` formula.
+* **Identical noise stream.**  The scalar path draws a memoized Laplace
+  noise for every pair that passes the budget gate — *before* the
+  utility/winner gates — in (sorted worker, reachable-order) order.  The
+  vectorized sweep batches those draws in exactly that order (flat CSR
+  order); numpy fills array draws element-by-element from the generator,
+  so the stream, and therefore every published release and the Table VIII
+  timeline, is unchanged.  Draws stay memoized per (pair, budget index),
+  which also preserves PGT's fixed-utility property for the shared agent
+  machinery.
+* **Scalar-publish fallback.**  The tentative *effective* pair of a
+  re-proposing pair is a weighted median over its release set; that, the
+  PCF gate against the winner, and the publish itself run per-pair on the
+  server model — the boundary where array code hands back to the
+  worker-local scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cea import Candidate
+from repro.core.compare import pcf
+from repro.core.effective import EffectivePair
+from repro.privacy.laplace import laplace_cdf_array
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.server import Server
+
+__all__ = ["VectorSweep", "apply_value_fn", "apply_value_fn_inverse"]
+
+
+def apply_value_fn(fn, xs: np.ndarray) -> np.ndarray:
+    """Elementwise ``fn`` over an array, preferring a vectorized method.
+
+    Falls back to per-element scalar calls for custom value functions, so
+    any :class:`~repro.core.utility.ValueFunction` works unvectorized.
+    """
+    apply = getattr(fn, "apply", None)
+    if apply is not None:
+        return apply(xs)
+    return np.fromiter((fn(float(x)) for x in xs), dtype=np.float64, count=len(xs))
+
+
+def apply_value_fn_inverse(fn, vs: np.ndarray) -> np.ndarray:
+    """Elementwise ``fn.inverse`` over an array (see :func:`apply_value_fn`)."""
+    apply_inverse = getattr(fn, "apply_inverse", None)
+    if apply_inverse is not None:
+        return apply_inverse(vs)
+    return np.fromiter(
+        (fn.inverse(float(v)) for v in vs), dtype=np.float64, count=len(vs)
+    )
+
+
+class VectorSweep:
+    """Mutable array state of one engine run's proposal sweeps."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        server: Server,
+        objective: str,
+        use_ppcf: bool,
+        private: bool,
+        rng: np.random.Generator | None,
+    ):
+        self.instance = instance
+        self.server = server
+        self.objective = objective
+        self.use_ppcf = use_ppcf
+        self.private = private
+        self.rng = rng
+        pairs = instance.pairs
+        num_pairs = pairs.num_pairs
+
+        # Worker-pool and winner state (satellite of the array refactor:
+        # maintained incrementally instead of re-sorted / re-scanned).
+        self.not_winning = np.ones(instance.num_workers, dtype=bool)
+        self.winner_pair = np.full(instance.num_tasks, -1, dtype=np.int64)
+
+        # Per-pair consumption state (the array form of PairBudget).
+        self.used = np.zeros(num_pairs, dtype=np.int64)
+        # Memoized tentative draw for the pair's *current* budget index.
+        self.draw_value = np.zeros(num_pairs, dtype=np.float64)
+        self.draw_index = np.full(num_pairs, -1, dtype=np.int64)
+        # Release-board summary mirrored per pair (matches the server's
+        # memoized ReleaseSet.effective_pair()).
+        self.eff_distance = np.zeros(num_pairs, dtype=np.float64)
+        self.eff_epsilon = np.zeros(num_pairs, dtype=np.float64)
+        self.release_count = np.zeros(num_pairs, dtype=np.int64)
+
+    # -- winner bookkeeping -------------------------------------------------
+
+    def note_assign(self, task_index: int, worker_index: int, vacated: int | None) -> None:
+        """Mirror one ``server.assign`` into the winner-pair index."""
+        if vacated is not None:
+            self.winner_pair[vacated] = -1
+        self.winner_pair[task_index] = self.instance.pair_index(task_index, worker_index)
+
+    # -- one proposal round -------------------------------------------------
+
+    def proposal_round(self) -> dict[int, list[Candidate]]:
+        """All of Algorithm 1 for one round; returns per-task candidates."""
+        pairs = self.instance.pairs
+        active = self.not_winning[pairs.worker]
+        if self.private:
+            active &= self.used < pairs.budget_len
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            return {}
+        if self.private:
+            return self._private_round(idx)
+        return self._exact_round(idx)
+
+    # -- non-private: fully array-evaluated ---------------------------------
+
+    def _exact_round(self, idx: np.ndarray) -> dict[int, list[Candidate]]:
+        pairs = self.instance.pairs
+        model = self.instance.model
+        task_i = pairs.task[idx]
+        d_real = pairs.distance[idx]
+
+        if self.objective == "utility":
+            values = pairs.task_value[task_i]
+            # model.utility(v, d, 0.0) evaluates (v - f_d(d)) - f_p(0.0).
+            utility = (values - apply_value_fn(model.f_d, d_real)) - model.f_p(0.0)
+            keep = utility > 0.0
+            idx, task_i, d_real = idx[keep], task_i[keep], d_real[keep]
+            values = values[keep]
+            keys = d_real - apply_value_fn_inverse(model.f_d, values)
+        else:
+            keys = d_real
+
+        contested = self.winner_pair[task_i] >= 0
+        if np.any(contested):
+            wp = self.winner_pair[task_i[contested]]
+            win_d = pairs.distance[wp]
+            if self.objective == "utility":
+                win_keys = win_d - apply_value_fn_inverse(
+                    model.f_d, pairs.task_value[task_i[contested]]
+                )
+            else:
+                win_keys = win_d
+            beats = np.ones(idx.shape[0], dtype=bool)
+            beats[contested] = keys[contested] < win_keys
+            idx, task_i, keys = idx[beats], task_i[beats], keys[beats]
+
+        # Emit per-task lists already sorted by (key, worker) so the
+        # WinnerChosen step can skip its per-task sorts; the dict's key
+        # *insertion* order still follows flat CSR order — the same
+        # first-appearance order the scalar sweep produces — because the
+        # decision loop's tie-behaviour depends on it.
+        workers = self.instance.pairs.worker[idx]
+        tasks = task_i.tolist()
+        proposals: dict[int, list[Candidate]] = {}
+        for i in tasks:
+            if i not in proposals:
+                proposals[i] = []
+        worker_list = workers.tolist()
+        key_list = keys.tolist()
+        for pos in np.lexsort((workers, keys)).tolist():
+            proposals[tasks[pos]].append(Candidate(worker_list[pos], key_list[pos]))
+        return proposals
+
+    # -- private: array gates, scalar publishes -----------------------------
+
+    def _private_round(self, idx: np.ndarray) -> dict[int, list[Candidate]]:
+        pairs = self.instance.pairs
+        model = self.instance.model
+        used_now = self.used[idx]
+
+        # Memoized tentative draws, batched in the scalar path's order
+        # (flat CSR order == sorted worker, reachable order).  The scalar
+        # path draws for every budget-gate-passing pair before any further
+        # gate, so the batch must too — that is what keeps the shared
+        # noise stream identical.
+        stale = self.draw_index[idx] != used_now
+        fresh = idx[stale]
+        if fresh.size:
+            eps_fresh = pairs.budget_matrix[fresh, self.used[fresh]]
+            noise = self.rng.laplace(loc=0.0, scale=1.0 / eps_fresh)
+            self.draw_value[fresh] = pairs.distance[fresh] + noise
+            self.draw_index[fresh] = self.used[fresh]
+
+        next_eps = pairs.budget_matrix[idx, used_now]
+        pair_spend = pairs.budget_prefix[idx, used_now] + next_eps
+        task_i = pairs.task[idx]
+        d_real = pairs.distance[idx]
+
+        if self.objective == "utility":
+            values = pairs.task_value[task_i]
+            utility = (values - apply_value_fn(model.f_d, d_real)) - model.f_p.apply(
+                pair_spend
+            )
+            keep = utility > 0.0
+            idx, task_i, d_real = idx[keep], task_i[keep], d_real[keep]
+            next_eps, pair_spend = next_eps[keep], pair_spend[keep]
+            own_value = values[keep] - model.f_p.apply(pair_spend)
+        else:
+            own_value = np.zeros(idx.shape[0])
+
+        contested = self.winner_pair[task_i] >= 0
+        rival = np.zeros(idx.shape[0])
+        if np.any(contested):
+            wp = self.winner_pair[task_i[contested]]
+            if self.objective == "utility":
+                winner_value = pairs.task_value[
+                    task_i[contested]
+                ] - model.f_p.apply(pairs.budget_prefix[wp, self.used[wp]])
+                rival[contested] = (
+                    self.eff_distance[wp]
+                    + apply_value_fn_inverse(model.f_d, own_value[contested])
+                ) - apply_value_fn_inverse(model.f_d, winner_value)
+            else:
+                rival[contested] = self.eff_distance[wp]
+            if self.use_ppcf:
+                # Algorithm 1 line 12: fail when PPCF <= 1/2.
+                ppcf_val = laplace_cdf_array(
+                    rival[contested] - d_real[contested], self.eff_epsilon[wp]
+                )
+                survive = np.ones(idx.shape[0], dtype=bool)
+                survive[contested] = ppcf_val > 0.5
+                idx, task_i, contested = idx[survive], task_i[survive], contested[survive]
+                next_eps, own_value = next_eps[survive], own_value[survive]
+                rival = rival[survive]
+
+        return self._publish_survivors(idx, task_i, contested, next_eps, own_value, rival)
+
+    def _publish_survivors(
+        self,
+        idx: np.ndarray,
+        task_i: np.ndarray,
+        contested: np.ndarray,
+        next_eps: np.ndarray,
+        own_value: np.ndarray,
+        rival: np.ndarray,
+    ) -> dict[int, list[Candidate]]:
+        """Scalar tail of the sweep: PCF gate, publish, candidate keys.
+
+        Everything that must see a release set — the tentative effective
+        pair of a re-proposing worker, the PCF comparison, and the publish
+        itself — stays on the per-pair scalar path so the server-side
+        weighted-median semantics (and their tie-breaks) are untouched.
+        """
+        pairs = self.instance.pairs
+        model = self.instance.model
+        server = self.server
+        utility_objective = self.objective == "utility"
+        proposals: dict[int, list[Candidate]] = {}
+        flat = idx.tolist()
+        tasks = task_i.tolist()
+        workers = pairs.worker[idx].tolist()
+        epsilons = next_eps.tolist()
+        draws = self.draw_value[idx].tolist()
+        contested_flags = contested.tolist()
+        rivals = rival.tolist()
+        values = own_value.tolist()
+        has_releases = (self.release_count[idx] > 0).tolist()
+        for pos, p in enumerate(flat):
+            i = tasks[pos]
+            j = workers[pos]
+            epsilon = epsilons[pos]
+            draw = draws[pos]
+            if has_releases[pos]:
+                effective = server.release_set(i, j).effective_pair_with(draw, epsilon)
+            else:
+                effective = EffectivePair(draw, epsilon)
+            if contested_flags[pos]:
+                # Lines 13-15: PCF on the would-be new effective pair.
+                if (
+                    pcf(
+                        effective.distance,
+                        rivals[pos],
+                        effective.epsilon,
+                        float(self.eff_epsilon[self.winner_pair[i]]),
+                    )
+                    <= 0.5
+                ):
+                    continue
+            server.publish(i, j, draw, epsilon)
+            self.used[p] += 1
+            # The release board's post-publish effective pair is the
+            # weighted median over exactly the releases `effective` was
+            # computed from, so no recomputation is needed.
+            self.eff_distance[p] = effective.distance
+            self.eff_epsilon[p] = effective.epsilon
+            self.release_count[p] += 1
+            if utility_objective:
+                key = effective.distance - model.distance_equivalent(values[pos])
+            else:
+                key = effective.distance
+            proposals.setdefault(i, []).append(Candidate(worker=j, key=key))
+        return proposals

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = ["ValueFunction", "LinearValue", "PowerValue", "UtilityModel"]
@@ -47,6 +49,20 @@ class LinearValue:
     def inverse(self, v: float) -> float:
         return v / self.slope
 
+    def apply(self, xs: np.ndarray) -> np.ndarray:
+        """Elementwise ``f``; bit-identical to scalar calls per element.
+
+        (A single IEEE multiplication, so — unlike a general ufunc
+        expression — array and scalar evaluation agree exactly; value
+        functions that cannot offer that guarantee must not define
+        ``apply``.)
+        """
+        return self.slope * xs
+
+    def apply_inverse(self, vs: np.ndarray) -> np.ndarray:
+        """Elementwise ``f^{-1}``; bit-identical to scalar calls."""
+        return vs / self.slope
+
 
 @dataclass(frozen=True, slots=True)
 class PowerValue:
@@ -75,6 +91,13 @@ class PowerValue:
         if v < 0:
             return -((-v / self.scale) ** (1.0 / self.exponent))
         return (v / self.scale) ** (1.0 / self.exponent)
+
+    # No ``apply``/``apply_inverse`` fast path on purpose: numpy's array
+    # ``**`` differs from Python's scalar ``**`` in the last ulp on a few
+    # percent of inputs, which would break the vectorized sweep's
+    # bit-identity with the scalar reference.  Without the methods,
+    # :func:`repro.core.sweep.apply_value_fn` falls back to per-element
+    # scalar calls, which are identical by construction.
 
 
 @dataclass(frozen=True, slots=True)

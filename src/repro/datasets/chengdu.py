@@ -32,7 +32,6 @@ import numpy as np
 from repro.datasets.synthetic import SyntheticGenerator
 from repro.datasets.workload import Task
 from repro.errors import DatasetError
-from repro.spatial.geometry import Point
 from repro.utils.rng import ensure_rng
 
 __all__ = ["ChengduLikeGenerator"]

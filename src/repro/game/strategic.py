@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterator, Sequence
+from typing import Callable, Hashable, Iterator
 
 from repro.errors import ConfigurationError
 

@@ -30,6 +30,7 @@ import numpy as np
 __all__ = [
     "laplace_pdf",
     "laplace_cdf",
+    "laplace_cdf_array",
     "laplace_sf",
     "sample_laplace",
     "LaplaceDifference",
@@ -69,6 +70,26 @@ def laplace_sf(x: float, rate: float, loc: float = 0.0) -> float:
     if z < 0.0:
         return 1.0 - 0.5 * math.exp(rate * z)
     return 0.5 * math.exp(-rate * z)
+
+
+def laplace_cdf_array(x: np.ndarray, rate: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`laplace_cdf` over arrays, exact at the 1/2 gate.
+
+    Computed from ``exp(-rate * |x|)`` so both branches evaluate without
+    overflow (``rate * x`` for negative ``x`` is exactly the negation of
+    ``rate * |x|`` in IEEE arithmetic).  ``np.exp`` can differ from
+    ``math.exp`` in the last ulp, and callers gate on ``> 1/2`` (the
+    PPCF decision threshold), so every element inside a guard band
+    around 1/2 — far wider than any ulp discrepancy — is recomputed with
+    the scalar function; elsewhere a 1-ulp difference cannot change any
+    decision a caller makes at the threshold.
+    """
+    tail = 0.5 * np.exp(-rate * np.abs(x))
+    out = np.where(x < 0.0, tail, 1.0 - tail)
+    boundary = np.flatnonzero(np.abs(out - 0.5) < 1e-12)
+    for i in boundary.tolist():
+        out[i] = laplace_cdf(float(x[i]), float(rate[i]))
+    return out
 
 
 def sample_laplace(

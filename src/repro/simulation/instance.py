@@ -6,6 +6,14 @@ algorithm runs: the task and worker populations, the utility model
 worker's service circle), the true distances of the feasible pairs, and
 each pair's privacy budget vector ``eps_ij``.
 
+Storage is struct-of-arrays (:class:`~repro.simulation.pairs.PairArrays`):
+the feasible pairs live in CSR-by-worker index arrays with flat distance /
+budget / value columns, which is what the vectorized proposal sweeps in
+:mod:`repro.core.sweep` operate on directly.  The historical dict-shaped
+accessors (``distances``, ``budgets``, ``distance()``, ``budget_vector()``,
+``feasible_pairs()``) are kept as thin views over the arrays so existing
+call sites keep working.
+
 Real distances are private inputs: solvers only hand them to the
 worker-local side of the computation (noise draws and PPCF gates), never
 to the server model.
@@ -13,8 +21,7 @@ to the server model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -22,6 +29,7 @@ from repro.core.budgets import BudgetSampler, BudgetVector
 from repro.core.utility import UtilityModel
 from repro.errors import InvalidInstanceError
 from repro.datasets.workload import Batch, Task, Worker
+from repro.simulation.pairs import PairArrays
 from repro.spatial.geometry import euclidean
 from repro.spatial.index import GridIndex
 from repro.utils.rng import ensure_rng
@@ -29,39 +37,109 @@ from repro.utils.rng import ensure_rng
 __all__ = ["ProblemInstance"]
 
 
-@dataclass(frozen=True)
 class ProblemInstance:
     """Immutable PA-TA instance over index-aligned tasks and workers.
 
     Algorithms address tasks and workers by position (``0..m-1`` /
     ``0..n-1``); public identifiers live on the :class:`Task` and
-    :class:`Worker` records.  Construction is via :meth:`build`.
+    :class:`Worker` records.  Construction is via :meth:`build` (grid
+    reachability + sampled budgets), :meth:`from_arrays` (the streaming
+    fast path), or the legacy dict-keyed constructor used by tests and
+    worked examples.
     """
 
-    tasks: tuple[Task, ...]
-    workers: tuple[Worker, ...]
-    model: UtilityModel
-    reachable: tuple[tuple[int, ...], ...]
-    distances: dict[tuple[int, int], float]
-    budgets: dict[tuple[int, int], BudgetVector]
-    candidates: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
+    __slots__ = (
+        "tasks",
+        "workers",
+        "model",
+        "reachable",
+        "pairs",
+        "candidates",
+        "_pair_index",
+        "_distances",
+        "_budgets",
+    )
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        tasks: Sequence[Task],
+        workers: Sequence[Worker],
+        model: UtilityModel,
+        reachable: Sequence[Sequence[int]],
+        distances: Mapping[tuple[int, int], float] | None = None,
+        budgets: Mapping[tuple[int, int], BudgetVector] | None = None,
+        *,
+        pairs: PairArrays | None = None,
+    ):
+        self.tasks = tuple(tasks)
+        self.workers = tuple(workers)
+        self.model = model
+        self.reachable = tuple(tuple(r) for r in reachable)
         if len(self.reachable) != len(self.workers):
             raise InvalidInstanceError(
-                f"reachable has {len(self.reachable)} entries for {len(self.workers)} workers"
+                f"reachable has {len(self.reachable)} entries for "
+                f"{len(self.workers)} workers"
             )
+        if pairs is None:
+            if distances is None or budgets is None:
+                raise InvalidInstanceError(
+                    "need either pair arrays or distance/budget mappings"
+                )
+            pairs = self._pairs_from_mappings(distances, budgets)
+        # The dict views are always rebuilt lazily from the arrays —
+        # never the caller's mappings verbatim — so view iteration order
+        # (CSR) and membership (exactly the feasible pairs) hold for
+        # every constructor; entries for pairs outside ``reachable`` are
+        # dropped.
+        self._distances = None
+        self._budgets = None
+        self.pairs = pairs
+
         per_task: list[list[int]] = [[] for _ in self.tasks]
+        for i, j in zip(pairs.task.tolist(), pairs.worker.tolist()):
+            per_task[i].append(j)
+        self.candidates = tuple(tuple(c) for c in per_task)
+        self._pair_index = {
+            (i, j): p
+            for p, (i, j) in enumerate(
+                zip(pairs.task.tolist(), pairs.worker.tolist())
+            )
+        }
+
+    def _pairs_from_mappings(
+        self,
+        distances: Mapping[tuple[int, int], float],
+        budgets: Mapping[tuple[int, int], BudgetVector],
+    ) -> PairArrays:
+        """Validate the legacy dict form and pack it into CSR arrays."""
+        distance_rows: list[list[float]] = []
+        budget_rows: list[list[tuple[float, ...]]] = []
         for j, tasks_in_range in enumerate(self.reachable):
+            d_row: list[float] = []
+            b_row: list[tuple[float, ...]] = []
             for i in tasks_in_range:
                 if not 0 <= i < len(self.tasks):
-                    raise InvalidInstanceError(f"worker {j} reaches unknown task index {i}")
-                if (i, j) not in self.distances:
-                    raise InvalidInstanceError(f"feasible pair ({i}, {j}) has no distance")
-                if (i, j) not in self.budgets:
-                    raise InvalidInstanceError(f"feasible pair ({i}, {j}) has no budget vector")
-                per_task[i].append(j)
-        object.__setattr__(self, "candidates", tuple(tuple(c) for c in per_task))
+                    raise InvalidInstanceError(
+                        f"worker {j} reaches unknown task index {i}"
+                    )
+                if (i, j) not in distances:
+                    raise InvalidInstanceError(
+                        f"feasible pair ({i}, {j}) has no distance"
+                    )
+                if (i, j) not in budgets:
+                    raise InvalidInstanceError(
+                        f"feasible pair ({i}, {j}) has no budget vector"
+                    )
+                d_row.append(float(distances[(i, j)]))
+                b_row.append(tuple(budgets[(i, j)].epsilons))
+            distance_rows.append(d_row)
+            budget_rows.append(b_row)
+        return PairArrays.from_rows(
+            self.reachable,
+            distance_rows,
+            budget_rows,
+            [t.value for t in self.tasks],
+        )
 
     # -- construction --------------------------------------------------
 
@@ -77,6 +155,9 @@ class ProblemInstance:
         """Materialise reachability, distances and budget vectors.
 
         ``seed`` drives only the budget-vector draws; distances are exact.
+        Budget vectors are drawn one batched ``uniform`` call per worker,
+        which consumes the generator stream exactly as the historical
+        pair-at-a-time sampling did.
         """
         rng = ensure_rng(seed)
         sampler = budget_sampler or BudgetSampler()
@@ -87,24 +168,42 @@ class ProblemInstance:
 
         index = GridIndex([t.location for t in tasks]) if tasks else None
         reachable: list[tuple[int, ...]] = []
-        distances: dict[tuple[int, int], float] = {}
-        budgets: dict[tuple[int, int], BudgetVector] = {}
-        for j, worker in enumerate(workers):
+        distance_rows: list[list[float]] = []
+        budget_rows: list[np.ndarray] = []
+        for worker in workers:
             in_range = (
-                tuple(index.query_circle(worker.location, worker.radius)) if index else ()
+                tuple(index.query_circle(worker.location, worker.radius))
+                if index
+                else ()
             )
             reachable.append(in_range)
-            for i in in_range:
-                distances[(i, j)] = euclidean(worker.location, tasks[i].location)
-                budgets[(i, j)] = sampler.sample(rng)
+            location = worker.location
+            distance_rows.append(
+                [euclidean(location, tasks[i].location) for i in in_range]
+            )
+            budget_rows.append(sampler.sample_matrix(rng, len(in_range)))
+        pairs = PairArrays.from_rows(
+            reachable, distance_rows, budget_rows, [t.value for t in tasks]
+        )
         return cls(
             tasks=tasks,
             workers=workers,
             model=utility_model,
-            reachable=tuple(reachable),
-            distances=distances,
-            budgets=budgets,
+            reachable=reachable,
+            pairs=pairs,
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        tasks: Sequence[Task],
+        workers: Sequence[Worker],
+        model: UtilityModel,
+        reachable: Sequence[Sequence[int]],
+        pairs: PairArrays,
+    ) -> "ProblemInstance":
+        """Wrap pre-assembled pair arrays (the streaming fast path)."""
+        return cls(tasks=tasks, workers=workers, model=model, reachable=reachable, pairs=pairs)
 
     @classmethod
     def from_batch(
@@ -116,6 +215,47 @@ class ProblemInstance:
     ) -> "ProblemInstance":
         """Build an instance from one workload batch."""
         return cls.build(batch.tasks, batch.workers, budget_sampler, model, seed)
+
+    # -- dict-shaped compatibility views --------------------------------
+
+    @property
+    def distances(self) -> dict[tuple[int, int], float]:
+        """``{(task_index, worker_index): distance}`` view of the arrays."""
+        if self._distances is None:
+            self._distances = {
+                (i, j): d
+                for (i, j), d in zip(
+                    self._pair_index, self.pairs.distance.tolist()
+                )
+            }
+        return self._distances
+
+    @property
+    def budgets(self) -> dict[tuple[int, int], BudgetVector]:
+        """``{(task_index, worker_index): BudgetVector}`` view of the arrays."""
+        if self._budgets is None:
+            matrix = self.pairs.budget_matrix
+            lengths = self.pairs.budget_len.tolist()
+            self._budgets = {
+                (i, j): BudgetVector(tuple(matrix[p, : lengths[p]].tolist()))
+                for p, (i, j) in enumerate(self._pair_index)
+            }
+        return self._budgets
+
+    def pair_index(self, task_index: int, worker_index: int) -> int:
+        """Flat index of a feasible pair in the CSR arrays.
+
+        Raises
+        ------
+        InvalidInstanceError
+            If the pair is infeasible (outside the worker's service area).
+        """
+        try:
+            return self._pair_index[(task_index, worker_index)]
+        except KeyError:
+            raise InvalidInstanceError(
+                f"pair (task {task_index}, worker {worker_index}) is not feasible"
+            ) from None
 
     # -- queries ---------------------------------------------------------
 
@@ -129,22 +269,29 @@ class ProblemInstance:
 
     @property
     def num_feasible_pairs(self) -> int:
-        return len(self.distances)
+        return self.pairs.num_pairs
 
     def feasible_pairs(self) -> Iterator[tuple[int, int]]:
-        """All ``(task_index, worker_index)`` pairs with reachability."""
-        return iter(self.distances)
+        """All ``(task_index, worker_index)`` pairs, CSR (worker-major) order."""
+        return iter(self._pair_index)
 
     def distance(self, task_index: int, worker_index: int) -> float:
         """True distance of a feasible pair.
+
+        Served from the (lazily materialised) dict view: the scalar sweep
+        probes distances pair-at-a-time, and a plain dict hit beats array
+        indexing for that access pattern.
 
         Raises
         ------
         InvalidInstanceError
             If the pair is infeasible (outside the worker's service area).
         """
+        table = self._distances
+        if table is None:
+            table = self.distances
         try:
-            return self.distances[(task_index, worker_index)]
+            return table[(task_index, worker_index)]
         except KeyError:
             raise InvalidInstanceError(
                 f"pair (task {task_index}, worker {worker_index}) is not feasible"
@@ -152,8 +299,11 @@ class ProblemInstance:
 
     def budget_vector(self, task_index: int, worker_index: int) -> BudgetVector:
         """The privacy budget vector ``eps_ij`` of a feasible pair."""
+        table = self._budgets
+        if table is None:
+            table = self.budgets
         try:
-            return self.budgets[(task_index, worker_index)]
+            return table[(task_index, worker_index)]
         except KeyError:
             raise InvalidInstanceError(
                 f"pair (task {task_index}, worker {worker_index}) is not feasible"
@@ -169,6 +319,39 @@ class ProblemInstance:
         if not self.workers:
             return 0.0
         return sum(len(r) for r in self.reachable) / len(self.workers)
+
+    # -- equality ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProblemInstance):
+            return NotImplemented
+        return (
+            self.tasks == other.tasks
+            and self.workers == other.workers
+            and self.model == other.model
+            and self.reachable == other.reachable
+            and np.array_equal(self.pairs.task, other.pairs.task)
+            and np.array_equal(self.pairs.worker, other.pairs.worker)
+            and np.array_equal(self.pairs.distance, other.pairs.distance)
+            and np.array_equal(self.pairs.budget_len, other.pairs.budget_len)
+            and _padded_equal(self.pairs.budget_matrix, other.pairs.budget_matrix)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemInstance({self.num_tasks} tasks, {self.num_workers} workers, "
+            f"{self.num_feasible_pairs} feasible pairs)"
+        )
+
+
+def _padded_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Budget matrices compare equal up to trailing zero padding."""
+    width = max(a.shape[1], b.shape[1])
+    if a.shape[1] != width:
+        a = np.pad(a, ((0, 0), (0, width - a.shape[1])))
+    if b.shape[1] != width:
+        b = np.pad(b, ((0, 0), (0, width - b.shape[1])))
+    return np.array_equal(a, b)
 
 
 def _check_unique_ids(tasks: tuple[Task, ...], workers: tuple[Worker, ...]) -> None:

@@ -12,7 +12,7 @@ each private method against its Table IX non-private counterpart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.result import AssignmentResult
 from repro.errors import ConfigurationError

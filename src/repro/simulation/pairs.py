@@ -1,0 +1,152 @@
+"""Struct-of-arrays storage for the feasible pairs of an instance.
+
+The round-based protocol (Algorithms 1-3) is a sweep over the feasible
+``(task, worker)`` pairs; tuple-keyed dict lookups and one Python object
+per pair are what used to dominate solver time.  :class:`PairArrays` is
+the CSR-style array core that replaced them: pairs are stored worker-major
+(``offsets[j]:offsets[j+1]`` is worker ``j``'s slice, in reachable order),
+and every per-pair attribute is a flat numpy array aligned to that order.
+
+Budget vectors are ragged (micro-batch truncation shortens them), so they
+live in a zero-padded ``(P, Z_max)`` matrix plus a length column;
+``budget_prefix[p, k]`` is the exact left-to-right partial sum of the
+first ``k`` elements (``np.cumsum`` adds in the same order Python's
+``sum`` does, so prefix spends are bit-identical to the scalar
+bookkeeping they replaced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+
+__all__ = ["PairArrays"]
+
+
+@dataclass(frozen=True, eq=False)
+class PairArrays:
+    """CSR-by-worker arrays describing every feasible pair.
+
+    ``eq=False``: the auto-generated dataclass ``__eq__``/``__hash__``
+    would raise on ndarray fields; compare via
+    :meth:`ProblemInstance.__eq__`, which uses ``np.array_equal``.
+
+    Attributes
+    ----------
+    offsets:
+        ``(n + 1,)`` int64 — pair slice boundaries per worker.
+    task, worker:
+        ``(P,)`` int64 — task / worker index of each flat pair.
+    distance:
+        ``(P,)`` float64 — true distances (private inputs).
+    budget_matrix:
+        ``(P, Z_max)`` float64 — budget vectors, zero-padded.
+    budget_len:
+        ``(P,)`` int64 — live length of each budget vector.
+    task_value:
+        ``(m,)`` float64 — task values ``v_i``.
+    """
+
+    offsets: np.ndarray
+    task: np.ndarray
+    worker: np.ndarray
+    distance: np.ndarray
+    budget_matrix: np.ndarray
+    budget_len: np.ndarray
+    task_value: np.ndarray
+    budget_prefix: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        prefix = np.zeros(
+            (self.budget_matrix.shape[0], self.budget_matrix.shape[1] + 1)
+        )
+        np.cumsum(self.budget_matrix, axis=1, out=prefix[:, 1:])
+        object.__setattr__(self, "budget_prefix", prefix)
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.task.shape[0])
+
+    @property
+    def num_workers(self) -> int:
+        return int(self.offsets.shape[0]) - 1
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.task_value.shape[0])
+
+    def worker_slice(self, worker_index: int) -> slice:
+        """The flat-pair slice of one worker's reachable tasks."""
+        return slice(
+            int(self.offsets[worker_index]), int(self.offsets[worker_index + 1])
+        )
+
+    def budget_total(self, pair_index: int) -> float:
+        """Exact total budget of one pair (left-to-right partial sum)."""
+        return float(
+            self.budget_prefix[pair_index, int(self.budget_len[pair_index])]
+        )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        reachable: Sequence[Sequence[int]],
+        distance_rows: Sequence[Sequence[float]],
+        budget_rows: Sequence[Sequence[Sequence[float]]],
+        task_values: Sequence[float],
+    ) -> "PairArrays":
+        """Assemble arrays from per-worker rows (reachable order).
+
+        ``distance_rows[j][k]`` / ``budget_rows[j][k]`` belong to pair
+        ``(reachable[j][k], j)``.
+        """
+        counts = np.fromiter(
+            (len(r) for r in reachable), dtype=np.int64, count=len(reachable)
+        )
+        offsets = np.zeros(len(reachable) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+
+        task = np.empty(total, dtype=np.int64)
+        worker = np.empty(total, dtype=np.int64)
+        distance = np.empty(total, dtype=np.float64)
+        z_max = 1
+        for row in budget_rows:
+            for vector in row:
+                if len(vector) > z_max:
+                    z_max = len(vector)
+        budget_matrix = np.zeros((total, z_max), dtype=np.float64)
+        budget_len = np.empty(total, dtype=np.int64)
+
+        p = 0
+        for j, tasks_in_range in enumerate(reachable):
+            d_row = distance_rows[j]
+            b_row = budget_rows[j]
+            if len(d_row) != len(tasks_in_range) or len(b_row) != len(tasks_in_range):
+                raise InvalidInstanceError(
+                    f"worker {j}: rows of length {len(d_row)}/{len(b_row)} "
+                    f"for {len(tasks_in_range)} reachable tasks"
+                )
+            for k, i in enumerate(tasks_in_range):
+                task[p] = i
+                worker[p] = j
+                distance[p] = d_row[k]
+                vector = b_row[k]
+                budget_len[p] = len(vector)
+                budget_matrix[p, : len(vector)] = vector
+                p += 1
+        return cls(
+            offsets=offsets,
+            task=task,
+            worker=worker,
+            distance=distance,
+            budget_matrix=budget_matrix,
+            budget_len=budget_len,
+            task_value=np.asarray(task_values, dtype=np.float64),
+        )

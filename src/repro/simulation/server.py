@@ -16,6 +16,8 @@ worker side.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.effective import EffectivePair, ReleaseSet
 from repro.errors import InvalidInstanceError, MatchingError
 from repro.matching.bipartite import Matching
@@ -31,8 +33,14 @@ class Server:
     def __init__(self, instance: ProblemInstance):
         self._instance = instance
         self._board: dict[tuple[int, int], ReleaseSet] = {}
-        self._allocation: list[int | None] = [None] * instance.num_tasks
-        self._holding: dict[int, int] = {}  # worker index -> task index
+        # Allocation list AL and its inverse as dense index lists with a
+        # ``-1`` free sentinel (not per-worker dicts): O(1) scalar reads
+        # for the agent paths, O(1) churn, and a cheap array snapshot for
+        # the vectorized sweeps; ``assigned_count`` is maintained
+        # incrementally so nothing ever rescans the board.
+        self._allocation: list[int] = [-1] * instance.num_tasks
+        self._holding: list[int] = [-1] * instance.num_workers
+        self._assigned_count = 0
         self.ledger = PrivacyLedger()
         self.publish_count = 0
 
@@ -100,11 +108,13 @@ class Server:
 
     def winner(self, task_index: int) -> int | None:
         """Current winner (worker index) of a task, or ``None``."""
-        return self._allocation[task_index]
+        winner = self._allocation[task_index]
+        return winner if winner >= 0 else None
 
     def task_of(self, worker_index: int) -> int | None:
         """Task currently held by a worker, or ``None``."""
-        return self._holding.get(worker_index)
+        held = self._holding[worker_index]
+        return held if held >= 0 else None
 
     def assign(self, task_index: int, worker_index: int) -> int | None:
         """Make ``worker_index`` the winner of ``task_index``.
@@ -115,27 +125,44 @@ class Server:
         previous = self._allocation[task_index]
         if previous == worker_index:
             return None
-        held = self._holding.get(worker_index)
-        if held is not None:
-            self._allocation[held] = None
-            del self._holding[worker_index]
-        if previous is not None:
-            del self._holding[previous]
+        held = self._holding[worker_index]
+        if held >= 0:
+            self._allocation[held] = -1
+            self._assigned_count -= 1
+        if previous >= 0:
+            self._holding[previous] = -1
+            self._assigned_count -= 1
         self._allocation[task_index] = worker_index
         self._holding[worker_index] = task_index
-        return previous
+        self._assigned_count += 1
+        return previous if previous >= 0 else None
 
     def unassign(self, task_index: int) -> int | None:
         """Vacate a task; returns the removed winner (or ``None``)."""
         previous = self._allocation[task_index]
-        if previous is not None:
-            self._allocation[task_index] = None
-            del self._holding[previous]
+        if previous < 0:
+            return None
+        self._allocation[task_index] = -1
+        self._holding[previous] = -1
+        self._assigned_count -= 1
         return previous
+
+    @property
+    def assigned_count(self) -> int:
+        """Number of tasks currently holding a winner (O(1), incremental)."""
+        return self._assigned_count
 
     def allocation(self) -> tuple[int | None, ...]:
         """The allocation list ``AL`` (winner index per task)."""
-        return tuple(self._allocation)
+        return tuple(w if w >= 0 else None for w in self._allocation)
+
+    def allocation_array(self) -> np.ndarray:
+        """Winner-per-task snapshot as an int array (``-1`` = free)."""
+        return np.asarray(self._allocation, dtype=np.int64)
+
+    def holding_array(self) -> np.ndarray:
+        """Task-per-worker snapshot as an int array (``-1`` = idle)."""
+        return np.asarray(self._holding, dtype=np.int64)
 
     def matching(self) -> Matching:
         """The allocation as an id-keyed :class:`Matching`.
@@ -148,7 +175,7 @@ class Server:
         """
         pairs: dict[object, object] = {}
         for task_index, worker_index in enumerate(self._allocation):
-            if worker_index is None:
+            if worker_index < 0:
                 continue
             task = self._instance.tasks[task_index]
             worker = self._instance.workers[worker_index]

@@ -15,8 +15,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.spatial.geometry import squared_euclidean
-
 __all__ = ["GridIndex"]
 
 
@@ -108,7 +106,6 @@ class GridIndex:
         cx, cy = float(center[0]), float(center[1])
         lo_col, lo_row = self._cell_of(cx - radius, cy - radius)
         hi_col, hi_row = self._cell_of(cx + radius, cy + radius)
-        r2 = radius * radius
         hits: list[int] = []
         pts = self._points
         for col in range(lo_col, hi_col + 1):
@@ -117,7 +114,10 @@ class GridIndex:
                 if not bucket:
                     continue
                 for idx in bucket:
-                    if squared_euclidean((pts[idx, 0], pts[idx, 1]), (cx, cy)) <= r2:
+                    # hypot, not squared distance: squares of denormal
+                    # offsets underflow to 0.0 and would disagree with
+                    # the library-wide euclidean() radius predicate.
+                    if math.hypot(pts[idx, 0] - cx, pts[idx, 1] - cy) <= radius:
                         hits.append(idx)
         hits.sort()
         return hits
@@ -132,9 +132,16 @@ class GridIndex:
             raise ValueError(f"radius must be non-negative, got {radius}")
         if self._n == 0:
             return []
-        diff = self._points - np.asarray(center, dtype=float)
-        mask = np.einsum("ij,ij->i", diff, diff) <= radius * radius
-        return np.nonzero(mask)[0].tolist()
+        cx, cy = float(center[0]), float(center[1])
+        # Same math.hypot predicate as query_circle — np.hypot can differ
+        # in the last ulp, which would let the two methods disagree on a
+        # point sitting exactly on the radius.
+        return [
+            idx
+            for idx in range(self._n)
+            if math.hypot(self._points[idx, 0] - cx, self._points[idx, 1] - cy)
+            <= radius
+        ]
 
     def nearest(self, center: tuple[float, float]) -> int:
         """Index of the point closest to ``center`` (ties: lowest index)."""

@@ -26,12 +26,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.budgets import BudgetSampler, BudgetVector
+from repro.core.budgets import BudgetSampler
 from repro.core.utility import UtilityModel
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
 from repro.privacy.accountant import PrivacyLedger
 from repro.simulation.instance import ProblemInstance
+from repro.simulation.pairs import PairArrays
 from repro.stream.events import OpenTask
 
 __all__ = ["WorkerBudgetTracker", "MicroBatcher"]
@@ -100,6 +101,46 @@ class WorkerBudgetTracker:
 
     def total_spend(self) -> float:
         return self._total
+
+
+def _slice_capped_instance(
+    instance: ProblemInstance, keep_len: np.ndarray
+) -> ProblemInstance:
+    """Re-assemble a budget-capped instance by slicing the pair arrays."""
+    pairs = instance.pairs
+    offsets = pairs.offsets
+    kept = keep_len > 0
+    sel = np.flatnonzero(kept)
+    kept_cum = np.concatenate(([0], np.cumsum(kept)))
+    new_counts = kept_cum[offsets[1:]] - kept_cum[offsets[:-1]]
+    new_offsets = np.zeros(len(new_counts) + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=new_offsets[1:])
+
+    new_len = keep_len[sel]
+    z_max = int(new_len.max()) if new_len.size else 1
+    new_matrix = pairs.budget_matrix[sel, :z_max].copy()
+    new_matrix[np.arange(z_max) >= new_len[:, None]] = 0.0
+    new_pairs = PairArrays(
+        offsets=new_offsets,
+        task=pairs.task[sel].copy(),
+        worker=pairs.worker[sel].copy(),
+        distance=pairs.distance[sel].copy(),
+        budget_matrix=new_matrix,
+        budget_len=new_len.copy(),
+        task_value=pairs.task_value,
+    )
+    kept_tasks = new_pairs.task.tolist()
+    reachable = tuple(
+        tuple(kept_tasks[int(new_offsets[j]) : int(new_offsets[j + 1])])
+        for j in range(instance.num_workers)
+    )
+    return ProblemInstance.from_arrays(
+        tasks=instance.tasks,
+        workers=instance.workers,
+        model=instance.model,
+        reachable=reachable,
+        pairs=new_pairs,
+    )
 
 
 @dataclass
@@ -201,6 +242,14 @@ class MicroBatcher:
         worker's remaining shift budget.  Pairs left with no affordable
         element drop out of the worker's reachable set entirely.
 
+        The truncation works on the instance's pair arrays directly: each
+        pair's affordable prefix length falls out of its budget cumsum
+        (``budget_prefix``) against the worker's running remainder, and
+        the capped instance is re-assembled by slicing those arrays — no
+        per-pair Python lists or dicts are rebuilt.  The resulting cap
+        (worst-case flush spend per worker ≤ remaining shift budget) is
+        asserted in one place before the instance is returned.
+
         ``tracker=None`` skips the capping — the path for non-private
         methods, which never publish and so never deplete a shift budget.
         """
@@ -211,42 +260,47 @@ class MicroBatcher:
             model=self.model,
             seed=seed,
         )
-        if tracker is None:
+        if tracker is None or instance.num_feasible_pairs == 0:
             return instance
-        reachable: list[tuple[int, ...]] = []
-        budgets: dict[tuple[int, int], BudgetVector] = {}
-        distances: dict[tuple[int, int], float] = {}
-        changed = False
-        for j, worker in enumerate(workers):
-            remaining = tracker.remaining(worker.id)
-            kept: list[int] = []
-            for i in instance.reachable[j]:
-                vector = instance.budgets[(i, j)]
-                affordable: list[float] = []
-                for epsilon in vector.epsilons:
-                    if epsilon <= remaining + 1e-12:
-                        affordable.append(epsilon)
-                        remaining -= epsilon
-                    else:
-                        break
-                if affordable:
-                    kept.append(i)
-                    if len(affordable) < len(vector):
-                        changed = True
-                        budgets[(i, j)] = BudgetVector(tuple(affordable))
-                    else:
-                        budgets[(i, j)] = vector
-                    distances[(i, j)] = instance.distances[(i, j)]
-                else:
-                    changed = True
-            reachable.append(tuple(kept))
-        if not changed:
-            return instance
-        return ProblemInstance(
-            tasks=instance.tasks,
-            workers=instance.workers,
-            model=instance.model,
-            reachable=tuple(reachable),
-            distances=distances,
-            budgets=budgets,
+        pairs = instance.pairs
+        offsets = pairs.offsets
+        prefix = pairs.budget_prefix
+        budget_len = pairs.budget_len
+        remaining0 = np.array(
+            [tracker.remaining(w.id) for w in workers], dtype=np.float64
         )
+
+        # Affordable prefix length per pair: element u fits exactly when
+        # the pair-local cumulative spend up to u stays within the
+        # worker's running remainder (budgets are positive, so the cumsum
+        # is monotone and the comparison yields a prefix).
+        keep_len = np.zeros(pairs.num_pairs, dtype=np.int64)
+        for j in range(len(workers)):
+            lo, hi = int(offsets[j]), int(offsets[j + 1])
+            remaining = remaining0[j]
+            for p in range(lo, hi):
+                z = int(budget_len[p])
+                k = int(np.count_nonzero(prefix[p, 1 : z + 1] <= remaining + 1e-12))
+                keep_len[p] = k
+                if k:
+                    remaining -= prefix[p, k]
+
+        if np.array_equal(keep_len, budget_len):
+            capped = instance
+        else:
+            capped = _slice_capped_instance(instance, keep_len)
+
+        # The single home of the privacy-cap invariant: even if every
+        # retained budget element of every pair is published this flush,
+        # no worker can exceed their remaining shift budget.
+        kept_total = prefix[np.arange(pairs.num_pairs), keep_len]
+        cum = np.concatenate(([0.0], np.cumsum(kept_total)))
+        per_worker = cum[offsets[1:]] - cum[offsets[:-1]]
+        if not np.all(per_worker <= remaining0 + 1e-9):
+            overdrawn = int(np.argmax(per_worker - remaining0))
+            raise ConfigurationError(
+                f"flush cap violated for worker {workers[overdrawn].id}: "
+                f"worst-case spend {per_worker[overdrawn]:.6f} exceeds "
+                f"remaining budget {remaining0[overdrawn]:.6f}"
+            )
+        return capped

@@ -1,6 +1,5 @@
 """Unit tests for the Conflict Elimination Algorithm (Section IV)."""
 
-import math
 
 from repro.core.cea import (
     Candidate,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import ConflictEliminationSolver, EliminationPolicy
+from repro.core.engine import EliminationPolicy
 from repro.core.nonprivate import DCESolver, UCESolver
 from repro.core.pdce import PDCESolver
 from repro.core.puce import PUCESolver

@@ -1,7 +1,5 @@
 """Unit tests for GRD and shared non-private solver behaviour."""
 
-import pytest
-
 from repro.core.nonprivate import DCESolver, GreedySolver, UCESolver
 from tests.conftest import build_instance
 

@@ -4,9 +4,7 @@ import pytest
 
 from repro.datasets.io import load_tasks, load_workers, save_tasks, save_workers
 from repro.datasets.synthetic import NormalGenerator
-from repro.datasets.workload import Task, Worker
 from repro.errors import DatasetError
-from repro.spatial.geometry import Point
 
 
 class TestRoundTrip:

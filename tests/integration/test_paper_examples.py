@@ -145,7 +145,6 @@ class TestExample2PUCE:
         # utilities are all non-positive).
         assert result.publishes == 7
         for (i, j) in DRAWS:
-            expected = 1 if (i, j) in BUDGETS else 0
             spend = result.ledger.pair_spend(j, i)
             assert spend.proposals == 1, f"pair {(i, j)} should have 1 release"
             assert spend.epsilons == (BUDGETS[(i, j)][0],)

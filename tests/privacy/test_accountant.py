@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.privacy.accountant import PairSpend, PrivacyLedger
+from repro.privacy.accountant import PrivacyLedger
 
 
 class TestPrivacyLedger:

@@ -3,7 +3,6 @@
 import itertools
 import math
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

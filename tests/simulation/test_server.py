@@ -121,3 +121,32 @@ class TestAllocationList:
         assert server.task_of(0) is None
         matching = server.matching()  # must not raise
         assert len(matching) == 1
+
+
+class TestAssignedCount:
+    def test_tracks_churn_incrementally(self, server_and_instance):
+        server, _ = server_and_instance
+        assert server.assigned_count == 0
+        server.assign(0, 0)
+        assert server.assigned_count == 1
+        server.assign(1, 1)
+        assert server.assigned_count == 2
+        server.assign(0, 1)  # w1 moves t1 -> t0, displacing w0
+        assert server.assigned_count == 1
+        server.unassign(0)
+        assert server.assigned_count == 0
+        server.unassign(0)  # idempotent on an empty task
+        assert server.assigned_count == 0
+
+    def test_matches_allocation_scan(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(0, 1)
+        server.assign(1, 0)
+        scanned = sum(1 for w in server.allocation() if w is not None)
+        assert server.assigned_count == scanned
+
+    def test_array_snapshots_match_state(self, server_and_instance):
+        server, _ = server_and_instance
+        server.assign(1, 0)
+        assert server.allocation_array().tolist() == [-1, 0]
+        assert server.holding_array()[0] == 1

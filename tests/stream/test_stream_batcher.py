@@ -163,3 +163,52 @@ class TestBudgetCappedInstances:
             instance.budget_vector(i, j).total for i, j in instance.feasible_pairs()
         )
         assert total <= tracker.remaining(0) + 1e-9
+
+
+class TestCappedArraySlicing:
+    """The vectorized truncation must leave coherent CSR pair arrays."""
+
+    def test_sliced_arrays_stay_consistent(self):
+        batcher = MicroBatcher(
+            budget_sampler=BudgetSampler(low=1.0, high=1.0, group_size=3)
+        )
+        tasks = [open_task(0, x=0.0), open_task(1, x=1.0), open_task(2, x=2.0)]
+        workers = [worker(0, x=0.5), worker(1, x=1.5), worker(2, x=2.5)]
+        tracker = WorkerBudgetTracker()
+        tracker.register(0, 4.0)   # truncates worker 0's second pair
+        tracker.register(1, 0.5)   # drops worker 1 entirely
+        # worker 2 unregistered: infinite capacity, untouched vectors
+        instance = batcher.build_instance(tasks, workers, tracker, seed=0)
+
+        assert instance.reachable[1] == ()
+        pairs = instance.pairs
+        for j in range(instance.num_workers):
+            sl = pairs.worker_slice(j)
+            assert tuple(pairs.task[sl].tolist()) == instance.reachable[j]
+        # Every retained vector is the exact prefix of the sampled one and
+        # worst-case spend fits each worker's remaining budget.
+        for (i, j) in instance.feasible_pairs():
+            vector = instance.budget_vector(i, j)
+            assert all(e == 1.0 for e in vector.epsilons)
+        spend_w0 = sum(
+            instance.budget_vector(i, j).total
+            for (i, j) in instance.feasible_pairs()
+            if j == 0
+        )
+        assert spend_w0 <= 4.0 + 1e-9
+
+    def test_cap_invariant_has_single_home(self):
+        """A tracker reporting negative remaining trips the cap check."""
+        batcher = MicroBatcher(
+            budget_sampler=BudgetSampler(low=1.0, high=1.0, group_size=1)
+        )
+
+        class BrokenTracker(WorkerBudgetTracker):
+            def remaining(self, worker_id):
+                return float("nan")  # poisons every comparison
+
+        # NaN remaining keeps no budget elements, and the one-home cap
+        # check rejects the poisoned comparison loudly instead of handing
+        # the solver an uncapped instance.
+        with pytest.raises(ConfigurationError, match="flush cap"):
+            batcher.build_instance([open_task(0)], [worker(0)], BrokenTracker(), seed=0)

@@ -1,7 +1,5 @@
 """Stream edge cases: empty streams, mass expiry, drained fleets, budgets."""
 
-import pytest
-
 from repro.datasets.synthetic import NormalGenerator
 from repro.stream.arrivals import PoissonProcess, StreamWorkload
 from repro.stream.runner import StreamRunner
