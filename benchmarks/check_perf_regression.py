@@ -1,0 +1,122 @@
+"""Perf-regression gate: fresh bench JSONs vs the committed baselines.
+
+CI runs ``bench_engine_core.py`` and ``bench_stream_throughput.py`` in
+smoke mode with ``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory,
+then invokes this script to compare the fresh measurements against the
+*committed* ``BENCH_core.json`` / ``BENCH_stream.json`` at the repository
+root.
+
+The comparison is deliberately generous — a ``--floor`` of 3.0 means a
+fresh number may be up to 3x slower than the committed baseline before
+the gate trips.  CI runners are noisy, share cores, and run the benches
+at reduced scale, so this is a catch-the-cliff gate (an accidental
+O(n^2), a scalar fallback on the hot path), not a micro-regression
+detector.  Throughput-style metrics (pairs/sec, tasks/sec) are compared
+because they are roughly scale-independent, unlike wall times.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py --fresh <dir> [--floor 3.0]
+
+Exits non-zero on any regression, printing one line per check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load(path: Path) -> dict:
+    if not path.is_file():
+        sys.exit(f"missing benchmark JSON: {path}")
+    return json.loads(path.read_text())
+
+
+def check_core(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Vectorized solver throughput, geomean over (method, size) rows."""
+    base = geomean([r["vectorized_pairs_per_sec"] for r in committed["rows"]])
+    now = geomean([r["vectorized_pairs_per_sec"] for r in fresh["rows"]])
+    ok = now >= base / floor
+    lines.append(
+        f"core   vectorized pairs/s geomean: fresh {now:>12,.0f}  "
+        f"committed {base:>12,.0f}  floor {base / floor:>12,.0f}  "
+        f"{'ok' if ok else 'REGRESSION'}"
+    )
+    return ok
+
+
+def check_stream(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Per-(method, mode) streaming throughput in assigned tasks/sec."""
+    def key(row: dict) -> tuple[str, str]:
+        return (row["method"], row.get("mode", "sequential"))
+
+    baseline = {key(row): row["tasks_per_sec"] for row in committed["rows"]}
+    all_ok = True
+    compared = 0
+    for row in fresh["rows"]:
+        k = key(row)
+        if k not in baseline:
+            continue
+        compared += 1
+        ok = row["tasks_per_sec"] >= baseline[k] / floor
+        all_ok &= ok
+        lines.append(
+            f"stream {k[0]:<6} {k[1]:<11} tasks/s: fresh {row['tasks_per_sec']:>12,.0f}  "
+            f"committed {baseline[k]:>12,.0f}  floor {baseline[k] / floor:>12,.0f}  "
+            f"{'ok' if ok else 'REGRESSION'}"
+        )
+    if compared == 0:
+        lines.append("stream: no comparable (method, mode) rows — REGRESSION")
+        return False
+    return all_ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        type=Path,
+        help="directory holding the freshly measured BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=3.0,
+        help="allowed slowdown factor vs the committed baseline (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    lines: list[str] = []
+    ok = check_core(
+        load(ROOT / "BENCH_core.json"),
+        load(args.fresh / "BENCH_core.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_stream(
+        load(ROOT / "BENCH_stream.json"),
+        load(args.fresh / "BENCH_stream.json"),
+        args.floor,
+        lines,
+    )
+    print("\n".join(lines))
+    if not ok:
+        print(f"perf regression beyond the {args.floor}x floor", file=sys.stderr)
+        return 1
+    print(f"all benchmarks within the {args.floor}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

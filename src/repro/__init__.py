@@ -81,6 +81,7 @@ from repro.errors import (
     ConfigurationError,
     ConvergenceError,
     DatasetError,
+    FlushBudgetError,
     InvalidInstanceError,
     MatchingError,
     ReproError,
@@ -96,11 +97,14 @@ from repro.privacy import (
 from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
 from repro.spatial import Point
 from repro.stream import (
+    AdaptiveBatchController,
     BurstyProcess,
     DispatchSimulator,
     MicroBatcher,
     PoissonProcess,
     RushHourProcess,
+    ShardedFlushExecutor,
+    ShardSeedSchedule,
     StreamConfig,
     StreamReport,
     StreamRunner,
@@ -171,7 +175,10 @@ __all__ = [
     "TaskArrival",
     "WorkerArrival",
     "MicroBatcher",
+    "AdaptiveBatchController",
     "WorkerBudgetTracker",
+    "ShardedFlushExecutor",
+    "ShardSeedSchedule",
     "StreamConfig",
     "DispatchSimulator",
     "StreamRunner",
@@ -181,6 +188,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "InvalidInstanceError",
+    "FlushBudgetError",
     "BudgetExhaustedError",
     "MatchingError",
     "ConvergenceError",

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -160,6 +160,30 @@ class ConflictEliminationSolver:
         """Run the batch protocol to quiescence on ``instance``."""
         result, _ = self.solve_with_trace(instance, seed)
         return result
+
+    def solve_shards(
+        self,
+        instances: "Sequence[ProblemInstance]",
+        seeds: "Sequence[int | np.random.Generator | None]",
+    ) -> list[AssignmentResult]:
+        """Run the batch protocol on precut shard instances, one run each.
+
+        The engine-side entry point of the sharded flush executor
+        (:mod:`repro.stream.shards`): each instance is an independent,
+        conflict-free shard of a larger flush — no worker or task appears
+        in two of them — and is solved as its own protocol episode with
+        its own seed.  Results come back in input order; merging them is
+        the caller's job (the shards layer owns the deterministic merge
+        ordering).
+        """
+        if len(instances) != len(seeds):
+            raise ConfigurationError(
+                f"{len(instances)} shard instances but {len(seeds)} seeds"
+            )
+        return [
+            self.solve(instance, seed=seed)
+            for instance, seed in zip(instances, seeds)
+        ]
 
     def solve_with_trace(
         self, instance: ProblemInstance, seed: int | np.random.Generator | None = None

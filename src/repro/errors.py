@@ -23,6 +23,35 @@ class InvalidInstanceError(ReproError):
     """
 
 
+class FlushBudgetError(ConfigurationError):
+    """A micro-batch flush violated a worker's shift-budget accounting.
+
+    Raised by the streaming layer when the single-home flush-cap check of
+    :meth:`repro.stream.batcher.MicroBatcher.build_instance` finds a
+    worst-case flush spend above a worker's remaining shift budget, or
+    when :meth:`repro.stream.batcher.WorkerBudgetTracker.charge` audits a
+    ledger that pushed a worker past capacity.  Carries the offending
+    worker and the numbers so parallel shard workers surface diagnosable
+    failures instead of a bare assertion.
+
+    Subclasses :class:`ConfigurationError` so pre-existing guards keep
+    catching it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_id: object = None,
+        spend: float | None = None,
+        remaining: float | None = None,
+    ):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.spend = spend
+        self.remaining = remaining
+
+
 class BudgetExhaustedError(ReproError):
     """A worker attempted to spend a privacy budget element that is gone.
 

@@ -7,6 +7,7 @@ Examples::
     python -m repro.experiments run fig17 --datasets chengdu normal
     python -m repro.experiments stream --arrivals poisson --methods PUCE UCE
     python -m repro.experiments stream --arrivals trace --horizon 24
+    python -m repro.experiments stream --shards 4 --parallel process --adaptive
 """
 
 from __future__ import annotations
@@ -59,6 +60,29 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--worker-budget", type=float, default=40.0, help="per-worker shift budget cap")
     stream.add_argument("--max-batch", type=int, default=50, help="micro-batch flush size")
     stream.add_argument("--max-wait", type=float, default=0.2, help="micro-batch flush wait")
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="conflict-free shard slots per flush (0 = unsharded engine)",
+    )
+    stream.add_argument(
+        "--parallel",
+        choices=("off", "thread", "process"),
+        default="off",
+        help="how to execute shard groups (requires --shards >= 1)",
+    )
+    stream.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adapt the flush size to observed flush service times",
+    )
+    stream.add_argument(
+        "--target-flush-seconds",
+        type=float,
+        default=0.02,
+        help="adaptive controller's per-flush solver-time target",
+    )
     stream.add_argument("--seed", type=int, default=0)
 
     args = parser.parse_args(argv)
@@ -83,7 +107,14 @@ def main(argv: list[str] | None = None) -> int:
             worker_budget=args.worker_budget,
             seed=args.seed,
         )
-        config = StreamConfig(max_batch_size=args.max_batch, max_wait=args.max_wait)
+        config = StreamConfig(
+            max_batch_size=args.max_batch,
+            max_wait=args.max_wait,
+            shards=args.shards,
+            parallel=args.parallel,
+            adaptive=args.adaptive,
+            target_flush_seconds=args.target_flush_seconds,
+        )
         report = run_stream(tuple(args.methods), scenario, config=config)
         print(format_stream_report(report, scenario))
         return 0

@@ -91,6 +91,61 @@ class PairArrays:
             self.budget_prefix[pair_index, int(self.budget_len[pair_index])]
         )
 
+    # -- slicing --------------------------------------------------------
+
+    def subset(
+        self,
+        worker_indices: Sequence[int] | np.ndarray,
+        task_indices: Sequence[int] | np.ndarray,
+    ) -> "PairArrays":
+        """CSR slice onto a (worker, task) subset, locally renumbered.
+
+        The shard-cut fast path: picks the full pair rows of
+        ``worker_indices`` (in the given order) and renumbers tasks to
+        positions in ``task_indices``.  The subset must be *closed* — every
+        selected worker's reachable tasks must appear in ``task_indices``
+        — which is exactly the conflict-free shard invariant; a pair that
+        escapes the task set raises :class:`InvalidInstanceError`.
+
+        Budget rows are copied verbatim (narrowed to the subset's own
+        ``Z_max``), so prefix sums — recomputed by ``__post_init__`` over
+        the same values in the same order — stay bit-identical to the
+        parent's.
+        """
+        w_sel = np.asarray(worker_indices, dtype=np.int64)
+        t_sel = np.asarray(task_indices, dtype=np.int64)
+        task_map = np.full(self.num_tasks, -1, dtype=np.int64)
+        task_map[t_sel] = np.arange(t_sel.shape[0], dtype=np.int64)
+
+        counts = self.offsets[w_sel + 1] - self.offsets[w_sel]
+        new_offsets = np.zeros(w_sel.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_offsets[1:])
+        total = int(new_offsets[-1])
+        # Ragged range concatenation without a per-worker Python loop:
+        # each selected worker's slice start, rebased onto the new CSR.
+        sel = np.repeat(self.offsets[w_sel] - new_offsets[:-1], counts) + np.arange(
+            total, dtype=np.int64
+        )
+
+        new_task = task_map[self.task[sel]]
+        if np.any(new_task < 0):
+            escaped = int(self.task[sel][np.argmax(new_task < 0)])
+            raise InvalidInstanceError(
+                f"subset is not task-closed: task {escaped} reachable from a "
+                f"selected worker is outside the task subset"
+            )
+        new_len = self.budget_len[sel]
+        z_max = int(new_len.max()) if new_len.size else 1
+        return PairArrays(
+            offsets=new_offsets,
+            task=new_task,
+            worker=np.repeat(np.arange(w_sel.shape[0], dtype=np.int64), counts),
+            distance=self.distance[sel].copy(),
+            budget_matrix=self.budget_matrix[sel, :z_max].copy(),
+            budget_len=new_len.copy(),
+            task_value=self.task_value[t_sel].copy(),
+        )
+
     # -- construction --------------------------------------------------
 
     @classmethod

@@ -15,7 +15,35 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["GridIndex"]
+__all__ = ["GridIndex", "grid_cell_labels"]
+
+
+def grid_cell_labels(
+    points: Sequence[tuple[float, float]] | np.ndarray,
+    cell_size: float | None = None,
+) -> np.ndarray:
+    """Dense integer grid-cell label per point, without building buckets.
+
+    The vectorized companion of :meth:`GridIndex.cell_labels` for callers
+    that only need the cell partition (the stream layer's shard cut):
+    same heuristic cell size, same ``(col, row)``-ranked labels, but no
+    per-point Python bucket loop.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) point array, got shape {pts.shape}")
+    if cell_size is None:
+        cell_size = GridIndex._auto_cell_size(pts)
+    if cell_size <= 0:
+        raise ValueError(f"cell_size must be positive, got {cell_size}")
+    cols = np.floor((pts[:, 0] - pts[:, 0].min()) / cell_size).astype(np.int64)
+    rows = np.floor((pts[:, 1] - pts[:, 1].min()) / cell_size).astype(np.int64)
+    # One scalar key per cell ((col, row) lexicographic rank): 1-D unique
+    # is much faster than the structured row-wise variant.
+    _, labels = np.unique(cols * (rows.max() + 1) + rows, return_inverse=True)
+    return labels.astype(np.int64).reshape(-1)
 
 
 class GridIndex:
@@ -54,9 +82,13 @@ class GridIndex:
             self._min_x = self._min_y = 0.0
 
         self._buckets: dict[tuple[int, int], list[int]] = {}
+        self._max_col = 0
+        self._max_row = 0
         if self._n:
             cols = np.floor((pts[:, 0] - self._min_x) / self._cell).astype(np.int64)
             rows = np.floor((pts[:, 1] - self._min_y) / self._cell).astype(np.int64)
+            self._max_col = int(cols.max())
+            self._max_row = int(rows.max())
             for idx, key in enumerate(zip(cols.tolist(), rows.tolist())):
                 self._buckets.setdefault(key, []).append(idx)
 
@@ -88,10 +120,29 @@ class GridIndex:
         return view
 
     def _cell_of(self, x: float, y: float) -> tuple[int, int]:
-        return (
-            int(math.floor((x - self._min_x) / self._cell)),
-            int(math.floor((y - self._min_y) / self._cell)),
-        )
+        """Cell coordinates of a point, saturated to just beyond the grid.
+
+        A denormal cell size (near-coincident point sets) can push the
+        raw ratio to +/-inf; saturating to one cell outside the occupied
+        range keeps ``int()`` safe and is lossless for the callers,
+        which clamp to the occupied range anyway.
+        """
+        limit = float(max(self._max_col, self._max_row) + 1)
+        col = min(max((x - self._min_x) / self._cell, -1.0), limit)
+        row = min(max((y - self._min_y) / self._cell, -1.0), limit)
+        return (int(math.floor(col)), int(math.floor(row)))
+
+    def cell_labels(self) -> np.ndarray:
+        """Dense integer grid-cell label per indexed point.
+
+        Points sharing a grid cell share a label; labels are ranked by
+        ``(col, row)`` so the mapping is deterministic for a given point
+        set and cell size.  This is the spatial coarsening the stream
+        layer's shard cut is built on: a cell is the smallest unit that
+        may move between shards.  (:func:`grid_cell_labels` computes the
+        same partition without building an index.)
+        """
+        return grid_cell_labels(self._points, self._cell)
 
     def query_circle(self, center: tuple[float, float], radius: float) -> list[int]:
         """Indices of all points within ``radius`` of ``center`` (inclusive).
@@ -106,6 +157,12 @@ class GridIndex:
         cx, cy = float(center[0]), float(center[1])
         lo_col, lo_row = self._cell_of(cx - radius, cy - radius)
         hi_col, hi_row = self._cell_of(cx + radius, cy + radius)
+        # Clamp to the occupied grid: cells outside hold no points, and
+        # without the clamp a near-degenerate point spread (denormal
+        # span -> denormal cell size) turns ``radius / cell`` into ~1e308
+        # candidate cells and the scan below into an effective hang.
+        lo_col, hi_col = max(lo_col, 0), min(hi_col, self._max_col)
+        lo_row, hi_row = max(lo_row, 0), min(hi_row, self._max_row)
         hits: list[int] = []
         pts = self._points
         for col in range(lo_col, hi_col + 1):

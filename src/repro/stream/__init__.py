@@ -10,6 +10,12 @@ micro-batcher converts the pending buffer into budget-capped
 timeline through every method (:mod:`repro.stream.runner`), collecting
 latency / expiry / throughput / privacy-over-time measures
 (:mod:`repro.stream.metrics`).
+
+Scaling layer: flushes can be *sharded* — spatially cut into
+conflict-free components and solved independently, sequentially or in
+parallel (:mod:`repro.stream.shards`) — and the flush size can *adapt* to
+observed flush service times
+(:class:`~repro.stream.batcher.AdaptiveBatchController`).
 """
 
 from repro.stream.arrivals import (
@@ -20,7 +26,11 @@ from repro.stream.arrivals import (
     StreamWorkload,
     TraceProcess,
 )
-from repro.stream.batcher import MicroBatcher, WorkerBudgetTracker
+from repro.stream.batcher import (
+    AdaptiveBatchController,
+    MicroBatcher,
+    WorkerBudgetTracker,
+)
 from repro.stream.events import (
     ActiveWorker,
     OpenTask,
@@ -31,6 +41,15 @@ from repro.stream.events import (
 )
 from repro.stream.metrics import FlushRecord, StreamStats
 from repro.stream.runner import StreamReport, StreamRunner
+from repro.stream.shards import (
+    ShardComponent,
+    ShardCut,
+    ShardedFlushExecutor,
+    ShardSeedSchedule,
+    build_shard_instance,
+    cut_flush,
+    merge_shard_results,
+)
 from repro.stream.simulator import DispatchSimulator, StreamConfig
 
 __all__ = [
@@ -47,7 +66,15 @@ __all__ = [
     "ActiveWorker",
     "merge_events",
     "MicroBatcher",
+    "AdaptiveBatchController",
     "WorkerBudgetTracker",
+    "ShardComponent",
+    "ShardCut",
+    "ShardSeedSchedule",
+    "ShardedFlushExecutor",
+    "cut_flush",
+    "build_shard_instance",
+    "merge_shard_results",
     "StreamConfig",
     "DispatchSimulator",
     "StreamRunner",

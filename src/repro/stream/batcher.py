@@ -29,13 +29,13 @@ import numpy as np
 from repro.core.budgets import BudgetSampler
 from repro.core.utility import UtilityModel
 from repro.datasets.workload import Worker
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FlushBudgetError
 from repro.privacy.accountant import PrivacyLedger
 from repro.simulation.instance import ProblemInstance
 from repro.simulation.pairs import PairArrays
 from repro.stream.events import OpenTask
 
-__all__ = ["WorkerBudgetTracker", "MicroBatcher"]
+__all__ = ["WorkerBudgetTracker", "MicroBatcher", "AdaptiveBatchController"]
 
 
 class WorkerBudgetTracker:
@@ -94,9 +94,12 @@ class WorkerBudgetTracker:
             self._total += epsilon
         for worker_id in flush_ledger.workers():
             if self.remaining(worker_id) < -1e-9:
-                raise ConfigurationError(
+                raise FlushBudgetError(
                     f"worker {worker_id} exceeded shift budget: spent "
-                    f"{self.spent(worker_id):.4f} of {self.capacity(worker_id):.4f}"
+                    f"{self.spent(worker_id):.4f} of {self.capacity(worker_id):.4f}",
+                    worker_id=worker_id,
+                    spend=self.spent(worker_id),
+                    remaining=self.remaining(worker_id),
                 )
 
     def total_spend(self) -> float:
@@ -144,23 +147,81 @@ def _slice_capped_instance(
 
 
 @dataclass
+class AdaptiveBatchController:
+    """Target-latency controller for the micro-batch flush size.
+
+    Watches each flush's *service time* (solver wall seconds) and steers
+    ``max_batch_size`` toward the largest flush the solver can clear
+    within ``target_seconds``: bigger flushes amortise per-flush overhead
+    and give the solver more pairs per sweep, but a flush that takes
+    longer than the target starts eating into assignment latency.
+
+    The policy is deterministic and multiplicative (AIMD-flavoured):
+
+    * a flush slower than the target shrinks the size proportionally to
+      the overshoot (never below ``min_size``);
+    * a *full* flush faster than ``headroom * target`` grows the size by
+      ``growth`` (never above ``max_size``) — under-filled flushes carry
+      no evidence that a bigger limit would fill, so they never grow it.
+    """
+
+    target_seconds: float = 0.02
+    min_size: int = 8
+    max_size: int = 2000
+    growth: float = 1.5
+    headroom: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.target_seconds > 0:
+            raise ConfigurationError(
+                f"target_seconds must be positive, got {self.target_seconds}"
+            )
+        if not 1 <= self.min_size <= self.max_size:
+            raise ConfigurationError(
+                f"need 1 <= min_size <= max_size, got "
+                f"[{self.min_size}, {self.max_size}]"
+            )
+        if not self.growth > 1.0:
+            raise ConfigurationError(f"growth must exceed 1, got {self.growth}")
+        if not 0 < self.headroom <= 1.0:
+            raise ConfigurationError(
+                f"headroom must be in (0, 1], got {self.headroom}"
+            )
+
+    def next_size(self, current: int, service_seconds: float, flushed: int) -> int:
+        """The flush-size limit to use after one observed flush."""
+        if service_seconds > self.target_seconds:
+            shrunk = int(current * self.target_seconds / service_seconds)
+            return max(self.min_size, min(shrunk, current - 1))
+        if flushed >= current and service_seconds < self.headroom * self.target_seconds:
+            return min(self.max_size, max(int(current * self.growth), current + 1))
+        return current
+
+
+@dataclass
 class MicroBatcher:
     """Pending-task buffer with size- and wait-based flush triggers.
 
     Parameters
     ----------
     max_batch_size:
-        Flush as soon as this many tasks are pending.
+        Flush as soon as this many tasks are pending.  With a
+        ``controller`` attached this is only the *initial* limit — each
+        observed flush may grow or shrink it.
     max_wait:
         Flush as soon as the oldest pending task has waited this long.
     budget_sampler, model:
         Per-flush instance parameters (Table X defaults when omitted).
+    controller:
+        Optional :class:`AdaptiveBatchController`; feed it through
+        :meth:`observe_flush` after every flush.
     """
 
     max_batch_size: int = 200
     max_wait: float = 0.25
     budget_sampler: BudgetSampler | None = None
     model: UtilityModel | None = None
+    controller: AdaptiveBatchController | None = None
     _pending: list[OpenTask] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -170,6 +231,22 @@ class MicroBatcher:
             )
         if not self.max_wait > 0:
             raise ConfigurationError(f"max_wait must be positive, got {self.max_wait}")
+        if self.controller is not None:
+            self.max_batch_size = max(
+                self.controller.min_size,
+                min(self.max_batch_size, self.controller.max_size),
+            )
+
+    def observe_flush(self, service_seconds: float, flushed: int) -> int:
+        """Adapt ``max_batch_size`` to one flush's observed service time.
+
+        No-op without a controller.  Returns the limit now in force.
+        """
+        if self.controller is not None:
+            self.max_batch_size = self.controller.next_size(
+                self.max_batch_size, service_seconds, flushed
+            )
+        return self.max_batch_size
 
     # -- buffer ------------------------------------------------------------
 
@@ -298,9 +375,12 @@ class MicroBatcher:
         per_worker = cum[offsets[1:]] - cum[offsets[:-1]]
         if not np.all(per_worker <= remaining0 + 1e-9):
             overdrawn = int(np.argmax(per_worker - remaining0))
-            raise ConfigurationError(
+            raise FlushBudgetError(
                 f"flush cap violated for worker {workers[overdrawn].id}: "
                 f"worst-case spend {per_worker[overdrawn]:.6f} exceeds "
-                f"remaining budget {remaining0[overdrawn]:.6f}"
+                f"remaining budget {remaining0[overdrawn]:.6f}",
+                worker_id=workers[overdrawn].id,
+                spend=float(per_worker[overdrawn]),
+                remaining=float(remaining0[overdrawn]),
             )
         return capped

@@ -27,7 +27,13 @@ __all__ = ["FlushRecord", "StreamStats"]
 
 @dataclass(frozen=True, slots=True)
 class FlushRecord:
-    """One micro-batch: what was flushed, solved and spent."""
+    """One micro-batch: what was flushed, solved and spent.
+
+    ``shards`` is how many conflict-free components the flush was cut
+    into (1 on the unsharded path); ``batch_limit`` is the
+    ``max_batch_size`` in force when the flush fired (it moves under
+    adaptive micro-batching; 0 means "not recorded").
+    """
 
     index: int
     time: float
@@ -36,6 +42,8 @@ class FlushRecord:
     matched: int
     solver_seconds: float
     cumulative_privacy_spend: float
+    shards: int = 1
+    batch_limit: int = 0
 
 
 @dataclass

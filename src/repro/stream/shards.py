@@ -1,0 +1,559 @@
+"""Sharded flush execution: conflict-free spatial cuts + parallel solves.
+
+A flush's :class:`~repro.simulation.instance.ProblemInstance` is a CSR
+pair graph, and the round-based protocol never couples two pairs that
+share neither a worker nor a task.  This module exploits that: the flush
+is *cut* into independent shards along grid-cell boundaries
+(:func:`cut_flush`), each shard becomes its own sub-instance
+(:func:`build_shard_instance` — plain CSR slices via
+:meth:`~repro.simulation.pairs.PairArrays.subset`), the engine solves the
+shards independently (:class:`ShardedFlushExecutor` — sequentially or in
+parallel via :mod:`concurrent.futures`), and the per-shard results merge
+back deterministically (:func:`merge_shard_results`).
+
+The **shard-cut invariant**: no worker and no task spans two shards.  The
+cut is the connected-component structure of the bipartite feasibility
+graph, coarsened by the grid cells of the task locations (points sharing
+a cell stay together; a worker glues every cell it reaches).  An
+oversized component simply *is* one shard — there is no way to split it
+without cutting a worker in half, so it falls back to a single engine
+run.
+
+**Determinism**: the cut is a pure function of the instance; each
+component is seeded from its own stable key (the smallest global worker
+index it contains) through a :class:`ShardSeedSchedule`; and results are
+merged in ascending component-key order.  Shard *grouping* (how
+components are packed onto ``num_shards`` execution slots) therefore
+affects scheduling only — the merged assignments, ledgers and release
+boards are bit-identical across shard counts and across
+sequential/thread/process execution.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.engine import ConflictEliminationSolver
+from repro.core.result import AssignmentResult
+from repro.errors import ConfigurationError
+from repro.matching.bipartite import Matching
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.instance import ProblemInstance
+from repro.spatial.index import grid_cell_labels
+
+if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
+    from repro.core.registry import Solver
+
+__all__ = [
+    "ShardComponent",
+    "ShardCut",
+    "ShardSeedSchedule",
+    "ShardedFlushExecutor",
+    "PARALLEL_MODES",
+    "cut_flush",
+    "build_shard_instance",
+    "merge_shard_results",
+]
+
+PARALLEL_MODES = ("off", "thread", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardComponent:
+    """One conflict-free unit of a flush.
+
+    ``key`` is the component's canonical identity — the smallest global
+    worker index it contains — and is what the RNG schedule and the merge
+    order key on, so it must not depend on shard count or scheduling.
+    ``tasks`` / ``workers`` are sorted global indices into the parent
+    instance.
+    """
+
+    key: int
+    tasks: tuple[int, ...]
+    workers: tuple[int, ...]
+    pair_count: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCut:
+    """The conflict-free partition of one flush instance.
+
+    ``components`` are sorted by key.  ``orphan_tasks`` (no feasible
+    worker) and ``orphan_workers`` (no reachable task) belong to no shard:
+    they cannot take part in any assignment, so solving them would be a
+    no-op.
+    """
+
+    components: tuple[ShardComponent, ...]
+    orphan_tasks: tuple[int, ...]
+    orphan_workers: tuple[int, ...]
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+
+def _cut_cell_size(points: np.ndarray) -> float:
+    """Cell size for the shard cut: ~0.5 tasks per cell.
+
+    Finer than :class:`~repro.spatial.index.GridIndex`'s query-optimised
+    heuristic (~2 points per cell) on purpose — cells only *glue* tasks
+    together, the workers' reach does the real connecting, so coarse
+    cells just forfeit cut opportunities.  With ~2 cells per task the
+    cell partition approaches the exact bipartite-component cut while
+    the union-find stays small.
+    """
+    width = float(points[:, 0].max() - points[:, 0].min())
+    height = float(points[:, 1].max() - points[:, 1].min())
+    span = max(width, height)
+    cell = span / max(1.0, math.sqrt(2.0 * points.shape[0]))
+    # A denormal span can underflow the quotient to exactly 0.0; one
+    # all-enclosing cell is the right degenerate answer either way.
+    return cell if cell > 0.0 else 1.0
+
+
+class _UnionFind:
+    """Path-halving union-find over ``n`` dense labels."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            if rb < ra:  # smaller root wins: keeps labels deterministic
+                ra, rb = rb, ra
+            self.parent[rb] = ra
+
+
+#: Default coalescing floor (pairs per shard): components smaller than
+#: this merge, in key order, into one execution unit.  Dust components
+#: are plentiful in spatial workloads and each one pays a fixed engine +
+#: sub-instance cost; coalescing keeps that overhead amortised.
+MIN_SHARD_PAIRS = 192
+
+
+def cut_flush(
+    instance: ProblemInstance, min_shard_pairs: int = MIN_SHARD_PAIRS
+) -> ShardCut:
+    """Compute the conflict-free grid-cell cut of one flush instance.
+
+    Tasks are binned into grid cells (:meth:`GridIndex.cell_labels` over
+    the task locations); every worker unions the cells of its reachable
+    tasks; the resulting cell components — equivalently, a coarsening of
+    the bipartite feasibility graph's connected components — are the
+    shards.  No worker or task can span two of them by construction.
+
+    ``min_shard_pairs`` coalesces small components (ascending key order)
+    into units of at least that many pairs; the trailing dust remainder
+    folds into the last dust-formed unit, so at most one unit (an
+    all-dust flush) sits below the threshold.  The rule is part of the
+    *cut*, not the scheduling: for a fixed threshold the units — and
+    therefore every per-unit noise stream — are identical whatever the
+    shard count or parallel mode.  A component at or above the threshold
+    (in particular any oversized one) stands alone as a single shard;
+    dust never merges into it.
+    """
+    pairs = instance.pairs
+    all_tasks = np.arange(instance.num_tasks, dtype=np.int64)
+    all_workers = np.arange(instance.num_workers, dtype=np.int64)
+    if pairs.num_pairs == 0:
+        return ShardCut(
+            components=(),
+            orphan_tasks=tuple(all_tasks.tolist()),
+            orphan_workers=tuple(all_workers.tolist()),
+        )
+
+    points = np.asarray([t.location for t in instance.tasks], dtype=float)
+    labels = grid_cell_labels(points, _cut_cell_size(points))
+    offsets = pairs.offsets
+    pair_task = pairs.task
+    worker_pair_counts = (offsets[1:] - offsets[:-1]).astype(np.int64)
+    busy_workers = np.flatnonzero(worker_pair_counts > 0)
+
+    # Union every worker's cells through its *first* cell.  One edge per
+    # (worker-first-cell, pair-cell) suffices for connectivity, and
+    # deduplicating the edge list first keeps the union-find loop tiny.
+    pair_cells = labels[pair_task]
+    anchor_cells = np.repeat(
+        pair_cells[offsets[busy_workers]], worker_pair_counts[busy_workers]
+    )
+    num_cells = int(labels.max()) + 1
+    edge_keys = np.unique(anchor_cells * num_cells + pair_cells)
+    uf = _UnionFind(num_cells)
+    for key in edge_keys.tolist():
+        a, b = divmod(key, num_cells)
+        if a != b:
+            uf.union(a, b)
+    cell_root = np.fromiter(
+        (uf.find(c) for c in range(len(uf.parent))), dtype=np.int64
+    )
+
+    # Group tasks and workers by their cell's root; both index arrays are
+    # ascending, so a stable sort by root keeps them ascending per group
+    # and the first worker of a group is its canonical key.
+    task_has_pair = np.zeros(instance.num_tasks, dtype=bool)
+    task_has_pair[pair_task] = True
+    busy_tasks = np.flatnonzero(task_has_pair)
+    task_roots = cell_root[labels[busy_tasks]]
+    worker_roots = cell_root[pair_cells[offsets[busy_workers]]]
+
+    components = []
+    t_order = np.argsort(task_roots, kind="stable")
+    w_order = np.argsort(worker_roots, kind="stable")
+    t_groups, t_starts = np.unique(task_roots[t_order], return_index=True)
+    w_groups, w_starts = np.unique(worker_roots[w_order], return_index=True)
+    t_split = dict(zip(t_groups.tolist(), np.split(busy_tasks[t_order], t_starts[1:])))
+    for root, group_workers in zip(
+        w_groups.tolist(), np.split(busy_workers[w_order], w_starts[1:])
+    ):
+        components.append(
+            ShardComponent(
+                key=int(group_workers[0]),
+                tasks=tuple(t_split[root].tolist()),
+                workers=tuple(group_workers.tolist()),
+                pair_count=int(worker_pair_counts[group_workers].sum()),
+            )
+        )
+    components.sort(key=lambda c: c.key)
+    return ShardCut(
+        components=tuple(_coalesce(components, min_shard_pairs)),
+        orphan_tasks=tuple(np.flatnonzero(~task_has_pair).tolist()),
+        orphan_workers=tuple(np.flatnonzero(worker_pair_counts == 0).tolist()),
+    )
+
+
+def _coalesce(
+    components: Sequence[ShardComponent], min_shard_pairs: int
+) -> list[ShardComponent]:
+    """Coalesce key-ordered dust components into >=threshold units.
+
+    A component at or above the threshold stands alone — dust never
+    rides along on it (that would re-key its noise stream and fatten the
+    parallel critical path).  Dust components accumulate, in key order,
+    into merged units of at least ``min_shard_pairs``; the trailing
+    remainder folds into the last dust-formed unit, so at most one unit
+    (all-dust flushes) ends up below the threshold.  The union of
+    conflict-free components is itself conflict-free, so every merged
+    unit is still a valid shard; its key is the smallest worker index it
+    contains — the first member's, since input is key-sorted.
+    """
+    if min_shard_pairs <= 1:
+        return list(components)
+    units: list[ShardComponent] = []
+    bucket: list[ShardComponent] = []
+    bucket_pairs = 0
+    last_dust_unit: int | None = None
+    for component in components:
+        if component.pair_count >= min_shard_pairs:
+            units.append(component)
+            continue
+        bucket.append(component)
+        bucket_pairs += component.pair_count
+        if bucket_pairs >= min_shard_pairs:
+            units.append(_merge_components(bucket))
+            last_dust_unit = len(units) - 1
+            bucket, bucket_pairs = [], 0
+    if bucket:
+        if last_dust_unit is not None:
+            units[last_dust_unit] = _merge_components(
+                [units[last_dust_unit], *bucket]
+            )
+        else:
+            units.append(_merge_components(bucket))
+    units.sort(key=lambda c: c.key)
+    return units
+
+
+def _merge_components(members: Sequence[ShardComponent]) -> ShardComponent:
+    if len(members) == 1:
+        return members[0]
+    tasks: list[int] = []
+    workers: list[int] = []
+    for member in members:
+        tasks.extend(member.tasks)
+        workers.extend(member.workers)
+    return ShardComponent(
+        key=min(m.key for m in members),
+        tasks=tuple(sorted(tasks)),
+        workers=tuple(sorted(workers)),
+        pair_count=sum(m.pair_count for m in members),
+    )
+
+
+def build_shard_instance(
+    instance: ProblemInstance, component: ShardComponent
+) -> ProblemInstance:
+    """One component's sub-instance: CSR slices, locally renumbered.
+
+    Task and worker *records* (with their global public ids) are carried
+    over verbatim, so per-shard matchings and ledgers are keyed by global
+    ids and merge by plain union.
+    """
+    sub_pairs = instance.pairs.subset(component.workers, component.tasks)
+    reachable = tuple(
+        tuple(sub_pairs.task[sub_pairs.worker_slice(j)].tolist())
+        for j in range(len(component.workers))
+    )
+    return ProblemInstance.from_arrays(
+        tasks=[instance.tasks[i] for i in component.tasks],
+        workers=[instance.workers[j] for j in component.workers],
+        model=instance.model,
+        reachable=reachable,
+        pairs=sub_pairs,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSeedSchedule:
+    """Per-component noise streams derived from one picklable base key.
+
+    Component ``key`` gets ``default_rng((*base, key))`` — stable across
+    shard counts, shard grouping and process boundaries, which is what
+    makes the sharded path's results independent of how (and where) the
+    shards were executed.
+    """
+
+    base: tuple[int, ...]
+
+    def generator(self, key: int) -> np.random.Generator:
+        return np.random.default_rng((*self.base, int(key)))
+
+
+def merge_shard_results(
+    instance: ProblemInstance,
+    method: str,
+    keyed_results: Sequence[tuple[int, AssignmentResult]],
+    elapsed_seconds: float,
+) -> AssignmentResult:
+    """Deterministic union of per-shard results (ascending key order).
+
+    Shards are disjoint in workers and tasks, so matchings and release
+    boards union without collisions; ledger events are re-recorded
+    shard-by-shard in key order so the merged audit trail is reproducible.
+    ``rounds`` is the max over shards (the parallel protocol depth);
+    ``publishes`` is the total.
+    """
+    matching: dict[object, object] = {}
+    ledger = PrivacyLedger()
+    board: dict[tuple[object, object], object] = {}
+    rounds = 0
+    publishes = 0
+    for _, result in sorted(keyed_results, key=lambda kr: kr[0]):
+        for task_id, worker_id in result.matching:
+            matching[task_id] = worker_id
+        for worker_id, task_id, epsilon in result.ledger.events():
+            ledger.record(worker_id, task_id, epsilon)
+        board.update(result.release_board)
+        rounds = max(rounds, result.rounds)
+        publishes += result.publishes
+    return AssignmentResult(
+        method=method,
+        instance=instance,
+        matching=Matching(matching),
+        ledger=ledger,
+        rounds=rounds,
+        publishes=publishes,
+        elapsed_seconds=elapsed_seconds,
+        release_board=board,
+    )
+
+
+def _solve_component_group(
+    solver: "Solver",
+    base: tuple[int, ...],
+    group: list[tuple[int, ProblemInstance]],
+) -> list[tuple[int, AssignmentResult]]:
+    """Solve one shard group sequentially (runs in a pool worker).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; the seed
+    schedule is rebuilt from ``base`` on the far side of the boundary.
+    """
+    schedule = ShardSeedSchedule(base)
+    keys = [key for key, _ in group]
+    instances = [sub for _, sub in group]
+    seeds = [schedule.generator(key) for key in keys]
+    solve_shards = getattr(solver, "solve_shards", None)
+    if solve_shards is not None:
+        results = solve_shards(instances, seeds)
+    else:
+        results = [
+            solver.solve(sub, seed=seed) for sub, seed in zip(instances, seeds)
+        ]
+    return list(zip(keys, results))
+
+
+def _group_components(
+    components: Sequence[ShardComponent], num_shards: int
+) -> list[list[ShardComponent]]:
+    """Pack components onto ``num_shards`` slots, balanced by pair count.
+
+    Greedy longest-processing-time: heaviest component first, onto the
+    lightest slot (ties: lowest slot index).  Deterministic, and — because
+    execution is per-component-seeded — free to change without changing
+    results.
+    """
+    slots: list[list[ShardComponent]] = [[] for _ in range(max(1, num_shards))]
+    loads = [0] * len(slots)
+    for component in sorted(components, key=lambda c: (-c.pair_count, c.key)):
+        slot = loads.index(min(loads))
+        slots[slot].append(component)
+        loads[slot] += component.pair_count
+    return [slot for slot in slots if slot]
+
+
+class ShardedFlushExecutor:
+    """Run one solver over the conflict-free shards of flush instances.
+
+    Parameters
+    ----------
+    solver:
+        Any registry solver.  :class:`ConflictEliminationSolver` subclasses
+        go through their ``solve_shards`` entry point; anything else falls
+        back to per-shard ``solve`` calls.
+    num_shards:
+        Execution slots to pack components into (the parallel width).
+        Components are the atomic units: a flush that is one giant
+        component runs as one shard regardless of this setting.
+    parallel:
+        ``"off"`` (sequential, the reference path), ``"thread"``, or
+        ``"process"`` (:mod:`concurrent.futures`; the solver and shard
+        instances must pickle, which all registry methods do).
+    max_workers:
+        Pool size for the parallel modes (default: ``num_shards``).
+    min_shard_pairs:
+        Coalescing floor forwarded to :func:`cut_flush`.  Results depend
+        on this threshold (it shapes the per-unit noise streams) but
+        never on ``num_shards``/``parallel``/``max_workers``.
+
+    The executor owns at most one pool, created lazily and reused across
+    flushes; call :meth:`close` (or use it as a context manager) when the
+    stream ends.
+    """
+
+    def __init__(
+        self,
+        solver: "Solver",
+        num_shards: int = 1,
+        parallel: str = "off",
+        max_workers: int | None = None,
+        min_shard_pairs: int = MIN_SHARD_PAIRS,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        if parallel not in PARALLEL_MODES:
+            raise ConfigurationError(
+                f"unknown parallel mode {parallel!r}; choose from {PARALLEL_MODES}"
+            )
+        self.solver = solver
+        self.num_shards = num_shards
+        self.parallel = parallel
+        self.max_workers = max_workers or num_shards
+        self.min_shard_pairs = min_shard_pairs
+        self._pool: Executor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.parallel == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedFlushExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(
+        self, instance: ProblemInstance, schedule: ShardSeedSchedule
+    ) -> AssignmentResult:
+        """The merged result of one sharded flush solve."""
+        result, _ = self.solve_with_cut(instance, schedule)
+        return result
+
+    def solve_with_cut(
+        self, instance: ProblemInstance, schedule: ShardSeedSchedule
+    ) -> tuple[AssignmentResult, ShardCut]:
+        """As :meth:`solve`, also returning the cut (for observability)."""
+        started = time.perf_counter()
+        cut = cut_flush(instance, min_shard_pairs=self.min_shard_pairs)
+
+        # Single-unit fast path (the common case once dust coalesces):
+        # solve the flush instance directly with the unit's scheduled
+        # seed — bit-identical results, none of the slice/rebuild/
+        # re-record overhead.  Safe when the unit covers the whole
+        # instance (the sub-instance would be a verbatim copy), and for
+        # the engine family even with orphans: orphan tasks/workers own
+        # no pairs, engine noise is drawn per *pair* in CSR order, and
+        # results are keyed by public ids, so dropping orphans cannot
+        # change anything (the executor tests pin fast == slow).  A
+        # solver outside the engine family could consume randomness per
+        # worker, so orphans disqualify it there.
+        if len(cut.components) == 1:
+            whole_cover = not cut.orphan_tasks and not cut.orphan_workers
+            if whole_cover or isinstance(self.solver, ConflictEliminationSolver):
+                key = cut.components[0].key
+                ((_, result),) = _solve_component_group(
+                    self.solver, schedule.base, [(key, instance)]
+                )
+                return result, cut
+
+        keyed = [
+            (component.key, build_shard_instance(instance, component))
+            for component in cut.components
+        ]
+        groups = _group_components(cut.components, self.num_shards)
+        sub_of = dict(keyed)
+        payload = [
+            [(component.key, sub_of[component.key]) for component in group]
+            for group in groups
+        ]
+
+        if self.parallel == "off" or len(payload) <= 1:
+            keyed_results: list[tuple[int, AssignmentResult]] = []
+            for group in payload:
+                keyed_results.extend(
+                    _solve_component_group(self.solver, schedule.base, group)
+                )
+        else:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_solve_component_group, self.solver, schedule.base, group)
+                for group in payload
+            ]
+            keyed_results = []
+            for future in futures:
+                keyed_results.extend(future.result())
+
+        merged = merge_shard_results(
+            instance,
+            self.solver.name,
+            keyed_results,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return merged, cut

@@ -37,7 +37,11 @@ from repro.core.budgets import BudgetSampler
 from repro.core.utility import UtilityModel
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
-from repro.stream.batcher import MicroBatcher, WorkerBudgetTracker
+from repro.stream.batcher import (
+    AdaptiveBatchController,
+    MicroBatcher,
+    WorkerBudgetTracker,
+)
 from repro.stream.events import (
     ActiveWorker,
     OpenTask,
@@ -46,6 +50,11 @@ from repro.stream.events import (
     WorkerArrival,
 )
 from repro.stream.metrics import FlushRecord, StreamStats
+from repro.stream.shards import (
+    PARALLEL_MODES,
+    ShardedFlushExecutor,
+    ShardSeedSchedule,
+)
 from repro.utils.rng import stable_hash
 
 if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
@@ -79,6 +88,26 @@ class StreamConfig:
         or at their original position.
     budget_sampler, model:
         Per-flush instance parameters (Table X defaults when omitted).
+    shards:
+        0 disables sharding (the classic single-engine flush).  ``>= 1``
+        routes every flush through the conflict-free shard cut
+        (:mod:`repro.stream.shards`) with that many execution slots.
+        Note even ``shards=1`` changes private methods' noise streams
+        (per-component seeding replaces the single flush stream); results
+        are then invariant across shard counts and parallel modes.
+    parallel:
+        Shard execution: ``"off"`` (sequential), ``"thread"``, or
+        ``"process"`` (requires ``shards >= 1``).
+    max_shard_workers:
+        Pool size for parallel shard execution (default: ``shards``).
+    adaptive:
+        Enable the :class:`~repro.stream.batcher.AdaptiveBatchController`:
+        ``max_batch_size`` becomes the initial flush limit and tracks
+        observed flush service times thereafter.
+    target_flush_seconds:
+        The controller's per-flush solver-time target.
+    adaptive_min_batch, adaptive_max_batch:
+        Hard bounds on the adapted flush limit.
     """
 
     max_batch_size: int = 200
@@ -88,6 +117,13 @@ class StreamConfig:
     relocate_workers: bool = True
     budget_sampler: BudgetSampler | None = None
     model: UtilityModel | None = None
+    shards: int = 0
+    parallel: str = "off"
+    max_shard_workers: int | None = None
+    adaptive: bool = False
+    target_flush_seconds: float = 0.02
+    adaptive_min_batch: int = 8
+    adaptive_max_batch: int = 2000
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
@@ -95,6 +131,17 @@ class StreamConfig:
         if self.min_service < 0:
             raise ConfigurationError(
                 f"min_service must be >= 0, got {self.min_service}"
+            )
+        if self.shards < 0:
+            raise ConfigurationError(f"shards must be >= 0, got {self.shards}")
+        if self.parallel not in PARALLEL_MODES:
+            raise ConfigurationError(
+                f"unknown parallel mode {self.parallel!r}; "
+                f"choose from {PARALLEL_MODES}"
+            )
+        if self.parallel != "off" and self.shards < 1:
+            raise ConfigurationError(
+                f"parallel={self.parallel!r} requires shards >= 1"
             )
 
     def service_duration(self, distance: float) -> float:
@@ -115,11 +162,31 @@ class DispatchSimulator:
         self.config = config or StreamConfig()
         self.seed = seed
         self.tracker = WorkerBudgetTracker()
+        controller = (
+            AdaptiveBatchController(
+                target_seconds=self.config.target_flush_seconds,
+                min_size=self.config.adaptive_min_batch,
+                max_size=self.config.adaptive_max_batch,
+            )
+            if self.config.adaptive
+            else None
+        )
         self.batcher = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             max_wait=self.config.max_wait,
             budget_sampler=self.config.budget_sampler,
             model=self.config.model,
+            controller=controller,
+        )
+        self._shard_executor = (
+            ShardedFlushExecutor(
+                solver,
+                num_shards=self.config.shards,
+                parallel=self.config.parallel,
+                max_workers=self.config.max_shard_workers,
+            )
+            if self.config.shards >= 1
+            else None
         )
         self._workers: dict[int, ActiveWorker] = {}
         self._flush_index = 0
@@ -129,6 +196,13 @@ class DispatchSimulator:
 
     def run(self, events: Iterable[StreamEvent]) -> StreamStats:
         """Drive the solver through ``events``; return streaming stats."""
+        try:
+            return self._run(events)
+        finally:
+            if self._shard_executor is not None:
+                self._shard_executor.close()
+
+    def _run(self, events: Iterable[StreamEvent]) -> StreamStats:
         counter = itertools.count()
         heap: list[tuple[float, int, int, object]] = []
         last_time = 0.0
@@ -174,7 +248,7 @@ class DispatchSimulator:
         self.batcher.add(
             OpenTask(task=arrival.task, arrival_time=now, deadline=arrival.deadline)
         )
-        if len(self.batcher) >= self.config.max_batch_size:
+        if len(self.batcher) >= self.batcher.max_batch_size:
             self._flush(now, heap, counter)
         else:
             due = now + self.config.max_wait
@@ -229,6 +303,7 @@ class DispatchSimulator:
             next_deadline = min(t.deadline for t in self.batcher.pending)
             heapq.heappush(heap, (next_deadline + 1e-9, _PRIO_FLUSH, next(counter), None))
             return
+        batch_limit = self.batcher.max_batch_size
         open_tasks = self.batcher.take_batch()
         instance = self.batcher.build_instance(
             open_tasks,
@@ -238,12 +313,18 @@ class DispatchSimulator:
             tracker=self.tracker if self.solver.is_private else None,
             seed=np.random.default_rng((self.seed, self._flush_index, 0x5EED)),
         )
-        noise = np.random.default_rng(
-            (self.seed, self._flush_index, stable_hash(self.solver.name))
-        )
+        noise_key = (self.seed, self._flush_index, stable_hash(self.solver.name))
         started = _time.perf_counter()
-        result = self.solver.solve(instance, seed=noise)
+        if self._shard_executor is not None:
+            result, cut = self._shard_executor.solve_with_cut(
+                instance, ShardSeedSchedule(noise_key)
+            )
+            shards = max(cut.num_components, 1)
+        else:
+            result = self.solver.solve(instance, seed=np.random.default_rng(noise_key))
+            shards = 1
         solver_seconds = _time.perf_counter() - started
+        self.batcher.observe_flush(solver_seconds, len(open_tasks))
         self.tracker.charge(result.ledger)
 
         by_id = {t.task.id: t for t in open_tasks}
@@ -271,6 +352,8 @@ class DispatchSimulator:
                 matched=result.matched_count,
                 solver_seconds=solver_seconds,
                 cumulative_privacy_spend=self.tracker.total_spend(),
+                shards=shards,
+                batch_limit=batch_limit,
             )
         )
         for worker_id in (w.id for w in workers):

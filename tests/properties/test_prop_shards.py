@@ -1,0 +1,170 @@
+"""Shard-cut correctness properties (the sharded-flush executor's pin).
+
+Three families of guarantees:
+
+* the **cut** is a true conflict-free partition — every feasible pair
+  lands in exactly one shard, and no worker or task spans two shards —
+  whatever the coalescing threshold;
+* the **merged result** is exact: for non-private methods it equals the
+  full-instance engine run bit for bit (no noise, component-local
+  dynamics), and for private methods it is identical across shard counts
+  1/2/8 and across sequential/thread/process execution (the per-shard
+  seed schedule is the only noise source);
+* **cross-flush accounting** survives sharding: charging the merged
+  ledger into a :class:`WorkerBudgetTracker` leaves identical per-worker
+  carry whatever the shard count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_solver
+from repro.datasets.synthetic import NormalGenerator, UniformGenerator
+from repro.stream.batcher import WorkerBudgetTracker
+from repro.stream.shards import (
+    ShardedFlushExecutor,
+    ShardSeedSchedule,
+    build_shard_instance,
+    cut_flush,
+)
+
+METHODS = ("PUCE", "PDCE", "UCE", "DCE")
+
+
+def generated_instance(generator_seed, uniform, num_tasks, worker_range):
+    cls = UniformGenerator if uniform else NormalGenerator
+    return cls(
+        num_tasks=num_tasks, num_workers=2 * num_tasks, seed=generator_seed
+    ).instance(task_value=4.5, worker_range=worker_range)
+
+
+instance_params = {
+    "generator_seed": st.integers(0, 50),
+    "uniform": st.booleans(),
+    "num_tasks": st.integers(10, 45),
+    "worker_range": st.sampled_from([0.3, 0.6, 1.0, 1.4]),
+}
+
+
+def assert_results_identical(a, b, context):
+    assert dict(a.matching) == dict(b.matching), context
+    assert list(a.ledger.events()) == list(b.ledger.events()), context
+    assert a.publishes == b.publishes, context
+    assert set(a.release_board) == set(b.release_board), context
+    for key, releases in a.release_board.items():
+        assert releases.releases == b.release_board[key].releases, (context, key)
+
+
+@given(min_shard_pairs=st.sampled_from([0, 8, 64, 192]), **instance_params)
+@settings(max_examples=30, deadline=None)
+def test_cut_is_a_conflict_free_partition(
+    min_shard_pairs, generator_seed, uniform, num_tasks, worker_range
+):
+    """Every feasible pair in exactly one shard; closure on both sides."""
+    instance = generated_instance(generator_seed, uniform, num_tasks, worker_range)
+    cut = cut_flush(instance, min_shard_pairs=min_shard_pairs)
+
+    seen_pairs: set[tuple[int, int]] = set()
+    seen_tasks: set[int] = set()
+    seen_workers: set[int] = set()
+    for component in cut.components:
+        assert not seen_tasks & set(component.tasks)
+        assert not seen_workers & set(component.workers)
+        seen_tasks |= set(component.tasks)
+        seen_workers |= set(component.workers)
+        sub = build_shard_instance(instance, component)
+        assert sub.num_feasible_pairs == component.pair_count
+        for i, j in sub.feasible_pairs():
+            pair = (component.tasks[i], component.workers[j])
+            assert pair not in seen_pairs
+            seen_pairs.add(pair)
+        # Sliced pair data is the parent's, value for value.
+        for i, j in sub.feasible_pairs():
+            gi, gj = component.tasks[i], component.workers[j]
+            assert sub.distance(i, j) == instance.distance(gi, gj)
+            assert sub.budget_vector(i, j) == instance.budget_vector(gi, gj)
+    assert seen_pairs == set(instance.feasible_pairs())
+    # Orphans are exactly the leftovers, and orphan tasks have no pairs.
+    assert seen_tasks | set(cut.orphan_tasks) == set(range(instance.num_tasks))
+    assert seen_workers | set(cut.orphan_workers) == set(range(instance.num_workers))
+
+
+@given(method=st.sampled_from(["UCE", "DCE"]), **instance_params)
+@settings(max_examples=20, deadline=None)
+def test_non_private_sharded_equals_full_engine(
+    method, generator_seed, uniform, num_tasks, worker_range
+):
+    """Without noise, the merged sharded result IS the full-engine result."""
+    instance = generated_instance(generator_seed, uniform, num_tasks, worker_range)
+    solver = make_solver(method)
+    full = solver.solve(instance, seed=0)
+    schedule = ShardSeedSchedule((0,))
+    for num_shards in (1, 2, 8):
+        merged = ShardedFlushExecutor(solver, num_shards=num_shards).solve(
+            instance, schedule
+        )
+        assert dict(merged.matching) == dict(full.matching), (method, num_shards)
+
+
+@given(method=st.sampled_from(METHODS), **instance_params)
+@settings(max_examples=15, deadline=None)
+def test_sharded_results_identical_across_counts_and_modes(
+    method, generator_seed, uniform, num_tasks, worker_range
+):
+    """Shard counts 1/2/8 and thread execution agree bit for bit."""
+    instance = generated_instance(generator_seed, uniform, num_tasks, worker_range)
+    solver = make_solver(method)
+    schedule = ShardSeedSchedule((generator_seed, 7))
+    reference = ShardedFlushExecutor(solver, num_shards=1).solve(instance, schedule)
+    for num_shards in (2, 8):
+        merged = ShardedFlushExecutor(solver, num_shards=num_shards).solve(
+            instance, schedule
+        )
+        assert_results_identical(merged, reference, (method, num_shards))
+    with ShardedFlushExecutor(solver, num_shards=4, parallel="thread") as executor:
+        assert_results_identical(
+            executor.solve(instance, schedule), reference, (method, "thread")
+        )
+
+
+@given(**instance_params)
+@settings(max_examples=10, deadline=None)
+def test_budget_carry_identical_across_shard_counts(
+    generator_seed, uniform, num_tasks, worker_range
+):
+    """WorkerBudgetTracker carry is a pure function of the merged ledger."""
+    instance = generated_instance(generator_seed, uniform, num_tasks, worker_range)
+    solver = make_solver("PUCE")
+    schedule = ShardSeedSchedule((generator_seed, 11))
+    carries = []
+    for num_shards in (1, 2, 8):
+        merged = ShardedFlushExecutor(solver, num_shards=num_shards).solve(
+            instance, schedule
+        )
+        tracker = WorkerBudgetTracker()
+        for worker in instance.workers:
+            tracker.register(worker.id, 1e9)
+        tracker.charge(merged.ledger)
+        carries.append(
+            {worker.id: tracker.spent(worker.id) for worker in instance.workers}
+        )
+    assert carries[0] == carries[1] == carries[2]
+
+
+def test_process_parallel_matches_sequential_reference():
+    """One (slow to spawn) process-pool run agrees with the sequential path."""
+    instance = NormalGenerator(num_tasks=50, num_workers=100, seed=5).instance(
+        task_value=4.5, worker_range=0.6
+    )
+    solver = make_solver("PUCE")
+    schedule = ShardSeedSchedule((5, 3))
+    # min_shard_pairs shapes the cut (and so the per-unit noise streams):
+    # the sequential reference must use the same threshold.
+    reference = ShardedFlushExecutor(solver, num_shards=1, min_shard_pairs=8).solve(
+        instance, schedule
+    )
+    with ShardedFlushExecutor(
+        solver, num_shards=4, parallel="process", max_workers=2, min_shard_pairs=8
+    ) as executor:
+        merged = executor.solve(instance, schedule)
+    assert_results_identical(merged, reference, "process")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.spatial.index import GridIndex
+from repro.spatial.index import GridIndex, grid_cell_labels
 
 
 class TestGridIndexBasics:
@@ -93,3 +93,56 @@ class TestNearest:
     def test_nearest_tie_lowest_index(self):
         index = GridIndex([(1.0, 0.0), (-1.0, 0.0)])
         assert index.nearest((0.0, 0.0)) == 0
+
+
+class TestCellLabels:
+    def test_same_cell_same_label(self):
+        index = GridIndex(
+            [(0.1, 0.1), (0.2, 0.2), (9.0, 9.0)], cell_size=1.0
+        )
+        labels = index.cell_labels()
+        assert labels[0] == labels[1]
+        assert labels[0] != labels[2]
+
+    def test_labels_dense_and_deterministic(self, rng):
+        points = rng.uniform(0, 10, size=(200, 2))
+        index = GridIndex(points, cell_size=1.5)
+        labels = index.cell_labels()
+        assert labels.shape == (200,)
+        assert set(np.unique(labels)) == set(range(int(labels.max()) + 1))
+        assert np.array_equal(labels, GridIndex(points, cell_size=1.5).cell_labels())
+
+    def test_module_function_matches_index_method(self, rng):
+        points = rng.uniform(-3, 3, size=(120, 2))
+        index = GridIndex(points, cell_size=0.8)
+        assert np.array_equal(
+            index.cell_labels(), grid_cell_labels(points, cell_size=0.8)
+        )
+
+    def test_empty_and_degenerate_inputs(self):
+        assert grid_cell_labels(np.zeros((0, 2))).shape == (0,)
+        same = grid_cell_labels(np.zeros((5, 2)) + 2.5)
+        assert np.array_equal(same, np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError, match="cell_size"):
+            grid_cell_labels([(0.0, 0.0)], cell_size=-1.0)
+
+
+class TestDegenerateSpans:
+    def test_near_coincident_points_large_radius_terminates(self):
+        """Denormal point spread must not explode the cell scan.
+
+        A spread of ~1e-308 gives a denormal auto cell size; an
+        unclamped query over radius 5 would try ~1e308 candidate cells.
+        """
+        points = [(0.0, 0.0), (5e-324, 5e-324), (1e-308, 0.0)]
+        index = GridIndex(points)
+        assert index.query_circle((0.0, 0.0), 5.0) == [0, 1, 2]
+        assert index.query_circle((100.0, 100.0), 1.0) == []
+
+    def test_clamped_query_matches_brute_force(self, rng):
+        points = rng.uniform(0, 1e-300, size=(20, 2))
+        index = GridIndex(points)
+        for radius in (0.0, 1e-305, 2.0):
+            assert index.query_circle((0.0, 0.0), radius) == (
+                index.query_circle_brute((0.0, 0.0), radius)
+            )

@@ -4,10 +4,14 @@ import pytest
 
 from repro.core.budgets import BudgetSampler
 from repro.datasets.workload import Task, Worker
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FlushBudgetError
 from repro.privacy.accountant import PrivacyLedger
 from repro.spatial.geometry import Point
-from repro.stream.batcher import MicroBatcher, WorkerBudgetTracker
+from repro.stream.batcher import (
+    AdaptiveBatchController,
+    MicroBatcher,
+    WorkerBudgetTracker,
+)
 from repro.stream.events import OpenTask
 
 
@@ -100,6 +104,19 @@ class TestWorkerBudgetTracker:
         ledger.record(7, 0, 2.0)
         with pytest.raises(ConfigurationError, match="exceeded shift budget"):
             tracker.charge(ledger)
+
+    def test_overspend_error_carries_context(self):
+        """The typed error names the worker and the numbers involved."""
+        tracker = WorkerBudgetTracker()
+        tracker.register(7, 1.0)
+        ledger = PrivacyLedger()
+        ledger.record(7, 0, 2.5)
+        with pytest.raises(FlushBudgetError) as excinfo:
+            tracker.charge(ledger)
+        error = excinfo.value
+        assert error.worker_id == 7
+        assert error.spend == pytest.approx(2.5)
+        assert error.remaining == pytest.approx(-1.5)
 
     def test_charges_accumulate_across_flushes(self):
         tracker = WorkerBudgetTracker()
@@ -210,5 +227,62 @@ class TestCappedArraySlicing:
         # NaN remaining keeps no budget elements, and the one-home cap
         # check rejects the poisoned comparison loudly instead of handing
         # the solver an uncapped instance.
-        with pytest.raises(ConfigurationError, match="flush cap"):
+        with pytest.raises(FlushBudgetError, match="flush cap") as excinfo:
             batcher.build_instance([open_task(0)], [worker(0)], BrokenTracker(), seed=0)
+        assert excinfo.value.worker_id == 0
+        assert excinfo.value.spend is not None
+
+
+class TestAdaptiveBatchController:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchController(target_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchController(min_size=10, max_size=5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchController(growth=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchController(headroom=0.0)
+
+    def test_slow_flush_shrinks_proportionally(self):
+        controller = AdaptiveBatchController(target_seconds=0.01, min_size=4)
+        # 4x over target -> size drops toward a quarter.
+        assert controller.next_size(100, 0.04, 100) == 25
+        # Never below the floor.
+        assert controller.next_size(5, 10.0, 5) == 4
+
+    def test_fast_full_flush_grows(self):
+        controller = AdaptiveBatchController(target_seconds=0.01, max_size=120)
+        assert controller.next_size(50, 0.001, 50) == 75
+        # Growth clamps at the ceiling.
+        assert controller.next_size(100, 0.001, 100) == 120
+
+    def test_underfilled_fast_flush_holds(self):
+        """A wait-triggered trickle flush is no evidence for growth."""
+        controller = AdaptiveBatchController(target_seconds=0.01)
+        assert controller.next_size(50, 0.001, 12) == 50
+
+    def test_in_band_flush_holds(self):
+        controller = AdaptiveBatchController(target_seconds=0.01, headroom=0.5)
+        assert controller.next_size(50, 0.007, 50) == 50
+
+    def test_batcher_observe_flush_drives_the_limit(self):
+        batcher = MicroBatcher(
+            max_batch_size=50,
+            controller=AdaptiveBatchController(target_seconds=0.01, min_size=4),
+        )
+        assert batcher.observe_flush(0.04, 50) == 12
+        assert batcher.max_batch_size == 12
+        assert batcher.observe_flush(0.001, 12) == 18
+
+    def test_observe_flush_without_controller_is_a_noop(self):
+        batcher = MicroBatcher(max_batch_size=50)
+        assert batcher.observe_flush(10.0, 50) == 50
+        assert batcher.max_batch_size == 50
+
+    def test_initial_limit_clamped_into_controller_bounds(self):
+        batcher = MicroBatcher(
+            max_batch_size=5000,
+            controller=AdaptiveBatchController(max_size=100),
+        )
+        assert batcher.max_batch_size == 100
