@@ -24,19 +24,14 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import bench_seed, emit_table, min_time
-from repro.core.nonprivate import DCESolver, UCESolver
-from repro.core.pdce import PDCESolver
-from repro.core.puce import PUCESolver
+from repro.core.registry import make_solver
 from repro.experiments.sweeps import make_generator
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
-ENGINES = (
-    ("PUCE", lambda sweep: PUCESolver(sweep=sweep)),
-    ("PDCE", lambda sweep: PDCESolver(sweep=sweep)),
-    ("UCE", lambda sweep: UCESolver(sweep=sweep)),
-    ("DCE", lambda sweep: DCESolver(sweep=sweep)),
-)
+# Sweep variants are named the way every other layer names them: by
+# method-spec string (repro.api.MethodSpec), e.g. "UCE(sweep=scalar)".
+ENGINES = ("PUCE", "PDCE", "UCE", "DCE")
 
 
 def _sizes() -> tuple[int, ...]:
@@ -67,9 +62,9 @@ def core_rows():
     for size in _sizes():
         generator = make_generator("normal", size, 2 * size, bench_seed())
         instance = generator.instance()
-        for method, factory in ENGINES:
-            vectorized = min_time(factory("vectorized"), instance)
-            scalar = min_time(factory("scalar"), instance)
+        for method in ENGINES:
+            vectorized = min_time(make_solver(f"{method}(sweep=vectorized)"), instance)
+            scalar = min_time(make_solver(f"{method}(sweep=scalar)"), instance)
             rows.append(
                 {
                     "method": method,

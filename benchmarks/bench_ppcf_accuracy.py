@@ -27,7 +27,8 @@ def accuracy_table():
             pcf_acc = float(np.mean(x_hat < y_hat))
             ppcf_acc = float(np.mean(d_x < y_hat))
             rows.append(
-                (eps, gap, pcf_acc, ppcf_acc, pcf_correctness(gap, eps, eps), ppcf_correctness(gap, eps))
+                (eps, gap, pcf_acc, ppcf_acc, pcf_correctness(gap, eps, eps),
+                 ppcf_correctness(gap, eps))
             )
     lines = ["eps   gap   PCF(mc)  PPCF(mc)  PCF(exact)  PPCF(exact)"]
     for eps, gap, pa, ppa, pe, ppe in rows:

@@ -26,7 +26,10 @@ def main() -> None:
           f"{instance.mean_tasks_per_worker():.1f} tasks per service circle\n")
 
     print("attacking the release boards (>= 3 leaked pairs per worker):")
-    header = f"{'method':6s} {'releases':>9s} {'attackable':>11s} {'median err':>11s} {'inside r_j':>11s}"
+    header = (
+        f"{'method':6s} {'releases':>9s} {'attackable':>11s} "
+        f"{'median err':>11s} {'inside r_j':>11s}"
+    )
     print(header)
     print("-" * len(header))
     for solver in (PUCESolver(), PGTSolver()):

@@ -1,0 +1,73 @@
+"""Service API demo: the unified facade in its two interaction modes.
+
+Part 1 drives dispatch *request-by-request* through a
+:class:`repro.DispatchSession` — the interaction model of a live
+platform: submit workers and tasks as they appear, advance the clock,
+drain typed :class:`repro.Assignment` events as decisions land.
+
+Part 2 runs the *same experiment idea declaratively*: load the checked-in
+``examples/scenario_rush_hour.json`` artifact, tweak nothing, and let
+:meth:`repro.ScenarioSpec.run` replay it for every method.  The artifact
+is the experiment — share the JSON, share the result.
+
+Run with ``PYTHONPATH=src python examples/service_api.py``.
+"""
+
+from pathlib import Path
+
+from repro import DispatchSession, Point, ScenarioSpec, SolveOptions, Task, Worker
+
+SCENARIO_FILE = Path(__file__).with_name("scenario_rush_hour.json")
+
+
+def drive_a_session() -> None:
+    print("=== DispatchSession: request-by-request dispatch ===")
+    options = SolveOptions(seed=7, max_batch_size=8, max_wait=0.1)
+    with DispatchSession("PUCE", options=options, default_deadline=0.6) as session:
+        # The morning fleet comes on duty.
+        for j in range(6):
+            session.submit_worker(
+                Worker(id=100 + j, location=Point(0.8 * j, 0.4), radius=2.5),
+                budget=20.0,
+            )
+        # Ride requests trickle in; the platform never sees the future.
+        for i in range(10):
+            session.submit_task(
+                Task(id=i, location=Point(0.5 * i, 0.0), value=4.5),
+                at=0.05 * (i + 1),
+            )
+        session.advance(to_time=0.8)
+        for event in session.drain():
+            print(
+                f"  t={event.time:.2f}  task {event.task_id:2d} -> "
+                f"worker {event.worker_id}  (latency {event.latency:.2f}, "
+                f"utility {event.utility:.2f})"
+            )
+        stats = session.finish()
+    print(
+        f"  session over: {stats.assigned} assigned, {stats.expired} expired, "
+        f"eps spent {stats.total_privacy_spend:.1f}\n"
+    )
+
+
+def run_the_artifact() -> None:
+    print(f"=== ScenarioSpec: replaying {SCENARIO_FILE.name} ===")
+    spec = ScenarioSpec.from_file(SCENARIO_FILE)
+    report = spec.run()
+    for method in report.methods():
+        stats = report[method]
+        print(
+            f"  {method:<12} assigned {stats.assigned:3d}/{stats.arrived_tasks}"
+            f"  p95 latency {stats.latency_p95:.3f}"
+            f"  avg utility {stats.average_utility:.2f}"
+            f"  eps spent {stats.total_privacy_spend:.1f}"
+        )
+    print(
+        "\n  same run from the shell:\n"
+        f"  python -m repro.experiments scenario {SCENARIO_FILE}"
+    )
+
+
+if __name__ == "__main__":
+    drive_a_session()
+    run_the_artifact()

@@ -27,10 +27,23 @@ Packages:
 * :mod:`repro.stream`     -- online dispatch: continuous-time arrivals
   (Poisson / rush-hour / bursty / trace-driven), deadlines and duty
   cycles, micro-batching with cross-flush budget carry, streaming runner,
+* :mod:`repro.api`        -- the unified service facade: `SolveOptions`,
+  `MethodSpec`, `DispatchSession`, `ScenarioSpec`,
 * :mod:`repro.experiments`-- the per-figure reproduction harness and the
-  ``stream`` CLI.
+  ``stream`` / ``scenario`` CLIs.
 
-Streaming quickstart::
+Service quickstart (drive dispatch request-by-request)::
+
+    from repro import DispatchSession, SolveOptions, Task, Worker, Point
+
+    with DispatchSession("PUCE", options=SolveOptions(seed=7)) as session:
+        session.submit_worker(Worker(id=0, location=Point(0, 0), radius=2.0))
+        session.submit_task(Task(id=0, location=Point(1, 0), value=4.5), at=0.1)
+        session.advance(to_time=0.5)
+        for event in session.drain():
+            print(event.task_id, "->", event.worker_id, event.latency)
+
+Streaming quickstart (replay a materialised workload)::
 
     from repro import (
         NormalGenerator, PoissonProcess, StreamWorkload, StreamRunner,
@@ -44,8 +57,21 @@ Streaming quickstart::
     )
     report = StreamRunner(["PUCE", "UCE"]).run_workload(workload, seed=7)
     print(report["PUCE"].latency_p95, report["PUCE"].expiry_rate)
+
+Declarative scenarios (shareable experiment artifacts)::
+
+    from repro import ScenarioSpec
+
+    report = ScenarioSpec.from_file("examples/scenario_rush_hour.json").run()
 """
 
+from repro.api import (
+    DispatchSession,
+    MethodSpec,
+    ScenarioSpec,
+    SolveOptions,
+    run_scenario,
+)
 from repro.core import (
     NON_PRIVATE_COUNTERPART,
     AssignmentResult,
@@ -98,6 +124,7 @@ from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
 from repro.spatial import Point
 from repro.stream import (
     AdaptiveBatchController,
+    Assignment,
     BurstyProcess,
     DispatchSimulator,
     MicroBatcher,
@@ -166,6 +193,13 @@ __all__ = [
     "BatchRunner",
     "RunReport",
     "AssignmentResult",
+    # service facade
+    "SolveOptions",
+    "MethodSpec",
+    "DispatchSession",
+    "ScenarioSpec",
+    "run_scenario",
+    "Assignment",
     # online dispatch
     "PoissonProcess",
     "RushHourProcess",

@@ -1,0 +1,196 @@
+"""`SolveOptions` — the one place dispatch knobs are declared and checked.
+
+Before the facade, configuration was scattered: ``use_ppcf`` lived in
+solver constructors, ``sweep`` in :class:`ConflictEliminationSolver`,
+shard/parallel/adaptive knobs in :class:`StreamConfig`, seeds in
+``solve(instance, seed)`` — each layer re-validating its own slice.
+:class:`SolveOptions` unifies them into one frozen record that every
+entry point accepts (``make_solver``, ``Solver.solve``, ``BatchRunner``,
+``StreamRunner``, :class:`~repro.api.session.DispatchSession`, the CLI),
+and this module owns the *single* validation + normalization path: the
+``validate_*`` functions below are called by ``SolveOptions`` itself and
+by the lower layers (``StreamConfig``, ``MicroBatcher``, the engine), so
+an invalid knob fails with the same typed
+:class:`~repro.errors.ConfigurationError` no matter where it enters.
+
+This module deliberately imports nothing above :mod:`repro.errors`, so
+any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SWEEP_MODES",
+    "PARALLEL_MODES",
+    "SolveOptions",
+    "reject_unknown_keys",
+    "validate_sweep",
+    "validate_sharding",
+    "validate_batching",
+    "validate_service",
+]
+
+#: WorkerProposal sweep implementations of the conflict-elimination engine.
+SWEEP_MODES = ("auto", "vectorized", "scalar")
+
+#: How shard groups of one flush are executed.
+PARALLEL_MODES = ("off", "thread", "process")
+
+
+# -- the single validation path -------------------------------------------
+
+
+def reject_unknown_keys(
+    cls: type, mapping: Mapping[str, Any], kind: str
+) -> dict[str, Any]:
+    """Guard a JSON-shaped mapping against keys ``cls`` does not declare.
+
+    Shared by every ``from_dict``-style constructor in the facade, so a
+    typo fails with the same message shape wherever it enters.  Returns
+    a mutable copy of ``mapping``.
+    """
+    valid = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(mapping) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {kind} key(s) {unknown}; valid: {sorted(valid)}"
+        )
+    return dict(mapping)
+
+
+def validate_sweep(sweep: str) -> str:
+    """Check an engine sweep mode; returns it for chaining."""
+    if sweep not in SWEEP_MODES:
+        raise ConfigurationError(f"unknown sweep implementation {sweep!r}")
+    return sweep
+
+
+def validate_sharding(
+    shards: int, parallel: str, max_shard_workers: int | None = None
+) -> None:
+    """Check the shard-count / parallel-mode / pool-size combination."""
+    if shards < 0:
+        raise ConfigurationError(f"shards must be >= 0, got {shards}")
+    if parallel not in PARALLEL_MODES:
+        raise ConfigurationError(
+            f"unknown parallel mode {parallel!r}; choose from {PARALLEL_MODES}"
+        )
+    if parallel != "off" and shards < 1:
+        raise ConfigurationError(f"parallel={parallel!r} requires shards >= 1")
+    if max_shard_workers is not None and max_shard_workers < 1:
+        raise ConfigurationError(
+            f"max_shard_workers must be >= 1, got {max_shard_workers}"
+        )
+
+
+def validate_batching(max_batch_size: int, max_wait: float) -> None:
+    """Check the micro-batch flush triggers."""
+    if max_batch_size < 1:
+        raise ConfigurationError(
+            f"max_batch_size must be >= 1, got {max_batch_size}"
+        )
+    if not max_wait > 0:
+        raise ConfigurationError(f"max_wait must be positive, got {max_wait}")
+
+
+def validate_service(speed: float, min_service: float) -> None:
+    """Check the duty-cycle timing parameters."""
+    if not speed > 0:
+        raise ConfigurationError(f"speed must be positive, got {speed}")
+    if min_service < 0:
+        raise ConfigurationError(f"min_service must be >= 0, got {min_service}")
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Every dispatch knob, validated once, accepted everywhere.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for noise streams and arrival draws.  Entry points that
+        also take an explicit ``seed`` argument treat it as an override.
+    sweep:
+        WorkerProposal implementation of the conflict-elimination engine
+        (``"auto"`` / ``"vectorized"`` / ``"scalar"``).
+    ppcf:
+        Method override: force the real-distance PPCF gate on (``True``)
+        or off (``False``) for PUCE/PDCE.  ``None`` keeps each method's
+        default (on).  Ignored by methods without the gate.
+    max_rounds:
+        Round cap for the conflict-elimination engine (``None`` = the
+        engine default).
+    max_batch_size, max_wait:
+        Micro-batch flush triggers of the streaming layer.
+    shards, parallel, max_shard_workers:
+        Sharded-flush execution (see :mod:`repro.stream.shards`).
+    adaptive, target_flush_seconds:
+        Adaptive micro-batch sizing (see
+        :class:`~repro.stream.batcher.AdaptiveBatchController`).
+    """
+
+    seed: int = 0
+    sweep: str = "auto"
+    ppcf: bool | None = None
+    max_rounds: int | None = None
+    max_batch_size: int = 200
+    max_wait: float = 0.25
+    shards: int = 0
+    parallel: str = "off"
+    max_shard_workers: int | None = None
+    adaptive: bool = False
+    target_flush_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        validate_sweep(self.sweep)
+        validate_sharding(self.shards, self.parallel, self.max_shard_workers)
+        validate_batching(self.max_batch_size, self.max_wait)
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        if not self.target_flush_seconds > 0:
+            raise ConfigurationError(
+                f"target_flush_seconds must be positive, "
+                f"got {self.target_flush_seconds}"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SolveOptions":
+        """Build from a plain dict (JSON), rejecting unknown keys."""
+        return cls(**reject_unknown_keys(cls, mapping, "option"))
+
+    def replace(self, **changes: Any) -> "SolveOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict that :meth:`from_mapping` round-trips."""
+        return dataclasses.asdict(self)
+
+    # -- projection onto the lower layers ----------------------------------
+
+    def stream_config(self, **extra: Any):
+        """The :class:`~repro.stream.simulator.StreamConfig` these options
+        describe.  ``extra`` passes through knobs outside the unified set
+        (``budget_sampler``, ``model``, ``speed``, ...)."""
+        from repro.stream.simulator import StreamConfig
+
+        return StreamConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait=self.max_wait,
+            shards=self.shards,
+            parallel=self.parallel,
+            max_shard_workers=self.max_shard_workers,
+            adaptive=self.adaptive,
+            target_flush_seconds=self.target_flush_seconds,
+            **extra,
+        )

@@ -1,0 +1,174 @@
+"""`ScenarioSpec` — whole streaming experiments as declarative artifacts.
+
+A scenario names everything a streaming run needs: the arrival process,
+the spatial law, the fleet, the methods, and the unified
+:class:`~repro.api.options.SolveOptions`.  As JSON it is a shareable,
+diffable experiment description::
+
+    {
+      "name": "rush_hour",
+      "arrivals": "rushhour",
+      "dataset": "normal",
+      "horizon": 3.0,
+      "task_rate": 40.0,
+      "methods": ["PUCE", "PDCE(ppcf=off)", "UCE"],
+      "options": {"seed": 7, "max_batch_size": 50}
+    }
+
+``ScenarioSpec.from_file(path).run()`` reproduces the experiment; the
+``python -m repro.experiments scenario`` subcommand does the same from
+the shell.  Unknown keys are rejected (typos must not silently produce a
+different experiment), and the spec's seed lives in exactly one place —
+``options.seed`` — which feeds both the arrival draws and the noise
+streams (the normalization half of the one-validation-path rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.api.methods import MethodSpec
+from repro.api.options import SolveOptions, reject_unknown_keys
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.stream.arrivals import StreamWorkload
+    from repro.stream.runner import StreamReport
+
+__all__ = ["ScenarioSpec", "run_scenario"]
+
+#: Arrival regimes a scenario may name — the single source of truth
+#: (``experiments.streaming`` and the CLI re-use this tuple).
+ARRIVAL_KINDS = ("poisson", "rushhour", "bursty", "trace")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named streaming experiment at a reproducible scale.
+
+    Field semantics match
+    :class:`~repro.experiments.streaming.StreamScenario` (rates are
+    arrivals per time unit; ``trace`` replays a chengdu-like day and
+    ignores ``task_rate``), plus the method list and unified options.
+    ``horizon=None`` normalises to the arrival kind's default (24 hours
+    for ``trace``, 3 otherwise).
+    """
+
+    name: str = "scenario"
+    arrivals: str = "poisson"
+    dataset: str = "normal"
+    horizon: float | None = None
+    task_rate: float = 40.0
+    worker_rate: float = 15.0
+    initial_workers: int = 60
+    trace_orders: int = 300
+    task_deadline: float = 1.0
+    worker_budget: float = 40.0
+    task_value: float = 4.5
+    worker_range: float = 1.4
+    methods: tuple[str, ...] = ("PUCE", "UCE")
+    options: SolveOptions = field(default_factory=SolveOptions)
+
+    def __post_init__(self) -> None:
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"unknown arrivals {self.arrivals!r}; choose from {ARRIVAL_KINDS}"
+            )
+        if self.horizon is None:
+            object.__setattr__(
+                self, "horizon", 24.0 if self.arrivals == "trace" else 3.0
+            )
+        if not self.horizon > 0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {self.horizon}"
+            )
+        if not self.methods:
+            raise ConfigurationError("need at least one method")
+        object.__setattr__(self, "methods", tuple(self.methods))
+        for method in self.methods:
+            MethodSpec.parse(method)  # typos fail at spec time, not run time
+
+    # -- (de)serialisation -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build from a plain dict (JSON), rejecting unknown keys."""
+        data = reject_unknown_keys(cls, mapping, "scenario")
+        options = data.get("options")
+        if isinstance(options, Mapping):
+            data["options"] = SolveOptions.from_mapping(options)
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "ScenarioSpec":
+        """Load a scenario artifact (see ``examples/scenario_rush_hour.json``)."""
+        return cls.from_json(Path(path).read_text())
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict that :meth:`from_dict` round-trips."""
+        data = dataclasses.asdict(self)
+        data["methods"] = list(self.methods)
+        data["options"] = self.options.to_dict()
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_file(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    # -- derived views -----------------------------------------------------
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy whose single seed (``options.seed``) is ``seed``."""
+        return dataclasses.replace(self, options=self.options.replace(seed=seed))
+
+    def to_scenario(self):
+        """The :class:`~repro.experiments.streaming.StreamScenario` view."""
+        from repro.experiments.streaming import StreamScenario
+
+        return StreamScenario(
+            arrivals=self.arrivals,
+            dataset=self.dataset,
+            horizon=self.horizon,
+            task_rate=self.task_rate,
+            worker_rate=self.worker_rate,
+            initial_workers=self.initial_workers,
+            trace_orders=self.trace_orders,
+            task_deadline=self.task_deadline,
+            worker_budget=self.worker_budget,
+            task_value=self.task_value,
+            worker_range=self.worker_range,
+            seed=self.options.seed,
+        )
+
+    def to_workload(self) -> "StreamWorkload":
+        """Materialise the scenario into a runnable workload."""
+        from repro.experiments.streaming import build_workload
+
+        return build_workload(self.to_scenario())
+
+    def run(self, seed: int | None = None) -> "StreamReport":
+        """Run every method over the scenario's shared timeline."""
+        from repro.stream.runner import StreamRunner
+
+        spec = self if seed is None else self.with_seed(seed)
+        runner = StreamRunner(list(spec.methods), options=spec.options)
+        return runner.run_workload(spec.to_workload(), seed=spec.options.seed)
+
+
+def run_scenario(
+    spec: "ScenarioSpec | str | Path", seed: int | None = None
+) -> "StreamReport":
+    """Run a scenario given as a spec object or a JSON file path."""
+    if not isinstance(spec, ScenarioSpec):
+        spec = ScenarioSpec.from_file(spec)
+    return spec.run(seed=seed)

@@ -1,0 +1,208 @@
+"""`DispatchSession` — drive dispatch request-by-request.
+
+The streaming layer's native interaction model is *replay*: materialise a
+whole :class:`~repro.stream.arrivals.StreamWorkload` timeline, hand it to
+:class:`~repro.stream.runner.StreamRunner`.  A platform, however, learns
+about tasks and workers one request at a time.  :class:`DispatchSession`
+is the long-lived stateful facade for that mode::
+
+    from repro import DispatchSession, SolveOptions, Task, Worker, Point
+
+    with DispatchSession("PUCE", options=SolveOptions(seed=7)) as session:
+        session.submit_worker(Worker(id=0, location=Point(0, 0), radius=2.0))
+        session.submit_task(Task(id=0, location=Point(1, 0), value=4.5),
+                            at=0.1, deadline=1.1)
+        session.advance(to_time=0.5)
+        for event in session.drain():       # typed Assignment events
+            print(event.task_id, "->", event.worker_id, event.latency)
+        stats = session.finish()            # StreamStats, as a replay run
+
+The session is a thin veneer over
+:class:`~repro.stream.simulator.DispatchSimulator`'s incremental mode
+(``push_event`` / ``advance`` / ``finalize``), which is the *same* loop
+the replay path runs — so a session fed a workload's events is
+bit-identical to ``StreamRunner.run_workload`` on the same seed (the
+``tests/properties/test_prop_session.py`` property).
+
+Ordering contract: submit everything you know up to time ``t`` before
+calling ``advance(t)`` — the simulator refuses arrivals earlier than the
+clock's high-water mark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+from repro.api.methods import MethodSpec
+from repro.api.options import SolveOptions
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError
+from repro.stream.events import Assignment, StreamEvent, TaskArrival, WorkerArrival
+from repro.stream.metrics import StreamStats
+from repro.stream.simulator import DispatchSimulator, StreamConfig
+
+if TYPE_CHECKING:
+    from repro.core.registry import Solver
+
+__all__ = ["DispatchSession"]
+
+
+class DispatchSession:
+    """A long-lived dispatch endpoint for one method.
+
+    Parameters
+    ----------
+    method:
+        A method name (``"PUCE"``), a spec string (``"PDCE(ppcf=off)"``),
+        a :class:`~repro.api.methods.MethodSpec`, or a ready solver.
+    options:
+        The unified knobs (seed, batching, sharding, sweep).  The
+        session's :class:`~repro.stream.simulator.StreamConfig` is
+        derived from them unless ``config`` overrides it wholesale.
+    config:
+        Full control over the online layer (duty cycles, budget sampler);
+        mutually exclusive with the streaming fields of ``options`` in
+        spirit — when given, it wins.
+    seed:
+        Override of ``options.seed`` for this session's noise streams.
+    default_deadline:
+        Patience given to ``submit_task`` calls that omit ``deadline``.
+    """
+
+    def __init__(
+        self,
+        method: "str | MethodSpec | Solver",
+        *,
+        options: SolveOptions | None = None,
+        config: StreamConfig | None = None,
+        seed: int | None = None,
+        default_deadline: float = 1.0,
+        record_assignments: bool = True,
+    ):
+        self.options = options if options is not None else SolveOptions()
+        if not default_deadline > 0:
+            raise ConfigurationError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        self.default_deadline = float(default_deadline)
+        if isinstance(method, (str, MethodSpec)):
+            solver = MethodSpec.parse(method).make(self.options)
+        else:
+            solver = method
+        self._simulator = DispatchSimulator(
+            solver,
+            config=config if config is not None else self.options.stream_config(),
+            seed=self.options.seed if seed is None else seed,
+            record_assignments=record_assignments,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def method(self) -> str:
+        """The configured method's reported (Table IX) name."""
+        return self._simulator.solver.name
+
+    @property
+    def clock(self) -> float:
+        """The time the session has advanced to."""
+        return self._simulator.clock
+
+    @property
+    def stats(self) -> StreamStats:
+        """Live streaming stats (final after :meth:`finish`)."""
+        return self._simulator.stats
+
+    @property
+    def pending_tasks(self) -> int:
+        """Tasks buffered and still waiting for a flush."""
+        return len(self._simulator.batcher)
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(self, event: StreamEvent) -> None:
+        """Feed one raw arrival event (the workload-replay primitive)."""
+        self._simulator.push_event(event)
+
+    def submit_task(
+        self,
+        task: Task,
+        *,
+        at: float | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        """Release ``task`` at ``at`` (default: its ``release_time``).
+
+        ``deadline`` is absolute; omitted it defaults to the release time
+        plus the session's ``default_deadline``.
+        """
+        release = task.release_time if at is None else float(at)
+        self.submit(
+            TaskArrival(
+                time=release,
+                task=task,
+                deadline=release + self.default_deadline
+                if deadline is None
+                else float(deadline),
+            )
+        )
+
+    def submit_worker(
+        self,
+        worker: Worker,
+        *,
+        at: float = 0.0,
+        budget: float = math.inf,
+    ) -> None:
+        """Put ``worker`` on duty at ``at`` with a shift budget capacity."""
+        self.submit(
+            WorkerArrival(time=float(at), worker=worker, budget_capacity=budget)
+        )
+
+    # -- driving -----------------------------------------------------------
+
+    def advance(self, to_time: float) -> None:
+        """Move the clock to ``to_time``: flushes fire, workers rejoin,
+        overdue tasks expire — exactly as the replay loop would."""
+        self._simulator.advance(to_time)
+
+    def drain(self) -> tuple[Assignment, ...]:
+        """Assignments decided since the last drain, in decision order.
+
+        Drained events are released — a long-lived session that drains
+        regularly holds only the undrained backlog, never the full
+        history.
+        """
+        log = self._simulator.assignment_log
+        events = tuple(log)
+        log.clear()
+        return events
+
+    def run(self, events: Iterable[StreamEvent]) -> StreamStats:
+        """Replay a whole timeline: the workload path as a thin loop.
+
+        Pooled resources are released even if the solver raises mid-run
+        (the guarantee the replay path has always had).
+        """
+        try:
+            for event in events:
+                self.submit(event)
+            return self.finish()
+        finally:
+            self.close()
+
+    def finish(self) -> StreamStats:
+        """Process everything still queued and close the session."""
+        self._simulator.advance(math.inf)
+        return self._simulator.finalize()
+
+    def close(self) -> None:
+        """Release pooled resources without finalising stats."""
+        self._simulator.close()
+
+    def __enter__(self) -> "DispatchSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import BudgetExhaustedError
 from repro.core.budgets import PairBudget
 from repro.core.effective import EffectivePair
 from repro.privacy.laplace import sample_laplace
@@ -140,7 +141,7 @@ class WorkerAgent:
         """Commit a previously peeked proposal: spend the budget, go public."""
         budget = self._pair_budgets[proposal.task_index]
         if budget.next_index != proposal.budget_index:
-            raise RuntimeError(
+            raise BudgetExhaustedError(
                 f"stale proposal: budget index {proposal.budget_index} already spent"
             )
         budget.consume()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ConfigurationError
 from repro.privacy.laplace import LaplaceDifference, laplace_cdf
 
 __all__ = [
@@ -83,7 +84,7 @@ def pcf_correctness(gap: float, eps_x: float, eps_y: float) -> float:
     of Theorem V.1.
     """
     if gap <= 0:
-        raise ValueError(f"gap must be positive (d_x < d_y), got {gap}")
+        raise ConfigurationError(f"gap must be positive (d_x < d_y), got {gap}")
     return LaplaceDifference(eps_x, eps_y).cdf(gap)
 
 
@@ -94,5 +95,5 @@ def ppcf_correctness(gap: float, eps_y: float) -> float:
     in the proof of Theorem V.1: ``1 - exp(-eps_y * gap) / 2``.
     """
     if gap <= 0:
-        raise ValueError(f"gap must be positive (d_x < d_y), got {gap}")
+        raise ConfigurationError(f"gap must be positive (d_x < d_y), got {gap}")
     return 1.0 - 0.5 * math.exp(-eps_y * gap)

@@ -19,6 +19,7 @@ accurate release), then the most recent.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError, InvalidInstanceError
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -34,7 +35,7 @@ class Release:
 
     def __post_init__(self) -> None:
         if not self.epsilon > 0:
-            raise ValueError(f"release budget must be positive, got {self.epsilon}")
+            raise ConfigurationError(f"release budget must be positive, got {self.epsilon}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,13 +51,13 @@ def effective_pair_of(releases: Iterable[Release]) -> EffectivePair:
 
     Raises
     ------
-    ValueError
+    InvalidInstanceError
         If ``releases`` is empty (an unproposed pair has no effective
         distance).
     """
     items = list(releases)
     if not items:
-        raise ValueError("effective pair of an empty release set is undefined")
+        raise InvalidInstanceError("effective pair of an empty release set is undefined")
     best_idx = -1
     best_obj = float("inf")
     for idx, candidate in enumerate(items):

@@ -53,6 +53,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from repro.api.options import validate_sweep
 from repro.core.agents import WorkerAgent, build_agents
 from repro.core.cea import Candidate, resolve_top_conflicts
 from repro.core.compare import pcf, ppcf
@@ -140,8 +141,7 @@ class ConflictEliminationSolver:
     ):
         if max_rounds < 1:
             raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
-        if sweep not in ("auto", "vectorized", "scalar"):
-            raise ConfigurationError(f"unknown sweep implementation {sweep!r}")
+        validate_sweep(sweep)
         self.policy = policy
         self.max_rounds = max_rounds
         self.sweep = sweep
@@ -155,9 +155,19 @@ class ConflictEliminationSolver:
         return self.policy.private
 
     def solve(
-        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+        self,
+        instance: ProblemInstance,
+        seed: int | np.random.Generator | None = None,
+        options=None,
     ) -> AssignmentResult:
-        """Run the batch protocol to quiescence on ``instance``."""
+        """Run the batch protocol to quiescence on ``instance``.
+
+        ``options`` (a :class:`~repro.api.options.SolveOptions`) supplies
+        the seed when ``seed`` is omitted — the facade's uniform calling
+        convention.
+        """
+        if seed is None and options is not None:
+            seed = options.seed
         result, _ = self.solve_with_trace(instance, seed)
         return result
 

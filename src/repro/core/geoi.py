@@ -75,10 +75,15 @@ class GeoIndistinguishableSolver:
         self.name = f"GEOI(eps={epsilon:g})"
 
     def solve(
-        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+        self,
+        instance: ProblemInstance,
+        seed: int | np.random.Generator | None = None,
+        options=None,
     ) -> AssignmentResult:
         """Assign from decoy locations; measure against true distances."""
         started = time.perf_counter()
+        if seed is None and options is not None:
+            seed = options.seed
         rng = ensure_rng(seed)
         mechanism = PlanarLaplaceMechanism(self.epsilon)
         buffer = mechanism.error_quantile(self.buffer_quantile)

@@ -57,7 +57,10 @@ class GreedySolver:
     is_private = False
 
     def solve(
-        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+        self,
+        instance: ProblemInstance,
+        seed: int | np.random.Generator | None = None,
+        options=None,
     ) -> AssignmentResult:
         started = time.perf_counter()
         weights = {

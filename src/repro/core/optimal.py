@@ -35,7 +35,10 @@ class OptimalSolver:
     is_private = False
 
     def solve(
-        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+        self,
+        instance: ProblemInstance,
+        seed: int | np.random.Generator | None = None,
+        options=None,
     ) -> AssignmentResult:
         started = time.perf_counter()
         m, n = instance.num_tasks, instance.num_workers

@@ -61,9 +61,14 @@ class _BestResponseSolver:
         self.max_passes = max_passes
 
     def solve(
-        self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
+        self,
+        instance: ProblemInstance,
+        seed: int | np.random.Generator | None = None,
+        options=None,
     ) -> AssignmentResult:
         """Run best-response dynamics to a pure Nash equilibrium."""
+        if seed is None and options is not None:
+            seed = options.seed
         result, _ = self.solve_with_stats(instance, seed)
         return result
 

@@ -3,11 +3,17 @@
 The experiment harness addresses methods by the paper's names (Table IX).
 ``NON_PRIVATE_COUNTERPART`` pairs each private method with the baseline its
 relative deviations are computed against (Section VII-C).
+
+Configured variants beyond the pre-registered names are addressed by
+:class:`~repro.api.methods.MethodSpec` strings — ``make_solver`` accepts
+``"PDCE(ppcf=off)"`` and friends, and a
+:class:`~repro.api.options.SolveOptions` to fill in engine knobs
+(``sweep``, ``max_rounds``) uniformly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.core.nonprivate import DCESolver, GreedySolver, UCESolver
 from repro.core.optimal import OptimalSolver
@@ -15,6 +21,10 @@ from repro.core.pdce import PDCESolver
 from repro.core.pgt import GTSolver, PGTSolver
 from repro.core.puce import PUCESolver
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.api.methods import MethodSpec
+    from repro.api.options import SolveOptions
 
 __all__ = ["Solver", "make_solver", "available_methods", "NON_PRIVATE_COUNTERPART"]
 
@@ -25,7 +35,7 @@ class Solver(Protocol):
     name: str
     is_private: bool
 
-    def solve(self, instance, seed=None): ...
+    def solve(self, instance, seed=None, options=None): ...
 
 
 _FACTORIES: dict[str, Callable[[], Solver]] = {
@@ -51,14 +61,26 @@ NON_PRIVATE_COUNTERPART: dict[str, str] = {
 }
 
 
-def make_solver(name: str) -> Solver:
-    """Instantiate a method by its Table IX name.
+def make_solver(
+    name: "str | MethodSpec", options: "SolveOptions | None" = None
+) -> Solver:
+    """Instantiate a method by Table IX name or method-spec string.
+
+    Plain registered names (``"PUCE"``) without ``options`` take the
+    factory path unchanged; spec strings (``"PDCE(ppcf=off)"``),
+    :class:`~repro.api.methods.MethodSpec` objects, and any call with
+    ``options`` route through the spec layer so engine knobs apply
+    uniformly.
 
     Raises
     ------
     ConfigurationError
         For unknown names; the message lists the valid ones.
     """
+    if not isinstance(name, str) or options is not None or "(" in name:
+        from repro.api.methods import MethodSpec
+
+        return MethodSpec.parse(name).make(options)
     try:
         factory = _FACTORIES[name]
     except KeyError:

@@ -6,23 +6,28 @@ Examples::
     python -m repro.experiments run fig07 --tasks 200 --batches 2 --seed 0
     python -m repro.experiments run fig17 --datasets chengdu normal
     python -m repro.experiments stream --arrivals poisson --methods PUCE UCE
-    python -m repro.experiments stream --arrivals trace --horizon 24
+    python -m repro.experiments stream --methods "PDCE(ppcf=off)" UCE
     python -m repro.experiments stream --shards 4 --parallel process --adaptive
+    python -m repro.experiments scenario examples/scenario_rush_hour.json
+    python -m repro.experiments scenario spec.json --seed 11 --save-spec spec11.json
+
+Both streaming subcommands are thin shells over the service facade:
+``stream`` assembles a :class:`repro.api.ScenarioSpec` from flags,
+``scenario`` loads one from a JSON artifact, and both run it through
+:meth:`~repro.api.ScenarioSpec.run` — so a flag-built run and its saved
+spec reproduce each other exactly.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.api.options import SolveOptions
+from repro.api.scenario import ScenarioSpec
+from repro.errors import ReproError
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.report import format_figure
-from repro.experiments.streaming import (
-    ARRIVAL_KINDS,
-    StreamScenario,
-    format_stream_report,
-    run_stream,
-)
-from repro.stream.simulator import StreamConfig
+from repro.experiments.streaming import ARRIVAL_KINDS, format_stream_report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,7 +49,10 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--arrivals", choices=ARRIVAL_KINDS, default="poisson")
     stream.add_argument("--dataset", default="normal", help="spatial law for locations")
     stream.add_argument(
-        "--methods", nargs="+", default=["PUCE", "UCE"], help="Table IX method names"
+        "--methods",
+        nargs="+",
+        default=["PUCE", "UCE"],
+        help='Table IX names or method specs like "PDCE(ppcf=off)"',
     )
     stream.add_argument(
         "--horizon",
@@ -52,8 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="stream length in time units (default 3; trace: clips the 24h day, default 24)",
     )
-    stream.add_argument("--task-rate", type=float, default=40.0, help="task arrivals per time unit")
-    stream.add_argument("--worker-rate", type=float, default=15.0, help="worker arrivals per time unit")
+    stream.add_argument(
+        "--task-rate", type=float, default=40.0, help="task arrivals per time unit"
+    )
+    stream.add_argument(
+        "--worker-rate", type=float, default=15.0, help="worker arrivals per time unit"
+    )
     stream.add_argument("--initial-workers", type=int, default=60, help="fleet on duty at t=0")
     stream.add_argument("--trace-orders", type=int, default=300, help="orders per trace-driven day")
     stream.add_argument("--deadline", type=float, default=1.0, help="task patience before expiry")
@@ -84,6 +96,26 @@ def main(argv: list[str] | None = None) -> int:
         help="adaptive controller's per-flush solver-time target",
     )
     stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--save-spec",
+        metavar="PATH",
+        default=None,
+        help="also write the run as a reusable scenario JSON artifact",
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="run a declarative scenario JSON artifact"
+    )
+    scenario.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    scenario.add_argument(
+        "--seed", type=int, default=None, help="override the spec's options.seed"
+    )
+    scenario.add_argument(
+        "--save-spec",
+        metavar="PATH",
+        default=None,
+        help="write the (seed-resolved) spec back out as JSON",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -92,31 +124,40 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{figure_id}: {spec.measure} vs {spec.parameter}  ({papers})")
         return 0
 
-    if args.command == "stream":
-        if args.horizon is None:
-            args.horizon = 24.0 if args.arrivals == "trace" else 3.0
-        scenario = StreamScenario(
-            arrivals=args.arrivals,
-            dataset=args.dataset,
-            horizon=args.horizon,
-            task_rate=args.task_rate,
-            worker_rate=args.worker_rate,
-            initial_workers=args.initial_workers,
-            trace_orders=args.trace_orders,
-            task_deadline=args.deadline,
-            worker_budget=args.worker_budget,
-            seed=args.seed,
-        )
-        config = StreamConfig(
-            max_batch_size=args.max_batch,
-            max_wait=args.max_wait,
-            shards=args.shards,
-            parallel=args.parallel,
-            adaptive=args.adaptive,
-            target_flush_seconds=args.target_flush_seconds,
-        )
-        report = run_stream(tuple(args.methods), scenario, config=config)
-        print(format_stream_report(report, scenario))
+    if args.command in ("stream", "scenario"):
+        if args.command == "stream":
+            spec = ScenarioSpec(
+                arrivals=args.arrivals,
+                dataset=args.dataset,
+                horizon=args.horizon,
+                task_rate=args.task_rate,
+                worker_rate=args.worker_rate,
+                initial_workers=args.initial_workers,
+                trace_orders=args.trace_orders,
+                task_deadline=args.deadline,
+                worker_budget=args.worker_budget,
+                methods=tuple(args.methods),
+                options=SolveOptions(
+                    seed=args.seed,
+                    max_batch_size=args.max_batch,
+                    max_wait=args.max_wait,
+                    shards=args.shards,
+                    parallel=args.parallel,
+                    adaptive=args.adaptive,
+                    target_flush_seconds=args.target_flush_seconds,
+                ),
+            )
+        else:
+            try:
+                spec = ScenarioSpec.from_file(args.spec)
+            except (OSError, ValueError, ReproError) as exc:
+                parser.error(f"cannot load scenario {args.spec!r}: {exc}")
+            if args.seed is not None:
+                spec = spec.with_seed(args.seed)
+        if args.save_spec:
+            spec.to_file(args.save_spec)
+        report = spec.run()
+        print(format_stream_report(report, spec.to_scenario()))
         return 0
 
     result = run_figure(

@@ -2,15 +2,19 @@
 
 Builds :class:`~repro.stream.arrivals.StreamWorkload` scenarios by name
 (``poisson`` / ``rushhour`` / ``bursty`` / ``trace``) over the paper's
-datasets, runs them through :class:`~repro.stream.runner.StreamRunner`,
-and formats the streaming measures as a terminal table.  Backs the
-``python -m repro.experiments stream`` subcommand.
+datasets and formats the streaming measures as a terminal table.  The
+public entry point for running scenarios is now the declarative
+:class:`repro.api.ScenarioSpec` (whose :meth:`~repro.api.ScenarioSpec.run`
+backs both the ``stream`` and ``scenario`` CLI subcommands);
+:func:`run_stream` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
+from repro.api.scenario import ARRIVAL_KINDS
 from repro.datasets.chengdu import ChengduLikeGenerator
 from repro.errors import ConfigurationError
 from repro.experiments.sweeps import make_generator
@@ -32,9 +36,6 @@ __all__ = [
     "run_stream",
     "format_stream_report",
 ]
-
-ARRIVAL_KINDS = ("poisson", "rushhour", "bursty", "trace")
-
 
 @dataclass(frozen=True)
 class StreamScenario:
@@ -75,7 +76,8 @@ def _task_process(scenario: StreamScenario) -> ArrivalProcess:
             base_rate=0.4 * scenario.task_rate,
             peak_rate=1.2 * scenario.task_rate,
             horizon=scenario.horizon,
-            peaks=tuple(p for p in (8.5, 18.0) if p < scenario.horizon) or (scenario.horizon / 2.0,),
+            peaks=tuple(p for p in (8.5, 18.0) if p < scenario.horizon)
+            or (scenario.horizon / 2.0,),
         )
     if scenario.arrivals == "bursty":
         return BurstyProcess(
@@ -124,7 +126,19 @@ def run_stream(
     scenario: StreamScenario,
     config: StreamConfig | None = None,
 ) -> StreamReport:
-    """Run ``methods`` over one scenario's shared event timeline."""
+    """Run ``methods`` over one scenario's shared event timeline.
+
+    .. deprecated::
+        Use :meth:`repro.api.ScenarioSpec.run` (or
+        :func:`repro.api.run_scenario`) instead; this shim forwards to
+        the same machinery and returns bit-identical results.
+    """
+    warnings.warn(
+        "run_stream() is deprecated; build a repro.api.ScenarioSpec and "
+        "call .run() (bit-identical results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     workload = build_workload(scenario)
     runner = StreamRunner(methods, config=config)
     return runner.run_workload(workload, seed=scenario.seed)

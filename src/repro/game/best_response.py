@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConvergenceError
+from repro.errors import ConfigurationError, ConvergenceError
 from repro.game.strategic import NormalFormGame, Profile
 
 __all__ = ["BestResponsePath", "best_response_dynamics"]
@@ -49,7 +49,7 @@ def best_response_dynamics(
     """
     profile = tuple(initial)
     if len(profile) != game.num_players:
-        raise ValueError(
+        raise ConfigurationError(
             f"profile has {len(profile)} entries for {game.num_players} players"
         )
     path = BestResponsePath(profiles=[profile])

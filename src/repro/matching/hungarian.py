@@ -104,11 +104,11 @@ def linear_sum_assignment(
     """
     cost = np.asarray(cost, dtype=float)
     if cost.ndim != 2:
-        raise ValueError(f"cost must be 2-D, got shape {cost.shape}")
+        raise MatchingError(f"cost must be 2-D, got shape {cost.shape}")
     if cost.size == 0:
         return np.empty(0, dtype=int), np.empty(0, dtype=int)
     if np.isnan(cost).any():
-        raise ValueError("cost matrix contains NaN")
+        raise MatchingError("cost matrix contains NaN")
     work = -cost if maximize else cost.copy()
     # Forbidden pairs arrive as +inf in the minimisation view.
     transposed = work.shape[0] > work.shape[1]
@@ -144,7 +144,7 @@ def max_weight_matching(weights: np.ndarray, allow_negative: bool = False) -> di
     """
     weights = np.asarray(weights, dtype=float)
     if weights.ndim != 2:
-        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        raise MatchingError(f"weights must be 2-D, got shape {weights.shape}")
     n, m = weights.shape
     if n == 0 or m == 0:
         return {}

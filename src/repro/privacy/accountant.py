@@ -12,6 +12,7 @@ and the ledger exposes the realised spend and the theorem's LDP bound.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator
@@ -53,7 +54,7 @@ class PrivacyLedger:
     def record(self, worker_id: WorkerId, task_id: TaskId, epsilon: float) -> None:
         """Record one published proposal of ``worker_id`` toward ``task_id``."""
         if not epsilon > 0:
-            raise ValueError(f"published budget must be positive, got {epsilon}")
+            raise ConfigurationError(f"published budget must be positive, got {epsilon}")
         self._spends[worker_id].setdefault(task_id, []).append(float(epsilon))
         self._events.append((worker_id, task_id, float(epsilon)))
 
@@ -80,7 +81,7 @@ class PrivacyLedger:
         ``sum_{t_i} b_ij . eps_ij . r_j``.
         """
         if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
         return self.worker_spend(worker_id) * radius
 
     def total_spend(self) -> float:

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.errors import ConfigurationError, InvalidInstanceError
 from repro.spatial.geometry import Point, euclidean
 
 if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
@@ -73,7 +74,7 @@ class TrilaterationAttack:
 
     def __init__(self, max_iterations: int = 50, tolerance: float = 1e-9):
         if max_iterations < 1:
-            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+            raise ConfigurationError(f"max_iterations must be >= 1, got {max_iterations}")
         self.max_iterations = max_iterations
         self.tolerance = tolerance
 
@@ -99,24 +100,24 @@ class TrilaterationAttack:
 
         Raises
         ------
-        ValueError
+        InvalidInstanceError
             On mismatched lengths, non-positive weights, or fewer than
             two anchors (one range constrains to a circle, not a point).
         """
         if len(anchors) != len(distances):
-            raise ValueError(f"{len(anchors)} anchors vs {len(distances)} distances")
+            raise InvalidInstanceError(f"{len(anchors)} anchors vs {len(distances)} distances")
         if len(anchors) < 2:
-            raise ValueError("trilateration needs at least two anchors")
+            raise InvalidInstanceError("trilateration needs at least two anchors")
         points = np.asarray(anchors, dtype=float)
         ranges = np.maximum(np.asarray(distances, dtype=float), 0.0)
         if weights is None:
             w = np.ones(len(anchors))
         else:
             if len(weights) != len(anchors):
-                raise ValueError(f"{len(weights)} weights vs {len(anchors)} anchors")
+                raise InvalidInstanceError(f"{len(weights)} weights vs {len(anchors)} anchors")
             w = np.asarray(weights, dtype=float)
             if (w <= 0).any():
-                raise ValueError("weights must be positive")
+                raise InvalidInstanceError("weights must be positive")
 
         position = points.mean(axis=0)  # centroid start: robust at area scale
         for _ in range(self.max_iterations):

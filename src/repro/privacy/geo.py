@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.spatial.geometry import Point
 
 __all__ = ["PlanarLaplaceMechanism"]
@@ -32,7 +33,7 @@ class PlanarLaplaceMechanism:
 
     def __post_init__(self) -> None:
         if not self.epsilon > 0:
-            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
 
     def perturb(self, location: tuple[float, float], rng: np.random.Generator) -> Point:
         """Release an obfuscated copy of ``location``.
@@ -58,7 +59,7 @@ class PlanarLaplaceMechanism:
         for sizing geocast regions as in the related-work framework.
         """
         if not 0.0 < alpha < 1.0:
-            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
         lo, hi = 0.0, 1.0
         cdf = lambda r: 1.0 - math.exp(-self.epsilon * r) * (1.0 + self.epsilon * r)
         while cdf(hi) < alpha:

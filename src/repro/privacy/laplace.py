@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 import numpy as np
 
 __all__ = [
@@ -44,7 +45,9 @@ _EQUAL_RATE_RTOL = 1e-9
 def _check_rate(rate: float) -> float:
     rate = float(rate)
     if not rate > 0.0 or not math.isfinite(rate):
-        raise ValueError(f"Laplace rate (privacy budget) must be finite and > 0, got {rate}")
+        raise ConfigurationError(
+            f"Laplace rate (privacy budget) must be finite and > 0, got {rate}"
+        )
     return rate
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.privacy.laplace import sample_laplace
 
 __all__ = ["LaplaceMechanism"]
@@ -35,12 +36,12 @@ class LaplaceMechanism:
 
     def __post_init__(self) -> None:
         if not self.sensitivity > 0:
-            raise ValueError(f"sensitivity must be positive, got {self.sensitivity}")
+            raise ConfigurationError(f"sensitivity must be positive, got {self.sensitivity}")
 
     def noise_rate(self, epsilon: float) -> float:
         """The Laplace rate used for privacy budget ``epsilon``."""
         if not epsilon > 0:
-            raise ValueError(f"privacy budget must be positive, got {epsilon}")
+            raise ConfigurationError(f"privacy budget must be positive, got {epsilon}")
         return epsilon / self.sensitivity
 
     def perturb(self, value: float, epsilon: float, rng: np.random.Generator) -> float:

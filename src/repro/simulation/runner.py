@@ -74,25 +74,36 @@ class BatchRunner:
     Parameters
     ----------
     methods:
-        Method names (Table IX) or ready solver objects.
+        Method names (Table IX), method-spec strings
+        (``"PDCE(ppcf=off)"``), or ready solver objects.
+    options:
+        Optional :class:`~repro.api.options.SolveOptions` applied to
+        named-method construction and used as the default run seed.
     """
 
-    def __init__(self, methods: Sequence["str | Solver"]):
+    def __init__(self, methods: Sequence["str | Solver"], options=None):
         from repro.core.registry import make_solver
 
         if not methods:
             raise ConfigurationError("need at least one method")
+        self.options = options
         self.solvers: list["Solver"] = [
-            make_solver(m) if isinstance(m, str) else m for m in methods
+            make_solver(m, options) if isinstance(m, str) else m for m in methods
         ]
         names = [s.name for s in self.solvers]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate method names in {names}")
 
     def run(
-        self, instances: Iterable[ProblemInstance], seed: int = 0
+        self, instances: Iterable[ProblemInstance], seed: int | None = None
     ) -> RunReport:
-        """Solve every instance with every method; return the aggregate."""
+        """Solve every instance with every method; return the aggregate.
+
+        ``seed`` defaults to ``options.seed`` (0 without options) — the
+        facade's uniform convention.
+        """
+        if seed is None:
+            seed = self.options.seed if self.options is not None else 0
         report = RunReport(
             stats={s.name: MethodStats(method=s.name) for s in self.solvers}
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import NamedTuple
 
+from repro.errors import InvalidInstanceError
 import numpy as np
 
 __all__ = [
@@ -88,8 +89,8 @@ def pairwise_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
     if a.ndim != 2 or a.shape[1] != 2:
-        raise ValueError(f"expected (m, 2) array for a, got shape {a.shape}")
+        raise InvalidInstanceError(f"expected (m, 2) array for a, got shape {a.shape}")
     if b.ndim != 2 or b.shape[1] != 2:
-        raise ValueError(f"expected (n, 2) array for b, got shape {b.shape}")
+        raise InvalidInstanceError(f"expected (n, 2) array for b, got shape {b.shape}")
     diff = a[:, None, :] - b[None, :, :]
     return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))

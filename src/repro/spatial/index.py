@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.errors import ConfigurationError, InvalidInstanceError
 import numpy as np
 
 __all__ = ["GridIndex", "grid_cell_labels"]
@@ -33,11 +34,11 @@ def grid_cell_labels(
     if pts.size == 0:
         return np.zeros(0, dtype=np.int64)
     if pts.ndim != 2 or pts.shape[1] != 2:
-        raise ValueError(f"expected an (n, 2) point array, got shape {pts.shape}")
+        raise InvalidInstanceError(f"expected an (n, 2) point array, got shape {pts.shape}")
     if cell_size is None:
         cell_size = GridIndex._auto_cell_size(pts)
     if cell_size <= 0:
-        raise ValueError(f"cell_size must be positive, got {cell_size}")
+        raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
     cols = np.floor((pts[:, 0] - pts[:, 0].min()) / cell_size).astype(np.int64)
     rows = np.floor((pts[:, 1] - pts[:, 1].min()) / cell_size).astype(np.int64)
     # One scalar key per cell ((col, row) lexicographic rank): 1-D unique
@@ -65,14 +66,14 @@ class GridIndex:
         if pts.size == 0:
             pts = pts.reshape(0, 2)
         if pts.ndim != 2 or pts.shape[1] != 2:
-            raise ValueError(f"expected an (n, 2) point array, got shape {pts.shape}")
+            raise InvalidInstanceError(f"expected an (n, 2) point array, got shape {pts.shape}")
         self._points = pts
         self._n = pts.shape[0]
 
         if cell_size is None:
             cell_size = self._auto_cell_size(pts)
         if cell_size <= 0:
-            raise ValueError(f"cell_size must be positive, got {cell_size}")
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
         self._cell = float(cell_size)
 
         if self._n:
@@ -151,7 +152,7 @@ class GridIndex:
         reachability sets independent of bucket iteration order.
         """
         if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
         if self._n == 0:
             return []
         cx, cy = float(center[0]), float(center[1])
@@ -186,7 +187,7 @@ class GridIndex:
         tiny point sets where building buckets is not worthwhile.
         """
         if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
         if self._n == 0:
             return []
         cx, cy = float(center[0]), float(center[1])
@@ -203,7 +204,7 @@ class GridIndex:
     def nearest(self, center: tuple[float, float]) -> int:
         """Index of the point closest to ``center`` (ties: lowest index)."""
         if self._n == 0:
-            raise ValueError("nearest() on an empty index")
+            raise InvalidInstanceError("nearest() on an empty index")
         diff = self._points - np.asarray(center, dtype=float)
         d2 = np.einsum("ij,ij->i", diff, diff)
         return int(np.argmin(d2))

@@ -10,6 +10,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.errors import ConfigurationError, InvalidInstanceError
 from repro.spatial.geometry import Point, squared_euclidean
 
 __all__ = ["BoundingBox", "Circle"]
@@ -26,7 +27,7 @@ class BoundingBox:
 
     def __post_init__(self) -> None:
         if self.min_x > self.max_x or self.min_y > self.max_y:
-            raise ValueError(
+            raise InvalidInstanceError(
                 f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
                 f"({self.max_x}, {self.max_y})"
             )
@@ -40,7 +41,7 @@ class BoundingBox:
             xs.append(x)
             ys.append(y)
         if not xs:
-            raise ValueError("cannot build a bounding box from zero points")
+            raise InvalidInstanceError("cannot build a bounding box from zero points")
         return cls(min(xs), min(ys), max(xs), max(ys))
 
     @property
@@ -76,7 +77,7 @@ class BoundingBox:
     def expanded(self, margin: float) -> "BoundingBox":
         """A copy grown by ``margin`` on every side."""
         if margin < 0:
-            raise ValueError(f"margin must be non-negative, got {margin}")
+            raise ConfigurationError(f"margin must be non-negative, got {margin}")
         return BoundingBox(
             self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
         )
@@ -91,7 +92,7 @@ class Circle:
 
     def __post_init__(self) -> None:
         if self.radius < 0:
-            raise ValueError(f"radius must be non-negative, got {self.radius}")
+            raise ConfigurationError(f"radius must be non-negative, got {self.radius}")
         if not isinstance(self.center, Point):
             object.__setattr__(self, "center", Point(*self.center))
 

@@ -33,6 +33,7 @@ from repro.stream.batcher import (
 )
 from repro.stream.events import (
     ActiveWorker,
+    Assignment,
     OpenTask,
     StreamEvent,
     TaskArrival,
@@ -62,6 +63,7 @@ __all__ = [
     "TaskArrival",
     "WorkerArrival",
     "StreamEvent",
+    "Assignment",
     "OpenTask",
     "ActiveWorker",
     "merge_events",

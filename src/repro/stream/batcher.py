@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.options import validate_batching
 from repro.core.budgets import BudgetSampler
 from repro.core.utility import UtilityModel
 from repro.datasets.workload import Worker
@@ -225,12 +226,8 @@ class MicroBatcher:
     _pending: list[OpenTask] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
-            raise ConfigurationError(
-                f"max_batch_size must be >= 1, got {self.max_batch_size}"
-            )
-        if not self.max_wait > 0:
-            raise ConfigurationError(f"max_wait must be positive, got {self.max_wait}")
+        # One validation path: shared with SolveOptions (repro.api.options).
+        validate_batching(self.max_batch_size, self.max_wait)
         if self.controller is not None:
             self.max_batch_size = max(
                 self.controller.min_size,

@@ -29,6 +29,7 @@ __all__ = [
     "TaskArrival",
     "WorkerArrival",
     "StreamEvent",
+    "Assignment",
     "OpenTask",
     "ActiveWorker",
     "merge_events",
@@ -76,6 +77,27 @@ class WorkerArrival:
 
 
 StreamEvent = TaskArrival | WorkerArrival
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """One dispatch decision: ``task_id`` went to ``worker_id`` at ``time``.
+
+    The typed outbound event of the service API
+    (:meth:`repro.api.session.DispatchSession.drain`): ``latency`` is
+    clock time from the task's release to the assigning flush,
+    ``distance`` / ``utility`` are the matched pair's true-distance
+    measures, and ``flush_index`` names the micro-batch that decided it.
+    """
+
+    time: float
+    flush_index: int
+    task_id: int
+    worker_id: int
+    distance: float
+    utility: float
+    latency: float
+    method: str
 
 
 @dataclass(slots=True)

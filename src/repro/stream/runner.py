@@ -23,7 +23,7 @@ from repro.errors import ConfigurationError
 from repro.stream.arrivals import StreamWorkload
 from repro.stream.events import StreamEvent
 from repro.stream.metrics import StreamStats
-from repro.stream.simulator import DispatchSimulator, StreamConfig
+from repro.stream.simulator import StreamConfig
 
 if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
     from repro.core.registry import Solver
@@ -55,35 +55,58 @@ class StreamRunner:
     Parameters
     ----------
     methods:
-        Method names (Table IX) or ready solver objects.
+        Method names (Table IX), method-spec strings
+        (``"PDCE(ppcf=off)"``), or ready solver objects.
     config:
-        Online-layer knobs shared by every method.
+        Online-layer knobs shared by every method.  Mutually exclusive
+        with ``options``.
+    options:
+        The unified :class:`~repro.api.options.SolveOptions`: configures
+        both solver construction (for named methods) and the online layer.
     """
 
     def __init__(
         self,
         methods: Sequence["str | Solver"],
         config: StreamConfig | None = None,
+        options=None,
     ):
         from repro.core.registry import make_solver
 
         if not methods:
             raise ConfigurationError("need at least one method")
+        if config is not None and options is not None:
+            raise ConfigurationError(
+                "pass either config or options, not both (options already "
+                "describe a StreamConfig)"
+            )
         self.solvers: list["Solver"] = [
-            make_solver(m) if isinstance(m, str) else m for m in methods
+            make_solver(m, options) if isinstance(m, str) else m for m in methods
         ]
         names = [s.name for s in self.solvers]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate method names in {names}")
-        self.config = config or StreamConfig()
+        if options is not None:
+            self.config = options.stream_config()
+        else:
+            self.config = config or StreamConfig()
 
     def run(self, events: Sequence[StreamEvent], seed: int = 0) -> StreamReport:
-        """Replay ``events`` through every method; return the aggregate."""
+        """Replay ``events`` through every method; return the aggregate.
+
+        The replay is a thin loop over the service facade: each method
+        gets a :class:`~repro.api.session.DispatchSession` fed the shared
+        timeline (bit-identical to driving the simulator directly).
+        """
+        from repro.api.session import DispatchSession
+
         events = list(events)
         report = StreamReport()
         for solver in self.solvers:
-            simulator = DispatchSimulator(solver, config=self.config, seed=seed)
-            report.stats[solver.name] = simulator.run(events)
+            session = DispatchSession(
+                solver, config=self.config, seed=seed, record_assignments=False
+            )
+            report.stats[solver.name] = session.run(events)
         return report
 
     def run_workload(self, workload: StreamWorkload, seed: int = 0) -> StreamReport:

@@ -61,7 +61,8 @@ __all__ = [
     "merge_shard_results",
 ]
 
-PARALLEL_MODES = ("off", "thread", "process")
+# Re-exported from the unified options layer (the single source of truth).
+from repro.api.options import PARALLEL_MODES  # noqa: E402
 
 
 @dataclass(frozen=True, slots=True)

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro.api.options import validate_service, validate_sharding
 from repro.core.budgets import BudgetSampler
 from repro.core.utility import UtilityModel
 from repro.datasets.workload import Worker
@@ -44,17 +46,14 @@ from repro.stream.batcher import (
 )
 from repro.stream.events import (
     ActiveWorker,
+    Assignment,
     OpenTask,
     StreamEvent,
     TaskArrival,
     WorkerArrival,
 )
 from repro.stream.metrics import FlushRecord, StreamStats
-from repro.stream.shards import (
-    PARALLEL_MODES,
-    ShardedFlushExecutor,
-    ShardSeedSchedule,
-)
+from repro.stream.shards import ShardedFlushExecutor, ShardSeedSchedule
 from repro.utils.rng import stable_hash
 
 if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
@@ -126,23 +125,9 @@ class StreamConfig:
     adaptive_max_batch: int = 2000
 
     def __post_init__(self) -> None:
-        if not self.speed > 0:
-            raise ConfigurationError(f"speed must be positive, got {self.speed}")
-        if self.min_service < 0:
-            raise ConfigurationError(
-                f"min_service must be >= 0, got {self.min_service}"
-            )
-        if self.shards < 0:
-            raise ConfigurationError(f"shards must be >= 0, got {self.shards}")
-        if self.parallel not in PARALLEL_MODES:
-            raise ConfigurationError(
-                f"unknown parallel mode {self.parallel!r}; "
-                f"choose from {PARALLEL_MODES}"
-            )
-        if self.parallel != "off" and self.shards < 1:
-            raise ConfigurationError(
-                f"parallel={self.parallel!r} requires shards >= 1"
-            )
+        # One validation path: shared with SolveOptions (repro.api.options).
+        validate_service(self.speed, self.min_service)
+        validate_sharding(self.shards, self.parallel, self.max_shard_workers)
 
     def service_duration(self, distance: float) -> float:
         """How long a worker is busy after winning at ``distance``."""
@@ -150,13 +135,33 @@ class StreamConfig:
 
 
 class DispatchSimulator:
-    """Run one solver over one event stream; collect :class:`StreamStats`."""
+    """Run one solver over one event stream; collect :class:`StreamStats`.
+
+    Two driving modes share one loop:
+
+    * **replay** — :meth:`run` consumes a whole pre-materialised timeline
+      (the :class:`~repro.stream.runner.StreamRunner` path);
+    * **incremental** — :meth:`push_event` / :meth:`advance` /
+      :meth:`finalize` let a caller (the
+      :class:`~repro.api.session.DispatchSession` facade) feed arrivals
+      request-by-request and move the clock explicitly.
+
+    :meth:`run` is literally push-all / advance-to-infinity / finalize,
+    so the two modes are bit-identical on the same arrivals (the
+    ``tests/properties/test_prop_session.py`` property).
+
+    With ``record_assignments=True`` every dispatch decision is also
+    appended to :attr:`assignment_log` as a typed
+    :class:`~repro.stream.events.Assignment` event (the session's drain
+    queue); replay runs leave it off to keep long streams lean.
+    """
 
     def __init__(
         self,
         solver: "Solver",
         config: StreamConfig | None = None,
         seed: int = 0,
+        record_assignments: bool = False,
     ):
         self.solver = solver
         self.config = config or StreamConfig()
@@ -191,68 +196,120 @@ class DispatchSimulator:
         self._workers: dict[int, ActiveWorker] = {}
         self._flush_index = 0
         self.stats = StreamStats(method=solver.name)
+        self.record_assignments = record_assignments
+        #: Typed dispatch decisions, in decision order (session drain queue).
+        self.assignment_log: list[Assignment] = []
+        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._last_time = 0.0
+        self._advanced_to = 0.0
+        self._finalized = False
 
     # -- public API --------------------------------------------------------
 
     def run(self, events: Iterable[StreamEvent]) -> StreamStats:
         """Drive the solver through ``events``; return streaming stats."""
         try:
-            return self._run(events)
+            for event in events:
+                self.push_event(event)
+            self.advance(math.inf)
+            return self.finalize()
         finally:
-            if self._shard_executor is not None:
-                self._shard_executor.close()
+            self.close()
 
-    def _run(self, events: Iterable[StreamEvent]) -> StreamStats:
-        counter = itertools.count()
-        heap: list[tuple[float, int, int, object]] = []
-        last_time = 0.0
-        for event in events:
-            if isinstance(event, TaskArrival):
-                heapq.heappush(heap, (event.time, _PRIO_TASK, next(counter), event))
-            elif isinstance(event, WorkerArrival):
-                heapq.heappush(heap, (event.time, _PRIO_WORKER, next(counter), event))
-            else:
-                raise ConfigurationError(f"unknown stream event {event!r}")
-            last_time = max(last_time, event.time)
+    def push_event(self, event: StreamEvent) -> None:
+        """Feed one arrival into the timeline (not yet processed).
 
-        while heap:
+        Arrivals may land at any time at or after the clock's high-water
+        mark (:meth:`advance`); earlier ones would rewrite history.
+        """
+        if self._finalized:
+            raise ConfigurationError("simulator already finalized")
+        if isinstance(event, TaskArrival):
+            priority = _PRIO_TASK
+        elif isinstance(event, WorkerArrival):
+            priority = _PRIO_WORKER
+        else:
+            raise ConfigurationError(f"unknown stream event {event!r}")
+        if event.time < self._advanced_to - 1e-12:
+            raise ConfigurationError(
+                f"event at {event.time} is in the past; clock already "
+                f"advanced to {self._advanced_to}"
+            )
+        heapq.heappush(self._heap, (event.time, priority, next(self._counter), event))
+        self._last_time = max(self._last_time, event.time)
+
+    def advance(self, to_time: float) -> None:
+        """Process every queued event and timer due at or before ``to_time``."""
+        if self._finalized:
+            raise ConfigurationError("simulator already finalized")
+        heap = self._heap
+        while heap and heap[0][0] <= to_time:
             now, priority, _, payload = heapq.heappop(heap)
-            last_time = max(last_time, now)
+            self._last_time = max(self._last_time, now)
             self._expire_pending(now)
             if priority == _PRIO_WORKER:
                 self._on_worker(payload)
                 # A returning fleet can unblock an overdue buffer.
                 if self.batcher.should_flush(now):
-                    self._flush(now, heap, counter)
+                    self._flush(now)
             elif priority == _PRIO_REJOIN:
                 self._on_rejoin(now, payload)
                 if self.batcher.should_flush(now):
-                    self._flush(now, heap, counter)
+                    self._flush(now)
             elif priority == _PRIO_TASK:
-                self._on_task(now, payload, heap, counter)
+                self._on_task(now, payload)
             elif priority == _PRIO_FLUSH:
                 if self.batcher.should_flush(now):
-                    self._flush(now, heap, counter)
+                    self._flush(now)
+        horizon = to_time if math.isfinite(to_time) else self._last_time
+        # Expire up to the advanced clock even when no timer was due in
+        # the window, so session introspection (stats.expired,
+        # pending_tasks) never lags it.  Harmless on the replay path:
+        # expiry is monotone and every flush re-checks it.
+        self._expire_pending(horizon)
+        self._advanced_to = max(self._advanced_to, horizon)
 
-        # Drain: anything still pending at the end either expired inside
-        # the horizon or is left unresolved (deadline beyond it).
-        self._expire_pending(last_time)
-        self.stats.leftover = len(self.batcher)
-        self.stats.sim_duration = last_time
+    def finalize(self) -> StreamStats:
+        """Close the timeline and return the stats.
+
+        Anything still pending either expired inside the horizon or is
+        left unresolved (deadline beyond it).  Idempotent; also releases
+        the shard executor.
+        """
+        if not self._finalized:
+            self._finalized = True
+            self._expire_pending(self._last_time)
+            self._advanced_to = max(self._advanced_to, self._last_time)
+            self.stats.leftover = len(self.batcher)
+            self.stats.sim_duration = self._last_time
+            self.close()
         return self.stats
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+        if self._shard_executor is not None:
+            self._shard_executor.close()
+
+    @property
+    def clock(self) -> float:
+        """The high-water mark the timeline has advanced to."""
+        return self._advanced_to
 
     # -- event handlers ----------------------------------------------------
 
-    def _on_task(self, now, arrival: TaskArrival, heap, counter) -> None:
+    def _arm_timer(self, due: float, priority: int, payload: object) -> None:
+        heapq.heappush(self._heap, (due, priority, next(self._counter), payload))
+
+    def _on_task(self, now, arrival: TaskArrival) -> None:
         self.stats.arrived_tasks += 1
         self.batcher.add(
             OpenTask(task=arrival.task, arrival_time=now, deadline=arrival.deadline)
         )
         if len(self.batcher) >= self.batcher.max_batch_size:
-            self._flush(now, heap, counter)
+            self._flush(now)
         else:
-            due = now + self.config.max_wait
-            heapq.heappush(heap, (due, _PRIO_FLUSH, next(counter), None))
+            self._arm_timer(now + self.config.max_wait, _PRIO_FLUSH, None)
 
     def _on_worker(self, arrival: WorkerArrival) -> None:
         self.stats.arrived_workers += 1
@@ -292,7 +349,7 @@ class DispatchSimulator:
         pool.sort(key=lambda w: w.id)
         return pool
 
-    def _flush(self, now: float, heap, counter) -> None:
+    def _flush(self, now: float) -> None:
         self._expire_pending(now)
         if not len(self.batcher):
             return
@@ -301,7 +358,7 @@ class DispatchSimulator:
             # Tasks wait for the fleet; arm a sweep at the next deadline so
             # expiry is recorded even if no other event advances the clock.
             next_deadline = min(t.deadline for t in self.batcher.pending)
-            heapq.heappush(heap, (next_deadline + 1e-9, _PRIO_FLUSH, next(counter), None))
+            self._arm_timer(next_deadline + 1e-9, _PRIO_FLUSH, None)
             return
         batch_limit = self.batcher.max_batch_size
         open_tasks = self.batcher.take_batch()
@@ -336,12 +393,24 @@ class DispatchSimulator:
             self.stats.latencies.append(now - open_task.arrival_time)
             self.stats.total_utility += pair.utility
             self.stats.total_distance += pair.distance
-            self._start_service(now, pair.worker_id, open_task, pair.distance, heap, counter)
+            if self.record_assignments:
+                self.assignment_log.append(
+                    Assignment(
+                        time=now,
+                        flush_index=self._flush_index,
+                        task_id=pair.task_id,
+                        worker_id=pair.worker_id,
+                        distance=pair.distance,
+                        utility=pair.utility,
+                        latency=now - open_task.arrival_time,
+                        method=self.solver.name,
+                    )
+                )
+            self._start_service(now, pair.worker_id, open_task, pair.distance)
         # Losers return to the buffer and wait for the next flush.
         self.batcher.restore(list(unassigned.values()), now)
         if unassigned:
-            due = now + self.config.max_wait
-            heapq.heappush(heap, (due, _PRIO_FLUSH, next(counter), None))
+            self._arm_timer(now + self.config.max_wait, _PRIO_FLUSH, None)
 
         self.stats.record_flush(
             FlushRecord(
@@ -363,7 +432,7 @@ class DispatchSimulator:
         self._flush_index += 1
 
     def _start_service(
-        self, now: float, worker_id: int, open_task: OpenTask, distance: float, heap, counter
+        self, now: float, worker_id: int, open_task: OpenTask, distance: float
     ) -> None:
         active = self._workers[worker_id]
         rejoin_at = now + self.config.service_duration(distance)
@@ -374,4 +443,4 @@ class DispatchSimulator:
                 location=open_task.task.location,
                 radius=active.worker.radius,
             )
-        heapq.heappush(heap, (rejoin_at, _PRIO_REJOIN, next(counter), worker_id))
+        self._arm_timer(rejoin_at, _PRIO_REJOIN, worker_id)

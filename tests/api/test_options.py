@@ -1,0 +1,100 @@
+"""`SolveOptions`: the single validation + normalization path."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.options import PARALLEL_MODES, SWEEP_MODES, SolveOptions
+from repro.errors import ConfigurationError
+from repro.stream.simulator import StreamConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        options = SolveOptions()
+        assert options.seed == 0
+        assert options.sweep == "auto"
+        assert options.ppcf is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"sweep": "simd"},
+            {"shards": -1},
+            {"parallel": "fork"},
+            {"parallel": "thread"},  # requires shards >= 1
+            {"parallel": "thread", "shards": 0},
+            {"max_shard_workers": 0},
+            {"max_batch_size": 0},
+            {"max_wait": 0.0},
+            {"max_wait": -1.0},
+            {"max_rounds": 0},
+            {"target_flush_seconds": 0.0},
+        ],
+    )
+    def test_invalid_knobs_raise_typed_errors(self, bad):
+        with pytest.raises(ConfigurationError):
+            SolveOptions(**bad)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SolveOptions().seed = 5
+
+    def test_replace_revalidates(self):
+        options = SolveOptions(shards=4)
+        assert options.replace(parallel="thread").parallel == "thread"
+        with pytest.raises(ConfigurationError):
+            options.replace(sweep="nope")
+
+    def test_one_validation_path_matches_stream_config(self):
+        """The same bad knob fails identically at either entry point."""
+        with pytest.raises(ConfigurationError) as from_options:
+            SolveOptions(parallel="fork", shards=2)
+        with pytest.raises(ConfigurationError) as from_config:
+            StreamConfig(parallel="fork", shards=2)
+        assert str(from_options.value) == str(from_config.value)
+
+    def test_mode_tuples_are_the_single_source(self):
+        from repro.stream.shards import PARALLEL_MODES as shard_modes
+
+        assert shard_modes is PARALLEL_MODES
+        assert set(SWEEP_MODES) == {"auto", "vectorized", "scalar"}
+
+
+class TestMappingRoundTrip:
+    def test_to_dict_from_mapping_round_trip(self):
+        options = SolveOptions(
+            seed=9, sweep="scalar", ppcf=False, shards=2, parallel="thread"
+        )
+        assert SolveOptions.from_mapping(options.to_dict()) == options
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown option key"):
+            SolveOptions.from_mapping({"seed": 1, "sheds": 4})
+
+
+class TestProjection:
+    def test_stream_config_carries_the_unified_knobs(self):
+        options = SolveOptions(
+            max_batch_size=77,
+            max_wait=0.5,
+            shards=3,
+            parallel="thread",
+            max_shard_workers=2,
+            adaptive=True,
+            target_flush_seconds=0.1,
+        )
+        config = options.stream_config()
+        assert isinstance(config, StreamConfig)
+        assert config.max_batch_size == 77
+        assert config.max_wait == 0.5
+        assert config.shards == 3
+        assert config.parallel == "thread"
+        assert config.max_shard_workers == 2
+        assert config.adaptive is True
+        assert config.target_flush_seconds == 0.1
+
+    def test_stream_config_extra_passthrough(self):
+        config = SolveOptions().stream_config(speed=9.0, min_service=0.25)
+        assert config.speed == 9.0
+        assert config.min_service == 0.25

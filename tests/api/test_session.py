@@ -1,0 +1,184 @@
+"""`DispatchSession`: the request-by-request service facade."""
+
+import math
+
+import pytest
+
+from repro.api.options import SolveOptions
+from repro.api.session import DispatchSession
+from repro.datasets.synthetic import NormalGenerator
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError
+from repro.spatial.geometry import Point
+from repro.stream.arrivals import PoissonProcess, StreamWorkload
+from repro.stream.events import Assignment
+from repro.stream.runner import StreamRunner
+from repro.stream.simulator import StreamConfig
+
+
+def fleet(session, n=4, at=0.0):
+    for j in range(n):
+        session.submit_worker(
+            Worker(id=100 + j, location=Point(float(j), 0.0), radius=3.0), at=at
+        )
+
+
+class TestLifecycle:
+    def test_submit_advance_drain(self):
+        with DispatchSession("UCE", options=SolveOptions(seed=7, max_wait=0.1)) as s:
+            fleet(s)
+            s.submit_task(Task(id=0, location=Point(0.5, 0.0), value=4.5), at=0.05)
+            s.advance(to_time=0.3)
+            events = s.drain()
+            assert len(events) == 1
+            event = events[0]
+            assert isinstance(event, Assignment)
+            assert event.task_id == 0
+            assert event.worker_id in (100, 101, 102, 103)
+            assert event.method == "UCE"
+            assert event.latency >= 0.0
+            assert event.flush_index == 0
+            # Drain is a cursor, not a replay.
+            assert s.drain() == ()
+
+    def test_clock_and_pending(self):
+        session = DispatchSession("UCE", options=SolveOptions(max_wait=10.0))
+        fleet(session)
+        session.submit_task(Task(id=0, location=Point(0.0, 0.0), value=4.5), at=1.0)
+        assert session.clock == 0.0
+        session.advance(2.0)
+        assert session.clock == 2.0
+        assert session.pending_tasks == 1  # wait trigger not reached yet
+        session.close()
+
+    def test_method_reports_the_table_ix_name(self):
+        assert DispatchSession("PDCE(ppcf=off)").method == "PDCE-nppcf"
+
+    def test_past_arrivals_are_refused(self):
+        session = DispatchSession("UCE")
+        session.advance(5.0)
+        with pytest.raises(ConfigurationError, match="in the past"):
+            session.submit_task(Task(id=0, location=Point(0, 0), value=1.0), at=1.0)
+
+    def test_finish_is_terminal(self):
+        session = DispatchSession("UCE")
+        fleet(session)
+        stats = session.finish()
+        assert stats.method == "UCE"
+        with pytest.raises(ConfigurationError, match="finalized"):
+            session.advance(1.0)
+        with pytest.raises(ConfigurationError, match="finalized"):
+            session.submit_worker(Worker(id=1, location=Point(0, 0), radius=1.0))
+
+    def test_default_deadline_expires_ignored_tasks(self):
+        # No workers ever arrive: the task must expire after the default
+        # patience, not linger forever.
+        session = DispatchSession("UCE", default_deadline=0.5)
+        session.submit_task(Task(id=0, location=Point(0, 0), value=1.0), at=0.0)
+        session.advance(2.0)
+        stats = session.finish()
+        assert stats.expired == 1
+
+    def test_bad_default_deadline_rejected(self):
+        with pytest.raises(ConfigurationError, match="default_deadline"):
+            DispatchSession("UCE", default_deadline=0.0)
+
+    def test_advance_expires_even_without_a_due_timer(self):
+        # The only armed timer is the flush at max_wait=0.25; overdue
+        # tasks must still be expired up to the advanced clock.
+        session = DispatchSession("GRD", options=SolveOptions(max_wait=0.25))
+        session.submit_task(
+            Task(id=0, location=Point(0, 0), value=1.0), at=0.0, deadline=0.1
+        )
+        session.advance(0.2)
+        assert session.stats.expired == 1
+        assert session.pending_tasks == 0
+        session.close()
+
+    def test_explicit_deadline_is_absolute(self):
+        session = DispatchSession("UCE", options=SolveOptions(max_wait=0.2))
+        session.submit_task(
+            Task(id=0, location=Point(0, 0), value=1.0), at=1.0, deadline=9.0
+        )
+        session.advance(8.0)
+        assert session.stats.expired == 0
+        session.advance(9.5)
+        assert session.stats.expired == 1
+        session.close()
+
+
+class TestResourceLifecycle:
+    def test_run_closes_the_pool_when_the_solver_raises(self):
+        class ExplodingSolver:
+            name = "BOOM"
+            is_private = False
+
+            def solve(self, instance, seed=None, options=None):
+                raise RuntimeError("solver exploded")
+
+        session = DispatchSession(
+            ExplodingSolver(),
+            options=SolveOptions(shards=1, parallel="thread", max_wait=0.05),
+        )
+        fleet(session)
+        events = [
+            # enough arrivals to force a flush through the exploding solver
+        ]
+        with pytest.raises(RuntimeError, match="exploded"):
+            session.submit_task(
+                Task(id=0, location=Point(0.5, 0.0), value=4.5), at=0.01
+            )
+            session.run(events)
+        # The thread pool must not leak past the failed run.
+        assert session._simulator._shard_executor._pool is None
+
+    def test_drain_releases_consumed_events(self):
+        session = DispatchSession("UCE", options=SolveOptions(max_wait=0.05))
+        fleet(session)
+        session.submit_task(Task(id=0, location=Point(0.5, 0.0), value=4.5), at=0.01)
+        session.advance(0.2)
+        assert len(session.drain()) == 1
+        # A long-lived session keeps only the undrained backlog.
+        assert session._simulator.assignment_log == []
+        session.submit_task(Task(id=1, location=Point(1.5, 0.0), value=4.5), at=0.3)
+        session.advance(0.5)
+        (event,) = session.drain()
+        assert event.task_id == 1
+        session.close()
+
+
+class TestReplayEquivalence:
+    def test_session_run_matches_stream_runner(self):
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=25.0, horizon=1.0),
+            worker_process=PoissonProcess(rate=8.0, horizon=1.0),
+            spatial=NormalGenerator(num_tasks=100, num_workers=200, seed=3),
+            initial_workers=30,
+            seed=5,
+        )
+        config = StreamConfig(max_batch_size=15, max_wait=0.15)
+        expected = StreamRunner(["PUCE"], config=config).run_workload(
+            workload, seed=11
+        )["PUCE"]
+        session = DispatchSession("PUCE", config=config, seed=11)
+        actual = session.run(workload.events(seed=11))
+        assert actual.latencies == expected.latencies
+        assert actual.privacy_timeline == expected.privacy_timeline
+        assert actual.assigned == expected.assigned
+        assert actual.total_utility == expected.total_utility
+
+    def test_assignment_log_matches_stats(self):
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=20.0, horizon=0.8),
+            worker_process=PoissonProcess(rate=5.0, horizon=0.8),
+            spatial=NormalGenerator(num_tasks=80, num_workers=160, seed=2),
+            initial_workers=25,
+            seed=4,
+        )
+        session = DispatchSession("UCE", options=SolveOptions(seed=9, max_wait=0.1))
+        stats = session.run(workload.events(seed=9))
+        log = session.drain()
+        assert len(log) == stats.assigned
+        assert sorted(e.latency for e in log) == sorted(stats.latencies)
+        assert [e.flush_index for e in log] == sorted(e.flush_index for e in log)
+        assert math.isclose(sum(e.utility for e in log), stats.total_utility)

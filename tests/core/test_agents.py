@@ -57,7 +57,7 @@ class TestWorkerAgent:
         _, server, agent = setup
         proposal = agent.peek_proposal(0, server)
         agent.publish(proposal, server)
-        with pytest.raises(RuntimeError, match="stale"):
+        with pytest.raises(BudgetExhaustedError, match="stale"):
             agent.publish(proposal, server)
 
     def test_budget_exhaustion(self, setup):

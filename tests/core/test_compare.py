@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.core.compare import (
     pcf,
     pcf_correctness,
@@ -108,9 +110,9 @@ class TestTheoremV1:
         assert ppcf_correctness(1e-9, 2.0) == pytest.approx(0.5, abs=1e-6)
 
     def test_invalid_gap_rejected(self):
-        with pytest.raises(ValueError, match="gap"):
+        with pytest.raises(ConfigurationError, match="gap"):
             pcf_correctness(0.0, 1.0, 1.0)
-        with pytest.raises(ValueError, match="gap"):
+        with pytest.raises(ConfigurationError, match="gap"):
             ppcf_correctness(-1.0, 1.0)
 
     def test_monte_carlo_dominance(self, rng):

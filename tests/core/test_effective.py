@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import ConfigurationError, InvalidInstanceError
+
 from repro.core.effective import EffectivePair, Release, ReleaseSet, effective_pair_of
 
 
@@ -16,7 +18,7 @@ class TestEffectivePairOf:
         assert effective_pair_of([Release(3.3, 0.7)]) == EffectivePair(3.3, 0.7)
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError, match="empty"):
+        with pytest.raises(InvalidInstanceError, match="empty"):
             effective_pair_of([])
 
     def test_weighted_median_minimises_objective(self):
@@ -57,7 +59,7 @@ class TestEffectivePairOf:
 
 class TestRelease:
     def test_non_positive_budget_rejected(self):
-        with pytest.raises(ValueError, match="positive"):
+        with pytest.raises(ConfigurationError, match="positive"):
             Release(1.0, 0.0)
 
 

@@ -26,8 +26,70 @@ class TestCLI:
             main(["run", "fig99"])
 
     def test_seed_changes_output(self, capsys):
-        main(["run", "fig09", "--tasks", "20", "--batches", "1", "--datasets", "uniform", "--seed", "1"])
+        base = ["run", "fig09", "--tasks", "20", "--batches", "1", "--datasets", "uniform"]
+        main([*base, "--seed", "1"])
         first = capsys.readouterr().out
-        main(["run", "fig09", "--tasks", "20", "--batches", "1", "--datasets", "uniform", "--seed", "2"])
+        main([*base, "--seed", "2"])
         second = capsys.readouterr().out
         assert first != second
+
+
+STREAM_ARGS = [
+    "stream",
+    "--horizon", "0.4",
+    "--task-rate", "15",
+    "--max-batch", "10",
+    "--methods", "UCE",
+    "--seed", "3",
+]
+
+
+class TestStreamCLI:
+    def test_stream_prints_the_report_table(self, capsys):
+        assert main(STREAM_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "stream[poisson/normal]" in out
+        assert "UCE" in out
+        assert "p95_lat" in out
+
+    def test_stream_accepts_method_specs(self, capsys):
+        assert main([*STREAM_ARGS[:-4], "--methods", "PDCE(ppcf=off)", "--seed", "3"]) == 0
+        assert "PDCE-nppcf" in capsys.readouterr().out
+
+
+class TestScenarioCLI:
+    def test_saved_spec_reproduces_the_stream_run(self, tmp_path, capsys):
+        """`stream --save-spec` then `scenario` replays the exact run."""
+        path = tmp_path / "spec.json"
+        assert main([*STREAM_ARGS, "--save-spec", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["scenario", str(path)]) == 0
+        second = capsys.readouterr().out
+
+        def strip_wall_clock(table):
+            # tasks/s is wall-clock throughput; everything else is seeded.
+            return [
+                [c for i, c in enumerate(line.split()) if i != 8]
+                for line in table.splitlines()[1:]
+            ]
+
+        assert strip_wall_clock(first) == strip_wall_clock(second)
+
+    def test_seed_override(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        main([*STREAM_ARGS, "--save-spec", str(path)])
+        capsys.readouterr()
+        main(["scenario", str(path), "--seed", "4"])
+        assert "seed=4" in capsys.readouterr().out
+
+    def test_missing_file_is_a_clean_cli_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", str(tmp_path / "nope.json")])
+        assert "cannot load scenario" in capsys.readouterr().err
+
+    def test_unknown_keys_are_a_clean_cli_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"arivals": "poisson"}')
+        with pytest.raises(SystemExit):
+            main(["scenario", str(path)])
+        assert "unknown scenario key" in capsys.readouterr().err

@@ -1,0 +1,50 @@
+"""The `run_stream` deprecation shim: warns, but drifts by not one bit."""
+
+import warnings
+
+import pytest
+
+from repro.api.options import SolveOptions
+from repro.api.scenario import ScenarioSpec
+from repro.experiments.streaming import StreamScenario, run_stream
+from repro.stream.simulator import StreamConfig
+
+SCENARIO = dict(
+    arrivals="poisson",
+    dataset="normal",
+    horizon=0.5,
+    task_rate=15.0,
+    worker_rate=5.0,
+    initial_workers=25,
+    seed=3,
+)
+
+
+class TestRunStreamShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
+            run_stream(("UCE",), StreamScenario(**SCENARIO))
+
+    def test_results_are_bit_identical_to_scenario_spec(self):
+        config = StreamConfig(max_batch_size=10, max_wait=0.1)
+        with pytest.warns(DeprecationWarning):
+            old = run_stream(("PUCE", "UCE"), StreamScenario(**SCENARIO), config=config)
+
+        seed = SCENARIO["seed"]
+        spec = ScenarioSpec(
+            **{k: v for k, v in SCENARIO.items() if k != "seed"},
+            methods=("PUCE", "UCE"),
+            options=SolveOptions(seed=seed, max_batch_size=10, max_wait=0.1),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the facade path must NOT warn
+            new = spec.run()
+
+        assert set(old.methods()) == set(new.methods())
+        for method in old.methods():
+            assert old[method].latencies == new[method].latencies
+            assert old[method].privacy_timeline == new[method].privacy_timeline
+            assert old[method].per_worker_spend == new[method].per_worker_spend
+            assert old[method].total_utility == new[method].total_utility
+            assert old[method].arrived_tasks == new[method].arrived_tasks
+            assert old[method].expired == new[method].expired

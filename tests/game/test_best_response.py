@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.errors import ConvergenceError
 from repro.game.best_response import best_response_dynamics
 from repro.game.strategic import NormalFormGame
@@ -45,7 +47,7 @@ class TestBestResponseDynamics:
 
     def test_profile_length_validated(self):
         game, _ = congestion_game()
-        with pytest.raises(ValueError, match="entries"):
+        with pytest.raises(ConfigurationError, match="entries"):
             best_response_dynamics(game, ("A",))
 
     def test_convergence_bounded_by_potential_range(self):

@@ -70,11 +70,11 @@ class TestLinearSumAssignment:
         assert len(rows) == 0 and len(cols) == 0
 
     def test_nan_rejected(self):
-        with pytest.raises(ValueError, match="NaN"):
+        with pytest.raises(MatchingError, match="NaN"):
             linear_sum_assignment(np.array([[math.nan]]))
 
     def test_one_dimensional_rejected(self):
-        with pytest.raises(ValueError, match="2-D"):
+        with pytest.raises(MatchingError, match="2-D"):
             linear_sum_assignment(np.array([1.0, 2.0]))
 
     def test_agrees_with_scipy(self, rng):

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.privacy.accountant import PrivacyLedger
 
 
@@ -37,9 +39,9 @@ class TestPrivacyLedger:
 
     def test_non_positive_budget_rejected(self):
         ledger = PrivacyLedger()
-        with pytest.raises(ValueError, match="positive"):
+        with pytest.raises(ConfigurationError, match="positive"):
             ledger.record("w", "t", 0.0)
-        with pytest.raises(ValueError, match="positive"):
+        with pytest.raises(ConfigurationError, match="positive"):
             ledger.record("w", "t", -1.0)
 
     def test_ldp_bound_theorem_v2(self):
@@ -50,7 +52,7 @@ class TestPrivacyLedger:
         assert ledger.worker_ldp_bound("w", radius=2.0) == pytest.approx(4.0)
 
     def test_ldp_bound_negative_radius_rejected(self):
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ConfigurationError, match="non-negative"):
             PrivacyLedger().worker_ldp_bound("w", radius=-1.0)
 
     def test_workers_listing(self):

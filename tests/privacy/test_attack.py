@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError, InvalidInstanceError
+
 from repro.core.puce import PUCESolver
 from repro.privacy.attack import TrilaterationAttack, attack_assignment
 from repro.spatial.geometry import Point, euclidean
@@ -66,13 +68,13 @@ class TestTrilaterationAttack:
 
     def test_validation(self):
         attack = TrilaterationAttack()
-        with pytest.raises(ValueError, match="two anchors"):
+        with pytest.raises(InvalidInstanceError, match="two anchors"):
             attack.estimate([(0.0, 0.0)], [1.0])
-        with pytest.raises(ValueError, match="anchors vs"):
+        with pytest.raises(InvalidInstanceError, match="anchors vs"):
             attack.estimate([(0.0, 0.0), (1.0, 1.0)], [1.0])
-        with pytest.raises(ValueError, match="weights"):
+        with pytest.raises(InvalidInstanceError, match="weights"):
             attack.estimate([(0.0, 0.0), (1.0, 1.0)], [1.0, 1.0], weights=[1.0, 0.0])
-        with pytest.raises(ValueError, match="max_iterations"):
+        with pytest.raises(ConfigurationError, match="max_iterations"):
             TrilaterationAttack(max_iterations=0)
 
     def test_collinear_anchors_do_not_crash(self):

@@ -5,13 +5,15 @@ import math
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.privacy.geo import PlanarLaplaceMechanism
 from repro.spatial.geometry import euclidean
 
 
 class TestPlanarLaplace:
     def test_invalid_epsilon(self):
-        with pytest.raises(ValueError, match="epsilon"):
+        with pytest.raises(ConfigurationError, match="epsilon"):
             PlanarLaplaceMechanism(0.0)
 
     def test_expected_error_formula(self):
@@ -58,7 +60,7 @@ class TestPlanarLaplace:
 
     def test_invalid_quantile(self):
         mech = PlanarLaplaceMechanism(1.0)
-        with pytest.raises(ValueError, match="alpha"):
+        with pytest.raises(ConfigurationError, match="alpha"):
             mech.error_quantile(0.0)
-        with pytest.raises(ValueError, match="alpha"):
+        with pytest.raises(ConfigurationError, match="alpha"):
             mech.error_quantile(1.0)

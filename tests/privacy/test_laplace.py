@@ -4,6 +4,8 @@ import math
 
 import numpy as np
 import pytest
+
+from repro.errors import ConfigurationError
 from scipy import integrate, stats
 
 from repro.privacy.laplace import (
@@ -49,7 +51,7 @@ class TestScalarLaplace:
 
     @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
     def test_invalid_rate_rejected(self, bad):
-        with pytest.raises(ValueError, match="rate"):
+        with pytest.raises(ConfigurationError, match="rate"):
             laplace_pdf(0.0, bad)
 
     def test_sampling_moments(self, rng):
@@ -122,7 +124,7 @@ class TestLaplaceDifference:
             assert diff.cdf(t) + diff.sf(t) == pytest.approx(1.0)
 
     def test_invalid_rates_rejected(self):
-        with pytest.raises(ValueError, match="rate"):
+        with pytest.raises(ConfigurationError, match="rate"):
             LaplaceDifference(0.0, 1.0)
-        with pytest.raises(ValueError, match="rate"):
+        with pytest.raises(ConfigurationError, match="rate"):
             LaplaceDifference(1.0, -2.0)

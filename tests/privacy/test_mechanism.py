@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.privacy.mechanism import LaplaceMechanism
 
 
@@ -12,11 +14,11 @@ class TestLaplaceMechanism:
         assert LaplaceMechanism(sensitivity=4.0).noise_rate(2.0) == 0.5
 
     def test_invalid_sensitivity(self):
-        with pytest.raises(ValueError, match="sensitivity"):
+        with pytest.raises(ConfigurationError, match="sensitivity"):
             LaplaceMechanism(sensitivity=0.0)
 
     def test_invalid_epsilon(self):
-        with pytest.raises(ValueError, match="budget"):
+        with pytest.raises(ConfigurationError, match="budget"):
             LaplaceMechanism().noise_rate(0.0)
 
     def test_perturb_centres_on_value(self, rng):

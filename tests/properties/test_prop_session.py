@@ -1,0 +1,116 @@
+"""The facade invariant: a `DispatchSession` driven request-by-request is
+bit-identical to `StreamRunner.run_workload` on the same arrivals.
+
+`DispatchSimulator.run` is literally push-all / advance-to-infinity /
+finalize, so chunked feeding — submit the arrivals due up to ``t``, call
+``advance(t)``, repeat for hypothesis-chosen cut points — must change
+nothing: not the latencies, not the flush records, not the privacy
+timeline, not the per-worker ledgers.  Wall-clock solver seconds are the
+only field exempt (they measure the host, not the protocol).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.options import SolveOptions
+from repro.api.session import DispatchSession
+from repro.datasets.synthetic import NormalGenerator
+from repro.stream.arrivals import PoissonProcess, StreamWorkload
+from repro.stream.runner import StreamRunner
+
+METHODS = ("PUCE", "UCE", "GRD")
+
+
+def small_workload(workload_seed):
+    return StreamWorkload(
+        task_process=PoissonProcess(rate=20.0, horizon=1.0),
+        worker_process=PoissonProcess(rate=6.0, horizon=1.0),
+        spatial=NormalGenerator(num_tasks=80, num_workers=160, seed=workload_seed),
+        initial_workers=20,
+        task_deadline=0.8,
+        worker_budget=25.0,
+        seed=workload_seed,
+    )
+
+
+def assert_bit_identical(actual, expected):
+    """Full-stats equality, wall-clock timing excluded."""
+    assert actual.method == expected.method
+    assert actual.arrived_tasks == expected.arrived_tasks
+    assert actual.arrived_workers == expected.arrived_workers
+    assert actual.assigned == expected.assigned
+    assert actual.expired == expected.expired
+    assert actual.leftover == expected.leftover
+    assert actual.total_utility == expected.total_utility
+    assert actual.total_distance == expected.total_distance
+    assert actual.sim_duration == expected.sim_duration
+    assert actual.latencies == expected.latencies
+    assert actual.privacy_timeline == expected.privacy_timeline
+    assert actual.per_worker_spend == expected.per_worker_spend
+    assert len(actual.flushes) == len(expected.flushes)
+    for mine, theirs in zip(actual.flushes, expected.flushes):
+        assert (mine.index, mine.time, mine.pending_tasks, mine.idle_workers) == (
+            theirs.index,
+            theirs.time,
+            theirs.pending_tasks,
+            theirs.idle_workers,
+        )
+        assert (mine.matched, mine.cumulative_privacy_spend) == (
+            theirs.matched,
+            theirs.cumulative_privacy_spend,
+        )
+        assert (mine.shards, mine.batch_limit) == (theirs.shards, theirs.batch_limit)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    workload_seed=st.integers(0, 2**20),
+    run_seed=st.integers(0, 2**20),
+    method=st.sampled_from(METHODS),
+    cuts=st.lists(st.floats(0.0, 1.6), min_size=0, max_size=6),
+)
+def test_chunked_session_matches_replay_runner(workload_seed, run_seed, method, cuts):
+    workload = small_workload(workload_seed)
+    options = SolveOptions(seed=run_seed, max_batch_size=12, max_wait=0.15)
+
+    expected = StreamRunner([method], options=options).run_workload(
+        workload, seed=run_seed
+    )[method]
+
+    events = workload.events(seed=run_seed)  # time-ordered by construction
+    session = DispatchSession(method, options=options)
+    feed = iter(events)
+    queued = next(feed, None)
+    for cut in sorted(cuts):
+        while queued is not None and queued.time <= cut:
+            session.submit(queued)
+            queued = next(feed, None)
+        session.advance(cut)
+    while queued is not None:
+        session.submit(queued)
+        queued = next(feed, None)
+    actual = session.finish()
+
+    assert_bit_identical(actual, expected)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    workload_seed=st.integers(0, 2**20),
+    run_seed=st.integers(0, 2**20),
+)
+def test_session_assignment_log_is_complete(workload_seed, run_seed):
+    """Drained Assignment events reconstruct the aggregate stats exactly."""
+    workload = small_workload(workload_seed)
+    session = DispatchSession(
+        "PUCE", options=SolveOptions(seed=run_seed, max_batch_size=12, max_wait=0.15)
+    )
+    stats = session.run(workload.events(seed=run_seed))
+    log = session.drain()
+    assert len(log) == stats.assigned == len(stats.latencies)
+    assert [e.latency for e in log] == stats.latencies
+    assert sum(e.utility for e in log) == stats.total_utility
+    assert sum(e.distance for e in log) == stats.total_distance
+    flush_times = {f.index: f.time for f in stats.flushes}
+    for event in log:
+        assert event.time == flush_times[event.flush_index]

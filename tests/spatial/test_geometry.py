@@ -5,6 +5,8 @@ import math
 import numpy as np
 import pytest
 
+from repro.errors import InvalidInstanceError
+
 from repro.spatial.geometry import (
     Point,
     euclidean,
@@ -82,9 +84,9 @@ class TestPairwiseEuclidean:
         assert out.shape == (0, 3)
 
     def test_rejects_bad_shapes(self):
-        with pytest.raises(ValueError, match="expected"):
+        with pytest.raises(InvalidInstanceError, match="expected"):
             pairwise_euclidean(np.zeros((3, 3)), np.zeros((2, 2)))
-        with pytest.raises(ValueError, match="expected"):
+        with pytest.raises(InvalidInstanceError, match="expected"):
             pairwise_euclidean(np.zeros((3, 2)), np.zeros((2, 4)))
 
     def test_diagonal_zero_for_same_points(self, rng):

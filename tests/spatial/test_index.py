@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError, InvalidInstanceError
+
 from repro.spatial.index import GridIndex, grid_cell_labels
 
 
@@ -23,7 +25,7 @@ class TestGridIndexBasics:
 
     def test_negative_radius_raises(self):
         index = GridIndex([(0.0, 0.0)])
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ConfigurationError, match="non-negative"):
             index.query_circle((0, 0), -1.0)
 
     def test_identical_points_all_returned(self):
@@ -31,11 +33,11 @@ class TestGridIndexBasics:
         assert index.query_circle((0, 0), 0.1) == [0, 1, 2, 3, 4]
 
     def test_invalid_shape_raises(self):
-        with pytest.raises(ValueError, match="point array"):
+        with pytest.raises(InvalidInstanceError, match="point array"):
             GridIndex(np.zeros((3, 3)))
 
     def test_invalid_cell_size_raises(self):
-        with pytest.raises(ValueError, match="cell_size"):
+        with pytest.raises(ConfigurationError, match="cell_size"):
             GridIndex([(0.0, 0.0)], cell_size=0.0)
 
     def test_points_property_is_read_only(self):
@@ -87,7 +89,7 @@ class TestNearest:
         assert index.nearest((4.0, 4.0)) == 1
 
     def test_nearest_empty_raises(self):
-        with pytest.raises(ValueError, match="empty"):
+        with pytest.raises(InvalidInstanceError, match="empty"):
             GridIndex([]).nearest((0, 0))
 
     def test_nearest_tie_lowest_index(self):
@@ -123,7 +125,7 @@ class TestCellLabels:
         assert grid_cell_labels(np.zeros((0, 2))).shape == (0,)
         same = grid_cell_labels(np.zeros((5, 2)) + 2.5)
         assert np.array_equal(same, np.zeros(5, dtype=np.int64))
-        with pytest.raises(ValueError, match="cell_size"):
+        with pytest.raises(ConfigurationError, match="cell_size"):
             grid_cell_labels([(0.0, 0.0)], cell_size=-1.0)
 
 

@@ -4,6 +4,8 @@ import math
 
 import pytest
 
+from repro.errors import ConfigurationError, InvalidInstanceError
+
 from repro.spatial.geometry import Point
 from repro.spatial.region import BoundingBox, Circle
 
@@ -28,11 +30,11 @@ class TestBoundingBox:
         assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-3, 1, 2, 5)
 
     def test_from_points_empty_raises(self):
-        with pytest.raises(ValueError, match="zero points"):
+        with pytest.raises(InvalidInstanceError, match="zero points"):
             BoundingBox.from_points([])
 
     def test_degenerate_raises(self):
-        with pytest.raises(ValueError, match="degenerate"):
+        with pytest.raises(InvalidInstanceError, match="degenerate"):
             BoundingBox(1, 0, 0, 1)
 
     def test_zero_area_box_is_allowed(self):
@@ -51,7 +53,7 @@ class TestBoundingBox:
         assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-0.5, -0.5, 1.5, 1.5)
 
     def test_expanded_negative_raises(self):
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ConfigurationError, match="non-negative"):
             BoundingBox(0, 0, 1, 1).expanded(-0.1)
 
 
@@ -70,7 +72,7 @@ class TestCircle:
         assert isinstance(circle.center, Point)
 
     def test_negative_radius_raises(self):
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ConfigurationError, match="non-negative"):
             Circle(Point(0, 0), -1.0)
 
     def test_zero_radius_contains_only_center(self):
