@@ -29,25 +29,35 @@ perf gate does exactly that).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import statistics
 import time
 from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import bench_seed, bench_tasks, emit_table
+from repro.api.scenario import ScenarioSpec
 from repro.datasets.synthetic import NormalGenerator
 from repro.stream import PoissonProcess, StreamConfig, StreamRunner, StreamWorkload
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+DUTY_SPEC = Path(__file__).resolve().parent.parent / "examples" / "scenario_duty_cycle.json"
 
 HORIZON = 3.0
 METHODS = ("PUCE", "UCE")
+#: The classic Poisson throughput modes (duty-cycle rows ride separately).
+POISSON_MODES = ("sequential", "sharded", "parallel")
 
 
 def _smoke() -> bool:
     return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _duty_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "1" if _smoke() else "7"))
 
 
 def _bench_shards() -> int:
@@ -123,15 +133,69 @@ def stream_rows():
                     "latency_p50": stats.latency_p50,
                     "latency_p95": stats.latency_p95,
                     "privacy_spend": stats.total_privacy_spend,
+                    "cache": config.cache,
+                    "workspace": config.workspace,
+                    "cache_hit_rate": stats.cache_hit_rate,
                 }
             )
+    rows.extend(_duty_cycle_rows())
     return {
         "num_tasks": num_tasks,
         "seed": seed,
         "horizon": HORIZON,
         "shards": _bench_shards(),
+        "duty_runs": _duty_runs(),
         "rows": rows,
     }
+
+
+def _duty_cycle_rows() -> list[dict]:
+    """The micro-flush duty-cycle workload, cache off vs on (UCE).
+
+    A starved duty-cycle fleet re-flushes its loser sets thousands of
+    times; the flush-fingerprint cache turns those recurring solves into
+    lookups.  Wall seconds are medians over ``duty_runs`` whole-scenario
+    runs (same-container caveats as PR 3: ±30% run-to-run on a shared
+    1-core box; medians over 7+ runs are the comparison discipline).
+    """
+    spec = ScenarioSpec.from_file(DUTY_SPEC)
+    if _smoke():
+        spec = dataclasses.replace(spec, horizon=1.0)
+    runs = _duty_runs()
+    rows = []
+    base_wall = None
+    for mode, cache in (("duty", False), ("duty-cached", True)):
+        variant = dataclasses.replace(
+            spec, methods=("UCE",), options=spec.options.replace(cache=cache)
+        )
+        walls, report = [], None
+        for _ in range(runs):
+            started = time.perf_counter()
+            report = variant.run()
+            walls.append(time.perf_counter() - started)
+        stats = report["UCE"]
+        wall = statistics.median(walls)
+        row = {
+            "method": "UCE",
+            "mode": mode,
+            "arrived": stats.arrived_tasks,
+            "assigned": stats.assigned,
+            "expired": stats.expired,
+            "flushes": len(stats.flushes),
+            "wall_seconds": wall,
+            "solver_seconds": stats.solver_seconds,
+            "tasks_per_sec": stats.throughput_tasks_per_sec,
+            "privacy_spend": stats.total_privacy_spend,
+            "cache": cache,
+            "workspace": True,
+            "cache_hit_rate": stats.cache_hit_rate,
+        }
+        if base_wall is None:
+            base_wall = wall
+        else:
+            row["wall_speedup_vs_uncached"] = base_wall / wall
+        rows.append(row)
+    return rows
 
 
 def test_stream_throughput_baseline(benchmark, stream_rows):
@@ -149,14 +213,13 @@ def test_stream_throughput_baseline(benchmark, stream_rows):
     )
 
     lines = [
-        "method  mode        arrived  assigned  flushes  wall_s  tasks/s  p50_lat  p95_lat"
+        "method  mode         arrived  assigned  flushes  wall_s  tasks/s  cache_hit"
     ]
     for row in stream_rows["rows"]:
         lines.append(
-            f"{row['method']:<6} {row['mode']:<11} {row['arrived']:>8} "
+            f"{row['method']:<6} {row['mode']:<12} {row['arrived']:>8} "
             f"{row['assigned']:>9} {row['flushes']:>8} {row['wall_seconds']:>7.3f} "
-            f"{row['tasks_per_sec']:>8.0f} {row['latency_p50']:>8.3f} "
-            f"{row['latency_p95']:>8.3f}"
+            f"{row['tasks_per_sec']:>8.0f} {row['cache_hit_rate']:>9.0%}"
         )
     if not _smoke():
         emit_table("stream_throughput", "\n".join(lines))
@@ -171,10 +234,20 @@ def test_stream_throughput_baseline(benchmark, stream_rows):
         assert row["arrived"] > 0
         assert row["assigned"] > 0, row
         assert row["tasks_per_sec"] > 0
-        # Latency percentiles are ordered and within the deadline.
-        assert 0.0 <= row["latency_p50"] <= row["latency_p95"] <= 1.0 + 1e-9
+        if row["mode"] in POISSON_MODES:
+            # Latency percentiles are ordered and within the deadline.
+            assert 0.0 <= row["latency_p50"] <= row["latency_p95"] <= 1.0 + 1e-9
 
     by_key = {(row["method"], row["mode"]): row for row in stream_rows["rows"]}
+    # The duty-cycle cache smoke: recurring loser flushes must hit.
+    cached_row = by_key[("UCE", "duty-cached")]
+    assert cached_row["cache_hit_rate"] > 0.0
+    assert by_key[("UCE", "duty")]["cache_hit_rate"] == 0.0
+    if not _smoke():
+        # The PR-5 acceptance number, medians over 7+ runs: the cache
+        # must buy >=1.3x wall-clock on the duty-cycle micro-flush
+        # workload.  (Smoke runs once at reduced scale and skips it.)
+        assert cached_row["wall_speedup_vs_uncached"] >= 1.3, cached_row
     for method in METHODS:
         # Sharded and parallel execute the same per-shard seed schedule,
         # so their outcomes must agree exactly.

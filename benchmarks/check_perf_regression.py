@@ -1,10 +1,10 @@
 """Perf-regression gate: fresh bench JSONs vs the committed baselines.
 
-CI runs ``bench_engine_core.py`` and ``bench_stream_throughput.py`` in
-smoke mode with ``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory,
-then invokes this script to compare the fresh measurements against the
-*committed* ``BENCH_core.json`` / ``BENCH_stream.json`` at the repository
-root.
+CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py`` and
+``bench_flush_overhead.py`` in smoke mode with ``REPRO_BENCH_JSON_DIR``
+pointing at a scratch directory, then invokes this script to compare the
+fresh measurements against the *committed* ``BENCH_core.json`` /
+``BENCH_stream.json`` / ``BENCH_flush.json`` at the repository root.
 
 The comparison is deliberately generous — a ``--floor`` of 3.0 means a
 fresh number may be up to 3x slower than the committed baseline before
@@ -81,6 +81,52 @@ def check_stream(committed: dict, fresh: dict, floor: float, lines: list[str]) -
     return all_ok
 
 
+def check_flush(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Flush fixed-overhead speedups and the duty-cycle cache hit rate.
+
+    Speedups (rebuild/reuse ratios) are dimensionless, so they transfer
+    across hardware far better than absolute µs; the hit rate is a
+    functional property of the scenario and must simply stay above zero.
+    """
+    def speedups(data: dict) -> dict[tuple[str, str], float]:
+        return {
+            (row["metric"], row.get("method", "-")): row["speedup"]
+            for row in data["rows"]
+            if "speedup" in row
+        }
+
+    baseline = speedups(committed)
+    all_ok = True
+    compared = 0
+    for key, fresh_speedup in speedups(fresh).items():
+        if key not in baseline:
+            continue
+        compared += 1
+        ok = fresh_speedup >= baseline[key] / floor
+        all_ok &= ok
+        lines.append(
+            f"flush  {key[0]:<12} {key[1]:<6} speedup: fresh {fresh_speedup:>6.2f}x  "
+            f"committed {baseline[key]:>6.2f}x  floor {baseline[key] / floor:>6.2f}x  "
+            f"{'ok' if ok else 'REGRESSION'}"
+        )
+    hit_rows = [
+        row
+        for row in fresh["rows"]
+        if row.get("metric") == "cache" and row.get("cache") and row["method"] == "UCE"
+    ]
+    hit_ok = bool(hit_rows) and all(r["cache_hit_rate"] > 0.0 for r in hit_rows)
+    all_ok &= hit_ok
+    lines.append(
+        f"flush  cache        UCE    duty-cycle hit rate: "
+        f"{hit_rows[0]['cache_hit_rate'] if hit_rows else 0.0:>6.1%}  "
+        f"{'ok' if hit_ok else 'REGRESSION (must stay > 0)'}"
+    )
+    if compared == 0:
+        lines.append("flush: no comparable speedup rows — REGRESSION")
+        return False
+    return all_ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -107,6 +153,12 @@ def main(argv: list[str] | None = None) -> int:
     ok &= check_stream(
         load(ROOT / "BENCH_stream.json"),
         load(args.fresh / "BENCH_stream.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_flush(
+        load(ROOT / "BENCH_flush.json"),
+        load(args.fresh / "BENCH_flush.json"),
         args.floor,
         lines,
     )

@@ -122,11 +122,13 @@ from repro.privacy import (
 )
 from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
 from repro.spatial import Point
+from repro.core import EngineWorkspace
 from repro.stream import (
     AdaptiveBatchController,
     Assignment,
     BurstyProcess,
     DispatchSimulator,
+    FlushSolverCache,
     MicroBatcher,
     PoissonProcess,
     RushHourProcess,
@@ -218,6 +220,9 @@ __all__ = [
     "StreamRunner",
     "StreamReport",
     "StreamStats",
+    # flush hot path
+    "EngineWorkspace",
+    "FlushSolverCache",
     # errors
     "ReproError",
     "ConfigurationError",

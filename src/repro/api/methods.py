@@ -196,6 +196,7 @@ class MethodSpec:
         from repro.core.puce import PUCESolver
 
         sweep = self.sweep or (options.sweep if options is not None else "auto")
+        threshold = options.sweep_auto_threshold if options is not None else None
         max_rounds = (
             self.max_rounds
             or (options.max_rounds if options is not None else None)
@@ -207,13 +208,27 @@ class MethodSpec:
         if use_ppcf is None:
             use_ppcf = True
         if self.base == "PUCE":
-            return PUCESolver(use_ppcf=use_ppcf, max_rounds=max_rounds, sweep=sweep)
+            return PUCESolver(
+                use_ppcf=use_ppcf,
+                max_rounds=max_rounds,
+                sweep=sweep,
+                sweep_auto_threshold=threshold,
+            )
         if self.base == "PDCE":
-            return PDCESolver(use_ppcf=use_ppcf, max_rounds=max_rounds, sweep=sweep)
+            return PDCESolver(
+                use_ppcf=use_ppcf,
+                max_rounds=max_rounds,
+                sweep=sweep,
+                sweep_auto_threshold=threshold,
+            )
         if self.base == "UCE":
-            return UCESolver(max_rounds=max_rounds, sweep=sweep)
+            return UCESolver(
+                max_rounds=max_rounds, sweep=sweep, sweep_auto_threshold=threshold
+            )
         if self.base == "DCE":
-            return DCESolver(max_rounds=max_rounds, sweep=sweep)
+            return DCESolver(
+                max_rounds=max_rounds, sweep=sweep, sweep_auto_threshold=threshold
+            )
         if self.base == "PGT":
             return PGTSolver(max_passes=self.max_passes or 100_000)
         if self.base == "GT":

@@ -31,6 +31,7 @@ __all__ = [
     "SolveOptions",
     "reject_unknown_keys",
     "validate_sweep",
+    "validate_sweep_threshold",
     "validate_sharding",
     "validate_batching",
     "validate_service",
@@ -69,6 +70,20 @@ def validate_sweep(sweep: str) -> str:
     if sweep not in SWEEP_MODES:
         raise ConfigurationError(f"unknown sweep implementation {sweep!r}")
     return sweep
+
+
+def validate_sweep_threshold(threshold: int | None) -> int | None:
+    """Check the ``sweep="auto"`` vectorization crossover (pairs).
+
+    ``None`` means "the engine default"; otherwise a non-negative pair
+    count (0 = always vectorize).  Returns the value for chaining.
+    """
+    if threshold is not None and (not isinstance(threshold, int) or threshold < 0):
+        raise ConfigurationError(
+            f"sweep_auto_threshold must be a non-negative int or None, "
+            f"got {threshold!r}"
+        )
+    return threshold
 
 
 def validate_sharding(
@@ -119,6 +134,12 @@ class SolveOptions:
     sweep:
         WorkerProposal implementation of the conflict-elimination engine
         (``"auto"`` / ``"vectorized"`` / ``"scalar"``).
+    sweep_auto_threshold:
+        ``sweep="auto"`` crossover: non-private engine runs on instances
+        with fewer feasible pairs than this take the scalar path.
+        ``None`` keeps the engine default
+        (:attr:`~repro.core.engine.ConflictEliminationSolver.
+        VECTOR_MIN_PAIRS`, recalibrated from the flush-overhead bench).
     ppcf:
         Method override: force the real-distance PPCF gate on (``True``)
         or off (``False``) for PUCE/PDCE.  ``None`` keeps each method's
@@ -133,10 +154,23 @@ class SolveOptions:
     adaptive, target_flush_seconds:
         Adaptive micro-batch sizing (see
         :class:`~repro.stream.batcher.AdaptiveBatchController`).
+    cache:
+        Enable the flush-fingerprint solver cache
+        (:mod:`repro.stream.cache`): flushes whose fingerprint — pair
+        arrays, method, noise schedule, per-worker remaining budgets —
+        has been solved before skip the solve.  Results are bit-identical
+        to ``cache=False`` (deterministic configs; adaptive batching is
+        wall-clock-driven either way).
+    workspace:
+        Reuse one :class:`~repro.core.engine.ConflictEliminationSolver`
+        buffer arena (:class:`~repro.core.workspace.EngineWorkspace`)
+        across flushes instead of allocating per solve.  Purely a
+        performance knob; results are unchanged.
     """
 
     seed: int = 0
     sweep: str = "auto"
+    sweep_auto_threshold: int | None = None
     ppcf: bool | None = None
     max_rounds: int | None = None
     max_batch_size: int = 200
@@ -146,9 +180,12 @@ class SolveOptions:
     max_shard_workers: int | None = None
     adaptive: bool = False
     target_flush_seconds: float = 0.02
+    cache: bool = False
+    workspace: bool = True
 
     def __post_init__(self) -> None:
         validate_sweep(self.sweep)
+        validate_sweep_threshold(self.sweep_auto_threshold)
         validate_sharding(self.shards, self.parallel, self.max_shard_workers)
         validate_batching(self.max_batch_size, self.max_wait)
         if self.max_rounds is not None and self.max_rounds < 1:
@@ -192,5 +229,7 @@ class SolveOptions:
             max_shard_workers=self.max_shard_workers,
             adaptive=self.adaptive,
             target_flush_seconds=self.target_flush_seconds,
+            cache=self.cache,
+            workspace=self.workspace,
             **extra,
         )

@@ -38,6 +38,7 @@ from repro.api.methods import MethodSpec
 from repro.api.options import SolveOptions
 from repro.datasets.workload import Task, Worker
 from repro.errors import ConfigurationError
+from repro.stream.cache import FlushSolverCache
 from repro.stream.events import Assignment, StreamEvent, TaskArrival, WorkerArrival
 from repro.stream.metrics import StreamStats
 from repro.stream.simulator import DispatchSimulator, StreamConfig
@@ -68,6 +69,11 @@ class DispatchSession:
         Override of ``options.seed`` for this session's noise streams.
     default_deadline:
         Patience given to ``submit_task`` calls that omit ``deadline``.
+    cache:
+        A :class:`~repro.stream.cache.FlushSolverCache` to share across
+        sessions (repeated runs of one scenario hit it even for private
+        methods, whose per-flush noise keys recur run to run).  Omitted,
+        ``options.cache`` decides whether the session owns a private one.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class DispatchSession:
         seed: int | None = None,
         default_deadline: float = 1.0,
         record_assignments: bool = True,
+        cache: "FlushSolverCache | None" = None,
     ):
         self.options = options if options is not None else SolveOptions()
         if not default_deadline > 0:
@@ -95,6 +102,7 @@ class DispatchSession:
             config=config if config is not None else self.options.stream_config(),
             seed=self.options.seed if seed is None else seed,
             record_assignments=record_assignments,
+            cache=cache,
         )
 
     # -- introspection -----------------------------------------------------

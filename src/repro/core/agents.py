@@ -62,8 +62,15 @@ class WorkerAgent:
         self.tasks_in_range = instance.reachable[index]
         self._instance = instance
         self._rng = rng
+        # Budget vectors read straight off the worker's CSR slice: going
+        # through ``instance.budget_vector`` would materialise the whole
+        # O(P) dict view just to build one agent — a real cost when every
+        # streaming micro-flush builds a fresh agent set.
+        pairs = instance.pairs
+        sl = pairs.worker_slice(index)
         self._pair_budgets = {
-            i: PairBudget(instance.budget_vector(i, index)) for i in self.tasks_in_range
+            i: PairBudget(pairs.budget_vector(p))
+            for p, i in zip(range(sl.start, sl.stop), self.tasks_in_range)
         }
         self._draws: dict[tuple[int, int], float] = {}
         # Only this agent publishes toward his own pairs, so the tentative

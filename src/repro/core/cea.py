@@ -30,7 +30,13 @@ from __future__ import annotations
 import math
 from typing import Hashable, Mapping, NamedTuple, Sequence
 
-__all__ = ["Candidate", "rank_candidates", "conflict_eliminate", "resolve_top_conflicts"]
+__all__ = [
+    "Candidate",
+    "rank_candidates",
+    "conflict_eliminate",
+    "resolve_top_conflicts",
+    "resolve_top_conflicts_dense",
+]
 
 TaskKey = Hashable
 WorkerKey = Hashable
@@ -218,4 +224,39 @@ def resolve_top_conflicts(
             ),
         )
         decisions[keeper] = competing[keeper][0]
+    return decisions
+
+
+def resolve_top_conflicts_dense(
+    tasks: Sequence[TaskKey],
+    top_worker: Sequence[WorkerKey],
+    top_key: Sequence[float],
+    runner_key: Sequence[float],
+) -> list[int]:
+    """:func:`resolve_top_conflicts` over pre-ranked per-task rows.
+
+    The array-sweep engines keep candidate tables as flat arrays instead
+    of per-task ``Candidate`` lists; after sorting they only need the
+    group-level facts the single-round rule consumes: each task's top
+    entry (worker + key) and the key of its runner-up entry
+    (``math.inf`` when the table has a single row).  ``tasks`` must be in
+    first-appearance (publish) order — the same order the mapping form
+    iterates — and the returned list holds the *positions* of the tasks
+    whose top entry prevailed, in exactly the decision order the mapping
+    form produces (ties broken through the identical ``_order_token``
+    machinery, so the two forms are bit-interchangeable).
+    """
+    tops: dict[WorkerKey, list[int]] = {}
+    for g, worker in enumerate(top_worker):
+        tops.setdefault(worker, []).append(g)
+    decisions: list[int] = []
+    for groups in tops.values():
+        if len(groups) == 1:
+            decisions.append(groups[0])
+            continue
+        keeper = max(
+            groups,
+            key=lambda g: (runner_key[g], -top_key[g], _neg_order(tasks[g])),
+        )
+        decisions.append(keeper)
     return decisions

@@ -20,7 +20,11 @@ class PDCESolver(ConflictEliminationSolver):
     """Private Distance Conflict-Elimination."""
 
     def __init__(
-        self, use_ppcf: bool = True, max_rounds: int = 100_000, sweep: str = "auto"
+        self,
+        use_ppcf: bool = True,
+        max_rounds: int = 100_000,
+        sweep: str = "auto",
+        sweep_auto_threshold: int | None = None,
     ):
         name = "PDCE" if use_ppcf else "PDCE-nppcf"
         super().__init__(
@@ -29,4 +33,5 @@ class PDCESolver(ConflictEliminationSolver):
             ),
             max_rounds=max_rounds,
             sweep=sweep,
+            sweep_auto_threshold=sweep_auto_threshold,
         )

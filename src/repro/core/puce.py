@@ -18,7 +18,11 @@ class PUCESolver(ConflictEliminationSolver):
     """Private Utility Conflict-Elimination (Algorithms 1-3)."""
 
     def __init__(
-        self, use_ppcf: bool = True, max_rounds: int = 100_000, sweep: str = "auto"
+        self,
+        use_ppcf: bool = True,
+        max_rounds: int = 100_000,
+        sweep: str = "auto",
+        sweep_auto_threshold: int | None = None,
     ):
         name = "PUCE" if use_ppcf else "PUCE-nppcf"
         super().__init__(
@@ -27,4 +31,5 @@ class PUCESolver(ConflictEliminationSolver):
             ),
             max_rounds=max_rounds,
             sweep=sweep,
+            sweep_auto_threshold=sweep_auto_threshold,
         )

@@ -28,20 +28,32 @@ Exactness contract (what the equivalence property tests pin):
   PCF gate against the winner, and the publish itself run per-pair on the
   server model — the boundary where array code hands back to the
   worker-local scalar path.
+
+Candidates leave the sweep as a :class:`ProposalBatch` — flat arrays in
+publish (CSR) order, never materialised as per-pair ``Candidate`` objects
+— and the engine's array-form WinnerChosen consumes them directly.  The
+scalar publish boundary therefore no longer includes candidate ranking or
+winner propagation; only the release-set operations above remain scalar.
+
+Buffers come from an optional :class:`~repro.core.workspace.
+EngineWorkspace` so repeated flushes over similar instances reuse one
+arena instead of allocating eight arrays per solve; a reused buffer is
+re-filled with the same initial values a fresh allocation would carry, so
+the workspace is invisible to results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.cea import Candidate
 from repro.core.compare import pcf
 from repro.core.effective import EffectivePair
+from repro.core.workspace import EngineWorkspace
 from repro.privacy.laplace import laplace_cdf_array
 from repro.simulation.instance import ProblemInstance
 from repro.simulation.server import Server
 
-__all__ = ["VectorSweep", "apply_value_fn", "apply_value_fn_inverse"]
+__all__ = ["ProposalBatch", "VectorSweep", "apply_value_fn", "apply_value_fn_inverse"]
 
 
 def apply_value_fn(fn, xs: np.ndarray) -> np.ndarray:
@@ -66,6 +78,45 @@ def apply_value_fn_inverse(fn, vs: np.ndarray) -> np.ndarray:
     )
 
 
+class ProposalBatch:
+    """One round's surviving candidates as flat arrays (publish order).
+
+    The array-form counterpart of the scalar sweep's
+    ``{task: [Candidate, ...]}`` mapping: row ``r`` says worker
+    ``worker[r]`` stands as a candidate for task ``task[r]`` with
+    comparison key ``key[r]``, via flat CSR pair ``pair[r]``.  Rows are in
+    publish order — flat CSR order after gating — which is exactly the
+    first-appearance order the mapping form's insertion order encodes,
+    so the engine's WinnerChosen can reproduce the mapping path's
+    decision order without ever building the dict.
+    """
+
+    __slots__ = ("pair", "task", "worker", "key")
+
+    def __init__(
+        self, pair: np.ndarray, task: np.ndarray, worker: np.ndarray, key: np.ndarray
+    ):
+        self.pair = pair
+        self.task = task
+        self.worker = worker
+        self.key = key
+
+    def __len__(self) -> int:
+        return int(self.task.shape[0])
+
+    def __bool__(self) -> bool:
+        return self.task.shape[0] > 0
+
+
+def _alloc(
+    workspace: EngineWorkspace | None, name: str, size: int, dtype, fill
+) -> np.ndarray:
+    """A filled 1-D buffer: arena-backed when a workspace is leased."""
+    if workspace is None:
+        return np.full(size, fill, dtype=dtype)
+    return workspace.request(name, size, dtype, fill)
+
+
 class VectorSweep:
     """Mutable array state of one engine run's proposal sweeps."""
 
@@ -77,6 +128,7 @@ class VectorSweep:
         use_ppcf: bool,
         private: bool,
         rng: np.random.Generator | None,
+        workspace: EngineWorkspace | None = None,
     ):
         self.instance = instance
         self.server = server
@@ -86,49 +138,58 @@ class VectorSweep:
         self.rng = rng
         pairs = instance.pairs
         num_pairs = pairs.num_pairs
+        ws = workspace
 
         # Worker-pool and winner state (satellite of the array refactor:
         # maintained incrementally instead of re-sorted / re-scanned).
-        self.not_winning = np.ones(instance.num_workers, dtype=bool)
-        self.winner_pair = np.full(instance.num_tasks, -1, dtype=np.int64)
+        self.not_winning = _alloc(ws, "not_winning", instance.num_workers, bool, True)
+        self.winner_pair = _alloc(ws, "winner_pair", instance.num_tasks, np.int64, -1)
 
         # Per-pair consumption state (the array form of PairBudget).
-        self.used = np.zeros(num_pairs, dtype=np.int64)
+        self.used = _alloc(ws, "used", num_pairs, np.int64, 0)
         # Memoized tentative draw for the pair's *current* budget index.
-        self.draw_value = np.zeros(num_pairs, dtype=np.float64)
-        self.draw_index = np.full(num_pairs, -1, dtype=np.int64)
+        self.draw_value = _alloc(ws, "draw_value", num_pairs, np.float64, 0.0)
+        self.draw_index = _alloc(ws, "draw_index", num_pairs, np.int64, -1)
         # Release-board summary mirrored per pair (matches the server's
         # memoized ReleaseSet.effective_pair()).
-        self.eff_distance = np.zeros(num_pairs, dtype=np.float64)
-        self.eff_epsilon = np.zeros(num_pairs, dtype=np.float64)
-        self.release_count = np.zeros(num_pairs, dtype=np.int64)
+        self.eff_distance = _alloc(ws, "eff_distance", num_pairs, np.float64, 0.0)
+        self.eff_epsilon = _alloc(ws, "eff_epsilon", num_pairs, np.float64, 0.0)
+        self.release_count = _alloc(ws, "release_count", num_pairs, np.int64, 0)
 
     # -- winner bookkeeping -------------------------------------------------
 
-    def note_assign(self, task_index: int, worker_index: int, vacated: int | None) -> None:
-        """Mirror one ``server.assign`` into the winner-pair index."""
+    def note_assign_pair(
+        self, task_index: int, pair_pos: int, vacated: int | None
+    ) -> None:
+        """Mirror one ``server.assign`` into the winner-pair index.
+
+        ``pair_pos`` is the winner's flat CSR pair — the sweeps carry it
+        through :class:`ProposalBatch`, so no ``(task, worker) -> pair``
+        table lookup (or its lazy O(P) construction) ever happens on the
+        vectorized path.
+        """
         if vacated is not None:
             self.winner_pair[vacated] = -1
-        self.winner_pair[task_index] = self.instance.pair_index(task_index, worker_index)
+        self.winner_pair[task_index] = pair_pos
 
     # -- one proposal round -------------------------------------------------
 
-    def proposal_round(self) -> dict[int, list[Candidate]]:
-        """All of Algorithm 1 for one round; returns per-task candidates."""
+    def proposal_round(self) -> ProposalBatch:
+        """All of Algorithm 1 for one round; returns the candidate batch."""
         pairs = self.instance.pairs
         active = self.not_winning[pairs.worker]
         if self.private:
             active &= self.used < pairs.budget_len
         idx = np.flatnonzero(active)
         if idx.size == 0:
-            return {}
+            return ProposalBatch(idx, idx, idx, idx.astype(np.float64))
         if self.private:
             return self._private_round(idx)
         return self._exact_round(idx)
 
     # -- non-private: fully array-evaluated ---------------------------------
 
-    def _exact_round(self, idx: np.ndarray) -> dict[int, list[Candidate]]:
+    def _exact_round(self, idx: np.ndarray) -> ProposalBatch:
         pairs = self.instance.pairs
         model = self.instance.model
         task_i = pairs.task[idx]
@@ -159,26 +220,15 @@ class VectorSweep:
             beats[contested] = keys[contested] < win_keys
             idx, task_i, keys = idx[beats], task_i[beats], keys[beats]
 
-        # Emit per-task lists already sorted by (key, worker) so the
-        # WinnerChosen step can skip its per-task sorts; the dict's key
-        # *insertion* order still follows flat CSR order — the same
-        # first-appearance order the scalar sweep produces — because the
-        # decision loop's tie-behaviour depends on it.
-        workers = self.instance.pairs.worker[idx]
-        tasks = task_i.tolist()
-        proposals: dict[int, list[Candidate]] = {}
-        for i in tasks:
-            if i not in proposals:
-                proposals[i] = []
-        worker_list = workers.tolist()
-        key_list = keys.tolist()
-        for pos in np.lexsort((workers, keys)).tolist():
-            proposals[tasks[pos]].append(Candidate(worker_list[pos], key_list[pos]))
-        return proposals
+        # Rows stay in flat CSR order — the same first-appearance order
+        # the scalar sweep's proposal dict encodes — and are *not* sorted
+        # here: the engine's array WinnerChosen sorts per task group once,
+        # incumbents included.
+        return ProposalBatch(idx, task_i, self.instance.pairs.worker[idx], keys)
 
     # -- private: array gates, scalar publishes -----------------------------
 
-    def _private_round(self, idx: np.ndarray) -> dict[int, list[Candidate]]:
+    def _private_round(self, idx: np.ndarray) -> ProposalBatch:
         pairs = self.instance.pairs
         model = self.instance.model
         used_now = self.used[idx]
@@ -248,19 +298,20 @@ class VectorSweep:
         next_eps: np.ndarray,
         own_value: np.ndarray,
         rival: np.ndarray,
-    ) -> dict[int, list[Candidate]]:
+    ) -> ProposalBatch:
         """Scalar tail of the sweep: PCF gate, publish, candidate keys.
 
         Everything that must see a release set — the tentative effective
         pair of a re-proposing worker, the PCF comparison, and the publish
         itself — stays on the per-pair scalar path so the server-side
         weighted-median semantics (and their tie-breaks) are untouched.
+        Published rows accumulate into a :class:`ProposalBatch` in publish
+        order.
         """
         pairs = self.instance.pairs
         model = self.instance.model
         server = self.server
         utility_objective = self.objective == "utility"
-        proposals: dict[int, list[Candidate]] = {}
         flat = idx.tolist()
         tasks = task_i.tolist()
         workers = pairs.worker[idx].tolist()
@@ -270,6 +321,10 @@ class VectorSweep:
         rivals = rival.tolist()
         values = own_value.tolist()
         has_releases = (self.release_count[idx] > 0).tolist()
+        out_pair: list[int] = []
+        out_task: list[int] = []
+        out_worker: list[int] = []
+        out_key: list[float] = []
         for pos, p in enumerate(flat):
             i = tasks[pos]
             j = workers[pos]
@@ -303,5 +358,13 @@ class VectorSweep:
                 key = effective.distance - model.distance_equivalent(values[pos])
             else:
                 key = effective.distance
-            proposals.setdefault(i, []).append(Candidate(worker=j, key=key))
-        return proposals
+            out_pair.append(p)
+            out_task.append(i)
+            out_worker.append(j)
+            out_key.append(key)
+        return ProposalBatch(
+            np.asarray(out_pair, dtype=np.int64),
+            np.asarray(out_task, dtype=np.int64),
+            np.asarray(out_worker, dtype=np.int64),
+            np.asarray(out_key, dtype=np.float64),
+        )

@@ -95,6 +95,28 @@ def main(argv: list[str] | None = None) -> int:
         default=0.02,
         help="adaptive controller's per-flush solver-time target",
     )
+    stream.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=False,
+        help="enable the flush-fingerprint solver cache (bit-identical; "
+        "recurring flushes skip the solve)",
+    )
+    stream.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable the flush-fingerprint solver cache (the default)",
+    )
+    stream.add_argument(
+        "--no-workspace",
+        dest="workspace",
+        action="store_false",
+        default=True,
+        help="allocate fresh engine buffers per flush instead of reusing "
+        "the workspace arena",
+    )
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument(
         "--save-spec",
@@ -145,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
                     parallel=args.parallel,
                     adaptive=args.adaptive,
                     target_flush_seconds=args.target_flush_seconds,
+                    cache=args.cache,
+                    workspace=args.workspace,
                 ),
             )
         else:

@@ -154,16 +154,22 @@ def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
     columns = (
         f"{'method':<12} {'arrived':>7} {'assigned':>8} {'expired':>7} "
         f"{'left':>5} {'flushes':>7} {'p50_lat':>8} {'p95_lat':>8} "
-        f"{'tasks/s':>9} {'eps_spent':>9} {'U_avg':>7}"
+        f"{'tasks/s':>9} {'eps_spent':>9} {'U_avg':>7} {'cache':>6}"
     )
     lines = [header, columns, "-" * len(columns)]
     for method in report.methods():
         stats = report[method]
+        cache = (
+            f"{stats.cache_hit_rate:>5.0%}"
+            if stats.cache_hits or stats.cache_misses
+            else f"{'off':>5}"
+        )
         lines.append(
             f"{method:<12} {stats.arrived_tasks:>7} {stats.assigned:>8} "
             f"{stats.expired:>7} {stats.leftover:>5} {len(stats.flushes):>7} "
             f"{stats.latency_p50:>8.3f} {stats.latency_p95:>8.3f} "
             f"{stats.throughput_tasks_per_sec:>9.0f} "
-            f"{stats.total_privacy_spend:>9.1f} {stats.average_utility:>7.2f}"
+            f"{stats.total_privacy_spend:>9.1f} {stats.average_utility:>7.2f} "
+            f"{cache}"
         )
     return "\n".join(lines)

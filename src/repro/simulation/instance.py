@@ -21,6 +21,7 @@ to the server model.
 
 from __future__ import annotations
 
+import math
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -54,7 +55,7 @@ class ProblemInstance:
         "model",
         "reachable",
         "pairs",
-        "candidates",
+        "_candidates",
         "_pair_index",
         "_distances",
         "_budgets",
@@ -90,21 +91,14 @@ class ProblemInstance:
         # never the caller's mappings verbatim — so view iteration order
         # (CSR) and membership (exactly the feasible pairs) hold for
         # every constructor; entries for pairs outside ``reachable`` are
-        # dropped.
+        # dropped.  Like them, ``candidates`` and the pair-index table
+        # are lazy: the vectorized flush hot path never touches either,
+        # and building them eagerly cost O(P) Python work per micro-flush.
         self._distances = None
         self._budgets = None
+        self._candidates = None
+        self._pair_index = None
         self.pairs = pairs
-
-        per_task: list[list[int]] = [[] for _ in self.tasks]
-        for i, j in zip(pairs.task.tolist(), pairs.worker.tolist()):
-            per_task[i].append(j)
-        self.candidates = tuple(tuple(c) for c in per_task)
-        self._pair_index = {
-            (i, j): p
-            for p, (i, j) in enumerate(
-                zip(pairs.task.tolist(), pairs.worker.tolist())
-            )
-        }
 
     def _pairs_from_mappings(
         self,
@@ -143,6 +137,13 @@ class ProblemInstance:
 
     # -- construction --------------------------------------------------
 
+    #: Below this many ``tasks * workers``, :meth:`build` skips the grid
+    #: index and scans task coordinates directly (identical ``math.hypot``
+    #: predicate, identical sorted reachability).  Micro-flushes — the
+    #: streaming hot path — live far below it; the grid's asymptotics only
+    #: pay off on batch-experiment scales.
+    BRUTE_FORCE_PAIR_LIMIT = 4096
+
     @classmethod
     def build(
         cls,
@@ -155,9 +156,13 @@ class ProblemInstance:
         """Materialise reachability, distances and budget vectors.
 
         ``seed`` drives only the budget-vector draws; distances are exact.
-        Budget vectors are drawn one batched ``uniform`` call per worker,
-        which consumes the generator stream exactly as the historical
-        pair-at-a-time sampling did.
+        Budget vectors are drawn in one batched ``uniform`` call covering
+        every pair, which consumes the generator stream exactly as the
+        historical per-worker (and before that, pair-at-a-time) sampling
+        did — worker-major, reachable order.  Pair arrays are assembled
+        directly (no per-pair row loop); small instances additionally use
+        the brute-force reachability scan, whose single ``math.hypot``
+        per pair doubles as the exact distance.
         """
         rng = ensure_rng(seed)
         sampler = budget_sampler or BudgetSampler()
@@ -166,24 +171,69 @@ class ProblemInstance:
         workers = tuple(workers)
         _check_unique_ids(tasks, workers)
 
-        index = GridIndex([t.location for t in tasks]) if tasks else None
         reachable: list[tuple[int, ...]] = []
         distance_rows: list[list[float]] = []
-        budget_rows: list[np.ndarray] = []
-        for worker in workers:
-            in_range = (
-                tuple(index.query_circle(worker.location, worker.radius))
-                if index
-                else ()
-            )
-            reachable.append(in_range)
-            location = worker.location
-            distance_rows.append(
-                [euclidean(location, tasks[i].location) for i in in_range]
-            )
-            budget_rows.append(sampler.sample_matrix(rng, len(in_range)))
-        pairs = PairArrays.from_rows(
-            reachable, distance_rows, budget_rows, [t.value for t in tasks]
+        if not tasks:
+            reachable = [()] * len(workers)
+            distance_rows = [[] for _ in workers]
+        elif len(tasks) * len(workers) <= cls.BRUTE_FORCE_PAIR_LIMIT:
+            # Micro-flush fast path: one exact hypot per pair serves as
+            # both the radius predicate (the same one GridIndex applies
+            # bucket-by-bucket) and the distance, and task order is
+            # naturally ascending — bit-identical reachability and
+            # distances, none of the grid construction/scan overhead.
+            coordinates = [
+                (float(t.location[0]), float(t.location[1])) for t in tasks
+            ]
+            for worker in workers:
+                wx = float(worker.location[0])
+                wy = float(worker.location[1])
+                radius = worker.radius
+                in_range: list[int] = []
+                row: list[float] = []
+                for i, (tx, ty) in enumerate(coordinates):
+                    d = math.hypot(wx - tx, wy - ty)
+                    if d <= radius:
+                        in_range.append(i)
+                        row.append(d)
+                reachable.append(tuple(in_range))
+                distance_rows.append(row)
+        else:
+            index = GridIndex([t.location for t in tasks])
+            for worker in workers:
+                in_range = tuple(index.query_circle(worker.location, worker.radius))
+                location = worker.location
+                reachable.append(in_range)
+                distance_rows.append(
+                    [euclidean(location, tasks[i].location) for i in in_range]
+                )
+
+        counts = np.fromiter(
+            (len(r) for r in reachable), dtype=np.int64, count=len(reachable)
+        )
+        offsets = np.zeros(len(reachable) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        # One batched draw for every pair's budget vector: numpy fills
+        # row-major, so the stream order equals the historical per-worker
+        # sample_matrix calls (worker-major, reachable order).
+        budget_matrix = sampler.sample_matrix(rng, total)
+        if total == 0:
+            budget_matrix = budget_matrix.reshape(0, 1)
+        pairs = PairArrays(
+            offsets=offsets,
+            task=np.fromiter(
+                (i for row in reachable for i in row), dtype=np.int64, count=total
+            ),
+            worker=np.repeat(np.arange(len(workers), dtype=np.int64), counts),
+            distance=np.fromiter(
+                (d for row in distance_rows for d in row),
+                dtype=np.float64,
+                count=total,
+            ),
+            budget_matrix=budget_matrix,
+            budget_len=np.full(total, budget_matrix.shape[1], dtype=np.int64),
+            task_value=np.asarray([t.value for t in tasks], dtype=np.float64),
         )
         return cls(
             tasks=tasks,
@@ -219,13 +269,36 @@ class ProblemInstance:
     # -- dict-shaped compatibility views --------------------------------
 
     @property
+    def candidates(self) -> tuple[tuple[int, ...], ...]:
+        """Per-task candidate workers (lazy view over the pair arrays)."""
+        if self._candidates is None:
+            per_task: list[list[int]] = [[] for _ in self.tasks]
+            pairs = self.pairs
+            for i, j in zip(pairs.task.tolist(), pairs.worker.tolist()):
+                per_task[i].append(j)
+            self._candidates = tuple(tuple(c) for c in per_task)
+        return self._candidates
+
+    def _pair_table(self) -> dict[tuple[int, int], int]:
+        """The lazily built ``(task, worker) -> flat pair`` table."""
+        if self._pair_index is None:
+            pairs = self.pairs
+            self._pair_index = {
+                (i, j): p
+                for p, (i, j) in enumerate(
+                    zip(pairs.task.tolist(), pairs.worker.tolist())
+                )
+            }
+        return self._pair_index
+
+    @property
     def distances(self) -> dict[tuple[int, int], float]:
         """``{(task_index, worker_index): distance}`` view of the arrays."""
         if self._distances is None:
             self._distances = {
                 (i, j): d
                 for (i, j), d in zip(
-                    self._pair_index, self.pairs.distance.tolist()
+                    self._pair_table(), self.pairs.distance.tolist()
                 )
             }
         return self._distances
@@ -234,11 +307,10 @@ class ProblemInstance:
     def budgets(self) -> dict[tuple[int, int], BudgetVector]:
         """``{(task_index, worker_index): BudgetVector}`` view of the arrays."""
         if self._budgets is None:
-            matrix = self.pairs.budget_matrix
-            lengths = self.pairs.budget_len.tolist()
+            pairs = self.pairs
             self._budgets = {
-                (i, j): BudgetVector(tuple(matrix[p, : lengths[p]].tolist()))
-                for p, (i, j) in enumerate(self._pair_index)
+                (i, j): pairs.budget_vector(p)
+                for p, (i, j) in enumerate(self._pair_table())
             }
         return self._budgets
 
@@ -251,7 +323,7 @@ class ProblemInstance:
             If the pair is infeasible (outside the worker's service area).
         """
         try:
-            return self._pair_index[(task_index, worker_index)]
+            return self._pair_table()[(task_index, worker_index)]
         except KeyError:
             raise InvalidInstanceError(
                 f"pair (task {task_index}, worker {worker_index}) is not feasible"
@@ -273,7 +345,7 @@ class ProblemInstance:
 
     def feasible_pairs(self) -> Iterator[tuple[int, int]]:
         """All ``(task_index, worker_index)`` pairs, CSR (worker-major) order."""
-        return iter(self._pair_index)
+        return iter(self._pair_table())
 
     def distance(self, task_index: int, worker_index: int) -> float:
         """True distance of a feasible pair.

@@ -49,7 +49,13 @@ class Server:
     def publish(self, task_index: int, worker_index: int, value: float, epsilon: float) -> None:
         """Record one published (obfuscated distance, budget) release."""
         board_key = (task_index, worker_index)
-        self._board.setdefault(board_key, ReleaseSet()).add(value, epsilon)
+        # Not setdefault(key, ReleaseSet()): that would construct (and
+        # discard) a fresh ReleaseSet on every re-publish of an existing
+        # pair — pure allocator churn on the publish hot path.
+        releases = self._board.get(board_key)
+        if releases is None:
+            releases = self._board[board_key] = ReleaseSet()
+        releases.add(value, epsilon)
         task = self._instance.tasks[task_index]
         worker = self._instance.workers[worker_index]
         self.ledger.record(worker.id, task.id, epsilon)

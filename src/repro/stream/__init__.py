@@ -13,9 +13,13 @@ latency / expiry / throughput / privacy-over-time measures
 
 Scaling layer: flushes can be *sharded* — spatially cut into
 conflict-free components and solved independently, sequentially or in
-parallel (:mod:`repro.stream.shards`) — and the flush size can *adapt* to
+parallel (:mod:`repro.stream.shards`) — the flush size can *adapt* to
 observed flush service times
-(:class:`~repro.stream.batcher.AdaptiveBatchController`).
+(:class:`~repro.stream.batcher.AdaptiveBatchController`), and recurring
+flushes can skip instance construction and solve entirely through the
+flush-fingerprint solver cache (:mod:`repro.stream.cache`), with engine
+buffers reused across flushes via the
+:class:`~repro.core.workspace.EngineWorkspace` arena.
 """
 
 from repro.stream.arrivals import (
@@ -40,6 +44,7 @@ from repro.stream.events import (
     WorkerArrival,
     merge_events,
 )
+from repro.stream.cache import FlushSolverCache, cache_profile, flush_fingerprint
 from repro.stream.metrics import FlushRecord, StreamStats
 from repro.stream.runner import StreamReport, StreamRunner
 from repro.stream.shards import (
@@ -77,6 +82,9 @@ __all__ = [
     "cut_flush",
     "build_shard_instance",
     "merge_shard_results",
+    "FlushSolverCache",
+    "cache_profile",
+    "flush_fingerprint",
     "StreamConfig",
     "DispatchSimulator",
     "StreamRunner",

@@ -228,6 +228,13 @@ class MicroBatcher:
     def __post_init__(self) -> None:
         # One validation path: shared with SolveOptions (repro.api.options).
         validate_batching(self.max_batch_size, self.max_wait)
+        # Resolve the model and sampler once: every flush then shares the
+        # same frozen objects, which the flush-fingerprint cache's
+        # identity-memoed repr keys exploit.
+        if self.model is None:
+            self.model = UtilityModel()
+        if self.budget_sampler is None:
+            self.budget_sampler = BudgetSampler()
         if self.controller is not None:
             self.max_batch_size = max(
                 self.controller.min_size,
@@ -347,9 +354,31 @@ class MicroBatcher:
         # Affordable prefix length per pair: element u fits exactly when
         # the pair-local cumulative spend up to u stays within the
         # worker's running remainder (budgets are positive, so the cumsum
-        # is monotone and the comparison yields a prefix).
+        # is monotone and the comparison yields a prefix).  Fast path
+        # first: a worker whose *whole* sampled spend clearly fits the
+        # remainder keeps every element — the steady-state case for fresh
+        # shifts — which turns the per-pair Python scan into one array
+        # comparison; workers anywhere *near* their cap walk the exact
+        # sequential remainder loop.  "Clearly" carries a relative margin
+        # that strictly dominates the summation's accumulated rounding
+        # (its float arithmetic differs from the loop's sequential
+        # subtractions), so the fast path can only ever fire where the
+        # reference loop provably keeps everything — bit-identity is
+        # one-sided by construction, never a rounding race.  The totals
+        # are summed *per worker* (bincount), not as global-cumsum
+        # differences: a local sum's error scales with the worker's own
+        # total — which the margin dominates — not with the whole flush's
+        # cumulative spend.
         keep_len = np.zeros(pairs.num_pairs, dtype=np.int64)
-        for j in range(len(workers)):
+        pair_totals = prefix[np.arange(pairs.num_pairs), budget_len]
+        worker_totals = np.bincount(
+            pairs.worker, weights=pair_totals, minlength=len(workers)
+        )
+        fits = worker_totals + 1e-6 * (1.0 + worker_totals) <= remaining0
+        if np.any(fits):
+            unconstrained = np.repeat(fits, np.diff(offsets))
+            keep_len[unconstrained] = budget_len[unconstrained]
+        for j in np.flatnonzero(~fits).tolist():
             lo, hi = int(offsets[j]), int(offsets[j + 1])
             remaining = remaining0[j]
             for p in range(lo, hi):

@@ -32,7 +32,9 @@ class FlushRecord:
     ``shards`` is how many conflict-free components the flush was cut
     into (1 on the unsharded path); ``batch_limit`` is the
     ``max_batch_size`` in force when the flush fired (it moves under
-    adaptive micro-batching; 0 means "not recorded").
+    adaptive micro-batching; 0 means "not recorded").  ``cache_hit``
+    says whether the flush-fingerprint solver cache served the result
+    (``None`` when the cache is disabled).
     """
 
     index: int
@@ -44,6 +46,7 @@ class FlushRecord:
     cumulative_privacy_spend: float
     shards: int = 1
     batch_limit: int = 0
+    cache_hit: bool | None = None
 
 
 @dataclass
@@ -65,6 +68,9 @@ class StreamStats:
     #: ``(time, cumulative total spend)`` after every flush — monotone.
     privacy_timeline: list[tuple[float, float]] = field(default_factory=list)
     per_worker_spend: dict[int, float] = field(default_factory=dict)
+    #: Flush-fingerprint solver-cache counters (both 0 when disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # -- derived measures --------------------------------------------------
 
@@ -116,6 +122,12 @@ class StreamStats:
         return self.privacy_timeline[-1][1] if self.privacy_timeline else 0.0
 
     @property
+    def cache_hit_rate(self) -> float:
+        """Solver-cache hits over solved flushes (0.0 with the cache off)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
     def average_utility(self) -> float:
         return self.total_utility / self.assigned if self.assigned else 0.0
 
@@ -139,3 +151,8 @@ class StreamStats:
             (record.time, record.cumulative_privacy_spend)
         )
         self.solver_seconds += record.solver_seconds
+        if record.cache_hit is not None:
+            if record.cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1

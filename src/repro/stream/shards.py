@@ -378,11 +378,15 @@ def _solve_component_group(
     solver: "Solver",
     base: tuple[int, ...],
     group: list[tuple[int, ProblemInstance]],
+    workspace=None,
 ) -> list[tuple[int, AssignmentResult]]:
     """Solve one shard group sequentially (runs in a pool worker).
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; the seed
     schedule is rebuilt from ``base`` on the far side of the boundary.
+    ``workspace`` (an :class:`~repro.core.workspace.EngineWorkspace`) is
+    only ever passed on in-process sequential execution — pool workers
+    get ``None`` and allocate per solve.
     """
     schedule = ShardSeedSchedule(base)
     keys = [key for key, _ in group]
@@ -390,7 +394,7 @@ def _solve_component_group(
     seeds = [schedule.generator(key) for key in keys]
     solve_shards = getattr(solver, "solve_shards", None)
     if solve_shards is not None:
-        results = solve_shards(instances, seeds)
+        results = solve_shards(instances, seeds, workspace=workspace)
     else:
         results = [
             solver.solve(sub, seed=seed) for sub, seed in zip(instances, seeds)
@@ -440,6 +444,10 @@ class ShardedFlushExecutor:
         Coalescing floor forwarded to :func:`cut_flush`.  Results depend
         on this threshold (it shapes the per-unit noise streams) but
         never on ``num_shards``/``parallel``/``max_workers``.
+    workspace:
+        Optional :class:`~repro.core.workspace.EngineWorkspace` reused by
+        the in-process sequential solves (the single-unit fast path and
+        ``parallel="off"`` groups).  Pool workers never see it.
 
     The executor owns at most one pool, created lazily and reused across
     flushes; call :meth:`close` (or use it as a context manager) when the
@@ -453,6 +461,7 @@ class ShardedFlushExecutor:
         parallel: str = "off",
         max_workers: int | None = None,
         min_shard_pairs: int = MIN_SHARD_PAIRS,
+        workspace=None,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -465,6 +474,7 @@ class ShardedFlushExecutor:
         self.parallel = parallel
         self.max_workers = max_workers or num_shards
         self.min_shard_pairs = min_shard_pairs
+        self.workspace = workspace
         self._pool: Executor | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -520,7 +530,7 @@ class ShardedFlushExecutor:
             if whole_cover or isinstance(self.solver, ConflictEliminationSolver):
                 key = cut.components[0].key
                 ((_, result),) = _solve_component_group(
-                    self.solver, schedule.base, [(key, instance)]
+                    self.solver, schedule.base, [(key, instance)], self.workspace
                 )
                 return result, cut
 
@@ -539,7 +549,9 @@ class ShardedFlushExecutor:
             keyed_results: list[tuple[int, AssignmentResult]] = []
             for group in payload:
                 keyed_results.extend(
-                    _solve_component_group(self.solver, schedule.base, group)
+                    _solve_component_group(
+                        self.solver, schedule.base, group, self.workspace
+                    )
                 )
         else:
             pool = self._ensure_pool()

@@ -36,13 +36,20 @@ import numpy as np
 
 from repro.api.options import validate_service, validate_sharding
 from repro.core.budgets import BudgetSampler
+from repro.core.engine import ConflictEliminationSolver
 from repro.core.utility import UtilityModel
+from repro.core.workspace import EngineWorkspace
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
 from repro.stream.batcher import (
     AdaptiveBatchController,
     MicroBatcher,
     WorkerBudgetTracker,
+)
+from repro.stream.cache import (
+    FlushSolverCache,
+    cache_profile,
+    flush_inputs_fingerprint,
 )
 from repro.stream.events import (
     ActiveWorker,
@@ -107,6 +114,15 @@ class StreamConfig:
         The controller's per-flush solver-time target.
     adaptive_min_batch, adaptive_max_batch:
         Hard bounds on the adapted flush limit.
+    cache:
+        Enable the flush-fingerprint solver cache
+        (:mod:`repro.stream.cache`): flushes whose fingerprint has been
+        solved before reuse the stored result instead of running the
+        solver.  Bit-identical to ``cache=False`` by construction.
+    workspace:
+        Reuse one :class:`~repro.core.workspace.EngineWorkspace` buffer
+        arena across this stream's flush solves (conflict-elimination
+        solvers only; pure performance, results unchanged).
     """
 
     max_batch_size: int = 200
@@ -123,6 +139,8 @@ class StreamConfig:
     target_flush_seconds: float = 0.02
     adaptive_min_batch: int = 8
     adaptive_max_batch: int = 2000
+    cache: bool = False
+    workspace: bool = True
 
     def __post_init__(self) -> None:
         # One validation path: shared with SolveOptions (repro.api.options).
@@ -162,6 +180,7 @@ class DispatchSimulator:
         config: StreamConfig | None = None,
         seed: int = 0,
         record_assignments: bool = False,
+        cache: FlushSolverCache | None = None,
     ):
         self.solver = solver
         self.config = config or StreamConfig()
@@ -183,15 +202,52 @@ class DispatchSimulator:
             model=self.config.model,
             controller=controller,
         )
+        # One reusable buffer arena for the whole stream's flush solves;
+        # only the conflict-elimination engines know how to borrow it.
+        self._workspace = (
+            EngineWorkspace()
+            if self.config.workspace and isinstance(solver, ConflictEliminationSolver)
+            else None
+        )
         self._shard_executor = (
             ShardedFlushExecutor(
                 solver,
                 num_shards=self.config.shards,
                 parallel=self.config.parallel,
                 max_workers=self.config.max_shard_workers,
+                workspace=self._workspace,
             )
             if self.config.shards >= 1
             else None
+        )
+        # Flush-fingerprint solver cache: an injected instance wins (so
+        # repeated runs can share one), else config.cache owns a fresh one.
+        self._cache = (
+            cache
+            if cache is not None
+            else (FlushSolverCache() if self.config.cache else None)
+        )
+        self._cache_profile = (
+            cache_profile(
+                solver,
+                shard_key=(
+                    f"cut(min_pairs={self._shard_executor.min_shard_pairs})"
+                    if self._shard_executor is not None
+                    else ""
+                ),
+            )
+            if self._cache is not None
+            else None
+        )
+        # A content-sensitive fingerprint contains this stream's strictly
+        # increasing flush index (via the noise/build keys), so inside one
+        # private-method stream it can never repeat: with a cache nobody
+        # else shares, every lookup would provably miss.  Skip the
+        # fingerprint/store machinery outright in that case — it only
+        # costs time and memory.  An *injected* (shared) cache keeps it:
+        # repeated runs of the same scenario do recur.
+        self._cache_active = self._cache is not None and (
+            cache is not None or not self._cache_profile.content_sensitive
         )
         self._workers: dict[int, ActiveWorker] = {}
         self._flush_index = 0
@@ -287,9 +343,11 @@ class DispatchSimulator:
         return self.stats
 
     def close(self) -> None:
-        """Release pooled resources (idempotent)."""
+        """Release pooled resources and the buffer arena (idempotent)."""
         if self._shard_executor is not None:
             self._shard_executor.close()
+        if self._workspace is not None:
+            self._workspace.release()
 
     @property
     def clock(self) -> float:
@@ -362,25 +420,71 @@ class DispatchSimulator:
             return
         batch_limit = self.batcher.max_batch_size
         open_tasks = self.batcher.take_batch()
-        instance = self.batcher.build_instance(
-            open_tasks,
-            workers,
-            # The cap binds only methods that publish; non-private baselines
-            # never spend, and capping them would misprice the comparison.
-            tracker=self.tracker if self.solver.is_private else None,
-            seed=np.random.default_rng((self.seed, self._flush_index, 0x5EED)),
-        )
+        build_key = (self.seed, self._flush_index, 0x5EED)
         noise_key = (self.seed, self._flush_index, stable_hash(self.solver.name))
-        started = _time.perf_counter()
-        if self._shard_executor is not None:
-            result, cut = self._shard_executor.solve_with_cut(
-                instance, ShardSeedSchedule(noise_key)
+        fingerprint = None
+        cache_hit = None
+        hit = None
+        if self._cache_active:
+            # The zero-rebuild path: fingerprint the flush *inputs* before
+            # any instance exists, so a hit skips construction and solve
+            # alike.  Budget carry is part of the key: two flushes may
+            # share every input yet differ in the workers' remaining shift
+            # budgets, and those must never alias (see repro.stream.cache).
+            remaining = (
+                tuple(self.tracker.remaining(w.id) for w in workers)
+                if self._cache_profile.content_sensitive
+                else None
             )
-            shards = max(cut.num_components, 1)
+            fingerprint = flush_inputs_fingerprint(
+                [t.task for t in open_tasks],
+                workers,
+                self.batcher.model,
+                self.batcher.budget_sampler,
+                self._cache_profile,
+                build_key=build_key,
+                noise_key=noise_key,
+                remaining_budgets=remaining,
+            )
+            hit = self._cache.lookup(fingerprint)
+            cache_hit = hit is not None
+        if hit is not None:
+            started = _time.perf_counter()
+            result, shards = hit
         else:
-            result = self.solver.solve(instance, seed=np.random.default_rng(noise_key))
-            shards = 1
+            # Instance construction stays outside the timed window:
+            # ``solver_seconds`` has always measured solve work only (it
+            # drives the adaptive controller and the throughput metric).
+            instance = self.batcher.build_instance(
+                open_tasks,
+                workers,
+                # The cap binds only methods that publish; non-private
+                # baselines never spend, and capping them would misprice
+                # the comparison.
+                tracker=self.tracker if self.solver.is_private else None,
+                seed=np.random.default_rng(build_key),
+            )
+            started = _time.perf_counter()
+            if self._shard_executor is not None:
+                result, cut = self._shard_executor.solve_with_cut(
+                    instance, ShardSeedSchedule(noise_key)
+                )
+                shards = max(cut.num_components, 1)
+            else:
+                # Only the conflict-elimination engines take a workspace;
+                # other solvers keep the plain signature.
+                extra = (
+                    {"workspace": self._workspace}
+                    if self._workspace is not None
+                    else {}
+                )
+                result = self.solver.solve(
+                    instance, seed=np.random.default_rng(noise_key), **extra
+                )
+                shards = 1
         solver_seconds = _time.perf_counter() - started
+        if fingerprint is not None and hit is None:
+            self._cache.store(fingerprint, result, shards)
         self.batcher.observe_flush(solver_seconds, len(open_tasks))
         self.tracker.charge(result.ledger)
 
@@ -423,6 +527,7 @@ class DispatchSimulator:
                 cumulative_privacy_spend=self.tracker.total_spend(),
                 shards=shards,
                 batch_limit=batch_limit,
+                cache_hit=cache_hit,
             )
         )
         for worker_id in (w.id for w in workers):

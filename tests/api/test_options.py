@@ -30,6 +30,9 @@ class TestValidation:
             {"max_wait": -1.0},
             {"max_rounds": 0},
             {"target_flush_seconds": 0.0},
+            {"sweep_auto_threshold": -1},
+            {"sweep_auto_threshold": 2.5},
+            {"sweep_auto_threshold": "many"},
         ],
     )
     def test_invalid_knobs_raise_typed_errors(self, bad):
@@ -93,6 +96,21 @@ class TestProjection:
         assert config.max_shard_workers == 2
         assert config.adaptive is True
         assert config.target_flush_seconds == 0.1
+        assert config.cache is False
+        assert config.workspace is True
+
+    def test_stream_config_carries_the_flush_hot_path_knobs(self):
+        config = SolveOptions(cache=True, workspace=False).stream_config()
+        assert config.cache is True
+        assert config.workspace is False
+
+    def test_sweep_auto_threshold_reaches_the_engine(self):
+        from repro.core.registry import make_solver
+
+        solver = make_solver("UCE", SolveOptions(sweep_auto_threshold=5))
+        assert solver.sweep_auto_threshold == 5
+        default = make_solver("UCE", SolveOptions())
+        assert default.sweep_auto_threshold == type(default).VECTOR_MIN_PAIRS
 
     def test_stream_config_extra_passthrough(self):
         config = SolveOptions().stream_config(speed=9.0, min_service=0.25)

@@ -1,0 +1,95 @@
+"""`EngineWorkspace`: the reusable flush hot-path buffer arena."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ConflictEliminationSolver, EliminationPolicy
+from repro.core.workspace import EngineWorkspace
+from tests.conftest import line_instance
+
+
+class TestBufferArena:
+    def test_request_matches_fresh_allocation(self):
+        ws = EngineWorkspace()
+        view = ws.request("a", 5, np.int64, -1)
+        assert view.dtype == np.int64
+        assert view.tolist() == [-1] * 5
+
+    def test_reuse_refills_dirty_buffers(self):
+        ws = EngineWorkspace()
+        first = ws.request("a", 4, np.float64, 0.0)
+        first[:] = 99.0
+        second = ws.request("a", 4, np.float64, 0.0)
+        assert second.tolist() == [0.0] * 4
+        assert ws.reuses == 1
+
+    def test_growth_is_geometric_and_counted(self):
+        ws = EngineWorkspace()
+        ws.request("a", 10, np.float64, 0.0)
+        assert ws.allocations == 1
+        ws.request("a", 6, np.float64, 1.0)  # shrink: reuse
+        ws.request("a", 11, np.float64, 2.0)  # grow: fresh buffer (>= 2x)
+        assert ws.allocations == 2
+        assert ws.reuses == 1
+        # Geometric growth: capacity at least doubled, so the next
+        # near-size request reuses.
+        ws.request("a", 20, np.float64, 0.0)
+        assert ws.allocations == 2
+
+    def test_same_name_different_dtype_do_not_alias(self):
+        ws = EngineWorkspace()
+        ints = ws.request("a", 3, np.int64, 1)
+        floats = ws.request("a", 3, np.float64, 0.5)
+        assert ints.tolist() == [1, 1, 1]
+        assert floats.tolist() == [0.5, 0.5, 0.5]
+
+    def test_release_frees_and_stays_usable(self):
+        ws = EngineWorkspace()
+        ws.request("a", 8, np.float64, 0.0)
+        assert ws.held_bytes > 0
+        ws.release()
+        assert ws.held_bytes == 0
+        assert ws.request("a", 8, np.float64, 3.0).tolist() == [3.0] * 8
+
+    def test_zero_size_request(self):
+        ws = EngineWorkspace()
+        assert ws.request("a", 0, np.int64, -1).shape == (0,)
+
+
+class TestLease:
+    def test_single_lease_contract(self):
+        ws = EngineWorkspace()
+        assert ws.lease() is ws
+        # A nested lease yields None (the caller falls back to fresh
+        # allocations) instead of aliasing the arena.
+        assert ws.lease() is None
+        ws.unlease()
+        assert ws.lease() is ws
+
+    def test_engine_falls_back_when_arena_is_busy(self):
+        instance = line_instance(num_tasks=4, num_workers=6, seed=3)
+        solver = ConflictEliminationSolver(
+            EliminationPolicy("UCE", "utility", private=False), sweep="vectorized"
+        )
+        ws = EngineWorkspace()
+        assert ws.lease() is ws  # someone else holds the arena
+        result = solver.solve(instance, seed=0, workspace=ws)
+        baseline = solver.solve(instance, seed=0)
+        assert result.matching.pairs == baseline.matching.pairs
+        # The busy arena was never populated by the fallback solve.
+        assert ws.held_bytes == 0
+
+    def test_release_clears_the_lease(self):
+        ws = EngineWorkspace()
+        ws.lease()
+        ws.release()
+        assert ws.lease() is ws
+
+
+class TestBadInput:
+    def test_negative_size_raises(self):
+        from repro.errors import ConfigurationError
+
+        ws = EngineWorkspace()
+        with pytest.raises(ConfigurationError):
+            ws.request("a", -1, np.int64, 0)

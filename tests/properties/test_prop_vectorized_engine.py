@@ -15,6 +15,8 @@ Two families of guarantees:
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.engine import ConflictEliminationSolver, EliminationPolicy
 from repro.core.registry import available_methods, make_solver
@@ -103,6 +105,33 @@ class TestVectorizedScalarEquivalence:
                 assert a.matching.pairs == b.matching.pairs, name
                 assert a.publishes == b.publishes, name
                 assert list(a.ledger.events()) == list(b.ledger.events()), name
+
+    @settings(max_examples=14, deadline=None)
+    @given(
+        instance_seed=st.integers(0, 2**20),
+        noise_seed=st.integers(0, 2**20),
+        num_tasks=st.integers(2, 30),
+        worker_factor=st.integers(1, 3),
+        policy_index=st.integers(0, len(CE_POLICIES) - 1),
+    )
+    def test_hypothesis_workloads_pin_the_array_winner_chosen(
+        self, instance_seed, noise_seed, num_tasks, worker_factor, policy_index
+    ):
+        """Vectorized (array WinnerChosen + small-round form) == scalar,
+        on hypothesis-chosen instance shapes spanning both sides of the
+        small-round candidate bound — the PR-5 equivalence pin."""
+        policy = CE_POLICIES[policy_index]
+        instance = NormalGenerator(
+            num_tasks=num_tasks,
+            num_workers=num_tasks * worker_factor,
+            seed=instance_seed,
+        ).instance(task_value=4.5, worker_range=1.4)
+        vec = ConflictEliminationSolver(policy, sweep="vectorized")
+        scl = ConflictEliminationSolver(policy, sweep="scalar")
+        a, trace_a = vec.solve_with_trace(instance, seed=noise_seed)
+        b, trace_b = scl.solve_with_trace(instance, seed=noise_seed)
+        assert_results_identical(a, b, (policy.name, instance_seed, noise_seed))
+        assert trace_a == trace_b
 
     def test_scalar_fallback_for_overridden_proposal_hooks(self):
         """Custom scalar proposal hooks route the run to the scalar path.
