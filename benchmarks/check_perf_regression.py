@@ -1,10 +1,11 @@
 """Perf-regression gate: fresh bench JSONs vs the committed baselines.
 
-CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py`` and
-``bench_flush_overhead.py`` in smoke mode with ``REPRO_BENCH_JSON_DIR``
-pointing at a scratch directory, then invokes this script to compare the
-fresh measurements against the *committed* ``BENCH_core.json`` /
-``BENCH_stream.json`` / ``BENCH_flush.json`` at the repository root.
+CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py``,
+``bench_flush_overhead.py`` and ``bench_obs_overhead.py`` in smoke mode
+with ``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory, then
+invokes this script to compare the fresh measurements against the
+*committed* ``BENCH_core.json`` / ``BENCH_stream.json`` /
+``BENCH_flush.json`` / ``BENCH_obs.json`` at the repository root.
 
 The comparison is deliberately generous — a ``--floor`` of 3.0 means a
 fresh number may be up to 3x slower than the committed baseline before
@@ -127,6 +128,43 @@ def check_flush(committed: dict, fresh: dict, floor: float, lines: list[str]) ->
     return all_ok
 
 
+def check_obs(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Observability overhead: the on/off ratios must not drift upward.
+
+    Both compared numbers are dimensionless ratios (traced over untraced
+    wall, live-span over null-span nanoseconds), so they transfer across
+    hardware; the *absolute* obs-off wall clock is covered transitively
+    by the stream and flush gates, whose baselines predate the
+    instrumentation.  Phase coverage is a functional property of the
+    span tree and must stay near complete.
+    """
+    baseline = {
+        row["method"]: row["overhead_ratio"]
+        for row in committed["rows"]
+        if row["metric"] == "obs_overhead"
+    }
+    all_ok = True
+    compared = 0
+    for row in fresh["rows"]:
+        if row["metric"] != "obs_overhead" or row["method"] not in baseline:
+            continue
+        compared += 1
+        base = baseline[row["method"]]
+        ok = row["overhead_ratio"] <= base * floor
+        coverage_ok = row["phase_coverage"] >= 0.5
+        all_ok &= ok and coverage_ok
+        lines.append(
+            f"obs    overhead     {row['method']:<6} trace on/off: "
+            f"fresh {row['overhead_ratio']:>6.2f}x  committed {base:>6.2f}x  "
+            f"ceiling {base * floor:>6.2f}x  coverage {row['phase_coverage']:>4.0%}  "
+            f"{'ok' if ok and coverage_ok else 'REGRESSION'}"
+        )
+    if compared == 0:
+        lines.append("obs: no comparable overhead rows — REGRESSION")
+        return False
+    return all_ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -159,6 +197,12 @@ def main(argv: list[str] | None = None) -> int:
     ok &= check_flush(
         load(ROOT / "BENCH_flush.json"),
         load(args.fresh / "BENCH_flush.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_obs(
+        load(ROOT / "BENCH_obs.json"),
+        load(args.fresh / "BENCH_obs.json"),
         args.floor,
         lines,
     )

@@ -29,8 +29,10 @@ Packages:
   cycles, micro-batching with cross-flush budget carry, streaming runner,
 * :mod:`repro.api`        -- the unified service facade: `SolveOptions`,
   `MethodSpec`, `DispatchSession`, `ScenarioSpec`,
+* :mod:`repro.obs`        -- observability: flush span tracing, online
+  windowed stream indicators, metrics registry + Prometheus/JSONL export,
 * :mod:`repro.experiments`-- the per-figure reproduction harness and the
-  ``stream`` / ``scenario`` CLIs.
+  ``stream`` / ``scenario`` / ``profile`` CLIs.
 
 Service quickstart (drive dispatch request-by-request)::
 
@@ -114,6 +116,19 @@ from repro.errors import (
 )
 from repro.datasets import load_tasks, load_workers, save_tasks, save_workers
 from repro.matching import Matching
+from repro.obs import (
+    Ewma,
+    MetricsRegistry,
+    NullTracer,
+    RollingQuantile,
+    Span,
+    Stopwatch,
+    Tracer,
+    WarmupZScore,
+    format_profile,
+    write_metrics_prometheus,
+    write_trace_jsonl,
+)
 from repro.privacy import (
     PlanarLaplaceMechanism,
     PrivacyLedger,
@@ -223,6 +238,18 @@ __all__ = [
     # flush hot path
     "EngineWorkspace",
     "FlushSolverCache",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "Stopwatch",
+    "RollingQuantile",
+    "Ewma",
+    "WarmupZScore",
+    "MetricsRegistry",
+    "format_profile",
+    "write_trace_jsonl",
+    "write_metrics_prometheus",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -166,6 +166,11 @@ class SolveOptions:
         buffer arena (:class:`~repro.core.workspace.EngineWorkspace`)
         across flushes instead of allocating per solve.  Purely a
         performance knob; results are unchanged.
+    trace:
+        Record per-flush span trees (:mod:`repro.obs`): phase breakdowns
+        in ``FlushRecord.phase_seconds`` and the ``--trace-out`` /
+        ``profile`` artifacts.  Off by default (the no-op tracer keeps
+        the hot path within noise); results are unchanged either way.
     """
 
     seed: int = 0
@@ -182,6 +187,7 @@ class SolveOptions:
     target_flush_seconds: float = 0.02
     cache: bool = False
     workspace: bool = True
+    trace: bool = False
 
     def __post_init__(self) -> None:
         validate_sweep(self.sweep)
@@ -231,5 +237,6 @@ class SolveOptions:
             target_flush_seconds=self.target_flush_seconds,
             cache=self.cache,
             workspace=self.workspace,
+            trace=self.trace,
             **extra,
         )

@@ -56,7 +56,6 @@ arena instead of fresh allocations, with results unchanged.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
@@ -75,6 +74,7 @@ from repro.core.sweep import ProposalBatch, VectorSweep
 from repro.core.transform import adjusted_rival_distance, comparison_key, public_value
 from repro.core.workspace import EngineWorkspace
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs.tracer import NULL_TRACER, stopwatch
 from repro.simulation.instance import ProblemInstance
 from repro.simulation.server import Server
 from repro.utils.rng import ensure_rng
@@ -188,6 +188,7 @@ class ConflictEliminationSolver:
         seed: int | np.random.Generator | None = None,
         options=None,
         workspace: EngineWorkspace | None = None,
+        tracer=NULL_TRACER,
     ) -> AssignmentResult:
         """Run the batch protocol to quiescence on ``instance``.
 
@@ -195,11 +196,15 @@ class ConflictEliminationSolver:
         the seed when ``seed`` is omitted — the facade's uniform calling
         convention.  ``workspace`` lends the solve a reusable buffer
         arena (results are unchanged; repeated solves skip per-run
-        allocations).
+        allocations).  ``tracer`` (a :class:`repro.obs.Tracer`) records
+        ``solve.build`` / ``solve.sweep`` / ``solve.resolve`` spans under
+        the caller's current span; the no-op default costs nothing.
         """
         if seed is None and options is not None:
             seed = options.seed
-        result, _ = self.solve_with_trace(instance, seed, workspace=workspace)
+        result, _ = self.solve_with_trace(
+            instance, seed, workspace=workspace, tracer=tracer
+        )
         return result
 
     def solve_shards(
@@ -207,6 +212,7 @@ class ConflictEliminationSolver:
         instances: "Sequence[ProblemInstance]",
         seeds: "Sequence[int | np.random.Generator | None]",
         workspace: EngineWorkspace | None = None,
+        tracer=NULL_TRACER,
     ) -> list[AssignmentResult]:
         """Run the batch protocol on precut shard instances, one run each.
 
@@ -224,7 +230,7 @@ class ConflictEliminationSolver:
                 f"{len(instances)} shard instances but {len(seeds)} seeds"
             )
         return [
-            self.solve(instance, seed=seed, workspace=workspace)
+            self.solve(instance, seed=seed, workspace=workspace, tracer=tracer)
             for instance, seed in zip(instances, seeds)
         ]
 
@@ -233,79 +239,92 @@ class ConflictEliminationSolver:
         instance: ProblemInstance,
         seed: int | np.random.Generator | None = None,
         workspace: EngineWorkspace | None = None,
+        tracer=NULL_TRACER,
     ) -> tuple[AssignmentResult, list[RoundRecord]]:
         """As :meth:`solve`, also returning a per-round observability trace."""
-        started = time.perf_counter()
-        rng = ensure_rng(seed)
-        server = Server(instance)
-        # A busy arena (nested / cross-thread use) leases as None and the
-        # sweep simply allocates fresh buffers — never two solves aliasing
-        # one arena.
-        arena = workspace.lease() if workspace is not None else None
-        try:
-            state = self._make_sweep_state(instance, server, rng, arena)
-            if state is not None:
-                agents = None
-                not_winning: set[int] | None = None
-            else:
-                agents = self._build_agents(instance, rng) if self.policy.private else None
-                not_winning = set(range(instance.num_workers))
-            trace: list[RoundRecord] = []
+        watch = stopwatch()
+        with watch:
+            rng = ensure_rng(seed)
+            server = Server(instance)
+            # A busy arena (nested / cross-thread use) leases as None and the
+            # sweep simply allocates fresh buffers — never two solves aliasing
+            # one arena.
+            arena = workspace.lease() if workspace is not None else None
+            try:
+                with tracer.span("solve.build"):
+                    state = self._make_sweep_state(instance, server, rng, arena)
+                    if state is not None:
+                        agents = None
+                        not_winning: set[int] | None = None
+                    else:
+                        agents = (
+                            self._build_agents(instance, rng)
+                            if self.policy.private
+                            else None
+                        )
+                        not_winning = set(range(instance.num_workers))
+                trace: list[RoundRecord] = []
 
-            rounds = 0
-            while True:
-                rounds += 1
-                if rounds > self.max_rounds:
-                    raise ConvergenceError(
-                        f"{self.name} exceeded max_rounds={self.max_rounds} "
-                        f"on a {instance.num_tasks}x{instance.num_workers} instance"
+                rounds = 0
+                while True:
+                    rounds += 1
+                    if rounds > self.max_rounds:
+                        raise ConvergenceError(
+                            f"{self.name} exceeded max_rounds={self.max_rounds} "
+                            f"on a {instance.num_tasks}x{instance.num_workers} instance"
+                        )
+                    with tracer.span("solve.sweep"):
+                        if state is not None:
+                            candidates = state.proposal_round()
+                        else:
+                            candidates = self._worker_proposal(
+                                instance, server, agents, not_winning
+                            )
+                    if not candidates:
+                        trace.append(
+                            RoundRecord(rounds, 0, (), (), server.assigned_count)
+                        )
+                        break
+                    with tracer.span("solve.resolve"):
+                        if state is not None:
+                            proposal_count = len(candidates)
+                            new_winners, new_losers = self._winner_chosen_batch(
+                                instance, server, state, candidates
+                            )
+                            # Incremental pool bookkeeping: scatter the round's
+                            # churn into the worker mask instead of re-deriving /
+                            # re-sorting the pool (mask order is worker order).
+                            if new_winners:
+                                state.not_winning[list(new_winners)] = False
+                            if new_losers:
+                                state.not_winning[list(new_losers)] = True
+                        else:
+                            proposal_count = sum(
+                                len(entries) for entries in candidates.values()
+                            )
+                            new_winners, new_losers = self._winner_chosen(
+                                instance, server, candidates
+                            )
+                            not_winning -= new_winners
+                            not_winning |= new_losers
+                    trace.append(
+                        RoundRecord(
+                            rounds,
+                            proposal_count,
+                            tuple(sorted(new_winners)),
+                            tuple(sorted(new_losers)),
+                            server.assigned_count,
+                        )
                     )
-                if state is not None:
-                    candidates = state.proposal_round()
-                else:
-                    candidates = self._worker_proposal(
-                        instance, server, agents, not_winning
-                    )
-                if not candidates:
-                    trace.append(RoundRecord(rounds, 0, (), (), server.assigned_count))
-                    break
-                if state is not None:
-                    proposal_count = len(candidates)
-                    new_winners, new_losers = self._winner_chosen_batch(
-                        instance, server, state, candidates
-                    )
-                    # Incremental pool bookkeeping: scatter the round's
-                    # churn into the worker mask instead of re-deriving /
-                    # re-sorting the pool (mask order is worker order).
-                    if new_winners:
-                        state.not_winning[list(new_winners)] = False
-                    if new_losers:
-                        state.not_winning[list(new_losers)] = True
-                else:
-                    proposal_count = sum(len(entries) for entries in candidates.values())
-                    new_winners, new_losers = self._winner_chosen(
-                        instance, server, candidates
-                    )
-                    not_winning -= new_winners
-                    not_winning |= new_losers
-                trace.append(
-                    RoundRecord(
-                        rounds,
-                        proposal_count,
-                        tuple(sorted(new_winners)),
-                        tuple(sorted(new_losers)),
-                        server.assigned_count,
-                    )
-                )
-                if not self.policy.private and not new_winners and not new_losers:
-                    # Non-private rounds are deterministic functions of
-                    # (pool, allocation): an unchanged round is a fixed point
-                    # and would repeat forever.  (Private rounds always make
-                    # progress — every proposal consumes budget.)
-                    break
-        finally:
-            if arena is not None:
-                arena.unlease()
+                    if not self.policy.private and not new_winners and not new_losers:
+                        # Non-private rounds are deterministic functions of
+                        # (pool, allocation): an unchanged round is a fixed point
+                        # and would repeat forever.  (Private rounds always make
+                        # progress — every proposal consumes budget.)
+                        break
+            finally:
+                if arena is not None:
+                    arena.unlease()
 
         result = AssignmentResult(
             method=self.name,
@@ -314,7 +333,7 @@ class ConflictEliminationSolver:
             ledger=server.ledger,
             rounds=rounds,
             publishes=server.publish_count,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.seconds,
             release_board=server.board(),
         )
         return result, trace

@@ -27,12 +27,12 @@ matches them on outcome quality per nominal eps; see
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
 from repro.core.result import AssignmentResult
 from repro.errors import ConfigurationError
+from repro.obs.tracer import stopwatch
 from repro.matching.bipartite import Matching
 from repro.matching.hungarian import max_weight_matching
 from repro.privacy.accountant import PrivacyLedger
@@ -81,36 +81,36 @@ class GeoIndistinguishableSolver:
         options=None,
     ) -> AssignmentResult:
         """Assign from decoy locations; measure against true distances."""
-        started = time.perf_counter()
-        if seed is None and options is not None:
-            seed = options.seed
-        rng = ensure_rng(seed)
-        mechanism = PlanarLaplaceMechanism(self.epsilon)
-        buffer = mechanism.error_quantile(self.buffer_quantile)
-        ledger = PrivacyLedger()
-        model = instance.model
+        with stopwatch() as watch:
+            if seed is None and options is not None:
+                seed = options.seed
+            rng = ensure_rng(seed)
+            mechanism = PlanarLaplaceMechanism(self.epsilon)
+            buffer = mechanism.error_quantile(self.buffer_quantile)
+            ledger = PrivacyLedger()
+            model = instance.model
 
-        m, n = instance.num_tasks, instance.num_workers
-        weights = np.full((m, n), -math.inf)
-        for j, worker in enumerate(instance.workers):
-            if not instance.reachable[j]:
-                continue
-            decoy = mechanism.perturb(worker.location, rng)
-            ledger.record(worker.id, LOCATION_RELEASE, self.epsilon)
-            for i in instance.reachable[j]:
-                task = instance.tasks[i]
-                noisy_distance = euclidean(decoy, task.location)
-                if noisy_distance > worker.radius + buffer:
-                    continue  # outside the decoy's geocast region
-                noisy_utility = model.utility(task.value, noisy_distance)
-                if noisy_utility > 0.0:
-                    weights[i, j] = noisy_utility
+            m, n = instance.num_tasks, instance.num_workers
+            weights = np.full((m, n), -math.inf)
+            for j, worker in enumerate(instance.workers):
+                if not instance.reachable[j]:
+                    continue
+                decoy = mechanism.perturb(worker.location, rng)
+                ledger.record(worker.id, LOCATION_RELEASE, self.epsilon)
+                for i in instance.reachable[j]:
+                    task = instance.tasks[i]
+                    noisy_distance = euclidean(decoy, task.location)
+                    if noisy_distance > worker.radius + buffer:
+                        continue  # outside the decoy's geocast region
+                    noisy_utility = model.utility(task.value, noisy_distance)
+                    if noisy_utility > 0.0:
+                        weights[i, j] = noisy_utility
 
-        index_match = max_weight_matching(weights) if m and n else {}
-        pairs = {
-            instance.tasks[i].id: instance.workers[j].id
-            for i, j in index_match.items()
-        }
+            index_match = max_weight_matching(weights) if m and n else {}
+            pairs = {
+                instance.tasks[i].id: instance.workers[j].id
+                for i, j in index_match.items()
+            }
         return AssignmentResult(
             method=self.name,
             instance=instance,
@@ -118,5 +118,5 @@ class GeoIndistinguishableSolver:
             ledger=ledger,
             rounds=1,
             publishes=len(ledger),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.seconds,
         )

@@ -10,14 +10,13 @@ PGT.)
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.engine import ConflictEliminationSolver, EliminationPolicy
 from repro.core.result import AssignmentResult
 from repro.matching.bipartite import Matching
 from repro.matching.greedy import greedy_max_weight
+from repro.obs.tracer import stopwatch
 from repro.privacy.accountant import PrivacyLedger
 from repro.simulation.instance import ProblemInstance
 
@@ -74,14 +73,16 @@ class GreedySolver:
         seed: int | np.random.Generator | None = None,
         options=None,
     ) -> AssignmentResult:
-        started = time.perf_counter()
-        weights = {
-            (i, j): instance.base_utility(i, j) for (i, j) in instance.feasible_pairs()
-        }
-        index_match = greedy_max_weight(weights)
-        pairs = {
-            instance.tasks[i].id: instance.workers[j].id for i, j in index_match.items()
-        }
+        with stopwatch() as watch:
+            weights = {
+                (i, j): instance.base_utility(i, j)
+                for (i, j) in instance.feasible_pairs()
+            }
+            index_match = greedy_max_weight(weights)
+            pairs = {
+                instance.tasks[i].id: instance.workers[j].id
+                for i, j in index_match.items()
+            }
         return AssignmentResult(
             method=self.name,
             instance=instance,
@@ -89,5 +90,5 @@ class GreedySolver:
             ledger=PrivacyLedger(),
             rounds=1,
             publishes=0,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.seconds,
         )

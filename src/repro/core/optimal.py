@@ -10,11 +10,11 @@ a test oracle.
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
 from repro.core.result import AssignmentResult
+from repro.obs.tracer import stopwatch
 from repro.matching.bipartite import Matching
 from repro.matching.hungarian import max_weight_matching
 from repro.privacy.accountant import PrivacyLedger
@@ -40,15 +40,16 @@ class OptimalSolver:
         seed: int | np.random.Generator | None = None,
         options=None,
     ) -> AssignmentResult:
-        started = time.perf_counter()
-        m, n = instance.num_tasks, instance.num_workers
-        weights = np.full((m, n), -math.inf)
-        for i, j in instance.feasible_pairs():
-            weights[i, j] = instance.base_utility(i, j)
-        index_match = max_weight_matching(weights) if m and n else {}
-        pairs = {
-            instance.tasks[i].id: instance.workers[j].id for i, j in index_match.items()
-        }
+        with stopwatch() as watch:
+            m, n = instance.num_tasks, instance.num_workers
+            weights = np.full((m, n), -math.inf)
+            for i, j in instance.feasible_pairs():
+                weights[i, j] = instance.base_utility(i, j)
+            index_match = max_weight_matching(weights) if m and n else {}
+            pairs = {
+                instance.tasks[i].id: instance.workers[j].id
+                for i, j in index_match.items()
+            }
         return AssignmentResult(
             method=self.name,
             instance=instance,
@@ -56,5 +57,5 @@ class OptimalSolver:
             ledger=PrivacyLedger(),
             rounds=1,
             publishes=0,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.seconds,
         )

@@ -25,13 +25,12 @@ no privacy cost.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.agents import WorkerAgent, build_agents
 from repro.core.result import AssignmentResult
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs.tracer import stopwatch
 from repro.simulation.instance import ProblemInstance
 from repro.simulation.server import Server
 from repro.utils.rng import ensure_rng
@@ -76,12 +75,12 @@ class _BestResponseSolver:
         self, instance: ProblemInstance, seed: int | np.random.Generator | None = None
     ) -> tuple[AssignmentResult, BestResponseStats]:
         """As :meth:`solve`, also returning the move trace."""
-        started = time.perf_counter()
-        rng = ensure_rng(seed)
-        server = Server(instance)
-        agents = self._build_agents(instance, rng) if self.is_private else None
-        stats = BestResponseStats()
-        self.run_loop(instance, server, agents, stats)
+        with stopwatch() as watch:
+            rng = ensure_rng(seed)
+            server = Server(instance)
+            agents = self._build_agents(instance, rng) if self.is_private else None
+            stats = BestResponseStats()
+            self.run_loop(instance, server, agents, stats)
 
         result = AssignmentResult(
             method=self.name,
@@ -90,7 +89,7 @@ class _BestResponseSolver:
             ledger=server.ledger,
             rounds=stats.passes,
             publishes=server.publish_count,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.seconds,
             release_board=server.board(),
         )
         return result, stats

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["EngineWorkspace"]
 
@@ -47,17 +48,20 @@ class EngineWorkspace:
     solve.
     ``reuses`` / ``allocations`` count buffer requests served from the
     arena vs freshly allocated — the observability hook the flush-overhead
-    benchmark reads.
+    benchmark reads.  ``tracer`` (settable by the stream owner) records a
+    ``workspace.lease`` / ``workspace.contention`` point event per
+    :meth:`lease` attempt; the no-op default costs one attribute call.
     """
 
-    __slots__ = ("_buffers", "_leased", "reuses", "allocations", "leases")
+    __slots__ = ("_buffers", "_leased", "reuses", "allocations", "leases", "tracer")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=NULL_TRACER) -> None:
         self._buffers: dict[str, np.ndarray] = {}
         self._leased = False
         self.reuses = 0
         self.allocations = 0
         self.leases = 0
+        self.tracer = tracer
 
     # -- lease lifecycle ----------------------------------------------------
 
@@ -69,9 +73,11 @@ class EngineWorkspace:
         accidental sharing across threads safe (just not faster).
         """
         if self._leased:
+            self.tracer.event("workspace.contention")
             return None
         self._leased = True
         self.leases += 1
+        self.tracer.event("workspace.lease")
         return self
 
     def unlease(self) -> None:

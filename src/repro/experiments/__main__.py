@@ -10,17 +10,25 @@ Examples::
     python -m repro.experiments stream --shards 4 --parallel process --adaptive
     python -m repro.experiments scenario examples/scenario_rush_hour.json
     python -m repro.experiments scenario spec.json --seed 11 --save-spec spec11.json
+    python -m repro.experiments stream --trace --trace-out run.jsonl
+    python -m repro.experiments scenario spec.json --metrics-out metrics.prom
+    python -m repro.experiments profile examples/scenario_duty_cycle.json
 
-Both streaming subcommands are thin shells over the service facade:
+The streaming subcommands are thin shells over the service facade:
 ``stream`` assembles a :class:`repro.api.ScenarioSpec` from flags,
-``scenario`` loads one from a JSON artifact, and both run it through
-:meth:`~repro.api.ScenarioSpec.run` — so a flag-built run and its saved
-spec reproduce each other exactly.
+``scenario`` loads one from a JSON artifact, ``profile`` loads one and
+forces tracing on to print a per-phase flame-style summary
+(:func:`repro.obs.format_profile`) — all run through
+:meth:`~repro.api.ScenarioSpec.run`, so a flag-built run and its saved
+spec reproduce each other exactly.  ``--trace-out`` dumps the span tree
+as JSONL; ``--metrics-out`` writes Prometheus text exposition; both
+imply ``--trace``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 
 from repro.api.options import SolveOptions
 from repro.api.scenario import ScenarioSpec
@@ -28,6 +36,32 @@ from repro.errors import ReproError
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.report import format_figure
 from repro.experiments.streaming import ARRIVAL_KINDS, format_stream_report
+from repro.obs import format_profile, write_metrics_prometheus, write_trace_jsonl
+
+
+def _add_obs_flags(
+    parser: argparse.ArgumentParser, with_trace_flag: bool = True
+) -> None:
+    """The shared observability flags of the streaming subcommands."""
+    if with_trace_flag:
+        parser.add_argument(
+            "--trace",
+            action="store_true",
+            default=False,
+            help="record per-flush span trees (phase breakdowns in the report)",
+        )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="dump the recorded spans as JSONL (implies --trace)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics as Prometheus text exposition",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,7 +103,9 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--initial-workers", type=int, default=60, help="fleet on duty at t=0")
     stream.add_argument("--trace-orders", type=int, default=300, help="orders per trace-driven day")
     stream.add_argument("--deadline", type=float, default=1.0, help="task patience before expiry")
-    stream.add_argument("--worker-budget", type=float, default=40.0, help="per-worker shift budget cap")
+    stream.add_argument(
+        "--worker-budget", type=float, default=40.0, help="per-worker shift budget cap"
+    )
     stream.add_argument("--max-batch", type=int, default=50, help="micro-batch flush size")
     stream.add_argument("--max-wait", type=float, default=0.2, help="micro-batch flush wait")
     stream.add_argument(
@@ -124,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the run as a reusable scenario JSON artifact",
     )
+    _add_obs_flags(stream)
 
     scenario = sub.add_parser(
         "scenario", help="run a declarative scenario JSON artifact"
@@ -138,6 +175,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the (seed-resolved) spec back out as JSON",
     )
+    _add_obs_flags(scenario)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a scenario with tracing forced on and print the "
+        "per-phase flame-style summary",
+    )
+    profile.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    profile.add_argument(
+        "--seed", type=int, default=None, help="override the spec's options.seed"
+    )
+    _add_obs_flags(profile, with_trace_flag=False)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -146,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{figure_id}: {spec.measure} vs {spec.parameter}  ({papers})")
         return 0
 
-    if args.command in ("stream", "scenario"):
+    if args.command in ("stream", "scenario", "profile"):
         if args.command == "stream":
             spec = ScenarioSpec(
                 arrivals=args.arrivals,
@@ -169,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
                     target_flush_seconds=args.target_flush_seconds,
                     cache=args.cache,
                     workspace=args.workspace,
+                    trace=args.trace,
                 ),
             )
         else:
@@ -178,10 +228,28 @@ def main(argv: list[str] | None = None) -> int:
                 parser.error(f"cannot load scenario {args.spec!r}: {exc}")
             if args.seed is not None:
                 spec = spec.with_seed(args.seed)
-        if args.save_spec:
+        want_trace = (
+            args.command == "profile"
+            or getattr(args, "trace", False)
+            or args.trace_out is not None
+        )
+        if want_trace and not spec.options.trace:
+            spec = dataclasses.replace(
+                spec, options=spec.options.replace(trace=True)
+            )
+        if getattr(args, "save_spec", None):
             spec.to_file(args.save_spec)
         report = spec.run()
-        print(format_stream_report(report, spec.to_scenario()))
+        if args.command == "profile":
+            print(format_profile(report, title=f"profile[{spec.name}]"))
+        else:
+            print(format_stream_report(report, spec.to_scenario()))
+        if args.trace_out:
+            count = write_trace_jsonl(report, args.trace_out)
+            print(f"trace: {count} spans -> {args.trace_out}")
+        if args.metrics_out:
+            write_metrics_prometheus(report, args.metrics_out)
+            print(f"metrics: prometheus text -> {args.metrics_out}")
         return 0
 
     result = run_figure(

@@ -145,7 +145,12 @@ def run_stream(
 
 
 def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
-    """A terminal table of the streaming measures, one row per method."""
+    """A terminal table of the streaming measures, one row per method.
+
+    ``top_phase`` is the costliest tracer phase of the method's run
+    (``"-"`` when tracing was off); the full breakdown lives in the
+    ``profile`` subcommand (:func:`repro.obs.format_profile`).
+    """
     header = (
         f"stream[{scenario.arrivals}/{scenario.dataset}] "
         f"horizon={scenario.horizon:g} deadline={scenario.task_deadline:g} "
@@ -154,7 +159,8 @@ def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
     columns = (
         f"{'method':<12} {'arrived':>7} {'assigned':>8} {'expired':>7} "
         f"{'left':>5} {'flushes':>7} {'p50_lat':>8} {'p95_lat':>8} "
-        f"{'tasks/s':>9} {'eps_spent':>9} {'U_avg':>7} {'cache':>6}"
+        f"{'tasks/s':>9} {'eps_spent':>9} {'U_avg':>7} {'cache':>6} "
+        f"{'top_phase':>11}"
     )
     lines = [header, columns, "-" * len(columns)]
     for method in report.methods():
@@ -170,6 +176,6 @@ def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
             f"{stats.latency_p50:>8.3f} {stats.latency_p95:>8.3f} "
             f"{stats.throughput_tasks_per_sec:>9.0f} "
             f"{stats.total_privacy_spend:>9.1f} {stats.average_utility:>7.2f} "
-            f"{cache}"
+            f"{cache} {stats.top_phase:>11}"
         )
     return "\n".join(lines)

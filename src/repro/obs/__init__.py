@@ -1,0 +1,58 @@
+"""Observability: flush tracing, online stream indicators, metrics export.
+
+The obs package is the lowest observability layer of the reproduction —
+it imports only the standard library and :mod:`repro.errors`, so every
+other layer (core solvers, the streaming simulator, the experiments CLI)
+can instrument itself without import cycles.
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` span recording (no-op
+  :data:`NULL_TRACER` default), the shared :class:`Stopwatch` timing
+  helper, and :func:`aggregate_phases` for per-flush phase breakdowns.
+* :mod:`repro.obs.indicators` — online windowed statistics
+  (:class:`RollingQuantile`, :class:`Ewma`, :class:`WarmupZScore`) with
+  explicit warmup and a no-lookahead contract.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of labelled
+  counters/gauges/histograms with Prometheus text exposition.
+* :mod:`repro.obs.export` — JSONL trace dumps, Prometheus file export,
+  and the flame-style ``profile`` summary over a stream report.
+"""
+
+from repro.obs.export import (
+    format_profile,
+    registry_from_report,
+    write_metrics_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.indicators import Ewma, RollingQuantile, WarmupZScore
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Stopwatch,
+    Tracer,
+    aggregate_phases,
+    stopwatch,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Stopwatch",
+    "stopwatch",
+    "aggregate_phases",
+    "RollingQuantile",
+    "Ewma",
+    "WarmupZScore",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "write_trace_jsonl",
+    "registry_from_report",
+    "write_metrics_prometheus",
+    "format_profile",
+]

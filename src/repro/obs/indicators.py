@@ -1,0 +1,187 @@
+"""Online windowed stream indicators: stateful, warmup-explicit, no lookahead.
+
+Each indicator is a small state machine driven by ``update(x)`` — one
+call per observed event, in stream order.  The contract, pinned by the
+property suite (``tests/properties/test_prop_indicators.py``):
+
+* **No lookahead.**  The value after the ``k``-th update is a pure
+  function of the first ``k`` observations; truncating the stream never
+  changes earlier outputs.
+* **Explicit warmup.**  ``ready`` is ``False`` until the indicator has
+  seen its ``warmup`` observations; before that ``value`` reports the
+  neutral element (0.0, or ``nan`` for quantiles) rather than a noisy
+  estimate dressed up as signal.
+* **Batch equivalence.**  Each online value matches its post-hoc numpy
+  counterpart computed over the same observations (exact window
+  quantiles via a sorted window; EWMA via the standard recurrence with
+  warmup-mean seeding; z-scores against the frozen warmup baseline).
+
+These are generic primitives; the streaming layer composes them into
+:class:`repro.stream.metrics.OnlineIndicators`, which is what
+:class:`~repro.stream.metrics.StreamStats` updates during the run.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RollingQuantile", "Ewma", "WarmupZScore"]
+
+
+def _check_warmup(warmup: int) -> int:
+    if warmup < 1:
+        raise ConfigurationError(f"warmup must be >= 1, got {warmup}")
+    return warmup
+
+
+class RollingQuantile:
+    """Exact quantiles over a sliding window of the last ``window`` values.
+
+    A sorted copy of the window is maintained incrementally (binary
+    insert/remove, O(log w) search + O(w) shift — cheap at the default
+    window of 256 floats), so :meth:`value` is *exactly*
+    ``np.percentile(last_window, q)`` (linear interpolation), not an
+    approximation.  ``warmup`` gates readiness only; the window itself
+    always holds the most recent values.
+    """
+
+    __slots__ = ("window", "warmup", "count", "_recent", "_sorted")
+
+    def __init__(self, window: int = 256, warmup: int = 1):
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.warmup = _check_warmup(warmup)
+        self.count = 0
+        self._recent: deque[float] = deque()
+        self._sorted: list[float] = []
+
+    @property
+    def ready(self) -> bool:
+        return self.count >= self.warmup
+
+    def update(self, x: float) -> None:
+        """Observe one value (evicting the oldest beyond the window)."""
+        x = float(x)
+        self.count += 1
+        self._recent.append(x)
+        insort(self._sorted, x)
+        if len(self._recent) > self.window:
+            oldest = self._recent.popleft()
+            del self._sorted[bisect_left(self._sorted, oldest)]
+
+    def value(self, q: float) -> float:
+        """The ``q``-th percentile of the current window (nan pre-warmup)."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        if not self.ready:
+            return math.nan
+        ordered = self._sorted
+        position = q / 100.0 * (len(ordered) - 1)
+        lower = math.floor(position)
+        fraction = position - lower
+        if fraction == 0.0:
+            return ordered[lower]
+        return ordered[lower] * (1.0 - fraction) + ordered[lower + 1] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.value(50)
+
+    @property
+    def p95(self) -> float:
+        return self.value(95)
+
+
+class Ewma:
+    """Exponentially weighted moving average seeded by the warmup mean.
+
+    The first ``warmup`` observations accumulate a plain mean (an EWMA
+    seeded from the very first sample overweights it for the whole
+    stream); from then on the standard recurrence
+    ``v <- alpha * x + (1 - alpha) * v`` applies.  ``value`` is 0.0
+    until the first observation.
+    """
+
+    __slots__ = ("alpha", "warmup", "count", "_warmup_sum", "_value")
+
+    def __init__(self, alpha: float = 0.2, warmup: int = 1):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.warmup = _check_warmup(warmup)
+        self.count = 0
+        self._warmup_sum = 0.0
+        self._value = 0.0
+
+    @property
+    def ready(self) -> bool:
+        return self.count >= self.warmup
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self.count <= self.warmup:
+            self._warmup_sum += x
+            self._value = self._warmup_sum / self.count
+        else:
+            self._value = self.alpha * x + (1.0 - self.alpha) * self._value
+
+
+class WarmupZScore:
+    """z-score of each observation against a frozen warmup baseline.
+
+    The first ``warmup`` observations define the baseline (population
+    mean and standard deviation, exactly ``np.mean`` / ``np.std`` of
+    those samples); every later observation reports
+    ``(x - mean) / std``.  A degenerate baseline (``std == 0``) reports
+    ``inf`` with the sign of the deviation (0.0 on no deviation) — a
+    constant-warmup stream that then moves *is* an anomaly.
+    """
+
+    __slots__ = ("warmup", "count", "_baseline", "mean", "std", "_value")
+
+    def __init__(self, warmup: int = 30):
+        self.warmup = _check_warmup(warmup)
+        self.count = 0
+        self._baseline: list[float] = []
+        self.mean = 0.0
+        self.std = 0.0
+        self._value = 0.0
+
+    @property
+    def ready(self) -> bool:
+        return self.count >= self.warmup
+
+    @property
+    def value(self) -> float:
+        """The latest z-score (0.0 during warmup)."""
+        return self._value
+
+    def update(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self.count <= self.warmup:
+            self._baseline.append(x)
+            if self.count == self.warmup:
+                n = len(self._baseline)
+                self.mean = sum(self._baseline) / n
+                variance = sum((b - self.mean) ** 2 for b in self._baseline) / n
+                self.std = math.sqrt(variance)
+                self._baseline = []
+            return
+        deviation = x - self.mean
+        if self.std > 0.0:
+            self._value = deviation / self.std
+        elif deviation == 0.0:
+            self._value = 0.0
+        else:
+            self._value = math.copysign(math.inf, deviation)

@@ -1,0 +1,225 @@
+"""`MetricsRegistry` — labelled counters, gauges and histograms + export.
+
+A minimal, dependency-free metrics model shaped after the Prometheus
+client data model: a metric has a name, a help string and a type;
+a *child* of a metric is one label combination; the registry owns the
+whole family tree and renders it as Prometheus text exposition
+(:meth:`MetricsRegistry.render_prometheus`) — the ``--metrics-out``
+artifact of the streaming CLI.
+
+Usage::
+
+    registry = MetricsRegistry()
+    registry.counter("flushes_total", "flushes run", method="PUCE").inc()
+    registry.gauge("latency_p95", "rolling p95", method="PUCE").set(0.12)
+    registry.histogram("flush_seconds", "per-flush wall").observe(0.003)
+    print(registry.render_prometheus())
+
+Names must match the Prometheus grammar; a metric name may be registered
+under exactly one type (re-registering with another type is a
+:class:`~repro.errors.ConfigurationError`, not a silent overwrite).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): micro-flush to slow-solve scale.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+class Counter:
+    """A monotonically increasing value (one label combination)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up, got inc({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that may go up or down (one label combination)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (one label combination)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or sorted(bounds) != list(bounds):
+            raise ConfigurationError(
+                f"histogram buckets must be non-empty and ascending, got {bounds}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[position] += 1
+                break
+
+
+class _Family:
+    """One metric name: its type, help text, and per-label children."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help: str):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.children: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise ConfigurationError(f"invalid label name {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families keyed by name.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the child for the
+    given label combination, creating family and child on first use —
+    so instrumentation sites never pre-declare, and exporters see every
+    combination that actually occurred.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: str, help: str) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        family = self._family(name, "counter", help)
+        child = family.children.setdefault(_label_key(labels), Counter())
+        return child
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        family = self._family(name, "gauge", help)
+        child = family.children.setdefault(_label_key(labels), Gauge())
+        return child
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        family = self._family(name, "histogram", help)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = Histogram(buckets)
+            family.children[key] = child
+        return child
+
+    # -- export ------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, bucket_count in zip(child.buckets, child.counts):
+                        cumulative += bucket_count
+                        le = _render_labels(key, f'le="{_format_value(bound)}"')
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = _render_labels(key, 'le="+Inf"')
+                    lines.append(f"{name}_bucket{le} {child.count}")
+                    labels = _render_labels(key)
+                    lines.append(f"{name}_sum{labels} {_format_value(child.total)}")
+                    lines.append(f"{name}_count{labels} {child.count}")
+                else:
+                    labels = _render_labels(key)
+                    lines.append(f"{name}{labels} {_format_value(child.value)}")
+        return "\n".join(lines) + "\n" if lines else ""

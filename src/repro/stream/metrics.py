@@ -16,13 +16,16 @@ the paper's Section VII protocol holds constant:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.indicators import Ewma, RollingQuantile, WarmupZScore
+from repro.stream.events import Assignment
 
-__all__ = ["FlushRecord", "StreamStats"]
+__all__ = ["FlushRecord", "OnlineIndicators", "StreamStats"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,7 +37,11 @@ class FlushRecord:
     ``max_batch_size`` in force when the flush fired (it moves under
     adaptive micro-batching; 0 means "not recorded").  ``cache_hit``
     says whether the flush-fingerprint solver cache served the result
-    (``None`` when the cache is disabled).
+    (``None`` when the cache is disabled).  ``flush_seconds`` is the
+    whole flush handler's wall clock (cache + build + solve + commit;
+    ``solver_seconds`` remains solve-only, the adaptive controller's
+    signal); ``phase_seconds`` is the tracer-derived per-phase breakdown
+    (``None`` when tracing is off).
     """
 
     index: int
@@ -47,6 +54,101 @@ class FlushRecord:
     shards: int = 1
     batch_limit: int = 0
     cache_hit: bool | None = None
+    flush_seconds: float = 0.0
+    phase_seconds: dict[str, float] | None = None
+
+    @property
+    def top_phase(self) -> str:
+        """The costliest traced phase, e.g. ``"solve 71%"`` ("-" untraced)."""
+        if not self.phase_seconds:
+            return "-"
+        phase = max(self.phase_seconds, key=lambda p: (self.phase_seconds[p], p))
+        total = sum(self.phase_seconds.values())
+        share = self.phase_seconds[phase] / total if total > 0 else 0.0
+        return f"{phase} {share:.0%}"
+
+
+class OnlineIndicators:
+    """The streaming run's live dashboard, updated as events happen.
+
+    Composes the :mod:`repro.obs.indicators` primitives into the
+    indicator set of the streaming protocol — each updated *during* the
+    run by :meth:`StreamStats.update`, never recomputed post hoc:
+
+    * ``latency`` — rolling-window p50/p95 assignment latency;
+    * ``throughput`` — EWMA of per-flush assigned tasks per solver
+      second (cache-served flushes are skipped: their near-zero solve
+      time is a cache property, not solver throughput);
+    * ``expiry`` — z-score of the running expiry rate against its frozen
+      warmup baseline (a spike says the fleet stopped keeping up);
+    * ``drawdown`` — EWMA of per-flush privacy spend per idle worker
+      (the budget burn rate the accountant will see);
+    * ``cache`` — EWMA of the flush-cache hit indicator.
+    """
+
+    __slots__ = ("latency", "throughput", "expiry", "drawdown", "cache", "_last_spend")
+
+    #: Rolling latency window (events) — large enough for a stable p95,
+    #: small enough to track drift within a scenario phase.
+    LATENCY_WINDOW = 512
+    #: Flushes whose expiry rates define the frozen z-score baseline.
+    EXPIRY_WARMUP = 30
+
+    def __init__(self) -> None:
+        self.latency = RollingQuantile(window=self.LATENCY_WINDOW, warmup=1)
+        self.throughput = Ewma(alpha=0.2, warmup=5)
+        self.expiry = WarmupZScore(warmup=self.EXPIRY_WARMUP)
+        self.drawdown = Ewma(alpha=0.2, warmup=5)
+        self.cache = Ewma(alpha=0.2, warmup=1)
+        self._last_spend = 0.0
+
+    # -- update paths (called by StreamStats during the run) ---------------
+
+    def observe_latency(self, latency: float) -> None:
+        self.latency.update(latency)
+
+    def observe_flush(self, record: FlushRecord, expiry_rate: float) -> None:
+        if record.solver_seconds > 0.0 and not record.cache_hit:
+            self.throughput.update(record.matched / record.solver_seconds)
+        self.expiry.update(expiry_rate)
+        spent = record.cumulative_privacy_spend - self._last_spend
+        self._last_spend = record.cumulative_privacy_spend
+        if record.idle_workers > 0:
+            self.drawdown.update(spent / record.idle_workers)
+        if record.cache_hit is not None:
+            self.cache.update(1.0 if record.cache_hit else 0.0)
+
+    # -- readings (what the exporters and the report table publish) --------
+
+    @property
+    def latency_p50(self) -> float:
+        """Rolling-window median latency (nan before any assignment)."""
+        return self.latency.p50
+
+    @property
+    def latency_p95(self) -> float:
+        """Rolling-window p95 latency (nan before any assignment)."""
+        return self.latency.p95
+
+    @property
+    def throughput_ewma(self) -> float:
+        """EWMA assigned tasks per solver second."""
+        return self.throughput.value
+
+    @property
+    def expiry_zscore(self) -> float:
+        """Expiry-rate z-score vs the warmup baseline (0.0 during warmup)."""
+        return self.expiry.value
+
+    @property
+    def budget_drawdown(self) -> float:
+        """EWMA per-flush privacy spend per idle worker."""
+        return self.drawdown.value
+
+    @property
+    def cache_hit_ewma(self) -> float:
+        """EWMA flush-cache hit rate (0.0 with the cache off)."""
+        return self.cache.value
 
 
 @dataclass
@@ -71,6 +173,11 @@ class StreamStats:
     #: Flush-fingerprint solver-cache counters (both 0 when disabled).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Live streaming indicators, updated event-by-event during the run.
+    online: OnlineIndicators = field(default_factory=OnlineIndicators)
+    #: The run's recorded spans (the simulator aliases its tracer's list
+    #: here when tracing is on; empty otherwise).
+    spans: list = field(default_factory=list)
 
     # -- derived measures --------------------------------------------------
 
@@ -94,12 +201,50 @@ class StreamStats:
         return float(np.mean(self.latencies)) if self.latencies else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of assignment latency (0 if unmatched)."""
+        """The ``q``-th percentile of latency over *matched* tasks only.
+
+        Expired tasks have no assignment latency, so they are excluded —
+        this is a conditional statistic ("how fast were the tasks we did
+        serve"), and under high expiry it says nothing about the tasks
+        that never got served.  For an SLO-style reading that charges
+        expiries, use :meth:`expiry_adjusted_percentile`.  Returns 0.0
+        when nothing matched.
+        """
         if not 0 <= q <= 100:
             raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
         if not self.latencies:
             return 0.0
         return float(np.percentile(self.latencies, q))
+
+    def expiry_adjusted_percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile charging expiries as ``inf``.
+
+        The matched-only percentile silently deflates under high expiry:
+        a stream that expires 60% of its tasks can still report a tiny
+        "p95" over the lucky 40%.  This variant ranks every *resolved*
+        task — expired ones with infinite latency — so once ``q`` reaches
+        into the expired mass the answer is ``inf`` (the task a ``q``-th
+        caller would observe never completed).  Equivalent to
+        ``np.percentile(latencies + [inf] * expired, q)`` with linear
+        interpolation, computed directly to avoid nan from inf-inf
+        interpolation.  Returns 0.0 when nothing resolved.
+        """
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        total = len(self.latencies) + self.expired
+        if total == 0:
+            return 0.0
+        matched = sorted(self.latencies)
+        position = q / 100.0 * (total - 1)
+        lower = math.floor(position)
+        fraction = position - lower
+        if lower >= len(matched):
+            return math.inf
+        if fraction == 0.0:
+            return matched[lower]
+        if lower + 1 >= len(matched):
+            return math.inf
+        return matched[lower] * (1.0 - fraction) + matched[lower + 1] * fraction
 
     @property
     def latency_p50(self) -> float:
@@ -108,6 +253,27 @@ class StreamStats:
     @property
     def latency_p95(self) -> float:
         return self.latency_percentile(95)
+
+    @property
+    def phase_totals(self) -> dict[str, float]:
+        """Per-phase seconds summed over every traced flush (empty untraced)."""
+        totals: dict[str, float] = {}
+        for record in self.flushes:
+            if record.phase_seconds:
+                for phase, seconds in record.phase_seconds.items():
+                    totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    @property
+    def top_phase(self) -> str:
+        """The costliest phase across the whole run (``"-"`` untraced)."""
+        totals = self.phase_totals
+        if not totals:
+            return "-"
+        phase = max(totals, key=lambda p: (totals[p], p))
+        grand = sum(totals.values())
+        share = totals[phase] / grand if grand > 0 else 0.0
+        return f"{phase} {share:.0%}"
 
     @property
     def throughput_tasks_per_sec(self) -> float:
@@ -137,6 +303,27 @@ class StreamStats:
 
     # -- recording ---------------------------------------------------------
 
+    def update(self, event: "FlushRecord | Assignment") -> None:
+        """Fold one stream event in, online indicators included.
+
+        The single entry point of the during-the-run protocol: a
+        :class:`FlushRecord` goes through :meth:`record_flush`, an
+        :class:`~repro.stream.events.Assignment` through
+        :meth:`record_latency`.  Indicators only ever see events in
+        stream order — the no-lookahead property the obs tests pin.
+        """
+        if isinstance(event, FlushRecord):
+            self.record_flush(event)
+        elif isinstance(event, Assignment):
+            self.record_latency(event.latency)
+        else:
+            raise ConfigurationError(f"unknown stream stats event {event!r}")
+
+    def record_latency(self, latency: float) -> None:
+        """Record one assignment's latency (post-hoc list + online window)."""
+        self.latencies.append(latency)
+        self.online.observe_latency(latency)
+
     def record_flush(self, record: FlushRecord) -> None:
         """Append one flush, enforcing the monotone-spend invariant."""
         if self.privacy_timeline:
@@ -156,3 +343,4 @@ class StreamStats:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+        self.online.observe_flush(record, expiry_rate=self.expiry_rate)

@@ -32,7 +32,6 @@ sequential/thread/process execution.
 from __future__ import annotations
 
 import math
-import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
@@ -42,6 +41,7 @@ import numpy as np
 from repro.core.engine import ConflictEliminationSolver
 from repro.core.result import AssignmentResult
 from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER, stopwatch
 from repro.matching.bipartite import Matching
 from repro.privacy.accountant import PrivacyLedger
 from repro.simulation.instance import ProblemInstance
@@ -379,14 +379,16 @@ def _solve_component_group(
     base: tuple[int, ...],
     group: list[tuple[int, ProblemInstance]],
     workspace=None,
+    tracer=NULL_TRACER,
 ) -> list[tuple[int, AssignmentResult]]:
     """Solve one shard group sequentially (runs in a pool worker).
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; the seed
     schedule is rebuilt from ``base`` on the far side of the boundary.
-    ``workspace`` (an :class:`~repro.core.workspace.EngineWorkspace`) is
-    only ever passed on in-process sequential execution — pool workers
-    get ``None`` and allocate per solve.
+    ``workspace`` (an :class:`~repro.core.workspace.EngineWorkspace`) and
+    ``tracer`` (a :class:`repro.obs.Tracer`) are only ever passed on
+    in-process sequential execution — pool workers get the defaults and
+    allocate / no-op per solve.
     """
     schedule = ShardSeedSchedule(base)
     keys = [key for key, _ in group]
@@ -394,7 +396,7 @@ def _solve_component_group(
     seeds = [schedule.generator(key) for key in keys]
     solve_shards = getattr(solver, "solve_shards", None)
     if solve_shards is not None:
-        results = solve_shards(instances, seeds, workspace=workspace)
+        results = solve_shards(instances, seeds, workspace=workspace, tracer=tracer)
     else:
         results = [
             solver.solve(sub, seed=seed) for sub, seed in zip(instances, seeds)
@@ -448,6 +450,12 @@ class ShardedFlushExecutor:
         Optional :class:`~repro.core.workspace.EngineWorkspace` reused by
         the in-process sequential solves (the single-unit fast path and
         ``parallel="off"`` groups).  Pool workers never see it.
+    tracer:
+        A :class:`repro.obs.Tracer` recording the flush phases
+        (``flush.cut`` / ``flush.build`` / ``flush.solve`` /
+        ``flush.merge``) under the caller's current span.  Pool workers
+        never see it (their spans would land in another process); the
+        no-op default costs nothing.
 
     The executor owns at most one pool, created lazily and reused across
     flushes; call :meth:`close` (or use it as a context manager) when the
@@ -462,6 +470,7 @@ class ShardedFlushExecutor:
         max_workers: int | None = None,
         min_shard_pairs: int = MIN_SHARD_PAIRS,
         workspace=None,
+        tracer=NULL_TRACER,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -475,6 +484,7 @@ class ShardedFlushExecutor:
         self.max_workers = max_workers or num_shards
         self.min_shard_pairs = min_shard_pairs
         self.workspace = workspace
+        self.tracer = tracer
         self._pool: Executor | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -511,62 +521,75 @@ class ShardedFlushExecutor:
         self, instance: ProblemInstance, schedule: ShardSeedSchedule
     ) -> tuple[AssignmentResult, ShardCut]:
         """As :meth:`solve`, also returning the cut (for observability)."""
-        started = time.perf_counter()
-        cut = cut_flush(instance, min_shard_pairs=self.min_shard_pairs)
+        tracer = self.tracer
+        watch = stopwatch()
+        with watch:
+            with tracer.span("flush.cut"):
+                cut = cut_flush(instance, min_shard_pairs=self.min_shard_pairs)
 
-        # Single-unit fast path (the common case once dust coalesces):
-        # solve the flush instance directly with the unit's scheduled
-        # seed — bit-identical results, none of the slice/rebuild/
-        # re-record overhead.  Safe when the unit covers the whole
-        # instance (the sub-instance would be a verbatim copy), and for
-        # the engine family even with orphans: orphan tasks/workers own
-        # no pairs, engine noise is drawn per *pair* in CSR order, and
-        # results are keyed by public ids, so dropping orphans cannot
-        # change anything (the executor tests pin fast == slow).  A
-        # solver outside the engine family could consume randomness per
-        # worker, so orphans disqualify it there.
-        if len(cut.components) == 1:
-            whole_cover = not cut.orphan_tasks and not cut.orphan_workers
-            if whole_cover or isinstance(self.solver, ConflictEliminationSolver):
-                key = cut.components[0].key
-                ((_, result),) = _solve_component_group(
-                    self.solver, schedule.base, [(key, instance)], self.workspace
+            # Single-unit fast path (the common case once dust coalesces):
+            # solve the flush instance directly with the unit's scheduled
+            # seed — bit-identical results, none of the slice/rebuild/
+            # re-record overhead.  Safe when the unit covers the whole
+            # instance (the sub-instance would be a verbatim copy), and for
+            # the engine family even with orphans: orphan tasks/workers own
+            # no pairs, engine noise is drawn per *pair* in CSR order, and
+            # results are keyed by public ids, so dropping orphans cannot
+            # change anything (the executor tests pin fast == slow).  A
+            # solver outside the engine family could consume randomness per
+            # worker, so orphans disqualify it there.
+            if len(cut.components) == 1:
+                whole_cover = not cut.orphan_tasks and not cut.orphan_workers
+                if whole_cover or isinstance(self.solver, ConflictEliminationSolver):
+                    key = cut.components[0].key
+                    with tracer.span("flush.solve"):
+                        ((_, result),) = _solve_component_group(
+                            self.solver,
+                            schedule.base,
+                            [(key, instance)],
+                            self.workspace,
+                            tracer,
+                        )
+                    return result, cut
+
+            with tracer.span("flush.build"):
+                keyed = [
+                    (component.key, build_shard_instance(instance, component))
+                    for component in cut.components
+                ]
+                groups = _group_components(cut.components, self.num_shards)
+                sub_of = dict(keyed)
+                payload = [
+                    [(component.key, sub_of[component.key]) for component in group]
+                    for group in groups
+                ]
+
+            with tracer.span("flush.solve"):
+                if self.parallel == "off" or len(payload) <= 1:
+                    keyed_results: list[tuple[int, AssignmentResult]] = []
+                    for group in payload:
+                        keyed_results.extend(
+                            _solve_component_group(
+                                self.solver, schedule.base, group, self.workspace, tracer
+                            )
+                        )
+                else:
+                    pool = self._ensure_pool()
+                    futures = [
+                        pool.submit(
+                            _solve_component_group, self.solver, schedule.base, group
+                        )
+                        for group in payload
+                    ]
+                    keyed_results = []
+                    for future in futures:
+                        keyed_results.extend(future.result())
+
+            with tracer.span("flush.merge"):
+                merged = merge_shard_results(
+                    instance,
+                    self.solver.name,
+                    keyed_results,
+                    elapsed_seconds=watch.elapsed,
                 )
-                return result, cut
-
-        keyed = [
-            (component.key, build_shard_instance(instance, component))
-            for component in cut.components
-        ]
-        groups = _group_components(cut.components, self.num_shards)
-        sub_of = dict(keyed)
-        payload = [
-            [(component.key, sub_of[component.key]) for component in group]
-            for group in groups
-        ]
-
-        if self.parallel == "off" or len(payload) <= 1:
-            keyed_results: list[tuple[int, AssignmentResult]] = []
-            for group in payload:
-                keyed_results.extend(
-                    _solve_component_group(
-                        self.solver, schedule.base, group, self.workspace
-                    )
-                )
-        else:
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(_solve_component_group, self.solver, schedule.base, group)
-                for group in payload
-            ]
-            keyed_results = []
-            for future in futures:
-                keyed_results.extend(future.result())
-
-        merged = merge_shard_results(
-            instance,
-            self.solver.name,
-            keyed_results,
-            elapsed_seconds=time.perf_counter() - started,
-        )
         return merged, cut

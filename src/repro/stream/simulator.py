@@ -28,7 +28,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -41,6 +40,7 @@ from repro.core.utility import UtilityModel
 from repro.core.workspace import EngineWorkspace
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER, Tracer, aggregate_phases, stopwatch
 from repro.stream.batcher import (
     AdaptiveBatchController,
     MicroBatcher,
@@ -123,6 +123,14 @@ class StreamConfig:
         Reuse one :class:`~repro.core.workspace.EngineWorkspace` buffer
         arena across this stream's flush solves (conflict-elimination
         solvers only; pure performance, results unchanged).
+    trace:
+        Record a :class:`repro.obs.Tracer` span tree of every flush
+        (cache / build / cut / solve / merge / commit phases plus engine
+        round and cache/workspace point events); ``FlushRecord.
+        phase_seconds`` and the ``--trace-out`` / ``profile`` CLI
+        artifacts come from it.  Off by default: the no-op tracer keeps
+        the hot path within noise of the un-instrumented one (the
+        ``bench_obs_overhead`` gate).
     """
 
     max_batch_size: int = 200
@@ -141,6 +149,7 @@ class StreamConfig:
     adaptive_max_batch: int = 2000
     cache: bool = False
     workspace: bool = True
+    trace: bool = False
 
     def __post_init__(self) -> None:
         # One validation path: shared with SolveOptions (repro.api.options).
@@ -202,10 +211,13 @@ class DispatchSimulator:
             model=self.config.model,
             controller=controller,
         )
+        #: The stream's span recorder (one timeline per run); the no-op
+        #: singleton unless ``config.trace`` asked for real spans.
+        self.tracer = Tracer() if self.config.trace else NULL_TRACER
         # One reusable buffer arena for the whole stream's flush solves;
         # only the conflict-elimination engines know how to borrow it.
         self._workspace = (
-            EngineWorkspace()
+            EngineWorkspace(tracer=self.tracer)
             if self.config.workspace and isinstance(solver, ConflictEliminationSolver)
             else None
         )
@@ -216,6 +228,7 @@ class DispatchSimulator:
                 parallel=self.config.parallel,
                 max_workers=self.config.max_shard_workers,
                 workspace=self._workspace,
+                tracer=self.tracer,
             )
             if self.config.shards >= 1
             else None
@@ -252,6 +265,10 @@ class DispatchSimulator:
         self._workers: dict[int, ActiveWorker] = {}
         self._flush_index = 0
         self.stats = StreamStats(method=solver.name)
+        if self.tracer.enabled:
+            # Alias, not copy: the stats expose the live span list, so
+            # exporters read a finished run without a handoff step.
+            self.stats.spans = self.tracer.spans
         self.record_assignments = record_assignments
         #: Typed dispatch decisions, in decision order (session drain queue).
         self.assignment_log: list[Assignment] = []
@@ -425,98 +442,129 @@ class DispatchSimulator:
         fingerprint = None
         cache_hit = None
         hit = None
-        if self._cache_active:
-            # The zero-rebuild path: fingerprint the flush *inputs* before
-            # any instance exists, so a hit skips construction and solve
-            # alike.  Budget carry is part of the key: two flushes may
-            # share every input yet differ in the workers' remaining shift
-            # budgets, and those must never alias (see repro.stream.cache).
-            remaining = (
-                tuple(self.tracker.remaining(w.id) for w in workers)
-                if self._cache_profile.content_sensitive
-                else None
-            )
-            fingerprint = flush_inputs_fingerprint(
-                [t.task for t in open_tasks],
-                workers,
-                self.batcher.model,
-                self.batcher.budget_sampler,
-                self._cache_profile,
-                build_key=build_key,
-                noise_key=noise_key,
-                remaining_budgets=remaining,
-            )
-            hit = self._cache.lookup(fingerprint)
-            cache_hit = hit is not None
-        if hit is not None:
-            started = _time.perf_counter()
-            result, shards = hit
-        else:
-            # Instance construction stays outside the timed window:
-            # ``solver_seconds`` has always measured solve work only (it
-            # drives the adaptive controller and the throughput metric).
-            instance = self.batcher.build_instance(
-                open_tasks,
-                workers,
-                # The cap binds only methods that publish; non-private
-                # baselines never spend, and capping them would misprice
-                # the comparison.
-                tracker=self.tracker if self.solver.is_private else None,
-                seed=np.random.default_rng(build_key),
-            )
-            started = _time.perf_counter()
-            if self._shard_executor is not None:
-                result, cut = self._shard_executor.solve_with_cut(
-                    instance, ShardSeedSchedule(noise_key)
-                )
-                shards = max(cut.num_components, 1)
-            else:
-                # Only the conflict-elimination engines take a workspace;
-                # other solvers keep the plain signature.
-                extra = (
-                    {"workspace": self._workspace}
-                    if self._workspace is not None
-                    else {}
-                )
-                result = self.solver.solve(
-                    instance, seed=np.random.default_rng(noise_key), **extra
-                )
-                shards = 1
-        solver_seconds = _time.perf_counter() - started
-        if fingerprint is not None and hit is None:
-            self._cache.store(fingerprint, result, shards)
-        self.batcher.observe_flush(solver_seconds, len(open_tasks))
-        self.tracker.charge(result.ledger)
-
-        by_id = {t.task.id: t for t in open_tasks}
-        unassigned = dict(by_id)
-        for pair in result.matched_pairs():
-            open_task = by_id[pair.task_id]
-            del unassigned[pair.task_id]
-            self.stats.assigned += 1
-            self.stats.latencies.append(now - open_task.arrival_time)
-            self.stats.total_utility += pair.utility
-            self.stats.total_distance += pair.distance
-            if self.record_assignments:
-                self.assignment_log.append(
-                    Assignment(
-                        time=now,
-                        flush_index=self._flush_index,
-                        task_id=pair.task_id,
-                        worker_id=pair.worker_id,
-                        distance=pair.distance,
-                        utility=pair.utility,
-                        latency=now - open_task.arrival_time,
-                        method=self.solver.name,
+        tracer = self.tracer
+        mark = tracer.mark()
+        flush_watch = stopwatch()
+        with flush_watch, tracer.span("flush"):
+            if self._cache_active:
+                # The zero-rebuild path: fingerprint the flush *inputs*
+                # before any instance exists, so a hit skips construction
+                # and solve alike.  Budget carry is part of the key: two
+                # flushes may share every input yet differ in the workers'
+                # remaining shift budgets, and those must never alias (see
+                # repro.stream.cache).
+                with tracer.span("flush.cache"):
+                    remaining = (
+                        tuple(self.tracker.remaining(w.id) for w in workers)
+                        if self._cache_profile.content_sensitive
+                        else None
                     )
-                )
-            self._start_service(now, pair.worker_id, open_task, pair.distance)
-        # Losers return to the buffer and wait for the next flush.
-        self.batcher.restore(list(unassigned.values()), now)
-        if unassigned:
-            self._arm_timer(now + self.config.max_wait, _PRIO_FLUSH, None)
+                    fingerprint = flush_inputs_fingerprint(
+                        [t.task for t in open_tasks],
+                        workers,
+                        self.batcher.model,
+                        self.batcher.budget_sampler,
+                        self._cache_profile,
+                        build_key=build_key,
+                        noise_key=noise_key,
+                        remaining_budgets=remaining,
+                    )
+                    hit = self._cache.lookup(fingerprint)
+                    cache_hit = hit is not None
+                    tracer.event("cache.hit" if cache_hit else "cache.miss")
+            if hit is not None:
+                with stopwatch() as solve_watch:
+                    result, shards = hit
+            else:
+                # Instance construction stays outside the solve window:
+                # ``solver_seconds`` has always measured solve work only
+                # (it drives the adaptive controller and the throughput
+                # metric).
+                with tracer.span("flush.build"):
+                    instance = self.batcher.build_instance(
+                        open_tasks,
+                        workers,
+                        # The cap binds only methods that publish;
+                        # non-private baselines never spend, and capping
+                        # them would misprice the comparison.
+                        tracker=self.tracker if self.solver.is_private else None,
+                        seed=np.random.default_rng(build_key),
+                    )
+                with stopwatch() as solve_watch:
+                    if self._shard_executor is not None:
+                        # The executor records its own flush.cut / build /
+                        # solve / merge phases at this depth.
+                        result, cut = self._shard_executor.solve_with_cut(
+                            instance, ShardSeedSchedule(noise_key)
+                        )
+                        shards = max(cut.num_components, 1)
+                    else:
+                        # Only the conflict-elimination engines take a
+                        # workspace/tracer; other solvers keep the plain
+                        # signature.
+                        extra = {}
+                        if self._workspace is not None:
+                            extra["workspace"] = self._workspace
+                        if tracer.enabled and isinstance(
+                            self.solver, ConflictEliminationSolver
+                        ):
+                            extra["tracer"] = tracer
+                        with tracer.span("flush.solve"):
+                            result = self.solver.solve(
+                                instance,
+                                seed=np.random.default_rng(noise_key),
+                                **extra,
+                            )
+                        shards = 1
+            solver_seconds = solve_watch.seconds
+            if fingerprint is not None and hit is None:
+                with tracer.span("flush.cache"):
+                    self._cache.store(fingerprint, result, shards)
+                    tracer.event("cache.store")
 
-        self.stats.record_flush(
+            with tracer.span("flush.commit"):
+                self.batcher.observe_flush(solver_seconds, len(open_tasks))
+                self.tracker.charge(result.ledger)
+
+                by_id = {t.task.id: t for t in open_tasks}
+                unassigned = dict(by_id)
+                for pair in result.matched_pairs():
+                    open_task = by_id[pair.task_id]
+                    del unassigned[pair.task_id]
+                    self.stats.assigned += 1
+                    self.stats.record_latency(now - open_task.arrival_time)
+                    self.stats.total_utility += pair.utility
+                    self.stats.total_distance += pair.distance
+                    if self.record_assignments:
+                        self.assignment_log.append(
+                            Assignment(
+                                time=now,
+                                flush_index=self._flush_index,
+                                task_id=pair.task_id,
+                                worker_id=pair.worker_id,
+                                distance=pair.distance,
+                                utility=pair.utility,
+                                latency=now - open_task.arrival_time,
+                                method=self.solver.name,
+                            )
+                        )
+                    self._start_service(now, pair.worker_id, open_task, pair.distance)
+                # Losers return to the buffer and wait for the next flush.
+                self.batcher.restore(list(unassigned.values()), now)
+                if unassigned:
+                    self._arm_timer(now + self.config.max_wait, _PRIO_FLUSH, None)
+                for worker_id in (w.id for w in workers):
+                    spend = self.tracker.spent(worker_id)
+                    if spend:
+                        self.stats.per_worker_spend[worker_id] = spend
+
+        # The flush span is closed: derive the record's timing fields from
+        # it (every elapsed_seconds-style field is trace- or stopwatch-
+        # derived now; no ad-hoc perf_counter pairs remain on this path).
+        phase_seconds = (
+            aggregate_phases(tracer.since(mark)) if tracer.enabled else None
+        )
+        self.stats.update(
             FlushRecord(
                 index=self._flush_index,
                 time=now,
@@ -528,12 +576,10 @@ class DispatchSimulator:
                 shards=shards,
                 batch_limit=batch_limit,
                 cache_hit=cache_hit,
+                flush_seconds=flush_watch.seconds,
+                phase_seconds=phase_seconds,
             )
         )
-        for worker_id in (w.id for w in workers):
-            spend = self.tracker.spent(worker_id)
-            if spend:
-                self.stats.per_worker_spend[worker_id] = spend
         self._flush_index += 1
 
     def _start_service(

@@ -93,3 +93,68 @@ class TestScenarioCLI:
         with pytest.raises(SystemExit):
             main(["scenario", str(path)])
         assert "unknown scenario key" in capsys.readouterr().err
+
+
+class TestObsCLI:
+    def test_trace_flag_adds_phase_column_values(self, capsys):
+        assert main([*STREAM_ARGS, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "top_phase" in out
+        row = next(line for line in out.splitlines() if line.startswith("UCE"))
+        assert row.rstrip()[-1] == "%"  # e.g. "commit 54%"
+
+    def test_untraced_stream_prints_dash_for_top_phase(self, capsys):
+        assert main(STREAM_ARGS) == 0
+        row = next(
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("UCE")
+        )
+        assert row.rstrip().endswith("-")
+
+    def test_trace_out_writes_jsonl_spans(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main([*STREAM_ARGS, "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {path}" in out
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows, "trace-out implied --trace but wrote no spans"
+        assert {row["name"] for row in rows} >= {"flush", "flush.commit"}
+        assert all(row["method"] == "UCE" for row in rows)
+
+    def test_metrics_out_writes_prometheus_text(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main([*STREAM_ARGS, "--metrics-out", str(path)]) == 0
+        assert f"-> {path}" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE repro_flushes_total counter" in text
+        assert 'repro_tasks_arrived_total{method="UCE"}' in text
+        assert "repro_flush_solver_seconds_bucket" in text
+
+    def test_profile_subcommand_forces_tracing_and_prints_tree(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        main([*STREAM_ARGS, "--save-spec", str(spec)])
+        capsys.readouterr()
+        assert main(["profile", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "profile[" in out
+        assert "traced_seconds=" in out
+        assert "flush.commit" in out
+        assert "share" in out
+
+    def test_profile_seed_override(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        main([*STREAM_ARGS, "--save-spec", str(spec)])
+        capsys.readouterr()
+        assert main(["profile", str(spec), "--seed", "9"]) == 0
+        assert "method=UCE" in capsys.readouterr().out
+
+    def test_saved_spec_round_trips_the_trace_flag(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        assert main([*STREAM_ARGS, "--trace", "--save-spec", str(spec)]) == 0
+        capsys.readouterr()
+        import json
+
+        assert json.loads(spec.read_text())["options"]["trace"] is True

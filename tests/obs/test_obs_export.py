@@ -1,0 +1,131 @@
+"""Unit tests for the exporters, on a hand-built report (no stream run)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    aggregate_phases,
+    format_profile,
+    registry_from_report,
+    write_metrics_prometheus,
+    write_trace_jsonl,
+)
+from repro.stream.metrics import FlushRecord, StreamStats
+
+
+class FakeReport:
+    """Duck-typed StreamReport: ``methods()`` + ``report[m]`` -> StreamStats."""
+
+    def __init__(self, stats_by_method):
+        self._stats = dict(stats_by_method)
+
+    def methods(self):
+        return tuple(self._stats)
+
+    def __getitem__(self, method):
+        return self._stats[method]
+
+
+def traced_stats(method="UCE", flushes=3):
+    """A StreamStats fed through the real tracer + update() protocol."""
+    stats = StreamStats(method)
+    tracer = Tracer()
+    stats.spans = tracer.spans
+    for index in range(flushes):
+        mark = tracer.mark()
+        with tracer.span("flush"):
+            with tracer.span("flush.build"):
+                pass
+            with tracer.span("flush.solve"):
+                tracer.event("cache.miss")
+            with tracer.span("flush.commit"):
+                pass
+        phase_seconds = aggregate_phases(tracer.since(mark))
+        flush_seconds = tracer.spans[mark].seconds
+        stats.update(
+            FlushRecord(
+                index=index,
+                time=0.1 * (index + 1),
+                pending_tasks=2,
+                idle_workers=4,
+                matched=1,
+                solver_seconds=0.002,
+                cumulative_privacy_spend=0.5 * (index + 1),
+                cache_hit=False,
+                flush_seconds=flush_seconds,
+                phase_seconds=phase_seconds,
+            )
+        )
+        stats.record_latency(0.05 * (index + 1))
+        stats.arrived_tasks += 1
+        stats.assigned += 1
+    return stats
+
+
+class TestWriteTraceJsonl:
+    def test_writes_one_json_line_per_span_with_method_label(self, tmp_path):
+        report = FakeReport({"UCE": traced_stats("UCE", flushes=2)})
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(report, path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert count == len(rows) == len(report["UCE"].spans)
+        assert all(row["method"] == "UCE" for row in rows)
+        assert rows[0]["name"] == "flush"
+        assert rows[0]["parent"] == -1
+        # parents always precede children in recording order
+        for row in rows:
+            assert row["parent"] < row["index"]
+
+    def test_untraced_run_writes_an_empty_valid_file(self, tmp_path):
+        report = FakeReport({"UCE": StreamStats("UCE")})
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(report, path) == 0
+        assert path.read_text() == ""
+
+
+class TestRegistryFromReport:
+    def test_counters_gauges_and_phase_totals(self):
+        stats = traced_stats("PUCE")
+        registry = registry_from_report(FakeReport({"PUCE": stats}))
+        text = registry.render_prometheus()
+        assert 'repro_tasks_assigned_total{method="PUCE"} 3.0' in text
+        assert 'repro_flushes_total{method="PUCE"} 3.0' in text
+        assert 'repro_cache_misses_total{method="PUCE"} 3.0' in text
+        assert 'repro_latency_p95_online{method="PUCE"}' in text
+        assert 'repro_flush_phase_seconds_total{method="PUCE",phase="solve"}' in text
+        assert 'repro_flush_solver_seconds_count{method="PUCE"} 3' in text
+
+    def test_nan_gauges_are_skipped_not_rendered(self):
+        # no assignments -> rolling quantiles are NaN -> no latency gauges
+        report = FakeReport({"UCE": StreamStats("UCE")})
+        text = registry_from_report(report).render_prometheus()
+        assert "repro_latency_p95_online" not in text
+        assert "nan" not in text.lower()
+
+    def test_write_metrics_prometheus_round_trips_to_disk(self, tmp_path):
+        report = FakeReport({"UCE": traced_stats()})
+        path = tmp_path / "metrics.prom"
+        write_metrics_prometheus(report, path)
+        text = path.read_text()
+        assert text.startswith("# HELP")
+        assert text.endswith("\n")
+
+
+class TestFormatProfile:
+    def test_aggregates_spans_by_tree_path(self):
+        stats = traced_stats("UCE", flushes=4)
+        out = format_profile(FakeReport({"UCE": stats}), title="t")
+        assert "t method=UCE flushes=4" in out
+        lines = out.splitlines()
+        flush_line = next(line for line in lines if line.strip().startswith("flush "))
+        assert " 4 " in flush_line  # 4 root flush spans aggregated
+        # nested rows are indented deeper than their parents
+        solve = next(line for line in lines if "flush.solve" in line)
+        miss = next(line for line in lines if "cache.miss" in line)
+        assert miss.index("cache.miss") > solve.index("flush.solve")
+
+    def test_untraced_method_reports_tracing_off(self):
+        out = format_profile(FakeReport({"UCE": StreamStats("UCE")}))
+        assert "no spans (tracing was off)" in out

@@ -1,0 +1,124 @@
+"""Unit tests for the online indicator primitives (warmup, readiness, math)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Ewma, RollingQuantile, WarmupZScore
+
+
+class TestRollingQuantile:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RollingQuantile(window=0)
+        with pytest.raises(ConfigurationError):
+            RollingQuantile(warmup=0)
+        with pytest.raises(ConfigurationError):
+            RollingQuantile().value(101)
+        with pytest.raises(ConfigurationError):
+            RollingQuantile().value(-1)
+
+    def test_nan_before_warmup_then_ready(self):
+        quantile = RollingQuantile(window=8, warmup=3)
+        assert not quantile.ready
+        assert math.isnan(quantile.p50)
+        quantile.update(1.0)
+        quantile.update(2.0)
+        assert math.isnan(quantile.p95)
+        quantile.update(3.0)
+        assert quantile.ready
+        assert quantile.p50 == 2.0
+
+    def test_matches_numpy_percentile_of_the_window(self):
+        quantile = RollingQuantile(window=4, warmup=1)
+        for x in [2.0, 3.0, 4.0, 5.0]:
+            quantile.update(x)
+        assert quantile.value(50) == pytest.approx(np.percentile([2, 3, 4, 5], 50))
+        assert quantile.value(95) == pytest.approx(np.percentile([2, 3, 4, 5], 95))
+
+    def test_eviction_keeps_exactly_the_last_window(self):
+        quantile = RollingQuantile(window=3, warmup=1)
+        for x in [10.0, 1.0, 2.0, 3.0]:
+            quantile.update(x)
+        # the 10.0 fell out of the window
+        assert quantile.value(100) == 3.0
+        assert quantile.value(0) == 1.0
+
+    def test_duplicate_values_evict_one_copy_only(self):
+        quantile = RollingQuantile(window=2, warmup=1)
+        quantile.update(5.0)
+        quantile.update(5.0)
+        quantile.update(7.0)  # evicts one 5.0
+        assert quantile.value(0) == 5.0
+        assert quantile.value(100) == 7.0
+
+
+class TestEwma:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            Ewma(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            Ewma(warmup=0)
+
+    def test_warmup_accumulates_a_plain_mean(self):
+        ewma = Ewma(alpha=0.5, warmup=3)
+        ewma.update(1.0)
+        assert ewma.value == 1.0
+        ewma.update(3.0)
+        assert ewma.value == 2.0
+        assert not ewma.ready
+        ewma.update(5.0)
+        assert ewma.value == 3.0
+        assert ewma.ready
+
+    def test_recurrence_after_warmup(self):
+        ewma = Ewma(alpha=0.5, warmup=1)
+        ewma.update(4.0)
+        ewma.update(8.0)
+        assert ewma.value == pytest.approx(0.5 * 8.0 + 0.5 * 4.0)
+
+    def test_value_is_zero_before_any_observation(self):
+        assert Ewma().value == 0.0
+
+
+class TestWarmupZScore:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WarmupZScore(warmup=0)
+
+    def test_zero_during_warmup_then_zscore_vs_frozen_baseline(self):
+        zscore = WarmupZScore(warmup=4)
+        baseline = [1.0, 2.0, 3.0, 4.0]
+        for x in baseline:
+            zscore.update(x)
+            assert zscore.value == 0.0
+        assert zscore.ready
+        assert zscore.mean == pytest.approx(np.mean(baseline))
+        assert zscore.std == pytest.approx(np.std(baseline))
+        zscore.update(6.0)
+        expected = (6.0 - np.mean(baseline)) / np.std(baseline)
+        assert zscore.value == pytest.approx(expected)
+
+    def test_baseline_does_not_drift_after_warmup(self):
+        zscore = WarmupZScore(warmup=2)
+        zscore.update(0.0)
+        zscore.update(2.0)
+        frozen = (zscore.mean, zscore.std)
+        for x in [100.0, -50.0, 3.0]:
+            zscore.update(x)
+        assert (zscore.mean, zscore.std) == frozen
+
+    def test_degenerate_baseline_reports_signed_inf(self):
+        zscore = WarmupZScore(warmup=3)
+        for _ in range(3):
+            zscore.update(5.0)
+        zscore.update(5.0)
+        assert zscore.value == 0.0
+        zscore.update(6.0)
+        assert zscore.value == math.inf
+        zscore.update(4.0)
+        assert zscore.value == -math.inf

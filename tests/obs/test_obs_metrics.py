@@ -1,0 +1,103 @@
+"""Unit tests for the metrics registry and its Prometheus rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_buckets_are_per_bucket_counts(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        # one <=0.1, two in (0.1, 1], one in (1, 10], one overflow
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(56.05)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_child_per_label_set(self):
+        registry = MetricsRegistry()
+        first = registry.counter("flushes_total", "flushes", method="PUCE")
+        again = registry.counter("flushes_total", method="PUCE")
+        other = registry.counter("flushes_total", method="UCE")
+        assert first is again
+        assert first is not other
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", x="1", y="2")
+        b = registry.gauge("g", y="2", x="1")
+        assert a is b
+
+    def test_type_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("metric_total", "help")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("metric_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("0bad")
+        with pytest.raises(ConfigurationError):
+            registry.counter("ok", **{"bad-label": "x"})
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_flushes_total", "flushes run", method="PUCE").inc(3)
+        registry.gauge("repro_p95", "rolling p95").set(0.25)
+        text = registry.render_prometheus()
+        assert "# HELP repro_flushes_total flushes run" in text
+        assert "# TYPE repro_flushes_total counter" in text
+        assert 'repro_flushes_total{method="PUCE"} 3.0' in text
+        assert "repro_p95 0.25" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "hist", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1.0"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 5.55" in text
+        assert "h_count 3" in text
+
+    def test_inf_gauge_and_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.gauge("z", label='quo"te').set(math.inf)
+        text = registry.render_prometheus()
+        assert 'z{label="quo\\"te"} +Inf' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,156 @@
+"""Property pins for the online indicators: batch equivalence, no lookahead.
+
+The :mod:`repro.obs.indicators` contract, stated in that module's
+docstring, verified here against numpy batch computations on
+hypothesis-generated streams:
+
+* each online value equals its post-hoc numpy counterpart over the same
+  observations (exact window percentile; EWMA recurrence with
+  warmup-mean seeding; z-score against the frozen warmup baseline);
+* **no lookahead**: the reading after ``k`` updates is a pure function
+  of the first ``k`` observations — replaying a truncated stream
+  reproduces every intermediate reading exactly.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Ewma, RollingQuantile, WarmupZScore
+from repro.stream.metrics import FlushRecord, StreamStats
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+streams = st.lists(finite, min_size=1, max_size=60)
+
+
+def batch_quantile(values, window, q):
+    return float(np.percentile(values[-window:], q))
+
+
+def batch_ewma(values, alpha, warmup):
+    seen = values[: warmup]
+    value = float(np.mean(seen)) if seen else 0.0
+    for x in values[warmup:]:
+        value = alpha * x + (1.0 - alpha) * value
+    return value
+
+
+class TestBatchEquivalence:
+    @given(values=streams, window=st.integers(1, 16), q=st.sampled_from([0, 25, 50, 95, 100]))
+    @settings(max_examples=150, deadline=None)
+    def test_rolling_quantile_matches_numpy_percentile(self, values, window, q):
+        quantile = RollingQuantile(window=window, warmup=1)
+        for x in values:
+            quantile.update(x)
+        expected = batch_quantile(values, window, q)
+        assert math.isclose(quantile.value(q), expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(
+        values=streams,
+        alpha=st.floats(0.05, 1.0),
+        warmup=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_ewma_matches_batch_recurrence(self, values, alpha, warmup):
+        ewma = Ewma(alpha=alpha, warmup=warmup)
+        for x in values:
+            ewma.update(x)
+        expected = batch_ewma(values, alpha, min(warmup, len(values)))
+        assert math.isclose(ewma.value, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(values=st.lists(finite, min_size=5, max_size=60), warmup=st.integers(2, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_zscore_matches_frozen_numpy_baseline(self, values, warmup):
+        zscore = WarmupZScore(warmup=warmup)
+        for x in values:
+            zscore.update(x)
+        baseline = np.asarray(values[:warmup])
+        mean, std = float(np.mean(baseline)), float(np.std(baseline))
+        assert math.isclose(zscore.mean, mean, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(zscore.std, std, rel_tol=1e-9, abs_tol=1e-9)
+        if len(values) > warmup:
+            deviation = values[-1] - mean
+            if std > 0:
+                assert math.isclose(
+                    zscore.value, deviation / std, rel_tol=1e-9, abs_tol=1e-9
+                )
+            elif deviation == 0:
+                assert zscore.value == 0.0
+            else:
+                assert zscore.value == math.copysign(math.inf, deviation)
+
+
+class TestNoLookahead:
+    @given(values=streams, cut=st.integers(0, 59))
+    @settings(max_examples=100, deadline=None)
+    def test_truncating_the_stream_never_changes_earlier_readings(self, values, cut):
+        cut = min(cut, len(values))
+        full = (RollingQuantile(window=8), Ewma(alpha=0.3, warmup=3), WarmupZScore(warmup=4))
+        truncated = (RollingQuantile(window=8), Ewma(alpha=0.3, warmup=3), WarmupZScore(warmup=4))
+        readings = []
+        for x in values:
+            for indicator in full:
+                indicator.update(x)
+            readings.append(
+                (full[0].value(95), full[1].value, full[2].value)
+            )
+        for x in values[:cut]:
+            for indicator in truncated:
+                indicator.update(x)
+        if cut:
+            expected = readings[cut - 1]
+            got = (truncated[0].value(95), truncated[1].value, truncated[2].value)
+            for e, g in zip(expected, got):
+                assert (math.isnan(e) and math.isnan(g)) or e == g
+
+    @given(
+        latencies=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=30),
+        cut=st.integers(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stream_stats_online_readings_are_prefix_functions(self, latencies, cut):
+        cut = min(cut, len(latencies))
+        full = StreamStats("UCE")
+        prefix = StreamStats("UCE")
+        snapshots = []
+        for position, latency in enumerate(latencies):
+            full.record_latency(latency)
+            full.arrived_tasks += 1
+            full.assigned += 1
+            full.record_flush(
+                FlushRecord(
+                    index=position, time=float(position), pending_tasks=1,
+                    idle_workers=2, matched=1, solver_seconds=0.001,
+                    cumulative_privacy_spend=float(position),
+                )
+            )
+            snapshots.append(
+                (
+                    full.online.latency_p95,
+                    full.online.throughput_ewma,
+                    full.online.expiry_zscore,
+                    full.online.budget_drawdown,
+                )
+            )
+        for position, latency in enumerate(latencies[:cut]):
+            prefix.record_latency(latency)
+            prefix.arrived_tasks += 1
+            prefix.assigned += 1
+            prefix.record_flush(
+                FlushRecord(
+                    index=position, time=float(position), pending_tasks=1,
+                    idle_workers=2, matched=1, solver_seconds=0.001,
+                    cumulative_privacy_spend=float(position),
+                )
+            )
+        got = (
+            prefix.online.latency_p95,
+            prefix.online.throughput_ewma,
+            prefix.online.expiry_zscore,
+            prefix.online.budget_drawdown,
+        )
+        assert got == snapshots[cut - 1]
