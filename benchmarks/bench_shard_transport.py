@@ -1,0 +1,418 @@
+"""Shard transport + flush planner benchmark: the zero-copy receipts.
+
+Four stages, each a row family in ``BENCH_shards.json``:
+
+* **handoff** — the per-flush cost of getting shard data into pool
+  workers, pickle vs shared memory, measured end to end on a >=1k-pair
+  flush: the pickle leg builds the sub-instances, ``dumps`` and
+  ``loads`` them; the shm leg stages the CSR planes into the
+  :class:`~repro.core.workspace.ShmArena` and rebuilds the
+  sub-instances worker-style from attached views.  The acceptance claim
+  is shm >= 3x cheaper at that size.
+* **pool** — a process-parallel flush solve with warm pools
+  (:mod:`repro.stream.shards` keeps them across executors) vs paying a
+  fresh ``ProcessPoolExecutor`` spawn per flush.
+* **probe** — the self-calibration stage: every execution mode runs
+  traced on a small grid of flush shapes, the per-phase span times
+  become least-squares samples against
+  :meth:`~repro.stream.costmodel.FlushCostModel.phase_terms`, and the
+  fitted constants land in ``BENCH_shards.json["constants"]`` — the
+  mapping :meth:`~repro.stream.costmodel.FlushCostModel.from_bench_dir`
+  reads and ``DEFAULT_CONSTANTS`` mirrors.
+* **planner** — whole-scenario walls for ``shards="auto"`` vs the fixed
+  configs on the committed duty-cycle and rush-hour specs, plus the
+  in-stream calibration error: the geomean of
+  ``max(predicted/measured, measured/predicted)`` over every planned
+  flush (the ``predicted_seconds`` / ``solver_seconds`` pair on each
+  :class:`~repro.stream.metrics.FlushRecord`).  Planner-on must stay
+  within 5% of the best fixed mode, and the calibration error within
+  geomean factor 2.
+
+Same-container caveats as every bench here: medians on a shared 1-core
+container wobble +-30%; the perf gate compares with a 3x floor.
+
+``REPRO_BENCH_SMOKE=1`` keeps the run error-only at reduced scale (the
+process+shm path is still exercised) and leaves the tracked
+``BENCH_shards.json`` untouched (``REPRO_BENCH_JSON_DIR`` collects the
+fresh JSON elsewhere — the CI perf gate does exactly that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.api.scenario import ScenarioSpec
+from repro.core.registry import make_solver
+from repro.core.workspace import detach_all_planes, shm_available
+from repro.datasets.synthetic import NormalGenerator
+from repro.obs.tracer import Tracer
+from repro.stream.costmodel import FlushCostModel, geomean_ratio
+from repro.stream.shards import (
+    ShardedFlushExecutor,
+    ShardSeedSchedule,
+    _group_components,
+    _solve_component_group,
+    _solve_shm_group,
+    build_shard_instance,
+    cut_flush,
+    shutdown_warm_pools,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_shards.json"
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "3" if _smoke() else "7"))
+
+
+def _reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_SHARD_REPS", "5" if _smoke() else "30"))
+
+
+def _json_target() -> Path | None:
+    out = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if out:
+        return Path(out) / "BENCH_shards.json"
+    return None if _smoke() else BENCH_JSON
+
+
+class _NoopSolver:
+    """Transport-cost probe: does every rebuild step, solves nothing."""
+
+    name = "NOOP"
+    is_private = False
+
+    def solve(self, instance, seed=None, **kwargs):
+        return None
+
+
+def _median_us(fn, reps: int, runs: int) -> float:
+    samples = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        samples.append((time.perf_counter() - started) / reps * 1e6)
+    return statistics.median(samples)
+
+
+def _phase_seconds(spans) -> dict[str, float]:
+    """Sum ``flush.*`` executor spans by short phase name."""
+    out: dict[str, float] = {}
+    for span in spans:
+        if span.name.startswith("flush."):
+            phase = span.name[len("flush.") :]
+            out[phase] = out.get(phase, 0.0) + span.seconds
+    return out
+
+
+# -- stage 1+2: transport handoff and pool churn ---------------------------
+
+
+def _handoff_rows(rows: list[dict]) -> None:
+    tasks, workers = (80, 160) if _smoke() else (300, 900)
+    instance = NormalGenerator(
+        num_tasks=tasks, num_workers=workers, seed=7
+    ).instance(task_value=4.5, worker_range=1.6)
+    cut = cut_flush(instance, min_shard_pairs=8)
+    groups = _group_components(cut.components, 2)
+    base = (7,)
+    reps, runs = _reps(), _runs()
+
+    def pickle_handoff():
+        payload = [
+            [(c.key, build_shard_instance(instance, c)) for c in group]
+            for group in groups
+        ]
+        revived = pickle.loads(pickle.dumps(payload))
+        for group in revived:
+            _solve_component_group(_NoopSolver(), base, group)
+
+    executor = ShardedFlushExecutor(
+        _NoopSolver(), num_shards=2, min_shard_pairs=8, transport="shm"
+    )
+
+    def shm_handoff():
+        # The meta rows (component keys + index offsets) ride the submit
+        # pickle in production — round-trip them here too so the
+        # in-process measurement pays the same boundary cost.
+        handle, metas = executor._stage_shm(instance, groups)
+        for meta in pickle.loads(pickle.dumps(metas)):
+            _solve_shm_group(_NoopSolver(), base, handle, meta, instance.model)
+
+    # Interleaved min-over-runs: the box this runs on drifts +-30%, so
+    # each run times both legs back to back (drift hits them equally)
+    # and the best run per leg stands in for the noise-free cost — the
+    # standard estimator for CPU-bound microbenchmarks.  A few untimed
+    # warm iterations first let the shm arena reach its steady size.
+    for _ in range(3):
+        pickle_handoff()
+        shm_handoff()
+    detach_all_planes()
+    pickle_us = shm_us = float("inf")
+    for _ in range(runs):
+        started = time.perf_counter()
+        for _ in range(reps):
+            pickle_handoff()
+        pickle_us = min(pickle_us, (time.perf_counter() - started) / reps * 1e6)
+        started = time.perf_counter()
+        for _ in range(reps):
+            shm_handoff()
+        shm_us = min(shm_us, (time.perf_counter() - started) / reps * 1e6)
+        detach_all_planes()
+    executor.close()
+    detach_all_planes()
+    rows.append(
+        {
+            "metric": "handoff",
+            "pairs": instance.num_feasible_pairs,
+            "groups": len(groups),
+            "pickle_us": pickle_us,
+            "shm_us": shm_us,
+            "speedup": pickle_us / shm_us,
+        }
+    )
+
+
+def _pool_rows(rows: list[dict]) -> None:
+    instance = NormalGenerator(num_tasks=60, num_workers=120, seed=3).instance(
+        task_value=4.5, worker_range=0.5
+    )
+    schedule = ShardSeedSchedule((3,))
+    solver = make_solver("PUCE")
+    kwargs = dict(
+        num_shards=2, parallel="process", max_workers=2, min_shard_pairs=8
+    )
+    churn_reps = 2 if _smoke() else 5
+    runs = _runs()
+
+    with ShardedFlushExecutor(solver, **kwargs) as executor:
+        executor.solve(instance, schedule)  # spawn once, outside the clock
+        reuse_us = _median_us(
+            lambda: executor.solve(instance, schedule), churn_reps, runs
+        )
+
+    def churn():
+        shutdown_warm_pools()
+        with ShardedFlushExecutor(solver, **kwargs) as executor:
+            executor.solve(instance, schedule)
+
+    churn_us = _median_us(churn, churn_reps, runs)
+    shutdown_warm_pools()
+    rows.append(
+        {
+            "metric": "pool",
+            "reuse_us": reuse_us,
+            "churn_us": churn_us,
+            "speedup": churn_us / reuse_us,
+        }
+    )
+
+
+# -- stage 3: self-calibration probe ---------------------------------------
+
+
+def _probe_constants(rows: list[dict]) -> dict[str, float]:
+    """Fit the cost-model constants from traced per-phase span times."""
+    model = FlushCostModel()
+    cores = os.cpu_count() or 1
+    shapes = [(12, 24), (40, 80)] if _smoke() else [(12, 24), (40, 80), (120, 240)]
+    configs: list[dict] = [
+        dict(num_shards=1),  # micro flushes: the unsharded fast path
+        dict(num_shards=1, min_shard_pairs=8),  # sequential multi-unit
+        dict(
+            num_shards=2, parallel="process", max_workers=2,
+            min_shard_pairs=8, transport="pickle",
+        ),
+    ]
+    if shm_available():
+        configs.append(
+            dict(
+                num_shards=2, parallel="process", max_workers=2,
+                min_shard_pairs=8, transport="shm",
+            )
+        )
+    solver = make_solver("PUCE")
+    probe_reps = 2 if _smoke() else 5
+    samples: list[tuple[dict[str, float], float]] = []
+    for tasks, workers in shapes:
+        instance = NormalGenerator(
+            num_tasks=tasks, num_workers=workers, seed=11
+        ).instance(task_value=4.5, worker_range=0.5)
+        schedule = ShardSeedSchedule((11,))
+        for config in configs:
+            tracer = Tracer()
+            with ShardedFlushExecutor(solver, tracer=tracer, **config) as executor:
+                if config.get("parallel") == "process":
+                    executor.solve(instance, schedule)  # warm the pool first
+                    tracer.spans.clear()
+                per_phase: dict[str, list[float]] = {}
+                plan = cut = None
+                for _ in range(probe_reps):
+                    mark = len(tracer.spans)
+                    _, cut, plan = executor.solve_planned(instance, schedule)
+                    for phase, seconds in _phase_seconds(
+                        tracer.spans[mark:]
+                    ).items():
+                        per_phase.setdefault(phase, []).append(seconds)
+            terms = model.phase_terms(
+                plan.mode,
+                instance.num_feasible_pairs,
+                max(cut.num_components, 1),
+                shards=plan.shards,
+                cores=cores,
+                transport=plan.transport,
+                min_shard_pairs=executor.min_shard_pairs,
+            )
+            for phase, timings in per_phase.items():
+                if phase in terms:
+                    samples.append((terms[phase], statistics.median(timings)))
+    shutdown_warm_pools()
+    fitted = model.fit(samples)
+    rows.append({"metric": "probe", "samples": len(samples)})
+    return fitted.constants
+
+
+# -- stage 4: planner-on scenario walls + calibration error ----------------
+
+
+def _planner_rows(rows: list[dict]) -> None:
+    runs = _runs()
+    for name in ("scenario_duty_cycle", "scenario_rush_hour"):
+        spec = ScenarioSpec.from_file(ROOT / "examples" / f"{name}.json")
+        if _smoke():
+            spec = dataclasses.replace(
+                spec, horizon=1.0, methods=spec.methods[:1]
+            )
+        variants = {
+            label: dataclasses.replace(
+                spec, options=spec.options.replace(shards=shards)
+            )
+            for label, shards in (("auto", "auto"), ("uns", 0), ("seq2", 2))
+        }
+        # Round-robin the variants inside each run and keep the best run
+        # per variant: machine drift then hits every mode equally instead
+        # of penalising whichever one happened to run during a slow phase.
+        walls = {label: float("inf") for label in variants}
+        auto_report = None
+        for _ in range(runs):
+            for label, variant in variants.items():
+                started = time.perf_counter()
+                report = variant.run()
+                wall = time.perf_counter() - started
+                if wall < walls[label]:
+                    walls[label] = wall
+                    if label == "auto":
+                        auto_report = report
+        for label in variants:
+            rows.append(
+                {
+                    "metric": "planner_wall",
+                    "scenario": name,
+                    "mode": label,
+                    "wall_seconds": walls[label],
+                }
+            )
+        predicted, measured = [], []
+        for method in auto_report.methods():
+            for record in auto_report[method].flushes:
+                # Cache-served flushes skipped the engine; zero-pair
+                # flushes have no engine work for the model to predict
+                # (their wall is pure bookkeeping, far below the model's
+                # floor for a real flush).  Both sit outside the model's
+                # domain — the planner's choice is irrelevant for them.
+                if (
+                    record.planned_mode != "cache"
+                    and record.predicted_seconds > 0
+                    and record.pairs > 0
+                ):
+                    predicted.append(record.predicted_seconds)
+                    measured.append(record.solver_seconds)
+        rows.append(
+            {
+                "metric": "calibration",
+                "scenario": name,
+                "flushes": len(predicted),
+                "geomean_error": geomean_ratio(predicted, measured),
+                "best_fixed_wall": min(walls["uns"], walls["seq2"]),
+                "auto_wall": walls["auto"],
+            }
+        )
+
+
+@pytest.fixture(scope="module")
+def shard_rows():
+    rows: list[dict] = []
+    _handoff_rows(rows)
+    _pool_rows(rows)
+    constants = _probe_constants(rows)
+    _planner_rows(rows)
+    return {"runs": _runs(), "reps": _reps(), "rows": rows, "constants": constants}
+
+
+def test_shard_transport_baseline(shard_rows):
+    """Record the transport/planner numbers and their invariants."""
+    rows = shard_rows["rows"]
+    lines = ["metric        scenario/detail          a_us/wall     b_us/wall  speedup"]
+    for row in rows:
+        if row["metric"] == "handoff":
+            lines.append(
+                f"handoff       pairs={row['pairs']:<6}       "
+                f"pickle {row['pickle_us']:>9.1f}  shm {row['shm_us']:>9.1f} "
+                f"{row['speedup']:>7.2f}x"
+            )
+        elif row["metric"] == "pool":
+            lines.append(
+                f"pool          spawn-per-flush     "
+                f"churn {row['churn_us']:>10.1f}  warm {row['reuse_us']:>8.1f} "
+                f"{row['speedup']:>7.2f}x"
+            )
+        elif row["metric"] == "planner_wall":
+            lines.append(
+                f"planner_wall  {row['scenario']:<20} {row['mode']:<6} "
+                f"{row['wall_seconds']:>8.3f}s"
+            )
+        elif row["metric"] == "calibration":
+            lines.append(
+                f"calibration   {row['scenario']:<20} geomean error "
+                f"{row['geomean_error']:>5.2f}x over {row['flushes']} flushes "
+                f"(target <= 2.0)"
+            )
+    if not _smoke():
+        emit_table("shard_transport", "\n".join(lines))
+    else:
+        print("\n".join(lines))
+
+    target = _json_target()
+    if target is not None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(shard_rows, indent=2) + "\n")
+
+    handoff = next(r for r in rows if r["metric"] == "handoff")
+    pool = next(r for r in rows if r["metric"] == "pool")
+    calibrations = [r for r in rows if r["metric"] == "calibration"]
+    assert handoff["shm_us"] > 0 and pool["reuse_us"] > 0
+    assert calibrations, "planner stage produced no calibration rows"
+    if not _smoke():
+        # The ISSUE 7 acceptance bars, asserted at full scale only (the
+        # smoke run still exercises every path, including process+shm).
+        assert handoff["pairs"] >= 1000, handoff
+        assert handoff["speedup"] >= 3.0, handoff
+        assert pool["speedup"] >= 1.5, pool
+        for row in calibrations:
+            assert row["geomean_error"] <= 2.0, row
+            assert row["auto_wall"] <= row["best_fixed_wall"] / 0.95, row

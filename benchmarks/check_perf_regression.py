@@ -1,11 +1,12 @@
 """Perf-regression gate: fresh bench JSONs vs the committed baselines.
 
 CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py``,
-``bench_flush_overhead.py`` and ``bench_obs_overhead.py`` in smoke mode
-with ``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory, then
-invokes this script to compare the fresh measurements against the
-*committed* ``BENCH_core.json`` / ``BENCH_stream.json`` /
-``BENCH_flush.json`` / ``BENCH_obs.json`` at the repository root.
+``bench_flush_overhead.py``, ``bench_obs_overhead.py`` and
+``bench_shard_transport.py`` in smoke mode with
+``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory, then invokes
+this script to compare the fresh measurements against the *committed*
+``BENCH_core.json`` / ``BENCH_stream.json`` / ``BENCH_flush.json`` /
+``BENCH_obs.json`` / ``BENCH_shards.json`` at the repository root.
 
 The comparison is deliberately generous — a ``--floor`` of 3.0 means a
 fresh number may be up to 3x slower than the committed baseline before
@@ -165,6 +166,59 @@ def check_obs(committed: dict, fresh: dict, floor: float, lines: list[str]) -> b
     return all_ok
 
 
+def check_shards(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Shard transport speedups and cost-model calibration error.
+
+    The handoff (shm vs pickle) and pool (warm vs churn) speedups are
+    dimensionless ratios, compared like the flush speedups.  Calibration
+    error is a *lower-is-better* geomean ratio, so the fresh value must
+    stay under the committed one times the floor — a blown-up error
+    means the planner is flying blind even if walls still look fine.
+    """
+    def speedups(data: dict) -> dict[str, float]:
+        return {
+            row["metric"]: row["speedup"]
+            for row in data["rows"]
+            if "speedup" in row
+        }
+
+    baseline = speedups(committed)
+    all_ok = True
+    compared = 0
+    for metric, fresh_speedup in speedups(fresh).items():
+        if metric not in baseline:
+            continue
+        compared += 1
+        ok = fresh_speedup >= baseline[metric] / floor
+        all_ok &= ok
+        lines.append(
+            f"shards {metric:<12} speedup: fresh {fresh_speedup:>6.2f}x  "
+            f"committed {baseline[metric]:>6.2f}x  floor "
+            f"{baseline[metric] / floor:>6.2f}x  {'ok' if ok else 'REGRESSION'}"
+        )
+    calibration = {
+        row["scenario"]: row["geomean_error"]
+        for row in committed["rows"]
+        if row.get("metric") == "calibration"
+    }
+    for row in fresh["rows"]:
+        if row.get("metric") != "calibration" or row["scenario"] not in calibration:
+            continue
+        compared += 1
+        base = calibration[row["scenario"]]
+        ok = row["geomean_error"] <= base * floor
+        all_ok &= ok
+        lines.append(
+            f"shards calibration  {row['scenario']:<20} geomean error: "
+            f"fresh {row['geomean_error']:>5.2f}x  committed {base:>5.2f}x  "
+            f"ceiling {base * floor:>5.2f}x  {'ok' if ok else 'REGRESSION'}"
+        )
+    if compared == 0:
+        lines.append("shards: no comparable rows — REGRESSION")
+        return False
+    return all_ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -203,6 +257,12 @@ def main(argv: list[str] | None = None) -> int:
     ok &= check_obs(
         load(ROOT / "BENCH_obs.json"),
         load(args.fresh / "BENCH_obs.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_shards(
+        load(ROOT / "BENCH_shards.json"),
+        load(args.fresh / "BENCH_shards.json"),
         args.floor,
         lines,
     )

@@ -87,17 +87,32 @@ def validate_sweep_threshold(threshold: int | None) -> int | None:
 
 
 def validate_sharding(
-    shards: int, parallel: str, max_shard_workers: int | None = None
+    shards: int | str, parallel: str, max_shard_workers: int | None = None
 ) -> None:
-    """Check the shard-count / parallel-mode / pool-size combination."""
-    if shards < 0:
+    """Check the shard-count / parallel-mode / pool-size combination.
+
+    ``shards`` is either an explicit slot count (``0`` = forced single
+    execution unit, ``>= 1`` = fixed slots) or the string ``"auto"`` —
+    the cost-model-planned mode, where the
+    :class:`~repro.stream.costmodel.FlushPlanner` picks the execution
+    strategy per flush.  With ``"auto"``, ``parallel`` restricts the
+    planner (``"off"`` leaves it free to choose).
+    """
+    if isinstance(shards, str):
+        if shards != "auto":
+            raise ConfigurationError(
+                f"shards must be an int >= 0 or 'auto', got {shards!r}"
+            )
+    elif shards < 0:
         raise ConfigurationError(f"shards must be >= 0, got {shards}")
     if parallel not in PARALLEL_MODES:
         raise ConfigurationError(
             f"unknown parallel mode {parallel!r}; choose from {PARALLEL_MODES}"
         )
-    if parallel != "off" and shards < 1:
-        raise ConfigurationError(f"parallel={parallel!r} requires shards >= 1")
+    if parallel != "off" and shards != "auto" and shards < 1:
+        raise ConfigurationError(
+            f"parallel={parallel!r} requires shards >= 1 or shards='auto'"
+        )
     if max_shard_workers is not None and max_shard_workers < 1:
         raise ConfigurationError(
             f"max_shard_workers must be >= 1, got {max_shard_workers}"
@@ -150,7 +165,13 @@ class SolveOptions:
     max_batch_size, max_wait:
         Micro-batch flush triggers of the streaming layer.
     shards, parallel, max_shard_workers:
-        Sharded-flush execution (see :mod:`repro.stream.shards`).
+        Sharded-flush execution (see :mod:`repro.stream.shards`).  The
+        default ``shards="auto"`` lets the per-flush cost model
+        (:mod:`repro.stream.costmodel`) pick the execution strategy —
+        single-unit, sequential-sharded, or process-parallel — per
+        flush; an explicit int forces that many execution slots.  All
+        settings produce bit-identical results (the shard cut, not the
+        execution mode, defines every noise stream).
     adaptive, target_flush_seconds:
         Adaptive micro-batch sizing (see
         :class:`~repro.stream.batcher.AdaptiveBatchController`).
@@ -180,7 +201,7 @@ class SolveOptions:
     max_rounds: int | None = None
     max_batch_size: int = 200
     max_wait: float = 0.25
-    shards: int = 0
+    shards: int | str = "auto"
     parallel: str = "off"
     max_shard_workers: int | None = None
     adaptive: bool = False

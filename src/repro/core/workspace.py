@@ -27,16 +27,45 @@ Correctness contract:
   lifecycle owners call it from their ``close()`` (the same pooled-
   executor guarantee the shard pools have), so a finished
   :class:`~repro.api.session.DispatchSession` holds no arena memory.
+
+The module's second arena, :class:`ShmArena`, serves the *cross-process*
+hot path: it stages named numpy planes into one growable
+``multiprocessing.shared_memory`` segment so pool workers receive
+(offset, length) views (:func:`attach_planes`) instead of pickled
+copies.  Ownership rules: the staging side (the
+:class:`~repro.stream.shards.ShardedFlushExecutor`) creates and unlinks
+the segment — on close, on stream finish, and on the failure path alike
+— while workers only ever attach, cache the mapping per segment name,
+and never unlink.  On Linux an unlinked segment stays valid for already-
+attached workers, which is what makes the grow-by-replacing lifecycle
+safe.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["EngineWorkspace"]
+try:  # pragma: no cover - present on every supported platform
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without POSIX shm
+    multiprocessing = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "EngineWorkspace",
+    "ShmArena",
+    "ShmHandle",
+    "attach_planes",
+    "detach_all_planes",
+    "shm_available",
+]
 
 
 class EngineWorkspace:
@@ -118,3 +147,184 @@ class EngineWorkspace:
         view = buf[:size]
         view[...] = fill
         return view
+
+
+# -- shared-memory plane transport ------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ShmHandle:
+    """A picklable description of planes staged in one shm segment.
+
+    ``layout`` rows are ``(name, dtype_str, shape, byte_offset)``; the
+    handle plus the segment name is everything a worker process needs to
+    rebuild zero-copy views (:func:`attach_planes`).  Handles are tiny
+    (they replace the pickled arrays themselves), which is the whole
+    point of the transport.
+    """
+
+    segment: str
+    layout: tuple[tuple[str, str, tuple[int, ...], int], ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes spanned by the staged planes (diagnostics only)."""
+        if not self.layout:
+            return 0
+        name, dtype, shape, offset = self.layout[-1]
+        count = 1
+        for dim in shape:
+            count *= dim
+        return offset + count * np.dtype(dtype).itemsize
+
+
+_SHM_OK: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here (probed once).
+
+    ``multiprocessing.shared_memory`` can be importable yet unusable
+    (no ``/dev/shm``, sandboxed runtimes), so availability is settled by
+    creating and unlinking a tiny real segment.  The shard transport
+    falls back to the pickle path when this is ``False``.
+    """
+    global _SHM_OK
+    if _SHM_OK is None:
+        if shared_memory is None:
+            _SHM_OK = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _SHM_OK = True
+            except (OSError, ValueError):
+                _SHM_OK = False
+    return _SHM_OK
+
+
+class ShmArena:
+    """One growable shared-memory segment staging named numpy planes.
+
+    The staging side of the zero-copy shard transport: per flush,
+    :meth:`stage` packs the flush's planes (64-byte aligned, contiguous)
+    into the segment — reusing it while it is big enough, replacing it
+    (create new, unlink old) when the flush outgrows it — and returns a
+    :class:`ShmHandle`.  Overwriting is safe because the executor joins
+    every worker future before the next stage.
+
+    The arena *owns* its segment: :meth:`close` unlinks it, and the
+    executor calls close from its normal close path **and** its failure
+    path, so a solver crash never leaks ``/dev/shm`` space.  ``close``
+    is idempotent and the arena stays usable afterwards (the next stage
+    re-creates a segment).
+    """
+
+    __slots__ = ("_shm", "_capacity", "stages", "segments_created")
+
+    def __init__(self) -> None:
+        self._shm = None
+        self._capacity = 0
+        #: Observability counters: plane-sets staged / segments created.
+        self.stages = 0
+        self.segments_created = 0
+
+    @property
+    def segment_name(self) -> str | None:
+        return self._shm.name if self._shm is not None else None
+
+    def stage(self, planes: "dict[str, np.ndarray]") -> ShmHandle:
+        """Copy ``planes`` into the segment; return the attach handle."""
+        if shared_memory is None:
+            raise ConfigurationError("shared memory is unavailable on this platform")
+        layout: list[tuple[str, str, tuple[int, ...], int]] = []
+        staged: list[tuple[int, np.ndarray]] = []
+        offset = 0
+        for name, array in planes.items():
+            array = np.ascontiguousarray(array)
+            offset = -(-offset // 64) * 64
+            layout.append((name, array.dtype.str, array.shape, offset))
+            staged.append((offset, array))
+            offset += array.nbytes
+        total = max(offset, 1)
+        if self._shm is None or self._capacity < total:
+            self.close()
+            capacity = max(total, 2 * self._capacity)
+            self._shm = shared_memory.SharedMemory(create=True, size=capacity)
+            self._capacity = capacity
+            self.segments_created += 1
+        buf = self._shm.buf
+        for start, array in staged:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=buf, offset=start)
+            view[...] = array
+        self.stages += 1
+        return ShmHandle(segment=self._shm.name, layout=tuple(layout))
+
+    def close(self) -> None:
+        """Unlink and drop the segment (idempotent)."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # already gone: fine
+                pass
+            self._shm = None
+            self._capacity = 0
+
+
+#: Worker-process attach cache: segment name -> open SharedMemory.  One
+#: attach per (worker, segment) generation; entries for superseded
+#: segments are pruned oldest-first so a grow-happy stream cannot pin
+#: unbounded unlinked segments in a long-lived pool worker.
+_ATTACHED: "dict[str, object]" = {}
+_ATTACH_CACHE_LIMIT = 4
+
+
+def attach_planes(handle: ShmHandle, tracer=NULL_TRACER) -> "dict[str, np.ndarray]":
+    """Zero-copy numpy views over a staged segment (worker side).
+
+    The first call for a segment opens and caches the mapping (the
+    ``shard.shm_attach`` span; later calls are dict hits).  Python 3.11
+    has no ``track=False``, and attaching registers the segment with the
+    worker's resource tracker, so the attach compensates by start
+    method: under ``spawn`` the worker has its *own* tracker that would
+    warn about (and unlink!) "leaked" segments it does not own, so the
+    registration is removed; under ``fork`` the tracker is shared with
+    the staging process — the attach-registration is a set no-op there,
+    and unregistering would strip the owner's entry instead.
+    """
+    if shared_memory is None:
+        raise ConfigurationError("shared memory is unavailable on this platform")
+    shm = _ATTACHED.get(handle.segment)
+    if shm is None:
+        with tracer.span("shard.shm_attach"):
+            shm = shared_memory.SharedMemory(name=handle.segment)
+            try:
+                if multiprocessing.get_start_method(allow_none=True) != "fork":
+                    resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # tracker internals shifted: views still work
+                pass
+            while len(_ATTACHED) >= _ATTACH_CACHE_LIMIT:
+                oldest = next(iter(_ATTACHED))
+                old = _ATTACHED.pop(oldest)
+                try:
+                    old.close()
+                except OSError:
+                    pass
+            _ATTACHED[handle.segment] = shm
+    buf = shm.buf
+    return {
+        name: np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+        for name, dtype, shape, offset in handle.layout
+    }
+
+
+def detach_all_planes() -> None:
+    """Drop the worker-side attach cache (tests / pool recycling)."""
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except OSError:
+            pass
+    _ATTACHED.clear()

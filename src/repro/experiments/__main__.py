@@ -39,6 +39,18 @@ from repro.experiments.streaming import ARRIVAL_KINDS, format_stream_report
 from repro.obs import format_profile, write_metrics_prometheus, write_trace_jsonl
 
 
+def _shards_arg(value: str) -> "int | str":
+    """``--shards`` accepts an integer slot count or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_obs_flags(
     parser: argparse.ArgumentParser, with_trace_flag: bool = True
 ) -> None:
@@ -110,15 +122,17 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--max-wait", type=float, default=0.2, help="micro-batch flush wait")
     stream.add_argument(
         "--shards",
-        type=int,
-        default=0,
-        help="conflict-free shard slots per flush (0 = unsharded engine)",
+        type=_shards_arg,
+        default="auto",
+        help="conflict-free shard slots per flush: an integer forces the "
+        "slot count, 'auto' (default) lets the cost model plan each flush",
     )
     stream.add_argument(
         "--parallel",
         choices=("off", "thread", "process"),
         default="off",
-        help="how to execute shard groups (requires --shards >= 1)",
+        help="how to execute shard groups ('off' under --shards auto lets "
+        "the planner pick; a forced --shards N pins the mode)",
     )
     stream.add_argument(
         "--adaptive",

@@ -149,7 +149,9 @@ def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
 
     ``top_phase`` is the costliest tracer phase of the method's run
     (``"-"`` when tracing was off); the full breakdown lives in the
-    ``profile`` subcommand (:func:`repro.obs.format_profile`).
+    ``profile`` subcommand (:func:`repro.obs.format_profile`).  ``plan``
+    counts flushes by the execution strategy the cost model chose for
+    them (:attr:`~repro.stream.metrics.StreamStats.plan_summary`).
     """
     header = (
         f"stream[{scenario.arrivals}/{scenario.dataset}] "
@@ -160,7 +162,7 @@ def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
         f"{'method':<12} {'arrived':>7} {'assigned':>8} {'expired':>7} "
         f"{'left':>5} {'flushes':>7} {'p50_lat':>8} {'p95_lat':>8} "
         f"{'tasks/s':>9} {'eps_spent':>9} {'U_avg':>7} {'cache':>6} "
-        f"{'top_phase':>11}"
+        f"{'plan':>12} {'top_phase':>11}"
     )
     lines = [header, columns, "-" * len(columns)]
     for method in report.methods():
@@ -176,6 +178,6 @@ def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:
             f"{stats.latency_p50:>8.3f} {stats.latency_p95:>8.3f} "
             f"{stats.throughput_tasks_per_sec:>9.0f} "
             f"{stats.total_privacy_spend:>9.1f} {stats.average_utility:>7.2f} "
-            f"{cache} {stats.top_phase:>11}"
+            f"{cache} {stats.plan_summary:>12} {stats.top_phase:>11}"
         )
     return "\n".join(lines)

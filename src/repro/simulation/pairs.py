@@ -17,15 +17,31 @@ bookkeeping they replaced).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import InitVar, dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.budgets import BudgetVector
 from repro.errors import InvalidInstanceError
 
-__all__ = ["PairArrays"]
+__all__ = ["PairArrays", "PAIR_PLANES"]
+
+#: The flat array *planes* a :class:`PairArrays` is made of, in a fixed
+#: feed order.  ``budget_prefix`` rides along even though it is derived:
+#: shipping it lets :meth:`PairArrays.from_planes` skip the
+#: ``__post_init__`` recompute, so an attached shared-memory view is
+#: usable with zero per-attach array work.
+PAIR_PLANES = (
+    "offsets",
+    "task",
+    "worker",
+    "distance",
+    "budget_matrix",
+    "budget_len",
+    "task_value",
+    "budget_prefix",
+)
 
 
 @dataclass(frozen=True, eq=False)
@@ -60,12 +76,14 @@ class PairArrays:
     budget_len: np.ndarray
     task_value: np.ndarray
     budget_prefix: np.ndarray = field(init=False, repr=False, compare=False)
+    prefix: InitVar["np.ndarray | None"] = None
 
-    def __post_init__(self) -> None:
-        prefix = np.zeros(
-            (self.budget_matrix.shape[0], self.budget_matrix.shape[1] + 1)
-        )
-        np.cumsum(self.budget_matrix, axis=1, out=prefix[:, 1:])
+    def __post_init__(self, prefix: "np.ndarray | None") -> None:
+        if prefix is None:
+            prefix = np.zeros(
+                (self.budget_matrix.shape[0], self.budget_matrix.shape[1] + 1)
+            )
+            np.cumsum(self.budget_matrix, axis=1, out=prefix[:, 1:])
         object.__setattr__(self, "budget_prefix", prefix)
 
     @property
@@ -101,6 +119,32 @@ class PairArrays:
         """
         length = int(self.budget_len[pair_index])
         return BudgetVector(tuple(self.budget_matrix[pair_index, :length].tolist()))
+
+    # -- zero-copy plane transport --------------------------------------
+
+    def planes(self) -> dict[str, np.ndarray]:
+        """The raw array planes, keyed by :data:`PAIR_PLANES` name.
+
+        The shared-memory shard transport stages exactly these arrays
+        (:class:`~repro.core.workspace.ShmArena`); a worker process
+        reassembles the parent via :meth:`from_planes` without copying
+        or recomputing anything.
+        """
+        return {name: getattr(self, name) for name in PAIR_PLANES}
+
+    @classmethod
+    def from_planes(cls, planes: Mapping[str, np.ndarray]) -> "PairArrays":
+        """Rewrap pre-built planes (shared-memory views) without copying.
+
+        Bypasses ``__init__``/``__post_init__`` entirely: the planes —
+        including the derived ``budget_prefix`` — are installed verbatim,
+        so the result is a zero-copy view over whatever buffers back the
+        mapping.  The inverse of :meth:`planes`.
+        """
+        self = object.__new__(cls)
+        for name in PAIR_PLANES:
+            object.__setattr__(self, name, planes[name])
+        return self
 
     # -- content hashing ------------------------------------------------
 
@@ -176,14 +220,20 @@ class PairArrays:
             )
         new_len = self.budget_len[sel]
         z_max = int(new_len.max()) if new_len.size else 1
+        # Advanced indexing always materialises owned copies, so nothing
+        # below aliases the parent (or a shared-memory segment backing it).
         return PairArrays(
             offsets=new_offsets,
             task=new_task,
             worker=np.repeat(np.arange(w_sel.shape[0], dtype=np.int64), counts),
-            distance=self.distance[sel].copy(),
-            budget_matrix=self.budget_matrix[sel, :z_max].copy(),
-            budget_len=new_len.copy(),
-            task_value=self.task_value[t_sel].copy(),
+            distance=self.distance[sel],
+            budget_matrix=self.budget_matrix[sel, :z_max],
+            budget_len=new_len,
+            task_value=self.task_value[t_sel],
+            # The parent prefix rows are cumsums of the same values in the
+            # same order, so slicing them is bit-identical to recomputing
+            # over the narrowed matrix — and skips an O(P x Z) cumsum.
+            prefix=self.budget_prefix[sel, : z_max + 1],
         )
 
     # -- construction --------------------------------------------------

@@ -13,8 +13,11 @@ latency / expiry / throughput / privacy-over-time measures
 
 Scaling layer: flushes can be *sharded* — spatially cut into
 conflict-free components and solved independently, sequentially or in
-parallel (:mod:`repro.stream.shards`) — the flush size can *adapt* to
-observed flush service times
+parallel (:mod:`repro.stream.shards`, with a zero-copy shared-memory
+transport and persistent warm pools) — each flush's execution strategy
+is *planned* by a calibrated cost model
+(:mod:`repro.stream.costmodel`, the ``shards="auto"`` default), the
+flush size can *adapt* to observed flush service times
 (:class:`~repro.stream.batcher.AdaptiveBatchController`), and recurring
 flushes can skip instance construction and solve entirely through the
 flush-fingerprint solver cache (:mod:`repro.stream.cache`), with engine
@@ -45,6 +48,12 @@ from repro.stream.events import (
     merge_events,
 )
 from repro.stream.cache import FlushSolverCache, cache_profile, flush_fingerprint
+from repro.stream.costmodel import (
+    FlushCostModel,
+    FlushPlan,
+    FlushPlanner,
+    geomean_ratio,
+)
 from repro.stream.metrics import FlushRecord, StreamStats
 from repro.stream.runner import StreamReport, StreamRunner
 from repro.stream.shards import (
@@ -55,6 +64,7 @@ from repro.stream.shards import (
     build_shard_instance,
     cut_flush,
     merge_shard_results,
+    shutdown_warm_pools,
 )
 from repro.stream.simulator import DispatchSimulator, StreamConfig
 
@@ -82,6 +92,11 @@ __all__ = [
     "cut_flush",
     "build_shard_instance",
     "merge_shard_results",
+    "shutdown_warm_pools",
+    "FlushCostModel",
+    "FlushPlan",
+    "FlushPlanner",
+    "geomean_ratio",
     "FlushSolverCache",
     "cache_profile",
     "flush_fingerprint",

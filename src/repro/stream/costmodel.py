@@ -1,0 +1,443 @@
+"""Per-flush cost model + planner: *decide* the flush, don't guess it.
+
+The sharded flush path (:mod:`repro.stream.shards`) has three execution
+strategies — single-unit direct solve, sequential sharded, and
+process-parallel sharded (pickle or shared-memory transport) — whose
+results are bit-identical by construction (the cut, not the execution
+mode, defines every noise stream).  Which one is *fastest* depends on
+the flush: micro-flushes are dominated by fixed costs, large
+multi-component flushes by per-pair solve work that parallelism can
+split.  This module makes that choice explicit:
+
+* :class:`FlushCostModel` expresses the per-flush cost **symbolically**
+  as a sum of ``constant * multiplier(pairs, units, shards, cores)``
+  terms per phase — cut / build / solve / merge, mirroring the
+  ``FlushRecord.phase_seconds`` taxonomy — so one definition serves both
+  prediction (evaluate the terms) and calibration (the terms are the
+  least-squares design matrix).
+* The constants carry baked-in defaults measured by
+  ``benchmarks/bench_shard_transport.py``; :meth:`FlushCostModel.fit`
+  re-fits them from observed ``(features, seconds)`` samples and
+  :meth:`FlushCostModel.from_bench_dir` seeds them from committed
+  ``BENCH_*.json`` artifacts.
+* :class:`FlushPlanner` turns the model into a per-flush decision
+  (:class:`FlushPlan`): mode, execution-slot count, and transport —
+  or a *forced* plan when the user pinned ``shards``/``parallel``.
+
+The planner only ever chooses among result-identical strategies, so a
+wrong prediction costs time, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_CONSTANTS",
+    "PLAN_MODES",
+    "SHM_MIN_PAIRS",
+    "FlushCostModel",
+    "FlushPlan",
+    "FlushPlanner",
+    "geomean_ratio",
+]
+
+#: Execution strategies a plan can name.  ``"unsharded"`` is the
+#: single-unit direct solve (no slice/rebuild/merge); ``"seq"`` solves
+#: the cut units sequentially in-process; ``"thread"``/``"process"``
+#: fan unit groups out to a pool.
+PLAN_MODES = ("unsharded", "seq", "thread", "process")
+
+#: Flushes below this many pairs never use the shared-memory transport:
+#: staging has a fixed cost and tiny flushes fit in a cheap pickle.
+SHM_MIN_PAIRS = 256
+
+#: Calibration constants (seconds), measured on the benchmark host by
+#: ``bench_shard_transport.py``'s probe stage and rounded.  Every term
+#: the model can emit appears here; :meth:`FlushCostModel.fit` replaces
+#: any subset from live samples.
+DEFAULT_CONSTANTS: dict[str, float] = {
+    # planning + cutting
+    "plan_fixed": 2.7e-5,        # planner decision per flush
+    "cut_micro_fixed": 3.4e-5,   # micro-flush cut shortcut (no union-find)
+    "cut_fixed": 2.2e-4,         # full grid/union-find cut
+    "cut_per_pair": 3.8e-6,
+    # sub-instance assembly (pickle / sequential path, main process)
+    "build_unit_fixed": 4.2e-5,
+    "build_per_pair": 7.9e-7,
+    # engine work
+    "solve_unit_fixed": 2.5e-4,  # per independent engine episode
+    "solve_per_pair": 8.0e-6,
+    # merging per-shard results
+    "merge_fixed": 5.1e-6,
+    "merge_unit_fixed": 1.2e-5,
+    # pool transport
+    "dispatch_fixed": 7.3e-4,    # per submitted group (pool round-trip)
+    "pickle_per_pair": 3.6e-5,   # sub-instance pickle + unpickle
+    "shm_fixed": 1.2e-4,         # stage planes + attach-side view rebuild
+    "shm_per_pair": 4.2e-5,      # bytes copy into the segment
+}
+
+
+def geomean_ratio(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> float:
+    """Geometric mean of ``max(p/m, m/p)`` — the calibration error.
+
+    Symmetric (over- and under-prediction count alike) and scale-free;
+    1.0 is a perfect model, and the acceptance bar is "within geomean
+    factor 2".  Pairs where either side is non-positive are skipped
+    (cache hits, clock underflow).
+    """
+    ratios = [
+        max(p / m, m / p)
+        for p, m in zip(predicted, measured)
+        if p > 0.0 and m > 0.0
+    ]
+    if not ratios:
+        return math.inf
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+class FlushCostModel:
+    """Symbolic per-flush cost in ``(pairs, units, shards, cores)``.
+
+    ``constants`` maps term names (:data:`DEFAULT_CONSTANTS`) to seconds;
+    :meth:`phase_terms` emits, per phase, the *multiplier* of each
+    constant for a given flush shape — the symbolic form — and
+    :meth:`predict` evaluates it.  Linear-in-the-constants by design:
+    calibration is one least-squares solve (:meth:`fit`).
+    """
+
+    __slots__ = ("constants",)
+
+    def __init__(self, constants: Mapping[str, float] | None = None) -> None:
+        merged = dict(DEFAULT_CONSTANTS)
+        if constants:
+            unknown = sorted(set(constants) - set(merged))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown cost-model constant(s) {unknown}; "
+                    f"valid: {sorted(merged)}"
+                )
+            for name, value in constants.items():
+                merged[name] = float(value)
+        self.constants = merged
+
+    # -- the symbolic layer -------------------------------------------------
+
+    def phase_terms(
+        self,
+        mode: str,
+        pairs: int,
+        units: int,
+        shards: int = 1,
+        cores: int = 1,
+        transport: str = "inline",
+        min_shard_pairs: int = 192,
+    ) -> dict[str, dict[str, float]]:
+        """Per-phase ``{constant: multiplier}`` terms for one flush shape.
+
+        The returned mapping *is* the model: phase cost =
+        ``sum(constants[c] * m for c, m in terms[phase].items())``.
+        ``shards`` is the execution-slot count (parallel width),
+        ``units`` the number of cut components; ``transport`` applies to
+        ``mode="process"`` only (``"pickle"`` or ``"shm"``).
+        """
+        if mode not in PLAN_MODES:
+            raise ConfigurationError(
+                f"unknown plan mode {mode!r}; choose from {PLAN_MODES}"
+            )
+        pairs = max(int(pairs), 0)
+        units = max(int(units), 1)
+        terms: dict[str, dict[str, float]] = {"plan": {"plan_fixed": 1.0}}
+        if pairs <= min_shard_pairs:
+            terms["cut"] = {"cut_micro_fixed": 1.0}
+        else:
+            terms["cut"] = {"cut_fixed": 1.0, "cut_per_pair": float(pairs)}
+
+        solve = {
+            "solve_unit_fixed": float(units),
+            "solve_per_pair": float(pairs),
+        }
+        if mode == "unsharded":
+            # Single-unit direct solve: no sub-instance, no merge.
+            terms["solve"] = solve
+            return terms
+
+        build = {
+            "build_unit_fixed": float(units),
+            "build_per_pair": float(pairs),
+        }
+        merge = {"merge_fixed": 1.0, "merge_unit_fixed": float(units)}
+        if mode in ("seq", "thread"):
+            # Threads serialize on the GIL for this CPU-bound work: the
+            # model credits them no speedup, only dispatch overhead.
+            terms["build"] = build
+            if mode == "thread":
+                groups = min(max(shards, 1), units)
+                solve = dict(solve)
+                solve["dispatch_fixed"] = float(groups)
+            terms["solve"] = solve
+            terms["merge"] = merge
+            return terms
+
+        # mode == "process"
+        groups = min(max(shards, 1), units)
+        speedup = float(min(max(shards, 1), max(cores, 1), units))
+        solve_scaled = {name: mult / speedup for name, mult in solve.items()}
+        solve_scaled["dispatch_fixed"] = float(groups)
+        if transport == "shm":
+            # Workers rebuild sub-instances from attached views, so the
+            # build rides inside the parallel section; the main process
+            # pays only the staging copy.
+            solve_scaled["shm_fixed"] = 1.0
+            solve_scaled["shm_per_pair"] = float(pairs)
+            for name, mult in build.items():
+                solve_scaled[name] = solve_scaled.get(name, 0.0) + mult / speedup
+        else:
+            terms["build"] = build
+            solve_scaled["pickle_per_pair"] = float(pairs)
+        terms["solve"] = solve_scaled
+        terms["merge"] = merge
+        return terms
+
+    def predict_phases(self, *args, **kwargs) -> dict[str, float]:
+        """Per-phase predicted seconds (:meth:`phase_terms` evaluated)."""
+        constants = self.constants
+        return {
+            phase: sum(constants[name] * mult for name, mult in term.items())
+            for phase, term in self.phase_terms(*args, **kwargs).items()
+        }
+
+    def predict(self, *args, **kwargs) -> float:
+        """Total predicted flush seconds for one flush shape."""
+        return sum(self.predict_phases(*args, **kwargs).values())
+
+    def max_pairs_within(self, target_seconds: float) -> float:
+        """Largest single-unit flush (pairs) predicted to fit ``target``.
+
+        The adaptive batch controller's forward-looking cap: inverts the
+        cheapest mode's cost (unsharded: fixed plan/cut/solve costs plus
+        ``solve_per_pair`` per pair) at the target.  Returns 0.0 when
+        even an empty flush would blow the budget.
+        """
+        constants = self.constants
+        fixed = (
+            constants["plan_fixed"]
+            + constants["cut_micro_fixed"]
+            + constants["solve_unit_fixed"]
+        )
+        per_pair = max(constants["solve_per_pair"], 1e-12)
+        return max(0.0, (target_seconds - fixed) / per_pair)
+
+    # -- calibration --------------------------------------------------------
+
+    def fit(
+        self, samples: Sequence[tuple[Mapping[str, float], float]]
+    ) -> "FlushCostModel":
+        """A new model with constants least-squares-fit to ``samples``.
+
+        Each sample is ``(features, measured_seconds)`` where
+        ``features`` maps constant names to multipliers — exactly the
+        flattened output of :meth:`phase_terms`, so calibration rows come
+        straight from observed flushes.  Constants that never appear in
+        any sample keep their current value; fitted values are clamped
+        non-negative (a negative coefficient is noise, not physics).
+        """
+        if not samples:
+            return FlushCostModel(self.constants)
+        names = sorted({name for features, _ in samples for name in features})
+        if not names:
+            return FlushCostModel(self.constants)
+        matrix = np.zeros((len(samples), len(names)))
+        target = np.zeros(len(samples))
+        for row, (features, seconds) in enumerate(samples):
+            target[row] = seconds
+            for col, name in enumerate(names):
+                matrix[row, col] = features.get(name, 0.0)
+        solution, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+        fitted = dict(self.constants)
+        for name, value in zip(names, solution):
+            if np.isfinite(value) and value > 0.0:
+                fitted[name] = float(value)
+        return FlushCostModel(fitted)
+
+    @staticmethod
+    def flatten_terms(terms: Mapping[str, Mapping[str, float]]) -> dict[str, float]:
+        """Collapse per-phase terms into one feature row (for :meth:`fit`)."""
+        flat: dict[str, float] = {}
+        for term in terms.values():
+            for name, mult in term.items():
+                flat[name] = flat.get(name, 0.0) + mult
+        return flat
+
+    @classmethod
+    def from_bench_dir(cls, path: str | Path) -> "FlushCostModel":
+        """Seed constants from committed bench JSONs in ``path``.
+
+        Priority order: a ``BENCH_shards.json`` written by the
+        self-calibration bench carries a full ``constants`` mapping;
+        otherwise ``BENCH_core.json`` (vectorized pairs/sec →
+        ``solve_per_pair``) and ``BENCH_flush.json`` (per-flush reuse
+        overhead → ``solve_unit_fixed``) scale the defaults to the host.
+        Missing files leave the defaults untouched.
+        """
+        path = Path(path)
+        overrides: dict[str, float] = {}
+        shards_json = path / "BENCH_shards.json"
+        if shards_json.is_file():
+            data = json.loads(shards_json.read_text())
+            constants = data.get("constants", {})
+            overrides.update(
+                {k: float(v) for k, v in constants.items() if k in DEFAULT_CONSTANTS}
+            )
+            return cls(overrides)
+        core_json = path / "BENCH_core.json"
+        if core_json.is_file():
+            rows = json.loads(core_json.read_text()).get("rows", [])
+            rates = [
+                r["vectorized_pairs_per_sec"]
+                for r in rows
+                if r.get("vectorized_pairs_per_sec", 0) > 0
+            ]
+            if rates:
+                geomean = math.exp(sum(math.log(r) for r in rates) / len(rates))
+                overrides["solve_per_pair"] = 1.0 / geomean
+        flush_json = path / "BENCH_flush.json"
+        if flush_json.is_file():
+            rows = json.loads(flush_json.read_text()).get("rows", [])
+            reuse = [
+                r["reuse_us"] * 1e-6
+                for r in rows
+                if r.get("metric") == "flush_total" and r.get("reuse_us", 0) > 0
+            ]
+            if reuse:
+                overrides["solve_unit_fixed"] = min(reuse) / 2.0
+        return cls(overrides)
+
+
+@dataclass(frozen=True, slots=True)
+class FlushPlan:
+    """One flush's chosen execution strategy (a pure perf decision).
+
+    ``shards`` is the execution-slot count (1 unless parallel);
+    ``transport`` is ``"inline"`` (no pool), ``"pickle"``, or ``"shm"``;
+    ``predicted_seconds`` is the model's estimate for the chosen mode
+    (recorded in :class:`~repro.stream.metrics.FlushRecord` so the
+    calibration error is measurable on real runs).
+    """
+
+    mode: str
+    shards: int = 1
+    transport: str = "inline"
+    predicted_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        """Compact report form: ``uns`` / ``seq`` / ``proc:4+shm``."""
+        short = {"unsharded": "uns", "seq": "seq", "thread": "thr", "process": "proc"}
+        label = short.get(self.mode, self.mode)
+        if self.mode in ("thread", "process"):
+            label = f"{label}:{self.shards}"
+        if self.transport == "shm":
+            label = f"{label}+shm"
+        return label
+
+
+class FlushPlanner:
+    """Choose a :class:`FlushPlan` per flush from the cost model.
+
+    ``parallel="off"`` leaves the planner free; ``"thread"``/
+    ``"process"`` restrict multi-unit flushes to that pool family (the
+    planner still sizes the slot count).  ``forced_shards`` pins the
+    slot count entirely — the planner then only resolves the transport
+    and predicts, which is how pinned ``shards=N`` configs still get
+    ``predicted_seconds`` on their records.
+
+    The decision is a pure function of ``(pairs, units, cores,
+    constants)`` — deterministic on a given host — and only ever picks
+    among result-identical strategies.
+    """
+
+    def __init__(
+        self,
+        model: FlushCostModel | None = None,
+        cores: int | None = None,
+        min_shard_pairs: int = 192,
+        parallel: str = "off",
+        forced_shards: int | None = None,
+        max_workers: int | None = None,
+        shm_ok: bool = True,
+    ) -> None:
+        if forced_shards is not None and forced_shards < 1:
+            raise ConfigurationError(
+                f"forced_shards must be >= 1, got {forced_shards}"
+            )
+        self.model = model if model is not None else FlushCostModel()
+        self.cores = cores if cores is not None else (os.cpu_count() or 1)
+        self.min_shard_pairs = min_shard_pairs
+        self.parallel = parallel
+        self.forced_shards = forced_shards
+        self.max_workers = max_workers
+        self.shm_ok = shm_ok
+
+    def _transport(self, mode: str, pairs: int) -> str:
+        if mode in ("unsharded", "seq"):
+            return "inline"
+        if mode == "thread":
+            return "inline"  # same address space: nothing to ship
+        if self.shm_ok and pairs >= SHM_MIN_PAIRS:
+            return "shm"
+        return "pickle"
+
+    def _predict(self, mode: str, pairs: int, units: int, shards: int) -> FlushPlan:
+        transport = self._transport(mode, pairs)
+        predicted = self.model.predict(
+            mode,
+            pairs,
+            units,
+            shards=shards,
+            cores=self.cores,
+            transport=transport,
+            min_shard_pairs=self.min_shard_pairs,
+        )
+        return FlushPlan(
+            mode=mode, shards=shards, transport=transport,
+            predicted_seconds=predicted,
+        )
+
+    def plan(self, pairs: int, units: int, single_unit_direct: bool) -> FlushPlan:
+        """The plan for one cut flush.
+
+        ``units`` is the cut's component count; ``single_unit_direct``
+        says the executor's single-unit fast path applies (the whole
+        instance solves directly), which is what the ``"unsharded"``
+        mode means.
+        """
+        if single_unit_direct:
+            return self._predict("unsharded", pairs, 1, 1)
+        if self.forced_shards is not None:
+            mode = "seq" if self.parallel == "off" else self.parallel
+            return self._predict(mode, pairs, units, self.forced_shards)
+        width_cap = min(self.cores, units, self.max_workers or self.cores)
+        if self.parallel in ("thread", "process"):
+            width = max(2, width_cap) if width_cap > 1 else max(2, min(units, 2))
+            return self._predict(self.parallel, pairs, units, width)
+        candidates = [self._predict("seq", pairs, units, 1)]
+        width = 2
+        while width <= width_cap:
+            candidates.append(self._predict("process", pairs, units, width))
+            width *= 2
+        if width_cap > 1 and width // 2 != width_cap:
+            candidates.append(self._predict("process", pairs, units, width_cap))
+        return min(candidates, key=lambda plan: plan.predicted_seconds)

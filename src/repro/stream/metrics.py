@@ -42,6 +42,14 @@ class FlushRecord:
     ``solver_seconds`` remains solve-only, the adaptive controller's
     signal); ``phase_seconds`` is the tracer-derived per-phase breakdown
     (``None`` when tracing is off).
+
+    ``pairs`` is the flush instance's feasible-pair count;
+    ``planned_mode`` is the :class:`~repro.stream.costmodel.FlushPlan`
+    label the executor chose (``"uns"`` / ``"seq"`` / ``"proc:4+shm"``
+    ...; ``"cache"`` for cache-served flushes, which skip planning) and
+    ``predicted_seconds`` the cost model's estimate for that plan — the
+    pair every calibration-error report compares against
+    ``solver_seconds``.
     """
 
     index: int
@@ -56,6 +64,9 @@ class FlushRecord:
     cache_hit: bool | None = None
     flush_seconds: float = 0.0
     phase_seconds: dict[str, float] | None = None
+    pairs: int = 0
+    planned_mode: str = ""
+    predicted_seconds: float = 0.0
 
     @property
     def top_phase(self) -> str:
@@ -274,6 +285,22 @@ class StreamStats:
         grand = sum(totals.values())
         share = totals[phase] / grand if grand > 0 else 0.0
         return f"{phase} {share:.0%}"
+
+    @property
+    def plan_summary(self) -> str:
+        """Planner decisions over the run, e.g. ``"uns:41 seq:3"``.
+
+        Counts flushes by their :attr:`FlushRecord.planned_mode` label in
+        first-seen order; ``"-"`` when no flush recorded a plan (streams
+        from before the planner, or hand-built records).
+        """
+        counts: dict[str, int] = {}
+        for record in self.flushes:
+            if record.planned_mode:
+                counts[record.planned_mode] = counts.get(record.planned_mode, 0) + 1
+        if not counts:
+            return "-"
+        return " ".join(f"{mode}:{count}" for mode, count in counts.items())
 
     @property
     def throughput_tasks_per_sec(self) -> float:

@@ -23,29 +23,57 @@ run.
 component is seeded from its own stable key (the smallest global worker
 index it contains) through a :class:`ShardSeedSchedule`; and results are
 merged in ascending component-key order.  Shard *grouping* (how
-components are packed onto ``num_shards`` execution slots) therefore
-affects scheduling only — the merged assignments, ledgers and release
-boards are bit-identical across shard counts and across
-sequential/thread/process execution.
+components are packed onto execution slots) therefore affects scheduling
+only — the merged assignments, ledgers and release boards are
+bit-identical across shard counts, across sequential/thread/process
+execution, and across the pickle/shared-memory transports.
+
+**Execution is planned, not guessed** (:mod:`repro.stream.costmodel`):
+every flush gets a :class:`~repro.stream.costmodel.FlushPlan` — mode,
+slot count, transport — either pinned by explicit ``shards=N`` settings
+or chosen per flush by a calibrated :class:`~repro.stream.costmodel.
+FlushPlanner` (``shards="auto"``).  Two fixed costs that used to make
+sharding a regression are engineered away here:
+
+* **Zero-copy shard transport** — for process-parallel flushes above a
+  size floor, the parent's CSR planes (plus numeric task/worker record
+  planes) are staged once into a shared-memory segment
+  (:class:`~repro.core.workspace.ShmArena`) and workers receive a tiny
+  picklable handle instead of pickled sub-instances
+  (:func:`_solve_shm_group` attaches, slices, solves).  Falls back to
+  the pickle payload when shm is unavailable or the flush is small.
+* **Persistent warm pools** — process/thread pools live in a
+  process-wide registry keyed by ``(kind, max_workers)`` and survive
+  executor :meth:`~ShardedFlushExecutor.close`, so streams stop paying
+  pool spawn per run.  Broken pools are detected and respawned (a
+  ``pool.respawn`` tracer event); :func:`shutdown_warm_pools` tears
+  everything down (registered ``atexit``).
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.engine import ConflictEliminationSolver
 from repro.core.result import AssignmentResult
+from repro.core.workspace import ShmArena, ShmHandle, attach_planes, shm_available
+from repro.datasets.workload import Task, Worker
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER, stopwatch
 from repro.matching.bipartite import Matching
 from repro.privacy.accountant import PrivacyLedger
 from repro.simulation.instance import ProblemInstance
+from repro.simulation.pairs import PairArrays
+from repro.spatial.geometry import Point
 from repro.spatial.index import grid_cell_labels
+from repro.stream.costmodel import FlushPlan, FlushPlanner
 
 if TYPE_CHECKING:  # runtime import is deferred to break the package cycle
     from repro.core.registry import Solver
@@ -56,13 +84,27 @@ __all__ = [
     "ShardSeedSchedule",
     "ShardedFlushExecutor",
     "PARALLEL_MODES",
+    "SHARD_TRANSPORTS",
     "cut_flush",
     "build_shard_instance",
     "merge_shard_results",
+    "shutdown_warm_pools",
 ]
 
 # Re-exported from the unified options layer (the single source of truth).
 from repro.api.options import PARALLEL_MODES  # noqa: E402
+
+#: Transport settings of :class:`ShardedFlushExecutor`: ``"auto"`` lets
+#: the plan decide (shm above the size floor, pickle otherwise/fallback),
+#: the other two force one transport for process-parallel flushes.
+SHARD_TRANSPORTS = ("auto", "shm", "pickle")
+
+# Bound once for the trusted record-rebuild loops in the shm transport:
+# frozen slotted dataclasses are assembled through these on the pool
+# worker side, bypassing ``__init__`` for planes that are known to have
+# round-tripped already-validated records.
+_NEW = object.__new__
+_SET = object.__setattr__
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,7 +191,9 @@ MIN_SHARD_PAIRS = 192
 
 
 def cut_flush(
-    instance: ProblemInstance, min_shard_pairs: int = MIN_SHARD_PAIRS
+    instance: ProblemInstance,
+    min_shard_pairs: int = MIN_SHARD_PAIRS,
+    micro_shortcut: bool = True,
 ) -> ShardCut:
     """Compute the conflict-free grid-cell cut of one flush instance.
 
@@ -168,6 +212,15 @@ def cut_flush(
     shard count or parallel mode.  A component at or above the threshold
     (in particular any oversized one) stands alone as a single shard;
     dust never merges into it.
+
+    ``micro_shortcut`` enables the micro-flush fast path: when the whole
+    flush holds at most ``min_shard_pairs`` pairs (and the threshold is
+    active), *every* component is dust, so coalescing provably collapses
+    the cut to exactly one unit — all busy tasks and workers, keyed by
+    the smallest busy worker index.  That unit is computed with a few
+    array ops, skipping grid labels and union-find entirely; the
+    property suite pins it identical to the full route.  The flag exists
+    for that pin, not for callers.
     """
     pairs = instance.pairs
     all_tasks = np.arange(instance.num_tasks, dtype=np.int64)
@@ -179,11 +232,28 @@ def cut_flush(
             orphan_workers=tuple(all_workers.tolist()),
         )
 
-    points = np.asarray([t.location for t in instance.tasks], dtype=float)
-    labels = grid_cell_labels(points, _cut_cell_size(points))
     offsets = pairs.offsets
     pair_task = pairs.task
     worker_pair_counts = (offsets[1:] - offsets[:-1]).astype(np.int64)
+
+    if micro_shortcut and min_shard_pairs > 1 and pairs.num_pairs <= min_shard_pairs:
+        busy_workers = np.flatnonzero(worker_pair_counts > 0)
+        task_has_pair = np.zeros(instance.num_tasks, dtype=bool)
+        task_has_pair[pair_task] = True
+        component = ShardComponent(
+            key=int(busy_workers[0]),
+            tasks=tuple(np.flatnonzero(task_has_pair).tolist()),
+            workers=tuple(busy_workers.tolist()),
+            pair_count=int(pairs.num_pairs),
+        )
+        return ShardCut(
+            components=(component,),
+            orphan_tasks=tuple(np.flatnonzero(~task_has_pair).tolist()),
+            orphan_workers=tuple(np.flatnonzero(worker_pair_counts == 0).tolist()),
+        )
+
+    points = np.asarray([t.location for t in instance.tasks], dtype=float)
+    labels = grid_cell_labels(points, _cut_cell_size(points))
     busy_workers = np.flatnonzero(worker_pair_counts > 0)
 
     # Union every worker's cells through its *first* cell.  One edge per
@@ -306,9 +376,12 @@ def build_shard_instance(
     ids and merge by plain union.
     """
     sub_pairs = instance.pairs.subset(component.workers, component.tasks)
+    # One flat conversion + per-worker list slices beats per-worker numpy
+    # fancy indexing by a wide margin on dust-sized components.
+    pair_tasks = sub_pairs.task.tolist()
+    bounds = sub_pairs.offsets.tolist()
     reachable = tuple(
-        tuple(sub_pairs.task[sub_pairs.worker_slice(j)].tolist())
-        for j in range(len(component.workers))
+        tuple(pair_tasks[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
     )
     return ProblemInstance.from_arrays(
         tasks=[instance.tasks[i] for i in component.tasks],
@@ -404,6 +477,86 @@ def _solve_component_group(
     return list(zip(keys, results))
 
 
+def _solve_shm_group(
+    solver: "Solver",
+    base: tuple[int, ...],
+    handle: ShmHandle,
+    meta: tuple[tuple[int, int, int, int, int], ...],
+    model,
+) -> list[tuple[int, AssignmentResult]]:
+    """Solve one shard group from shared-memory planes (pool worker side).
+
+    The zero-copy counterpart of shipping a pickled payload to
+    :func:`_solve_component_group`: the worker attaches the staged
+    segment once (:func:`~repro.core.workspace.attach_planes`, cached
+    per segment name), rebuilds the parent
+    :class:`~repro.simulation.pairs.PairArrays` as views, slices each
+    component out with ``subset`` (which copies, so nothing in the
+    returned results aliases the segment), and reconstructs each
+    component's :class:`Task`/:class:`Worker` records from the numeric
+    record planes — batched through ``.tolist()`` so the rebuild does a
+    handful of array conversions per component instead of ~7 numpy
+    scalar reads per record.  Python objects never cross the boundary:
+    pickling a few hundred dataclass records costs more than every
+    numeric plane combined, which is exactly what this transport is for.
+    ``meta`` rows are
+    ``(key, task_offset, task_len, worker_offset, worker_len)`` into the
+    staged component-index planes.  Bit-identity with the pickle path is
+    pinned by the property suite (float64 planes round-trip every
+    record field exactly).
+    """
+    planes = attach_planes(handle)
+    parent = PairArrays.from_planes(planes)
+    task_id = planes["rec_task_id"]
+    task_num = planes["rec_task_num"]
+    worker_id = planes["rec_worker_id"]
+    worker_num = planes["rec_worker_num"]
+    comp_tasks = planes["comp_task_idx"]
+    comp_workers = planes["comp_worker_idx"]
+    group: list[tuple[int, ProblemInstance]] = []
+    for key, t_off, t_len, w_off, w_len in meta:
+        t_idx = comp_tasks[t_off : t_off + t_len]
+        w_idx = comp_workers[w_off : w_off + w_len]
+        sub_pairs = parent.subset(w_idx, t_idx)
+        # Trusted rebuild: the planes round-tripped a parent whose records
+        # already passed ``__post_init__`` validation (float64 is exact for
+        # every field), so construct via ``object.__new__`` and skip the
+        # dataclass ``__init__``/``__post_init__``.  The transposed
+        # ``.tolist()`` hands each field as one flat column instead of a
+        # throwaway per-record list.  Records dominate the worker-side
+        # handoff cost, so the ~30% per record compounds.
+        t_xs, t_ys, t_vals, t_rels = task_num[t_idx].T.tolist()
+        tasks = []
+        for tid, x, y, value, release in zip(
+            task_id[t_idx].tolist(), t_xs, t_ys, t_vals, t_rels
+        ):
+            record = _NEW(Task)
+            _SET(record, "id", tid)
+            _SET(record, "location", Point(x, y))
+            _SET(record, "value", value)
+            _SET(record, "release_time", release)
+            tasks.append(record)
+        w_xs, w_ys, w_rads = worker_num[w_idx].T.tolist()
+        workers = []
+        for wid, x, y, radius in zip(worker_id[w_idx].tolist(), w_xs, w_ys, w_rads):
+            record = _NEW(Worker)
+            _SET(record, "id", wid)
+            _SET(record, "location", Point(x, y))
+            _SET(record, "radius", radius)
+            workers.append(record)
+        # Slice the flat pair list per worker via the CSR bounds in one
+        # pass — much cheaper than per-worker fancy indexing.
+        pair_tasks = sub_pairs.task.tolist()
+        bounds = sub_pairs.offsets.tolist()
+        reachable = tuple(
+            tuple(pair_tasks[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        )
+        group.append(
+            (key, ProblemInstance.from_arrays(tasks, workers, model, reachable, sub_pairs))
+        )
+    return _solve_component_group(solver, base, group)
+
+
 def _group_components(
     components: Sequence[ShardComponent], num_shards: int
 ) -> list[list[ShardComponent]]:
@@ -423,6 +576,58 @@ def _group_components(
     return [slot for slot in slots if slot]
 
 
+# -- warm pool registry -------------------------------------------------------
+
+#: Process-wide pools keyed by ``(kind, max_workers)``.  Pool spawn
+#: (tens of ms for processes, plus a re-import per worker) used to be
+#: paid per executor; keeping pools warm amortises it across flushes
+#: *and* across streams in one process.
+_WARM_POOLS: dict[tuple[str, int], Executor] = {}
+
+
+def _pool_broken(pool: Executor) -> bool:
+    # ProcessPoolExecutor sets ``_broken`` when a worker dies; thread
+    # pools never break.  Private, but stable across supported versions
+    # and the only health signal short of submitting a probe job.
+    return bool(getattr(pool, "_broken", False))
+
+
+def _warm_pool(kind: str, max_workers: int) -> Executor:
+    """The warm pool for ``(kind, max_workers)``, health-checked.
+
+    A broken pool is discarded and respawned on the way in, so callers
+    always receive a usable executor.
+    """
+    key = (kind, max_workers)
+    pool = _WARM_POOLS.get(key)
+    if pool is not None and not _pool_broken(pool):
+        return pool
+    if pool is not None:
+        _discard_warm_pool(kind, max_workers)
+    if kind == "thread":
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+    else:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+    _WARM_POOLS[key] = pool
+    return pool
+
+
+def _discard_warm_pool(kind: str, max_workers: int) -> None:
+    pool = _WARM_POOLS.pop((kind, max_workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_warm_pools() -> None:
+    """Shut down every warm shard pool (tests; registered ``atexit``)."""
+    for key in list(_WARM_POOLS):
+        pool = _WARM_POOLS.pop(key)
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_warm_pools)
+
+
 class ShardedFlushExecutor:
     """Run one solver over the conflict-free shards of flush instances.
 
@@ -433,7 +638,9 @@ class ShardedFlushExecutor:
         go through their ``solve_shards`` entry point; anything else falls
         back to per-shard ``solve`` calls.
     num_shards:
-        Execution slots to pack components into (the parallel width).
+        Execution slots to pack components into (the parallel width) when
+        no ``planner`` is given — the executor then pins a forced
+        :class:`~repro.stream.costmodel.FlushPlanner` to this count.
         Components are the atomic units: a flush that is one giant
         component runs as one shard regardless of this setting.
     parallel:
@@ -442,24 +649,40 @@ class ShardedFlushExecutor:
         instances must pickle, which all registry methods do).
     max_workers:
         Pool size for the parallel modes (default: ``num_shards``).
+        Also the warm-pool registry key, so streams sharing a width
+        share a pool.
     min_shard_pairs:
         Coalescing floor forwarded to :func:`cut_flush`.  Results depend
         on this threshold (it shapes the per-unit noise streams) but
-        never on ``num_shards``/``parallel``/``max_workers``.
+        never on ``num_shards``/``parallel``/``max_workers``/transport.
     workspace:
         Optional :class:`~repro.core.workspace.EngineWorkspace` reused by
         the in-process sequential solves (the single-unit fast path and
-        ``parallel="off"`` groups).  Pool workers never see it.
+        sequential groups).  Pool workers never see it.
     tracer:
         A :class:`repro.obs.Tracer` recording the flush phases
-        (``flush.cut`` / ``flush.build`` / ``flush.solve`` /
-        ``flush.merge``) under the caller's current span.  Pool workers
-        never see it (their spans would land in another process); the
-        no-op default costs nothing.
+        (``flush.cut`` / ``flush.plan`` / ``flush.build`` /
+        ``flush.solve`` / ``flush.merge``) under the caller's current
+        span, plus ``shard.shm_stage`` / ``pool.respawn`` point events.
+        Pool workers never see it (their spans would land in another
+        process); the no-op default costs nothing.
+    planner:
+        A :class:`~repro.stream.costmodel.FlushPlanner` choosing mode /
+        slot count / transport per flush (``shards="auto"``).  ``None``
+        builds a forced planner from ``num_shards``/``parallel`` —
+        legacy pinned behaviour, still with ``predicted_seconds`` on the
+        plan.
+    transport:
+        ``"auto"`` (the plan decides: shm above the size floor when
+        available, pickle otherwise), or force ``"shm"`` / ``"pickle"``
+        for process-parallel flushes.  A forced ``"shm"`` still falls
+        back to pickle when shared memory is unusable on the host.
 
-    The executor owns at most one pool, created lazily and reused across
-    flushes; call :meth:`close` (or use it as a context manager) when the
-    stream ends.
+    The executor leases pools from the process-wide warm registry —
+    :meth:`close` drops the reference (and unlinks the shm arena) but
+    leaves the pool warm for the next stream; the *failure* path instead
+    discards the pool outright and unlinks the arena, so a raising solve
+    leaks neither ``/dev/shm`` space nor a possibly-poisoned pool.
     """
 
     def __init__(
@@ -471,12 +694,19 @@ class ShardedFlushExecutor:
         min_shard_pairs: int = MIN_SHARD_PAIRS,
         workspace=None,
         tracer=NULL_TRACER,
+        planner: FlushPlanner | None = None,
+        transport: str = "auto",
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
         if parallel not in PARALLEL_MODES:
             raise ConfigurationError(
                 f"unknown parallel mode {parallel!r}; choose from {PARALLEL_MODES}"
+            )
+        if transport not in SHARD_TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown shard transport {transport!r}; "
+                f"choose from {SHARD_TRANSPORTS}"
             )
         self.solver = solver
         self.num_shards = num_shards
@@ -485,22 +715,55 @@ class ShardedFlushExecutor:
         self.min_shard_pairs = min_shard_pairs
         self.workspace = workspace
         self.tracer = tracer
+        self.transport = transport
+        if planner is None:
+            planner = FlushPlanner(
+                min_shard_pairs=min_shard_pairs,
+                parallel=parallel,
+                forced_shards=num_shards,
+                max_workers=self.max_workers,
+                shm_ok=transport != "pickle" and shm_available(),
+            )
+        self.planner = planner
         self._pool: Executor | None = None
+        self._pool_kind: str | None = None
+        self._arena: ShmArena | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            if self.parallel == "thread":
-                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-            else:
-                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        return self._pool
+    def _ensure_pool(self, kind: str) -> Executor:
+        pool = _warm_pool(kind, self.max_workers)
+        self._pool = pool
+        self._pool_kind = kind
+        return pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release executor-owned resources (idempotent).
+
+        Unlinks this executor's shm arena segment; the worker pool is
+        *not* shut down — pools are process-wide and stay warm for the
+        next stream (:func:`shutdown_warm_pools` tears them down).
+        """
+        self._pool = None
+        self._pool_kind = None
+        if self._arena is not None:
+            self._arena.close()
+
+    def _fail(self) -> None:
+        """Failure-path teardown: a raising solve must leak nothing.
+
+        Unlike :meth:`close`, the pool is discarded from the warm
+        registry and shut down — it may hold in-flight futures against
+        whatever state just raised — and the arena segment is unlinked.
+        Extends the session layer's close-on-raise guarantee to the
+        zero-copy transport.
+        """
+        if self._pool is not None and self._pool_kind is not None:
+            _discard_warm_pool(self._pool_kind, self.max_workers)
+        self._pool = None
+        self._pool_kind = None
+        if self._arena is not None:
+            self._arena.close()
 
     def __enter__(self) -> "ShardedFlushExecutor":
         return self
@@ -514,13 +777,44 @@ class ShardedFlushExecutor:
         self, instance: ProblemInstance, schedule: ShardSeedSchedule
     ) -> AssignmentResult:
         """The merged result of one sharded flush solve."""
-        result, _ = self.solve_with_cut(instance, schedule)
+        result, _, _ = self.solve_planned(instance, schedule)
         return result
 
     def solve_with_cut(
         self, instance: ProblemInstance, schedule: ShardSeedSchedule
     ) -> tuple[AssignmentResult, ShardCut]:
         """As :meth:`solve`, also returning the cut (for observability)."""
+        result, cut, _ = self.solve_planned(instance, schedule)
+        return result, cut
+
+    def solve_planned(
+        self, instance: ProblemInstance, schedule: ShardSeedSchedule
+    ) -> tuple[AssignmentResult, ShardCut, FlushPlan]:
+        """Cut, plan, and solve one flush; returns (result, cut, plan).
+
+        The plan (mode / slot count / transport) is a pure perf
+        decision: results are bit-identical across every plan the
+        executor can produce for a fixed ``min_shard_pairs``.
+        """
+        try:
+            return self._solve_planned(instance, schedule)
+        except BaseException:
+            self._fail()
+            raise
+
+    def _plan(self, pairs: int, cut: ShardCut, single_direct: bool) -> FlushPlan:
+        plan = self.planner.plan(pairs, max(cut.num_components, 1), single_direct)
+        if plan.mode == "process" and self.transport != "auto":
+            forced = self.transport
+            if forced == "shm" and not shm_available():
+                forced = "pickle"
+            if forced != plan.transport:
+                plan = replace(plan, transport=forced)
+        return plan
+
+    def _solve_planned(
+        self, instance: ProblemInstance, schedule: ShardSeedSchedule
+    ) -> tuple[AssignmentResult, ShardCut, FlushPlan]:
         tracer = self.tracer
         watch = stopwatch()
         with watch:
@@ -538,34 +832,57 @@ class ShardedFlushExecutor:
             # change anything (the executor tests pin fast == slow).  A
             # solver outside the engine family could consume randomness per
             # worker, so orphans disqualify it there.
+            single_direct = False
             if len(cut.components) == 1:
                 whole_cover = not cut.orphan_tasks and not cut.orphan_workers
-                if whole_cover or isinstance(self.solver, ConflictEliminationSolver):
-                    key = cut.components[0].key
-                    with tracer.span("flush.solve"):
-                        ((_, result),) = _solve_component_group(
-                            self.solver,
-                            schedule.base,
-                            [(key, instance)],
-                            self.workspace,
-                            tracer,
-                        )
-                    return result, cut
+                single_direct = whole_cover or isinstance(
+                    self.solver, ConflictEliminationSolver
+                )
+
+            with tracer.span("flush.plan"):
+                plan = self._plan(instance.pairs.num_pairs, cut, single_direct)
+
+            if single_direct:
+                key = cut.components[0].key
+                with tracer.span("flush.solve"):
+                    ((_, result),) = _solve_component_group(
+                        self.solver,
+                        schedule.base,
+                        [(key, instance)],
+                        self.workspace,
+                        tracer,
+                    )
+                return result, cut, plan
+
+            groups = _group_components(cut.components, plan.shards)
+            pooled = plan.mode in ("thread", "process") and len(groups) > 1
+            use_shm = pooled and plan.mode == "process" and plan.transport == "shm"
 
             with tracer.span("flush.build"):
-                keyed = [
-                    (component.key, build_shard_instance(instance, component))
-                    for component in cut.components
-                ]
-                groups = _group_components(cut.components, self.num_shards)
-                sub_of = dict(keyed)
-                payload = [
-                    [(component.key, sub_of[component.key]) for component in group]
-                    for group in groups
-                ]
+                if use_shm:
+                    handle, metas = self._stage_shm(instance, groups)
+                    jobs = [
+                        (
+                            _solve_shm_group,
+                            (self.solver, schedule.base, handle, meta, instance.model),
+                        )
+                        for meta in metas
+                    ]
+                else:
+                    payload = [
+                        [
+                            (component.key, build_shard_instance(instance, component))
+                            for component in group
+                        ]
+                        for group in groups
+                    ]
+                    jobs = [
+                        (_solve_component_group, (self.solver, schedule.base, group))
+                        for group in payload
+                    ]
 
             with tracer.span("flush.solve"):
-                if self.parallel == "off" or len(payload) <= 1:
+                if not pooled:
                     keyed_results: list[tuple[int, AssignmentResult]] = []
                     for group in payload:
                         keyed_results.extend(
@@ -574,16 +891,8 @@ class ShardedFlushExecutor:
                             )
                         )
                 else:
-                    pool = self._ensure_pool()
-                    futures = [
-                        pool.submit(
-                            _solve_component_group, self.solver, schedule.base, group
-                        )
-                        for group in payload
-                    ]
-                    keyed_results = []
-                    for future in futures:
-                        keyed_results.extend(future.result())
+                    kind = "thread" if plan.mode == "thread" else "process"
+                    keyed_results = self._run_pooled(kind, jobs)
 
             with tracer.span("flush.merge"):
                 merged = merge_shard_results(
@@ -592,4 +901,93 @@ class ShardedFlushExecutor:
                     keyed_results,
                     elapsed_seconds=watch.elapsed,
                 )
-        return merged, cut
+        return merged, cut, plan
+
+    # -- pooled execution --------------------------------------------------
+
+    def _run_pooled(self, kind: str, jobs) -> list[tuple[int, AssignmentResult]]:
+        pool = self._ensure_pool(kind)
+        try:
+            futures = [pool.submit(fn, *args) for fn, args in jobs]
+            keyed_results: list[tuple[int, AssignmentResult]] = []
+            for future in futures:
+                keyed_results.extend(future.result())
+            return keyed_results
+        except BrokenProcessPool:
+            # A crashed worker poisons the whole pool, but the flush
+            # itself is retryable (shard solves are pure): respawn once
+            # and resubmit; a second break propagates.
+            self.tracer.event("pool.respawn")
+            _discard_warm_pool(kind, self.max_workers)
+            self._pool = None
+            pool = self._ensure_pool(kind)
+            futures = [pool.submit(fn, *args) for fn, args in jobs]
+            keyed_results = []
+            for future in futures:
+                keyed_results.extend(future.result())
+            return keyed_results
+
+    # -- shared-memory staging ---------------------------------------------
+
+    def _stage_shm(
+        self, instance: ProblemInstance, groups: list[list[ShardComponent]]
+    ):
+        """Stage the flush into the shm arena; returns (handle, metas).
+
+        One segment write per flush: the parent's CSR planes verbatim
+        (including the derived prefix, so workers skip the recompute),
+        numeric task/worker record planes (one single-pass extraction
+        over the records, amortised across every component), and the
+        concatenated component index arrays.  ``metas[g]`` holds one
+        ``(key, t_off, t_len, w_off, w_len)`` row per component of group
+        ``g`` — the only per-submit pickle besides the solver itself.
+        Python record objects never ride the pool boundary: pickling a
+        few hundred dataclass records costs more than every numeric
+        plane combined.
+        """
+        if self._arena is None:
+            self._arena = ShmArena()
+        tasks = instance.tasks
+        workers = instance.workers
+        planes = dict(instance.pairs.planes())
+        planes["rec_task_id"] = np.fromiter(
+            (t.id for t in tasks), dtype=np.int64, count=len(tasks)
+        )
+        planes["rec_task_num"] = np.asarray(
+            [
+                (t.location.x, t.location.y, t.value, t.release_time)
+                for t in tasks
+            ],
+            dtype=np.float64,
+        ).reshape(len(tasks), 4)
+        planes["rec_worker_id"] = np.fromiter(
+            (w.id for w in workers), dtype=np.int64, count=len(workers)
+        )
+        planes["rec_worker_num"] = np.asarray(
+            [(w.location.x, w.location.y, w.radius) for w in workers],
+            dtype=np.float64,
+        ).reshape(len(workers), 3)
+        t_chunks: list[np.ndarray] = []
+        w_chunks: list[np.ndarray] = []
+        metas: list[tuple[tuple[int, int, int, int, int], ...]] = []
+        t_off = w_off = 0
+        for group in groups:
+            meta = []
+            for component in group:
+                t_idx = np.asarray(component.tasks, dtype=np.int64)
+                w_idx = np.asarray(component.workers, dtype=np.int64)
+                meta.append((component.key, t_off, len(t_idx), w_off, len(w_idx)))
+                t_chunks.append(t_idx)
+                w_chunks.append(w_idx)
+                t_off += len(t_idx)
+                w_off += len(w_idx)
+            metas.append(tuple(meta))
+        planes["comp_task_idx"] = (
+            np.concatenate(t_chunks) if t_chunks else np.zeros(0, dtype=np.int64)
+        )
+        planes["comp_worker_idx"] = (
+            np.concatenate(w_chunks) if w_chunks else np.zeros(0, dtype=np.int64)
+        )
+        handle = self._arena.stage(planes)
+        self.tracer.event("shard.shm_stage")
+        return handle, metas

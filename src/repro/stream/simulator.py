@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -37,7 +38,7 @@ from repro.api.options import validate_service, validate_sharding
 from repro.core.budgets import BudgetSampler
 from repro.core.engine import ConflictEliminationSolver
 from repro.core.utility import UtilityModel
-from repro.core.workspace import EngineWorkspace
+from repro.core.workspace import EngineWorkspace, shm_available
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER, Tracer, aggregate_phases, stopwatch
@@ -59,6 +60,7 @@ from repro.stream.events import (
     TaskArrival,
     WorkerArrival,
 )
+from repro.stream.costmodel import FlushCostModel, FlushPlanner
 from repro.stream.metrics import FlushRecord, StreamStats
 from repro.stream.shards import ShardedFlushExecutor, ShardSeedSchedule
 from repro.utils.rng import stable_hash
@@ -95,17 +97,28 @@ class StreamConfig:
     budget_sampler, model:
         Per-flush instance parameters (Table X defaults when omitted).
     shards:
-        0 disables sharding (the classic single-engine flush).  ``>= 1``
-        routes every flush through the conflict-free shard cut
-        (:mod:`repro.stream.shards`) with that many execution slots.
-        Note even ``shards=1`` changes private methods' noise streams
-        (per-component seeding replaces the single flush stream); results
-        are then invariant across shard counts and parallel modes.
+        ``"auto"`` (the default) plans every flush with the calibrated
+        cost model (:mod:`repro.stream.costmodel`): the
+        :class:`~repro.stream.costmodel.FlushPlanner` picks single-unit,
+        sequential-sharded, or process-parallel execution — plus slot
+        count and transport — per flush.  An int pins the execution
+        slots instead: ``0``/``1`` force a single sequential unit,
+        ``>= 2`` that many slots.  Every flush routes through the
+        conflict-free shard cut (:mod:`repro.stream.shards`) with
+        per-component noise seeding, so results are bit-identical across
+        *all* settings of this knob (and of ``parallel``/transport): the
+        cut, not the execution strategy, defines every noise stream.
     parallel:
-        Shard execution: ``"off"`` (sequential), ``"thread"``, or
-        ``"process"`` (requires ``shards >= 1``).
+        Shard execution: ``"off"`` (sequential, or planner's choice
+        under ``shards="auto"``), ``"thread"``, or ``"process"``
+        (requires ``shards >= 1`` or ``"auto"``).
     max_shard_workers:
-        Pool size for parallel shard execution (default: ``shards``).
+        Pool size for parallel shard execution (default: ``shards``,
+        or the host's core count under ``shards="auto"``).
+    cost_model:
+        Optional :class:`~repro.stream.costmodel.FlushCostModel`
+        override for the planner and the adaptive controller (default:
+        the baked-in calibration constants).
     adaptive:
         Enable the :class:`~repro.stream.batcher.AdaptiveBatchController`:
         ``max_batch_size`` becomes the initial flush limit and tracks
@@ -140,9 +153,10 @@ class StreamConfig:
     relocate_workers: bool = True
     budget_sampler: BudgetSampler | None = None
     model: UtilityModel | None = None
-    shards: int = 0
+    shards: int | str = "auto"
     parallel: str = "off"
     max_shard_workers: int | None = None
+    cost_model: FlushCostModel | None = None
     adaptive: bool = False
     target_flush_seconds: float = 0.02
     adaptive_min_batch: int = 8
@@ -195,11 +209,13 @@ class DispatchSimulator:
         self.config = config or StreamConfig()
         self.seed = seed
         self.tracker = WorkerBudgetTracker()
+        cost_model = self.config.cost_model or FlushCostModel()
         controller = (
             AdaptiveBatchController(
                 target_seconds=self.config.target_flush_seconds,
                 min_size=self.config.adaptive_min_batch,
                 max_size=self.config.adaptive_max_batch,
+                cost_model=cost_model,
             )
             if self.config.adaptive
             else None
@@ -221,18 +237,37 @@ class DispatchSimulator:
             if self.config.workspace and isinstance(solver, ConflictEliminationSolver)
             else None
         )
-        self._shard_executor = (
-            ShardedFlushExecutor(
+        # Every flush routes through the sharded executor — the cut's
+        # per-component noise seeding is the *one* noise schedule, so
+        # shards=0, shards=N, and shards="auto" are result-identical and
+        # differ only in execution strategy.
+        if self.config.shards == "auto":
+            cores = os.cpu_count() or 1
+            width = self.config.max_shard_workers or cores
+            self._shard_executor = ShardedFlushExecutor(
                 solver,
-                num_shards=self.config.shards,
+                num_shards=1,
+                parallel=self.config.parallel,
+                max_workers=width,
+                workspace=self._workspace,
+                tracer=self.tracer,
+                planner=FlushPlanner(
+                    model=cost_model,
+                    cores=cores,
+                    parallel=self.config.parallel,
+                    max_workers=width,
+                    shm_ok=shm_available(),
+                ),
+            )
+        else:
+            self._shard_executor = ShardedFlushExecutor(
+                solver,
+                num_shards=max(int(self.config.shards), 1),
                 parallel=self.config.parallel,
                 max_workers=self.config.max_shard_workers,
                 workspace=self._workspace,
                 tracer=self.tracer,
             )
-            if self.config.shards >= 1
-            else None
-        )
         # Flush-fingerprint solver cache: an injected instance wins (so
         # repeated runs can share one), else config.cache owns a fresh one.
         self._cache = (
@@ -240,13 +275,16 @@ class DispatchSimulator:
             if cache is not None
             else (FlushSolverCache() if self.config.cache else None)
         )
+        # The planned cut config is part of the cache key: the cut's
+        # coalescing floor shapes every per-unit noise stream, so two
+        # streams differing only in min_shard_pairs must never alias.
+        # The plan's *execution* choice (mode/slots/transport) is
+        # deliberately absent — results are invariant to it.
         self._cache_profile = (
             cache_profile(
                 solver,
                 shard_key=(
                     f"cut(min_pairs={self._shard_executor.min_shard_pairs})"
-                    if self._shard_executor is not None
-                    else ""
                 ),
             )
             if self._cache is not None
@@ -472,9 +510,13 @@ class DispatchSimulator:
                     hit = self._cache.lookup(fingerprint)
                     cache_hit = hit is not None
                     tracer.event("cache.hit" if cache_hit else "cache.miss")
+            plan = None
             if hit is not None:
                 with stopwatch() as solve_watch:
                     result, shards = hit
+                # The cached result's instance shares the flush's
+                # fingerprint, so its pair count is the flush's own.
+                pairs_count = result.instance.num_feasible_pairs
             else:
                 # Instance construction stays outside the solve window:
                 # ``solver_seconds`` has always measured solve work only
@@ -490,32 +532,14 @@ class DispatchSimulator:
                         tracker=self.tracker if self.solver.is_private else None,
                         seed=np.random.default_rng(build_key),
                     )
+                pairs_count = instance.num_feasible_pairs
                 with stopwatch() as solve_watch:
-                    if self._shard_executor is not None:
-                        # The executor records its own flush.cut / build /
-                        # solve / merge phases at this depth.
-                        result, cut = self._shard_executor.solve_with_cut(
-                            instance, ShardSeedSchedule(noise_key)
-                        )
-                        shards = max(cut.num_components, 1)
-                    else:
-                        # Only the conflict-elimination engines take a
-                        # workspace/tracer; other solvers keep the plain
-                        # signature.
-                        extra = {}
-                        if self._workspace is not None:
-                            extra["workspace"] = self._workspace
-                        if tracer.enabled and isinstance(
-                            self.solver, ConflictEliminationSolver
-                        ):
-                            extra["tracer"] = tracer
-                        with tracer.span("flush.solve"):
-                            result = self.solver.solve(
-                                instance,
-                                seed=np.random.default_rng(noise_key),
-                                **extra,
-                            )
-                        shards = 1
+                    # The executor records its own flush.cut / plan /
+                    # build / solve / merge phases at this depth.
+                    result, cut, plan = self._shard_executor.solve_planned(
+                        instance, ShardSeedSchedule(noise_key)
+                    )
+                    shards = max(cut.num_components, 1)
             solver_seconds = solve_watch.seconds
             if fingerprint is not None and hit is None:
                 with tracer.span("flush.cache"):
@@ -523,7 +547,9 @@ class DispatchSimulator:
                     tracer.event("cache.store")
 
             with tracer.span("flush.commit"):
-                self.batcher.observe_flush(solver_seconds, len(open_tasks))
+                self.batcher.observe_flush(
+                    solver_seconds, len(open_tasks), pairs=pairs_count
+                )
                 self.tracker.charge(result.ledger)
 
                 by_id = {t.task.id: t for t in open_tasks}
@@ -578,6 +604,11 @@ class DispatchSimulator:
                 cache_hit=cache_hit,
                 flush_seconds=flush_watch.seconds,
                 phase_seconds=phase_seconds,
+                pairs=pairs_count,
+                planned_mode=plan.label if plan is not None else "cache",
+                predicted_seconds=(
+                    plan.predicted_seconds if plan is not None else 0.0
+                ),
             )
         )
         self._flush_index += 1

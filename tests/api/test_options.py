@@ -22,7 +22,7 @@ class TestValidation:
             {"sweep": "simd"},
             {"shards": -1},
             {"parallel": "fork"},
-            {"parallel": "thread"},  # requires shards >= 1
+            {"shards": "always"},  # only the literal "auto" is accepted
             {"parallel": "thread", "shards": 0},
             {"max_shard_workers": 0},
             {"max_batch_size": 0},

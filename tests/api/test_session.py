@@ -148,7 +148,7 @@ class TestResourceLifecycle:
         from repro.core.nonprivate import UCESolver
 
         class ExplodingEngine(UCESolver):
-            def solve(self, instance, seed=None, options=None, workspace=None):
+            def solve(self, instance, seed=None, **kwargs):
                 raise RuntimeError("solver exploded")
 
         session = DispatchSession(

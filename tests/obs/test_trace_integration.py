@@ -20,7 +20,7 @@ import pytest
 from repro.api.scenario import ScenarioSpec
 
 #: Phases the flush pipeline may record, and the engine/point spans below them.
-FLUSH_PHASES = {"cache", "build", "cut", "solve", "merge", "commit"}
+FLUSH_PHASES = {"cache", "build", "cut", "plan", "solve", "merge", "commit"}
 
 #: Absolute slack (seconds) for micro-flushes: at tens of microseconds
 #: per flush, the span enter/exit bookkeeping between phases is itself

@@ -151,6 +151,60 @@ def test_budget_carry_identical_across_shard_counts(
     assert carries[0] == carries[1] == carries[2]
 
 
+@given(min_shard_pairs=st.integers(2, 400), **instance_params)
+@settings(max_examples=25, deadline=None)
+def test_micro_shortcut_cut_matches_full_route(
+    min_shard_pairs, generator_seed, uniform, num_tasks, worker_range
+):
+    """The micro-flush cut shortcut is invisible: identical ShardCut.
+
+    Checked both at the drawn threshold (shortcut may or may not fire)
+    and at a threshold >= the flush's pair count (shortcut always fires,
+    the case its O(pairs) derivation must match union-find on).
+    """
+    instance = generated_instance(generator_seed, uniform, num_tasks, worker_range)
+    for threshold in (min_shard_pairs, max(2, instance.num_feasible_pairs)):
+        fast = cut_flush(instance, min_shard_pairs=threshold, micro_shortcut=True)
+        full = cut_flush(instance, min_shard_pairs=threshold, micro_shortcut=False)
+        assert fast == full, threshold
+
+
+@given(
+    method=st.sampled_from(METHODS),
+    generator_seed=st.integers(0, 30),
+    worker_range=st.sampled_from([0.4, 0.8]),
+)
+@settings(max_examples=6, deadline=None)
+def test_shm_and_pickle_transports_identical(method, generator_seed, worker_range):
+    """Forced shm and forced pickle agree with the sequential reference.
+
+    The shm leg deliberately runs below the planner's size floor (the
+    executor-level force overrides it), so the zero-copy path is
+    exercised even on small hypothesis-sized flushes.
+    """
+    from repro.core.workspace import shm_available
+
+    instance = generated_instance(generator_seed, False, 40, worker_range)
+    solver = make_solver(method)
+    schedule = ShardSeedSchedule((generator_seed, 13))
+    reference = ShardedFlushExecutor(solver, num_shards=1, min_shard_pairs=8).solve(
+        instance, schedule
+    )
+    for transport in ("shm", "pickle"):
+        if transport == "shm" and not shm_available():
+            continue
+        with ShardedFlushExecutor(
+            solver,
+            num_shards=2,
+            parallel="process",
+            max_workers=2,
+            min_shard_pairs=8,
+            transport=transport,
+        ) as executor:
+            merged = executor.solve(instance, schedule)
+        assert_results_identical(merged, reference, (method, transport))
+
+
 def test_process_parallel_matches_sequential_reference():
     """One (slow to spawn) process-pool run agrees with the sequential path."""
     instance = NormalGenerator(num_tasks=50, num_workers=100, seed=5).instance(

@@ -1,0 +1,185 @@
+"""Unit tests for the flush cost model and planner (the planning layer).
+
+Predicted *seconds* are host-dependent; what these tests pin is the
+host-independent structure: the per-mode term taxonomy, the calibration
+algebra (a least-squares fit recovers planted constants from exact
+samples), the symmetric geomean error measure, planner determinism, and
+the forced-config / transport rules the sharded executor relies on.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stream.costmodel import (
+    DEFAULT_CONSTANTS,
+    SHM_MIN_PAIRS,
+    FlushCostModel,
+    FlushPlan,
+    FlushPlanner,
+    geomean_ratio,
+)
+
+
+class TestCostModel:
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown cost-model constant"):
+            FlushCostModel({"warp_drive_fixed": 1.0})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown plan mode"):
+            FlushCostModel().phase_terms("fork", pairs=10, units=1)
+
+    def test_phase_taxonomy_per_mode(self):
+        """Each mode emits exactly the phases the executor traces for it."""
+        model = FlushCostModel()
+        assert set(model.phase_terms("unsharded", 500, 1)) == {"plan", "cut", "solve"}
+        assert set(model.phase_terms("seq", 500, 4)) == {
+            "plan", "cut", "build", "solve", "merge",
+        }
+        pickle_terms = model.phase_terms(
+            "process", 500, 4, shards=2, cores=2, transport="pickle"
+        )
+        assert set(pickle_terms) == {"plan", "cut", "build", "solve", "merge"}
+        assert "pickle_per_pair" in pickle_terms["solve"]
+        # shm folds the build into the workers' parallel section: no main-
+        # process build phase, staging terms ride in solve instead.
+        shm_terms = model.phase_terms(
+            "process", 500, 4, shards=2, cores=2, transport="shm"
+        )
+        assert set(shm_terms) == {"plan", "cut", "solve", "merge"}
+        assert "shm_fixed" in shm_terms["solve"]
+        assert "pickle_per_pair" not in shm_terms["solve"]
+
+    def test_micro_cut_term_switches_at_threshold(self):
+        model = FlushCostModel()
+        at = model.phase_terms("unsharded", 192, 1, min_shard_pairs=192)["cut"]
+        above = model.phase_terms("unsharded", 193, 1, min_shard_pairs=192)["cut"]
+        assert set(at) == {"cut_micro_fixed"}
+        assert set(above) == {"cut_fixed", "cut_per_pair"}
+
+    def test_predict_is_sum_of_phases_and_monotone_in_pairs(self):
+        model = FlushCostModel()
+        phases = model.predict_phases("seq", 1000, 3)
+        assert model.predict("seq", 1000, 3) == pytest.approx(sum(phases.values()))
+        assert model.predict("seq", 2000, 3) > model.predict("seq", 1000, 3)
+
+    def test_fit_recovers_planted_constants(self):
+        """Exact per-phase samples from known constants fit back exactly.
+
+        Per-*phase* rows are the calibration scheme: a whole-flush row
+        would alias e.g. ``build_per_pair`` with ``solve_per_pair``
+        (both scale with pairs), but within a phase the terms are
+        linearly independent once pairs and units vary.
+        """
+        truth = FlushCostModel({"solve_per_pair": 3.3e-6, "solve_unit_fixed": 2.5e-4})
+        samples = []
+        for pairs in (50, 200, 800, 3200):
+            for units in (1, 3, 9):
+                terms = truth.phase_terms("seq", pairs, units)
+                phases = truth.predict_phases("seq", pairs, units)
+                samples.extend(
+                    (term, phases[phase]) for phase, term in terms.items()
+                )
+        fitted = FlushCostModel().fit(samples)
+        assert fitted.constants["solve_per_pair"] == pytest.approx(3.3e-6, rel=1e-6)
+        assert fitted.constants["solve_unit_fixed"] == pytest.approx(2.5e-4, rel=1e-6)
+        # Constants absent from every sample keep their defaults.
+        assert fitted.constants["shm_fixed"] == DEFAULT_CONSTANTS["shm_fixed"]
+
+    def test_fit_empty_samples_is_identity(self):
+        model = FlushCostModel({"solve_per_pair": 9e-6})
+        assert model.fit([]).constants == model.constants
+
+    def test_max_pairs_within_monotone_with_zero_floor(self):
+        model = FlushCostModel()
+        assert model.max_pairs_within(1e-12) == 0.0
+        small = model.max_pairs_within(0.005)
+        large = model.max_pairs_within(0.05)
+        assert 0.0 < small < large
+
+    def test_from_bench_dir_reads_shards_constants(self, tmp_path):
+        payload = {"constants": {"solve_per_pair": 7.5e-6, "not_a_constant": 1.0}}
+        (tmp_path / "BENCH_shards.json").write_text(json.dumps(payload))
+        model = FlushCostModel.from_bench_dir(tmp_path)
+        assert model.constants["solve_per_pair"] == pytest.approx(7.5e-6)
+        assert "not_a_constant" not in model.constants
+
+    def test_from_bench_dir_missing_files_keeps_defaults(self, tmp_path):
+        assert FlushCostModel.from_bench_dir(tmp_path).constants == DEFAULT_CONSTANTS
+
+
+class TestGeomeanRatio:
+    def test_perfect_prediction_is_one(self):
+        assert geomean_ratio([1.0, 0.5], [1.0, 0.5]) == pytest.approx(1.0)
+
+    def test_symmetric_over_and_under_prediction(self):
+        assert geomean_ratio([2.0], [1.0]) == pytest.approx(
+            geomean_ratio([1.0], [2.0])
+        )
+        assert geomean_ratio([2.0, 0.5], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_nonpositive_pairs_skipped(self):
+        assert geomean_ratio([0.0, 3.0], [1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_empty_is_inf(self):
+        assert geomean_ratio([], []) == math.inf
+        assert geomean_ratio([0.0], [1.0]) == math.inf
+
+
+class TestFlushPlanLabel:
+    def test_labels(self):
+        assert FlushPlan(mode="unsharded").label == "uns"
+        assert FlushPlan(mode="seq").label == "seq"
+        assert FlushPlan(mode="thread", shards=2).label == "thr:2"
+        assert FlushPlan(mode="process", shards=4, transport="shm").label == "proc:4+shm"
+        assert FlushPlan(mode="process", shards=2, transport="pickle").label == "proc:2"
+
+
+class TestPlanner:
+    def test_plan_is_deterministic(self):
+        planner = FlushPlanner(cores=4)
+        plans = {planner.plan(5000, 6, False) for _ in range(5)}
+        assert len(plans) == 1
+
+    def test_single_unit_direct_is_unsharded(self):
+        plan = FlushPlanner(cores=8).plan(10_000, 1, True)
+        assert plan.mode == "unsharded"
+        assert plan.transport == "inline"
+        assert plan.predicted_seconds > 0.0
+
+    def test_forced_shards_pins_slots_but_still_predicts(self):
+        planner = FlushPlanner(cores=8, parallel="off", forced_shards=3)
+        plan = planner.plan(5000, 6, False)
+        assert plan.mode == "seq" and plan.shards == 3
+        assert plan.predicted_seconds > 0.0
+        forced = FlushPlanner(cores=8, parallel="process", forced_shards=3)
+        assert forced.plan(5000, 6, False).mode == "process"
+
+    def test_parallel_restricts_the_pool_family(self):
+        plan = FlushPlanner(cores=4, parallel="process").plan(50, 4, False)
+        assert plan.mode == "process"
+        plan = FlushPlanner(cores=4, parallel="thread").plan(50, 4, False)
+        assert plan.mode == "thread"
+
+    def test_one_core_free_planner_never_goes_parallel(self):
+        """With one core there is no speedup to buy: seq wins outright."""
+        planner = FlushPlanner(cores=1)
+        for pairs in (10, 1000, 100_000):
+            assert planner.plan(pairs, 8, False).mode == "seq"
+
+    def test_transport_rules(self):
+        planner = FlushPlanner(cores=4, parallel="process", shm_ok=True)
+        assert planner.plan(SHM_MIN_PAIRS, 4, False).transport == "shm"
+        assert planner.plan(SHM_MIN_PAIRS - 1, 4, False).transport == "pickle"
+        no_shm = FlushPlanner(cores=4, parallel="process", shm_ok=False)
+        assert no_shm.plan(10 * SHM_MIN_PAIRS, 4, False).transport == "pickle"
+        assert FlushPlanner(cores=4, parallel="thread").plan(
+            10 * SHM_MIN_PAIRS, 4, False
+        ).transport == "inline"
+
+    def test_invalid_forced_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="forced_shards"):
+            FlushPlanner(forced_shards=0)

@@ -91,6 +91,25 @@ class TestFingerprintContent:
         assert len({a, b, c}) == 3
 
 
+class TestPlannedCutInTheKey:
+    def test_simulator_cache_key_carries_the_cut_config(self):
+        """Two streams differing only in the cut's coalescing floor must
+        never alias: the simulator bakes ``cut(min_pairs=N)`` into the
+        cache profile (the plan's mode/slots/transport stay out — results
+        are invariant to them)."""
+        from repro.stream.simulator import DispatchSimulator, StreamConfig
+
+        simulator = DispatchSimulator(
+            UCESolver(),
+            config=StreamConfig(cache=True),
+        )
+        floor = simulator._shard_executor.min_shard_pairs
+        assert f"cut(min_pairs={floor})" in simulator._cache_profile.method_key
+        a = cache_profile(UCESolver(), shard_key="cut(min_pairs=192)")
+        b = cache_profile(UCESolver(), shard_key="cut(min_pairs=64)")
+        assert a.method_key != b.method_key
+
+
 class TestDutyCycleScenario:
     """The checked-in duty-cycle artifact must exercise the cache."""
 

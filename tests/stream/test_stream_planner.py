@@ -1,0 +1,106 @@
+"""Planner-on streams == forced-unsharded streams, event for event.
+
+The cost model only ever chooses among result-identical execution
+strategies (the cut, not the plan, defines every noise stream), so a
+``shards="auto"`` run of a committed scenario spec must reproduce the
+forced ``shards=0`` run exactly — assignments, latencies, per-worker
+spend, and the whole flush timeline.  These are the acceptance runs of
+ISSUE 7, pinned against the shipped example scenarios.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.api import ScenarioSpec
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(spec_path, shards):
+    spec = ScenarioSpec.from_file(spec_path)
+    spec = dataclasses.replace(
+        spec, options=dataclasses.replace(spec.options, shards=shards)
+    )
+    return spec.run()
+
+
+def _fingerprint(report):
+    """Everything observable about a run except wall-clock and the plan."""
+    out = {}
+    for method in report.methods():
+        stats = report[method]
+        out[method] = (
+            stats.arrived_tasks,
+            stats.arrived_workers,
+            stats.assigned,
+            stats.expired,
+            stats.leftover,
+            stats.total_utility,
+            stats.total_distance,
+            tuple(stats.latencies),
+            stats.total_privacy_spend,
+            tuple(sorted(stats.per_worker_spend.items())),
+            tuple(stats.privacy_timeline),
+            tuple(
+                (
+                    f.index,
+                    f.time,
+                    f.pending_tasks,
+                    f.idle_workers,
+                    f.matched,
+                    f.cumulative_privacy_spend,
+                    f.shards,
+                    f.pairs,
+                )
+                for f in stats.flushes
+            ),
+        )
+    return out
+
+
+class TestPlannerEquivalence:
+    @pytest.mark.parametrize(
+        "scenario", ["scenario_duty_cycle.json", "scenario_rush_hour.json"]
+    )
+    def test_planner_on_matches_forced_unsharded(self, scenario):
+        path = EXAMPLES / scenario
+        assert _fingerprint(_run(path, "auto")) == _fingerprint(_run(path, 0))
+
+
+class TestPlanRecords:
+    def test_auto_flush_records_carry_the_plan(self):
+        report = _run(EXAMPLES / "scenario_duty_cycle.json", "auto")
+        for method in report.methods():
+            stats = report[method]
+            assert stats.flushes
+            for record in stats.flushes:
+                assert record.planned_mode != ""
+                if record.planned_mode != "cache":
+                    assert record.predicted_seconds > 0.0
+                    assert record.pairs >= 0
+            assert stats.plan_summary != "-"
+
+    def test_cache_served_flushes_are_labelled_cache(self):
+        # duty_cycle ships with cache=true and UCE is cache-eligible.
+        report = _run(EXAMPLES / "scenario_duty_cycle.json", "auto")
+        stats = report["UCE"]
+        assert stats.cache_hits > 0
+        assert any(f.planned_mode == "cache" for f in stats.flushes)
+        assert "cache" in stats.plan_summary
+
+    def test_plan_summary_counts_by_first_seen_mode(self):
+        from repro.stream.metrics import FlushRecord, StreamStats
+
+        stats = StreamStats(method="UCE")
+        base = dict(
+            time=0.0, pending_tasks=1, idle_workers=1, matched=0,
+            solver_seconds=0.0, cumulative_privacy_spend=0.0,
+        )
+        for index, mode in enumerate(["uns", "uns", "seq", "uns"]):
+            stats.flushes.append(
+                FlushRecord(index=index, planned_mode=mode, **base)
+            )
+        assert stats.plan_summary == "uns:3 seq:1"
+        assert StreamStats(method="UCE").plan_summary == "-"

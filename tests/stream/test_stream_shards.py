@@ -1,8 +1,11 @@
 """Unit tests for the sharded flush executor and its stream wiring."""
 
+import os
+
 import pytest
 
 from repro.core.registry import make_solver
+from repro.core.workspace import shm_available
 from repro.datasets.synthetic import NormalGenerator
 from repro.datasets.workload import Task, Worker
 from repro.errors import ConfigurationError, InvalidInstanceError
@@ -15,11 +18,14 @@ from repro.stream import (
     StreamWorkload,
 )
 from repro.stream.shards import (
+    _WARM_POOLS,
+    _warm_pool,
     ShardedFlushExecutor,
     ShardSeedSchedule,
     build_shard_instance,
     cut_flush,
     merge_shard_results,
+    shutdown_warm_pools,
 )
 
 
@@ -254,10 +260,13 @@ class TestStreamWiring:
         assert all(f.batch_limit == 25 for f in records)
 
     def test_parallel_requires_shards(self):
+        # Under shards="auto" (the default) parallel merely constrains the
+        # planner; only a forced-unsharded config rejects a parallel mode.
         with pytest.raises(ConfigurationError, match="requires shards"):
-            StreamConfig(parallel="thread")
+            StreamConfig(shards=0, parallel="thread")
         with pytest.raises(ConfigurationError, match="parallel mode"):
             StreamConfig(shards=2, parallel="bogus")
+        StreamConfig(parallel="thread")  # auto: valid, restricts the planner
 
     def test_adaptive_shrinks_to_floor_under_impossible_target(self):
         """A target no flush can meet walks the limit down to the floor."""
@@ -281,3 +290,122 @@ class TestStreamWiring:
         config = StreamConfig(max_batch_size=25, max_wait=0.2)
         report = StreamRunner(["UCE"], config=config).run(workload.events(seed=0), seed=0)
         assert {f.batch_limit for f in report["UCE"].flushes} == {25}
+
+
+class _ExplodingSolver:
+    """Picklable stand-in that raises inside the pool worker."""
+
+    name = "EXPLODE"
+    is_private = False
+
+    def solve(self, instance, seed=None, **kwargs):
+        raise RuntimeError("shard solver exploded")
+
+
+class _WorkerKillingSolver:
+    """Picklable stand-in that kills its pool worker process outright."""
+
+    name = "CRASH"
+    is_private = False
+
+    def solve(self, instance, seed=None, **kwargs):
+        import os as _os
+
+        _os._exit(1)
+
+
+class TestTransportAndFailurePaths:
+    """The zero-copy transport's lifecycle guarantees (ISSUE 7)."""
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard transport"):
+            ShardedFlushExecutor(make_solver("UCE"), transport="carrier-pigeon")
+
+    @pytest.mark.skipif(not shm_available(), reason="no shared memory on host")
+    def test_pooled_failure_unlinks_shm_and_shuts_pool_down(self):
+        """A raising shard solve leaks neither /dev/shm space nor a pool."""
+        instance = two_cluster_instance()
+        before = set(os.listdir("/dev/shm"))
+        pool = _warm_pool("process", 2)  # pre-warm so the discard is observable
+        executor = ShardedFlushExecutor(
+            _ExplodingSolver(),
+            num_shards=2,
+            parallel="process",
+            max_workers=2,
+            min_shard_pairs=1,
+            transport="shm",
+        )
+        with pytest.raises(RuntimeError, match="exploded"):
+            executor.solve(instance, ShardSeedSchedule((3,)))
+        # The arena staged planes (the failure happened mid-solve) and the
+        # failure path unlinked its segment again.
+        assert executor._arena is not None
+        assert executor._arena.segment_name is None
+        assert set(os.listdir("/dev/shm")) <= before
+        # The possibly-poisoned pool left the warm registry, shut down.
+        assert ("process", 2) not in _WARM_POOLS
+        with pytest.raises(RuntimeError):
+            pool.submit(int)
+
+    def test_worker_crash_respawns_pool_once_then_propagates(self):
+        """A dead worker triggers one traced respawn; a second break raises."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.obs.tracer import Tracer
+
+        instance = two_cluster_instance()
+        tracer = Tracer()
+        executor = ShardedFlushExecutor(
+            _WorkerKillingSolver(),
+            num_shards=2,
+            parallel="process",
+            max_workers=2,
+            min_shard_pairs=1,
+            transport="pickle",
+            tracer=tracer,
+        )
+        with pytest.raises(BrokenProcessPool):
+            executor.solve(instance, ShardSeedSchedule((3,)))
+        respawns = [s for s in tracer.spans if s.name == "pool.respawn"]
+        assert len(respawns) == 1
+        assert ("process", 2) not in _WARM_POOLS
+
+    def test_forced_shm_falls_back_to_pickle_when_unavailable(self, monkeypatch):
+        """transport='shm' on a host without shm degrades, bit-identically."""
+        import repro.stream.shards as shards_module
+
+        instance = two_cluster_instance()
+        schedule = ShardSeedSchedule((5,))
+        solver = make_solver("PUCE")
+        reference = ShardedFlushExecutor(
+            solver, num_shards=1, min_shard_pairs=1
+        ).solve(instance, schedule)
+        monkeypatch.setattr(shards_module, "shm_available", lambda: False)
+        with ShardedFlushExecutor(
+            solver,
+            num_shards=2,
+            parallel="process",
+            max_workers=2,
+            min_shard_pairs=1,
+            transport="shm",
+        ) as executor:
+            merged = executor.solve(instance, schedule)
+        assert executor._arena is None  # nothing was ever staged
+        assert dict(merged.matching) == dict(reference.matching)
+        assert list(merged.ledger.events()) == list(reference.ledger.events())
+
+    def test_close_keeps_the_pool_warm_for_the_next_stream(self):
+        instance = two_cluster_instance()
+        schedule = ShardSeedSchedule((7,))
+        kwargs = dict(
+            num_shards=2, parallel="process", max_workers=2, min_shard_pairs=1
+        )
+        with ShardedFlushExecutor(make_solver("UCE"), **kwargs) as first:
+            first.solve(instance, schedule)
+        pool = _WARM_POOLS.get(("process", 2))
+        assert pool is not None  # close() left it warm
+        with ShardedFlushExecutor(make_solver("UCE"), **kwargs) as second:
+            second.solve(instance, schedule)
+        assert _WARM_POOLS.get(("process", 2)) is pool  # reused, not respawned
+        shutdown_warm_pools()
+        assert not _WARM_POOLS
