@@ -1,0 +1,247 @@
+"""Dispatch-service benchmark: thousands of tenants on one event loop.
+
+Drives the multi-tenant service (:mod:`repro.service`) with
+``REPRO_BENCH_TENANTS`` interleaved tenant sessions (default 1000;
+smoke: 120) in a single process.  Every tenant opens its own session,
+staffs a small fleet, releases tasks, advances, drains, finishes — all
+through the typed wire records — while sharing one process-wide flush
+cache.  Tenants are drawn from a handful of workload shapes, so the
+shared cache sees genuine cross-tenant recurrence (the service's
+headline economy) alongside unique-solve traffic.
+
+Measured and written to ``BENCH_service.json``:
+
+* aggregate throughput — assigned tasks per wall second across all
+  tenants, and requests per second through the queues;
+* per-tenant p95 request latency (enqueue -> reply) and p95 session
+  duration (open -> finished);
+* shed rate — requests refused at admission over requests offered,
+  exercised by a burst cohort that floods its queue on purpose.
+
+``REPRO_BENCH_SMOKE=1`` keeps the run error-only and leaves the tracked
+baseline untouched (``REPRO_BENCH_JSON_DIR`` collects the fresh JSON for
+the CI perf gate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_seed, emit_table
+from repro.api.wire import FinishedReply, ShedReply
+from repro.datasets.workload import Task, Worker
+from repro.service import DispatchService, ServiceClient, ServiceConfig
+from repro.spatial.geometry import Point
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Distinct workload shapes tenants cycle through; small, so identical
+#: flushes recur across tenants and the shared cache earns hits.
+SHAPES = 8
+WORKERS_PER_TENANT = 3
+TASKS_PER_TENANT = 6
+#: One tenant in BURST_EVERY floods its queue without awaiting replies,
+#: overflowing the per-tenant cap on purpose (the shedding path).
+BURST_EVERY = 10
+BURST_TASKS = 24
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _tenants() -> int:
+    return int(os.environ.get("REPRO_BENCH_TENANTS", "120" if _smoke() else "1000"))
+
+
+def _json_target() -> Path | None:
+    out = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if out:
+        return Path(out) / "BENCH_service.json"
+    return None if _smoke() else BENCH_JSON
+
+
+async def _drive_tenant(service, name, shape, burst, latencies):
+    """One tenant's whole session; returns (assigned, shed, duration)."""
+    client = ServiceClient(service, name, raise_errors=True)
+
+    async def timed(coro):
+        started = time.perf_counter()
+        reply = await coro
+        latencies.append(time.perf_counter() - started)
+        return reply
+
+    opened = time.perf_counter()
+    await timed(client.open("UCE", options={"cache": True, "max_wait": 0.2}))
+    for j in range(WORKERS_PER_TENANT):
+        await timed(
+            client.submit_worker(
+                Worker(
+                    id=100 + j,
+                    location=Point(float(j) + 0.1 * shape, 0.0),
+                    radius=4.0,
+                ),
+                budget=40.0,
+            )
+        )
+    if burst:
+        # Fire the whole burst concurrently: replies are not awaited
+        # one-by-one, so the queue genuinely fills and admission sheds.
+        await asyncio.gather(
+            *(
+                timed(
+                    client.submit_task(
+                        Task(
+                            id=i,
+                            location=Point(0.4 * (i % 5), 0.1 * shape),
+                            value=4.5,
+                        ),
+                        at=0.1,
+                    )
+                )
+                for i in range(BURST_TASKS)
+            )
+        )
+    else:
+        for i in range(TASKS_PER_TENANT):
+            await timed(
+                client.submit_task(
+                    Task(
+                        id=i,
+                        location=Point(0.4 * i, 0.1 * shape),
+                        value=4.5,
+                    ),
+                    at=0.05 * (i + 1),
+                )
+            )
+    await timed(client.advance(1.0))
+    drained = len(await timed(client.drain()))
+    final = await timed(client.finish())
+    duration = time.perf_counter() - opened
+    assert isinstance(final, FinishedReply)
+    return {
+        "assigned": final.assigned,
+        "arrived": final.arrived_tasks,
+        "drained": drained,
+        "shed": client.shed,
+        "duration": duration,
+        "cache_hit_rate": final.cache_hit_rate,
+    }
+
+
+async def _run_fleet(num_tenants, seed):
+    config = ServiceConfig(
+        max_sessions=max(num_tenants, 1),
+        queue_limit=8,
+        backpressure_ratio=None,  # measure shedding from queue caps alone
+        cache_entries=4096,
+    )
+    service = DispatchService(config)
+    per_tenant_latencies: list[list[float]] = [[] for _ in range(num_tenants)]
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(
+        *(
+            _drive_tenant(
+                service,
+                f"tenant-{seed}-{t}",
+                shape=t % SHAPES,
+                burst=(t % BURST_EVERY == 0),
+                latencies=per_tenant_latencies[t],
+            )
+            for t in range(num_tenants)
+        )
+    )
+    wall = time.perf_counter() - started
+    metrics_text = service.render_metrics()
+    cache_stats = {
+        "entries": len(service.cache),
+        "hits": service.cache.hits,
+        "misses": service.cache.misses,
+        "evictions": service.cache.evictions,
+        "total_bytes": service.cache.total_bytes,
+    }
+    await service.close()
+    return outcomes, per_tenant_latencies, wall, metrics_text, cache_stats
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@pytest.fixture(scope="module")
+def service_rows():
+    num_tenants = _tenants()
+    seed = bench_seed()
+    outcomes, latencies, wall, metrics_text, cache_stats = asyncio.run(
+        _run_fleet(num_tenants, seed)
+    )
+    assigned = sum(o["assigned"] for o in outcomes)
+    arrived = sum(o["arrived"] for o in outcomes)
+    shed = sum(o["shed"] for o in outcomes)
+    requests = sum(len(lat) for lat in latencies)
+    tenant_p95s = [_percentile(lat, 95.0) for lat in latencies if lat]
+    durations = [o["duration"] for o in outcomes]
+    return {
+        "tenants": num_tenants,
+        "seed": seed,
+        "wall_seconds": wall,
+        "rows": [
+            {
+                "metric": "service",
+                "tenants": num_tenants,
+                "requests": requests,
+                "arrived": arrived,
+                "assigned": assigned,
+                "shed": shed,
+                "shed_rate": shed / (requests + shed) if requests else 0.0,
+                "tasks_per_sec": assigned / wall if wall else 0.0,
+                "requests_per_sec": requests / wall if wall else 0.0,
+                "request_p95_seconds": _percentile(tenant_p95s, 50.0),
+                "request_p95_worst_seconds": max(tenant_p95s),
+                "session_p95_seconds": _percentile(durations, 95.0),
+                "cache_hit_rate_mean": float(
+                    np.mean([o["cache_hit_rate"] for o in outcomes])
+                ),
+                "shared_cache": cache_stats,
+            }
+        ],
+        "has_shed_metric": "service_shed_total" in metrics_text,
+    }
+
+
+def test_service_throughput_baseline(service_rows):
+    """Record the service baseline; sanity-check the multiplexing."""
+    row = service_rows["rows"][0]
+    lines = [
+        "tenants  requests  assigned  shed   wall_s  tasks/s  req/s    p95_ms",
+        f"{row['tenants']:>7} {row['requests']:>9} {row['assigned']:>9} "
+        f"{row['shed']:>5} {service_rows['wall_seconds']:>8.2f} "
+        f"{row['tasks_per_sec']:>8.0f} {row['requests_per_sec']:>8.0f} "
+        f"{row['request_p95_seconds'] * 1e3:>9.2f}",
+    ]
+    if not _smoke():
+        emit_table("service_throughput", "\n".join(lines))
+
+    target = _json_target()
+    if target is not None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(service_rows, indent=2) + "\n")
+
+    # Every tenant session completed and work actually flowed.
+    assert row["tenants"] == _tenants()
+    assert row["assigned"] > 0
+    assert row["tasks_per_sec"] > 0
+    assert 0.0 <= row["shed_rate"] < 1.0
+    # The burst cohort must actually exercise admission shedding.
+    assert row["shed"] > 0
+    assert service_rows["has_shed_metric"]
+    # The shared cache must see cross-tenant recurrence: far fewer
+    # solved entries than flushes, i.e. hits strictly positive.
+    assert row["shared_cache"]["hits"] > 0

@@ -1,12 +1,13 @@
 """Perf-regression gate: fresh bench JSONs vs the committed baselines.
 
 CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py``,
-``bench_flush_overhead.py``, ``bench_obs_overhead.py`` and
-``bench_shard_transport.py`` in smoke mode with
+``bench_flush_overhead.py``, ``bench_obs_overhead.py``,
+``bench_shard_transport.py`` and ``bench_service.py`` in smoke mode with
 ``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory, then invokes
 this script to compare the fresh measurements against the *committed*
 ``BENCH_core.json`` / ``BENCH_stream.json`` / ``BENCH_flush.json`` /
-``BENCH_obs.json`` / ``BENCH_shards.json`` at the repository root.
+``BENCH_obs.json`` / ``BENCH_shards.json`` / ``BENCH_service.json`` at
+the repository root.
 
 The comparison is deliberately generous — a ``--floor`` of 3.0 means a
 fresh number may be up to 3x slower than the committed baseline before
@@ -219,6 +220,41 @@ def check_shards(committed: dict, fresh: dict, floor: float, lines: list[str]) -
     return all_ok
 
 
+def check_service(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Multi-tenant service throughput, plus its functional smoke bits.
+
+    Assigned tasks/sec through the asyncio frontend is roughly
+    scale-independent (both runs divide by their own wall), so it gates
+    like the stream numbers.  Shedding and shared-cache hits are
+    functional properties of the bench's burst/recurrence cohorts and
+    must simply stay alive.
+    """
+    base_row = committed["rows"][0]
+    all_ok = True
+    for row in fresh["rows"]:
+        if row.get("metric") != "service":
+            continue
+        ok = row["tasks_per_sec"] >= base_row["tasks_per_sec"] / floor
+        shed_ok = row["shed"] > 0
+        cache_ok = row["shared_cache"]["hits"] > 0
+        all_ok &= ok and shed_ok and cache_ok
+        lines.append(
+            f"service tenants={row['tenants']:<5} tasks/s: fresh "
+            f"{row['tasks_per_sec']:>12,.0f}  committed "
+            f"{base_row['tasks_per_sec']:>12,.0f}  floor "
+            f"{base_row['tasks_per_sec'] / floor:>12,.0f}  "
+            f"{'ok' if ok else 'REGRESSION'}"
+        )
+        lines.append(
+            f"service shedding exercised: {row['shed']:>5} requests  "
+            f"shared-cache hits: {row['shared_cache']['hits']:>6}  "
+            f"{'ok' if shed_ok and cache_ok else 'REGRESSION (must stay > 0)'}"
+        )
+        return all_ok
+    lines.append("service: no service rows — REGRESSION")
+    return False
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -263,6 +299,12 @@ def main(argv: list[str] | None = None) -> int:
     ok &= check_shards(
         load(ROOT / "BENCH_shards.json"),
         load(args.fresh / "BENCH_shards.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_service(
+        load(ROOT / "BENCH_service.json"),
+        load(args.fresh / "BENCH_service.json"),
         args.floor,
         lines,
     )

@@ -15,7 +15,15 @@ Run with ``PYTHONPATH=src python examples/service_api.py``.
 
 from pathlib import Path
 
-from repro import DispatchSession, Point, ScenarioSpec, SolveOptions, Task, Worker
+from repro import (
+    DispatchSession,
+    Point,
+    ScenarioSpec,
+    SessionConfig,
+    SolveOptions,
+    Task,
+    Worker,
+)
 
 SCENARIO_FILE = Path(__file__).with_name("scenario_rush_hour.json")
 
@@ -23,7 +31,8 @@ SCENARIO_FILE = Path(__file__).with_name("scenario_rush_hour.json")
 def drive_a_session() -> None:
     print("=== DispatchSession: request-by-request dispatch ===")
     options = SolveOptions(seed=7, max_batch_size=8, max_wait=0.1)
-    with DispatchSession("PUCE", options=options, default_deadline=0.6) as session:
+    config = SessionConfig(options=options, default_deadline=0.6)
+    with DispatchSession("PUCE", config) as session:
         # The morning fleet comes on duty.
         for j in range(6):
             session.submit_worker(

@@ -31,8 +31,11 @@ Packages:
   `MethodSpec`, `DispatchSession`, `ScenarioSpec`,
 * :mod:`repro.obs`        -- observability: flush span tracing, online
   windowed stream indicators, metrics registry + Prometheus/JSONL export,
+* :mod:`repro.service`    -- the multi-tenant dispatch service: many
+  concurrent sessions on one asyncio loop, typed wire records, a shared
+  persistent flush cache, per-tenant budgets and admission shedding,
 * :mod:`repro.experiments`-- the per-figure reproduction harness and the
-  ``stream`` / ``scenario`` / ``profile`` CLIs.
+  ``stream`` / ``scenario`` / ``profile`` / ``serve`` CLIs.
 
 Service quickstart (drive dispatch request-by-request)::
 
@@ -68,10 +71,26 @@ Declarative scenarios (shareable experiment artifacts)::
 """
 
 from repro.api import (
+    WIRE_VERSION,
+    AckReply,
+    Advance,
+    AssignmentRecord,
+    AssignmentsReply,
     DispatchSession,
+    Drain,
+    ErrorReply,
+    Finish,
+    FinishedReply,
     MethodSpec,
+    OpenSession,
     ScenarioSpec,
+    SessionConfig,
+    ShedReply,
     SolveOptions,
+    SubmitTask,
+    SubmitWorker,
+    decode_record,
+    encode_record,
     run_scenario,
 )
 from repro.core import (
@@ -113,6 +132,7 @@ from repro.errors import (
     InvalidInstanceError,
     MatchingError,
     ReproError,
+    ServiceError,
 )
 from repro.datasets import load_tasks, load_workers, save_tasks, save_workers
 from repro.matching import Matching
@@ -135,6 +155,7 @@ from repro.privacy import (
     TrilaterationAttack,
     attack_assignment,
 )
+from repro.service import DispatchService, ServiceClient, ServiceConfig
 from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
 from repro.spatial import Point
 from repro.core import EngineWorkspace
@@ -214,9 +235,30 @@ __all__ = [
     "SolveOptions",
     "MethodSpec",
     "DispatchSession",
+    "SessionConfig",
     "ScenarioSpec",
     "run_scenario",
     "Assignment",
+    # wire records
+    "WIRE_VERSION",
+    "OpenSession",
+    "SubmitTask",
+    "SubmitWorker",
+    "Advance",
+    "Drain",
+    "Finish",
+    "AckReply",
+    "AssignmentRecord",
+    "AssignmentsReply",
+    "FinishedReply",
+    "ErrorReply",
+    "ShedReply",
+    "encode_record",
+    "decode_record",
+    # dispatch service
+    "DispatchService",
+    "ServiceClient",
+    "ServiceConfig",
     # online dispatch
     "PoissonProcess",
     "RushHourProcess",
@@ -259,4 +301,5 @@ __all__ = [
     "MatchingError",
     "ConvergenceError",
     "DatasetError",
+    "ServiceError",
 ]

@@ -16,7 +16,11 @@ Four pieces (ICDE'23 reproduction grown into a dispatch service):
 * :class:`~repro.api.scenario.ScenarioSpec` — declarative JSON scenarios
   (arrivals, spatial law, methods, options) with ``from_file`` /
   ``to_workload`` and the ``python -m repro.experiments scenario``
-  subcommand.
+  subcommand;
+* :mod:`repro.api.wire` — the versioned, JSON-round-trippable wire
+  records (``SubmitTask``, ``Advance``, ``AssignmentsReply``, ...)
+  spoken by :class:`~repro.api.session.DispatchSession.apply` and the
+  multi-tenant :mod:`repro.service` frontend.
 
 Layering rule: lower layers (core / stream / simulation) may import
 :mod:`repro.api.options` — it depends only on :mod:`repro.errors`, and
@@ -32,9 +36,26 @@ _EXPORTS = {
     "PARALLEL_MODES": "repro.api.options",
     "MethodSpec": "repro.api.methods",
     "DispatchSession": "repro.api.session",
+    "SessionConfig": "repro.api.session",
     "Assignment": "repro.stream.events",
     "ScenarioSpec": "repro.api.scenario",
     "run_scenario": "repro.api.scenario",
+    "WIRE_VERSION": "repro.api.wire",
+    "WireRecord": "repro.api.wire",
+    "OpenSession": "repro.api.wire",
+    "SubmitTask": "repro.api.wire",
+    "SubmitWorker": "repro.api.wire",
+    "Advance": "repro.api.wire",
+    "Drain": "repro.api.wire",
+    "Finish": "repro.api.wire",
+    "AckReply": "repro.api.wire",
+    "AssignmentRecord": "repro.api.wire",
+    "AssignmentsReply": "repro.api.wire",
+    "FinishedReply": "repro.api.wire",
+    "ErrorReply": "repro.api.wire",
+    "ShedReply": "repro.api.wire",
+    "encode_record": "repro.api.wire",
+    "decode_record": "repro.api.wire",
 }
 
 __all__ = list(_EXPORTS)
@@ -47,7 +68,25 @@ if TYPE_CHECKING:  # static importers see the real names
         SolveOptions,
     )
     from repro.api.scenario import ScenarioSpec, run_scenario
-    from repro.api.session import DispatchSession
+    from repro.api.session import DispatchSession, SessionConfig
+    from repro.api.wire import (
+        WIRE_VERSION,
+        AckReply,
+        Advance,
+        AssignmentRecord,
+        AssignmentsReply,
+        Drain,
+        ErrorReply,
+        Finish,
+        FinishedReply,
+        OpenSession,
+        ShedReply,
+        SubmitTask,
+        SubmitWorker,
+        WireRecord,
+        decode_record,
+        encode_record,
+    )
     from repro.stream.events import Assignment
 
 

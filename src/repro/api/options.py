@@ -35,6 +35,7 @@ __all__ = [
     "validate_sharding",
     "validate_batching",
     "validate_service",
+    "validate_default_deadline",
 ]
 
 #: WorkerProposal sweep implementations of the conflict-elimination engine.
@@ -135,6 +136,15 @@ def validate_service(speed: float, min_service: float) -> None:
         raise ConfigurationError(f"speed must be positive, got {speed}")
     if min_service < 0:
         raise ConfigurationError(f"min_service must be >= 0, got {min_service}")
+
+
+def validate_default_deadline(default_deadline: float) -> float:
+    """Check a session's default task patience; returns it for chaining."""
+    if not default_deadline > 0:
+        raise ConfigurationError(
+            f"default_deadline must be positive, got {default_deadline}"
+        )
+    return float(default_deadline)
 
 
 @dataclass(frozen=True)

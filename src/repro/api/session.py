@@ -17,6 +17,19 @@ is the long-lived stateful facade for that mode::
             print(event.task_id, "->", event.worker_id, event.latency)
         stats = session.finish()            # StreamStats, as a replay run
 
+Session-level knobs beyond :class:`~repro.api.options.SolveOptions` —
+stream-config override, seed override, default task patience, a shared
+flush cache — live in one validated :class:`SessionConfig`::
+
+    config = SessionConfig(options=SolveOptions(seed=7), default_deadline=0.6)
+    session = DispatchSession("PUCE", config)
+
+``submit_task`` / ``submit_worker`` build typed wire records
+(:mod:`repro.api.wire`) and route them through :meth:`DispatchSession.
+apply` — the same request path the multi-tenant service
+(:mod:`repro.service`) drives, so the facade and the service share one
+schema and one semantics (the wire-equivalence property test pins it).
+
 The session is a thin veneer over
 :class:`~repro.stream.simulator.DispatchSimulator`'s incremental mode
 (``push_event`` / ``advance`` / ``finalize``), which is the *same* loop
@@ -31,11 +44,26 @@ clock's high-water mark.
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import TYPE_CHECKING, Iterable
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.api.methods import MethodSpec
-from repro.api.options import SolveOptions
+from repro.api.options import (
+    SolveOptions,
+    reject_unknown_keys,
+    validate_default_deadline,
+)
+from repro.api.wire import (
+    Advance,
+    Drain,
+    Finish,
+    SubmitTask,
+    SubmitWorker,
+    WireRecord,
+)
 from repro.datasets.workload import Task, Worker
 from repro.errors import ConfigurationError
 from repro.stream.cache import FlushSolverCache
@@ -46,7 +74,105 @@ from repro.stream.simulator import DispatchSimulator, StreamConfig
 if TYPE_CHECKING:
     from repro.core.registry import Solver
 
-__all__ = ["DispatchSession"]
+__all__ = ["SessionConfig", "DispatchSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every session-level knob, validated once.
+
+    Parameters
+    ----------
+    options:
+        The unified dispatch knobs (seed, batching, sharding, sweep).
+        The session's :class:`~repro.stream.simulator.StreamConfig` is
+        derived from them unless ``stream`` overrides it wholesale.
+    stream:
+        Full control over the online layer (duty cycles, budget
+        sampler); when given, it wins over the streaming fields of
+        ``options``.
+    seed:
+        Override of ``options.seed`` for the session's noise streams.
+    default_deadline:
+        Patience given to ``submit_task`` calls that omit ``deadline``.
+    record_assignments:
+        Keep per-assignment events for :meth:`DispatchSession.drain`
+        (off for pure-stats replay runs).
+    cache:
+        A :class:`~repro.stream.cache.FlushSolverCache` to share across
+        sessions (repeated runs of one scenario hit it even for private
+        methods, whose per-flush noise keys recur run to run).  Omitted,
+        ``options.cache`` decides whether the session owns a private
+        one.  Process-local — it does not serialize; use the cache's own
+        snapshot persistence to move it between processes.
+    """
+
+    options: SolveOptions = SolveOptions()
+    stream: StreamConfig | None = None
+    seed: int | None = None
+    default_deadline: float = 1.0
+    record_assignments: bool = True
+    cache: FlushSolverCache | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.options, SolveOptions):
+            raise ConfigurationError(
+                f"options must be a SolveOptions, got {type(self.options).__name__}"
+            )
+        if self.stream is not None and not isinstance(self.stream, StreamConfig):
+            raise ConfigurationError(
+                f"stream must be a StreamConfig or None, "
+                f"got {type(self.stream).__name__}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"seed must be an int or None, got {self.seed!r}"
+            )
+        if self.cache is not None and not isinstance(self.cache, FlushSolverCache):
+            raise ConfigurationError(
+                f"cache must be a FlushSolverCache or None, "
+                f"got {type(self.cache).__name__}"
+            )
+        validate_default_deadline(self.default_deadline)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SessionConfig":
+        """Build from a plain dict (JSON), rejecting unknown keys.
+
+        ``options`` may itself be a mapping (validated through
+        :meth:`SolveOptions.from_mapping`).  The process-local fields
+        (``stream``, ``cache``) have no JSON form and are refused.
+        """
+        data = reject_unknown_keys(cls, mapping, "session")
+        for local in ("stream", "cache"):
+            if data.get(local) is not None:
+                raise ConfigurationError(
+                    f"session key {local!r} is process-local and cannot be "
+                    f"built from a mapping"
+                )
+        options = data.get("options")
+        if isinstance(options, Mapping):
+            data["options"] = SolveOptions.from_mapping(options)
+        return cls(**data)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-able fields (``stream``/``cache`` stay process-local)."""
+        return {
+            "options": self.options.to_dict(),
+            "seed": self.seed,
+            "default_deadline": self.default_deadline,
+            "record_assignments": self.record_assignments,
+        }
+
+    def replace(self, **changes: Any) -> "SessionConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The pre-`SessionConfig` constructor keywords, kept as shims.
+_LEGACY_SESSION_KEYS = frozenset(
+    {"config", "seed", "default_deadline", "record_assignments", "cache"}
+)
 
 
 class DispatchSession:
@@ -57,52 +183,81 @@ class DispatchSession:
     method:
         A method name (``"PUCE"``), a spec string (``"PDCE(ppcf=off)"``),
         a :class:`~repro.api.methods.MethodSpec`, or a ready solver.
+    session:
+        The validated :class:`SessionConfig` of session-level knobs.
     options:
-        The unified knobs (seed, batching, sharding, sweep).  The
-        session's :class:`~repro.stream.simulator.StreamConfig` is
-        derived from them unless ``config`` overrides it wholesale.
-    config:
-        Full control over the online layer (duty cycles, budget sampler);
-        mutually exclusive with the streaming fields of ``options`` in
-        spirit — when given, it wins.
-    seed:
-        Override of ``options.seed`` for this session's noise streams.
-    default_deadline:
-        Patience given to ``submit_task`` calls that omit ``deadline``.
-    cache:
-        A :class:`~repro.stream.cache.FlushSolverCache` to share across
-        sessions (repeated runs of one scenario hit it even for private
-        methods, whose per-flush noise keys recur run to run).  Omitted,
-        ``options.cache`` decides whether the session owns a private one.
+        Shorthand for ``SessionConfig(options=...)`` — the common case
+        of a session that only sets dispatch knobs.  Mutually exclusive
+        with ``session``.
+
+    The historical keyword forms (``config=``, ``seed=``,
+    ``default_deadline=``, ``record_assignments=``, ``cache=``) still
+    work but emit :class:`DeprecationWarning`; they fold into a
+    :class:`SessionConfig` with bit-identical semantics.
     """
 
     def __init__(
         self,
         method: "str | MethodSpec | Solver",
+        session: SessionConfig | None = None,
         *,
         options: SolveOptions | None = None,
-        config: StreamConfig | None = None,
-        seed: int | None = None,
-        default_deadline: float = 1.0,
-        record_assignments: bool = True,
-        cache: "FlushSolverCache | None" = None,
+        **legacy: Any,
     ):
-        self.options = options if options is not None else SolveOptions()
-        if not default_deadline > 0:
-            raise ConfigurationError(
-                f"default_deadline must be positive, got {default_deadline}"
+        if legacy:
+            unknown = sorted(set(legacy) - _LEGACY_SESSION_KEYS)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown DispatchSession argument(s) {unknown}; "
+                    f"valid session knobs live on SessionConfig"
+                )
+            if session is not None:
+                raise ConfigurationError(
+                    "pass session-level knobs inside SessionConfig, not as "
+                    "separate keywords alongside session="
+                )
+            warnings.warn(
+                f"DispatchSession keyword(s) {sorted(legacy)} are deprecated; "
+                f"fold them into a SessionConfig (bit-identical semantics)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        self.default_deadline = float(default_deadline)
+            session = SessionConfig(
+                options=options if options is not None else SolveOptions(),
+                stream=legacy.get("config"),
+                seed=legacy.get("seed"),
+                default_deadline=legacy.get("default_deadline", 1.0),
+                record_assignments=legacy.get("record_assignments", True),
+                cache=legacy.get("cache"),
+            )
+        elif session is None:
+            session = SessionConfig(
+                options=options if options is not None else SolveOptions()
+            )
+        elif not isinstance(session, SessionConfig):
+            raise ConfigurationError(
+                f"session must be a SessionConfig, got {type(session).__name__}"
+            )
+        elif options is not None:
+            raise ConfigurationError(
+                "pass either session= or options=, not both "
+                "(SessionConfig already carries the options)"
+            )
+        self.session = session
+        self.options = session.options
+        self.default_deadline = session.default_deadline
         if isinstance(method, (str, MethodSpec)):
             solver = MethodSpec.parse(method).make(self.options)
         else:
             solver = method
         self._simulator = DispatchSimulator(
             solver,
-            config=config if config is not None else self.options.stream_config(),
-            seed=self.options.seed if seed is None else seed,
-            record_assignments=record_assignments,
-            cache=cache,
+            config=session.stream
+            if session.stream is not None
+            else self.options.stream_config(),
+            seed=self.options.seed if session.seed is None else session.seed,
+            record_assignments=session.record_assignments,
+            cache=session.cache,
         )
 
     # -- introspection -----------------------------------------------------
@@ -133,6 +288,52 @@ class DispatchSession:
         """Feed one raw arrival event (the workload-replay primitive)."""
         self._simulator.push_event(event)
 
+    def apply(
+        self, record: WireRecord
+    ) -> "None | tuple[Assignment, ...] | StreamStats":
+        """Apply one typed wire request; the service's single entry point.
+
+        Returns the request's domain outcome: ``None`` for submits and
+        advances, the drained :class:`~repro.stream.events.Assignment`
+        events for :class:`~repro.api.wire.Drain`, the final
+        :class:`~repro.stream.metrics.StreamStats` for
+        :class:`~repro.api.wire.Finish`.  ``submit_task`` /
+        ``submit_worker`` route through here too, so wire-driven and
+        direct sessions share one request path.
+        """
+        if isinstance(record, SubmitTask):
+            task = record.to_task()
+            release = task.release_time if record.at is None else record.at
+            self.submit(
+                TaskArrival(
+                    time=release,
+                    task=task,
+                    deadline=release + self.default_deadline
+                    if record.deadline is None
+                    else record.deadline,
+                )
+            )
+            return None
+        if isinstance(record, SubmitWorker):
+            self.submit(
+                WorkerArrival(
+                    time=record.at,
+                    worker=record.to_worker(),
+                    budget_capacity=record.budget_capacity,
+                )
+            )
+            return None
+        if isinstance(record, Advance):
+            self.advance(record.to_time)
+            return None
+        if isinstance(record, Drain):
+            return self.drain()
+        if isinstance(record, Finish):
+            return self.finish()
+        raise ConfigurationError(
+            f"cannot apply wire record {type(record).__name__} to a session"
+        )
+
     def submit_task(
         self,
         task: Task,
@@ -145,16 +346,7 @@ class DispatchSession:
         ``deadline`` is absolute; omitted it defaults to the release time
         plus the session's ``default_deadline``.
         """
-        release = task.release_time if at is None else float(at)
-        self.submit(
-            TaskArrival(
-                time=release,
-                task=task,
-                deadline=release + self.default_deadline
-                if deadline is None
-                else float(deadline),
-            )
-        )
+        self.apply(SubmitTask.from_task(task, at=at, deadline=deadline))
 
     def submit_worker(
         self,
@@ -164,9 +356,7 @@ class DispatchSession:
         budget: float = math.inf,
     ) -> None:
         """Put ``worker`` on duty at ``at`` with a shift budget capacity."""
-        self.submit(
-            WorkerArrival(time=float(at), worker=worker, budget_capacity=budget)
-        )
+        self.apply(SubmitWorker.from_worker(worker, at=at, budget=budget))
 
     # -- driving -----------------------------------------------------------
 

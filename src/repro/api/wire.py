@@ -1,0 +1,451 @@
+"""Typed wire records — the one request/response schema of dispatch.
+
+A platform talks to dispatch in *requests*: release a task, put a worker
+on duty, advance the clock, collect decided assignments, finish.  Before
+the service layer those verbs only existed as Python method calls on
+:class:`~repro.api.session.DispatchSession`; this module freezes them
+into versioned, JSON-serializable records so the in-process facade, the
+multi-tenant service (:mod:`repro.service`) and any future client/server
+split all speak one schema:
+
+* **requests** — :class:`OpenSession`, :class:`SubmitTask`,
+  :class:`SubmitWorker`, :class:`Advance`, :class:`Drain`,
+  :class:`Finish`;
+* **replies** — :class:`AckReply`, :class:`AssignmentsReply` (carrying
+  :class:`AssignmentRecord` items), :class:`FinishedReply`,
+  :class:`ErrorReply`, :class:`ShedReply`.
+
+Every record round-trips through ``to_dict`` / ``from_dict``: the dict
+form carries a ``kind`` discriminator and the schema version ``v``
+(:data:`WIRE_VERSION`); decoding rejects unknown kinds, version
+mismatches, and unknown keys (via the shared
+:func:`~repro.api.options.reject_unknown_keys` helper), so a typo or a
+newer peer fails loudly instead of being silently dropped.
+``DispatchSession.submit_task`` / ``submit_worker`` build these records
+and route them through :meth:`~repro.api.session.DispatchSession.apply`
+— the facade and the service share one request path, which is what the
+wire-equivalence property test pins.
+
+Floats survive JSON bit-exactly (``json`` emits ``repr`` and parses it
+back to the same IEEE double), so a record decoded from its own JSON
+drives a session to bit-identical results.  The one non-JSON value —
+an unlimited worker budget (``math.inf``) — is spelled ``null``:
+:attr:`SubmitWorker.budget` is ``None`` for "no shift cap".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping
+
+from repro.api.options import reject_unknown_keys
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError
+from repro.spatial.geometry import Point
+from repro.stream.events import Assignment
+
+if TYPE_CHECKING:
+    from repro.stream.metrics import StreamStats
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireRecord",
+    "OpenSession",
+    "SubmitTask",
+    "SubmitWorker",
+    "Advance",
+    "Drain",
+    "Finish",
+    "AssignmentRecord",
+    "AckReply",
+    "AssignmentsReply",
+    "FinishedReply",
+    "ErrorReply",
+    "ShedReply",
+    "RECORD_TYPES",
+    "encode_record",
+    "decode_record",
+]
+
+#: Schema version stamped into every encoded record.  Bump on any
+#: incompatible field change; decoders refuse records from another
+#: version rather than guessing.
+WIRE_VERSION = 1
+
+
+def _strip_envelope(cls: type, mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """Peel ``kind`` / ``v`` off a wire dict and guard the remainder."""
+    data = dict(mapping)
+    kind = data.pop("kind", cls.kind)
+    if kind != cls.kind:
+        raise ConfigurationError(
+            f"wire record kind {kind!r} does not match {cls.kind!r}"
+        )
+    version = data.pop("v", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise ConfigurationError(
+            f"unsupported wire version {version!r} for {cls.kind!r} record "
+            f"(this build speaks v{WIRE_VERSION})"
+        )
+    return reject_unknown_keys(cls, data, f"{cls.kind} wire")
+
+
+@dataclass(frozen=True, slots=True)
+class WireRecord:
+    """Base of every wire record: the versioned dict round-trip."""
+
+    #: The ``kind`` discriminator of the concrete record.
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict: ``kind`` + ``v`` + every field."""
+        payload: dict[str, Any] = {"kind": self.kind, "v": WIRE_VERSION}
+        for spec in dataclasses.fields(self):
+            payload[spec.name] = getattr(self, spec.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "WireRecord":
+        """Decode one record, rejecting version/kind/key mismatches."""
+        return cls(**_strip_envelope(cls, mapping))
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class OpenSession(WireRecord):
+    """Open one tenant session for ``method``.
+
+    ``options`` is a :meth:`~repro.api.options.SolveOptions.to_dict`
+    mapping (``None`` = defaults); it is validated by the receiving side
+    through the usual single validation path.
+    """
+
+    kind: ClassVar[str] = "open_session"
+
+    method: str
+    options: dict[str, Any] | None = None
+    default_deadline: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class SubmitTask(WireRecord):
+    """Release one task.
+
+    ``at`` is the release instant (``None`` = the task's own
+    ``release_time``); ``deadline`` is absolute (``None`` = release plus
+    the session's ``default_deadline``) — exactly the semantics of
+    :meth:`DispatchSession.submit_task`, of which this record is the
+    serialized form.
+    """
+
+    kind: ClassVar[str] = "submit_task"
+
+    task_id: int
+    x: float
+    y: float
+    value: float
+    at: float | None = None
+    deadline: float | None = None
+    release_time: float = 0.0
+
+    @classmethod
+    def from_task(
+        cls,
+        task: Task,
+        *,
+        at: float | None = None,
+        deadline: float | None = None,
+    ) -> "SubmitTask":
+        return cls(
+            task_id=task.id,
+            x=float(task.location[0]),
+            y=float(task.location[1]),
+            value=task.value,
+            at=None if at is None else float(at),
+            deadline=None if deadline is None else float(deadline),
+            release_time=task.release_time,
+        )
+
+    def to_task(self) -> Task:
+        return Task(
+            id=self.task_id,
+            location=Point(self.x, self.y),
+            value=self.value,
+            release_time=self.release_time,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SubmitWorker(WireRecord):
+    """Put one worker on duty at ``at``.
+
+    ``budget`` is the shift's privacy-budget capacity; ``None`` means
+    unlimited (``math.inf`` has no JSON spelling).
+    """
+
+    kind: ClassVar[str] = "submit_worker"
+
+    worker_id: int
+    x: float
+    y: float
+    radius: float
+    at: float = 0.0
+    budget: float | None = None
+
+    @classmethod
+    def from_worker(
+        cls,
+        worker: Worker,
+        *,
+        at: float = 0.0,
+        budget: float = math.inf,
+    ) -> "SubmitWorker":
+        return cls(
+            worker_id=worker.id,
+            x=float(worker.location[0]),
+            y=float(worker.location[1]),
+            radius=worker.radius,
+            at=float(at),
+            budget=None if math.isinf(budget) else float(budget),
+        )
+
+    def to_worker(self) -> Worker:
+        return Worker(
+            id=self.worker_id, location=Point(self.x, self.y), radius=self.radius
+        )
+
+    @property
+    def budget_capacity(self) -> float:
+        """The domain-side capacity (``inf`` when ``budget`` is null)."""
+        return math.inf if self.budget is None else self.budget
+
+
+@dataclass(frozen=True, slots=True)
+class Advance(WireRecord):
+    """Move the session clock to ``to_time``."""
+
+    kind: ClassVar[str] = "advance"
+
+    to_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class Drain(WireRecord):
+    """Collect assignments decided since the last drain."""
+
+    kind: ClassVar[str] = "drain"
+
+
+@dataclass(frozen=True, slots=True)
+class Finish(WireRecord):
+    """Process everything still queued and finalize the session."""
+
+    kind: ClassVar[str] = "finish"
+
+
+# -- replies ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentRecord(WireRecord):
+    """One decided assignment — the wire form of
+    :class:`~repro.stream.events.Assignment`."""
+
+    kind: ClassVar[str] = "assignment"
+
+    time: float
+    flush_index: int
+    task_id: int
+    worker_id: int
+    distance: float
+    utility: float
+    latency: float
+    method: str
+
+    @classmethod
+    def from_assignment(cls, event: Assignment) -> "AssignmentRecord":
+        return cls(
+            time=event.time,
+            flush_index=event.flush_index,
+            task_id=event.task_id,
+            worker_id=event.worker_id,
+            distance=event.distance,
+            utility=event.utility,
+            latency=event.latency,
+            method=event.method,
+        )
+
+    def to_assignment(self) -> Assignment:
+        return Assignment(
+            time=self.time,
+            flush_index=self.flush_index,
+            task_id=self.task_id,
+            worker_id=self.worker_id,
+            distance=self.distance,
+            utility=self.utility,
+            latency=self.latency,
+            method=self.method,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AckReply(WireRecord):
+    """The request was applied; nothing to return."""
+
+    kind: ClassVar[str] = "ack"
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentsReply(WireRecord):
+    """A drain's harvest, in decision order."""
+
+    kind: ClassVar[str] = "assignments"
+
+    assignments: tuple[AssignmentRecord, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "v": WIRE_VERSION,
+            "assignments": [record.to_dict() for record in self.assignments],
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "AssignmentsReply":
+        data = _strip_envelope(cls, mapping)
+        return cls(
+            assignments=tuple(
+                AssignmentRecord.from_dict(item)
+                for item in data.get("assignments", ())
+            )
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FinishedReply(WireRecord):
+    """The session's final summary (the wire face of ``StreamStats``).
+
+    ``assignments`` carries the decisions of the finishing flush — the
+    leftovers a final explicit :class:`Drain` could never collect, since
+    ``finish`` both triggers that flush and closes the session.
+    """
+
+    kind: ClassVar[str] = "finished"
+
+    method: str
+    arrived_tasks: int
+    assigned: int
+    expired: int
+    leftover: int
+    total_utility: float
+    total_distance: float
+    privacy_spend: float
+    flushes: int
+    cache_hit_rate: float
+    assignments: tuple[AssignmentRecord, ...] = ()
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: "StreamStats",
+        assignments: tuple[AssignmentRecord, ...] = (),
+    ) -> "FinishedReply":
+        return cls(
+            method=stats.method,
+            arrived_tasks=stats.arrived_tasks,
+            assigned=stats.assigned,
+            expired=stats.expired,
+            leftover=stats.leftover,
+            total_utility=stats.total_utility,
+            total_distance=stats.total_distance,
+            privacy_spend=stats.total_privacy_spend,
+            flushes=len(stats.flushes),
+            cache_hit_rate=stats.cache_hit_rate,
+            assignments=assignments,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = {
+            "kind": self.kind,
+            "v": WIRE_VERSION,
+            **dataclasses.asdict(self),
+        }
+        payload["assignments"] = [
+            record.to_dict() for record in self.assignments
+        ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "FinishedReply":
+        data = _strip_envelope(cls, mapping)
+        data["assignments"] = tuple(
+            AssignmentRecord.from_dict(item)
+            for item in data.get("assignments", ())
+        )
+        return cls(**data)
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorReply(WireRecord):
+    """The request failed; ``code`` is the raising exception class."""
+
+    kind: ClassVar[str] = "error"
+
+    code: str
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class ShedReply(WireRecord):
+    """The request was refused at admission (backpressure/budget/caps)."""
+
+    kind: ClassVar[str] = "shed"
+
+    reason: str
+
+
+#: ``kind`` -> record class, for :func:`decode_record` dispatch.
+RECORD_TYPES: dict[str, type[WireRecord]] = {
+    cls.kind: cls
+    for cls in (
+        OpenSession,
+        SubmitTask,
+        SubmitWorker,
+        Advance,
+        Drain,
+        Finish,
+        AssignmentRecord,
+        AckReply,
+        AssignmentsReply,
+        FinishedReply,
+        ErrorReply,
+        ShedReply,
+    )
+}
+
+
+def encode_record(record: WireRecord) -> dict[str, Any]:
+    """The JSON-ready dict form of any wire record."""
+    return record.to_dict()
+
+
+def decode_record(mapping: Mapping[str, Any]) -> WireRecord:
+    """Decode a wire dict by its ``kind`` discriminator.
+
+    Raises
+    ------
+    ConfigurationError
+        On a missing/unknown ``kind``, a version mismatch, or keys the
+        record does not declare.
+    """
+    kind = mapping.get("kind")
+    cls = RECORD_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown wire record kind {kind!r}; valid: {sorted(RECORD_TYPES)}"
+        )
+    return cls.from_dict(mapping)

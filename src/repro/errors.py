@@ -70,3 +70,16 @@ class ConvergenceError(ReproError):
 
 class DatasetError(ReproError):
     """A workload generator or loader received invalid parameters or data."""
+
+
+class ServiceError(ReproError):
+    """A dispatch-service request failed on the server side.
+
+    Raised by :class:`repro.service.ServiceClient` when a request comes
+    back as an :class:`~repro.api.wire.ErrorReply`.  ``code`` is the
+    server-side exception class name from the reply.
+    """
+
+    def __init__(self, message: str, *, code: str = ""):
+        super().__init__(message)
+        self.code = code

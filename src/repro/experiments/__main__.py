@@ -13,6 +13,7 @@ Examples::
     python -m repro.experiments stream --trace --trace-out run.jsonl
     python -m repro.experiments scenario spec.json --metrics-out metrics.prom
     python -m repro.experiments profile examples/scenario_duty_cycle.json
+    python -m repro.experiments serve --queue-limit 32 < requests.jsonl
 
 The streaming subcommands are thin shells over the service facade:
 ``stream`` assembles a :class:`repro.api.ScenarioSpec` from flags,
@@ -74,6 +75,45 @@ def _add_obs_flags(
         default=None,
         help="write the run's metrics as Prometheus text exposition",
     )
+
+
+def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``serve`` subcommand: a JSONL dispatch service on stdio."""
+    import asyncio
+    import sys
+
+    from repro.service import DispatchService, ServiceConfig, serve_jsonl
+
+    try:
+        config = ServiceConfig(
+            max_sessions=args.max_sessions,
+            queue_limit=args.queue_limit,
+            backpressure_ratio=args.backpressure_ratio or None,
+            tenant_budget=args.tenant_budget,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes or None,
+            snapshot_path=args.snapshot,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    def emit(line: str) -> None:
+        print(line, flush=True)
+
+    async def run() -> int:
+        service = DispatchService(config)
+        try:
+            served = await serve_jsonl(service, sys.stdin, emit)
+        finally:
+            await service.close()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(service.render_metrics())
+            print(f"metrics: prometheus text -> {args.metrics_out}", file=sys.stderr)
+        print(f"serve: {served} requests handled", file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -202,7 +242,64 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_obs_flags(profile, with_trace_flag=False)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant dispatch service over stdin/stdout JSONL "
+        '(one {"tenant": ..., "request": ...} envelope per line)',
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=10_000,
+        help="open tenant sessions held at once before shedding opens",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="per-tenant inbound queue depth before task submits shed",
+    )
+    serve.add_argument(
+        "--backpressure-ratio",
+        type=float,
+        default=4.0,
+        help="shed task submits while observed flush time exceeds this "
+        "multiple of the target (0 disables)",
+    )
+    serve.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=None,
+        help="per-tenant cumulative privacy-spend cap (default: none)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="shared flush-cache entry bound",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=256 * 2**20,
+        help="shared flush-cache byte bound (0 disables the byte bound)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        default=None,
+        help="persist the shared cache here (loaded on start, saved on exit)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the service metrics as Prometheus text on exit",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args, parser)
     if args.command == "list":
         for figure_id, spec in sorted(FIGURES.items()):
             papers = ", ".join(spec.paper_figures.values())

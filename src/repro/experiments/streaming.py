@@ -3,15 +3,13 @@
 Builds :class:`~repro.stream.arrivals.StreamWorkload` scenarios by name
 (``poisson`` / ``rushhour`` / ``bursty`` / ``trace``) over the paper's
 datasets and formats the streaming measures as a terminal table.  The
-public entry point for running scenarios is now the declarative
+public entry point for running scenarios is the declarative
 :class:`repro.api.ScenarioSpec` (whose :meth:`~repro.api.ScenarioSpec.run`
-backs both the ``stream`` and ``scenario`` CLI subcommands);
-:func:`run_stream` remains as a deprecated shim.
+backs both the ``stream`` and ``scenario`` CLI subcommands).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.api.scenario import ARRIVAL_KINDS
@@ -26,14 +24,12 @@ from repro.stream.arrivals import (
     StreamWorkload,
     TraceProcess,
 )
-from repro.stream.runner import StreamReport, StreamRunner
-from repro.stream.simulator import StreamConfig
+from repro.stream.runner import StreamReport
 
 __all__ = [
     "ARRIVAL_KINDS",
     "StreamScenario",
     "build_workload",
-    "run_stream",
     "format_stream_report",
 ]
 
@@ -119,29 +115,6 @@ def build_workload(scenario: StreamScenario) -> StreamWorkload:
         worker_budget=scenario.worker_budget,
         seed=scenario.seed,
     )
-
-
-def run_stream(
-    methods: tuple[str, ...],
-    scenario: StreamScenario,
-    config: StreamConfig | None = None,
-) -> StreamReport:
-    """Run ``methods`` over one scenario's shared event timeline.
-
-    .. deprecated::
-        Use :meth:`repro.api.ScenarioSpec.run` (or
-        :func:`repro.api.run_scenario`) instead; this shim forwards to
-        the same machinery and returns bit-identical results.
-    """
-    warnings.warn(
-        "run_stream() is deprecated; build a repro.api.ScenarioSpec and "
-        "call .run() (bit-identical results)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    workload = build_workload(scenario)
-    runner = StreamRunner(methods, config=config)
-    return runner.run_workload(workload, seed=scenario.seed)
 
 
 def format_stream_report(report: StreamReport, scenario: StreamScenario) -> str:

@@ -1,0 +1,125 @@
+"""`ServiceClient` — the in-process tenant-side view of the service.
+
+One client per tenant, wrapping :class:`~repro.service.DispatchService`
+coroutines in the same verbs :class:`~repro.api.session.DispatchSession`
+speaks (``submit_task`` / ``submit_worker`` / ``advance`` / ``drain`` /
+``finish``), but going through the typed wire records — so a workload
+driven through a client exercises exactly the bytes a remote tenant
+would send.  Domain objects in, domain objects out: ``drain`` returns
+:class:`~repro.stream.simulator.Assignment` events rebuilt from the
+reply, not wire dicts.
+
+Error handling: with ``raise_errors=True`` (default) an
+:class:`~repro.api.wire.ErrorReply` raises
+:class:`~repro.errors.ServiceError` carrying the server-side exception
+class name as ``code``.  :class:`~repro.api.wire.ShedReply` is *never*
+an exception — shedding is the service working as designed, and callers
+must see it to back off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.api.wire import (
+    Advance,
+    Drain,
+    ErrorReply,
+    Finish,
+    FinishedReply,
+    OpenSession,
+    ShedReply,
+    SubmitTask,
+    SubmitWorker,
+    WireRecord,
+)
+from repro.errors import ServiceError
+
+if TYPE_CHECKING:
+    from repro.datasets.workload import Task, Worker
+    from repro.service.server import DispatchService
+    from repro.stream.simulator import Assignment
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One tenant's handle on an in-process dispatch service."""
+
+    def __init__(
+        self,
+        service: "DispatchService",
+        tenant: str,
+        *,
+        raise_errors: bool = True,
+    ):
+        self.service = service
+        self.tenant = tenant
+        self.raise_errors = raise_errors
+        #: SubmitTask requests the service refused at admission.
+        self.shed = 0
+
+    async def request(self, record: WireRecord) -> WireRecord:
+        """Send one wire record; returns the raw wire reply."""
+        reply = await self.service.submit(self.tenant, record)
+        if isinstance(reply, ShedReply):
+            self.shed += 1
+        elif isinstance(reply, ErrorReply) and self.raise_errors:
+            raise ServiceError(reply.message, code=reply.code)
+        return reply
+
+    async def open(
+        self,
+        method: str,
+        *,
+        options: Mapping[str, Any] | None = None,
+        default_deadline: float = 1.0,
+    ) -> WireRecord:
+        """Open this tenant's session on the service."""
+        return await self.request(
+            OpenSession(
+                method=method,
+                options=dict(options) if options is not None else None,
+                default_deadline=default_deadline,
+            )
+        )
+
+    async def submit_task(
+        self,
+        task: "Task",
+        *,
+        at: float | None = None,
+        deadline: float | None = None,
+    ) -> WireRecord:
+        """Submit one task arrival; the reply may be a ShedReply."""
+        return await self.request(
+            SubmitTask.from_task(task, at=at, deadline=deadline)
+        )
+
+    async def submit_worker(
+        self,
+        worker: "Worker",
+        *,
+        at: float = 0.0,
+        budget: float = math.inf,
+    ) -> WireRecord:
+        """Submit one worker arrival."""
+        return await self.request(
+            SubmitWorker.from_worker(worker, at=at, budget=budget)
+        )
+
+    async def advance(self, to_time: float) -> WireRecord:
+        """Advance this tenant's session clock."""
+        return await self.request(Advance(to_time=to_time))
+
+    async def drain(self) -> tuple["Assignment", ...]:
+        """Collect assignment events since the last drain."""
+        reply = await self.request(Drain())
+        if isinstance(reply, (ErrorReply, ShedReply)):
+            return ()
+        return tuple(record.to_assignment() for record in reply.assignments)
+
+    async def finish(self) -> FinishedReply | WireRecord:
+        """Flush leftovers, close the session, return the final stats."""
+        return await self.request(Finish())

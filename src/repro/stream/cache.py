@@ -49,9 +49,12 @@ what the skipped solve would have produced.
 from __future__ import annotations
 
 import hashlib
+import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
@@ -248,6 +251,36 @@ class _CachedFlush:
 
     result: AssignmentResult
     shards: int
+    nbytes: int
+
+
+def _entry_nbytes(result: AssignmentResult) -> int:
+    """Estimated resident size of one cached flush.
+
+    The pair arrays dominate; populations, ledger events and release
+    board are charged at flat per-item rates (Python-object overheads
+    are approximate by nature — the bound is a budget, not an audit).
+    """
+    instance = result.instance
+    pairs = instance.pairs
+    total = 512
+    for array in (
+        pairs.offsets,
+        pairs.task,
+        pairs.worker,
+        pairs.distance,
+        pairs.budget_matrix,
+        pairs.budget_len,
+        pairs.task_value,
+        pairs.budget_prefix,
+    ):
+        total += array.nbytes
+    total += 128 * (len(instance.tasks) + len(instance.workers))
+    total += 96 * len(result.ledger)
+    total += 64 * len(result.matching)
+    for releases in result.release_board.values():
+        total += 64 + 48 * len(releases)
+    return total
 
 
 class FlushSolverCache:
@@ -255,19 +288,41 @@ class FlushSolverCache:
 
     One cache may back many flushes of one stream (the
     :class:`~repro.stream.simulator.DispatchSimulator` default) or be
-    shared across sessions/runs to catch repeated experiments; entries
-    are immutable, so sharing is read-safe.
+    shared across sessions/runs — including *concurrently*: every
+    operation holds an internal lock, entries are immutable, and a hit
+    hands out a shallow copy, so many sessions (threads, asyncio tenant
+    loops) may interleave lookups and stores safely.
+
+    Two eviction bounds apply together, LRU order both times:
+    ``max_entries`` caps the entry count, ``max_bytes`` (optional) caps
+    the estimated resident size — the knob that matters when one shared
+    cache backs thousands of tenant sessions.  ``evictions`` counts
+    entries dropped by either bound.
+
+    Snapshots (:meth:`save` / :meth:`load`) persist the cache as JSON
+    across restarts: entries are encoded through
+    :mod:`repro.stream.persist` (bit-identical round-trip), written
+    oldest-first so reloading preserves LRU order.  Entries that cannot
+    be encoded (exotic value functions) are skipped, never fatal.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256, max_bytes: int | None = None):
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries}"
             )
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}"
+            )
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._entries: "OrderedDict[str, _CachedFlush]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._total_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -277,6 +332,11 @@ class FlushSolverCache:
         """Hits over lookups (0.0 before any lookup)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated resident size of all entries."""
+        return self._total_bytes
 
     def lookup(
         self, fingerprint: str, instance: ProblemInstance | None = None
@@ -292,12 +352,13 @@ class FlushSolverCache:
         did build a fresh instance may pass it to have the result
         re-attached.
         """
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(fingerprint)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(fingerprint)
         result = entry.result
         if instance is not None:
             result = replace(result, instance=instance, elapsed_seconds=0.0)
@@ -306,12 +367,125 @@ class FlushSolverCache:
         return result, entry.shards
 
     def store(self, fingerprint: str, result: AssignmentResult, shards: int) -> None:
-        """Remember one solved flush (evicting the LRU entry when full)."""
-        self._entries[fingerprint] = _CachedFlush(result=result, shards=shards)
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        """Remember one solved flush (evicting LRU entries past a bound)."""
+        entry = _CachedFlush(
+            result=result, shards=shards, nbytes=_entry_nbytes(result)
+        )
+        with self._lock:
+            old = self._entries.pop(fingerprint, None)
+            if old is not None:
+                self._total_bytes -= old.nbytes
+            self._entries[fingerprint] = entry
+            self._total_bytes += entry.nbytes
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        """Drop LRU entries until both bounds hold (lock already held).
+
+        The byte bound never evicts the newest entry: a single flush
+        larger than ``max_bytes`` stays resident until the next store
+        displaces it (refusing it outright would silently disable the
+        cache for big-flush workloads).
+        """
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._total_bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._total_bytes -= evicted.nbytes
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
+
+    # -- snapshot persistence ------------------------------------------
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """The cache as a JSON-ready dict (entries oldest-first).
+
+        Entries without a JSON codec (see
+        :class:`~repro.stream.persist.SnapshotError`) are skipped and
+        counted in the snapshot's ``skipped`` field.
+        """
+        from repro.stream.persist import SNAPSHOT_VERSION, SnapshotError, encode_result
+
+        with self._lock:
+            items = list(self._entries.items())
+        entries = []
+        skipped = 0
+        for fingerprint, entry in items:
+            try:
+                payload = encode_result(entry.result)
+            except SnapshotError:
+                skipped += 1
+                continue
+            entries.append(
+                {"fingerprint": fingerprint, "shards": entry.shards, "result": payload}
+            )
+        return {
+            "v": SNAPSHOT_VERSION,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "skipped": skipped,
+            "entries": entries,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Mapping[str, Any],
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> "FlushSolverCache":
+        """Rebuild a cache from :meth:`to_snapshot` output.
+
+        ``max_entries`` / ``max_bytes`` override the snapshot's bounds
+        (the restarted service may be sized differently); entries are
+        restored oldest-first, so LRU order — and which entries a
+        tighter bound evicts — matches a cache that was never down.
+        """
+        from repro.stream.persist import SNAPSHOT_VERSION, decode_result
+
+        version = snapshot.get("v")
+        if version != SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported cache snapshot version {version!r} "
+                f"(this build speaks v{SNAPSHOT_VERSION})"
+            )
+        cache = cls(
+            max_entries=max_entries
+            if max_entries is not None
+            else snapshot.get("max_entries", 256),
+            max_bytes=max_bytes
+            if max_bytes is not None
+            else snapshot.get("max_bytes"),
+        )
+        for item in snapshot.get("entries", ()):
+            cache.store(
+                item["fingerprint"], decode_result(item["result"]), item["shards"]
+            )
+        return cache
+
+    def save(self, path: "str | Path") -> int:
+        """Write the snapshot JSON to ``path``; returns entries written."""
+        snapshot = self.to_snapshot()
+        Path(path).write_text(json.dumps(snapshot))
+        return len(snapshot["entries"])
+
+    @classmethod
+    def load(
+        cls,
+        path: "str | Path",
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> "FlushSolverCache":
+        """Read a snapshot written by :meth:`save`."""
+        return cls.from_snapshot(
+            json.loads(Path(path).read_text()),
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+        )

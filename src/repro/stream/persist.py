@@ -1,0 +1,266 @@
+"""JSON codecs for solved flushes — the cache's persistence layer.
+
+The flush-fingerprint cache (:mod:`repro.stream.cache`) earns its keep
+across *runs*: repeated experiments replay identical (instance, noise)
+pairs, and a service restart would otherwise start cold.  This module
+encodes a full :class:`~repro.core.result.AssignmentResult` — tasks,
+workers, utility model, CSR pair arrays, matching, privacy ledger,
+release board — as plain JSON so the cache can snapshot to disk and
+reload bit-identically.
+
+Bit-identity holds because ``json`` serialises floats via ``repr`` and
+parses them back to the same IEEE double, and every array is dumped as a
+flat list of such floats/ints.  The one derived plane that is *not*
+shipped — ``budget_prefix`` — is recomputed by ``PairArrays.__post_init__``
+as the same ``np.cumsum`` over the same values, so it too matches.
+
+What cannot round-trip raises :class:`SnapshotError`: utility models
+built on value functions outside the registered codecs
+(:class:`~repro.core.utility.LinearValue`,
+:class:`~repro.core.utility.PowerValue`), or non-integer task/worker
+ids.  The cache's snapshot writer catches it and skips those entries —
+a snapshot is an optimisation, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.effective import Release, ReleaseSet
+from repro.core.result import AssignmentResult
+from repro.core.utility import LinearValue, PowerValue, UtilityModel
+from repro.datasets.workload import Task, Worker
+from repro.errors import ReproError
+from repro.matching.bipartite import Matching
+from repro.privacy.accountant import PrivacyLedger
+from repro.simulation.instance import ProblemInstance
+from repro.simulation.pairs import PairArrays
+from repro.spatial.geometry import Point
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "encode_result",
+    "decode_result",
+]
+
+#: Version stamped into every encoded result (and the cache snapshot
+#: envelope).  Decoders refuse other versions.
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A result (or snapshot) cannot be encoded/decoded faithfully."""
+
+
+# -- value functions / utility model ----------------------------------------
+
+_VALUE_FN_CODECS = {
+    LinearValue: lambda fn: {"kind": "linear", "slope": fn.slope},
+    PowerValue: lambda fn: {
+        "kind": "power",
+        "exponent": fn.exponent,
+        "scale": fn.scale,
+    },
+}
+
+
+def _encode_value_fn(fn: Any) -> dict[str, Any]:
+    codec = _VALUE_FN_CODECS.get(type(fn))
+    if codec is None:
+        raise SnapshotError(
+            f"no JSON codec for value function {type(fn).__name__}; "
+            f"registered: {sorted(c.__name__ for c in _VALUE_FN_CODECS)}"
+        )
+    return codec(fn)
+
+
+def _decode_value_fn(payload: Mapping[str, Any]) -> Any:
+    kind = payload.get("kind")
+    if kind == "linear":
+        return LinearValue(slope=payload["slope"])
+    if kind == "power":
+        return PowerValue(exponent=payload["exponent"], scale=payload["scale"])
+    raise SnapshotError(f"unknown value-function kind {kind!r}")
+
+
+def _encode_model(model: UtilityModel) -> dict[str, Any]:
+    return {
+        "f_d": _encode_value_fn(model.f_d),
+        "f_p": _encode_value_fn(model.f_p),
+    }
+
+
+def _decode_model(payload: Mapping[str, Any]) -> UtilityModel:
+    return UtilityModel(
+        f_d=_decode_value_fn(payload["f_d"]),
+        f_p=_decode_value_fn(payload["f_p"]),
+    )
+
+
+# -- pair arrays ------------------------------------------------------------
+
+
+def _encode_pairs(pairs: PairArrays) -> dict[str, Any]:
+    return {
+        "offsets": pairs.offsets.tolist(),
+        "task": pairs.task.tolist(),
+        "worker": pairs.worker.tolist(),
+        "distance": pairs.distance.tolist(),
+        "budget_matrix": pairs.budget_matrix.ravel().tolist(),
+        "budget_width": int(pairs.budget_matrix.shape[1]),
+        "budget_len": pairs.budget_len.tolist(),
+        "task_value": pairs.task_value.tolist(),
+    }
+
+
+def _decode_pairs(payload: Mapping[str, Any]) -> PairArrays:
+    width = max(int(payload["budget_width"]), 1)
+    matrix = np.asarray(payload["budget_matrix"], dtype=np.float64).reshape(
+        -1, width
+    )
+    return PairArrays(
+        offsets=np.asarray(payload["offsets"], dtype=np.int64),
+        task=np.asarray(payload["task"], dtype=np.int64),
+        worker=np.asarray(payload["worker"], dtype=np.int64),
+        distance=np.asarray(payload["distance"], dtype=np.float64),
+        budget_matrix=matrix,
+        budget_len=np.asarray(payload["budget_len"], dtype=np.int64),
+        task_value=np.asarray(payload["task_value"], dtype=np.float64),
+    )
+
+
+# -- populations ------------------------------------------------------------
+
+
+def _require_int_id(identifier: Any, kind: str) -> int:
+    # JSON object keys and id columns only round-trip integer ids; the
+    # whole streaming layer already assumes them.
+    if not isinstance(identifier, (int, np.integer)) or isinstance(
+        identifier, bool
+    ):
+        raise SnapshotError(f"{kind} id {identifier!r} is not an int")
+    return int(identifier)
+
+
+def _encode_tasks(tasks: tuple[Task, ...]) -> list[list[float]]:
+    return [
+        [
+            _require_int_id(t.id, "task"),
+            float(t.location[0]),
+            float(t.location[1]),
+            t.value,
+            t.release_time,
+        ]
+        for t in tasks
+    ]
+
+
+def _encode_workers(workers: tuple[Worker, ...]) -> list[list[float]]:
+    return [
+        [
+            _require_int_id(w.id, "worker"),
+            float(w.location[0]),
+            float(w.location[1]),
+            w.radius,
+        ]
+        for w in workers
+    ]
+
+
+# -- the result codec -------------------------------------------------------
+
+
+def encode_result(result: AssignmentResult) -> dict[str, Any]:
+    """One solved flush as a JSON-ready dict.
+
+    Raises
+    ------
+    SnapshotError
+        When the result holds something without a registered codec (an
+        exotic value function, non-integer ids).
+    """
+    for task_id, worker_id in result.matching:
+        _require_int_id(task_id, "matched task")
+        _require_int_id(worker_id, "matched worker")
+    instance = result.instance
+    return {
+        "v": SNAPSHOT_VERSION,
+        "method": result.method,
+        "rounds": result.rounds,
+        "publishes": result.publishes,
+        "tasks": _encode_tasks(instance.tasks),
+        "workers": _encode_workers(instance.workers),
+        "model": _encode_model(instance.model),
+        "pairs": _encode_pairs(instance.pairs),
+        "matching": [[t, w] for t, w in result.matching],
+        "ledger": [
+            [_require_int_id(w, "ledger worker"), _require_int_id(t, "ledger task"), eps]
+            for w, t, eps in result.ledger.events()
+        ],
+        "release_board": [
+            [task_id, worker_id, [[r.value, r.epsilon] for r in releases.releases]]
+            for (task_id, worker_id), releases in result.release_board.items()
+        ],
+    }
+
+
+def decode_result(payload: Mapping[str, Any]) -> AssignmentResult:
+    """Rebuild a result :func:`encode_result` wrote — bit-identical.
+
+    ``elapsed_seconds`` is restored as ``0.0``: wall clock measures the
+    host that solved, not the snapshot that replayed.
+    """
+    version = payload.get("v")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version!r} "
+            f"(this build speaks v{SNAPSHOT_VERSION})"
+        )
+    tasks = tuple(
+        Task(
+            id=int(row[0]),
+            location=Point(row[1], row[2]),
+            value=row[3],
+            release_time=row[4],
+        )
+        for row in payload["tasks"]
+    )
+    workers = tuple(
+        Worker(id=int(row[0]), location=Point(row[1], row[2]), radius=row[3])
+        for row in payload["workers"]
+    )
+    pairs = _decode_pairs(payload["pairs"])
+    offsets = pairs.offsets
+    reachable = tuple(
+        tuple(pairs.task[offsets[j] : offsets[j + 1]].tolist())
+        for j in range(len(workers))
+    )
+    instance = ProblemInstance.from_arrays(
+        tasks=tasks,
+        workers=workers,
+        model=_decode_model(payload["model"]),
+        reachable=reachable,
+        pairs=pairs,
+    )
+    ledger = PrivacyLedger()
+    for worker_id, task_id, eps in payload["ledger"]:
+        ledger.record(int(worker_id), int(task_id), eps)
+    release_board = {
+        (int(task_id), int(worker_id)): ReleaseSet(
+            tuple(Release(value=value, epsilon=eps) for value, eps in releases)
+        )
+        for task_id, worker_id, releases in payload["release_board"]
+    }
+    return AssignmentResult(
+        method=payload["method"],
+        instance=instance,
+        matching=Matching({int(t): int(w) for t, w in payload["matching"]}),
+        ledger=ledger,
+        rounds=payload["rounds"],
+        publishes=payload["publishes"],
+        elapsed_seconds=0.0,
+        release_board=release_board,
+    )

@@ -98,13 +98,16 @@ class StreamRunner:
         gets a :class:`~repro.api.session.DispatchSession` fed the shared
         timeline (bit-identical to driving the simulator directly).
         """
-        from repro.api.session import DispatchSession
+        from repro.api.session import DispatchSession, SessionConfig
 
         events = list(events)
         report = StreamReport()
         for solver in self.solvers:
             session = DispatchSession(
-                solver, config=self.config, seed=seed, record_assignments=False
+                solver,
+                SessionConfig(
+                    stream=self.config, seed=seed, record_assignments=False
+                ),
             )
             report.stats[solver.name] = session.run(events)
         return report

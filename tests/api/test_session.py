@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.api.options import SolveOptions
-from repro.api.session import DispatchSession
+from repro.api.session import DispatchSession, SessionConfig
 from repro.datasets.synthetic import NormalGenerator
 from repro.datasets.workload import Task, Worker
 from repro.errors import ConfigurationError
@@ -73,7 +73,7 @@ class TestLifecycle:
     def test_default_deadline_expires_ignored_tasks(self):
         # No workers ever arrive: the task must expire after the default
         # patience, not linger forever.
-        session = DispatchSession("UCE", default_deadline=0.5)
+        session = DispatchSession("UCE", SessionConfig(default_deadline=0.5))
         session.submit_task(Task(id=0, location=Point(0, 0), value=1.0), at=0.0)
         session.advance(2.0)
         stats = session.finish()
@@ -81,7 +81,7 @@ class TestLifecycle:
 
     def test_bad_default_deadline_rejected(self):
         with pytest.raises(ConfigurationError, match="default_deadline"):
-            DispatchSession("UCE", default_deadline=0.0)
+            DispatchSession("UCE", SessionConfig(default_deadline=0.0))
 
     def test_advance_expires_even_without_a_due_timer(self):
         # The only armed timer is the flush at max_wait=0.25; overdue
@@ -195,7 +195,7 @@ class TestReplayEquivalence:
         expected = StreamRunner(["PUCE"], config=config).run_workload(
             workload, seed=11
         )["PUCE"]
-        session = DispatchSession("PUCE", config=config, seed=11)
+        session = DispatchSession("PUCE", SessionConfig(stream=config, seed=11))
         actual = session.run(workload.events(seed=11))
         assert actual.latencies == expected.latencies
         assert actual.privacy_timeline == expected.privacy_timeline
@@ -217,3 +217,143 @@ class TestReplayEquivalence:
         assert sorted(e.latency for e in log) == sorted(stats.latencies)
         assert [e.flush_index for e in log] == sorted(e.flush_index for e in log)
         assert math.isclose(sum(e.utility for e in log), stats.total_utility)
+
+
+class TestSessionConfig:
+    def test_defaults_validate(self):
+        config = SessionConfig()
+        assert config.default_deadline == 1.0
+        assert config.record_assignments is True
+        assert config.seed is None
+
+    def test_bad_options_type(self):
+        with pytest.raises(ConfigurationError, match="options"):
+            SessionConfig(options={"seed": 3})
+
+    def test_bad_deadline(self):
+        with pytest.raises(ConfigurationError, match="default_deadline"):
+            SessionConfig(default_deadline=-1.0)
+
+    def test_from_mapping_round_trip(self):
+        config = SessionConfig(
+            options=SolveOptions(seed=3, max_wait=0.1),
+            seed=7,
+            default_deadline=0.5,
+            record_assignments=False,
+        )
+        assert SessionConfig.from_mapping(config.to_dict()) == config
+
+    def test_from_mapping_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="typo"):
+            SessionConfig.from_mapping({"typo": 1})
+
+    def test_from_mapping_refuses_process_local_fields(self):
+        with pytest.raises(ConfigurationError, match="process-local"):
+            SessionConfig.from_mapping({"cache": {"max_entries": 4}})
+
+    def test_replace_revalidates(self):
+        config = SessionConfig()
+        with pytest.raises(ConfigurationError, match="default_deadline"):
+            config.replace(default_deadline=0.0)
+
+    def test_session_and_options_together_refused(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            DispatchSession(
+                "UCE", SessionConfig(), options=SolveOptions(seed=1)
+            )
+
+    def test_unknown_kwarg_refused(self):
+        with pytest.raises(ConfigurationError, match="tracer"):
+            DispatchSession("UCE", tracer=object())
+
+
+class TestLegacyKwargShims:
+    """The pre-SessionConfig keywords: warn, but drift by not one bit."""
+
+    def small_events(self, seed=3):
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=20.0, horizon=0.8),
+            worker_process=PoissonProcess(rate=6.0, horizon=0.8),
+            spatial=NormalGenerator(num_tasks=80, num_workers=160, seed=2),
+            initial_workers=20,
+            seed=seed,
+        )
+        return list(workload.events(seed=seed))
+
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="SessionConfig"):
+            session = DispatchSession("UCE", default_deadline=0.5)
+        session.close()
+
+    def test_legacy_kwargs_with_config_refused(self):
+        with pytest.raises(ConfigurationError, match="alongside"):
+            DispatchSession("UCE", SessionConfig(), seed=3)
+
+    def test_legacy_run_is_bit_identical(self):
+        events = self.small_events()
+        config = StreamConfig(max_batch_size=12, max_wait=0.15)
+        with pytest.warns(DeprecationWarning):
+            legacy = DispatchSession(
+                "PUCE", config=config, seed=11, record_assignments=False
+            )
+        old = legacy.run(events)
+        modern = DispatchSession(
+            "PUCE",
+            SessionConfig(stream=config, seed=11, record_assignments=False),
+        )
+        new = modern.run(events)
+        assert old.latencies == new.latencies
+        assert old.privacy_timeline == new.privacy_timeline
+        assert old.total_utility == new.total_utility
+        assert old.assigned == new.assigned
+
+    def test_legacy_cache_kwarg_shares_the_cache(self):
+        from repro.stream.cache import FlushSolverCache
+
+        shared = FlushSolverCache()
+        events = self.small_events()
+        with pytest.warns(DeprecationWarning):
+            session = DispatchSession("UCE", cache=shared, seed=5)
+        session.run(events)
+        assert len(shared) > 0
+
+
+class TestApplyWireRecords:
+    def test_apply_drives_a_full_session(self):
+        from repro.api.wire import (
+            Advance,
+            Drain,
+            Finish,
+            SubmitTask,
+            SubmitWorker,
+        )
+
+        session = DispatchSession("UCE", options=SolveOptions(max_wait=0.1))
+        session.apply(
+            SubmitWorker(worker_id=1, x=0.0, y=0.0, radius=5.0)
+        )
+        session.apply(
+            SubmitTask(task_id=1, x=0.1, y=0.1, value=1.0)
+        )
+        session.apply(Advance(to_time=1.0))
+        events = session.apply(Drain())
+        assert len(events) == 1
+        stats = session.apply(Finish())
+        assert stats.assigned == 1
+
+    def test_apply_refuses_reply_records(self):
+        from repro.api.wire import AckReply
+
+        session = DispatchSession("UCE")
+        with pytest.raises(ConfigurationError, match="AckReply"):
+            session.apply(AckReply())
+        session.close()
+
+    def test_apply_default_deadline_applies(self):
+        from repro.api.wire import Advance, Finish, SubmitTask
+
+        session = DispatchSession("UCE", SessionConfig(default_deadline=0.25))
+        session.apply(SubmitTask(task_id=0, x=0.0, y=0.0, value=1.0))
+        session.apply(Advance(to_time=2.0))
+        stats = session.apply(Finish())
+        assert stats.expired == 1

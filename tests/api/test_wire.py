@@ -1,0 +1,175 @@
+"""The versioned wire records: round-trips, rejection, dispatch."""
+
+import json
+import math
+
+import pytest
+
+from repro.api.wire import (
+    RECORD_TYPES,
+    WIRE_VERSION,
+    AckReply,
+    Advance,
+    AssignmentRecord,
+    AssignmentsReply,
+    Drain,
+    ErrorReply,
+    Finish,
+    FinishedReply,
+    OpenSession,
+    ShedReply,
+    SubmitTask,
+    SubmitWorker,
+    decode_record,
+    encode_record,
+)
+from repro.datasets.workload import Task, Worker
+from repro.errors import ConfigurationError
+from repro.spatial.geometry import Point
+from repro.stream.events import Assignment
+
+SAMPLES = [
+    OpenSession(method="PUCE", options={"seed": 3, "cache": True}),
+    OpenSession(method="UCE", default_deadline=0.5),
+    SubmitTask(task_id=7, x=0.25, y=-1.5, value=4.5, at=0.1, deadline=2.0),
+    SubmitTask(task_id=0, x=0.0, y=0.0, value=1.0),
+    SubmitWorker(worker_id=3, x=1.0, y=2.0, radius=3.0, at=0.5, budget=40.0),
+    SubmitWorker(worker_id=4, x=0.0, y=0.0, radius=1.0),
+    Advance(to_time=12.5),
+    Drain(),
+    Finish(),
+    AckReply(),
+    ShedReply(reason="queue_full"),
+    ErrorReply(code="ConfigurationError", message="boom"),
+    AssignmentRecord(
+        time=0.25,
+        flush_index=3,
+        task_id=1,
+        worker_id=2,
+        distance=0.1,
+        utility=0.9,
+        latency=0.05,
+        method="PUCE",
+    ),
+    AssignmentsReply(
+        assignments=(
+            AssignmentRecord(
+                time=0.25,
+                flush_index=0,
+                task_id=1,
+                worker_id=2,
+                distance=0.1,
+                utility=0.9,
+                latency=0.05,
+                method="UCE",
+            ),
+        )
+    ),
+    FinishedReply(
+        method="PUCE",
+        arrived_tasks=10,
+        assigned=8,
+        expired=1,
+        leftover=1,
+        total_utility=7.5,
+        total_distance=2.25,
+        privacy_spend=3.0,
+        flushes=4,
+        cache_hit_rate=0.25,
+    ),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("record", SAMPLES, ids=lambda r: r.kind)
+    def test_json_round_trip_is_identity(self, record):
+        payload = json.loads(json.dumps(encode_record(record)))
+        assert decode_record(payload) == record
+
+    @pytest.mark.parametrize("record", SAMPLES, ids=lambda r: r.kind)
+    def test_envelope_is_stamped(self, record):
+        payload = encode_record(record)
+        assert payload["kind"] == record.kind
+        assert payload["v"] == WIRE_VERSION
+
+    def test_every_registered_kind_dispatches(self):
+        for kind, cls in RECORD_TYPES.items():
+            assert cls.kind == kind
+
+    def test_awkward_floats_survive(self):
+        record = SubmitTask(
+            task_id=1, x=0.1 + 0.2, y=-0.0, value=1e-308, release_time=1e17
+        )
+        back = decode_record(json.loads(json.dumps(encode_record(record))))
+        assert back == record
+
+
+class TestInfinityNullSpelling:
+    def test_unbounded_budget_is_json_null(self):
+        worker = Worker(id=1, location=Point(0, 0), radius=2.0)
+        record = SubmitWorker.from_worker(worker, budget=math.inf)
+        assert record.budget is None
+        assert encode_record(record)["budget"] is None
+        assert record.budget_capacity == math.inf
+
+    def test_finite_budget_round_trips(self):
+        worker = Worker(id=1, location=Point(0, 0), radius=2.0)
+        record = SubmitWorker.from_worker(worker, budget=40.0)
+        back = decode_record(json.loads(json.dumps(encode_record(record))))
+        assert back.budget_capacity == 40.0
+
+
+class TestRejection:
+    def test_unknown_key_is_refused(self):
+        payload = encode_record(Advance(to_time=1.0))
+        payload["typo"] = 1
+        with pytest.raises(ConfigurationError, match="typo"):
+            decode_record(payload)
+
+    def test_wrong_version_is_refused(self):
+        payload = encode_record(Drain())
+        payload["v"] = WIRE_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            decode_record(payload)
+
+    def test_unknown_kind_is_refused(self):
+        with pytest.raises(ConfigurationError, match="teleport"):
+            decode_record({"kind": "teleport", "v": WIRE_VERSION})
+
+    def test_kind_mismatch_is_refused(self):
+        payload = encode_record(Drain())
+        with pytest.raises(ConfigurationError):
+            Finish.from_dict(payload)
+
+    def test_missing_kind_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            decode_record({"v": WIRE_VERSION})
+
+
+class TestDomainConversions:
+    def test_task_round_trip(self):
+        task = Task(id=5, location=Point(1.5, -2.5), value=4.5, release_time=0.75)
+        record = SubmitTask.from_task(task, at=1.0, deadline=3.0)
+        assert record.to_task() == task
+        assert record.at == 1.0
+        assert record.deadline == 3.0
+
+    def test_worker_round_trip(self):
+        worker = Worker(id=9, location=Point(0.5, 0.5), radius=2.5)
+        record = SubmitWorker.from_worker(worker, at=0.25, budget=12.0)
+        assert record.to_worker() == worker
+        assert record.at == 0.25
+
+    def test_assignment_round_trip(self):
+        event = Assignment(
+            time=0.5,
+            flush_index=2,
+            task_id=4,
+            worker_id=7,
+            distance=0.3,
+            utility=0.7,
+            latency=0.1,
+            method="GRD",
+        )
+        record = AssignmentRecord.from_assignment(event)
+        assert record.to_assignment() == event

@@ -205,12 +205,15 @@ class TestCacheOnOffEquivalence:
         events = workload.events(seed=5)
         options = SolveOptions(seed=5, max_batch_size=10, max_wait=0.12)
         shared = FlushSolverCache()
-        from repro.api.session import DispatchSession
+        from repro.api.session import DispatchSession, SessionConfig
 
         stats = []
         for _ in range(2):
             session = DispatchSession(
-                "PUCE", options=options, record_assignments=False, cache=shared
+                "PUCE",
+                SessionConfig(
+                    options=options, record_assignments=False, cache=shared
+                ),
             )
             stats.append(session.run(events))
         assert stats[1].cache_hits == len(stats[1].flushes)

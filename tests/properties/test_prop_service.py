@@ -1,0 +1,161 @@
+"""The service invariant: a session driven through the wire path —
+`ServiceClient` → JSON-serialized records → `DispatchService` queue →
+`DispatchSession.apply` — is event-for-event identical to the same
+workload driven directly through a `DispatchSession`.
+
+Every request crosses a real `json.dumps`/`json.loads` round-trip on
+the way in (the bytes a remote tenant would send), so this also pins
+that the wire encoding loses nothing the dispatch outcome depends on.
+"""
+
+import asyncio
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.options import SolveOptions
+from repro.api.session import DispatchSession, SessionConfig
+from repro.api.wire import decode_record, encode_record
+from repro.datasets.synthetic import NormalGenerator
+from repro.service import DispatchService, ServiceClient, ServiceConfig
+from repro.stream.arrivals import (
+    PoissonProcess,
+    StreamWorkload,
+    TaskArrival,
+    WorkerArrival,
+)
+
+METHODS = ("PUCE", "UCE", "GRD")
+
+
+def small_workload(workload_seed):
+    return StreamWorkload(
+        task_process=PoissonProcess(rate=20.0, horizon=1.0),
+        worker_process=PoissonProcess(rate=6.0, horizon=1.0),
+        spatial=NormalGenerator(num_tasks=80, num_workers=160, seed=workload_seed),
+        initial_workers=20,
+        task_deadline=0.8,
+        worker_budget=25.0,
+        seed=workload_seed,
+    )
+
+
+def direct_run(method, options, events, cuts):
+    session = DispatchSession(method, SessionConfig(options=options))
+    feed = iter(events)
+    queued = next(feed, None)
+    collected = []
+    for cut in sorted(cuts):
+        while queued is not None and queued.time <= cut:
+            session.submit(queued)
+            queued = next(feed, None)
+        session.advance(cut)
+        collected.extend(session.drain())
+    while queued is not None:
+        session.submit(queued)
+        queued = next(feed, None)
+    stats = session.finish()
+    collected.extend(session.drain())
+    return stats, collected
+
+
+async def wire_run(method, options, events, cuts):
+    service = DispatchService(ServiceConfig(backpressure_ratio=None))
+    client = ServiceClient(service, "prop")
+
+    async def send(record):
+        # The full serialization boundary: what leaves the client is
+        # bytes, what the service decodes is a fresh record.
+        payload = json.loads(json.dumps(encode_record(record)))
+        return await client.request(decode_record(payload))
+
+    await client.open(method, options=options.to_dict())
+    feed = iter(events)
+    queued = next(feed, None)
+    collected = []
+
+    async def submit(event):
+        if isinstance(event, TaskArrival):
+            from repro.api.wire import SubmitTask
+
+            await send(
+                SubmitTask.from_task(
+                    event.task, at=event.time, deadline=event.deadline
+                )
+            )
+        else:
+            assert isinstance(event, WorkerArrival)
+            from repro.api.wire import SubmitWorker
+
+            budget = event.budget_capacity
+            await send(
+                SubmitWorker.from_worker(
+                    event.worker,
+                    at=event.time,
+                    budget=budget if budget is not None else math.inf,
+                )
+            )
+
+    from repro.api.wire import Advance, Drain, Finish
+
+    for cut in sorted(cuts):
+        while queued is not None and queued.time <= cut:
+            await submit(queued)
+            queued = next(feed, None)
+        await send(Advance(to_time=cut))
+        reply = await send(Drain())
+        collected.extend(r.to_assignment() for r in reply.assignments)
+    while queued is not None:
+        await submit(queued)
+        queued = next(feed, None)
+    final = await send(Finish())
+    collected.extend(r.to_assignment() for r in final.assignments)
+    reply_stats = service.tenant_stats("prop")
+    await service.close()
+    return final, reply_stats, collected
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    workload_seed=st.integers(0, 2**20),
+    run_seed=st.integers(0, 2**20),
+    method=st.sampled_from(METHODS),
+    cuts=st.lists(st.floats(0.1, 1.6), min_size=1, max_size=4),
+)
+def test_wire_path_matches_direct_session(workload_seed, run_seed, method, cuts):
+    workload = small_workload(workload_seed)
+    options = SolveOptions(seed=run_seed, max_batch_size=12, max_wait=0.15)
+    events = list(workload.events(seed=run_seed))
+
+    expected_stats, expected_events = direct_run(method, options, events, cuts)
+    final, actual_stats, actual_events = asyncio.run(
+        wire_run(method, options, events, cuts)
+    )
+
+    # Event-for-event: same assignments, same order, same payloads.
+    assert actual_events == expected_events
+
+    # The FinishedReply summarizes the identical run.
+    assert final.method == expected_stats.method
+    assert final.arrived_tasks == expected_stats.arrived_tasks
+    assert final.assigned == expected_stats.assigned
+    assert final.expired == expected_stats.expired
+    assert final.leftover == expected_stats.leftover
+    assert final.total_utility == expected_stats.total_utility
+    assert final.total_distance == expected_stats.total_distance
+    assert final.privacy_spend == expected_stats.total_privacy_spend
+    assert final.flushes == len(expected_stats.flushes)
+
+    # And the server-side stream stats drifted by not one bit.
+    assert actual_stats.latencies == expected_stats.latencies
+    assert actual_stats.privacy_timeline == expected_stats.privacy_timeline
+    assert actual_stats.per_worker_spend == expected_stats.per_worker_spend
+    assert len(actual_stats.flushes) == len(expected_stats.flushes)
+    for mine, theirs in zip(actual_stats.flushes, expected_stats.flushes):
+        assert (mine.index, mine.time, mine.matched) == (
+            theirs.index,
+            theirs.time,
+            theirs.matched,
+        )

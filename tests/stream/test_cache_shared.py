@@ -1,0 +1,259 @@
+"""The shared cache under service duty: bounds, threads, snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.nonprivate import GreedySolver, UCESolver
+from repro.errors import ConfigurationError
+from repro.stream.cache import FlushSolverCache
+from repro.stream.persist import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    decode_result,
+    encode_result,
+)
+from tests.conftest import line_instance
+
+
+def solved(seed=0, num_tasks=2, num_workers=3):
+    instance = line_instance(
+        num_tasks=num_tasks, num_workers=num_workers, seed=seed
+    )
+    return instance, UCESolver().solve(instance, seed=seed)
+
+
+def _board(result):
+    """release_board keyed to comparable tuples (ReleaseSet has no __eq__)."""
+    return {
+        key: releases.releases for key, releases in result.release_board.items()
+    }
+
+
+class TestEvictionBounds:
+    def test_entry_bound_holds_under_overfill(self):
+        cache = FlushSolverCache(max_entries=3)
+        _, result = solved()
+        for i in range(10):
+            cache.store(f"k{i}", result, 1)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        # The survivors are the three most recently stored.
+        assert cache.lookup("k9") is not None
+        assert cache.lookup("k0") is None
+
+    def test_byte_bound_evicts_oldest_first(self):
+        _, result = solved()
+        cache = FlushSolverCache(max_entries=100, max_bytes=1)
+        cache.store("a", result, 1)
+        # The newest entry always survives, even over the byte bound:
+        # an empty cache defeats its purpose.
+        assert len(cache) == 1
+        cache.store("b", result, 1)
+        assert len(cache) == 1
+        assert cache.lookup("b") is not None
+        assert cache.lookup("a") is None
+
+    def test_total_bytes_tracks_entries(self):
+        _, result = solved()
+        cache = FlushSolverCache()
+        assert cache.total_bytes == 0
+        cache.store("a", result, 1)
+        one = cache.total_bytes
+        assert one > 0
+        cache.store("b", result, 1)
+        assert cache.total_bytes == 2 * one
+        cache.clear()
+        assert cache.total_bytes == 0
+
+    def test_restore_does_not_double_count(self):
+        _, result = solved()
+        cache = FlushSolverCache()
+        cache.store("a", result, 1)
+        one = cache.total_bytes
+        cache.store("a", result, 2)  # same key: replaces, not accumulates
+        assert cache.total_bytes == one
+
+    def test_bad_byte_bound_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            FlushSolverCache(max_bytes=0)
+
+
+class TestThreadSafety:
+    def test_interleaved_get_store_under_threads(self):
+        """Many sessions hammering one cache: no lost updates, no tears.
+
+        The dict invariants (len <= bound, bytes consistent) must hold
+        after arbitrary interleavings of store/lookup/clear.
+        """
+        _, result = solved()
+        cache = FlushSolverCache(max_entries=8)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(200):
+                    key = f"t{tid}-{i % 12}"
+                    cache.store(key, result, 1)
+                    hit = cache.lookup(key)
+                    if hit is not None:
+                        got, shards = hit
+                        assert shards == 1
+                        assert got.matched_count == result.matched_count
+                    cache.lookup(f"t{(tid + 1) % 4}-{i % 12}")
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+        recount = sum(
+            entry.nbytes for entry in cache._entries.values()
+        )
+        assert cache.total_bytes == recount
+
+    def test_concurrent_sessions_share_hits(self):
+        """Two identical session workloads through one shared cache: the
+        second wave of flushes must hit what the first stored."""
+        from repro.api.options import SolveOptions
+        from repro.api.session import DispatchSession, SessionConfig
+        from repro.datasets.synthetic import NormalGenerator
+        from repro.stream.arrivals import PoissonProcess, StreamWorkload
+
+        workload = StreamWorkload(
+            task_process=PoissonProcess(rate=20.0, horizon=0.6),
+            worker_process=PoissonProcess(rate=6.0, horizon=0.6),
+            spatial=NormalGenerator(num_tasks=60, num_workers=120, seed=3),
+            initial_workers=15,
+            seed=3,
+        )
+        events = list(workload.events(seed=3))
+        shared = FlushSolverCache()
+        options = SolveOptions(max_batch_size=10, max_wait=0.12)
+        runs = []
+        for _ in range(2):
+            session = DispatchSession(
+                "UCE",
+                SessionConfig(
+                    options=options, record_assignments=False, cache=shared
+                ),
+            )
+            runs.append(session.run(events))
+        assert runs[1].cache_hits == len(runs[1].flushes)
+        assert runs[0].total_utility == runs[1].total_utility
+        assert runs[0].latencies == runs[1].latencies
+
+
+class TestResultCodec:
+    def test_round_trip_is_bit_identical(self):
+        instance, result = solved(seed=4, num_tasks=3, num_workers=4)
+        payload = json.loads(json.dumps(encode_result(result)))
+        back = decode_result(payload)
+        assert back.instance == instance
+        assert back.matching.pairs == result.matching.pairs
+        assert list(back.ledger.events()) == list(result.ledger.events())
+        assert _board(back) == _board(result)
+        assert back.method == result.method
+        assert back.rounds == result.rounds
+        assert back.publishes == result.publishes
+
+    def test_private_result_round_trips_the_ledger(self):
+        from repro.core.puce import PUCESolver
+
+        instance = line_instance(num_tasks=3, num_workers=4, seed=7)
+        result = PUCESolver().solve(instance, seed=7)
+        payload = json.loads(json.dumps(encode_result(result)))
+        back = decode_result(payload)
+        assert list(back.ledger.events()) == list(result.ledger.events())
+        assert back.ledger.total_spend() == result.ledger.total_spend()
+        assert _board(back) == _board(result)
+
+    def test_wrong_version_is_refused(self):
+        _, result = solved()
+        payload = encode_result(result)
+        payload["v"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            decode_result(payload)
+
+
+class TestSnapshotPersistence:
+    def test_save_load_round_trip_preserves_lookups(self, tmp_path):
+        instance, result = solved(seed=1)
+        other_instance, other = solved(seed=2)
+        cache = FlushSolverCache(max_entries=16)
+        cache.store("one", result, 1)
+        cache.store("two", other, 3)
+        path = tmp_path / "cache.json"
+        assert cache.save(path) == 2
+        loaded = FlushSolverCache.load(path)
+        assert len(loaded) == 2
+        got, shards = loaded.lookup("two")
+        assert shards == 3
+        assert got.instance == other_instance
+        assert got.matching.pairs == other.matching.pairs
+        # LRU order survives: "one" is still the eviction candidate.
+        loaded.store("three", result, 1)
+        small = FlushSolverCache.from_snapshot(
+            cache.to_snapshot(), max_entries=1
+        )
+        assert len(small) == 1
+        assert small.lookup("two") is not None
+        assert small.lookup("one") is None
+
+    def test_snapshot_is_plain_json(self, tmp_path):
+        _, result = solved()
+        cache = FlushSolverCache()
+        cache.store("a", result, 1)
+        path = tmp_path / "snap.json"
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["v"] == SNAPSHOT_VERSION
+        assert payload["skipped"] == 0
+        assert [e["fingerprint"] for e in payload["entries"]] == ["a"]
+
+    def test_unencodable_entries_are_skipped_not_fatal(self):
+        import dataclasses
+
+        from repro.core.utility import UtilityModel
+
+        class WeirdValue:
+            def __call__(self, x):
+                return 1.0
+
+        instance, result = solved()
+        weird_instance = type(instance)(
+            tasks=instance.tasks,
+            workers=instance.workers,
+            model=UtilityModel(f_d=WeirdValue()),
+            reachable=instance.reachable,
+            pairs=instance.pairs,
+        )
+        weird = dataclasses.replace(result, instance=weird_instance)
+        cache = FlushSolverCache()
+        cache.store("fine", result, 1)
+        cache.store("weird", weird, 1)
+        snapshot = cache.to_snapshot()
+        assert snapshot["skipped"] == 1
+        assert [e["fingerprint"] for e in snapshot["entries"]] == ["fine"]
+
+    def test_greedy_results_round_trip_too(self, tmp_path):
+        instance = line_instance(num_tasks=3, num_workers=3, seed=5)
+        result = GreedySolver().solve(instance, seed=5)
+        cache = FlushSolverCache()
+        cache.store("g", result, 1)
+        path = tmp_path / "g.json"
+        cache.save(path)
+        loaded = FlushSolverCache.load(path)
+        got, _ = loaded.lookup("g")
+        assert got.matching.pairs == result.matching.pairs
+
+    def test_wrong_snapshot_version_is_refused(self):
+        with pytest.raises(ConfigurationError, match="version"):
+            FlushSolverCache.from_snapshot(
+                {"v": SNAPSHOT_VERSION + 1, "entries": []}
+            )
