@@ -1,0 +1,183 @@
+"""Sliding-window accountant benchmark: O(log n) queries, liveliness.
+
+The horizon PR replaces the tracker's flat per-worker float accumulation
+with an accountant protocol (:mod:`repro.privacy.horizon`).  This bench
+records the two numbers that keep it honest:
+
+* **accountant op cost ratio** — nanoseconds per (record + in-window
+  query) through a :class:`~repro.privacy.horizon.WindowAccountant`
+  over the same ops through the default
+  :class:`~repro.privacy.horizon.GlobalAccountant` (a dict add and a
+  subtraction).  The window side pays two ``bisect`` calls and two
+  O(log n) tree walks, so the ratio is small-double-digit and — the
+  point — *flat in n*: a super-logarithmic implementation shows up as
+  the ratio growing with the event count, which the perf gate's 3x
+  floor catches across the committed-vs-fresh scale difference.
+* **long-horizon liveliness ratio** — assigned tasks on
+  ``examples/scenario_long_horizon.json`` (duty-cycle fleet, tight
+  per-worker budgets) with its sliding window over the same scenario
+  with the window knobs stripped (lifetime global accounting).  The
+  window run keeps assigning as releases age out; the global run
+  starves.  The ratio is dimensionless and transfers across hardware;
+  at full scale the bench also asserts the ISSUE's acceptance shape —
+  hour-24 matches under the window, none under the global cap.
+
+``REPRO_BENCH_SMOKE=1`` keeps the run error-only and leaves the tracked
+``BENCH_horizon.json`` untouched (``REPRO_BENCH_JSON_DIR`` collects the
+fresh JSON elsewhere — the CI perf gate does exactly that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.api.scenario import ScenarioSpec
+from repro.privacy.horizon import GlobalAccountant, HorizonPolicy, WindowAccountant
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_horizon.json"
+
+SCENARIO = (
+    Path(__file__).resolve().parent.parent
+    / "examples"
+    / "scenario_long_horizon.json"
+)
+
+FLEET = 50  # workers sharing the accountant in the micro-bench
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "3" if _smoke() else "7"))
+
+
+def _events() -> int:
+    return int(os.environ.get("REPRO_BENCH_EVENTS", "2000" if _smoke() else "20000"))
+
+
+def _json_target() -> Path | None:
+    out = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if out:
+        return Path(out) / "BENCH_horizon.json"
+    return None if _smoke() else BENCH_JSON
+
+
+def _ns_per_op(accountant, events: int, runs: int) -> float:
+    """Median ns for one record + one in-window total query."""
+    for worker in range(FLEET):
+        accountant.register(worker, 100.0)
+    samples = []
+    step = 0.01
+    clock = 0.0
+    for _ in range(runs):
+        started = time.perf_counter()
+        for index in range(events):
+            clock += step
+            accountant.record(index % FLEET, 0.05, clock)
+            accountant.spend_in_window(index % FLEET)
+        samples.append((time.perf_counter() - started) / events * 1e9)
+    return statistics.median(samples)
+
+
+@pytest.fixture(scope="module")
+def horizon_rows():
+    runs, events = _runs(), _events()
+    rows = []
+
+    # 1. Accountant op cost, window vs global, same op stream.
+    window_ns = _ns_per_op(
+        WindowAccountant(HorizonPolicy(window_seconds=events * 0.01 / 10)),
+        events,
+        runs,
+    )
+    global_ns = _ns_per_op(GlobalAccountant(), events, runs)
+    rows.append(
+        {
+            "metric": "accountant_ops",
+            "events": events,
+            "global_ns": global_ns,
+            "window_ns": window_ns,
+            "window_over_global_ratio": window_ns / global_ns,
+        }
+    )
+
+    # 2. Long-horizon liveliness: window vs global on the same stream.
+    spec = ScenarioSpec.from_file(SCENARIO)
+    if _smoke():
+        spec = dataclasses.replace(spec, horizon=6.0)
+    late_after = spec.horizon - 1.0  # the stream's final hour
+    stats = {}
+    for windowed in (False, True):
+        options = spec.options
+        if not windowed:
+            options = options.replace(
+                window_seconds=None, window_budget=None, timeline_limit=None
+            )
+        variant = dataclasses.replace(spec, options=options)
+        stats[windowed] = variant.run()[spec.methods[0]]
+    rows.append(
+        {
+            "metric": "long_horizon",
+            "method": spec.methods[0],
+            "horizon": spec.horizon,
+            "assigned_global": stats[False].assigned,
+            "assigned_window": stats[True].assigned,
+            "assigned_ratio": (
+                stats[True].assigned / max(stats[False].assigned, 1)
+            ),
+            "late_global": sum(
+                f.matched for f in stats[False].flushes if f.time > late_after
+            ),
+            "late_window": sum(
+                f.matched for f in stats[True].flushes if f.time > late_after
+            ),
+            "window_invariant_ok": stats[True].window_invariant_ok,
+            "window_timeline_points": len(stats[True].window_timeline),
+        }
+    )
+
+    return {"runs": runs, "events": events, "rows": rows}
+
+
+def test_horizon_baseline(horizon_rows):
+    """Record the accountant numbers and their invariants."""
+    rows = horizon_rows["rows"]
+    ops = next(r for r in rows if r["metric"] == "accountant_ops")
+    live = next(r for r in rows if r["metric"] == "long_horizon")
+    lines = [
+        "metric          global        window        ratio",
+        f"accountant_ops  {ops['global_ns']:>8.0f}ns    {ops['window_ns']:>8.0f}ns"
+        f"    {ops['window_over_global_ratio']:>5.1f}x  ({ops['events']} events)",
+        f"long_horizon    {live['assigned_global']:>8} tasks"
+        f"  {live['assigned_window']:>8} tasks"
+        f"    {live['assigned_ratio']:>5.2f}x  "
+        f"(final-hour matches {live['late_global']} -> {live['late_window']})",
+    ]
+    if not _smoke():
+        emit_table("horizon", "\n".join(lines))
+
+    target = _json_target()
+    if target is not None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(horizon_rows, indent=2) + "\n")
+
+    assert ops["global_ns"] > 0 and ops["window_ns"] > 0
+    assert live["window_invariant_ok"], live
+    # The window run must out-assign the starved global run.
+    assert live["assigned_window"] > live["assigned_global"], live
+    assert live["late_window"] > 0, live
+    if not _smoke():
+        # ISSUE acceptance at full scale: the duty-cycle fleet is
+        # budget-dead in hour 24 under lifetime accounting but still
+        # assigning under the sliding window.
+        assert live["late_global"] == 0, live

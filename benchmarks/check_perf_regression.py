@@ -2,12 +2,13 @@
 
 CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py``,
 ``bench_flush_overhead.py``, ``bench_obs_overhead.py``,
-``bench_shard_transport.py`` and ``bench_service.py`` in smoke mode with
-``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory, then invokes
-this script to compare the fresh measurements against the *committed*
-``BENCH_core.json`` / ``BENCH_stream.json`` / ``BENCH_flush.json`` /
-``BENCH_obs.json`` / ``BENCH_shards.json`` / ``BENCH_service.json`` at
-the repository root.
+``bench_shard_transport.py``, ``bench_service.py`` and
+``bench_horizon.py`` in smoke mode with ``REPRO_BENCH_JSON_DIR``
+pointing at a scratch directory, then invokes this script to compare
+the fresh measurements against the *committed* ``BENCH_core.json`` /
+``BENCH_stream.json`` / ``BENCH_flush.json`` / ``BENCH_obs.json`` /
+``BENCH_shards.json`` / ``BENCH_service.json`` /
+``BENCH_horizon.json`` at the repository root.
 
 The comparison is deliberately generous — a ``--floor`` of 3.0 means a
 fresh number may be up to 3x slower than the committed baseline before
@@ -255,6 +256,60 @@ def check_service(committed: dict, fresh: dict, floor: float, lines: list[str]) 
     return False
 
 
+def check_horizon(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Sliding-window accountant cost and long-horizon liveliness.
+
+    The accountant op ratio (windowed over global ns per record+query)
+    is dimensionless and — because the tree is O(log n) — nearly flat in
+    the event count, so smoke-scale fresh numbers compare against the
+    full-scale committed baseline.  The liveliness ratio (window-run
+    assigned tasks over the starved global run) gates the same way,
+    plus its functional bits: the in-window cap invariant must hold and
+    the final stream hour must still see matches under the window.
+    """
+    ops_base = next(
+        r for r in committed["rows"] if r["metric"] == "accountant_ops"
+    )
+    live_base = next(
+        r for r in committed["rows"] if r["metric"] == "long_horizon"
+    )
+    all_ok = True
+    compared = 0
+    for row in fresh["rows"]:
+        if row.get("metric") == "accountant_ops":
+            compared += 1
+            base = ops_base["window_over_global_ratio"]
+            ok = row["window_over_global_ratio"] <= base * floor
+            all_ok &= ok
+            lines.append(
+                f"horizon accountant  window/global ns: fresh "
+                f"{row['window_over_global_ratio']:>6.1f}x  committed "
+                f"{base:>6.1f}x  ceiling {base * floor:>6.1f}x  "
+                f"{'ok' if ok else 'REGRESSION'}"
+            )
+        elif row.get("metric") == "long_horizon":
+            compared += 1
+            base = live_base["assigned_ratio"]
+            ok = row["assigned_ratio"] >= base / floor
+            alive_ok = (
+                row["window_invariant_ok"]
+                and row["late_window"] > 0
+                and row["assigned_window"] > row["assigned_global"]
+            )
+            all_ok &= ok and alive_ok
+            lines.append(
+                f"horizon liveliness  window/global assigned: fresh "
+                f"{row['assigned_ratio']:>6.2f}x  committed {base:>6.2f}x  "
+                f"floor {base / floor:>6.2f}x  final-hour matches "
+                f"{row['late_window']:>2}  "
+                f"{'ok' if ok and alive_ok else 'REGRESSION'}"
+            )
+    if compared == 0:
+        lines.append("horizon: no comparable rows — REGRESSION")
+        return False
+    return all_ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -305,6 +360,12 @@ def main(argv: list[str] | None = None) -> int:
     ok &= check_service(
         load(ROOT / "BENCH_service.json"),
         load(args.fresh / "BENCH_service.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_horizon(
+        load(ROOT / "BENCH_horizon.json"),
+        load(args.fresh / "BENCH_horizon.json"),
         args.floor,
         lines,
     )

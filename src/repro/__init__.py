@@ -76,6 +76,8 @@ from repro.api import (
     Advance,
     AssignmentRecord,
     AssignmentsReply,
+    BudgetReply,
+    BudgetStatus,
     DispatchSession,
     Drain,
     ErrorReply,
@@ -150,9 +152,11 @@ from repro.obs import (
     write_trace_jsonl,
 )
 from repro.privacy import (
+    HorizonPolicy,
     PlanarLaplaceMechanism,
     PrivacyLedger,
     TrilaterationAttack,
+    WindowAccountant,
     attack_assignment,
 )
 from repro.service import DispatchService, ServiceClient, ServiceConfig
@@ -219,6 +223,8 @@ __all__ = [
     "pcf",
     "ppcf",
     "PrivacyLedger",
+    "HorizonPolicy",
+    "WindowAccountant",
     "PlanarLaplaceMechanism",
     "TrilaterationAttack",
     "attack_assignment",
@@ -247,7 +253,9 @@ __all__ = [
     "Advance",
     "Drain",
     "Finish",
+    "BudgetStatus",
     "AckReply",
+    "BudgetReply",
     "AssignmentRecord",
     "AssignmentsReply",
     "FinishedReply",

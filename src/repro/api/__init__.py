@@ -48,7 +48,9 @@ _EXPORTS = {
     "Advance": "repro.api.wire",
     "Drain": "repro.api.wire",
     "Finish": "repro.api.wire",
+    "BudgetStatus": "repro.api.wire",
     "AckReply": "repro.api.wire",
+    "BudgetReply": "repro.api.wire",
     "AssignmentRecord": "repro.api.wire",
     "AssignmentsReply": "repro.api.wire",
     "FinishedReply": "repro.api.wire",
@@ -75,6 +77,8 @@ if TYPE_CHECKING:  # static importers see the real names
         Advance,
         AssignmentRecord,
         AssignmentsReply,
+        BudgetReply,
+        BudgetStatus,
         Drain,
         ErrorReply,
         Finish,

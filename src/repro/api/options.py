@@ -20,6 +20,7 @@ any layer may import it without cycles.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -28,6 +29,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "SWEEP_MODES",
     "PARALLEL_MODES",
+    "COMPOSITION_RULES",
     "SolveOptions",
     "reject_unknown_keys",
     "validate_sweep",
@@ -36,6 +38,8 @@ __all__ = [
     "validate_batching",
     "validate_service",
     "validate_default_deadline",
+    "validate_horizon",
+    "validate_timeline_limit",
 ]
 
 #: WorkerProposal sweep implementations of the conflict-elimination engine.
@@ -43,6 +47,10 @@ SWEEP_MODES = ("auto", "vectorized", "scalar")
 
 #: How shard groups of one flush are executed.
 PARALLEL_MODES = ("off", "thread", "process")
+
+#: How in-window releases compose into one per-window guarantee
+#: (see :mod:`repro.privacy.horizon`).
+COMPOSITION_RULES = ("sequential", "tree")
 
 
 # -- the single validation path -------------------------------------------
@@ -147,6 +155,70 @@ def validate_default_deadline(default_deadline: float) -> float:
     return float(default_deadline)
 
 
+def validate_horizon(
+    window_seconds: float | None,
+    window_budget: float | None,
+    composition: str,
+    decay: float | None,
+) -> None:
+    """Check the sliding-window accounting knobs as one combination.
+
+    ``window_seconds=None`` means global (fixed-budget) accounting, in
+    which case the dependent knobs must stay at their defaults — a
+    ``window_budget`` without a window is a configuration the accountant
+    cannot honour, not a silent no-op.
+    """
+    if window_seconds is not None and not (
+        window_seconds > 0 and math.isfinite(window_seconds)
+    ):
+        raise ConfigurationError(
+            f"window_seconds must be positive and finite or None, "
+            f"got {window_seconds}"
+        )
+    if composition not in COMPOSITION_RULES:
+        raise ConfigurationError(
+            f"unknown window composition {composition!r}; "
+            f"choose from {COMPOSITION_RULES}"
+        )
+    if window_budget is not None:
+        if not window_budget > 0:
+            raise ConfigurationError(
+                f"window_budget must be positive or None, got {window_budget}"
+            )
+        if window_seconds is None:
+            raise ConfigurationError("window_budget requires window_seconds")
+    if decay is not None:
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(
+                f"window_decay must be in (0, 1) or None, got {decay}"
+            )
+        if window_seconds is None:
+            raise ConfigurationError("window_decay requires window_seconds")
+        if composition != "sequential":
+            raise ConfigurationError(
+                "window_decay composes only with the 'sequential' rule "
+                "(the tree bound has no decayed form)"
+            )
+
+
+def validate_timeline_limit(timeline_limit: int | None) -> int | None:
+    """Check a stats-timeline length cap; returns it for chaining.
+
+    ``None`` keeps the timelines unbounded (the historical behaviour);
+    otherwise at least 4 points, so downsampling always has interior
+    points to thin while keeping both endpoints.
+    """
+    if timeline_limit is not None and (
+        not isinstance(timeline_limit, int)
+        or isinstance(timeline_limit, bool)
+        or timeline_limit < 4
+    ):
+        raise ConfigurationError(
+            f"timeline_limit must be an int >= 4 or None, got {timeline_limit!r}"
+        )
+    return timeline_limit
+
+
 @dataclass(frozen=True)
 class SolveOptions:
     """Every dispatch knob, validated once, accepted everywhere.
@@ -202,6 +274,24 @@ class SolveOptions:
         in ``FlushRecord.phase_seconds`` and the ``--trace-out`` /
         ``profile`` artifacts.  Off by default (the no-op tracer keeps
         the hot path within noise); results are unchanged either way.
+    window_seconds, window_budget, window_composition, window_decay:
+        Sliding-window privacy accounting (:mod:`repro.privacy.horizon`).
+        ``window_seconds=None`` (the default) keeps the global
+        fixed-budget accountant — bit-identical to every pre-horizon
+        run.  With a window set, each worker's guarantee is stated per
+        window of that width: spends age out, exhausted workers regain
+        eligibility, and ``window_budget`` (``None`` = only the
+        registered shift capacities bind, reinterpreted per window) caps
+        the in-window spend under the ``window_composition`` rule
+        (``"sequential"`` sums in-window releases; ``"tree"`` applies
+        the binary-mechanism bound ``max_eps * (floor(log2 n) + 1)``).
+        ``window_decay`` (sequential only) discounts a release by
+        ``decay ** (age / window_seconds)``.
+    timeline_limit:
+        Cap on the per-run stats timelines (privacy/window spend over
+        time): once a timeline exceeds the cap it is thinned by dropping
+        every other interior point.  ``None`` = unbounded (historical
+        behaviour); long-horizon replays should set it.
     """
 
     seed: int = 0
@@ -219,12 +309,24 @@ class SolveOptions:
     cache: bool = False
     workspace: bool = True
     trace: bool = False
+    window_seconds: float | None = None
+    window_budget: float | None = None
+    window_composition: str = "sequential"
+    window_decay: float | None = None
+    timeline_limit: int | None = None
 
     def __post_init__(self) -> None:
         validate_sweep(self.sweep)
         validate_sweep_threshold(self.sweep_auto_threshold)
         validate_sharding(self.shards, self.parallel, self.max_shard_workers)
         validate_batching(self.max_batch_size, self.max_wait)
+        validate_horizon(
+            self.window_seconds,
+            self.window_budget,
+            self.window_composition,
+            self.window_decay,
+        )
+        validate_timeline_limit(self.timeline_limit)
         if self.max_rounds is not None and self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
@@ -252,6 +354,20 @@ class SolveOptions:
 
     # -- projection onto the lower layers ----------------------------------
 
+    def horizon_policy(self):
+        """The :class:`~repro.privacy.horizon.HorizonPolicy` these options
+        describe, or ``None`` for global (fixed-budget) accounting."""
+        if self.window_seconds is None:
+            return None
+        from repro.privacy.horizon import HorizonPolicy
+
+        return HorizonPolicy(
+            window_seconds=self.window_seconds,
+            window_budget=self.window_budget,
+            composition=self.window_composition,
+            decay=self.window_decay,
+        )
+
     def stream_config(self, **extra: Any):
         """The :class:`~repro.stream.simulator.StreamConfig` these options
         describe.  ``extra`` passes through knobs outside the unified set
@@ -269,5 +385,7 @@ class SolveOptions:
             cache=self.cache,
             workspace=self.workspace,
             trace=self.trace,
+            horizon=self.horizon_policy(),
+            timeline_limit=self.timeline_limit,
             **extra,
         )

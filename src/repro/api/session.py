@@ -58,6 +58,8 @@ from repro.api.options import (
 )
 from repro.api.wire import (
     Advance,
+    BudgetReply,
+    BudgetStatus,
     Drain,
     Finish,
     SubmitTask,
@@ -282,6 +284,32 @@ class DispatchSession:
         """Tasks buffered and still waiting for a flush."""
         return len(self._simulator.batcher)
 
+    @property
+    def accountant(self):
+        """The session's budget accountant (:mod:`repro.privacy.horizon`):
+        global by default, windowed when the options set a window."""
+        return self._simulator.tracker.accountant
+
+    def budget_spend(self) -> float:
+        """The spend that currently counts against the budget cap.
+
+        Under the global accountant this is the lifetime total (equal to
+        ``stats.total_privacy_spend`` — spend only moves at flushes);
+        under a window accountant it is the fleet's in-window spend at
+        the session clock, which *falls* as releases age out.  This is
+        the number the service's per-tenant admission sheds against.
+        """
+        accountant = self.accountant
+        if accountant.windowed:
+            return accountant.total_in_window(max(self.clock, accountant.now))
+        return accountant.total_spend()
+
+    def budget_status(self, worker_id: int | None = None) -> BudgetReply:
+        """One worker's (or the whole tenant's) live budget reading."""
+        reply = self.apply(BudgetStatus(worker_id=worker_id))
+        assert isinstance(reply, BudgetReply)
+        return reply
+
     # -- intake ------------------------------------------------------------
 
     def submit(self, event: StreamEvent) -> None:
@@ -290,14 +318,16 @@ class DispatchSession:
 
     def apply(
         self, record: WireRecord
-    ) -> "None | tuple[Assignment, ...] | StreamStats":
+    ) -> "None | tuple[Assignment, ...] | StreamStats | BudgetReply":
         """Apply one typed wire request; the service's single entry point.
 
         Returns the request's domain outcome: ``None`` for submits and
         advances, the drained :class:`~repro.stream.events.Assignment`
         events for :class:`~repro.api.wire.Drain`, the final
         :class:`~repro.stream.metrics.StreamStats` for
-        :class:`~repro.api.wire.Finish`.  ``submit_task`` /
+        :class:`~repro.api.wire.Finish`, a
+        :class:`~repro.api.wire.BudgetReply` for
+        :class:`~repro.api.wire.BudgetStatus`.  ``submit_task`` /
         ``submit_worker`` route through here too, so wire-driven and
         direct sessions share one request path.
         """
@@ -328,10 +358,45 @@ class DispatchSession:
             return None
         if isinstance(record, Drain):
             return self.drain()
+        if isinstance(record, BudgetStatus):
+            return self._budget_reply(record)
         if isinstance(record, Finish):
             return self.finish()
         raise ConfigurationError(
             f"cannot apply wire record {type(record).__name__} to a session"
+        )
+
+    def _budget_reply(self, record: BudgetStatus) -> BudgetReply:
+        """The live accountant reading behind a ``BudgetStatus`` request.
+
+        Windowed sessions answer at ``max(clock, last flush time)`` — the
+        clock may have advanced past the last flush, and releases that
+        aged out in between must not count.  Tenant-level ``remaining``
+        is ``None`` here (the session knows no tenant cap); the service
+        overlays its ``tenant_budget`` before replying.
+        """
+        accountant = self.accountant
+        windowed = accountant.windowed
+        window = accountant.policy.window_seconds if windowed else None
+        when = max(self.clock, accountant.now) if windowed else None
+        if record.worker_id is not None:
+            remaining = accountant.remaining(record.worker_id, when)
+            return BudgetReply(
+                spend=accountant.spend_in_window(record.worker_id, when),
+                lifetime_spend=accountant.lifetime_spend(record.worker_id),
+                remaining=None if math.isinf(remaining) else remaining,
+                window_seconds=window,
+                worker_id=record.worker_id,
+            )
+        return BudgetReply(
+            spend=(
+                accountant.total_in_window(when)
+                if windowed
+                else accountant.total_spend()
+            ),
+            lifetime_spend=accountant.total_spend(),
+            remaining=None,
+            window_seconds=window,
         )
 
     def submit_task(

@@ -10,10 +10,10 @@ split all speak one schema:
 
 * **requests** — :class:`OpenSession`, :class:`SubmitTask`,
   :class:`SubmitWorker`, :class:`Advance`, :class:`Drain`,
-  :class:`Finish`;
+  :class:`Finish`, :class:`BudgetStatus`;
 * **replies** — :class:`AckReply`, :class:`AssignmentsReply` (carrying
   :class:`AssignmentRecord` items), :class:`FinishedReply`,
-  :class:`ErrorReply`, :class:`ShedReply`.
+  :class:`BudgetReply`, :class:`ErrorReply`, :class:`ShedReply`.
 
 Every record round-trips through ``to_dict`` / ``from_dict``: the dict
 form carries a ``kind`` discriminator and the schema version ``v``
@@ -58,10 +58,12 @@ __all__ = [
     "Advance",
     "Drain",
     "Finish",
+    "BudgetStatus",
     "AssignmentRecord",
     "AckReply",
     "AssignmentsReply",
     "FinishedReply",
+    "BudgetReply",
     "ErrorReply",
     "ShedReply",
     "RECORD_TYPES",
@@ -247,6 +249,21 @@ class Finish(WireRecord):
     kind: ClassVar[str] = "finish"
 
 
+@dataclass(frozen=True, slots=True)
+class BudgetStatus(WireRecord):
+    """Query remaining (window) budget without submitting work.
+
+    With ``worker_id`` set the reply covers that worker's per-window
+    budget; omitted, it covers the whole tenant (the admission gauge the
+    service sheds against).  A control request like ``Drain`` — never
+    shed, answered in queue order, and read-only on the session.
+    """
+
+    kind: ClassVar[str] = "budget_status"
+
+    worker_id: int | None = None
+
+
 # -- replies ----------------------------------------------------------------
 
 
@@ -390,6 +407,30 @@ class FinishedReply(WireRecord):
 
 
 @dataclass(frozen=True, slots=True)
+class BudgetReply(WireRecord):
+    """A :class:`BudgetStatus` answer — the accountant's live reading.
+
+    ``spend`` is what currently counts against the cap: the in-window
+    spend under a sliding-window accountant, the lifetime spend under
+    the global one (``window_seconds`` tells which regime answered —
+    ``None`` means global).  ``lifetime_spend`` is always the Theorem
+    V.2 audit total.  ``remaining`` is ``None`` when no cap binds
+    (unlimited has no JSON spelling, same convention as
+    :attr:`SubmitWorker.budget`); on tenant-level replies the service
+    overlays its ``tenant_budget`` admission cap, so the number is the
+    one admission actually sheds against.
+    """
+
+    kind: ClassVar[str] = "budget"
+
+    spend: float
+    lifetime_spend: float
+    remaining: float | None = None
+    window_seconds: float | None = None
+    worker_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class ErrorReply(WireRecord):
     """The request failed; ``code`` is the raising exception class."""
 
@@ -418,10 +459,12 @@ RECORD_TYPES: dict[str, type[WireRecord]] = {
         Advance,
         Drain,
         Finish,
+        BudgetStatus,
         AssignmentRecord,
         AckReply,
         AssignmentsReply,
         FinishedReply,
+        BudgetReply,
         ErrorReply,
         ShedReply,
     )

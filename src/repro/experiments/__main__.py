@@ -31,7 +31,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 
-from repro.api.options import SolveOptions
+from repro.api.options import COMPOSITION_RULES, SolveOptions
 from repro.api.scenario import ScenarioSpec
 from repro.errors import ReproError
 from repro.experiments.figures import FIGURES, run_figure
@@ -157,6 +157,43 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--deadline", type=float, default=1.0, help="task patience before expiry")
     stream.add_argument(
         "--worker-budget", type=float, default=40.0, help="per-worker shift budget cap"
+    )
+    stream.add_argument(
+        "--window-seconds",
+        type=float,
+        default=None,
+        help="sliding-window privacy accounting: budget caps apply to the "
+        "spend inside the trailing window instead of the whole run "
+        "(default: lifetime global accounting)",
+    )
+    stream.add_argument(
+        "--window-budget",
+        type=float,
+        default=None,
+        help="per-worker epsilon cap inside each window (requires "
+        "--window-seconds; default: the worker's own budget cap)",
+    )
+    stream.add_argument(
+        "--window-composition",
+        choices=COMPOSITION_RULES,
+        default="sequential",
+        help="window composition rule: 'sequential' sums in-window spends, "
+        "'tree' charges the binary-mechanism level bound",
+    )
+    stream.add_argument(
+        "--window-decay",
+        type=float,
+        default=None,
+        help="down-weight releases as they age across the window: a spend "
+        "counts eps * decay^(age/window) until it leaves (0 < decay < 1, "
+        "sequential composition only)",
+    )
+    stream.add_argument(
+        "--timeline-limit",
+        type=int,
+        default=None,
+        help="cap StreamStats timeline growth: decimate to this many "
+        "points once exceeded (endpoints kept; default: unbounded)",
     )
     stream.add_argument("--max-batch", type=int, default=50, help="micro-batch flush size")
     stream.add_argument("--max-wait", type=float, default=0.2, help="micro-batch flush wait")
@@ -330,6 +367,11 @@ def main(argv: list[str] | None = None) -> int:
                     cache=args.cache,
                     workspace=args.workspace,
                     trace=args.trace,
+                    window_seconds=args.window_seconds,
+                    window_budget=args.window_budget,
+                    window_composition=args.window_composition,
+                    window_decay=args.window_decay,
+                    timeline_limit=args.timeline_limit,
                 ),
             )
         else:

@@ -13,7 +13,10 @@ implements:
   ``(sum_i b_ij . eps_ij . r_j)``-LDP bound of Theorems V.2 / VI.4,
 * :mod:`repro.privacy.geo`        -- planar Laplace
   (geo-indistinguishability), the location-level mechanism used by the
-  related work the paper builds on.
+  related work the paper builds on,
+* :mod:`repro.privacy.horizon`    -- infinite-horizon accounting: the
+  sliding-window accountant (binary-interval tree over timestamped
+  releases) and the default fixed-budget global accountant.
 """
 
 from repro.privacy.accountant import PairSpend, PrivacyLedger
@@ -24,6 +27,12 @@ from repro.privacy.attack import (
     attack_assignment,
 )
 from repro.privacy.geo import PlanarLaplaceMechanism
+from repro.privacy.horizon import (
+    GlobalAccountant,
+    HorizonPolicy,
+    WindowAccountant,
+    naive_window_spend,
+)
 from repro.privacy.laplace import (
     LaplaceDifference,
     laplace_cdf,
@@ -42,6 +51,10 @@ __all__ = [
     "LaplaceMechanism",
     "PrivacyLedger",
     "PairSpend",
+    "HorizonPolicy",
+    "WindowAccountant",
+    "GlobalAccountant",
+    "naive_window_spend",
     "PlanarLaplaceMechanism",
     "TrilaterationAttack",
     "LocationEstimate",

@@ -1,0 +1,507 @@
+"""Sliding-window privacy accounting over an unbounded stream horizon.
+
+The paper's Theorem V.2 states each worker's LDP guarantee over their
+*whole shift*: the leaked budget is the sum of every published
+per-proposal budget, so a fixed capacity makes day-long streams go dark
+once the fleet has spent it.  "Differential Privacy on Dynamic Data"
+(arXiv 2209.01387) restates the guarantee per *sliding window* instead:
+releases are aggregated with the binary mechanism's dyadic interval tree
+and the privacy claim covers any window of width ``W`` — budget
+regenerates as old releases age out, which is the regime an
+infinite-horizon dispatch stream actually runs in.
+
+Two accountants share one duck-typed interface (``observe`` / ``register``
+/ ``record`` / ``capacity`` / ``spend_in_window`` / ``lifetime_spend`` /
+``remaining`` / ``total_spend`` / ``total_in_window``; a ``windowed``
+class flag tells them apart):
+
+* :class:`GlobalAccountant` — today's fixed-budget semantics behind the
+  interface, float-accumulation-order identical to the pre-horizon
+  :class:`~repro.stream.batcher.WorkerBudgetTracker`, so the default
+  path stays bit-identical;
+* :class:`WindowAccountant` — timestamped per-worker releases in an
+  append-only :class:`IntervalTree` (dyadic decomposition: range sums
+  and maxima in O(log n)), windowed via binary search over the
+  nondecreasing timestamps, with compaction keeping memory proportional
+  to one window's releases over an infinite stream.
+
+A :class:`HorizonPolicy` fixes the window width, the optional per-window
+cap, the composition rule, and the optional decay:
+
+* ``composition="sequential"`` — the in-window spend is the plain sum of
+  in-window releases (sequential composition inside the window);
+* ``composition="tree"`` — the binary-mechanism bound
+  ``max_in_window(eps) * (floor(log2 n) + 1)``: each release touches at
+  most one node per tree level, so the worst-case in-window leakage is
+  one maximal release per level (arXiv 2209.01387, Sec. 3);
+* ``decay=d`` (sequential only) — a release of age ``a`` contributes
+  ``eps * d ** (a / W)``, the exponentially-discounted ledger.  Stored
+  values carry the scaling ``eps * exp(k * (t_e - base))`` with
+  ``k = ln(1/d) / W`` so a query is one range sum times
+  ``exp(-k * (t - base))``; compaction rebases ``base`` to keep the
+  stored magnitudes in float range.
+
+:func:`naive_window_spend` is the O(n) reference semantics over a full
+event list — the oracle the hypothesis property tests compare the tree
+answers against.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping, Union
+
+from repro.api.options import (
+    COMPOSITION_RULES,
+    reject_unknown_keys,
+    validate_horizon,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "COMPOSITION_RULES",
+    "HorizonPolicy",
+    "IntervalTree",
+    "WindowAccountant",
+    "GlobalAccountant",
+    "BudgetAccountant",
+    "naive_window_spend",
+]
+
+WorkerId = Hashable
+
+#: Rebase the decay scaling before the stored exponent exceeds this —
+#: exp(60) ~ 1e26, far inside float range yet rebased long before any
+#: in-window sum could lose precision to mixed magnitudes.
+_DECAY_REBASE_EXPONENT = 60.0
+
+
+def _validate_capacity(worker_id: WorkerId, capacity: float) -> float:
+    """Shared register() guard — same message wherever it enters."""
+    if not capacity > 0:
+        raise ConfigurationError(
+            f"worker {worker_id}: capacity must be positive, got {capacity}"
+        )
+    return float(capacity)
+
+
+@dataclass(frozen=True, slots=True)
+class HorizonPolicy:
+    """The frozen, validated contract of one sliding-window guarantee.
+
+    Parameters
+    ----------
+    window_seconds:
+        Window width ``W`` in stream time units.  A release at ``t_e``
+        counts toward a query at ``t`` iff ``t - W < t_e <= t`` — a
+        release aged exactly ``W`` has expired.
+    window_budget:
+        Per-window spend cap applied to every worker (``None`` = only
+        the per-worker registered capacities bind).  Where both exist,
+        the tighter one wins.
+    composition:
+        ``"sequential"`` (in-window sum) or ``"tree"`` (the binary-
+        mechanism level bound); see the module docstring.
+    decay:
+        Optional exponential discount in ``(0, 1)``; sequential only.
+    """
+
+    window_seconds: float
+    window_budget: float | None = None
+    composition: str = "sequential"
+    decay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_seconds is None:
+            raise ConfigurationError(
+                "a HorizonPolicy needs window_seconds; use the "
+                "GlobalAccountant for unwindowed accounting"
+            )
+        # One validation path: shared with SolveOptions (repro.api.options).
+        validate_horizon(
+            self.window_seconds, self.window_budget, self.composition, self.decay
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "HorizonPolicy":
+        """Build from a plain dict (JSON), rejecting unknown keys."""
+        return cls(**reject_unknown_keys(cls, mapping, "horizon"))
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict that :meth:`from_mapping` round-trips."""
+        return {
+            "window_seconds": self.window_seconds,
+            "window_budget": self.window_budget,
+            "composition": self.composition,
+            "decay": self.decay,
+        }
+
+
+class IntervalTree:
+    """Append-only dyadic interval tree: O(log n) range sums and maxima.
+
+    The binary mechanism's aggregation layout: leaf ``p`` holds release
+    ``p``, an internal node covers a dyadic block of leaves, and any
+    contiguous ``[lo, hi)`` decomposes into at most ``2 * ceil(log2 n)``
+    nodes.  Two aggregates ride the same structure — a *sum* over the
+    (possibly decay-scaled) stored values and a *max* over the raw
+    epsilons (the tree composition rule needs the in-window maximum).
+    Capacity doubles on demand; appends are amortised O(1) plus the
+    O(log n) ancestor update.
+    """
+
+    __slots__ = ("_cap", "_size", "_sum", "_max")
+
+    def __init__(self, capacity: int = 1) -> None:
+        self._cap = 1
+        while self._cap < capacity:
+            self._cap *= 2
+        self._size = 0
+        self._sum = [0.0] * (2 * self._cap)
+        self._max = [0.0] * (2 * self._cap)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def leaf(self, index: int) -> float:
+        """The raw epsilon of release ``index`` (compaction reads these)."""
+        if not 0 <= index < self._size:
+            raise ConfigurationError(
+                f"leaf index {index} out of range for {self._size} releases"
+            )
+        return self._max[self._cap + index]
+
+    def append(self, raw: float, scaled: float | None = None) -> None:
+        """Append one release: ``raw`` feeds the max, ``scaled`` the sum
+        (defaults to ``raw`` when no decay scaling is in play)."""
+        if scaled is None:
+            scaled = raw
+        if self._size == self._cap:
+            self._grow()
+        node = self._cap + self._size
+        self._sum[node] = scaled
+        self._max[node] = raw
+        self._size += 1
+        node //= 2
+        while node:
+            self._sum[node] = self._sum[2 * node] + self._sum[2 * node + 1]
+            self._max[node] = max(self._max[2 * node], self._max[2 * node + 1])
+            node //= 2
+
+    def _grow(self) -> None:
+        old_cap = self._cap
+        self._cap = old_cap * 2
+        new_sum = [0.0] * (2 * self._cap)
+        new_max = [0.0] * (2 * self._cap)
+        new_sum[self._cap : self._cap + self._size] = self._sum[
+            old_cap : old_cap + self._size
+        ]
+        new_max[self._cap : self._cap + self._size] = self._max[
+            old_cap : old_cap + self._size
+        ]
+        for node in range(self._cap - 1, 0, -1):
+            new_sum[node] = new_sum[2 * node] + new_sum[2 * node + 1]
+            new_max[node] = max(new_max[2 * node], new_max[2 * node + 1])
+        self._sum = new_sum
+        self._max = new_max
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not 0 <= lo <= hi <= self._size:
+            raise ConfigurationError(
+                f"range [{lo}, {hi}) out of bounds for {self._size} releases"
+            )
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Sum of stored (scaled) values over releases ``[lo, hi)``."""
+        self._check_range(lo, hi)
+        total = 0.0
+        lo += self._cap
+        hi += self._cap
+        while lo < hi:
+            if lo & 1:
+                total += self._sum[lo]
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                total += self._sum[hi]
+            lo //= 2
+            hi //= 2
+        return total
+
+    def range_max(self, lo: int, hi: int) -> float:
+        """Max raw epsilon over releases ``[lo, hi)`` (0.0 when empty)."""
+        self._check_range(lo, hi)
+        best = 0.0
+        lo += self._cap
+        hi += self._cap
+        while lo < hi:
+            if lo & 1:
+                best = max(best, self._max[lo])
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                best = max(best, self._max[hi])
+            lo //= 2
+            hi //= 2
+        return best
+
+
+class _ReleaseSeries:
+    """One worker's timestamped releases: time array + interval tree.
+
+    Timestamps are nondecreasing (the stream clock is monotone), so the
+    window bounds of any query are two binary searches and the answer is
+    one tree range query.  Queries at or after the newest recorded time
+    are exact even across compactions: a pruned release was older than
+    ``latest - W`` when pruned and time only moves forward, so it could
+    never re-enter a window.
+    """
+
+    __slots__ = ("times", "tree", "lifetime", "_policy", "_k", "_base")
+
+    #: Below this many stored releases, compaction isn't worth the rebuild.
+    COMPACT_MIN = 64
+
+    def __init__(self, policy: HorizonPolicy) -> None:
+        self._policy = policy
+        self.times: list[float] = []
+        self.tree = IntervalTree()
+        self.lifetime = 0.0
+        self._k = (
+            0.0
+            if policy.decay is None
+            else math.log(1.0 / policy.decay) / policy.window_seconds
+        )
+        self._base = 0.0
+
+    def record(self, t: float, eps: float) -> None:
+        if self.times and t < self.times[-1] - 1e-9:
+            raise ConfigurationError(
+                f"release at {t} is before the last recorded release "
+                f"at {self.times[-1]}; stream time is monotone"
+            )
+        if self.times and t < self.times[-1]:
+            t = self.times[-1]  # clamp sub-tolerance backsteps: keep sorted
+        if self._k and self._k * (t - self._base) > _DECAY_REBASE_EXPONENT:
+            self._compact(t)
+        scaled = (
+            eps if not self._k else eps * math.exp(self._k * (t - self._base))
+        )
+        self.times.append(t)
+        self.tree.append(eps, scaled)
+        self.lifetime += eps
+        if len(self.times) >= self.COMPACT_MIN:
+            live_from = bisect_right(self.times, t - self._policy.window_seconds)
+            if 2 * live_from > len(self.times):
+                self._compact(t)
+
+    def _compact(self, now: float) -> None:
+        """Rebuild from the live suffix; rebase the decay scaling to ``now``."""
+        keep_from = bisect_right(self.times, now - self._policy.window_seconds)
+        live_times = self.times[keep_from:]
+        old_tree = self.tree
+        tree = IntervalTree(max(len(live_times), 1))
+        self._base = now
+        for offset, t_e in enumerate(live_times):
+            eps = old_tree.leaf(keep_from + offset)
+            scaled = (
+                eps if not self._k else eps * math.exp(self._k * (t_e - now))
+            )
+            tree.append(eps, scaled)
+        self.times = live_times
+        self.tree = tree
+
+    def spend(self, t: float) -> float:
+        """The policy's in-window spend at query time ``t``."""
+        window = self._policy.window_seconds
+        lo = bisect_right(self.times, t - window)
+        hi = bisect_right(self.times, t)
+        if hi <= lo:
+            return 0.0
+        if self._policy.composition == "tree":
+            levels = math.floor(math.log2(hi - lo)) + 1.0
+            return self.tree.range_max(lo, hi) * levels
+        total = self.tree.range_sum(lo, hi)
+        if self._k:
+            total *= math.exp(-self._k * (t - self._base))
+        return total
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class WindowAccountant:
+    """Per-worker sliding-window budget accounting under one policy.
+
+    The clock is fed by :meth:`observe` (the tracker calls it at every
+    flush); queries default to the observed high-water mark, so callers
+    that already pass time through the stack don't have to thread it into
+    every ``remaining`` check.  An explicit ``t`` must be at or after the
+    newest recorded release for an exact answer (earlier queries may miss
+    compacted history — the stream never asks them).
+    """
+
+    windowed = True
+
+    def __init__(self, policy: HorizonPolicy):
+        if not isinstance(policy, HorizonPolicy):
+            raise ConfigurationError(
+                f"policy must be a HorizonPolicy, got {type(policy).__name__}"
+            )
+        self.policy = policy
+        self._series: dict[WorkerId, _ReleaseSeries] = {}
+        self._capacity: dict[WorkerId, float] = {}
+        self._total = 0.0
+        self._now = 0.0
+
+    # -- clock -------------------------------------------------------------
+
+    def observe(self, t: float) -> None:
+        """Advance the accountant's clock (monotone high-water mark)."""
+        if math.isfinite(t) and t > self._now:
+            self._now = t
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- recording ---------------------------------------------------------
+
+    def register(self, worker_id: WorkerId, capacity: float) -> None:
+        """Declare a worker's cap — reinterpreted *per window* here."""
+        self._capacity[worker_id] = _validate_capacity(worker_id, capacity)
+
+    def record(self, worker_id: WorkerId, eps: float, t: float | None = None) -> None:
+        """Record one release of ``eps`` at ``t`` (default: the clock)."""
+        if not eps > 0:
+            raise ConfigurationError(
+                f"published budget must be positive, got {eps}"
+            )
+        if t is None:
+            t = self._now
+        else:
+            self.observe(t)
+        series = self._series.get(worker_id)
+        if series is None:
+            series = self._series[worker_id] = _ReleaseSeries(self.policy)
+        series.record(t, eps)
+        self._total += eps
+
+    # -- queries -----------------------------------------------------------
+
+    def capacity(self, worker_id: WorkerId) -> float:
+        """The effective per-window cap (policy cap ∧ registered cap)."""
+        registered = self._capacity.get(worker_id, math.inf)
+        policy_cap = (
+            math.inf if self.policy.window_budget is None else self.policy.window_budget
+        )
+        return min(registered, policy_cap)
+
+    def spend_in_window(self, worker_id: WorkerId, t: float | None = None) -> float:
+        """The worker's composed spend in the window ending at ``t``."""
+        series = self._series.get(worker_id)
+        if series is None:
+            return 0.0
+        return series.spend(self._now if t is None else t)
+
+    def lifetime_spend(self, worker_id: WorkerId) -> float:
+        """Total budget the worker has ever published (the audit total)."""
+        series = self._series.get(worker_id)
+        return 0.0 if series is None else series.lifetime
+
+    def remaining(self, worker_id: WorkerId, t: float | None = None) -> float:
+        """Budget the worker may still publish in the current window."""
+        return self.capacity(worker_id) - self.spend_in_window(worker_id, t)
+
+    def total_spend(self) -> float:
+        """Lifetime total across all workers (monotone over the stream)."""
+        return self._total
+
+    def total_in_window(self, t: float | None = None) -> float:
+        """Sum of every worker's in-window spend — the tenant-level gauge."""
+        when = self._now if t is None else t
+        return sum(series.spend(when) for series in self._series.values())
+
+    def release_count(self, worker_id: WorkerId) -> int:
+        """Releases currently *stored* for a worker (post-compaction)."""
+        series = self._series.get(worker_id)
+        return 0 if series is None else len(series)
+
+
+class GlobalAccountant:
+    """Today's fixed-budget semantics behind the accountant interface.
+
+    Deliberately replicates the pre-horizon tracker's float accumulation
+    — one ``dict.get`` add per event, one running total — in the same
+    order, so every default-path stream remains *bit*-identical: the
+    cache fingerprints (tuples of ``remaining``), the
+    ``cumulative_privacy_spend`` series, and the shed decisions all
+    reproduce exactly.  Windowed queries degrade to lifetime ones: the
+    "window" of a global guarantee is the whole shift.
+    """
+
+    windowed = False
+
+    def __init__(self) -> None:
+        self._capacity: dict[WorkerId, float] = {}
+        self._spent: dict[WorkerId, float] = {}
+        self._total = 0.0
+
+    def observe(self, t: float) -> None:
+        """No clock: a global guarantee does not age."""
+
+    def register(self, worker_id: WorkerId, capacity: float) -> None:
+        self._capacity[worker_id] = _validate_capacity(worker_id, capacity)
+
+    def record(self, worker_id: WorkerId, eps: float, t: float | None = None) -> None:
+        self._spent[worker_id] = self._spent.get(worker_id, 0.0) + eps
+        self._total += eps
+
+    def capacity(self, worker_id: WorkerId) -> float:
+        return self._capacity.get(worker_id, math.inf)
+
+    def spend_in_window(self, worker_id: WorkerId, t: float | None = None) -> float:
+        return self._spent.get(worker_id, 0.0)
+
+    def lifetime_spend(self, worker_id: WorkerId) -> float:
+        return self._spent.get(worker_id, 0.0)
+
+    def remaining(self, worker_id: WorkerId, t: float | None = None) -> float:
+        return self.capacity(worker_id) - self._spent.get(worker_id, 0.0)
+
+    def total_spend(self) -> float:
+        return self._total
+
+    def total_in_window(self, t: float | None = None) -> float:
+        return self._total
+
+
+#: The duck-typed accountant interface both implementations satisfy.
+BudgetAccountant = Union[GlobalAccountant, WindowAccountant]
+
+
+def naive_window_spend(
+    events: Iterable[tuple[float, float]], t: float, policy: HorizonPolicy
+) -> float:
+    """O(n) reference in-window spend over a full ``(time, eps)`` list.
+
+    The semantics the accountant must match (up to float rounding — the
+    tree sums in dyadic order, this sums left to right): releases with
+    ``t - W < t_e <= t`` compose under the policy's rule.  The property
+    tests compare :meth:`WindowAccountant.spend_in_window` against this
+    on random schedules; it is deliberately too slow for the hot path.
+    """
+    window = policy.window_seconds
+    live = [(t_e, eps) for t_e, eps in events if t - window < t_e <= t]
+    if not live:
+        return 0.0
+    if policy.composition == "tree":
+        levels = math.floor(math.log2(len(live))) + 1.0
+        return max(eps for _, eps in live) * levels
+    if policy.decay is None:
+        return sum(eps for _, eps in live)
+    return sum(
+        eps * policy.decay ** ((t - t_e) / window) for t_e, eps in live
+    )

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.api.wire import (
     Advance,
+    BudgetStatus,
     Drain,
     ErrorReply,
     Finish,
@@ -119,6 +120,15 @@ class ServiceClient:
         if isinstance(reply, (ErrorReply, ShedReply)):
             return ()
         return tuple(record.to_assignment() for record in reply.assignments)
+
+    async def budget_status(self, worker_id: int | None = None) -> WireRecord:
+        """Query remaining (window) budget without submitting work.
+
+        Returns a :class:`~repro.api.wire.BudgetReply`: one worker's
+        reading with ``worker_id``, the tenant-level admission reading
+        (``tenant_budget`` folded in) without.
+        """
+        return await self.request(BudgetStatus(worker_id=worker_id))
 
     async def finish(self) -> FinishedReply | WireRecord:
         """Flush leftovers, close the session, return the final stats."""

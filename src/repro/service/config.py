@@ -39,10 +39,15 @@ class ServiceConfig:
         target the PR 6/7 batching controller steers toward.  ``None``
         disables backpressure shedding.
     tenant_budget:
-        Per-tenant cumulative privacy-spend cap: once a session's total
-        published budget reaches it, further ``SubmitTask`` requests are
-        shed (workers on that session stop accruing spend for new work).
-        ``None`` disables the cap.
+        Per-tenant privacy-spend cap: once a session's charged spend
+        reaches it, further ``SubmitTask`` requests are shed (workers on
+        that session stop accruing spend for new work).  The charged
+        spend is the session accountant's reading
+        (:meth:`~repro.api.session.DispatchSession.budget_spend`):
+        lifetime total under the default global accountant, *in-window*
+        total when the session's options set ``window_seconds`` — a
+        windowed tenant shed for budget is admitted again once its
+        releases age out of the window.  ``None`` disables the cap.
     cache_entries, cache_bytes:
         Bounds of the process-wide shared flush-fingerprint cache
         (:class:`~repro.stream.cache.FlushSolverCache`): entry count and

@@ -45,6 +45,8 @@ from repro.api.wire import (
     AckReply,
     AssignmentRecord,
     AssignmentsReply,
+    BudgetReply,
+    BudgetStatus,
     Drain,
     ErrorReply,
     Finish,
@@ -236,12 +238,16 @@ class DispatchService:
     # -- admission control -------------------------------------------------
 
     def _admission(self, state: _Tenant) -> str | None:
-        """Why a ``SubmitTask`` must be shed right now (``None`` = admit)."""
+        """Why a ``SubmitTask`` must be shed right now (``None`` = admit).
+
+        The budget gate prices against :meth:`DispatchSession.
+        budget_spend` — lifetime spend under the global accountant
+        (exactly the old ``total_privacy_spend`` check), *in-window*
+        spend under a sliding-window accountant: a tenant shed for
+        budget is admitted again once its releases age out.
+        """
         budget = self.config.tenant_budget
-        if (
-            budget is not None
-            and state.session.stats.total_privacy_spend >= budget
-        ):
+        if budget is not None and state.session.budget_spend() >= budget:
             return "budget"
         ratio = self.config.backpressure_ratio
         if (
@@ -253,6 +259,22 @@ class DispatchService:
         if state.queue.full():
             return "queue_full"
         return None
+
+    def _overlay_tenant_budget(self, reply: BudgetReply) -> BudgetReply:
+        """Fold ``config.tenant_budget`` into a tenant-level budget reply."""
+        budget = self.config.tenant_budget
+        if budget is None:
+            return reply
+        remaining = max(0.0, budget - reply.spend)
+        if reply.remaining is not None:
+            remaining = min(remaining, reply.remaining)
+        return BudgetReply(
+            spend=reply.spend,
+            lifetime_spend=reply.lifetime_spend,
+            remaining=remaining,
+            window_seconds=reply.window_seconds,
+            worker_id=reply.worker_id,
+        )
 
     def _count_shed(self, tenant: str, reason: str) -> None:
         self.metrics.counter(
@@ -280,6 +302,11 @@ class DispatchService:
                     reply: WireRecord = FinishedReply.from_stats(
                         outcome, leftovers
                     )
+                elif isinstance(record, BudgetStatus) and record.worker_id is None:
+                    # Tenant-level readings get the service's admission
+                    # cap folded in — the reply's `remaining` is what
+                    # admission actually sheds against.
+                    reply = self._overlay_tenant_budget(outcome)
                 else:
                     reply = _reply_for(record, outcome)
             except ReproError as exc:
@@ -327,6 +354,12 @@ class DispatchService:
                 "cumulative published privacy budget",
                 tenant=state.name,
             ).set(stats.total_privacy_spend)
+            if stats.window_timeline:
+                self.metrics.gauge(
+                    "service_tenant_window_spend",
+                    "fleet in-window privacy spend",
+                    tenant=state.name,
+                ).set(stats.current_window_spend)
             if stats.latencies:
                 self.metrics.gauge(
                     "service_tenant_latency_p95",
@@ -339,7 +372,9 @@ def _reply_for(record: WireRecord, outcome: Any) -> WireRecord:
     """The wire reply matching one applied request's domain outcome.
 
     ``Finish`` is handled inline by the consumer (its reply needs the
-    post-finish drain); everything else maps here.
+    post-finish drain), as are tenant-level ``BudgetStatus`` readings
+    (their reply needs the service's tenant cap); everything else maps
+    here.
     """
     if isinstance(record, Drain):
         return AssignmentsReply(
@@ -347,6 +382,8 @@ def _reply_for(record: WireRecord, outcome: Any) -> WireRecord:
                 AssignmentRecord.from_assignment(event) for event in outcome
             )
         )
+    if isinstance(record, BudgetStatus):
+        return outcome
     return AckReply()
 
 

@@ -32,6 +32,7 @@ from repro.core.utility import UtilityModel
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError, FlushBudgetError
 from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.horizon import BudgetAccountant, GlobalAccountant
 from repro.simulation.instance import ProblemInstance
 from repro.simulation.pairs import PairArrays
 from repro.stream.events import OpenTask
@@ -40,36 +41,55 @@ __all__ = ["WorkerBudgetTracker", "MicroBatcher", "AdaptiveBatchController"]
 
 
 class WorkerBudgetTracker:
-    """Per-worker shift-budget accounting, persistent across micro-batches.
+    """Per-worker budget accounting, persistent across micro-batches.
 
-    Wraps one append-only :class:`PrivacyLedger` spanning the whole
-    stream; capacities are registered when workers come on duty.
+    Wraps one append-only :class:`PrivacyLedger` (the task-level audit
+    trail) plus one *accountant* (:mod:`repro.privacy.horizon`) that owns
+    the capacity arithmetic.  The default :class:`GlobalAccountant` is
+    the historical fixed-shift-budget semantics, bit-identically; a
+    :class:`~repro.privacy.horizon.WindowAccountant` makes ``remaining``
+    / ``exhausted`` windowed — spends age out, and a worker who was
+    retired as exhausted becomes eligible again once the window slides
+    past their releases (the :meth:`remaining` recomputation at the next
+    flush is the regain; there is no separate un-retire step).
+
+    Time enters through :meth:`observe` (the simulator calls it as each
+    flush starts), so the per-worker query methods keep their time-free
+    signatures at every call site.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, accountant: BudgetAccountant | None = None) -> None:
         self.ledger = PrivacyLedger()
-        self._capacity: dict[int, float] = {}
-        # Running totals so per-flush accounting stays O(flush events)
-        # instead of re-summing the whole stream history every flush.
-        self._spent: dict[int, float] = {}
-        self._total: float = 0.0
+        self.accountant = GlobalAccountant() if accountant is None else accountant
+
+    @property
+    def windowed(self) -> bool:
+        """Whether budgets regenerate under a sliding-window policy."""
+        return self.accountant.windowed
+
+    def observe(self, now: float) -> None:
+        """Advance the accountant's clock to the flush time ``now``."""
+        self.accountant.observe(now)
 
     def register(self, worker_id: int, capacity: float) -> None:
-        """Declare a worker's total budget capacity for their shift."""
-        if not capacity > 0:
-            raise ConfigurationError(
-                f"worker {worker_id}: capacity must be positive, got {capacity}"
-            )
-        self._capacity[worker_id] = float(capacity)
+        """Declare a worker's budget capacity (per shift, or per window
+        under a windowed accountant)."""
+        self.accountant.register(worker_id, capacity)
 
     def capacity(self, worker_id: int) -> float:
-        return self._capacity.get(worker_id, float("inf"))
+        return self.accountant.capacity(worker_id)
 
     def spent(self, worker_id: int) -> float:
-        return self._spent.get(worker_id, 0.0)
+        """Lifetime published budget — the Theorem V.2 audit total."""
+        return self.accountant.lifetime_spend(worker_id)
+
+    def window_spend(self, worker_id: int) -> float:
+        """Spend charged against the worker's cap right now (equals
+        :meth:`spent` under the global accountant)."""
+        return self.accountant.spend_in_window(worker_id)
 
     def remaining(self, worker_id: int) -> float:
-        return self.capacity(worker_id) - self.spent(worker_id)
+        return self.accountant.remaining(worker_id)
 
     def exhausted(self, worker_id: int, floor: float = 0.0) -> bool:
         """Whether the worker cannot publish even one more ``floor`` budget."""
@@ -91,20 +111,21 @@ class WorkerBudgetTracker:
         """
         for worker_id, task_id, epsilon in flush_ledger.events():
             self.ledger.record(worker_id, task_id, epsilon)
-            self._spent[worker_id] = self._spent.get(worker_id, 0.0) + epsilon
-            self._total += epsilon
+            self.accountant.record(worker_id, epsilon)
         for worker_id in flush_ledger.workers():
             if self.remaining(worker_id) < -1e-9:
                 raise FlushBudgetError(
                     f"worker {worker_id} exceeded shift budget: spent "
-                    f"{self.spent(worker_id):.4f} of {self.capacity(worker_id):.4f}",
+                    f"{self.window_spend(worker_id):.4f} of "
+                    f"{self.capacity(worker_id):.4f}",
                     worker_id=worker_id,
-                    spend=self.spent(worker_id),
+                    spend=self.window_spend(worker_id),
                     remaining=self.remaining(worker_id),
                 )
 
     def total_spend(self) -> float:
-        return self._total
+        """Lifetime total across all workers (monotone over the stream)."""
+        return self.accountant.total_spend()
 
 
 def _slice_capped_instance(

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.options import validate_timeline_limit
 from repro.errors import ConfigurationError
 from repro.obs.indicators import Ewma, RollingQuantile, WarmupZScore
 from repro.stream.events import Assignment
@@ -50,6 +51,12 @@ class FlushRecord:
     ``predicted_seconds`` the cost model's estimate for that plan — the
     pair every calibration-error report compares against
     ``solver_seconds``.
+
+    ``window_spend`` is the fleet's total *in-window* spend right after
+    the flush under a sliding-window accountant
+    (:mod:`repro.privacy.horizon`); ``None`` on global-accountant
+    streams.  Unlike ``cumulative_privacy_spend`` it is not monotone —
+    it falls as old releases age out, which is the point.
     """
 
     index: int
@@ -67,6 +74,7 @@ class FlushRecord:
     pairs: int = 0
     planned_mode: str = ""
     predicted_seconds: float = 0.0
+    window_spend: float | None = None
 
     @property
     def top_phase(self) -> str:
@@ -94,10 +102,20 @@ class OnlineIndicators:
       warmup baseline (a spike says the fleet stopped keeping up);
     * ``drawdown`` — EWMA of per-flush privacy spend per idle worker
       (the budget burn rate the accountant will see);
-    * ``cache`` — EWMA of the flush-cache hit indicator.
+    * ``cache`` — EWMA of the flush-cache hit indicator;
+    * ``window`` — EWMA of the fleet's in-window privacy spend (stays at
+      0.0 on global-accountant streams, which never report one).
     """
 
-    __slots__ = ("latency", "throughput", "expiry", "drawdown", "cache", "_last_spend")
+    __slots__ = (
+        "latency",
+        "throughput",
+        "expiry",
+        "drawdown",
+        "cache",
+        "window",
+        "_last_spend",
+    )
 
     #: Rolling latency window (events) — large enough for a stable p95,
     #: small enough to track drift within a scenario phase.
@@ -111,6 +129,7 @@ class OnlineIndicators:
         self.expiry = WarmupZScore(warmup=self.EXPIRY_WARMUP)
         self.drawdown = Ewma(alpha=0.2, warmup=5)
         self.cache = Ewma(alpha=0.2, warmup=1)
+        self.window = Ewma(alpha=0.2, warmup=1)
         self._last_spend = 0.0
 
     # -- update paths (called by StreamStats during the run) ---------------
@@ -128,6 +147,8 @@ class OnlineIndicators:
             self.drawdown.update(spent / record.idle_workers)
         if record.cache_hit is not None:
             self.cache.update(1.0 if record.cache_hit else 0.0)
+        if record.window_spend is not None:
+            self.window.update(record.window_spend)
 
     # -- readings (what the exporters and the report table publish) --------
 
@@ -161,6 +182,11 @@ class OnlineIndicators:
         """EWMA flush-cache hit rate (0.0 with the cache off)."""
         return self.cache.value
 
+    @property
+    def window_spend_ewma(self) -> float:
+        """EWMA fleet in-window privacy spend (0.0 without a window)."""
+        return self.window.value
+
 
 @dataclass
 class StreamStats:
@@ -189,6 +215,22 @@ class StreamStats:
     #: The run's recorded spans (the simulator aliases its tracer's list
     #: here when tracing is on; empty otherwise).
     spans: list = field(default_factory=list)
+    #: Cap on the timelines above (``None`` = unbounded).  Once a
+    #: timeline grows past it, every other *interior* point is dropped —
+    #: endpoints survive, so ``total_privacy_spend`` and the monotone
+    #: check keep reading the exact latest value, and a 24h replay holds
+    #: O(limit) points instead of one per flush.
+    timeline_limit: int | None = None
+    #: ``(time, fleet in-window spend)`` after every windowed flush —
+    #: *not* monotone (spends age out); empty on global streams.
+    window_timeline: list[tuple[float, float]] = field(default_factory=list)
+    #: Live invariant: no worker's in-window spend ever exceeded their
+    #: per-window cap (trivially True on global streams).
+    window_invariant_ok: bool = True
+
+    def __post_init__(self) -> None:
+        # One validation path: shared with SolveOptions (repro.api.options).
+        validate_timeline_limit(self.timeline_limit)
 
     # -- derived measures --------------------------------------------------
 
@@ -315,6 +357,17 @@ class StreamStats:
         return self.privacy_timeline[-1][1] if self.privacy_timeline else 0.0
 
     @property
+    def current_window_spend(self) -> float:
+        """Fleet in-window spend after the latest windowed flush (0.0 on
+        global-accountant streams, which record no window series)."""
+        return self.window_timeline[-1][1] if self.window_timeline else 0.0
+
+    @property
+    def window_peak_spend(self) -> float:
+        """The highest fleet in-window spend any flush observed."""
+        return max((s for _, s in self.window_timeline), default=0.0)
+
+    @property
     def cache_hit_rate(self) -> float:
         """Solver-cache hits over solved flushes (0.0 with the cache off)."""
         total = self.cache_hits + self.cache_misses
@@ -364,6 +417,10 @@ class StreamStats:
         self.privacy_timeline.append(
             (record.time, record.cumulative_privacy_spend)
         )
+        self._cap_timeline(self.privacy_timeline)
+        if record.window_spend is not None:
+            self.window_timeline.append((record.time, record.window_spend))
+            self._cap_timeline(self.window_timeline)
         self.solver_seconds += record.solver_seconds
         if record.cache_hit is not None:
             if record.cache_hit:
@@ -371,3 +428,9 @@ class StreamStats:
             else:
                 self.cache_misses += 1
         self.online.observe_flush(record, expiry_rate=self.expiry_rate)
+
+    def _cap_timeline(self, timeline: list[tuple[float, float]]) -> None:
+        """Thin a timeline past :attr:`timeline_limit` by dropping every
+        other interior point (both endpoints always survive)."""
+        if self.timeline_limit is not None and len(timeline) > self.timeline_limit:
+            del timeline[1:-1:2]

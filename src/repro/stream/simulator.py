@@ -34,7 +34,11 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.api.options import validate_service, validate_sharding
+from repro.api.options import (
+    validate_service,
+    validate_sharding,
+    validate_timeline_limit,
+)
 from repro.core.budgets import BudgetSampler
 from repro.core.engine import ConflictEliminationSolver
 from repro.core.utility import UtilityModel
@@ -42,6 +46,7 @@ from repro.core.workspace import EngineWorkspace, shm_available
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER, Tracer, aggregate_phases, stopwatch
+from repro.privacy.horizon import HorizonPolicy, WindowAccountant
 from repro.stream.batcher import (
     AdaptiveBatchController,
     MicroBatcher,
@@ -144,6 +149,16 @@ class StreamConfig:
         artifacts come from it.  Off by default: the no-op tracer keeps
         the hot path within noise of the un-instrumented one (the
         ``bench_obs_overhead`` gate).
+    horizon:
+        Optional :class:`~repro.privacy.horizon.HorizonPolicy`: budgets
+        become per-window — spends age out and exhausted workers regain
+        eligibility as the window slides (the infinite-horizon regime).
+        ``None`` (the default) keeps the global fixed-budget accountant,
+        bit-identical to every pre-horizon stream.
+    timeline_limit:
+        Cap on the stats timelines (privacy/window spend over time);
+        past it, every other interior point is dropped.  ``None`` =
+        unbounded (the historical behaviour).
     """
 
     max_batch_size: int = 200
@@ -164,11 +179,19 @@ class StreamConfig:
     cache: bool = False
     workspace: bool = True
     trace: bool = False
+    horizon: HorizonPolicy | None = None
+    timeline_limit: int | None = None
 
     def __post_init__(self) -> None:
         # One validation path: shared with SolveOptions (repro.api.options).
         validate_service(self.speed, self.min_service)
         validate_sharding(self.shards, self.parallel, self.max_shard_workers)
+        validate_timeline_limit(self.timeline_limit)
+        if self.horizon is not None and not isinstance(self.horizon, HorizonPolicy):
+            raise ConfigurationError(
+                f"horizon must be a HorizonPolicy or None, "
+                f"got {type(self.horizon).__name__}"
+            )
 
     def service_duration(self, distance: float) -> float:
         """How long a worker is busy after winning at ``distance``."""
@@ -208,7 +231,13 @@ class DispatchSimulator:
         self.solver = solver
         self.config = config or StreamConfig()
         self.seed = seed
-        self.tracker = WorkerBudgetTracker()
+        # The accountant decides the budget regime: global (fixed shift
+        # budgets, the bit-identical default) or sliding-window.
+        self.tracker = WorkerBudgetTracker(
+            accountant=WindowAccountant(self.config.horizon)
+            if self.config.horizon is not None
+            else None
+        )
         cost_model = self.config.cost_model or FlushCostModel()
         controller = (
             AdaptiveBatchController(
@@ -302,7 +331,9 @@ class DispatchSimulator:
         )
         self._workers: dict[int, ActiveWorker] = {}
         self._flush_index = 0
-        self.stats = StreamStats(method=solver.name)
+        self.stats = StreamStats(
+            method=solver.name, timeline_limit=self.config.timeline_limit
+        )
         if self.tracer.enabled:
             # Alias, not copy: the stats expose the live span list, so
             # exporters read a finished run without a handoff step.
@@ -450,7 +481,11 @@ class DispatchSimulator:
 
         A worker whose whole shift budget is spent can never publish again
         under a private solver, so they are retired from the pool (for
-        non-private solvers spend stays zero and nobody retires).
+        non-private solvers spend stays zero and nobody retires).  Under
+        a windowed accountant retirement is per-flush, not permanent:
+        ``exhausted`` recomputes against the window at the observed flush
+        time, so a worker re-enters the pool once their old releases age
+        out.
         """
         pool = []
         for active in self._workers.values():
@@ -464,6 +499,11 @@ class DispatchSimulator:
 
     def _flush(self, now: float) -> None:
         self._expire_pending(now)
+        # Window accounting needs the flush time before any eligibility
+        # check: releases older than `now - window` age out, which is how
+        # a retired worker regains their budget (no-op for the global
+        # accountant).
+        self.tracker.observe(now)
         if not len(self.batcher):
             return
         workers = self._idle_workers()
@@ -551,6 +591,17 @@ class DispatchSimulator:
                     solver_seconds, len(open_tasks), pairs=pairs_count
                 )
                 self.tracker.charge(result.ledger)
+                window_spend = None
+                if self.tracker.windowed:
+                    # The live window invariant: no worker's in-window
+                    # spend may exceed their per-window cap.  charge()
+                    # audits the flush's own publishers; this re-checks
+                    # the whole pool so the stats carry the proof.
+                    window_spend = self.tracker.accountant.total_in_window()
+                    if any(
+                        self.tracker.remaining(w.id) < -1e-9 for w in workers
+                    ):
+                        self.stats.window_invariant_ok = False
 
                 by_id = {t.task.id: t for t in open_tasks}
                 unassigned = dict(by_id)
@@ -609,6 +660,7 @@ class DispatchSimulator:
                 predicted_seconds=(
                     plan.predicted_seconds if plan is not None else 0.0
                 ),
+                window_spend=window_spend,
             )
         )
         self._flush_index += 1

@@ -33,6 +33,22 @@ class TestValidation:
             {"sweep_auto_threshold": -1},
             {"sweep_auto_threshold": 2.5},
             {"sweep_auto_threshold": "many"},
+            {"window_seconds": 0.0},
+            {"window_seconds": -1.0},
+            {"window_seconds": float("inf")},
+            {"window_budget": 2.0},  # requires window_seconds
+            {"window_seconds": 5.0, "window_budget": 0.0},
+            {"window_composition": "parallel"},
+            {"window_seconds": 5.0, "window_decay": 1.0},
+            {"window_decay": 0.5},  # requires window_seconds
+            {
+                "window_seconds": 5.0,
+                "window_composition": "tree",
+                "window_decay": 0.5,
+            },
+            {"timeline_limit": 3},
+            {"timeline_limit": 0},
+            {"timeline_limit": True},
         ],
     )
     def test_invalid_knobs_raise_typed_errors(self, bad):
@@ -116,3 +132,32 @@ class TestProjection:
         config = SolveOptions().stream_config(speed=9.0, min_service=0.25)
         assert config.speed == 9.0
         assert config.min_service == 0.25
+
+    def test_stream_config_carries_the_horizon_knobs(self):
+        options = SolveOptions(
+            window_seconds=6.0,
+            window_budget=2.0,
+            window_composition="tree",
+            timeline_limit=32,
+        )
+        config = options.stream_config()
+        policy = config.horizon
+        assert policy is not None
+        assert policy.window_seconds == 6.0
+        assert policy.window_budget == 2.0
+        assert policy.composition == "tree"
+        assert policy.decay is None
+        assert config.timeline_limit == 32
+
+    def test_default_options_project_no_horizon_policy(self):
+        options = SolveOptions()
+        assert options.horizon_policy() is None
+        config = options.stream_config()
+        assert config.horizon is None
+        assert config.timeline_limit is None
+
+    def test_horizon_round_trips_through_mapping(self):
+        options = SolveOptions(
+            window_seconds=5.0, window_decay=0.25, timeline_limit=16
+        )
+        assert SolveOptions.from_mapping(options.to_dict()) == options

@@ -357,3 +357,63 @@ class TestApplyWireRecords:
         session.apply(Advance(to_time=2.0))
         stats = session.apply(Finish())
         assert stats.expired == 1
+
+
+class TestBudgetStatus:
+    def test_global_session_reports_lifetime_totals(self):
+        with DispatchSession("PUCE", options=SolveOptions(seed=3, max_wait=0.1)) as s:
+            for j in range(3):
+                s.submit_worker(
+                    Worker(id=j, location=Point(float(j), 0.0), radius=3.0),
+                    budget=40.0,
+                )
+            s.submit_task(Task(id=0, location=Point(0.5, 0.0), value=4.5), at=0.05)
+            s.advance(to_time=0.5)
+            reply = s.budget_status()
+            assert reply.worker_id is None
+            assert reply.window_seconds is None
+            assert reply.remaining is None  # no tenant cap at session level
+            assert reply.spend == pytest.approx(s.budget_spend())
+            assert reply.lifetime_spend == pytest.approx(reply.spend)
+            assert reply.spend > 0.0
+
+    def test_worker_level_reading_maps_infinite_remaining_to_none(self):
+        with DispatchSession("UCE", options=SolveOptions(max_wait=0.1)) as s:
+            s.submit_worker(Worker(id=7, location=Point(0.0, 0.0), radius=3.0))
+            reply = s.budget_status(worker_id=7)
+            assert reply.worker_id == 7
+            assert reply.spend == 0.0
+            assert reply.remaining is None  # inf capacity: null on the wire
+
+    def test_worker_level_reading_under_a_capped_budget(self):
+        with DispatchSession("PUCE", options=SolveOptions(seed=3, max_wait=0.1)) as s:
+            s.submit_worker(
+                Worker(id=0, location=Point(0.0, 0.0), radius=3.0), budget=40.0
+            )
+            s.submit_task(Task(id=0, location=Point(0.5, 0.0), value=4.5), at=0.05)
+            s.advance(to_time=0.5)
+            reply = s.budget_status(worker_id=0)
+            assert reply.spend > 0.0
+            assert reply.remaining == pytest.approx(40.0 - reply.spend)
+
+    def test_windowed_session_spend_falls_as_releases_age_out(self):
+        options = SolveOptions(
+            seed=3, max_wait=0.1, window_seconds=2.0, window_budget=40.0
+        )
+        with DispatchSession("PUCE", options=options) as s:
+            s.submit_worker(
+                Worker(id=0, location=Point(0.0, 0.0), radius=3.0), budget=40.0
+            )
+            s.submit_task(Task(id=0, location=Point(0.5, 0.0), value=4.5), at=0.05)
+            s.advance(to_time=0.5)
+            live = s.budget_status()
+            assert live.window_seconds == 2.0
+            assert live.spend > 0.0
+            assert s.budget_spend() == pytest.approx(live.spend)
+            # Two window-widths later the release has aged out: the
+            # tenant-level spend regenerates, the lifetime audit doesn't.
+            s.advance(to_time=5.0)
+            later = s.budget_status()
+            assert later.spend == 0.0
+            assert later.lifetime_spend == pytest.approx(live.lifetime_spend)
+            assert s.budget_spend() == 0.0

@@ -12,6 +12,8 @@ from repro.api.wire import (
     Advance,
     AssignmentRecord,
     AssignmentsReply,
+    BudgetReply,
+    BudgetStatus,
     Drain,
     ErrorReply,
     Finish,
@@ -37,8 +39,18 @@ SAMPLES = [
     SubmitWorker(worker_id=4, x=0.0, y=0.0, radius=1.0),
     Advance(to_time=12.5),
     Drain(),
+    BudgetStatus(),
+    BudgetStatus(worker_id=3),
     Finish(),
     AckReply(),
+    BudgetReply(spend=1.5, lifetime_spend=4.0),
+    BudgetReply(
+        spend=0.5,
+        lifetime_spend=2.5,
+        remaining=1.0,
+        window_seconds=6.0,
+        worker_id=3,
+    ),
     ShedReply(reason="queue_full"),
     ErrorReply(code="ConfigurationError", message="boom"),
     AssignmentRecord(

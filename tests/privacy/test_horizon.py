@@ -1,0 +1,253 @@
+"""Unit tests for the sliding-window accountant subsystem."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.horizon import (
+    GlobalAccountant,
+    HorizonPolicy,
+    IntervalTree,
+    WindowAccountant,
+    naive_window_spend,
+)
+
+
+class TestHorizonPolicy:
+    def test_defaults(self):
+        policy = HorizonPolicy(window_seconds=5.0)
+        assert policy.window_budget is None
+        assert policy.composition == "sequential"
+        assert policy.decay is None
+
+    @pytest.mark.parametrize("window", [0.0, -1.0, math.nan, math.inf])
+    def test_bad_window_rejected(self, window):
+        with pytest.raises(ConfigurationError):
+            HorizonPolicy(window_seconds=window)
+
+    def test_none_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="window_seconds"):
+            HorizonPolicy(window_seconds=None)
+
+    def test_bad_composition_rejected(self):
+        with pytest.raises(ConfigurationError, match="composition"):
+            HorizonPolicy(window_seconds=5.0, composition="parallel")
+
+    @pytest.mark.parametrize("decay", [0.0, 1.0, -0.5, 2.0])
+    def test_decay_outside_unit_interval_rejected(self, decay):
+        with pytest.raises(ConfigurationError):
+            HorizonPolicy(window_seconds=5.0, decay=decay)
+
+    def test_decay_requires_sequential_composition(self):
+        with pytest.raises(ConfigurationError, match="sequential"):
+            HorizonPolicy(window_seconds=5.0, composition="tree", decay=0.5)
+
+    def test_bad_window_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HorizonPolicy(window_seconds=5.0, window_budget=0.0)
+
+    def test_mapping_round_trip(self):
+        policy = HorizonPolicy(
+            window_seconds=6.0, window_budget=2.0, composition="tree"
+        )
+        assert HorizonPolicy.from_mapping(policy.to_dict()) == policy
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            HorizonPolicy.from_mapping({"window_seconds": 5.0, "widnow": 1})
+
+    def test_frozen(self):
+        policy = HorizonPolicy(window_seconds=5.0)
+        with pytest.raises(AttributeError):
+            policy.window_seconds = 10.0
+
+
+class TestIntervalTree:
+    def test_matches_naive_aggregates_across_growth(self):
+        rng = random.Random(5)
+        tree = IntervalTree()
+        values = []
+        for _ in range(130):  # crosses several capacity doublings
+            eps = rng.uniform(0.01, 2.0)
+            tree.append(eps)
+            values.append(eps)
+        assert len(tree) == len(values)
+        for _ in range(200):
+            lo = rng.randrange(len(values) + 1)
+            hi = rng.randrange(lo, len(values) + 1)
+            assert math.isclose(
+                tree.range_sum(lo, hi), sum(values[lo:hi]), rel_tol=1e-12, abs_tol=1e-12
+            )
+            assert tree.range_max(lo, hi) == (max(values[lo:hi]) if hi > lo else 0.0)
+
+    def test_scaled_sum_raw_max(self):
+        tree = IntervalTree()
+        tree.append(1.0, scaled=10.0)
+        tree.append(3.0, scaled=30.0)
+        assert tree.range_sum(0, 2) == pytest.approx(40.0)
+        assert tree.range_max(0, 2) == pytest.approx(3.0)
+        assert tree.leaf(0) == pytest.approx(1.0)
+
+    def test_bad_range_rejected(self):
+        tree = IntervalTree()
+        tree.append(1.0)
+        with pytest.raises(ConfigurationError, match="out of bounds"):
+            tree.range_sum(0, 2)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            tree.leaf(1)
+
+
+class TestWindowAccountant:
+    def policy(self, **kwargs):
+        kwargs.setdefault("window_seconds", 10.0)
+        return HorizonPolicy(**kwargs)
+
+    def test_requires_policy(self):
+        with pytest.raises(ConfigurationError, match="HorizonPolicy"):
+            WindowAccountant({"window_seconds": 5.0})
+
+    def test_spend_ages_out(self):
+        acct = WindowAccountant(self.policy())
+        acct.record(0, 1.0, t=0.0)
+        acct.record(0, 2.0, t=5.0)
+        assert acct.spend_in_window(0, t=5.0) == pytest.approx(3.0)
+        # The t=0 release expires once the window slides past it.
+        assert acct.spend_in_window(0, t=10.5) == pytest.approx(2.0)
+        assert acct.spend_in_window(0, t=20.0) == pytest.approx(0.0)
+        # Lifetime totals never age.
+        assert acct.lifetime_spend(0) == pytest.approx(3.0)
+        assert acct.total_spend() == pytest.approx(3.0)
+
+    def test_release_aged_exactly_window_has_expired(self):
+        acct = WindowAccountant(self.policy())
+        acct.record(0, 1.0, t=0.0)
+        assert acct.spend_in_window(0, t=10.0 - 1e-9) > 0.0
+        assert acct.spend_in_window(0, t=10.0) == 0.0
+
+    def test_remaining_regenerates(self):
+        acct = WindowAccountant(self.policy(window_budget=2.0))
+        acct.register(0, 5.0)
+        assert acct.capacity(0) == pytest.approx(2.0)  # tighter cap wins
+        acct.record(0, 2.0, t=1.0)
+        assert acct.remaining(0, t=1.0) == pytest.approx(0.0)
+        assert acct.remaining(0, t=11.5) == pytest.approx(2.0)
+
+    def test_registered_cap_wins_when_tighter(self):
+        acct = WindowAccountant(self.policy(window_budget=4.0))
+        acct.register(0, 1.5)
+        assert acct.capacity(0) == pytest.approx(1.5)
+
+    def test_clock_defaults_queries(self):
+        acct = WindowAccountant(self.policy())
+        acct.record(0, 1.0, t=2.0)
+        acct.observe(13.0)
+        assert acct.now == pytest.approx(13.0)
+        assert acct.spend_in_window(0) == 0.0  # aged out at the clock
+        acct.observe(4.0)  # clock is a monotone high-water mark
+        assert acct.now == pytest.approx(13.0)
+
+    def test_record_rejects_nonpositive_eps(self):
+        acct = WindowAccountant(self.policy())
+        with pytest.raises(ConfigurationError, match="positive"):
+            acct.record(0, 0.0, t=1.0)
+
+    def test_record_rejects_time_going_backwards(self):
+        acct = WindowAccountant(self.policy())
+        acct.record(0, 1.0, t=5.0)
+        with pytest.raises(ConfigurationError, match="monotone"):
+            acct.record(0, 1.0, t=3.0)
+
+    def test_register_rejects_nonpositive_capacity(self):
+        acct = WindowAccountant(self.policy())
+        with pytest.raises(ConfigurationError, match="positive"):
+            acct.register(0, 0.0)
+
+    def test_tree_composition_level_bound(self):
+        acct = WindowAccountant(self.policy(composition="tree"))
+        for i, eps in enumerate([0.1, 0.6, 0.2, 0.3, 0.4]):
+            acct.record(0, eps, t=float(i))
+        # 5 in-window releases -> floor(log2 5) + 1 = 3 levels of 0.6 max.
+        assert acct.spend_in_window(0, t=4.0) == pytest.approx(0.6 * 3)
+
+    def test_decay_discounts_by_age(self):
+        acct = WindowAccountant(self.policy(decay=0.5))
+        acct.record(0, 1.0, t=0.0)
+        # Aged half a window: discount 0.5 ** 0.5.
+        assert acct.spend_in_window(0, t=5.0) == pytest.approx(0.5**0.5)
+        assert acct.spend_in_window(0, t=0.0) == pytest.approx(1.0)
+
+    def test_total_in_window_sums_the_fleet(self):
+        acct = WindowAccountant(self.policy())
+        acct.record(0, 1.0, t=0.0)
+        acct.record(1, 2.0, t=6.0)
+        assert acct.total_in_window(t=6.0) == pytest.approx(3.0)
+        assert acct.total_in_window(t=10.5) == pytest.approx(2.0)
+
+    def test_compaction_prunes_but_answers_exactly(self):
+        policy = self.policy(window_seconds=5.0)
+        acct = WindowAccountant(policy)
+        rng = random.Random(11)
+        events = []
+        t = 0.0
+        for _ in range(500):
+            t += rng.uniform(0.0, 0.4)
+            eps = rng.uniform(0.01, 0.5)
+            acct.record(0, eps, t=t)
+            events.append((t, eps))
+        assert acct.release_count(0) < len(events)  # compaction happened
+        expected = naive_window_spend(events, t, policy)
+        assert math.isclose(acct.spend_in_window(0, t=t), expected, rel_tol=1e-9)
+        assert acct.lifetime_spend(0) == pytest.approx(
+            sum(eps for _, eps in events)
+        )
+
+    def test_decay_rebase_keeps_long_streams_exact(self):
+        # Thousands of window-widths of elapsed time: the scaled store
+        # must rebase (exp would overflow float range otherwise).
+        policy = self.policy(window_seconds=1.0, decay=0.5)
+        acct = WindowAccountant(policy)
+        events = []
+        t = 0.0
+        for i in range(4000):
+            t += 0.25
+            acct.record(0, 0.1, t=t)
+            events.append((t, 0.1))
+        expected = naive_window_spend(events, t, policy)
+        assert math.isclose(acct.spend_in_window(0, t=t), expected, rel_tol=1e-9)
+
+
+class TestGlobalAccountant:
+    def test_window_queries_degrade_to_lifetime(self):
+        acct = GlobalAccountant()
+        acct.register(0, 5.0)
+        acct.record(0, 1.0)
+        acct.record(0, 2.0, t=99.0)  # t accepted and ignored
+        assert acct.spend_in_window(0) == pytest.approx(3.0)
+        assert acct.lifetime_spend(0) == pytest.approx(3.0)
+        assert acct.remaining(0) == pytest.approx(2.0)
+        assert acct.total_in_window() == pytest.approx(3.0)
+        assert acct.total_spend() == pytest.approx(3.0)
+
+    def test_unregistered_worker_is_uncapped(self):
+        acct = GlobalAccountant()
+        acct.record(7, 1.0)
+        assert acct.capacity(7) == math.inf
+        assert acct.remaining(7) == math.inf
+
+    def test_observe_is_a_no_op(self):
+        acct = GlobalAccountant()
+        acct.observe(123.0)
+        assert not hasattr(acct, "now")
+
+    def test_windowed_flags(self):
+        assert GlobalAccountant.windowed is False
+        assert WindowAccountant.windowed is True
+
+
+class TestNaiveWindowSpend:
+    def test_empty_window(self):
+        policy = HorizonPolicy(window_seconds=1.0)
+        assert naive_window_spend([], 5.0, policy) == 0.0
+        assert naive_window_spend([(0.0, 1.0)], 5.0, policy) == 0.0

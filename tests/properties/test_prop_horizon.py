@@ -1,0 +1,136 @@
+"""Property pins for the sliding-window accountant: tree == naive oracle.
+
+The :mod:`repro.privacy.horizon` contract, stated in that module's
+docstring, verified here on hypothesis-generated release schedules:
+
+* **window invariant** — for every composition rule (sequential, tree,
+  decayed sequential), :meth:`WindowAccountant.spend_in_window` equals
+  :func:`naive_window_spend` over the full event list, at every
+  intermediate release time and at arbitrary later query times — the
+  same invariant the simulator tracks live as
+  ``StreamStats.window_invariant_ok``;
+* **no lookahead / monotone aging** — queries only ever see releases in
+  ``(t - W, t]``; lifetime totals are exact sums regardless of window;
+* **compaction transparency** — forcing many compactions (tiny window,
+  long schedule) never changes any answer at or after the newest
+  release.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.horizon import (
+    GlobalAccountant,
+    HorizonPolicy,
+    WindowAccountant,
+    naive_window_spend,
+)
+
+eps_values = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+gaps = st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+schedules = st.lists(st.tuples(gaps, eps_values), min_size=1, max_size=80)
+windows = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+
+
+def events_from(schedule):
+    """Cumulative-gap schedule -> nondecreasing (time, eps) releases."""
+    t = 0.0
+    events = []
+    for gap, eps in schedule:
+        t += gap
+        events.append((t, eps))
+    return events
+
+
+def policies(window):
+    yield HorizonPolicy(window_seconds=window)
+    yield HorizonPolicy(window_seconds=window, composition="tree")
+    yield HorizonPolicy(window_seconds=window, decay=0.5)
+
+
+class TestWindowInvariant:
+    @given(schedule=schedules, window=windows)
+    @settings(max_examples=150, deadline=None)
+    def test_accountant_matches_naive_at_every_release(self, schedule, window):
+        events = events_from(schedule)
+        for policy in policies(window):
+            acct = WindowAccountant(policy)
+            seen = []
+            for t, eps in events:
+                acct.record(0, eps, t=t)
+                seen.append((t, eps))
+                expected = naive_window_spend(seen, t, policy)
+                got = acct.spend_in_window(0, t=t)
+                assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-12), (
+                    policy,
+                    t,
+                )
+
+    @given(
+        schedule=schedules,
+        window=windows,
+        later=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_accountant_matches_naive_at_later_query_times(
+        self, schedule, window, later
+    ):
+        events = events_from(schedule)
+        query_at = events[-1][0] + later
+        for policy in policies(window):
+            acct = WindowAccountant(policy)
+            for t, eps in events:
+                acct.record(0, eps, t=t)
+            expected = naive_window_spend(events, query_at, policy)
+            got = acct.spend_in_window(0, t=query_at)
+            assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-12), policy
+
+    @given(schedule=schedules, window=windows)
+    @settings(max_examples=100, deadline=None)
+    def test_lifetime_and_remaining_bookkeeping(self, schedule, window):
+        events = events_from(schedule)
+        policy = HorizonPolicy(window_seconds=window, window_budget=1e6)
+        acct = WindowAccountant(policy)
+        for t, eps in events:
+            acct.record(0, eps, t=t)
+        total = sum(eps for _, eps in events)
+        assert math.isclose(acct.lifetime_spend(0), total, rel_tol=1e-9)
+        assert math.isclose(acct.total_spend(), total, rel_tol=1e-9)
+        t_last = events[-1][0]
+        assert math.isclose(
+            acct.remaining(0, t=t_last),
+            1e6 - acct.spend_in_window(0, t=t_last),
+            rel_tol=1e-9,
+        )
+
+    @given(schedule=st.lists(st.tuples(gaps, eps_values), min_size=60, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_compaction_transparent_under_tiny_window(self, schedule):
+        events = events_from(schedule)
+        policy = HorizonPolicy(window_seconds=0.5)
+        acct = WindowAccountant(policy)
+        for t, eps in events:
+            acct.record(0, eps, t=t)
+        t_last = events[-1][0]
+        expected = naive_window_spend(events, t_last, policy)
+        assert math.isclose(
+            acct.spend_in_window(0, t=t_last), expected, rel_tol=1e-9, abs_tol=1e-12
+        )
+        assert acct.release_count(0) <= len(events)
+
+
+class TestGlobalEquivalence:
+    @given(schedule=schedules)
+    @settings(max_examples=100, deadline=None)
+    def test_global_accountant_is_plain_accumulation(self, schedule):
+        events = events_from(schedule)
+        acct = GlobalAccountant()
+        running = 0.0
+        for t, eps in events:
+            acct.record(0, eps, t=t)
+            running = running + eps  # the historical accumulation order
+            assert acct.spend_in_window(0) == running
+            assert acct.lifetime_spend(0) == running
+            assert acct.total_spend() == running

@@ -8,6 +8,7 @@ import pytest
 from repro.api.wire import (
     AckReply,
     Advance,
+    BudgetReply,
     Drain,
     ErrorReply,
     Finish,
@@ -368,3 +369,83 @@ class TestServeJsonl:
         assert replies[3]["reply"]["kind"] == "error"
         assert replies[4]["reply"]["kind"] == "error"
         assert replies[4]["tenant"] == "b"
+
+
+class TestBudgetStatus:
+    def test_worker_and_tenant_level_readings(self):
+        async def scenario():
+            service = DispatchService(ServiceConfig(tenant_budget=100.0))
+            client = ServiceClient(service, "a")
+            await client.open("PUCE", options={"seed": 3})
+            await client.submit_worker(worker(), budget=40.0)
+            await client.submit_task(task(1))
+            await client.advance(1.0)
+
+            tenant = await client.budget_status()
+            assert isinstance(tenant, BudgetReply)
+            assert tenant.worker_id is None
+            assert tenant.spend > 0.0
+            # The service overlays its tenant cap onto `remaining`.
+            assert tenant.remaining == pytest.approx(100.0 - tenant.spend)
+
+            mine = await client.budget_status(worker_id=1)
+            assert mine.worker_id == 1
+            assert mine.spend > 0.0
+            assert mine.remaining == pytest.approx(40.0 - mine.spend)
+            await service.close()
+
+        run(scenario())
+
+    def test_tenant_reading_without_cap_has_null_remaining(self):
+        async def scenario():
+            service = DispatchService(ServiceConfig())
+            client = ServiceClient(service, "a")
+            await client.open("UCE")
+            reply = await client.budget_status()
+            assert isinstance(reply, BudgetReply)
+            assert reply.spend == 0.0
+            assert reply.remaining is None
+            await service.close()
+
+        run(scenario())
+
+    def test_budget_status_needs_a_session(self):
+        async def scenario():
+            service = DispatchService(ServiceConfig())
+            client = ServiceClient(service, "a", raise_errors=False)
+            reply = await client.budget_status()
+            assert isinstance(reply, ErrorReply)
+            await service.close()
+
+        run(scenario())
+
+    def test_windowed_tenant_is_readmitted_after_budget_shed(self):
+        async def scenario():
+            # Cap below one flush's spend: the tenant sheds right after
+            # flushing — then, because the session accounts per sliding
+            # window, the same tenant is admitted again once the releases
+            # age out of the window.  A global tenant stays shed forever.
+            options = {
+                "seed": 3,
+                "window_seconds": 2.0,
+                "window_budget": 40.0,
+            }
+            service = DispatchService(ServiceConfig(tenant_budget=1e-9))
+            client = ServiceClient(service, "a")
+            await client.open("PUCE", options=options)
+            await client.submit_worker(worker(), budget=40.0)
+            await client.submit_task(task(1))
+            await client.advance(1.0)
+            shed = await client.submit_task(task(2))
+            assert isinstance(shed, ShedReply)
+            assert shed.reason == "budget"
+
+            # Two window-widths with no traffic: in-window spend -> 0.
+            await client.advance(6.0)
+            readmitted = await client.submit_task(task(3), at=6.0)
+            assert isinstance(readmitted, AckReply)
+            status = await client.budget_status()
+            assert status.spend == 0.0
+            await service.close()
+
+        run(scenario())

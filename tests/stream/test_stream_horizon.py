@@ -1,0 +1,222 @@
+"""Stream-layer tests for sliding-window accounting: regain, merges, caps."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.api.scenario import ScenarioSpec
+from repro.errors import ConfigurationError, FlushBudgetError
+from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.horizon import GlobalAccountant, HorizonPolicy, WindowAccountant
+from repro.stream.batcher import WorkerBudgetTracker
+from repro.stream.metrics import FlushRecord, StreamStats
+
+LONG_HORIZON = "examples/scenario_long_horizon.json"
+
+
+def windowed_tracker(window=10.0, budget=1.0, **policy_kwargs):
+    policy = HorizonPolicy(
+        window_seconds=window, window_budget=budget, **policy_kwargs
+    )
+    return WorkerBudgetTracker(accountant=WindowAccountant(policy))
+
+
+def flush_ledger(*events):
+    ledger = PrivacyLedger()
+    for worker_id, task_id, eps in events:
+        ledger.record(worker_id, task_id, eps)
+    return ledger
+
+
+class TestExhaustThenRegain:
+    def test_worker_regains_eligibility_across_duty_cycles(self):
+        tracker = windowed_tracker(window=10.0, budget=1.0)
+        tracker.register(0, 1.0)
+
+        # Duty cycle 1: spend the whole window budget, retire.
+        tracker.observe(0.0)
+        tracker.charge(flush_ledger((0, 100, 0.6), (0, 101, 0.4)))
+        assert tracker.exhausted(0)
+        assert tracker.remaining(0) == pytest.approx(0.0)
+
+        # Off duty: the window slides past both releases -> full regain.
+        tracker.observe(11.0)
+        assert not tracker.exhausted(0)
+        assert tracker.remaining(0) == pytest.approx(1.0)
+
+        # Duty cycle 2: the regained budget is spendable again.
+        tracker.charge(flush_ledger((0, 200, 1.0)))
+        assert tracker.exhausted(0)
+        tracker.observe(22.0)
+        assert not tracker.exhausted(0)
+
+        # The audit totals never regenerate: Theorem V.2 sums everything.
+        assert tracker.spent(0) == pytest.approx(2.0)
+        assert tracker.total_spend() == pytest.approx(2.0)
+        assert tracker.window_spend(0) == pytest.approx(0.0)
+
+    def test_partial_regain_as_releases_age_one_by_one(self):
+        tracker = windowed_tracker(window=10.0, budget=1.0)
+        tracker.register(0, 1.0)
+        tracker.observe(0.0)
+        tracker.charge(flush_ledger((0, 1, 0.5)))
+        tracker.observe(5.0)
+        tracker.charge(flush_ledger((0, 2, 0.5)))
+        assert tracker.exhausted(0)
+        tracker.observe(11.0)  # only the t=0 release has expired
+        assert tracker.remaining(0) == pytest.approx(0.5)
+        tracker.observe(16.0)
+        assert tracker.remaining(0) == pytest.approx(1.0)
+
+    def test_global_tracker_never_regains(self):
+        tracker = WorkerBudgetTracker()
+        tracker.register(0, 1.0)
+        tracker.observe(0.0)
+        tracker.charge(flush_ledger((0, 1, 1.0)))
+        assert tracker.exhausted(0)
+        tracker.observe(1e9)
+        assert tracker.exhausted(0)
+        assert not tracker.windowed
+
+    def test_overdraw_still_raises_under_window(self):
+        tracker = windowed_tracker(window=10.0, budget=1.0)
+        tracker.register(0, 1.0)
+        tracker.observe(0.0)
+        with pytest.raises(FlushBudgetError, match="exceeded shift budget"):
+            tracker.charge(flush_ledger((0, 1, 1.5)))
+
+
+class TestShardMergeConsistency:
+    """PrivacyLedger.merge (sharded flushes) must agree with the accountant."""
+
+    SHARD_A = ((0, 10, 0.3), (1, 11, 0.2), (0, 12, 0.1))
+    SHARD_B = ((0, 20, 0.25), (2, 21, 0.4))
+
+    @pytest.mark.parametrize("make_tracker", [WorkerBudgetTracker, windowed_tracker])
+    def test_merged_charge_matches_ledger_totals(self, make_tracker):
+        tracker = make_tracker()
+        tracker.observe(1.0)
+        merged = flush_ledger(*self.SHARD_A).merge(flush_ledger(*self.SHARD_B))
+        tracker.charge(merged)
+        for worker_id in merged.workers():
+            assert tracker.spent(worker_id) == pytest.approx(
+                merged.worker_spend(worker_id)
+            )
+            assert tracker.ledger.worker_spend(worker_id) == pytest.approx(
+                merged.worker_spend(worker_id)
+            )
+        assert tracker.total_spend() == pytest.approx(merged.total_spend())
+
+    def test_per_shard_and_merged_charges_agree(self):
+        # Charging shard ledgers one by one (the sequential executor) and
+        # charging their merge (the sharded executor) must leave both the
+        # audit ledger and the accountant in the same state.
+        sequential = windowed_tracker(window=50.0, budget=10.0)
+        merged = windowed_tracker(window=50.0, budget=10.0)
+        for tracker in (sequential, merged):
+            tracker.observe(1.0)
+        sequential.charge(flush_ledger(*self.SHARD_A))
+        sequential.charge(flush_ledger(*self.SHARD_B))
+        merged.charge(
+            flush_ledger(*self.SHARD_A).merge(flush_ledger(*self.SHARD_B))
+        )
+        for worker_id in (0, 1, 2):
+            assert sequential.spent(worker_id) == pytest.approx(
+                merged.spent(worker_id)
+            )
+            assert sequential.window_spend(worker_id) == pytest.approx(
+                merged.window_spend(worker_id)
+            )
+        assert sequential.total_spend() == pytest.approx(merged.total_spend())
+
+
+def make_flush(index, time, cumulative, window_spend=None):
+    return FlushRecord(
+        index=index,
+        time=time,
+        pending_tasks=0,
+        idle_workers=0,
+        matched=0,
+        solver_seconds=0.0,
+        cumulative_privacy_spend=cumulative,
+        window_spend=window_spend,
+    )
+
+
+class TestTimelineCap:
+    def test_unbounded_by_default(self):
+        stats = StreamStats(method="PUCE")
+        for i in range(500):
+            stats.record_flush(make_flush(i, float(i), float(i)))
+        assert len(stats.privacy_timeline) == 500
+
+    def test_cap_decimates_but_keeps_endpoints_and_total(self):
+        stats = StreamStats(method="PUCE", timeline_limit=16)
+        for i in range(500):
+            stats.record_flush(make_flush(i, float(i), float(i), window_spend=1.0))
+        assert len(stats.privacy_timeline) <= 16
+        assert len(stats.window_timeline) <= 16
+        assert stats.privacy_timeline[0] == (0.0, 0.0)
+        assert stats.privacy_timeline[-1] == (499.0, 499.0)
+        assert stats.total_privacy_spend == pytest.approx(499.0)
+        assert stats.current_window_spend == pytest.approx(1.0)
+        # Still monotone after decimation.
+        spends = [s for _, s in stats.privacy_timeline]
+        assert spends == sorted(spends)
+
+    def test_monotone_check_survives_decimation(self):
+        stats = StreamStats(method="PUCE", timeline_limit=4)
+        for i in range(100):
+            stats.record_flush(make_flush(i, float(i), float(i)))
+        with pytest.raises(ConfigurationError, match="backwards"):
+            stats.record_flush(make_flush(100, 100.0, 50.0))
+
+    @pytest.mark.parametrize("limit", [3, 0, -1, True])
+    def test_bad_limit_rejected(self, limit):
+        with pytest.raises(ConfigurationError):
+            StreamStats(method="PUCE", timeline_limit=limit)
+
+
+class TestWindowedStreamEndToEnd:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        # 8h of the 24h example: >1 window-width, so spends visibly age out.
+        spec = dataclasses.replace(
+            ScenarioSpec.from_file(LONG_HORIZON), horizon=8.0
+        )
+        stripped = spec.options.replace(
+            window_seconds=None, window_budget=None, timeline_limit=None
+        )
+        return {
+            "window": spec.run()["PUCE"],
+            "global": dataclasses.replace(spec, options=stripped).run()["PUCE"],
+        }
+
+    def test_window_run_records_the_window_series(self, reports):
+        stats = reports["window"]
+        assert stats.window_timeline
+        assert stats.window_invariant_ok
+        assert stats.window_peak_spend > 0.0
+        assert all(f.window_spend is not None for f in stats.flushes)
+        assert stats.online.window_spend_ewma > 0.0
+        assert len(stats.privacy_timeline) <= 64  # the example's cap
+
+    def test_global_run_records_no_window_series(self, reports):
+        stats = reports["global"]
+        assert stats.window_timeline == []
+        assert all(f.window_spend is None for f in stats.flushes)
+        assert stats.current_window_spend == 0.0
+
+    def test_window_run_outlives_the_starved_global_run(self, reports):
+        assert reports["window"].assigned > reports["global"].assigned
+
+    def test_window_spend_is_not_monotone(self, reports):
+        spends = [s for _, s in reports["window"].window_timeline]
+        assert any(b < a for a, b in zip(spends, spends[1:]))
+
+    def test_lifetime_audit_total_matches_ledger(self, reports):
+        stats = reports["window"]
+        assert stats.total_privacy_spend == pytest.approx(
+            sum(stats.per_worker_spend.values())
+        )
