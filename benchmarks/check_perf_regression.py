@@ -2,13 +2,13 @@
 
 CI runs ``bench_engine_core.py``, ``bench_stream_throughput.py``,
 ``bench_flush_overhead.py``, ``bench_obs_overhead.py``,
-``bench_shard_transport.py``, ``bench_service.py`` and
-``bench_horizon.py`` in smoke mode with ``REPRO_BENCH_JSON_DIR``
-pointing at a scratch directory, then invokes this script to compare
-the fresh measurements against the *committed* ``BENCH_core.json`` /
-``BENCH_stream.json`` / ``BENCH_flush.json`` / ``BENCH_obs.json`` /
-``BENCH_shards.json`` / ``BENCH_service.json`` /
-``BENCH_horizon.json`` at the repository root.
+``bench_shard_transport.py``, ``bench_service.py``,
+``bench_horizon.py`` and ``bench_faults.py`` in smoke mode with
+``REPRO_BENCH_JSON_DIR`` pointing at a scratch directory, then invokes
+this script to compare the fresh measurements against the *committed*
+``BENCH_core.json`` / ``BENCH_stream.json`` / ``BENCH_flush.json`` /
+``BENCH_obs.json`` / ``BENCH_shards.json`` / ``BENCH_service.json`` /
+``BENCH_horizon.json`` / ``BENCH_faults.json`` at the repository root.
 
 The comparison is deliberately generous — a ``--floor`` of 3.0 means a
 fresh number may be up to 3x slower than the committed baseline before
@@ -310,6 +310,61 @@ def check_horizon(committed: dict, fresh: dict, floor: float, lines: list[str]) 
     return all_ok
 
 
+def check_faults(committed: dict, fresh: dict, floor: float, lines: list[str]) -> bool:
+    """Journal overhead, recovery liveness, and ladder bit-identity.
+
+    The journal overhead ratio carries its own **absolute** limit
+    (``overhead_limit``, 1.25x per the acceptance criteria) — crash
+    safety is a standing tax on every journaled request, so it does not
+    get the noise floor the other walls do.  The degraded-flush ratio
+    is latency the ladder deliberately spends and gates only against
+    drift (committed times floor); ``results_identical`` is the
+    functional bit that must never flip.
+    """
+    journal_base = next(r for r in committed["rows"] if r["metric"] == "journal")
+    degraded_base = next(r for r in committed["rows"] if r["metric"] == "degraded")
+    all_ok = True
+    compared = 0
+    for row in fresh["rows"]:
+        if row.get("metric") == "journal":
+            compared += 1
+            limit = float(row.get("overhead_limit", journal_base["overhead_limit"]))
+            ok = row["overhead_ratio"] <= limit
+            all_ok &= ok
+            lines.append(
+                f"faults journal      overhead: fresh "
+                f"{row['overhead_ratio']:>5.2f}x  hard limit {limit:>5.2f}x  "
+                f"(fsync_every={row['fsync_every']})  "
+                f"{'ok' if ok else 'REGRESSION'}"
+            )
+        elif row.get("metric") == "recovery":
+            compared += 1
+            ok = row["finished_after_recovery"] and row["entries_replayed"] > 0
+            all_ok &= ok
+            lines.append(
+                f"faults recovery     replayed {row['entries_replayed']:>4} "
+                f"entries in {row['replay_seconds']:.3f}s  "
+                f"{'ok' if ok else 'REGRESSION (recovery must finish)'}"
+            )
+        elif row.get("metric") == "degraded":
+            compared += 1
+            base = degraded_base["degraded_over_clean"]
+            ok = row["degraded_over_clean"] <= base * floor
+            identical_ok = bool(row["results_identical"])
+            all_ok &= ok and identical_ok
+            lines.append(
+                f"faults degraded     wall: fresh "
+                f"{row['degraded_over_clean']:>5.2f}x  committed {base:>5.2f}x  "
+                f"ceiling {base * floor:>5.2f}x  identical="
+                f"{identical_ok}  "
+                f"{'ok' if ok and identical_ok else 'REGRESSION'}"
+            )
+    if compared == 0:
+        lines.append("faults: no comparable rows — REGRESSION")
+        return False
+    return all_ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -366,6 +421,12 @@ def main(argv: list[str] | None = None) -> int:
     ok &= check_horizon(
         load(ROOT / "BENCH_horizon.json"),
         load(args.fresh / "BENCH_horizon.json"),
+        args.floor,
+        lines,
+    )
+    ok &= check_faults(
+        load(ROOT / "BENCH_faults.json"),
+        load(args.fresh / "BENCH_faults.json"),
         args.floor,
         lines,
     )

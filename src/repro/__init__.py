@@ -34,6 +34,10 @@ Packages:
 * :mod:`repro.service`    -- the multi-tenant dispatch service: many
   concurrent sessions on one asyncio loop, typed wire records, a shared
   persistent flush cache, per-tenant budgets and admission shedding,
+  crash-safe write-ahead tenant journals and recovery,
+* :mod:`repro.faults`     -- deterministic fault injection: a seeded
+  `FaultPlan` drives pool crashes, shm failures, watchdog timeouts,
+  snapshot corruption, consumer stalls and worker departures,
 * :mod:`repro.experiments`-- the per-figure reproduction harness and the
   ``stream`` / ``scenario`` / ``profile`` / ``serve`` CLIs.
 
@@ -131,10 +135,21 @@ from repro.errors import (
     ConvergenceError,
     DatasetError,
     FlushBudgetError,
+    FlushTimeoutError,
+    InjectedFault,
     InvalidInstanceError,
+    JournalError,
     MatchingError,
     ReproError,
     ServiceError,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    MASKED_FAULT_KINDS,
+    FaultPlan,
+    fault_injection,
+    set_fault_plan,
+    smoke_plan,
 )
 from repro.datasets import load_tasks, load_workers, save_tasks, save_workers
 from repro.matching import Matching
@@ -159,7 +174,13 @@ from repro.privacy import (
     WindowAccountant,
     attack_assignment,
 )
-from repro.service import DispatchService, ServiceClient, ServiceConfig
+from repro.service import (
+    DispatchService,
+    ServiceClient,
+    ServiceConfig,
+    TenantJournal,
+    journal_tenants,
+)
 from repro.simulation import BatchRunner, ProblemInstance, RunReport, Server
 from repro.spatial import Point
 from repro.core import EngineWorkspace
@@ -183,6 +204,7 @@ from repro.stream import (
     TraceProcess,
     WorkerArrival,
     WorkerBudgetTracker,
+    WorkerDeparture,
 )
 
 __version__ = "1.0.0"
@@ -267,6 +289,15 @@ __all__ = [
     "DispatchService",
     "ServiceClient",
     "ServiceConfig",
+    # fault tolerance
+    "FAULT_KINDS",
+    "MASKED_FAULT_KINDS",
+    "FaultPlan",
+    "fault_injection",
+    "set_fault_plan",
+    "smoke_plan",
+    "TenantJournal",
+    "journal_tenants",
     # online dispatch
     "PoissonProcess",
     "RushHourProcess",
@@ -275,6 +306,7 @@ __all__ = [
     "StreamWorkload",
     "TaskArrival",
     "WorkerArrival",
+    "WorkerDeparture",
     "MicroBatcher",
     "AdaptiveBatchController",
     "WorkerBudgetTracker",
@@ -305,6 +337,9 @@ __all__ = [
     "ConfigurationError",
     "InvalidInstanceError",
     "FlushBudgetError",
+    "FlushTimeoutError",
+    "InjectedFault",
+    "JournalError",
     "BudgetExhaustedError",
     "MatchingError",
     "ConvergenceError",

@@ -40,6 +40,8 @@ __all__ = [
     "validate_default_deadline",
     "validate_horizon",
     "validate_timeline_limit",
+    "validate_flush_timeout",
+    "validate_faults",
 ]
 
 #: WorkerProposal sweep implementations of the conflict-elimination engine.
@@ -148,9 +150,12 @@ def validate_service(speed: float, min_service: float) -> None:
 
 def validate_default_deadline(default_deadline: float) -> float:
     """Check a session's default task patience; returns it for chaining."""
-    if not default_deadline > 0:
+    numeric = isinstance(default_deadline, (int, float)) and not isinstance(
+        default_deadline, bool
+    )
+    if not numeric or not default_deadline > 0:
         raise ConfigurationError(
-            f"default_deadline must be positive, got {default_deadline}"
+            f"default_deadline must be positive, got {default_deadline!r}"
         )
     return float(default_deadline)
 
@@ -217,6 +222,35 @@ def validate_timeline_limit(timeline_limit: int | None) -> int | None:
             f"timeline_limit must be an int >= 4 or None, got {timeline_limit!r}"
         )
     return timeline_limit
+
+
+def validate_flush_timeout(flush_timeout: float | None) -> float | None:
+    """Check the pooled-solve watchdog deadline; returns it for chaining.
+
+    ``None`` disables the watchdog (the historical behaviour); otherwise
+    a positive number of seconds after which a pooled flush is abandoned
+    and the execution ladder degrades.
+    """
+    if flush_timeout is not None and not flush_timeout > 0:
+        raise ConfigurationError(
+            f"flush_timeout must be positive or None, got {flush_timeout!r}"
+        )
+    return flush_timeout
+
+
+def validate_faults(faults: Any) -> Any:
+    """Check a fault-injection spec; returns the *raw* spec for chaining.
+
+    Accepts ``None``, a :class:`~repro.faults.FaultPlan`, a plan mapping,
+    or a string (``"smoke"`` / ``"off"`` / JSON).  Resolution is lazy so
+    this module keeps its no-imports-above-errors rule; an invalid spec
+    still fails here, at construction time, with the usual
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    from repro.faults import FaultPlan
+
+    FaultPlan.resolve(faults)
+    return faults
 
 
 @dataclass(frozen=True)
@@ -292,6 +326,20 @@ class SolveOptions:
         time): once a timeline exceeds the cap it is thinned by dropping
         every other interior point.  ``None`` = unbounded (historical
         behaviour); long-horizon replays should set it.
+    flush_timeout:
+        Watchdog deadline (seconds) for pooled shard solves.  A pooled
+        flush that exceeds it is abandoned and re-run one rung down the
+        degradation ladder (shm → pickle → sequential → unsharded), so a
+        hung pool worker costs latency, never the run.  ``None`` (the
+        default) disables the watchdog.  Results are unchanged either
+        way — every ladder rung is bit-identical.
+    faults:
+        Deterministic fault injection (:mod:`repro.faults`): ``None``
+        (off), ``"smoke"`` (the low-rate CI plan), a
+        :class:`~repro.faults.FaultPlan`, or its mapping/JSON form.
+        Injected faults fire reproducibly from ``(seed, flush, site)``;
+        all kinds except ``worker_departure`` are masked by the
+        degradation ladder and never change results.
     """
 
     seed: int = 0
@@ -314,6 +362,8 @@ class SolveOptions:
     window_composition: str = "sequential"
     window_decay: float | None = None
     timeline_limit: int | None = None
+    flush_timeout: float | None = None
+    faults: Any = None
 
     def __post_init__(self) -> None:
         validate_sweep(self.sweep)
@@ -327,6 +377,8 @@ class SolveOptions:
             self.window_decay,
         )
         validate_timeline_limit(self.timeline_limit)
+        validate_flush_timeout(self.flush_timeout)
+        validate_faults(self.faults)
         if self.max_rounds is not None and self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
@@ -368,6 +420,12 @@ class SolveOptions:
             decay=self.window_decay,
         )
 
+    def fault_plan(self):
+        """The resolved :class:`~repro.faults.FaultPlan`, or ``None``."""
+        from repro.faults import FaultPlan
+
+        return FaultPlan.resolve(self.faults)
+
     def stream_config(self, **extra: Any):
         """The :class:`~repro.stream.simulator.StreamConfig` these options
         describe.  ``extra`` passes through knobs outside the unified set
@@ -387,5 +445,7 @@ class SolveOptions:
             trace=self.trace,
             horizon=self.horizon_policy(),
             timeline_limit=self.timeline_limit,
+            flush_timeout=self.flush_timeout,
+            faults=self.fault_plan(),
             **extra,
         )

@@ -70,6 +70,7 @@ class ScenarioSpec:
     worker_budget: float = 40.0
     task_value: float = 4.5
     worker_range: float = 1.4
+    departures: float = 0.0
     methods: tuple[str, ...] = ("PUCE", "UCE")
     options: SolveOptions = field(default_factory=SolveOptions)
 
@@ -147,6 +148,7 @@ class ScenarioSpec:
             worker_budget=self.worker_budget,
             task_value=self.task_value,
             worker_range=self.worker_range,
+            departures=self.departures,
             seed=self.options.seed,
         )
 

@@ -43,6 +43,9 @@ safe.
 
 from __future__ import annotations
 
+import atexit
+import os
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,6 +68,7 @@ __all__ = [
     "attach_planes",
     "detach_all_planes",
     "shm_available",
+    "sweep_stale_segments",
 ]
 
 
@@ -204,6 +208,122 @@ def shm_available() -> bool:
     return _SHM_OK
 
 
+# -- stale-segment manifest --------------------------------------------------
+#
+# A normally-exiting run unlinks its segments (ShmArena.close runs on the
+# executor's close *and* failure paths), but a SIGKILL / hard crash strands
+# them in /dev/shm.  Each process therefore mirrors the names of the
+# segments it owns into a tiny per-pid manifest file; the next run's
+# `sweep_stale_segments` (called from `shutdown_warm_pools` and atexit)
+# unlinks any segment listed in a manifest whose pid is dead.  The
+# manifest is best-effort — a failure to write it never fails a stage.
+
+_OWNED_SEGMENTS: set[str] = set()
+
+
+def _manifest_dir() -> str:
+    return os.path.join(tempfile.gettempdir(), "repro-shm")
+
+
+def _manifest_path(pid: int) -> str:
+    return os.path.join(_manifest_dir(), f"{pid}.segments")
+
+
+def _write_manifest() -> None:
+    path = _manifest_path(os.getpid())
+    try:
+        if not _OWNED_SEGMENTS:
+            if os.path.exists(path):
+                os.unlink(path)
+            return
+        os.makedirs(_manifest_dir(), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write("".join(f"{name}\n" for name in sorted(_OWNED_SEGMENTS)))
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - manifest is advisory
+        pass
+
+
+def _register_segment(name: str) -> None:
+    _OWNED_SEGMENTS.add(name)
+    _write_manifest()
+
+
+def _unregister_segment(name: str) -> None:
+    if name in _OWNED_SEGMENTS:
+        _OWNED_SEGMENTS.discard(name)
+        _write_manifest()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - exists but not ours
+        return True
+    return True
+
+
+def sweep_stale_segments() -> int:
+    """Unlink shm segments leaked by crashed runs; returns the count.
+
+    Scans the manifest directory for per-pid manifests whose owner is no
+    longer alive, unlinks every segment they name, and removes the
+    manifest.  Safe to call at any time — live processes' manifests are
+    left alone, and already-gone segments are skipped silently.  Wired
+    into :func:`repro.stream.shards.shutdown_warm_pools` (and thereby
+    atexit), so any run that uses pools also janitors its predecessors.
+    """
+    if shared_memory is None:
+        return 0
+    removed = 0
+    try:
+        entries = os.listdir(_manifest_dir())
+    except OSError:
+        return 0
+    for entry in entries:
+        stem, dot, ext = entry.partition(".")
+        if ext != "segments" or not stem.isdigit():
+            continue
+        pid = int(stem)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(_manifest_dir(), entry)
+        try:
+            with open(path) as handle:
+                names = [line.strip() for line in handle if line.strip()]
+        except OSError:
+            continue
+        for name in names:
+            try:
+                stale = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError, ValueError):
+                continue
+            try:
+                stale.close()
+                stale.unlink()
+                removed += 1
+            except (FileNotFoundError, OSError):  # pragma: no cover - raced
+                pass
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced
+            pass
+    return removed
+
+
+@atexit.register
+def _drop_own_manifest() -> None:  # pragma: no cover - interpreter teardown
+    """Remove this process's manifest; normal exits leave no tombstone."""
+    _OWNED_SEGMENTS.clear()
+    try:
+        os.unlink(_manifest_path(os.getpid()))
+    except OSError:
+        pass
+
+
 class ShmArena:
     """One growable shared-memory segment staging named numpy planes.
 
@@ -221,14 +341,28 @@ class ShmArena:
     re-creates a segment).
     """
 
-    __slots__ = ("_shm", "_capacity", "stages", "segments_created")
+    __slots__ = (
+        "_shm",
+        "_capacity",
+        "stages",
+        "segments_created",
+        "stage_attempts",
+        "fault_plan",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, fault_plan=None) -> None:
         self._shm = None
         self._capacity = 0
         #: Observability counters: plane-sets staged / segments created.
         self.stages = 0
         self.segments_created = 0
+        #: Every `stage` call, including ones an injected fault aborted —
+        #: the fault key, so a failed attempt does not doom the next one.
+        self.stage_attempts = 0
+        #: Optional :class:`~repro.faults.FaultPlan`; when set, `stage`
+        #: may raise a deterministic injected shm failure that the
+        #: executor's ladder absorbs.
+        self.fault_plan = fault_plan
 
     @property
     def segment_name(self) -> str | None:
@@ -238,6 +372,11 @@ class ShmArena:
         """Copy ``planes`` into the segment; return the attach handle."""
         if shared_memory is None:
             raise ConfigurationError("shared memory is unavailable on this platform")
+        self.stage_attempts += 1
+        if self.fault_plan is not None:
+            self.fault_plan.fire(
+                "shm_attach", key=(self.stage_attempts,), site="arena.stage"
+            )
         layout: list[tuple[str, str, tuple[int, ...], int]] = []
         staged: list[tuple[int, np.ndarray]] = []
         offset = 0
@@ -254,6 +393,7 @@ class ShmArena:
             self._shm = shared_memory.SharedMemory(create=True, size=capacity)
             self._capacity = capacity
             self.segments_created += 1
+            _register_segment(self._shm.name)
         buf = self._shm.buf
         for start, array in staged:
             view = np.ndarray(array.shape, dtype=array.dtype, buffer=buf, offset=start)
@@ -264,11 +404,13 @@ class ShmArena:
     def close(self) -> None:
         """Unlink and drop the segment (idempotent)."""
         if self._shm is not None:
+            name = self._shm.name
             try:
                 self._shm.close()
                 self._shm.unlink()
             except (FileNotFoundError, OSError):  # already gone: fine
                 pass
+            _unregister_segment(name)
             self._shm = None
             self._capacity = 0
 

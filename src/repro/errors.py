@@ -72,6 +72,40 @@ class DatasetError(ReproError):
     """A workload generator or loader received invalid parameters or data."""
 
 
+class FlushTimeoutError(ReproError):
+    """A pooled shard solve exceeded the flush watchdog deadline.
+
+    Raised by :class:`repro.stream.shards.ShardedFlushExecutor` when a
+    pooled future does not complete within ``flush_timeout`` seconds.
+    The executor catches it itself and degrades down the transport/mode
+    ladder, so callers only see it if every rung fails.
+    """
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault fired from an active :class:`~repro.faults.FaultPlan`.
+
+    Injection sites raise this to simulate a crash; recovery paths treat
+    it exactly like the organic failure it stands in for.  ``kind`` is
+    one of :data:`repro.faults.FAULT_KINDS`; ``site`` names where in the
+    code the fault fired.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", site: str = ""):
+        super().__init__(message)
+        self.kind = kind
+        self.site = site
+
+
+class JournalError(ReproError):
+    """A tenant journal is unusable (unwritable directory, bad header).
+
+    Torn or corrupt *tails* are not errors — the journal self-truncates
+    at the first damaged line on open — but a journal whose first entry
+    is not a session open, or that cannot be written at all, raises.
+    """
+
+
 class ServiceError(ReproError):
     """A dispatch-service request failed on the server side.
 

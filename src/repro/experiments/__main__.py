@@ -93,6 +93,7 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             cache_entries=args.cache_entries,
             cache_bytes=args.cache_bytes or None,
             snapshot_path=args.snapshot,
+            journal_dir=args.journal_dir,
         )
     except ReproError as exc:
         parser.error(str(exc))
@@ -103,6 +104,14 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     async def run() -> int:
         service = DispatchService(config)
         try:
+            if config.journal_dir is not None:
+                recovered = await service.recover()
+                if recovered:
+                    print(
+                        f"recovered {len(recovered)} tenant session(s) "
+                        f"from {config.journal_dir}",
+                        file=sys.stderr,
+                    )
             served = await serve_jsonl(service, sys.stdin, emit)
         finally:
             await service.close()
@@ -157,6 +166,14 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--deadline", type=float, default=1.0, help="task patience before expiry")
     stream.add_argument(
         "--worker-budget", type=float, default=40.0, help="per-worker shift budget cap"
+    )
+    stream.add_argument(
+        "--departures",
+        type=float,
+        default=0.0,
+        help="probability each worker departs mid-stream (worker churn; "
+        "idle leavers vanish, busy ones finish their task and never "
+        "rejoin)",
     )
     stream.add_argument(
         "--window-seconds",
@@ -244,6 +261,22 @@ def main(argv: list[str] | None = None) -> int:
         help="allocate fresh engine buffers per flush instead of reusing "
         "the workspace arena",
     )
+    stream.add_argument(
+        "--flush-timeout",
+        type=float,
+        default=None,
+        help="watchdog deadline (seconds) for pooled flush solves; a "
+        "timed-out flush retries down the degradation ladder "
+        "(bit-identical, just slower)",
+    )
+    stream.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection: 'smoke' for the built-in "
+        'plan, or a JSON object like \'{"seed": 7, "rates": '
+        '{"pool_crash": 0.1}}\'',
+    )
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument(
         "--save-spec",
@@ -328,6 +361,14 @@ def main(argv: list[str] | None = None) -> int:
         help="persist the shared cache here (loaded on start, saved on exit)",
     )
     serve.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="crash-safe per-tenant journals: accepted requests are "
+        "written ahead here, and open sessions are recovered from it "
+        "on start",
+    )
+    serve.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -355,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
                 trace_orders=args.trace_orders,
                 task_deadline=args.deadline,
                 worker_budget=args.worker_budget,
+                departures=args.departures,
                 methods=tuple(args.methods),
                 options=SolveOptions(
                     seed=args.seed,
@@ -372,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
                     window_composition=args.window_composition,
                     window_decay=args.window_decay,
                     timeline_limit=args.timeline_limit,
+                    flush_timeout=args.flush_timeout,
+                    faults=args.faults,
                 ),
             )
         else:

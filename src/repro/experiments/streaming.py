@@ -40,7 +40,9 @@ class StreamScenario:
     ``task_rate`` / ``worker_rate`` are arrivals per time unit (hours for
     ``rushhour`` and ``trace``).  ``trace`` ignores ``task_rate`` and
     replays a chengdu-like day of ``trace_orders`` release times instead,
-    clipped to ``horizon`` hours of the day.
+    clipped to ``horizon`` hours of the day.  ``departures`` is the
+    probability each worker leaves mid-stream (the ROADMAP worker-churn
+    family; see :attr:`~repro.stream.arrivals.StreamWorkload.departures`).
     """
 
     arrivals: str = "poisson"
@@ -54,6 +56,7 @@ class StreamScenario:
     worker_budget: float = 40.0
     task_value: float = 4.5
     worker_range: float = 1.4
+    departures: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -113,6 +116,7 @@ def build_workload(scenario: StreamScenario) -> StreamWorkload:
         worker_range=scenario.worker_range,
         task_deadline=scenario.task_deadline,
         worker_budget=scenario.worker_budget,
+        departures=scenario.departures,
         seed=scenario.seed,
     )
 

@@ -6,7 +6,11 @@ bounded inbound queue per tenant carrying the typed wire records of
 :mod:`repro.api.wire`, a process-wide shared flush-fingerprint cache
 with LRU/byte eviction and snapshot persistence, per-tenant
 privacy-budget accounting surfaced as service metrics, and admission
-shedding driven by the observed-vs-target flush-time signal.
+shedding driven by the observed-vs-target flush-time signal.  With
+``ServiceConfig.journal_dir`` set, accepted requests are written ahead
+to per-tenant crash-safe journals (:class:`~repro.service.journal.
+TenantJournal`) and :meth:`DispatchService.recover` rebuilds every
+tenant session bit-identically after a kill.
 
 Quickstart::
 
@@ -27,15 +31,19 @@ envelopes ``{"tenant": ..., "request": ...}`` on stdin and writes one
 reply envelope per line.
 """
 
-from repro.errors import ServiceError
+from repro.errors import JournalError, ServiceError
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
+from repro.service.journal import TenantJournal, journal_tenants
 from repro.service.server import DispatchService, serve_jsonl
 
 __all__ = [
     "DispatchService",
+    "JournalError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "TenantJournal",
+    "journal_tenants",
     "serve_jsonl",
 ]

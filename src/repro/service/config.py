@@ -57,6 +57,22 @@ class ServiceConfig:
         service construction when the file exists, written on
         :meth:`~repro.service.DispatchService.close`.  ``None`` disables
         persistence.
+    journal_dir:
+        Directory of per-tenant crash-safe journals
+        (:class:`~repro.service.journal.TenantJournal`): every accepted
+        request is written ahead of being applied, and
+        :meth:`~repro.service.DispatchService.recover` rebuilds every
+        tenant session bit-identically after a crash by replaying it.
+        ``None`` (the default) disables journaling.
+    journal_fsync_every:
+        Fsync the journal every N appends.  1 (the default) makes every
+        acknowledged request durable before its reply; larger values
+        batch syncs and risk at most the last ``N - 1`` acknowledged
+        entries on a crash.
+    journal_checkpoint_every:
+        Fold the write-ahead log into the checkpoint file after this
+        many appended entries, bounding the loose frames a restart
+        scans.
     default_options:
         :class:`~repro.api.options.SolveOptions` applied to sessions
         whose :class:`~repro.api.wire.OpenSession` carries no options.
@@ -69,6 +85,9 @@ class ServiceConfig:
     cache_entries: int = 1024
     cache_bytes: int | None = 256 * 2**20
     snapshot_path: str | None = None
+    journal_dir: str | None = None
+    journal_fsync_every: int = 1
+    journal_checkpoint_every: int = 256
     default_options: SolveOptions = SolveOptions()
 
     def __post_init__(self) -> None:
@@ -96,6 +115,16 @@ class ServiceConfig:
         if self.cache_bytes is not None and self.cache_bytes < 1:
             raise ConfigurationError(
                 f"cache_bytes must be >= 1 or None, got {self.cache_bytes}"
+            )
+        if self.journal_fsync_every < 1:
+            raise ConfigurationError(
+                f"journal_fsync_every must be >= 1, "
+                f"got {self.journal_fsync_every}"
+            )
+        if self.journal_checkpoint_every < 1:
+            raise ConfigurationError(
+                f"journal_checkpoint_every must be >= 1, "
+                f"got {self.journal_checkpoint_every}"
             )
         if not isinstance(self.default_options, SolveOptions):
             raise ConfigurationError(

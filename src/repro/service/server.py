@@ -23,7 +23,13 @@ What the service adds on top of the sessions it hosts:
 * **per-tenant accounting as metrics**: request/shed/assignment
   counters, per-tenant privacy spend and latency gauges, an aggregate
   flush-seconds histogram — all on a
-  :class:`~repro.obs.metrics.MetricsRegistry` rendering Prometheus text.
+  :class:`~repro.obs.metrics.MetricsRegistry` rendering Prometheus text;
+* **crash safety** (``ServiceConfig.journal_dir``): accepted requests
+  are journaled ahead of being applied
+  (:class:`~repro.service.journal.TenantJournal`), request sequence
+  numbers make client retries idempotent, and :meth:`DispatchService.
+  recover` rebuilds every tenant session bit-identically after a kill
+  by replaying its journal through the one request path.
 
 Everything runs on one event loop; session work executes synchronously
 inside the consumer tasks (the solvers are CPU-bound numpy — a thread
@@ -58,10 +64,12 @@ from repro.api.wire import (
     decode_record,
     encode_record,
 )
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, JournalError, ReproError
+from repro.faults import active_fault_plan
 from repro.obs.indicators import Ewma
 from repro.obs.metrics import MetricsRegistry
 from repro.service.config import ServiceConfig
+from repro.service.journal import TenantJournal, journal_tenants
 from repro.stream.cache import FlushSolverCache
 
 __all__ = ["DispatchService", "serve_jsonl"]
@@ -79,6 +87,11 @@ class _Tenant:
     flush_signal: Ewma = field(default_factory=lambda: Ewma(alpha=0.3, warmup=3))
     #: Flush records already folded into the signal/metrics.
     flushes_seen: int = 0
+    #: Crash-safe write-ahead journal (``None`` = journaling off).
+    journal: TenantJournal | None = None
+    #: Highest request sequence number accepted — the idempotency
+    #: high-water mark; a retry at or below it is a duplicate no-op.
+    last_seq: int = 0
     consumer: asyncio.Task | None = None
     closed: bool = False
 
@@ -152,8 +165,22 @@ class DispatchService:
 
     # -- session lifecycle -------------------------------------------------
 
-    async def open_session(self, tenant: str, record: OpenSession) -> WireRecord:
-        """Open one tenant session; returns Ack, Shed, or Error."""
+    async def open_session(
+        self,
+        tenant: str,
+        record: OpenSession,
+        *,
+        _replay_journal: TenantJournal | None = None,
+    ) -> WireRecord:
+        """Open one tenant session; returns Ack, Shed, or Error.
+
+        With journaling on, the ``OpenSession`` record is the journal's
+        sequence-1 entry — the first thing :meth:`recover` replays.  A
+        fresh open over stale journal files from an earlier incarnation
+        truncates them: the client chose to start over rather than
+        recover.  (``_replay_journal`` is :meth:`recover`'s private way
+        to hand the already-read journal in without re-journaling.)
+        """
         if self._closed:
             return ErrorReply(code="ConfigurationError", message="service is closed")
         existing = self._tenants.get(tenant)
@@ -181,11 +208,30 @@ class DispatchService:
             )
         except ReproError as exc:
             return ErrorReply(code=type(exc).__name__, message=str(exc))
+        except Exception as exc:  # hostile wire values must not kill the loop
+            return ErrorReply(code=type(exc).__name__, message=str(exc))
+        journal = _replay_journal
+        last_seq = journal.last_seq if journal is not None else 0
+        if journal is None and self.config.journal_dir is not None:
+            try:
+                journal = TenantJournal(
+                    self.config.journal_dir,
+                    tenant,
+                    fsync_every=self.config.journal_fsync_every,
+                )
+                journal.delete()  # stale files from an earlier incarnation
+                journal.append(1, encode_record(record))
+                last_seq = 1
+            except (JournalError, OSError) as exc:
+                session.close()
+                return ErrorReply(code=type(exc).__name__, message=str(exc))
         state = _Tenant(
             name=tenant,
             session=session,
             queue=asyncio.Queue(maxsize=self.config.queue_limit),
             target_flush_seconds=options.target_flush_seconds,
+            journal=journal,
+            last_seq=last_seq,
         )
         state.consumer = asyncio.create_task(self._consume(state))
         self._tenants[tenant] = state
@@ -194,16 +240,43 @@ class DispatchService:
         ).inc()
         return AckReply()
 
-    async def submit(self, tenant: str, record: WireRecord) -> WireRecord:
+    async def submit(
+        self, tenant: str, record: WireRecord, *, seq: int | None = None
+    ) -> WireRecord:
         """Route one wire request to a tenant session and await its reply.
 
         ``SubmitTask`` requests pass admission control first and may come
         back as :class:`~repro.api.wire.ShedReply`; control requests
         (advance/drain/finish) always queue, waiting for room if needed.
+
+        ``seq`` is the client's per-tenant request sequence number for
+        at-least-once retries: a request at or below the tenant's
+        accepted high-water mark is a duplicate and comes back as a
+        plain :class:`~repro.api.wire.AckReply` without being applied —
+        the retry of a journaled-but-unacknowledged request after a
+        crash is a no-op.  Omitted, the service numbers the request
+        itself (journaling still dedups on replay).
         """
+        if seq is not None and (not isinstance(seq, int) or seq < 1):
+            return ErrorReply(
+                code="ConfigurationError",
+                message=f"seq must be a positive integer, got {seq!r}",
+            )
+        state = self._tenants.get(tenant)
+        if (
+            seq is not None
+            and state is not None
+            and not state.closed
+            and seq <= state.last_seq
+        ):
+            self.metrics.counter(
+                "service_duplicates_total",
+                "retried requests suppressed by sequence number",
+                tenant=tenant,
+            ).inc()
+            return AckReply()
         if isinstance(record, OpenSession):
             return await self.open_session(tenant, record)
-        state = self._tenants.get(tenant)
         if state is None or state.closed:
             return ErrorReply(
                 code="ConfigurationError",
@@ -214,8 +287,11 @@ class DispatchService:
             if reason is not None:
                 self._count_shed(tenant, reason)
                 return ShedReply(reason=reason)
+        if seq is None:
+            seq = state.last_seq + 1
+        state.last_seq = max(state.last_seq, seq)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await state.queue.put((record, future))
+        await state.queue.put((record, seq, future))
         return await future
 
     async def close(self) -> None:
@@ -232,8 +308,95 @@ class DispatchService:
             if not state.closed:
                 state.session.close()
                 state.closed = True
+                if state.journal is not None:
+                    # Compact on clean shutdown; the files stay so the
+                    # next incarnation can recover() the session.
+                    state.journal.checkpoint()
+                    state.journal.close()
         if self.config.snapshot_path is not None:
             self.cache.save(self.config.snapshot_path)
+
+    # -- crash recovery ----------------------------------------------------
+
+    async def recover(self) -> list[str]:
+        """Rebuild tenant sessions from the journals in ``journal_dir``.
+
+        For every tenant with journal files, replays the journaled
+        record sequence through the session's one request path
+        (:meth:`~repro.api.session.DispatchSession.apply`) — sessions
+        are deterministic functions of their accepted records, so the
+        rebuilt session is bit-identical to the one the crash took
+        (the wire-equivalence property).  Tenants whose journal ends in
+        a ``Finish`` (the crash hit between the final apply and the
+        journal cleanup) are finished again and their journals removed.
+        Returns the recovered tenant names.
+
+        Call this once, after construction and before serving; a tenant
+        that already has a live session is skipped.
+        """
+        directory = self.config.journal_dir
+        if directory is None:
+            return []
+        recovered: list[str] = []
+        for tenant in journal_tenants(directory):
+            existing = self._tenants.get(tenant)
+            if existing is not None and not existing.closed:
+                continue
+            journal = TenantJournal(
+                directory, tenant, fsync_every=self.config.journal_fsync_every
+            )
+            entries = journal.entries()
+            if not entries:
+                journal.delete()
+                continue
+            first = decode_record(entries[0][1])
+            if not isinstance(first, OpenSession):
+                journal.close()
+                raise JournalError(
+                    f"tenant {tenant!r} journal does not start with an "
+                    f"open_session record"
+                )
+            reply = await self.open_session(
+                tenant, first, _replay_journal=journal
+            )
+            if not isinstance(reply, AckReply):
+                journal.close()
+                raise JournalError(
+                    f"cannot reopen tenant {tenant!r} from its journal: "
+                    f"{encode_record(reply)}"
+                )
+            state = self._tenants[tenant]
+            finished = False
+            for _seq, payload in entries[1:]:
+                replayed = decode_record(payload)
+                try:
+                    state.session.apply(replayed)
+                except Exception:
+                    # The live consumer answered this request with an
+                    # ErrorReply and carried on; replay must reproduce
+                    # the same deterministic (non-)mutation and move on.
+                    pass
+                if isinstance(replayed, Finish):
+                    finished = True
+            # Replayed flushes are history, not live signal — keep them
+            # out of the backpressure EWMA and the service metrics.
+            state.flushes_seen = len(state.session.stats.flushes)
+            if finished:
+                state.closed = True
+                state.session.close()
+                if state.consumer is not None:
+                    state.consumer.cancel()
+                    try:
+                        await state.consumer
+                    except asyncio.CancelledError:
+                        pass
+                journal.delete()
+            recovered.append(tenant)
+            self.metrics.counter(
+                "service_sessions_recovered_total",
+                "tenant sessions rebuilt from journals",
+            ).inc()
+        return recovered
 
     # -- admission control -------------------------------------------------
 
@@ -287,9 +450,45 @@ class DispatchService:
     # -- the per-tenant consumer -------------------------------------------
 
     async def _consume(self, state: _Tenant) -> None:
-        """Apply queued requests to the tenant's session, strictly in order."""
+        """Apply queued requests to the tenant's session, strictly in order.
+
+        With journaling on, each request is journaled *before* it is
+        applied (write-ahead): a crash after the journal write replays
+        the request on recovery, and the client's retry of its
+        unacknowledged request dedups by sequence number.  A request
+        the journal cannot make durable is refused with an error — the
+        session must never run ahead of its own recovery log.
+        """
         while True:
-            record, future = await state.queue.get()
+            record, seq, future = await state.queue.get()
+            plan = active_fault_plan()
+            if plan is not None and plan.should_fire(
+                "queue_stall", key=(seq,), site="service.consume"
+            ):
+                # A stalled consumer: yield the loop a few extra times
+                # before applying.  Order within the tenant is
+                # preserved, so results are unchanged — only latency.
+                self.metrics.counter(
+                    "service_faults_total",
+                    "injected faults observed",
+                    kind="queue_stall",
+                ).inc()
+                for _ in range(8):
+                    await asyncio.sleep(0)
+            if state.journal is not None:
+                try:
+                    state.journal.append(seq, encode_record(record))
+                    checkpoint_every = self.config.journal_checkpoint_every
+                    if state.journal.since_checkpoint >= checkpoint_every:
+                        state.journal.checkpoint()
+                except (JournalError, OSError) as exc:
+                    reply = ErrorReply(
+                        code=type(exc).__name__, message=str(exc)
+                    )
+                    if not future.done():
+                        future.set_result(reply)
+                    state.queue.task_done()
+                    continue
             try:
                 outcome = state.session.apply(record)
                 if isinstance(record, Finish):
@@ -320,6 +519,10 @@ class DispatchService:
             if isinstance(record, Finish) and not isinstance(reply, ErrorReply):
                 state.closed = True
                 state.session.close()
+                if state.journal is not None:
+                    # The session reached its natural end: there is
+                    # nothing left to recover, so the journal goes too.
+                    state.journal.delete()
                 return
 
     def _observe(
@@ -348,6 +551,12 @@ class DispatchService:
                 histogram.observe(flush.flush_seconds or flush.solver_seconds)
                 if not flush.cache_hit:
                     state.flush_signal.update(flush.solver_seconds)
+                if flush.degraded:
+                    self.metrics.counter(
+                        "service_degraded_flushes_total",
+                        "flushes that walked the degradation ladder",
+                        tenant=state.name,
+                    ).inc()
             state.flushes_seen = len(flushes)
             self.metrics.gauge(
                 "service_tenant_privacy_spend",
@@ -394,11 +603,11 @@ async def serve_jsonl(
 ) -> int:
     """Drive a service from JSONL envelopes; returns requests served.
 
-    Each input line is ``{"tenant": <str>, "request": <wire dict>}``;
-    each output line is ``{"tenant": <str>, "reply": <wire dict>}``.
-    Malformed lines come back as :class:`~repro.api.wire.ErrorReply`
-    envelopes instead of killing the loop — a server must outlive its
-    worst client.
+    Each input line is ``{"tenant": <str>, "request": <wire dict>}``
+    with an optional ``"seq"`` retry sequence number; each output line
+    is ``{"tenant": <str>, "reply": <wire dict>}``.  Malformed lines
+    come back as :class:`~repro.api.wire.ErrorReply` envelopes instead
+    of killing the loop — a server must outlive its worst client.
     """
     served = 0
     for line in lines:
@@ -413,6 +622,11 @@ async def serve_jsonl(
                 raise ConfigurationError(
                     f"envelope tenant must be a string, got {tenant!r}"
                 )
+            seq = envelope.get("seq")
+            if seq is not None and (not isinstance(seq, int) or seq < 1):
+                raise ConfigurationError(
+                    f"envelope seq must be a positive integer, got {seq!r}"
+                )
             record = decode_record(envelope["request"])
         except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as exc:
             reply: WireRecord = ErrorReply(
@@ -424,7 +638,7 @@ async def serve_jsonl(
             reply = ErrorReply(code=type(exc).__name__, message=str(exc))
             write(json.dumps({"tenant": tenant, "reply": encode_record(reply)}))
             continue
-        reply = await service.submit(tenant, record)
+        reply = await service.submit(tenant, record, seq=seq)
         write(json.dumps({"tenant": tenant, "reply": encode_record(reply)}))
         served += 1
     return served

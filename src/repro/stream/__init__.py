@@ -45,6 +45,7 @@ from repro.stream.events import (
     StreamEvent,
     TaskArrival,
     WorkerArrival,
+    WorkerDeparture,
     merge_events,
 )
 from repro.stream.cache import FlushSolverCache, cache_profile, flush_fingerprint
@@ -77,6 +78,7 @@ __all__ = [
     "StreamWorkload",
     "TaskArrival",
     "WorkerArrival",
+    "WorkerDeparture",
     "StreamEvent",
     "Assignment",
     "OpenTask",

@@ -32,7 +32,13 @@ from repro.datasets.synthetic import SyntheticGenerator
 from repro.datasets.workload import Task, Worker
 from repro.errors import ConfigurationError, DatasetError
 from repro.spatial.geometry import Point
-from repro.stream.events import StreamEvent, TaskArrival, WorkerArrival, merge_events
+from repro.stream.events import (
+    StreamEvent,
+    TaskArrival,
+    WorkerArrival,
+    WorkerDeparture,
+    merge_events,
+)
 from repro.utils.rng import ensure_rng, spawn_rng
 
 __all__ = [
@@ -253,6 +259,13 @@ class StreamWorkload:
         Patience: a task arriving at ``t`` expires at ``t + task_deadline``.
     worker_budget:
         Per-worker cumulative privacy-budget capacity for the whole shift.
+    departures:
+        Worker-churn probability: each worker (initial fleet included)
+        independently leaves mid-stream with this probability, at a
+        uniform time between their arrival and the horizon
+        (:class:`~repro.stream.events.WorkerDeparture` events).  The
+        default 0.0 emits no departures and reproduces every pre-churn
+        timeline bit-identically.
     seed:
         Base seed for arrival draws and locations.
     """
@@ -266,6 +279,7 @@ class StreamWorkload:
     worker_range: float = 1.4
     task_deadline: float = 1.0
     worker_budget: float = float("inf")
+    departures: float = 0.0
     seed: int | None = 0
 
     def __post_init__(self) -> None:
@@ -284,6 +298,10 @@ class StreamWorkload:
         if not self.worker_budget > 0:
             raise ConfigurationError(
                 f"worker_budget must be positive, got {self.worker_budget}"
+            )
+        if not 0.0 <= self.departures <= 1.0:
+            raise ConfigurationError(
+                f"departures must be in [0, 1], got {self.departures}"
             )
 
     @property
@@ -345,4 +363,23 @@ class StreamWorkload:
             )
             for j, (t, (x, y)) in enumerate(zip(all_worker_times, worker_points))
         ]
-        return merge_events(task_events, worker_events)
+
+        # Churn: the departures RNG is spawned *after* the original four,
+        # so every departures=0.0 workload replays its historical
+        # timeline bit-for-bit.
+        departure_events: list[StreamEvent] = []
+        if self.departures > 0.0:
+            departures_rng = spawn_rng(rng)
+            horizon = self.horizon
+            leaves = departures_rng.random(total_workers) < self.departures
+            offsets = departures_rng.random(total_workers)
+            for j, arrived in enumerate(all_worker_times):
+                arrived = float(arrived)
+                if leaves[j] and horizon > arrived:
+                    departure_events.append(
+                        WorkerDeparture(
+                            time=arrived + float(offsets[j]) * (horizon - arrived),
+                            worker_id=j,
+                        )
+                    )
+        return merge_events(task_events, worker_events, departure_events)

@@ -51,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -482,10 +483,42 @@ class FlushSolverCache:
         path: "str | Path",
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        strict: bool = False,
     ) -> "FlushSolverCache":
-        """Read a snapshot written by :meth:`save`."""
-        return cls.from_snapshot(
-            json.loads(Path(path).read_text()),
-            max_entries=max_entries,
-            max_bytes=max_bytes,
-        )
+        """Read a snapshot written by :meth:`save`.
+
+        The snapshot is a *cache*: a truncated, bit-flipped or otherwise
+        corrupt file (a crash mid-``save``, a stale format) must never
+        keep the service from constructing.  Any decode failure —
+        invalid JSON, a bad version, malformed entries — is demoted to a
+        :class:`UserWarning` and an **empty** cache with the requested
+        bounds, unless ``strict=True`` (tests, debugging) restores the
+        historical raise.
+        """
+        from repro.faults import active_fault_plan
+
+        try:
+            plan = active_fault_plan()
+            if plan is not None:
+                plan.fire("snapshot_corrupt", site="cache.load")
+            return cls.from_snapshot(
+                json.loads(Path(path).read_text()),
+                max_entries=max_entries,
+                max_bytes=max_bytes,
+            )
+        except FileNotFoundError:
+            raise
+        except Exception as exc:
+            if strict:
+                raise
+            warnings.warn(
+                f"cache snapshot {path} is unusable ({type(exc).__name__}: "
+                f"{exc}); starting cold",
+                stacklevel=2,
+            )
+            bounds: dict[str, Any] = {}
+            if max_entries is not None:
+                bounds["max_entries"] = max_entries
+            if max_bytes is not None:
+                bounds["max_bytes"] = max_bytes
+            return cls(**bounds)

@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "TaskArrival",
     "WorkerArrival",
+    "WorkerDeparture",
     "StreamEvent",
     "Assignment",
     "OpenTask",
@@ -76,7 +77,31 @@ class WorkerArrival:
             )
 
 
-StreamEvent = TaskArrival | WorkerArrival
+@dataclass(frozen=True, slots=True)
+class WorkerDeparture:
+    """Worker ``worker_id`` leaves the fleet at ``time`` (churn).
+
+    Mid-stream removal, the ROADMAP's worker-churn workload family: an
+    *idle* departing worker is removed immediately and takes no further
+    part in any flush; a *busy* one keeps its in-flight assignment (the
+    task was already committed and published) and simply never rejoins.
+    A departure for a worker the simulator does not know (never arrived,
+    or already departed) is a no-op — departures race arrivals in real
+    fleets, and dropping the stale event is the only replayable answer.
+    """
+
+    time: float
+    worker_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ConfigurationError(
+                f"worker {self.worker_id}: departure time must be >= 0, "
+                f"got {self.time}"
+            )
+
+
+StreamEvent = TaskArrival | WorkerArrival | WorkerDeparture
 
 
 @dataclass(frozen=True, slots=True)

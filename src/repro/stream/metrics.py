@@ -57,6 +57,10 @@ class FlushRecord:
     (:mod:`repro.privacy.horizon`); ``None`` on global-accountant
     streams.  Unlike ``cumulative_privacy_spend`` it is not monotone —
     it falls as old releases age out, which is the point.
+
+    ``degraded`` records the executor's ladder walk when the flush hit a
+    masked failure (``"proc:4+shm->proc:4->seq"``); ``None`` on a clean
+    flush.  Degradation changes latency, never results.
     """
 
     index: int
@@ -75,6 +79,7 @@ class FlushRecord:
     planned_mode: str = ""
     predicted_seconds: float = 0.0
     window_spend: float | None = None
+    degraded: str | None = None
 
     @property
     def top_phase(self) -> str:
@@ -195,6 +200,9 @@ class StreamStats:
     method: str
     arrived_tasks: int = 0
     arrived_workers: int = 0
+    #: Mid-stream worker removals (the churn workload family): departed
+    #: idle workers leave the fleet; busy ones keep their in-flight task.
+    departed_workers: int = 0
     assigned: int = 0
     expired: int = 0
     leftover: int = 0
@@ -343,6 +351,11 @@ class StreamStats:
         if not counts:
             return "-"
         return " ".join(f"{mode}:{count}" for mode, count in counts.items())
+
+    @property
+    def degraded_flushes(self) -> int:
+        """Flushes that completed via the degradation ladder."""
+        return sum(1 for record in self.flushes if record.degraded)
 
     @property
     def throughput_tasks_per_sec(self) -> float:

@@ -54,7 +54,9 @@ from __future__ import annotations
 
 import atexit
 import math
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
@@ -63,9 +65,15 @@ import numpy as np
 
 from repro.core.engine import ConflictEliminationSolver
 from repro.core.result import AssignmentResult
-from repro.core.workspace import ShmArena, ShmHandle, attach_planes, shm_available
+from repro.core.workspace import (
+    ShmArena,
+    ShmHandle,
+    attach_planes,
+    shm_available,
+    sweep_stale_segments,
+)
 from repro.datasets.workload import Task, Worker
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FlushTimeoutError, InjectedFault
 from repro.obs.tracer import NULL_TRACER, stopwatch
 from repro.matching.bipartite import Matching
 from repro.privacy.accountant import PrivacyLedger
@@ -619,10 +627,16 @@ def _discard_warm_pool(kind: str, max_workers: int) -> None:
 
 
 def shutdown_warm_pools() -> None:
-    """Shut down every warm shard pool (tests; registered ``atexit``)."""
+    """Shut down every warm shard pool (tests; registered ``atexit``).
+
+    Also sweeps shm segments stranded by *previous* crashed runs
+    (:func:`~repro.core.workspace.sweep_stale_segments`): any process
+    that used pools janitors its predecessors on the way out.
+    """
     for key in list(_WARM_POOLS):
         pool = _WARM_POOLS.pop(key)
         pool.shutdown(wait=True, cancel_futures=True)
+    sweep_stale_segments()
 
 
 atexit.register(shutdown_warm_pools)
@@ -677,13 +691,40 @@ class ShardedFlushExecutor:
         available, pickle otherwise), or force ``"shm"`` / ``"pickle"``
         for process-parallel flushes.  A forced ``"shm"`` still falls
         back to pickle when shared memory is unusable on the host.
+    flush_timeout:
+        Watchdog deadline (seconds) for one pooled flush solve.  When a
+        pooled future outlives it, the pool is discarded (it may be
+        wedged) and the flush degrades one ladder rung.  ``None`` (the
+        default) disables the watchdog.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`: deterministic
+        ``pool_crash`` / ``shm_attach`` / ``solver_timeout`` injection,
+        keyed by the flush's seed-schedule base and the retry attempt so
+        every failure replays bit-identically.
 
     The executor leases pools from the process-wide warm registry —
     :meth:`close` drops the reference (and unlinks the shm arena) but
     leaves the pool warm for the next stream; the *failure* path instead
     discards the pool outright and unlinks the arena, so a raising solve
     leaks neither ``/dev/shm`` space nor a possibly-poisoned pool.
+
+    **Degradation ladder.**  Pool breaks, watchdog timeouts, shm
+    failures and injected faults never fail the flush outright: the
+    executor first respawns a broken pool with capped exponential
+    backoff (``POOL_RESPAWN_ATTEMPTS``), and when a rung is exhausted it
+    re-executes the *same cut* one rung down — shm transport → pickle
+    transport → sequential in-process → single-slot sequential.  The cut
+    defines every noise stream, so every rung is bit-identical: a
+    masked failure costs latency, never results.  The walk is recorded
+    in :attr:`last_degraded` (``None`` on a clean flush) and as
+    ``flush.degrade`` tracer events.
     """
+
+    #: Broken-pool respawn budget per flush (beyond the first attempt),
+    #: with capped exponential backoff between attempts.
+    POOL_RESPAWN_ATTEMPTS = 2
+    RESPAWN_BACKOFF_SECONDS = 0.05
+    RESPAWN_BACKOFF_CAP = 0.5
 
     def __init__(
         self,
@@ -696,6 +737,8 @@ class ShardedFlushExecutor:
         tracer=NULL_TRACER,
         planner: FlushPlanner | None = None,
         transport: str = "auto",
+        flush_timeout: float | None = None,
+        fault_plan=None,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -716,6 +759,16 @@ class ShardedFlushExecutor:
         self.workspace = workspace
         self.tracer = tracer
         self.transport = transport
+        if flush_timeout is not None and not flush_timeout > 0:
+            raise ConfigurationError(
+                f"flush_timeout must be positive or None, got {flush_timeout!r}"
+            )
+        self.flush_timeout = flush_timeout
+        self.fault_plan = fault_plan
+        #: Ladder walk of the most recent flush: ``None`` when the flush
+        #: ran clean, else an arrow chain of plan labels
+        #: (``"proc:4+shm->proc:4->seq"``).
+        self.last_degraded: str | None = None
         if planner is None:
             planner = FlushPlanner(
                 min_shard_pairs=min_shard_pairs,
@@ -816,6 +869,7 @@ class ShardedFlushExecutor:
         self, instance: ProblemInstance, schedule: ShardSeedSchedule
     ) -> tuple[AssignmentResult, ShardCut, FlushPlan]:
         tracer = self.tracer
+        self.last_degraded = None
         watch = stopwatch()
         with watch:
             with tracer.span("flush.cut"):
@@ -854,45 +908,38 @@ class ShardedFlushExecutor:
                     )
                 return result, cut, plan
 
-            groups = _group_components(cut.components, plan.shards)
-            pooled = plan.mode in ("thread", "process") and len(groups) > 1
-            use_shm = pooled and plan.mode == "process" and plan.transport == "shm"
-
-            with tracer.span("flush.build"):
-                if use_shm:
-                    handle, metas = self._stage_shm(instance, groups)
-                    jobs = [
-                        (
-                            _solve_shm_group,
-                            (self.solver, schedule.base, handle, meta, instance.model),
-                        )
-                        for meta in metas
-                    ]
-                else:
-                    payload = [
-                        [
-                            (component.key, build_shard_instance(instance, component))
-                            for component in group
-                        ]
-                        for group in groups
-                    ]
-                    jobs = [
-                        (_solve_component_group, (self.solver, schedule.base, group))
-                        for group in payload
-                    ]
-
-            with tracer.span("flush.solve"):
-                if not pooled:
-                    keyed_results: list[tuple[int, AssignmentResult]] = []
-                    for group in payload:
-                        keyed_results.extend(
-                            _solve_component_group(
-                                self.solver, schedule.base, group, self.workspace, tracer
-                            )
-                        )
-                else:
-                    kind = "thread" if plan.mode == "thread" else "process"
-                    keyed_results = self._run_pooled(kind, jobs)
+            walked = [plan]
+            while True:
+                rung = walked[-1]
+                try:
+                    keyed_results = self._execute_plan(
+                        instance, schedule, cut, rung, tracer
+                    )
+                    break
+                except (
+                    BrokenProcessPool,
+                    FlushTimeoutError,
+                    InjectedFault,
+                    OSError,
+                ) as exc:
+                    lower = self._degraded_plan(rung)
+                    if lower is None:
+                        raise
+                    # The failed rung may leave a poisoned pool and a
+                    # half-staged arena behind; drop both before re-
+                    # executing.  The cut (hence every noise stream) is
+                    # untouched, so the lower rung is bit-identical.
+                    if self._pool is not None and self._pool_kind is not None:
+                        _discard_warm_pool(self._pool_kind, self.max_workers)
+                        self._pool = None
+                        self._pool_kind = None
+                    if self._arena is not None:
+                        self._arena.close()
+                    tracer.event("flush.degrade")
+                    walked.append(lower)
+                    del exc
+            if len(walked) > 1:
+                self.last_degraded = "->".join(step.label for step in walked)
 
             with tracer.span("flush.merge"):
                 merged = merge_shard_results(
@@ -903,29 +950,151 @@ class ShardedFlushExecutor:
                 )
         return merged, cut, plan
 
+    # -- the degradation ladder --------------------------------------------
+
+    def _degraded_plan(self, plan: FlushPlan) -> FlushPlan | None:
+        """The next rung down, or ``None`` at the bottom.
+
+        shm transport → pickle transport → sequential (same slot count)
+        → single-slot sequential.  Mode/transport/grouping never touch
+        the noise streams, so every rung solves to the same bits; the
+        bottom rung involves no pool, no shm and no watchdog, so it can
+        only fail the way the reference path fails.
+        """
+        if plan.mode == "process" and plan.transport == "shm":
+            return replace(plan, transport="pickle")
+        if plan.mode in ("thread", "process"):
+            return replace(plan, mode="seq", transport="inline")
+        if plan.mode == "seq" and plan.shards != 1:
+            return replace(plan, shards=1)
+        return None
+
+    def _execute_plan(
+        self,
+        instance: ProblemInstance,
+        schedule: ShardSeedSchedule,
+        cut: ShardCut,
+        plan: FlushPlan,
+        tracer,
+    ) -> list[tuple[int, AssignmentResult]]:
+        """Build and solve one flush under one plan (one ladder rung)."""
+        groups = _group_components(cut.components, plan.shards)
+        pooled = plan.mode in ("thread", "process") and len(groups) > 1
+        use_shm = pooled and plan.mode == "process" and plan.transport == "shm"
+
+        with tracer.span("flush.build"):
+            if use_shm:
+                handle, metas = self._stage_shm(instance, groups)
+                jobs = [
+                    (
+                        _solve_shm_group,
+                        (self.solver, schedule.base, handle, meta, instance.model),
+                    )
+                    for meta in metas
+                ]
+            else:
+                payload = [
+                    [
+                        (component.key, build_shard_instance(instance, component))
+                        for component in group
+                    ]
+                    for group in groups
+                ]
+                jobs = [
+                    (_solve_component_group, (self.solver, schedule.base, group))
+                    for group in payload
+                ]
+
+        with tracer.span("flush.solve"):
+            if not pooled:
+                keyed_results: list[tuple[int, AssignmentResult]] = []
+                for group in payload:
+                    keyed_results.extend(
+                        _solve_component_group(
+                            self.solver, schedule.base, group, self.workspace, tracer
+                        )
+                    )
+                return keyed_results
+            kind = "thread" if plan.mode == "thread" else "process"
+            return self._run_pooled(kind, jobs, flush_key=schedule.base)
+
     # -- pooled execution --------------------------------------------------
 
-    def _run_pooled(self, kind: str, jobs) -> list[tuple[int, AssignmentResult]]:
-        pool = self._ensure_pool(kind)
-        try:
-            futures = [pool.submit(fn, *args) for fn, args in jobs]
-            keyed_results: list[tuple[int, AssignmentResult]] = []
-            for future in futures:
-                keyed_results.extend(future.result())
-            return keyed_results
-        except BrokenProcessPool:
-            # A crashed worker poisons the whole pool, but the flush
-            # itself is retryable (shard solves are pure): respawn once
-            # and resubmit; a second break propagates.
-            self.tracer.event("pool.respawn")
-            _discard_warm_pool(kind, self.max_workers)
-            self._pool = None
+    def _run_pooled(
+        self, kind: str, jobs, flush_key: tuple[int, ...] = ()
+    ) -> list[tuple[int, AssignmentResult]]:
+        """Submit one flush's job groups to the warm pool, watchdogged.
+
+        A crashed worker poisons the whole pool, but the flush itself is
+        retryable (shard solves are pure): broken pools are respawned
+        with capped exponential backoff up to ``POOL_RESPAWN_ATTEMPTS``
+        extra submits.  A flush that outlives ``flush_timeout`` raises
+        :class:`~repro.errors.FlushTimeoutError` after discarding the
+        (possibly wedged) pool; the caller's ladder takes it from there.
+        Injected ``pool_crash`` faults enter through the same respawn
+        path, keyed per attempt so a retry genuinely recovers.
+        """
+        deadline = (
+            None
+            if self.flush_timeout is None
+            else time.monotonic() + self.flush_timeout
+        )
+        key = tuple(int(k) for k in flush_key)
+        attempt = 0
+        while True:
             pool = self._ensure_pool(kind)
-            futures = [pool.submit(fn, *args) for fn, args in jobs]
-            keyed_results = []
-            for future in futures:
-                keyed_results.extend(future.result())
-            return keyed_results
+            futures = []
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire(
+                        "pool_crash", key=(*key, attempt), site="pool.submit"
+                    )
+                futures = [pool.submit(fn, *args) for fn, args in jobs]
+                if self.fault_plan is not None and self.fault_plan.should_fire(
+                    "solver_timeout", key=(*key, attempt), site="pool.watchdog"
+                ):
+                    raise FutureTimeoutError(
+                        f"injected solver_timeout fault (flush key {key})"
+                    )
+                keyed_results: list[tuple[int, AssignmentResult]] = []
+                for future in futures:
+                    if deadline is None:
+                        keyed_results.extend(future.result())
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0.0:
+                            raise FutureTimeoutError()
+                        keyed_results.extend(future.result(timeout=remaining))
+                return keyed_results
+            except (BrokenProcessPool, InjectedFault) as exc:
+                if isinstance(exc, InjectedFault) and exc.kind != "pool_crash":
+                    raise
+                attempt += 1
+                if attempt > self.POOL_RESPAWN_ATTEMPTS:
+                    raise
+                self.tracer.event("pool.respawn")
+                _discard_warm_pool(kind, self.max_workers)
+                self._pool = None
+                time.sleep(
+                    min(
+                        self.RESPAWN_BACKOFF_SECONDS * 2 ** (attempt - 1),
+                        self.RESPAWN_BACKOFF_CAP,
+                    )
+                )
+            except FutureTimeoutError as exc:
+                # The pool may be wedged on the slow solve: cancel what
+                # can be cancelled and discard it (threads that cannot
+                # be interrupted finish detached).
+                for future in futures:
+                    future.cancel()
+                _discard_warm_pool(kind, self.max_workers)
+                self._pool = None
+                self._pool_kind = None
+                raise FlushTimeoutError(
+                    f"pooled flush solve exceeded "
+                    f"flush_timeout={self.flush_timeout}s "
+                    f"(kind={kind}, groups={len(jobs)})"
+                ) from exc
 
     # -- shared-memory staging ---------------------------------------------
 
@@ -946,7 +1115,7 @@ class ShardedFlushExecutor:
         plane combined.
         """
         if self._arena is None:
-            self._arena = ShmArena()
+            self._arena = ShmArena(fault_plan=self.fault_plan)
         tasks = instance.tasks
         workers = instance.workers
         planes = dict(instance.pairs.planes())

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from repro.api.options import (
+    validate_flush_timeout,
     validate_service,
     validate_sharding,
     validate_timeline_limit,
@@ -45,6 +46,7 @@ from repro.core.utility import UtilityModel
 from repro.core.workspace import EngineWorkspace, shm_available
 from repro.datasets.workload import Worker
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.obs.tracer import NULL_TRACER, Tracer, aggregate_phases, stopwatch
 from repro.privacy.horizon import HorizonPolicy, WindowAccountant
 from repro.stream.batcher import (
@@ -64,6 +66,7 @@ from repro.stream.events import (
     StreamEvent,
     TaskArrival,
     WorkerArrival,
+    WorkerDeparture,
 )
 from repro.stream.costmodel import FlushCostModel, FlushPlanner
 from repro.stream.metrics import FlushRecord, StreamStats
@@ -77,10 +80,14 @@ __all__ = ["StreamConfig", "DispatchSimulator"]
 
 # Heap tie-break priorities: pool updates land before flush decisions at
 # equal timestamps, so a flush sees every worker who is back by then.
+# Departures slot between rejoins and tasks: a worker back *and gone* at
+# the same instant never serves, and the pre-departure relative order of
+# the original kinds is unchanged (existing streams replay bit-identically).
 _PRIO_WORKER = 0
 _PRIO_REJOIN = 1
-_PRIO_TASK = 2
-_PRIO_FLUSH = 3
+_PRIO_DEPART = 2
+_PRIO_TASK = 3
+_PRIO_FLUSH = 4
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,15 @@ class StreamConfig:
         Cap on the stats timelines (privacy/window spend over time);
         past it, every other interior point is dropped.  ``None`` =
         unbounded (the historical behaviour).
+    flush_timeout:
+        Watchdog deadline (seconds) for pooled flush solves; past it the
+        executor abandons the pool and degrades one ladder rung.
+        ``None`` (the default) disables the watchdog.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`: deterministic fault
+        injection threaded into the shard executor, the shm arena, and
+        the simulator's own ``worker_departure`` hook.  ``None`` (the
+        default) injects nothing.
     """
 
     max_batch_size: int = 200
@@ -181,16 +197,25 @@ class StreamConfig:
     trace: bool = False
     horizon: HorizonPolicy | None = None
     timeline_limit: int | None = None
+    flush_timeout: float | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         # One validation path: shared with SolveOptions (repro.api.options).
         validate_service(self.speed, self.min_service)
         validate_sharding(self.shards, self.parallel, self.max_shard_workers)
         validate_timeline_limit(self.timeline_limit)
+        validate_flush_timeout(self.flush_timeout)
         if self.horizon is not None and not isinstance(self.horizon, HorizonPolicy):
             raise ConfigurationError(
                 f"horizon must be a HorizonPolicy or None, "
                 f"got {type(self.horizon).__name__}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or None, "
+                f"got {type(self.faults).__name__} "
+                f"(resolve specs via FaultPlan.resolve)"
             )
 
     def service_duration(self, distance: float) -> float:
@@ -287,6 +312,8 @@ class DispatchSimulator:
                     max_workers=width,
                     shm_ok=shm_available(),
                 ),
+                flush_timeout=self.config.flush_timeout,
+                fault_plan=self.config.faults,
             )
         else:
             self._shard_executor = ShardedFlushExecutor(
@@ -296,6 +323,8 @@ class DispatchSimulator:
                 max_workers=self.config.max_shard_workers,
                 workspace=self._workspace,
                 tracer=self.tracer,
+                flush_timeout=self.config.flush_timeout,
+                fault_plan=self.config.faults,
             )
         # Flush-fingerprint solver cache: an injected instance wins (so
         # repeated runs can share one), else config.cache owns a fresh one.
@@ -371,6 +400,8 @@ class DispatchSimulator:
             priority = _PRIO_TASK
         elif isinstance(event, WorkerArrival):
             priority = _PRIO_WORKER
+        elif isinstance(event, WorkerDeparture):
+            priority = _PRIO_DEPART
         else:
             raise ConfigurationError(f"unknown stream event {event!r}")
         if event.time < self._advanced_to - 1e-12:
@@ -399,6 +430,8 @@ class DispatchSimulator:
                 self._on_rejoin(now, payload)
                 if self.batcher.should_flush(now):
                     self._flush(now)
+            elif priority == _PRIO_DEPART:
+                self._on_departure(payload)
             elif priority == _PRIO_TASK:
                 self._on_task(now, payload)
             elif priority == _PRIO_FLUSH:
@@ -470,6 +503,18 @@ class DispatchSimulator:
             if active.busy_until <= now + 1e-12:
                 active.busy_until = None
 
+    def _on_departure(self, departure: WorkerDeparture) -> None:
+        """Remove one worker from the fleet (idempotent; churn family).
+
+        A busy worker keeps its in-flight assignment — the match was
+        already committed and published — but never rejoins: removal
+        here drops it from every future idle pool, and the pending
+        rejoin timer tolerates the missing id.  An unknown or repeated
+        id is a no-op (departures race arrivals in real fleets).
+        """
+        if self._workers.pop(departure.worker_id, None) is not None:
+            self.stats.departed_workers += 1
+
     def _expire_pending(self, now: float) -> None:
         expired = self.batcher.expire(now)
         self.stats.expired += len(expired)
@@ -507,6 +552,26 @@ class DispatchSimulator:
         if not len(self.batcher):
             return
         workers = self._idle_workers()
+        faults = self.config.faults
+        if (
+            faults is not None
+            and workers
+            and faults.should_fire(
+                "worker_departure",
+                key=(self.seed, self._flush_index),
+                site="sim.flush",
+            )
+        ):
+            # The one fault kind that legitimately changes results: a
+            # deterministically chosen idle worker walks off mid-stream.
+            # Excluded from the smoke plan for exactly that reason.
+            pick = np.random.default_rng(
+                (faults.seed, self.seed, self._flush_index)
+            ).integers(len(workers))
+            victim = workers[int(pick)]
+            self._on_departure(WorkerDeparture(time=now, worker_id=victim.id))
+            self.tracer.event("fault.worker_departure")
+            workers = [w for w in workers if w.id != victim.id]
         if not workers:
             # Tasks wait for the fleet; arm a sweep at the next deadline so
             # expiry is recorded even if no other event advances the clock.
@@ -661,6 +726,11 @@ class DispatchSimulator:
                     plan.predicted_seconds if plan is not None else 0.0
                 ),
                 window_spend=window_spend,
+                degraded=(
+                    self._shard_executor.last_degraded
+                    if plan is not None
+                    else None
+                ),
             )
         )
         self._flush_index += 1

@@ -1,0 +1,191 @@
+"""Fuzzing the wire boundary: a server must outlive its worst client.
+
+Two contracts, from the inside out:
+
+* :func:`repro.api.wire.decode_record` on an arbitrary dict either
+  returns a record or raises one of the exception types the JSONL loop
+  masks — nothing it would let escape;
+* :func:`repro.service.serve_jsonl` on arbitrary byte salad answers
+  every non-blank line with exactly one well-formed reply envelope
+  (:class:`ErrorReply` for garbage) and never kills the loop.
+"""
+
+import asyncio
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.wire import (
+    RECORD_TYPES,
+    Advance,
+    BudgetStatus,
+    Drain,
+    Finish,
+    OpenSession,
+    SubmitTask,
+    SubmitWorker,
+    WireRecord,
+    decode_record,
+    encode_record,
+)
+from repro.datasets.workload import Task, Worker
+from repro.errors import ReproError
+from repro.service import DispatchService, serve_jsonl
+from repro.spatial.geometry import Point
+
+#: Exactly what the JSONL loop can mask into an ErrorReply.  Anything
+#: else escaping decode_record is a server-killer, i.e. a bug.
+MASKABLE = (ReproError, KeyError, TypeError, AttributeError)
+
+
+def valid_records():
+    return [
+        OpenSession(method="GRD"),
+        OpenSession(method="PUCE", options={"seed": 1}),
+        SubmitTask.from_task(
+            Task(id=0, location=Point(0.0, 0.0), value=4.5), at=0.0, deadline=1.0
+        ),
+        SubmitWorker.from_worker(
+            Worker(id=1, location=Point(0.5, 0.0), radius=2.0), at=0.0, budget=5.0
+        ),
+        Advance(to_time=1.0),
+        Drain(),
+        BudgetStatus(),
+        Finish(),
+    ]
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(10**6), 10**6)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10,
+)
+
+arbitrary_dicts = st.dictionaries(st.text(max_size=12), json_values, max_size=6)
+
+
+@st.composite
+def mutated_records(draw):
+    """A valid wire dict with one hostile edit."""
+    record = dict(encode_record(draw(st.sampled_from(valid_records()))))
+    edit = draw(st.sampled_from(["drop", "replace", "extra", "retype_kind"]))
+    if edit == "drop":
+        record.pop(draw(st.sampled_from(sorted(record))))
+    elif edit == "replace":
+        record[draw(st.sampled_from(sorted(record)))] = draw(json_values)
+    elif edit == "extra":
+        record[draw(st.text(min_size=1, max_size=12))] = draw(json_values)
+    else:
+        record["kind"] = draw(json_values)
+    return record
+
+
+def assert_decode_is_total(mapping):
+    try:
+        record = decode_record(mapping)
+    except MASKABLE:
+        return
+    assert isinstance(record, WireRecord)
+
+
+@settings(max_examples=200, deadline=None)
+@given(mapping=arbitrary_dicts)
+def test_decode_record_survives_arbitrary_dicts(mapping):
+    assert_decode_is_total(mapping)
+
+
+@settings(max_examples=200, deadline=None)
+@given(mapping=mutated_records())
+def test_decode_record_survives_mutated_records(mapping):
+    assert_decode_is_total(mapping)
+
+
+def test_decode_round_trips_every_valid_record():
+    for record in valid_records():
+        assert decode_record(encode_record(record)) == record
+
+
+def drive_lines(lines):
+    """Run lines through a fresh service; return parsed reply envelopes."""
+
+    async def run():
+        service = DispatchService()
+        replies = []
+        try:
+            await serve_jsonl(service, lines, replies.append)
+        finally:
+            await service.close()
+        return replies
+
+    out = asyncio.run(run())
+    parsed = [json.loads(line) for line in out]
+    for envelope in parsed:
+        assert set(envelope) == {"tenant", "reply"}
+        assert envelope["reply"]["kind"] in RECORD_TYPES
+        # Every reply envelope must itself survive a decode round trip.
+        assert isinstance(decode_record(envelope["reply"]), WireRecord)
+    return parsed
+
+
+@st.composite
+def hostile_lines(draw):
+    """One input line: raw text, JSON salad, or a near-miss envelope."""
+    shape = draw(
+        st.sampled_from(["text", "json", "envelope", "mutated", "valid"])
+    )
+    if shape == "text":
+        return draw(st.text(max_size=40))
+    if shape == "json":
+        return json.dumps(draw(json_values))
+    if shape == "envelope":
+        return json.dumps(
+            {
+                "tenant": draw(json_values),
+                "request": draw(json_values),
+                "seq": draw(json_values),
+            }
+        )
+    if shape == "mutated":
+        return json.dumps({"tenant": "t", "request": draw(mutated_records())})
+    return json.dumps(
+        {"tenant": "t", "request": encode_record(draw(st.sampled_from(valid_records())))}
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(lines=st.lists(hostile_lines(), max_size=8))
+def test_serve_jsonl_answers_every_line(lines):
+    replies = drive_lines(lines)
+    assert len(replies) == sum(1 for line in lines if line.strip())
+
+
+def test_serve_jsonl_masks_garbage_and_keeps_serving():
+    replies = drive_lines(
+        [
+            "not json at all",
+            '{"tenant": 3, "request": {"kind": "drain", "v": 1}}',
+            '{"tenant": "t", "request": {"kind": "nope", "v": 1}}',
+            '{"tenant": "t", "seq": "x", "request": {"kind": "drain", "v": 1}}',
+            '{"tenant": "t"}',
+            "",
+            # Decodes fine, then blows up session construction: typed
+            # fields with well-typed-JSON-but-wrong-Python values must
+            # come back as error replies, not tracebacks.
+            '{"tenant": "t", "request": {"kind": "open_session", "v": 1, '
+            '"method": "GRD", "options": null, "default_deadline": null}}',
+            '{"tenant": "t", "request": {"kind": "open_session", "v": 1, '
+            '"method": "GRD"}}',
+            '{"tenant": "t", "request": {"kind": "finish", "v": 1}}',
+        ]
+    )
+    kinds = [envelope["reply"]["kind"] for envelope in replies]
+    assert kinds[:5] == ["error"] * 5
+    assert kinds[5] == "error"  # null default_deadline refused, loop alive
+    assert kinds[6] == "ack"  # the session opened after all that abuse
+    assert kinds[7] == "finished"

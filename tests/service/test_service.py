@@ -263,6 +263,7 @@ class TestAdmissionControl:
             state = service._tenants["a"]
             state.queue.put_nowait(
                 (SubmitWorker(worker_id=1, x=0.0, y=0.0, radius=5.0),
+                 1,
                  loop.create_future())
             )
             reply = await client.submit_task(task())

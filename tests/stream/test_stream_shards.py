@@ -303,15 +303,24 @@ class _ExplodingSolver:
 
 
 class _WorkerKillingSolver:
-    """Picklable stand-in that kills its pool worker process outright."""
+    """Picklable UCE wrapper that kills any pool worker it runs in.
 
-    name = "CRASH"
+    In the parent process it solves normally — the shape of a crash
+    that is environmental (a worker OOM-killed, a poisoned pool) rather
+    than a deterministic solver bug, which is exactly the case the
+    degradation ladder exists to absorb.
+    """
+
+    name = "UCE"
     is_private = False
 
     def solve(self, instance, seed=None, **kwargs):
+        import multiprocessing as _mp
         import os as _os
 
-        _os._exit(1)
+        if _mp.parent_process() is not None:
+            _os._exit(1)
+        return make_solver("UCE").solve(instance, seed=seed, **kwargs)
 
 
 class TestTransportAndFailurePaths:
@@ -347,13 +356,22 @@ class TestTransportAndFailurePaths:
         with pytest.raises(RuntimeError):
             pool.submit(int)
 
-    def test_worker_crash_respawns_pool_once_then_propagates(self):
-        """A dead worker triggers one traced respawn; a second break raises."""
-        from concurrent.futures.process import BrokenProcessPool
+    def test_worker_crash_respawns_then_degrades_to_sequential(self):
+        """A persistently dying pool walks the ladder and still flushes.
 
+        Every submit breaks the pool, so the executor burns its capped
+        respawn attempts (each one traced), gives the pooled rung up,
+        and re-runs the same cut sequentially in-process — bit-identical
+        to a clean single-shard solve, with the walk recorded in
+        ``last_degraded``.
+        """
         from repro.obs.tracer import Tracer
 
         instance = two_cluster_instance()
+        schedule = ShardSeedSchedule((3,))
+        reference = ShardedFlushExecutor(
+            make_solver("UCE"), num_shards=1, min_shard_pairs=1
+        ).solve(instance, schedule)
         tracer = Tracer()
         executor = ShardedFlushExecutor(
             _WorkerKillingSolver(),
@@ -364,11 +382,15 @@ class TestTransportAndFailurePaths:
             transport="pickle",
             tracer=tracer,
         )
-        with pytest.raises(BrokenProcessPool):
-            executor.solve(instance, ShardSeedSchedule((3,)))
+        merged = executor.solve(instance, schedule)
         respawns = [s for s in tracer.spans if s.name == "pool.respawn"]
-        assert len(respawns) == 1
+        assert len(respawns) == ShardedFlushExecutor.POOL_RESPAWN_ATTEMPTS
+        assert executor.last_degraded is not None
+        assert executor.last_degraded.startswith("proc")
+        assert executor.last_degraded.endswith("seq")
         assert ("process", 2) not in _WARM_POOLS
+        assert dict(merged.matching) == dict(reference.matching)
+        assert list(merged.ledger.events()) == list(reference.ledger.events())
 
     def test_forced_shm_falls_back_to_pickle_when_unavailable(self, monkeypatch):
         """transport='shm' on a host without shm degrades, bit-identically."""
